@@ -1,0 +1,144 @@
+// Comparison of checking schemes (paper §I / §III motivation): Flash-ABFT's
+// single fused check vs traditional per-matmul ABFT vs ATTNChecker-style
+// extreme-value screening.
+//
+// Three axes:
+//   1. checking-only arithmetic and live state (the fused check's O(1)
+//      per-query state is what makes it implementable in fused hardware);
+//   2. number of runtime comparisons per attention;
+//   3. detection head-to-head on identical software-level corruptions.
+#include <cmath>
+#include <iostream>
+
+#include "attention/reference_attention.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/abft_cost.hpp"
+#include "core/checksum.hpp"
+#include "core/extreme_value_screen.hpp"
+#include "core/flash_abft.hpp"
+#include "core/matmul_abft.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace flashabft;
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t n = std::size_t(args.get_int("seq-len", 256));
+  const std::size_t d = std::size_t(args.get_int("head-dim", 128));
+  const std::size_t trials = std::size_t(args.get_int("trials", 400));
+
+  std::cout << "== Checking-scheme comparison, N=" << n << ", d=" << d
+            << " ==\n\n";
+
+  // ---- Axis 1/2: cost accounting. ----
+  const CheckingCost flash = flash_abft_cost(n, d);
+  const CheckingCost two = two_step_abft_cost(n, d);
+  const CheckingCost screen = extreme_screen_cost(n, d);
+  Table cost({"scheme", "adds", "muls", "divs", "total ops", "live state",
+              "comparisons", "fused-kernel compatible"});
+  cost.set_title("Checking-only cost per attention (N x N x d)");
+  cost.add_row({"Flash-ABFT (this paper)", std::to_string(flash.adds),
+                std::to_string(flash.muls), std::to_string(flash.divs),
+                std::to_string(flash.total_ops()),
+                std::to_string(flash.state_words) + " words", "1", "yes"});
+  cost.add_row({"two-step matmul ABFT", std::to_string(two.adds),
+                std::to_string(two.muls), std::to_string(two.divs),
+                std::to_string(two.total_ops()),
+                std::to_string(two.state_words) + " words (incl. N^2 scores)",
+                "2", "no (needs S materialized)"});
+  cost.add_row({"extreme-value screen", std::to_string(screen.adds), "0",
+                "0", std::to_string(screen.total_ops()), "1 word", "1",
+                "yes"});
+  std::cout << cost.render() << '\n';
+
+  // ---- Axis 3: detection head-to-head on identical corruptions. ----
+  // Corruption model: one output element perturbed by a magnitude drawn
+  // log-uniformly from [1e-7, 1e+2] — spanning rounding-level noise to
+  // exponent-flip-scale blowups — plus dedicated NaN/Inf trials.
+  Rng rng(97);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+
+  const CheckedAttention flash_run = flash_abft_attention(w.q, w.k, w.v, cfg);
+  const TwoStepAbftAttention two_run =
+      two_step_abft_attention(w.q, w.k, w.v, cfg);
+
+  std::size_t flash_hits = 0, two_hits = 0, screen_hits = 0;
+  std::size_t nan_flash = 0, nan_two = 0, nan_screen = 0;
+  const std::size_t nan_trials = trials / 4;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t r = std::size_t(rng.next_below(n));
+    const std::size_t c = std::size_t(rng.next_below(d));
+    const double magnitude =
+        std::pow(10.0, -7.0 + 9.0 * rng.next_double());
+
+    // Flash-ABFT sees the corrupted output checksum.
+    const double corrupted_actual = flash_run.actual_checksum + magnitude;
+    flash_hits += checker.compare(flash_run.predicted_checksum,
+                                  corrupted_actual) == CheckVerdict::kAlarm;
+    // Two-step ABFT sees it in the SV product check.
+    MatmulCheck sv = two_run.sv_check;
+    sv.actual += magnitude;
+    two_hits += checker.compare(sv.predicted, sv.actual) ==
+                CheckVerdict::kAlarm;
+    // The screen looks at the corrupted element's value.
+    MatrixD out = flash_run.output;
+    out(r, c) += magnitude;
+    screen_hits += extreme_value_screen(out).any();
+  }
+  for (std::size_t t = 0; t < nan_trials; ++t) {
+    // NaN corruption: the checksum comparison goes quiet (the blind spot);
+    // the screen is the scheme that catches it.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    nan_flash += checker.compare(flash_run.predicted_checksum, nan) ==
+                 CheckVerdict::kAlarm;
+    MatmulCheck sv = two_run.sv_check;
+    sv.actual = nan;
+    nan_two += checker.compare(sv.predicted, sv.actual) ==
+               CheckVerdict::kAlarm;
+    MatrixD out = flash_run.output;
+    out(std::size_t(rng.next_below(n)), std::size_t(rng.next_below(d))) = nan;
+    nan_screen += extreme_value_screen(out).any();
+  }
+
+  Table det({"scheme", "numeric corruption detected", "NaN corruption "
+             "detected"});
+  det.set_title("Detection head-to-head (identical corruptions)");
+  auto pct = [](std::size_t hits, std::size_t total) {
+    return format_percent(double(hits) / double(total));
+  };
+  det.add_row({"Flash-ABFT checksum", pct(flash_hits, trials),
+               pct(nan_flash, nan_trials)});
+  det.add_row({"two-step ABFT (SV check)", pct(two_hits, trials),
+               pct(nan_two, nan_trials)});
+  det.add_row({"extreme-value screen", pct(screen_hits, trials),
+               pct(nan_screen, nan_trials)});
+  std::cout << det.render() << '\n';
+
+  std::cout
+      << "Reading guide: the checksum schemes catch numeric corruption above\n"
+      << "their threshold regardless of magnitude plausibility; the screen\n"
+      << "only fires on extreme values but is the one that catches NaN (the\n"
+      << "checksum comparator's blind spot) — the paper's checker and\n"
+      << "ATTNChecker-style screening are complementary, and a production\n"
+      << "deployment would run both.\n"
+      << "Note the two-step scheme cannot protect softmax at all, and its\n"
+      << "score-matrix state makes it incompatible with FlashAttention\n"
+      << "dataflow — the structural point of the paper.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace flashabft::bench {
+
+TableOneSetup make_table1_setup(const ModelPreset& preset,
+                                std::size_t seq_len, std::size_t lanes,
+                                std::uint64_t seed,
+                                void (*mutate)(AccelConfig&)) {
+  TableOneSetup setup;
+  setup.preset = preset;
+
+  AccelConfig cfg;
+  cfg.lanes = lanes;
+  cfg.head_dim = preset.head_dim;
+  cfg.scale = preset.attention_scale();
+  if (mutate != nullptr) mutate(cfg);
+
+  // "We found this limit out experimentally for the examined attention
+  // layers" (§IV-B): measure fault-free residuals on a calibration set and
+  // set the thresholds one decade above the worst.
+  const auto calib_set =
+      generate_calibration_set(preset, seq_len, 4, seed ^ 0xCA11B);
+  const Accelerator calib_accel(cfg);
+  setup.calibration = calibrate_checker(calib_accel, calib_set, 10.0);
+  cfg.detect_threshold = setup.calibration.per_query_threshold;
+  cfg.detect_threshold_global = setup.calibration.global_threshold;
+
+  setup.config = cfg;
+  // "The same embedding prompt with sequence length of 256" (§IV-B): one
+  // fixed workload per model, independent of the calibration set.
+  Rng rng(seed);
+  setup.workload = generate_llm_like(preset, seq_len, rng);
+  return setup;
+}
+
+std::string format_rate_ci(const Proportion& p) {
+  std::ostringstream os;
+  os << format_percent(p.rate) << " [" << format_percent(p.ci_low, 1) << ","
+     << format_percent(p.ci_high, 1) << "]";
+  return os.str();
+}
+
+std::size_t campaigns_from_env_or(std::size_t fallback) {
+  if (const char* env = std::getenv("FLASHABFT_CAMPAIGNS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return std::size_t(v);
+  }
+  return fallback;
+}
+
+}  // namespace flashabft::bench

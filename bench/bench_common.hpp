@@ -1,0 +1,43 @@
+// Shared plumbing for the benchmark harnesses: building paper-configured
+// accelerators, calibrating thresholds the way §IV-B describes, and
+// formatting campaign statistics as Table-I-style rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/calibrate.hpp"
+#include "fault/campaign.hpp"
+#include "workload/generator.hpp"
+#include "workload/model_presets.hpp"
+
+namespace flashabft::bench {
+
+/// The paper's Table I experimental setup for one model: sequence length
+/// 256, the model's head dimension, 16 parallel lanes, 1/sqrt(d) scaling.
+struct TableOneSetup {
+  ModelPreset preset;
+  AccelConfig config;                    ///< thresholds already calibrated.
+  AttentionInputs workload;              ///< the injected-into prompt.
+  CheckerCalibration calibration;        ///< measured residuals/thresholds.
+};
+
+/// Builds and calibrates the Table I setup for `preset`.
+///
+/// `mutate` lets ablations adjust the AccelConfig *before* calibration
+/// (weight source, granularity, register formats); pass nullptr for the
+/// paper-default configuration.
+TableOneSetup make_table1_setup(const ModelPreset& preset,
+                                std::size_t seq_len, std::size_t lanes,
+                                std::uint64_t seed,
+                                void (*mutate)(AccelConfig&) = nullptr);
+
+/// Formats a campaign proportion as "97.23% [96.8,97.6]".
+std::string format_rate_ci(const Proportion& p);
+
+/// Number of campaigns: --campaigns flag, FLASHABFT_CAMPAIGNS env var, or
+/// the paper's 10,000.
+std::size_t campaigns_from_env_or(std::size_t fallback);
+
+}  // namespace flashabft::bench

@@ -1,0 +1,71 @@
+// Extension study: beyond the paper's single-event bit flips.
+//
+// The paper injects one transient flip per campaign (§IV-B). Real silicon
+// also suffers stuck-at defects and multi-cycle intermittents. This bench
+// runs the same campaign protocol under those fault models and sweeps the
+// stuck-at duration, showing that the online checksum's coverage carries
+// over: a persistent datapath defect perturbs the output on every active
+// cycle and is *easier* to detect than a single flip, while persistent
+// checker defects raise the false-alarm floor.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flashabft;
+  using namespace flashabft::bench;
+
+  const CliArgs args(argc, argv);
+  const std::size_t campaigns = std::size_t(
+      args.get_int("campaigns", std::int64_t(campaigns_from_env_or(2500))));
+  const std::size_t seq_len = std::size_t(args.get_int("seq-len", 256));
+  const std::string model = args.get_string("model", "llama-3.1");
+  const std::uint64_t seed = std::uint64_t(args.get_int("seed", 60601));
+
+  const ModelPreset& preset = preset_by_name(model);
+  const TableOneSetup setup = make_table1_setup(preset, seq_len, 16, seed);
+  CampaignRunner runner(setup.config, setup.workload);
+
+  std::cout << "== Fault-model study: " << model << ", d="
+            << preset.head_dim << ", N=" << seq_len << ", " << campaigns
+            << " campaigns per row ==\n\n";
+
+  struct Case {
+    const char* name;
+    FaultType type;
+    std::size_t duration;
+  };
+  const Case cases[] = {
+      {"bit flip (paper model)", FaultType::kBitFlip, 1},
+      {"stuck-at-0, 1 cycle", FaultType::kStuckAt0, 1},
+      {"stuck-at-1, 1 cycle", FaultType::kStuckAt1, 1},
+      {"stuck-at-0, 16 cycles", FaultType::kStuckAt0, 16},
+      {"stuck-at-1, 16 cycles", FaultType::kStuckAt1, 16},
+      {"stuck-at-0, 256 cycles (full pass)", FaultType::kStuckAt0, 256},
+      {"stuck-at-1, 256 cycles (full pass)", FaultType::kStuckAt1, 256},
+  };
+
+  Table table({"fault model", "Detected", "Silent", "False Positive",
+               "masked draws"});
+  table.set_title("Outcome rates per fault model (paper site population)");
+  for (const Case& c : cases) {
+    CampaignConfig cc;
+    cc.num_campaigns = campaigns;
+    cc.fault_type = c.type;
+    cc.fault_duration = c.duration;
+    cc.seed = seed + c.duration * 17 + std::uint64_t(c.type);
+    const CampaignStats stats = runner.run(cc);
+    table.add_row({c.name, format_rate_ci(stats.detected_rate()),
+                   format_rate_ci(stats.silent_rate()),
+                   format_rate_ci(stats.false_positive_rate()),
+                   format_percent(stats.masked_fraction())});
+  }
+  std::cout << table.render() << '\n'
+            << "Reading guide: stuck-at faults are masked more often than\n"
+               "flips (forcing a bit to its current value is a no-op), but\n"
+               "the consequential ones remain detected at the same rate;\n"
+               "longer windows corrupt more state and push masking down.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks: software-level cost of the attention
+// kernel family and the incremental cost of the fused checksum (Alg. 3 over
+// Alg. 2) — the software analogue of the paper's <2% energy overhead claim
+// (the checksum adds one MAC per key per query next to d of them).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "attention/flash_attention2.hpp"
+#include "attention/lazy_softmax_attention.hpp"
+#include "attention/reference_attention.hpp"
+#include "core/flash_abft.hpp"
+#include "core/matmul_abft.hpp"
+#include "numerics/bfloat16.hpp"
+#include "numerics/exp_unit.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace flashabft;
+
+AttentionConfig cfg_for(std::size_t n, std::size_t d) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  return cfg;
+}
+
+AttentionInputs workload_for(std::size_t n, std::size_t d) {
+  Rng rng(n * 1315423911ULL + d);
+  return generate_gaussian(n, d, rng);
+}
+
+void BM_ReferenceAttention(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const AttentionInputs w = workload_for(n, d);
+  const AttentionConfig cfg = cfg_for(n, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_attention(w.q, w.k, w.v, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+}
+
+void BM_LazySoftmaxAttention(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const AttentionInputs w = workload_for(n, d);
+  const AttentionConfig cfg = cfg_for(n, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lazy_softmax_attention(w.q, w.k, w.v, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+}
+
+void BM_FlashAttention2(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const AttentionInputs w = workload_for(n, d);
+  const AttentionConfig cfg = cfg_for(n, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flash_attention2(w.q, w.k, w.v, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+}
+
+void BM_FlashAbft(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const AttentionInputs w = workload_for(n, d);
+  const AttentionConfig cfg = cfg_for(n, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flash_abft_attention(w.q, w.k, w.v, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+}
+
+void BM_TwoStepAbft(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const AttentionInputs w = workload_for(n, d);
+  const AttentionConfig cfg = cfg_for(n, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_step_abft_attention(w.q, w.k, w.v, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+}
+
+void BM_HardwareExp(benchmark::State& state) {
+  double x = -0.37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_exp(x, ExpMode::kHardware));
+    x = x < -30.0 ? -0.37 : x - 1e-4;
+  }
+}
+
+void BM_Bf16RoundTrip(benchmark::State& state) {
+  float x = 1.2345f;
+  for (auto _ : state) {
+    x = bf16::round(x * 1.0000001f);
+    benchmark::DoNotOptimize(x);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReferenceAttention)->Args({256, 64})->Args({256, 128});
+BENCHMARK(BM_LazySoftmaxAttention)->Args({256, 64})->Args({256, 128});
+BENCHMARK(BM_FlashAttention2)
+    ->Args({256, 64})
+    ->Args({256, 128})
+    ->Args({512, 128});
+BENCHMARK(BM_FlashAbft)
+    ->Args({256, 64})
+    ->Args({256, 128})
+    ->Args({512, 128});
+BENCHMARK(BM_TwoStepAbft)->Args({256, 64})->Args({256, 128});
+BENCHMARK(BM_HardwareExp);
+BENCHMARK(BM_Bf16RoundTrip);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Reproduces paper Table I: "Fault detection accuracy for a single injected
+// fault using an error bound of 1e-6" — sequence length 256, head dimensions
+// 64 / 96 / 128 / 256 (BERT, Phi-3-mini, Llama-3.1, Gemma2), 10,000
+// independent single-bit fault-injection campaigns per model.
+//
+// Usage: table1_fault_detection [--campaigns N] [--seq-len N] [--lanes B]
+//                               [--seed S]
+// The default (no arguments) reproduces the paper's setup. Set the
+// FLASHABFT_CAMPAIGNS environment variable to override campaign count when
+// running the whole bench directory.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace flashabft;
+using namespace flashabft::bench;
+
+struct PaperRow {
+  const char* model;
+  double detected, false_positive, silent;
+};
+
+// Table I as printed in the paper (sequence length 256).
+constexpr PaperRow kPaperRows[] = {
+    {"bert", 96.94, 2.66, 0.40},
+    {"phi-3-mini", 97.56, 1.99, 0.45},
+    {"llama-3.1", 98.45, 1.25, 0.30},
+    {"gemma2", 98.87, 0.62, 0.51},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t campaigns = std::size_t(
+      args.get_int("campaigns", std::int64_t(campaigns_from_env_or(10000))));
+  const std::size_t seq_len = std::size_t(args.get_int("seq-len", 256));
+  const std::size_t lanes = std::size_t(args.get_int("lanes", 16));
+  const std::uint64_t seed = std::uint64_t(args.get_int("seed", 20250722));
+
+  std::cout << "== Table I: fault detection accuracy, single injected fault ==\n"
+            << "sequence length " << seq_len << ", " << lanes
+            << " parallel query lanes, " << campaigns
+            << " campaigns per model\n"
+            << "sites: output/max/sum-exp/query registers + checker state, "
+               "bit-weighted (paper SIV-B)\n\n";
+
+  Table table({"model", "d", "calibrated tau", "Detected", "paper",
+               "False Positive", "paper", "Silent", "paper", "masked draws"});
+  table.set_title("Table I reproduction (Wilson 95% CIs in brackets)");
+
+  for (std::size_t mi = 0; mi < paper_models().size(); ++mi) {
+    const ModelPreset& preset = paper_models()[mi];
+    const TableOneSetup setup =
+        make_table1_setup(preset, seq_len, lanes, seed + mi);
+
+    CampaignRunner runner(setup.config, setup.workload);
+    CampaignConfig cc;
+    cc.num_campaigns = campaigns;
+    cc.seed = seed * 31 + mi;
+    const CampaignStats stats = runner.run(cc);
+
+    const PaperRow& paper = kPaperRows[mi];
+    table.add_row({preset.name, std::to_string(preset.head_dim),
+                   format_number(setup.config.detect_threshold, 2),
+                   format_rate_ci(stats.detected_rate()),
+                   format_percent(paper.detected / 100.0),
+                   format_rate_ci(stats.false_positive_rate()),
+                   format_percent(paper.false_positive / 100.0),
+                   format_rate_ci(stats.silent_rate()),
+                   format_percent(paper.silent / 100.0),
+                   format_percent(stats.masked_fraction())});
+  }
+  std::cout << table.render() << '\n';
+
+  std::cout
+      << "Notes:\n"
+      << "  * 'masked draws' = fraction of raw bit flips with no material\n"
+      << "    effect (resampled away, as the paper's categories imply).\n"
+      << "  * tau is auto-calibrated per configuration one decade above the\n"
+      << "    worst fault-free residual — the paper's 'found experimentally'\n"
+      << "    1e-6; see EXPERIMENTS.md for the register-width dependence.\n"
+      << "  * The checker runs in independent-weight mode; the shared-weight\n"
+      << "    merged design of Eq. 10 is ablated in bench/coverage_gap.\n";
+  return 0;
+}

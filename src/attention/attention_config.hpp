@@ -1,0 +1,31 @@
+// Shared configuration for the attention kernel family.
+#pragma once
+
+#include <cstddef>
+
+namespace flashabft {
+
+/// Masking applied to the score matrix before softmax.
+enum class AttentionMask {
+  kNone,    ///< full (encoder-style) attention — the paper's setting.
+  kCausal,  ///< query i attends to keys j <= i (decoder-style) — extension.
+};
+
+/// Parameters of a single-head attention computation over an N x d problem.
+struct AttentionConfig {
+  std::size_t seq_len = 256;     ///< N — number of queries and keys.
+  std::size_t head_dim = 128;    ///< d — hidden dimension per head.
+  double scale = 1.0;            ///< score scale; 1/sqrt(d) in transformers.
+                                 ///< The paper derives checksums without the
+                                 ///< scale (§III-A); it commutes through the
+                                 ///< algebra either way.
+  AttentionMask mask = AttentionMask::kNone;
+};
+
+/// True if key j participates in query i's softmax under `mask`.
+[[nodiscard]] constexpr bool mask_allows(AttentionMask mask, std::size_t i,
+                                         std::size_t j) {
+  return mask == AttentionMask::kNone || j <= i;
+}
+
+}  // namespace flashabft

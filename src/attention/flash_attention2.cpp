@@ -1,0 +1,64 @@
+#include "attention/flash_attention2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace flashabft {
+
+MatrixD flash_attention2(const MatrixD& q, const MatrixD& k, const MatrixD& v,
+                         const AttentionConfig& cfg,
+                         FlashAttentionStats* stats, ExpMode exp_mode) {
+  FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
+  FLASHABFT_ENSURE(k.rows() == v.rows());
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t d = q.cols();
+
+  MatrixD out(n_q, d);
+  if (stats != nullptr) {
+    stats->row_max.assign(n_q, 0.0);
+    stats->row_sum_exp.assign(n_q, 0.0);
+  }
+
+  std::vector<double> o(d);
+  for (std::size_t qi = 0; qi < n_q; ++qi) {
+    double m = -std::numeric_limits<double>::infinity();
+    double ell = 0.0;
+    std::fill(o.begin(), o.end(), 0.0);
+
+    for (std::size_t i = 0; i < n_k; ++i) {
+      if (!mask_allows(cfg.mask, qi, i)) continue;
+
+      // Alg. 2 line 3: s_i = dot(q, k_i), scaled.
+      double s = 0.0;
+      for (std::size_t x = 0; x < d; ++x) s += q(qi, x) * k(i, x);
+      s *= cfg.scale;
+
+      // Lines 4-6: online max / sum / output updates.
+      const double m_new = std::max(m, s);
+      // e^{m_{i-1} - m_new} is 0 on the first step (m = -inf), which wipes
+      // the zero-initialized accumulators exactly as the algebra intends.
+      const double correction =
+          std::isinf(m) ? 0.0 : eval_exp(m - m_new, exp_mode);
+      const double weight = eval_exp(s - m_new, exp_mode);
+
+      ell = ell * correction + weight;
+      for (std::size_t x = 0; x < d; ++x) {
+        o[x] = o[x] * correction + weight * v(i, x);
+      }
+      m = m_new;
+    }
+
+    // Line 8: delayed division.
+    for (std::size_t x = 0; x < d; ++x) out(qi, x) = o[x] / ell;
+    if (stats != nullptr) {
+      stats->row_max[qi] = m;
+      stats->row_sum_exp[qi] = ell;
+    }
+  }
+  return out;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,31 @@
+// Paper Algorithm 2: FlashAttention-2 with delayed softmax division.
+//
+// A single pass per query: each step folds one key/value pair into the
+// running maximum m_i, sum-of-exponents l_i and output accumulator o_i,
+// rescaling the accumulators by e^{m_{i-1} - m_i} whenever the maximum
+// advances. This is the algorithm the hardware accelerator of Fig. 2
+// implements and the one Flash-ABFT extends with a checksum lane (Alg. 3).
+#pragma once
+
+#include "attention/attention_config.hpp"
+#include "numerics/exp_unit.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Per-query byproducts of the online pass, exposed because the checker and
+/// tests reason about them (l_N is the softmax denominator of Eq. 8).
+struct FlashAttentionStats {
+  std::vector<double> row_max;      ///< m_N per query.
+  std::vector<double> row_sum_exp;  ///< l_N per query.
+};
+
+/// Computes attention per paper Alg. 2 in double precision.
+/// If `stats` is non-null, per-query m_N / l_N are recorded.
+[[nodiscard]] MatrixD flash_attention2(const MatrixD& q, const MatrixD& k,
+                                       const MatrixD& v,
+                                       const AttentionConfig& cfg,
+                                       FlashAttentionStats* stats = nullptr,
+                                       ExpMode exp_mode = ExpMode::kExact);
+
+}  // namespace flashabft

@@ -1,0 +1,21 @@
+// A bundled attention workload: the Q/K/V matrices one head consumes.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// One attention problem instance (single head): Q is n_q x d, K and V are
+/// n_k x d. Produced by the workload generators, consumed by kernels, the
+/// accelerator simulator and fault campaigns.
+struct AttentionInputs {
+  MatrixD q;
+  MatrixD k;
+  MatrixD v;
+
+  [[nodiscard]] std::size_t seq_len() const { return k.rows(); }
+  [[nodiscard]] std::size_t num_queries() const { return q.rows(); }
+  [[nodiscard]] std::size_t head_dim() const { return q.cols(); }
+};
+
+}  // namespace flashabft

@@ -1,0 +1,51 @@
+#include "attention/lazy_softmax_attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace flashabft {
+
+MatrixD lazy_softmax_attention(const MatrixD& q, const MatrixD& k,
+                               const MatrixD& v, const AttentionConfig& cfg) {
+  FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
+  FLASHABFT_ENSURE(k.rows() == v.rows());
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t d = q.cols();
+
+  MatrixD out(n_q, d);
+  std::vector<double> scores(n_k);
+
+  for (std::size_t qi = 0; qi < n_q; ++qi) {
+    // Pass 1 (Alg. 1 lines 2-5): scores and running maximum m_N.
+    double m = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n_k; ++i) {
+      if (!mask_allows(cfg.mask, qi, i)) {
+        scores[i] = -std::numeric_limits<double>::infinity();
+        continue;
+      }
+      double s = 0.0;
+      for (std::size_t x = 0; x < d; ++x) s += q(qi, x) * k(i, x);
+      s *= cfg.scale;
+      scores[i] = s;
+      m = std::max(m, s);
+    }
+
+    // Pass 2 (lines 6-10): o_i and l_i accumulate with the final max m_N.
+    std::vector<double> o(d, 0.0);
+    double ell = 0.0;
+    for (std::size_t i = 0; i < n_k; ++i) {
+      const double w = std::exp(scores[i] - m);  // exp(-inf) == 0 for masked
+      for (std::size_t x = 0; x < d; ++x) o[x] += w * v(i, x);
+      ell += w;
+    }
+
+    // Line 11: lazy division.
+    for (std::size_t x = 0; x < d; ++x) out(qi, x) = o[x] / ell;
+  }
+  return out;
+}
+
+}  // namespace flashabft

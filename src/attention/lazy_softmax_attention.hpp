@@ -1,0 +1,22 @@
+// Paper Algorithm 1: attention with lazy softmax division.
+//
+// Two inner passes per query — pass 1 computes all scores and the row
+// maximum, pass 2 accumulates the exponent-weighted value sum and the
+// sum-of-exponents; a single division finalizes the output. This is the
+// stepping stone between textbook attention and FlashAttention-2 and a
+// baseline kernel in its own right.
+#pragma once
+
+#include "attention/attention_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Computes attention per paper Alg. 1 in double precision.
+/// Q: n_q x d, K/V: n_k x d, result n_q x d.
+[[nodiscard]] MatrixD lazy_softmax_attention(const MatrixD& q,
+                                             const MatrixD& k,
+                                             const MatrixD& v,
+                                             const AttentionConfig& cfg);
+
+}  // namespace flashabft

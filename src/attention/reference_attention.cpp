@@ -1,0 +1,55 @@
+#include "attention/reference_attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+MatrixD reference_score_matrix(const MatrixD& q, const MatrixD& k,
+                               const AttentionConfig& cfg) {
+  FLASHABFT_ENSURE_MSG(q.cols() == k.cols(),
+                       "Q has d=" << q.cols() << ", K has d=" << k.cols());
+  if (cfg.mask == AttentionMask::kCausal) {
+    FLASHABFT_ENSURE_MSG(q.rows() == k.rows(),
+                         "causal mask needs square scores, got "
+                             << q.rows() << 'x' << k.rows());
+  }
+
+  MatrixD scores = matmul_transposed(q, k);
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    for (std::size_t j = 0; j < scores.cols(); ++j) {
+      scores(i, j) *= cfg.scale;
+      if (!mask_allows(cfg.mask, i, j)) {
+        scores(i, j) = -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+
+  // Row softmax with max subtraction; -inf masked entries become exact zeros.
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const auto row = scores.row(i);
+    const double m = *std::max_element(row.begin(), row.end());
+    double denom = 0.0;
+    for (double& s : row) {
+      s = std::exp(s - m);
+      denom += s;
+    }
+    for (double& s : row) s /= denom;
+  }
+  return scores;
+}
+
+MatrixD reference_attention(const MatrixD& q, const MatrixD& k,
+                            const MatrixD& v, const AttentionConfig& cfg) {
+  FLASHABFT_ENSURE_MSG(k.rows() == v.rows(),
+                       "K has " << k.rows() << " rows, V has " << v.rows());
+  FLASHABFT_ENSURE_MSG(v.cols() == q.cols(),
+                       "V has d=" << v.cols() << ", Q has d=" << q.cols());
+  const MatrixD s = reference_score_matrix(q, k, cfg);
+  return matmul(s, v);
+}
+
+}  // namespace flashabft

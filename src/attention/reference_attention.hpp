@@ -1,0 +1,27 @@
+// Golden three-pass attention: softmax(scale * Q K^T) V in double precision.
+//
+// This is the oracle every other kernel (Alg. 1, Alg. 2, Alg. 3, the cycle
+// simulator) is validated against, and the "golden output" that fault
+// campaigns compare corrupted runs with.
+#pragma once
+
+#include "attention/attention_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Computes attention the textbook way: materialize scores, row softmax,
+/// multiply by V. Q is n_q x d; K, V are n_k x d; the result is n_q x d.
+/// With cfg.mask == kCausal, query i only attends to keys j <= i (requires
+/// n_q == n_k so the diagonal is meaningful).
+[[nodiscard]] MatrixD reference_attention(const MatrixD& q, const MatrixD& k,
+                                          const MatrixD& v,
+                                          const AttentionConfig& cfg);
+
+/// The intermediate S = softmax(scale * Q K^T) matrix (n_q x n_k); exposed
+/// for the per-matmul ABFT baseline, which checksums it explicitly.
+[[nodiscard]] MatrixD reference_score_matrix(const MatrixD& q,
+                                             const MatrixD& k,
+                                             const AttentionConfig& cfg);
+
+}  // namespace flashabft

@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking for the flash-abft library.
+//
+// FLASHABFT_ENSURE is an always-on check (independent of NDEBUG): the library
+// models hardware, and a silently out-of-range lane index or register width
+// would invalidate a fault-injection experiment rather than merely crash, so
+// violations terminate loudly with file/line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flashabft {
+
+/// Thrown when an FLASHABFT_ENSURE condition fails.
+class EnsureError final : public std::logic_error {
+ public:
+  explicit EnsureError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FLASHABFT_ENSURE failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw EnsureError(os.str());
+}
+
+}  // namespace detail
+}  // namespace flashabft
+
+/// Always-on invariant check; throws flashabft::EnsureError on failure.
+#define FLASHABFT_ENSURE(cond)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::flashabft::detail::ensure_fail(#cond, __FILE__, __LINE__, "");    \
+    }                                                                     \
+  } while (false)
+
+/// Always-on invariant check with a streamed message, e.g.
+///   FLASHABFT_ENSURE_MSG(i < n, "lane " << i << " out of " << n);
+#define FLASHABFT_ENSURE_MSG(cond, stream_expr)                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << stream_expr;                                                 \
+      ::flashabft::detail::ensure_fail(#cond, __FILE__, __LINE__,         \
+                                       os_.str());                        \
+    }                                                                     \
+  } while (false)

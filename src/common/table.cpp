@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FLASHABFT_ENSURE(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FLASHABFT_ENSURE_MSG(cells.size() == header_.size(),
+                       "row has " << cells.size() << " cells, header has "
+                                  << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ") << std::left << std::setw(int(width[c]))
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_number(double value, int digits) {
+  std::ostringstream os;
+  const double mag = std::fabs(value);
+  if (value == 0.0) {
+    os << "0";
+  } else if (mag >= 0.1 && mag < 1e6) {
+    os << std::fixed << std::setprecision(digits) << value;
+  } else {
+    os << std::scientific << std::setprecision(digits - 1) << value;
+  }
+  return os.str();
+}
+
+std::string format_percent(double fraction, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace flashabft

@@ -1,0 +1,47 @@
+// Plain-text table formatting used by the benchmark harnesses to print
+// paper-style tables (Table I, Fig. 4 data series) to stdout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flashabft {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+///
+/// Usage:
+///   Table t({"d", "Detected", "False Positive", "Silent"});
+///   t.add_row({"64", "96.94%", "2.66%", "0.40%"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Renders the table with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` significant decimal digits (fixed notation
+/// for magnitudes near 1, scientific otherwise) — compact cells for tables.
+[[nodiscard]] std::string format_number(double value, int digits = 4);
+
+/// Formats a ratio as a percentage string with two decimals, e.g. "4.55%".
+[[nodiscard]] std::string format_percent(double fraction, int digits = 2);
+
+}  // namespace flashabft

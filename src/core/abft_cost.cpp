@@ -1,0 +1,62 @@
+#include "core/abft_cost.hpp"
+
+namespace flashabft {
+
+CheckingCost flash_abft_cost(std::size_t n, std::size_t d) {
+  CheckingCost cost;
+  // sumrow_k(V): d-1 adds per key row, shared across all query lanes (the
+  // single Σ adder tree of Fig. 3).
+  cost.adds += n * (d - 1);
+  // Per query x per key: c_i = c_{i-1} * e^{dm} + sumrow_i * e^{s-m}
+  // -> 2 muls + 1 add (the exponentials are reused from the datapath).
+  cost.muls += 2 * n * n;
+  cost.adds += n * n;
+  // Per query: one division (line 10) + one global add (line 11).
+  cost.divs += n;
+  cost.adds += n;
+  // Actual checksum: reduce the n x d output once.
+  cost.adds += n * d - 1;
+  // Live state: c per in-flight query lane + sumrow register + two global
+  // accumulators. Counting one lane set per query for comparability.
+  cost.state_words = n + 3;
+  return cost;
+}
+
+CheckingCost two_step_abft_cost(std::size_t n, std::size_t d) {
+  CheckingCost cost;
+  // --- Check 1: S' = Q K^T (n x d * d x n -> n x n) ---
+  // colsum(Q): (n-1) adds per column, d columns.
+  cost.adds += d * (n - 1);
+  // rowsum(K^T) = colsum(K): same.
+  cost.adds += d * (n - 1);
+  // Checksum dot product: d muls + d-1 adds.
+  cost.muls += d;
+  cost.adds += d - 1;
+  // Actual: reduce n x n product.
+  cost.adds += n * n - 1;
+
+  // --- Check 2: O = S V (n x n * n x d -> n x d) ---
+  // colsum(S): n columns x (n-1) adds — requires materialized S.
+  cost.adds += n * (n - 1);
+  // rowsum(V): n rows x (d-1) adds.
+  cost.adds += n * (d - 1);
+  // Checksum dot product: n muls + n-1 adds.
+  cost.muls += n;
+  cost.adds += n - 1;
+  // Actual: reduce n x d output.
+  cost.adds += n * d - 1;
+
+  // The S matrix must be live for colsum(S): n^2 words that a fused kernel
+  // would never otherwise keep (plus the four checksum vectors).
+  cost.state_words = n * n + 2 * n + 2 * d;
+  return cost;
+}
+
+CheckingCost extreme_screen_cost(std::size_t n, std::size_t d) {
+  CheckingCost cost;
+  cost.adds += n * d;  // one magnitude compare per output element
+  cost.state_words = 1;
+  return cost;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,89 @@
+#include "core/blocked_flash_attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/checksum.hpp"
+
+namespace flashabft {
+
+CheckedAttention blocked_flash_abft_attention(const MatrixD& q,
+                                              const MatrixD& k,
+                                              const MatrixD& v,
+                                              const AttentionConfig& cfg,
+                                              const BlockConfig& block,
+                                              const FlashAbftOptions& options) {
+  FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
+  FLASHABFT_ENSURE(k.rows() == v.rows());
+  FLASHABFT_ENSURE_MSG(block.key_block > 0, "key_block must be positive");
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t d = q.cols();
+  const std::size_t bc = block.key_block;
+
+  CheckedAttention result;
+  result.output = MatrixD(n_q, d);
+  result.per_query_predicted.assign(n_q, 0.0);
+  result.per_query_actual.assign(n_q, 0.0);
+  result.stats.row_max.assign(n_q, 0.0);
+  result.stats.row_sum_exp.assign(n_q, 0.0);
+
+  const std::vector<double> row_v = value_row_sums(v);
+
+  // Per-query carried state across tiles (the SRAM-resident registers of
+  // the real kernel): m, l, o, c (+ optional l_c).
+  std::vector<double> m(n_q, -std::numeric_limits<double>::infinity());
+  std::vector<double> ell(n_q, 0.0);
+  std::vector<double> c(n_q, 0.0);
+  std::vector<double> ell_c(n_q, 0.0);
+  MatrixD o(n_q, d);
+
+  for (std::size_t tile = 0; tile < n_k; tile += bc) {
+    const std::size_t tile_end = std::min(tile + bc, n_k);
+    for (std::size_t qi = 0; qi < n_q; ++qi) {
+      for (std::size_t i = tile; i < tile_end; ++i) {
+        if (!mask_allows(cfg.mask, qi, i)) continue;
+
+        double s = 0.0;
+        for (std::size_t x = 0; x < d; ++x) s += q(qi, x) * k(i, x);
+        s *= cfg.scale;
+
+        const double m_new = std::max(m[qi], s);
+        const double correction =
+            std::isinf(m[qi]) ? 0.0
+                              : eval_exp(m[qi] - m_new, options.exp_mode);
+        const double weight = eval_exp(s - m_new, options.exp_mode);
+
+        ell[qi] = ell[qi] * correction + weight;
+        for (std::size_t x = 0; x < d; ++x) {
+          o(qi, x) = o(qi, x) * correction + weight * v(i, x);
+        }
+        c[qi] = c[qi] * correction + weight * row_v[i];
+        if (options.replicate_ell) {
+          ell_c[qi] = ell_c[qi] * correction + weight;
+        }
+        m[qi] = m_new;
+      }
+    }
+  }
+
+  for (std::size_t qi = 0; qi < n_q; ++qi) {
+    double row_actual = 0.0;
+    for (std::size_t x = 0; x < d; ++x) {
+      result.output(qi, x) = o(qi, x) / ell[qi];
+      row_actual += result.output(qi, x);
+    }
+    const double divisor = options.replicate_ell ? ell_c[qi] : ell[qi];
+    result.per_query_predicted[qi] = c[qi] / divisor;
+    result.per_query_actual[qi] = row_actual;
+    result.stats.row_max[qi] = m[qi];
+    result.stats.row_sum_exp[qi] = ell[qi];
+    result.predicted_checksum += result.per_query_predicted[qi];
+    result.actual_checksum += row_actual;
+  }
+  return result;
+}
+
+}  // namespace flashabft

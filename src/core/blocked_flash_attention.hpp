@@ -1,0 +1,32 @@
+// Blocked (tiled) FlashAttention-2 with per-block checksum accumulation.
+//
+// The production FlashAttention kernel processes keys/values in tiles of
+// B_c rows so each tile fits in on-chip memory; the online max/sum algebra
+// makes the result independent of the tiling. The checksum recursion of
+// Alg. 3 tiles the same way: the per-query checksum accumulator c carries
+// across tiles exactly like the output accumulator it mirrors (Eq. 10).
+// This kernel exists to demonstrate (and test) that tiling invariance —
+// block size must not change either the output or the checksums beyond
+// rounding.
+#pragma once
+
+#include "attention/attention_config.hpp"
+#include "core/flash_abft.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Tiling parameters of the blocked kernel.
+struct BlockConfig {
+  std::size_t key_block = 64;  ///< B_c — keys/values per tile.
+};
+
+/// FlashAttention-2 + online checksum, processing K/V in tiles.
+/// Mathematically identical to flash_abft_attention for any key_block;
+/// tests assert agreement to rounding across block sizes.
+[[nodiscard]] CheckedAttention blocked_flash_abft_attention(
+    const MatrixD& q, const MatrixD& k, const MatrixD& v,
+    const AttentionConfig& cfg, const BlockConfig& block = {},
+    const FlashAbftOptions& options = {});
+
+}  // namespace flashabft

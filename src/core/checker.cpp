@@ -1,0 +1,40 @@
+#include "core/checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+CheckVerdict Checker::compare(double predicted, double actual) const {
+  const double diff = std::fabs(predicted - actual);
+  double bound = config_.abs_tolerance;
+  if (config_.rel_tolerance > 0.0) {
+    // Guarded so an infinite checksum doesn't poison the bound (0 * inf is
+    // NaN, and a NaN bound would silently disarm the comparator).
+    const double mag = std::max(std::fabs(predicted), std::fabs(actual));
+    if (std::isfinite(mag)) bound += config_.rel_tolerance * mag;
+  }
+  // NaN diff fails the > comparison -> kPass. This asymmetry is intentional;
+  // see header.
+  if (diff > bound) return CheckVerdict::kAlarm;
+  return CheckVerdict::kPass;
+}
+
+double calibrate_abs_threshold(std::span<const double> residuals,
+                               double margin) {
+  FLASHABFT_ENSURE(!residuals.empty());
+  FLASHABFT_ENSURE(margin >= 1.0);
+  double worst = 0.0;
+  for (const double r : residuals) {
+    FLASHABFT_ENSURE_MSG(std::isfinite(r), "non-finite fault-free residual");
+    worst = std::max(worst, std::fabs(r));
+  }
+  // A zero worst-case residual (exact agreement) still needs a nonzero
+  // threshold for the comparator to be meaningful.
+  const double floor = 1e-12;
+  return std::max(worst * margin, floor);
+}
+
+}  // namespace flashabft

@@ -1,0 +1,57 @@
+// The checksum comparator and its threshold calibration.
+//
+// Paper §IV-B: "we consider a fault detected if the predicted checksum
+// differs by the true output checksum by more than 1e-6. We found this limit
+// out experimentally". Two semantics matter and are reproduced exactly:
+//
+//  * The comparison is a plain `|pred - actual| > tol`. When either side is
+//    NaN the difference is NaN and the comparison is false — so a fault that
+//    drives the output to NaN raises *no* alarm. The paper classifies those
+//    as Silent; so do we.
+//  * The threshold is calibrated empirically: run fault-free workloads,
+//    measure the residual |pred - actual| caused by rounding alone, and set
+//    the threshold a safety margin above the worst observed residual.
+#pragma once
+
+#include <span>
+
+namespace flashabft {
+
+/// Comparator tolerances. Detection fires when
+///   |pred - actual| > abs_tolerance + rel_tolerance * max(|pred|, |actual|).
+/// The paper's configuration is purely absolute (rel_tolerance = 0).
+struct CheckerConfig {
+  double abs_tolerance = 1e-6;
+  double rel_tolerance = 0.0;
+};
+
+/// Outcome of one checksum comparison.
+enum class CheckVerdict {
+  kPass,   ///< checksums agree within tolerance (no alarm).
+  kAlarm,  ///< checksums disagree (fault detected).
+};
+
+/// Stateless checksum comparator with the paper's NaN semantics.
+class Checker {
+ public:
+  explicit Checker(CheckerConfig config) : config_(config) {}
+
+  /// Compares predicted vs actual checksum. NaN difference -> kPass
+  /// (deliberately: this reproduces the hardware comparator's behaviour and
+  /// the paper's Silent-NaN category).
+  [[nodiscard]] CheckVerdict compare(double predicted, double actual) const;
+
+  [[nodiscard]] const CheckerConfig& config() const { return config_; }
+
+ private:
+  CheckerConfig config_;
+};
+
+/// Picks an absolute threshold from fault-free residual samples: the largest
+/// observed residual times `margin` (margin = 10 by default, one decade of
+/// safety, which lands at the paper's 1e-6 scale for the default accelerator
+/// register widths). Residuals must be finite.
+[[nodiscard]] double calibrate_abs_threshold(std::span<const double> residuals,
+                                             double margin = 10.0);
+
+}  // namespace flashabft

@@ -1,0 +1,76 @@
+#include "core/checksum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "attention/reference_attention.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+std::vector<double> value_row_sums(const MatrixD& v) { return row_sums(v); }
+
+double output_checksum(const MatrixD& output) { return element_sum(output); }
+
+double predicted_checksum_from_scores(const MatrixD& q, const MatrixD& k,
+                                      const MatrixD& v,
+                                      const AttentionConfig& cfg) {
+  const MatrixD s = reference_score_matrix(q, k, cfg);
+  const std::vector<double> col_s = column_sums(s);      // Eq. 3
+  const std::vector<double> row_v = value_row_sums(v);   // Eq. 4
+  FLASHABFT_ENSURE(col_s.size() == row_v.size());
+  double check = 0.0;                                    // Eq. 5
+  for (std::size_t i = 0; i < col_s.size(); ++i) check += col_s[i] * row_v[i];
+  return check;
+}
+
+std::vector<double> per_query_checksums(const MatrixD& q, const MatrixD& k,
+                                        const MatrixD& v,
+                                        const AttentionConfig& cfg) {
+  FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
+  FLASHABFT_ENSURE(k.rows() == v.rows());
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t d = q.cols();
+  const std::vector<double> row_v = value_row_sums(v);
+
+  std::vector<double> checks(n_q, 0.0);
+  std::vector<double> scores(n_k);
+  for (std::size_t qi = 0; qi < n_q; ++qi) {
+    double m = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n_k; ++i) {
+      if (!mask_allows(cfg.mask, qi, i)) {
+        scores[i] = -std::numeric_limits<double>::infinity();
+        continue;
+      }
+      double s = 0.0;
+      for (std::size_t x = 0; x < d; ++x) s += q(qi, x) * k(i, x);
+      s *= cfg.scale;
+      scores[i] = s;
+      m = std::max(m, s);
+    }
+    // Eq. 8 with max subtraction: numerator and denominator both carry
+    // e^{-m}, which cancels in the ratio.
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < n_k; ++i) {
+      const double w = std::exp(scores[i] - m);
+      num += w * row_v[i];
+      den += w;
+    }
+    checks[qi] = num / den;
+  }
+  return checks;
+}
+
+double predicted_checksum_per_query(const MatrixD& q, const MatrixD& k,
+                                    const MatrixD& v,
+                                    const AttentionConfig& cfg) {
+  const std::vector<double> checks = per_query_checksums(q, k, v, cfg);
+  double total = 0.0;
+  for (const double c : checks) total += c;
+  return total;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,49 @@
+// The attention-specific checksum algebra of paper §III-A (Eqs. 3-8).
+//
+// Classic ABFT validates C = A·B by comparing the actual sum of C's elements
+// against dot(colsum(A), rowsum(B)). For attention, A = softmax(QK^T) is
+// never materialized by fused kernels, so the paper folds the softmax
+// normalization into the checksum: interchanging the order of summation
+// (Eq. 7) turns the global check into a sum of independent per-query terms
+//
+//     check(q_i) = (1 / sum_j e^{s_ij}) * sum_k e^{s_ik} * sumrow_k(V),
+//
+// each computable online with the same recurrence as the output itself
+// (Alg. 3). This header provides the *definitional* (non-online) forms used
+// as oracles; the online form lives in flash_abft.hpp.
+#pragma once
+
+#include <vector>
+
+#include "attention/attention_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// sumrow_k(V) for every k (Eq. 4): the checker's per-row value checksums.
+[[nodiscard]] std::vector<double> value_row_sums(const MatrixD& v);
+
+/// The actual output checksum: sum of every element of the attention output.
+[[nodiscard]] double output_checksum(const MatrixD& output);
+
+/// Predicted checksum evaluated directly from Eq. (5): materialize
+/// S = softmax(scale*QK^T), take dot(colsum(S), rowsum(V)). Oracle form.
+[[nodiscard]] double predicted_checksum_from_scores(const MatrixD& q,
+                                                    const MatrixD& k,
+                                                    const MatrixD& v,
+                                                    const AttentionConfig& cfg);
+
+/// Predicted checksum evaluated from the per-query form of Eq. (8) with
+/// numerically-stable max subtraction — the quantity Alg. 3 accumulates,
+/// but computed in a batch (two-pass) fashion. Oracle form.
+[[nodiscard]] double predicted_checksum_per_query(const MatrixD& q,
+                                                  const MatrixD& k,
+                                                  const MatrixD& v,
+                                                  const AttentionConfig& cfg);
+
+/// Per-query check(q_i) values of Eq. (8) (stable two-pass evaluation).
+[[nodiscard]] std::vector<double> per_query_checksums(
+    const MatrixD& q, const MatrixD& k, const MatrixD& v,
+    const AttentionConfig& cfg);
+
+}  // namespace flashabft

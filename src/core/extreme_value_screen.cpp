@@ -1,0 +1,22 @@
+#include "core/extreme_value_screen.hpp"
+
+#include <cmath>
+
+namespace flashabft {
+
+ExtremeValueReport extreme_value_screen(const MatrixD& m,
+                                        const ExtremeValueConfig& cfg) {
+  ExtremeValueReport report;
+  for (const double v : m.flat()) {
+    if (std::isnan(v)) {
+      ++report.nan_count;
+    } else if (std::isinf(v)) {
+      ++report.inf_count;
+    } else if (std::fabs(v) > cfg.near_inf_threshold) {
+      ++report.near_inf_count;
+    }
+  }
+  return report;
+}
+
+}  // namespace flashabft

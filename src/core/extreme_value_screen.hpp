@@ -1,0 +1,44 @@
+// Extreme-value screening — an ATTNChecker-style baseline.
+//
+// ATTNChecker (PPoPP'25, paper ref [24]) targets "extreme errors for
+// floating point such as INF, NaN, near-INF": it scans intermediate tensors
+// for values outside a plausible dynamic range. It is cheap and catches
+// exponent-field corruption, but by construction misses faults that leave
+// values numerically plausible — exactly the coverage Flash-ABFT's checksum
+// provides. bench/abft_comparison runs both on identical fault campaigns.
+#pragma once
+
+#include <cstddef>
+
+#include "core/checker.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Screening configuration: what counts as "near-INF".
+struct ExtremeValueConfig {
+  /// Magnitudes above this are treated as corrupt. ATTNChecker derives the
+  /// bound from the tensor's expected dynamic range; attention outputs are
+  /// convex combinations of V rows, so a generous multiple of max|V| works.
+  double near_inf_threshold = 1e30;
+};
+
+/// What the screen found in one tensor.
+struct ExtremeValueReport {
+  std::size_t nan_count = 0;
+  std::size_t inf_count = 0;
+  std::size_t near_inf_count = 0;
+
+  [[nodiscard]] bool any() const {
+    return nan_count + inf_count + near_inf_count > 0;
+  }
+  [[nodiscard]] CheckVerdict verdict() const {
+    return any() ? CheckVerdict::kAlarm : CheckVerdict::kPass;
+  }
+};
+
+/// Scans every element of `m` for NaN / Inf / near-INF magnitudes.
+[[nodiscard]] ExtremeValueReport extreme_value_screen(
+    const MatrixD& m, const ExtremeValueConfig& cfg = {});
+
+}  // namespace flashabft

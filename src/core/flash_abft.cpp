@@ -1,0 +1,95 @@
+#include "core/flash_abft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/checksum.hpp"
+
+namespace flashabft {
+
+double CheckedAttention::residual() const {
+  return std::fabs(predicted_checksum - actual_checksum);
+}
+
+CheckedAttention flash_abft_attention(const MatrixD& q, const MatrixD& k,
+                                      const MatrixD& v,
+                                      const AttentionConfig& cfg,
+                                      const FlashAbftOptions& options) {
+  FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
+  FLASHABFT_ENSURE(k.rows() == v.rows());
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t d = q.cols();
+
+  CheckedAttention result;
+  result.output = MatrixD(n_q, d);
+  result.per_query_predicted.assign(n_q, 0.0);
+  result.per_query_actual.assign(n_q, 0.0);
+  result.stats.row_max.assign(n_q, 0.0);
+  result.stats.row_sum_exp.assign(n_q, 0.0);
+
+  // Fig. 3's Σ block: the per-row checksum of V, computed once as the value
+  // vectors stream in and shared by all query lanes.
+  const std::vector<double> row_v = value_row_sums(v);
+
+  std::vector<double> o(d);
+  for (std::size_t qi = 0; qi < n_q; ++qi) {
+    double m = -std::numeric_limits<double>::infinity();
+    double ell = 0.0;
+    double c = 0.0;          // Alg. 3 line 7 accumulator.
+    double ell_c = 0.0;      // checker's own sum-of-exponents (optional).
+    std::fill(o.begin(), o.end(), 0.0);
+
+    for (std::size_t i = 0; i < n_k; ++i) {
+      if (!mask_allows(cfg.mask, qi, i)) continue;
+
+      double s = 0.0;
+      for (std::size_t x = 0; x < d; ++x) s += q(qi, x) * k(i, x);
+      s *= cfg.scale;
+
+      const double m_new = std::max(m, s);
+      const double correction =
+          std::isinf(m) ? 0.0 : eval_exp(m - m_new, options.exp_mode);
+      const double weight = eval_exp(s - m_new, options.exp_mode);
+
+      ell = ell * correction + weight;
+      for (std::size_t x = 0; x < d; ++x) {
+        o[x] = o[x] * correction + weight * v(i, x);
+      }
+      // Line 7: the checksum lane — same recurrence, value row sum in place
+      // of the value vector (Eq. 9).
+      c = c * correction + weight * row_v[i];
+      if (options.replicate_ell) ell_c = ell_c * correction + weight;
+      m = m_new;
+    }
+
+    // Lines 9-10: delayed divisions.
+    double row_actual = 0.0;
+    for (std::size_t x = 0; x < d; ++x) {
+      result.output(qi, x) = o[x] / ell;
+      row_actual += result.output(qi, x);
+    }
+    const double divisor = options.replicate_ell ? ell_c : ell;
+    result.per_query_predicted[qi] = c / divisor;
+    result.per_query_actual[qi] = row_actual;
+    result.stats.row_max[qi] = m;
+    result.stats.row_sum_exp[qi] = ell;
+
+    // Line 11: global accumulation across queries.
+    result.predicted_checksum += result.per_query_predicted[qi];
+    result.actual_checksum += row_actual;
+  }
+  return result;
+}
+
+CheckVerdict flash_abft_verify(const MatrixD& q, const MatrixD& k,
+                               const MatrixD& v, const AttentionConfig& cfg,
+                               const Checker& checker,
+                               const FlashAbftOptions& options) {
+  const CheckedAttention run = flash_abft_attention(q, k, v, cfg, options);
+  return checker.compare(run.predicted_checksum, run.actual_checksum);
+}
+
+}  // namespace flashabft

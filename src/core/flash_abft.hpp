@@ -1,0 +1,63 @@
+// Flash-ABFT: FlashAttention-2 with online checksum computation (Alg. 3).
+//
+// The paper's contribution. Each query lane carries one extra accumulator c
+// updated with the *same* recurrence as the output vector — conceptually the
+// value vector is extended by one element holding its row sum (Eq. 9/10):
+//
+//     [c_i, o_i] = [c_{i-1}, o_{i-1}] * e^{m_{i-1}-m_i}
+//                  + [sumrow_i(V), v_i] * e^{s_i-m_i}
+//
+// After the pass, check(q) = c_N / l_N, and the global predicted checksum is
+// the sum of per-query checks (Eq. 8). It is compared against the actual
+// checksum — the sum of every element of the produced output.
+//
+// This software kernel is the algorithmic (double-precision) form; the
+// bit-accurate, fault-injectable form is src/sim's cycle-level accelerator.
+#pragma once
+
+#include "attention/attention_config.hpp"
+#include "attention/flash_attention2.hpp"
+#include "core/checker.hpp"
+#include "numerics/exp_unit.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Options of the checked kernel.
+struct FlashAbftOptions {
+  ExpMode exp_mode = ExpMode::kExact;
+  /// If true, the checker maintains its own replica of the sum-of-exponents
+  /// (accumulated alongside c) and divides by it instead of the datapath's
+  /// l_N. Closes the shared-divisor blind spot analyzed in DESIGN.md §4(b);
+  /// ablated in bench/checker_design.
+  bool replicate_ell = false;
+};
+
+/// Everything Alg. 3 produces in one pass.
+struct CheckedAttention {
+  MatrixD output;                          ///< attn(Q,K,V), n_q x d.
+  double predicted_checksum = 0.0;         ///< Alg. 3 line 11 accumulation.
+  double actual_checksum = 0.0;            ///< sum of output elements.
+  std::vector<double> per_query_predicted; ///< check(q_i), Alg. 3 line 10.
+  std::vector<double> per_query_actual;    ///< sum of output row i.
+  FlashAttentionStats stats;               ///< m_N / l_N per query.
+
+  /// |predicted - actual|; NaN if either side is NaN.
+  [[nodiscard]] double residual() const;
+};
+
+/// Runs FlashAttention-2 with the fused online checksum (paper Alg. 3).
+/// Q: n_q x d, K/V: n_k x d.
+[[nodiscard]] CheckedAttention flash_abft_attention(
+    const MatrixD& q, const MatrixD& k, const MatrixD& v,
+    const AttentionConfig& cfg, const FlashAbftOptions& options = {});
+
+/// Convenience wrapper: run + compare in one call.
+[[nodiscard]] CheckVerdict flash_abft_verify(const MatrixD& q,
+                                             const MatrixD& k,
+                                             const MatrixD& v,
+                                             const AttentionConfig& cfg,
+                                             const Checker& checker,
+                                             const FlashAbftOptions& options = {});
+
+}  // namespace flashabft

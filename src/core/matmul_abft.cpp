@@ -1,0 +1,67 @@
+#include "core/matmul_abft.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "attention/reference_attention.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+double MatmulCheck::residual() const { return std::fabs(predicted - actual); }
+
+MatmulCheck abft_check_product(const MatrixD& a, const MatrixD& b,
+                               const MatrixD& c) {
+  FLASHABFT_ENSURE(a.cols() == b.rows());
+  FLASHABFT_ENSURE(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::vector<double> col_a = column_sums(a);
+  const std::vector<double> row_b = row_sums(b);
+  MatmulCheck check;
+  for (std::size_t i = 0; i < col_a.size(); ++i) {
+    check.predicted += col_a[i] * row_b[i];
+  }
+  check.actual = element_sum(c);
+  return check;
+}
+
+CheckVerdict TwoStepAbftAttention::verdict(const Checker& checker) const {
+  if (checker.compare(qk_check.predicted, qk_check.actual) ==
+      CheckVerdict::kAlarm) {
+    return CheckVerdict::kAlarm;
+  }
+  return checker.compare(sv_check.predicted, sv_check.actual);
+}
+
+TwoStepAbftAttention two_step_abft_attention(const MatrixD& q,
+                                             const MatrixD& k,
+                                             const MatrixD& v,
+                                             const AttentionConfig& cfg) {
+  FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
+  FLASHABFT_ENSURE(k.rows() == v.rows());
+
+  // Stage 1: S' = scale * Q K^T, checked as a product. The scale multiplies
+  // both sides of the checksum identity, so we check the unscaled product
+  // and scale afterwards (hardware applies scale inside the PE anyway).
+  MatrixD scores = matmul_transposed(q, k);
+  TwoStepAbftAttention result;
+  result.qk_check = abft_check_product(q, transpose(k), scores);
+
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    for (std::size_t j = 0; j < scores.cols(); ++j) {
+      scores(i, j) *= cfg.scale;
+      if (!mask_allows(cfg.mask, i, j)) {
+        scores(i, j) = -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+
+  // Stage 2: softmax — *unprotected* in this baseline (the paper's point).
+  const MatrixD s = row_softmax(scores);
+
+  // Stage 3: O = S V, checked as a product.
+  result.output = matmul(s, v);
+  result.sv_check = abft_check_product(s, v, result.output);
+  return result;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,54 @@
+// Traditional per-matmul ABFT — the baseline Flash-ABFT improves upon.
+//
+// Classic ABFT (Huang & Abraham 1984) validates one matrix product at a
+// time. Applied to attention (paper §I: prior work verifies "each matrix
+// multiplication step involving the query, key, and value matrices ...
+// separately"), that means two independent checks with the softmax left
+// unprotected between them:
+//
+//   check 1:  S' = Q K^T      — sum(S') vs dot(colsum(Q), colsum(K))
+//   (softmax: unprotected)
+//   check 2:  O  = S V        — sum(O)  vs dot(colsum(S), rowsum(V))
+//
+// Check 2 requires the *materialized* score matrix S, which fused
+// FlashAttention kernels never form — the structural reason the paper had to
+// re-derive the checksum (and the reason this baseline cannot be fused; its
+// extra state is O(N), quantified in abft_cost.hpp).
+#pragma once
+
+#include "attention/attention_config.hpp"
+#include "core/checker.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// One classic ABFT product check: |sum(C) - dot(colsum(A), rowsum(B))|.
+struct MatmulCheck {
+  double predicted = 0.0;
+  double actual = 0.0;
+  [[nodiscard]] double residual() const;
+};
+
+/// Runs the classic full-sum ABFT check for C = A * B.
+[[nodiscard]] MatmulCheck abft_check_product(const MatrixD& a,
+                                             const MatrixD& b,
+                                             const MatrixD& c);
+
+/// Attention computed stepwise with a separate ABFT check per product.
+struct TwoStepAbftAttention {
+  MatrixD output;           ///< softmax(scale*QK^T) V.
+  MatmulCheck qk_check;     ///< check over S' = (scale*) Q K^T.
+  MatmulCheck sv_check;     ///< check over O = S V.
+
+  /// Alarm if either product check trips `checker`.
+  [[nodiscard]] CheckVerdict verdict(const Checker& checker) const;
+};
+
+/// Computes attention in three explicit stages (QK^T, softmax, SV) with the
+/// two traditional ABFT checks. The score matrix is materialized — this is
+/// the unfused baseline architecture.
+[[nodiscard]] TwoStepAbftAttention two_step_abft_attention(
+    const MatrixD& q, const MatrixD& k, const MatrixD& v,
+    const AttentionConfig& cfg);
+
+}  // namespace flashabft

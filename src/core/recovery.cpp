@@ -1,0 +1,24 @@
+#include "core/recovery.hpp"
+
+namespace flashabft {
+
+const char* recovery_status_name(RecoveryStatus status) {
+  switch (status) {
+    case RecoveryStatus::kCleanFirstTry: return "clean_first_try";
+    case RecoveryStatus::kRecovered: return "recovered";
+    case RecoveryStatus::kEscalated: return "escalated";
+  }
+  return "?";
+}
+
+GuardedResult guarded_attention(const MatrixD& q, const MatrixD& k,
+                                const MatrixD& v, const AttentionConfig& cfg,
+                                const Checker& checker,
+                                const RecoveryPolicy& policy,
+                                const FlashAbftOptions& options) {
+  return guarded_attention(checker, policy, [&](std::size_t) {
+    return flash_abft_attention(q, k, v, cfg, options);
+  });
+}
+
+}  // namespace flashabft

@@ -1,0 +1,82 @@
+// Detection-triggered recovery — what the paper's online check enables.
+//
+// Paper §I: faults "should be detected online, ideally within a few cycles
+// of their occurrence, to facilitate quick recovery." Flash-ABFT's per-pass
+// alarms make the natural recovery unit the attention invocation: on alarm,
+// re-execute from the (fault-protected) inputs. Transient upsets do not
+// repeat, so one retry almost always restores correctness; a persistent
+// defect keeps alarming and is escalated after a bounded number of retries.
+#pragma once
+
+#include <cstddef>
+
+#include "attention/attention_config.hpp"
+#include "core/checker.hpp"
+#include "core/flash_abft.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Retry policy for guarded execution.
+struct RecoveryPolicy {
+  std::size_t max_retries = 2;  ///< re-executions before escalating.
+};
+
+/// How a guarded invocation concluded.
+enum class RecoveryStatus {
+  kCleanFirstTry,  ///< no alarm on the first execution.
+  kRecovered,      ///< alarmed, then a retry passed the check.
+  kEscalated,      ///< every retry alarmed — persistent-fault suspect.
+};
+
+[[nodiscard]] const char* recovery_status_name(RecoveryStatus status);
+
+/// Result of a guarded attention invocation.
+struct GuardedResult {
+  CheckedAttention attention;    ///< the accepted (last) execution.
+  RecoveryStatus status = RecoveryStatus::kCleanFirstTry;
+  std::size_t executions = 1;    ///< total runs including retries.
+};
+
+/// Executes attention under checksum protection with retry-based recovery.
+///
+/// `run_once` abstracts the execution engine so tests and simulations can
+/// inject faults per attempt: it receives the attempt index and returns the
+/// checked result of that execution.
+template <typename RunOnce>
+[[nodiscard]] GuardedResult guarded_attention(const Checker& checker,
+                                              const RecoveryPolicy& policy,
+                                              RunOnce&& run_once) {
+  GuardedResult result;
+  result.attention = run_once(std::size_t{0});
+  if (checker.compare(result.attention.predicted_checksum,
+                      result.attention.actual_checksum) ==
+      CheckVerdict::kPass) {
+    result.status = RecoveryStatus::kCleanFirstTry;
+    return result;
+  }
+  for (std::size_t retry = 1; retry <= policy.max_retries; ++retry) {
+    result.attention = run_once(retry);
+    ++result.executions;
+    if (checker.compare(result.attention.predicted_checksum,
+                        result.attention.actual_checksum) ==
+        CheckVerdict::kPass) {
+      result.status = RecoveryStatus::kRecovered;
+      return result;
+    }
+  }
+  result.status = RecoveryStatus::kEscalated;
+  return result;
+}
+
+/// Convenience overload: guards the software Alg. 3 kernel directly (a
+/// deterministic fault-free engine — useful as the golden retry target).
+[[nodiscard]] GuardedResult guarded_attention(const MatrixD& q,
+                                              const MatrixD& k,
+                                              const MatrixD& v,
+                                              const AttentionConfig& cfg,
+                                              const Checker& checker,
+                                              const RecoveryPolicy& policy = {},
+                                              const FlashAbftOptions& options = {});
+
+}  // namespace flashabft

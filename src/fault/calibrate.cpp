@@ -1,0 +1,46 @@
+#include "fault/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+CheckerCalibration calibrate_checker(
+    const Accelerator& accel, std::span<const AttentionInputs> workloads,
+    double margin) {
+  FLASHABFT_ENSURE_MSG(!workloads.empty(), "calibration needs workloads");
+  CheckerCalibration cal;
+  for (const AttentionInputs& w : workloads) {
+    const AccelRunResult run = accel.run(w.q, w.k, w.v);
+    for (std::size_t i = 0; i < run.per_query_pred.size(); ++i) {
+      const double r =
+          std::fabs(run.per_query_pred[i] - run.per_query_actual[i]);
+      FLASHABFT_ENSURE_MSG(std::isfinite(r),
+                           "non-finite fault-free residual at query " << i);
+      cal.worst_per_query_residual =
+          std::max(cal.worst_per_query_residual, r);
+    }
+    const double g = std::fabs(run.global_pred - run.global_actual);
+    FLASHABFT_ENSURE(std::isfinite(g));
+    cal.worst_global_residual = std::max(cal.worst_global_residual, g);
+  }
+  constexpr double kFloor = 1e-12;  // keep thresholds meaningful if exact
+  cal.per_query_threshold =
+      std::max(cal.worst_per_query_residual * margin, kFloor);
+  cal.global_threshold = std::max(cal.worst_global_residual * margin, kFloor);
+  return cal;
+}
+
+AccelConfig with_calibrated_thresholds(
+    AccelConfig cfg, std::span<const AttentionInputs> workloads,
+    double margin) {
+  const Accelerator accel(cfg);
+  const CheckerCalibration cal = calibrate_checker(accel, workloads, margin);
+  cfg.detect_threshold = cal.per_query_threshold;
+  cfg.detect_threshold_global = cal.global_threshold;
+  return cfg;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,37 @@
+// Detection-threshold calibration ("We found this limit out experimentally
+// for the examined attention layers", paper §IV-B).
+//
+// The comparator threshold must sit above the fault-free residual — the
+// |predicted - actual| gap produced by rounding alone — or correct runs
+// raise alarms. Calibration runs the accelerator fault-free over a set of
+// representative workloads, records the worst per-query and global
+// residuals, and places each threshold one margin decade above.
+#pragma once
+
+#include <span>
+
+#include "attention/inputs.hpp"
+#include "sim/accelerator.hpp"
+
+namespace flashabft {
+
+/// Calibration output: thresholds ready to drop into AccelConfig.
+struct CheckerCalibration {
+  double per_query_threshold = 0.0;
+  double global_threshold = 0.0;
+  double worst_per_query_residual = 0.0;
+  double worst_global_residual = 0.0;
+};
+
+/// Measures fault-free residuals of `accel` over `workloads` and derives
+/// thresholds `margin` times above the worst observation.
+[[nodiscard]] CheckerCalibration calibrate_checker(
+    const Accelerator& accel, std::span<const AttentionInputs> workloads,
+    double margin = 10.0);
+
+/// Convenience: returns a copy of `cfg` with calibrated thresholds filled in.
+[[nodiscard]] AccelConfig with_calibrated_thresholds(
+    AccelConfig cfg, std::span<const AttentionInputs> workloads,
+    double margin = 10.0);
+
+}  // namespace flashabft

@@ -1,0 +1,120 @@
+#include "fault/campaign.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+CampaignRunner::CampaignRunner(const AccelConfig& cfg, AttentionInputs inputs)
+    : accel_(cfg), inputs_(std::move(inputs)) {
+  golden_ = accel_.run(inputs_.q, inputs_.k, inputs_.v);
+  FLASHABFT_ENSURE_MSG(
+      !golden_.alarm(cfg.compare_granularity),
+      "golden run raises an alarm — calibrate detect thresholds first "
+      "(fault::with_calibrated_thresholds)");
+}
+
+FaultOutcome CampaignRunner::classify(const AccelRunResult& faulty,
+                                      double output_tolerance) const {
+  const double tol = output_tolerance > 0.0
+                         ? output_tolerance
+                         : accel_.config().detect_threshold;
+  // Corruption is judged element-wise *and* on per-query row sums: d
+  // sub-threshold element deviations of one sign are a material error even
+  // though no single element crosses the bound, and the row sum is exactly
+  // the output property the checker observes. max_abs_diff returns +inf when
+  // any element became NaN, so NaN outputs always count as corrupted.
+  bool corrupted = max_abs_diff(faulty.output, golden_.output) > tol;
+  if (!corrupted) {
+    for (std::size_t i = 0; i < faulty.per_query_actual.size(); ++i) {
+      const double row_dev = std::fabs(faulty.per_query_actual[i] -
+                                       golden_.per_query_actual[i]);
+      if (!(row_dev <= tol)) {  // NaN-aware: NaN deviation is corruption
+        corrupted = true;
+        break;
+      }
+    }
+  }
+  const bool alarm = faulty.alarm(accel_.config().compare_granularity);
+  if (corrupted) {
+    return alarm ? FaultOutcome::kDetected : FaultOutcome::kSilent;
+  }
+  return alarm ? FaultOutcome::kFalsePositive : FaultOutcome::kMasked;
+}
+
+FaultPlan CampaignRunner::draw_plan(Rng& rng, const SiteMap& map,
+                                    const CampaignConfig& cfg) const {
+  const std::size_t cycles =
+      accel_.total_cycles(inputs_.num_queries(), inputs_.seq_len());
+  FaultPlan plan;
+  plan.reserve(cfg.faults_per_campaign);
+  for (std::size_t i = 0; i < cfg.faults_per_campaign; ++i) {
+    const std::uint64_t offset = rng.next_below(map.total_bits());
+    const SiteMap::Draw draw = map.locate(offset);
+    const SiteRecord& rec = map.records()[draw.record_index];
+    InjectedFault fault;
+    fault.cycle = std::size_t(rng.next_below(cycles));
+    fault.site = rec.site;
+    fault.bit = draw.bit;
+    fault.type = cfg.fault_type;
+    fault.duration = cfg.fault_duration;
+    plan.push_back(fault);
+  }
+  return plan;
+}
+
+CampaignRunner::OneCampaign CampaignRunner::run_one(const CampaignConfig& cfg,
+                                                    const SiteMap& map,
+                                                    Rng& rng) const {
+  OneCampaign result;
+  const std::size_t attempts =
+      cfg.resample_masked ? cfg.max_resample_attempts : 1;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    FaultPlan plan = draw_plan(rng, map, cfg);
+    const AccelRunResult faulty =
+        accel_.replay_with_faults(inputs_.q, inputs_.k, inputs_.v, golden_,
+                                  plan);
+    const FaultOutcome outcome = classify(faulty, cfg.output_tolerance);
+    if (outcome != FaultOutcome::kMasked) {
+      result.outcome = outcome;
+      result.plan = std::move(plan);
+      return result;
+    }
+    if (!cfg.resample_masked) {
+      result.outcome = FaultOutcome::kMasked;
+      result.plan = std::move(plan);
+      return result;
+    }
+    ++result.masked_draws;
+  }
+  // Every attempt masked: report as masked; the caller tracks exhaustion.
+  result.outcome = FaultOutcome::kMasked;
+  return result;
+}
+
+CampaignStats CampaignRunner::run(const CampaignConfig& cfg) const {
+  const SiteMap map(accel_.config(), cfg.site_mask);
+  const Rng base(cfg.seed);
+  CampaignStats stats;
+  for (std::size_t i = 0; i < cfg.num_campaigns; ++i) {
+    Rng rng = base.derive(i);
+    const OneCampaign one = run_one(cfg, map, rng);
+    stats.masked_draws += one.masked_draws;
+    if (one.outcome == FaultOutcome::kMasked) {
+      if (cfg.resample_masked) {
+        ++stats.exhausted;
+      } else if (!one.plan.empty()) {
+        // record() tallies the masked draw and its site-kind breakdown.
+        stats.record(one.plan.front().site.kind, FaultOutcome::kMasked);
+      }
+      continue;
+    }
+    FLASHABFT_ENSURE(!one.plan.empty());
+    stats.record(one.plan.front().site.kind, one.outcome);
+  }
+  return stats;
+}
+
+}  // namespace flashabft

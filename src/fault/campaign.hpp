@@ -1,0 +1,82 @@
+// Fault-injection campaign runner — the engine behind Table I.
+//
+// One campaign = one accelerator run with one (or a few) random single-bit
+// upsets: a uniformly random cycle, a storage element drawn with probability
+// proportional to its bit width, and a uniformly random bit within it
+// (paper §IV-B). The outcome is classified against a golden run. Campaigns
+// use the pass-level replay fast path, which tests verify is bit-identical
+// to a full simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "attention/inputs.hpp"
+#include "fault/classification.hpp"
+#include "fault/stats.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/random.hpp"
+
+namespace flashabft {
+
+/// Parameters of a campaign set.
+struct CampaignConfig {
+  std::size_t num_campaigns = 10000;     ///< paper: 10,000 campaigns.
+  std::size_t faults_per_campaign = 1;   ///< paper sweeps 1-5 in §IV-B.
+  SiteMask site_mask{};                  ///< default: the paper's site list.
+  FaultType fault_type = FaultType::kBitFlip;  ///< paper: single-event flips.
+  /// Active cycles for stuck-at faults (ignored for bit flips). The window
+  /// is clipped to the run's end when the start cycle lands late.
+  std::size_t fault_duration = 1;
+  /// Output corruption bound: a run is "faulty" if any output element
+  /// deviates from golden by more than this. <= 0 means "use the checker's
+  /// per-query detection threshold" — an error is material iff it is at the
+  /// scale the checker is asked to catch (DESIGN.md §4).
+  double output_tolerance = 0.0;
+  /// Resample masked draws so the classified population matches the paper's
+  /// conditioning on consequential faults.
+  bool resample_masked = true;
+  std::size_t max_resample_attempts = 256;
+  std::uint64_t seed = 0x5f1a5cafe;
+};
+
+/// Runs fault campaigns for one accelerator configuration over one workload.
+class CampaignRunner {
+ public:
+  /// Builds the accelerator, runs and caches the golden (fault-free) result.
+  /// The configuration's thresholds must already be calibrated: a golden run
+  /// that alarms is refused.
+  CampaignRunner(const AccelConfig& cfg, AttentionInputs inputs);
+
+  [[nodiscard]] const Accelerator& accelerator() const { return accel_; }
+  [[nodiscard]] const AccelRunResult& golden() const { return golden_; }
+  [[nodiscard]] const AttentionInputs& inputs() const { return inputs_; }
+
+  /// Classifies one faulty run against golden (see FaultOutcome).
+  [[nodiscard]] FaultOutcome classify(const AccelRunResult& faulty,
+                                      double output_tolerance) const;
+
+  /// Draws one fault plan per `cfg`: faults_per_campaign independent
+  /// (cycle, site, bit) upsets of the configured fault type/duration.
+  [[nodiscard]] FaultPlan draw_plan(Rng& rng, const SiteMap& map,
+                                    const CampaignConfig& cfg) const;
+
+  /// One classified campaign (with masked-resampling). Exposed for tests.
+  struct OneCampaign {
+    FaultOutcome outcome = FaultOutcome::kMasked;
+    FaultPlan plan;               ///< the plan that produced `outcome`.
+    std::size_t masked_draws = 0; ///< draws discarded before `plan`.
+  };
+  [[nodiscard]] OneCampaign run_one(const CampaignConfig& cfg,
+                                    const SiteMap& map, Rng& rng) const;
+
+  /// The full campaign set.
+  [[nodiscard]] CampaignStats run(const CampaignConfig& cfg) const;
+
+ private:
+  Accelerator accel_;
+  AttentionInputs inputs_;
+  AccelRunResult golden_;
+};
+
+}  // namespace flashabft

@@ -1,0 +1,15 @@
+#include "fault/classification.hpp"
+
+namespace flashabft {
+
+const char* fault_outcome_name(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kFalsePositive: return "false_positive";
+    case FaultOutcome::kSilent: return "silent";
+    case FaultOutcome::kMasked: return "masked";
+  }
+  return "?";
+}
+
+}  // namespace flashabft

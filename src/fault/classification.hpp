@@ -1,0 +1,25 @@
+// Outcome taxonomy of one fault-injection campaign (paper §IV-B).
+//
+// The paper reports three categories that sum to 100%: Detected, False
+// Positive and Silent — all conditioned on the fault being consequential
+// ("Detected: a faulty output was generated, and the ... checking logic
+// successfully identified it"). Bit flips that perturb neither the output
+// nor the checker (e.g. low-order mantissa flips rounded away, or downward
+// flips of the running max) are *masked*; the campaign runner resamples
+// them by default and reports their frequency separately (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+
+namespace flashabft {
+
+enum class FaultOutcome : std::uint8_t {
+  kDetected,       ///< output corrupted and the checker raised an alarm.
+  kFalsePositive,  ///< output correct but the checker raised an alarm.
+  kSilent,         ///< output corrupted, no alarm (incl. the NaN blind spot).
+  kMasked,         ///< no material effect on output, no alarm.
+};
+
+[[nodiscard]] const char* fault_outcome_name(FaultOutcome outcome);
+
+}  // namespace flashabft

@@ -1,0 +1,44 @@
+#include "fault/stats.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+Proportion wilson_interval(std::size_t successes, std::size_t trials,
+                           double z) {
+  Proportion p;
+  if (trials == 0) return p;
+  const double n = double(trials);
+  const double phat = double(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  p.rate = phat;
+  p.ci_low = std::max(0.0, center - margin);
+  p.ci_high = std::min(1.0, center + margin);
+  return p;
+}
+
+void CampaignStats::record(SiteKind kind, FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kDetected: ++detected; break;
+    case FaultOutcome::kFalsePositive: ++false_positive; break;
+    case FaultOutcome::kSilent: ++silent; break;
+    case FaultOutcome::kMasked: ++masked_draws; break;
+  }
+  const auto k = std::size_t(kind);
+  const auto o = std::size_t(outcome);
+  FLASHABFT_ENSURE(k < kNumKinds && o < kNumOutcomes);
+  by_site[k][o] += 1;
+}
+
+double CampaignStats::masked_fraction() const {
+  const std::size_t total = masked_draws + classified();
+  return total == 0 ? 0.0 : double(masked_draws) / double(total);
+}
+
+}  // namespace flashabft

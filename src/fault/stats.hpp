@@ -1,0 +1,62 @@
+// Aggregate statistics of fault-injection campaigns.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/classification.hpp"
+#include "sim/site.hpp"
+
+namespace flashabft {
+
+/// A binomial proportion with a Wilson score confidence interval — the
+/// honest way to report "98.45% detected" from 10,000 campaigns.
+struct Proportion {
+  double rate = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+};
+
+/// Wilson score interval at ~95% confidence (z = 1.96).
+[[nodiscard]] Proportion wilson_interval(std::size_t successes,
+                                         std::size_t trials,
+                                         double z = 1.959963985);
+
+/// Tallies of one campaign set. Percentages are over *classified* campaigns
+/// (detected + false positive + silent), matching the paper's Table I
+/// denominators; masked draws are tracked separately.
+struct CampaignStats {
+  std::size_t detected = 0;
+  std::size_t false_positive = 0;
+  std::size_t silent = 0;
+  /// Draws discarded as masked during resampling (not in the denominator).
+  std::size_t masked_draws = 0;
+  /// Campaigns abandoned because every resample attempt was masked; counted
+  /// separately so the denominator stays clean.
+  std::size_t exhausted = 0;
+
+  /// Per-site-kind outcome counts: [kind][outcome] for the breakdown tables.
+  static constexpr std::size_t kNumKinds = 9;
+  static constexpr std::size_t kNumOutcomes = 4;
+  std::array<std::array<std::size_t, kNumOutcomes>, kNumKinds> by_site{};
+
+  void record(SiteKind kind, FaultOutcome outcome);
+
+  [[nodiscard]] std::size_t classified() const {
+    return detected + false_positive + silent;
+  }
+  [[nodiscard]] Proportion detected_rate() const {
+    return wilson_interval(detected, classified());
+  }
+  [[nodiscard]] Proportion false_positive_rate() const {
+    return wilson_interval(false_positive, classified());
+  }
+  [[nodiscard]] Proportion silent_rate() const {
+    return wilson_interval(silent, classified());
+  }
+  /// Fraction of raw draws that were masked (context for the conditioning).
+  [[nodiscard]] double masked_fraction() const;
+};
+
+}  // namespace flashabft

@@ -1,0 +1,134 @@
+#include "hwmodel/accelerator_cost.hpp"
+
+namespace flashabft {
+
+double CostBreakdown::total_area_um2() const {
+  double a = 0.0;
+  for (const CostItem& it : items) a += it.area_um2();
+  return a;
+}
+
+double CostBreakdown::checker_area_um2() const {
+  double a = 0.0;
+  for (const CostItem& it : items) {
+    if (it.checker) a += it.area_um2();
+  }
+  return a;
+}
+
+double CostBreakdown::datapath_area_um2() const {
+  return total_area_um2() - checker_area_um2();
+}
+
+double CostBreakdown::checker_area_share() const {
+  const double total = total_area_um2();
+  return total == 0.0 ? 0.0 : checker_area_um2() / total;
+}
+
+double CostBreakdown::total_leakage_uw() const {
+  double p = 0.0;
+  for (const CostItem& it : items) p += it.leakage_uw();
+  return p;
+}
+
+double CostBreakdown::checker_leakage_uw() const {
+  double p = 0.0;
+  for (const CostItem& it : items) {
+    if (it.checker) p += it.leakage_uw();
+  }
+  return p;
+}
+
+CostBreakdown accelerator_cost(const AccelConfig& cfg,
+                               const TechParams& tech) {
+  const double B = double(cfg.lanes);
+  const double d = double(cfg.head_dim);
+
+  CostBreakdown bom;
+  auto add = [&](std::string name, UnitKind kind, NumberFormat fmt,
+                 double count, bool checker) {
+    CostItem item;
+    item.name = std::move(name);
+    item.kind = kind;
+    item.format = fmt;
+    item.count = count;
+    item.checker = checker;
+    item.unit = unit_cost(kind, fmt, tech);
+    bom.items.push_back(std::move(item));
+  };
+
+  // ---------------- FlashAttention-2 datapath (Fig. 2) ----------------
+  // Per lane: q.k dot product = d bf16 multipliers + (d-1)-adder tree.
+  add("dot_mul", UnitKind::kMul, cfg.input_format, B * d, false);
+  add("dot_add_tree", UnitKind::kAdd, cfg.score_format, B * (d - 1), false);
+  // Two exponent units per lane: e^{m_prev - m} and e^{s - m}.
+  add("exp_unit", UnitKind::kExp, cfg.score_format, B * 2, false);
+  // Output update array: per element one rescale mul, one weight mul and
+  // one accumulate add.
+  add("update_mul", UnitKind::kMul, cfg.output_format, B * 2 * d, false);
+  add("update_add", UnitKind::kAdd, cfg.output_format, B * d, false);
+  // l MAC and running-max unit.
+  add("ell_mac_mul", UnitKind::kMul, cfg.ell_format, B, false);
+  add("ell_mac_add", UnitKind::kAdd, cfg.ell_format, B, false);
+  add("max_unit", UnitKind::kMax, cfg.max_format, B, false);
+  // One output divider per lane (drains the d elements sequentially).
+  add("output_div", UnitKind::kDiv, cfg.output_format, B, false);
+  // Registers: q, o, m, l, score.
+  add("q_regs", UnitKind::kRegBit, cfg.input_format,
+      B * d * format_bits(cfg.input_format), false);
+  add("o_regs", UnitKind::kRegBit, cfg.output_format,
+      B * d * format_bits(cfg.output_format), false);
+  add("m_reg", UnitKind::kRegBit, cfg.max_format,
+      B * format_bits(cfg.max_format), false);
+  add("ell_reg", UnitKind::kRegBit, cfg.ell_format,
+      B * format_bits(cfg.ell_format), false);
+  add("score_reg", UnitKind::kRegBit, cfg.score_format,
+      B * format_bits(cfg.score_format), false);
+
+  // ---------------- Flash-ABFT checker (Fig. 3) ----------------
+  const NumberFormat chk = cfg.checker_format;
+  // Shared V row-sum adder tree (Σ) and its register. "Left checksum
+  // summation is shared across the blocks" (paper §IV-A). The tree's inputs
+  // are bf16 value elements and only widen toward the root — billed as
+  // 1.5x bf16 adders.
+  add("sumrow_add_tree", UnitKind::kAdd, cfg.input_format, 1.5 * (d - 1),
+      true);
+  add("sumrow_reg", UnitKind::kRegBit, chk, format_bits(chk), true);
+  // Per lane: the (d+1)-th lane of the update array — one checksum MAC and
+  // the c register. Both products pair the wide accumulator value with an
+  // fp32 datapath weight, so the multipliers are rectangular.
+  add("check_mac_mul", UnitKind::kMulRect, chk, B * 2, true);
+  add("check_mac_add", UnitKind::kAdd, chk, B, true);
+  add("c_regs", UnitKind::kRegBit, chk, B * format_bits(chk), true);
+  if (cfg.replicate_ell &&
+      cfg.weight_source == WeightSource::kSharedDatapath) {
+    add("ell_c_mac_mul", UnitKind::kMulRect, chk, B, true);
+    add("ell_c_mac_add", UnitKind::kAdd, chk, B, true);
+    add("ell_c_regs", UnitKind::kRegBit, chk, B * format_bits(chk), true);
+  }
+  if (cfg.weight_source == WeightSource::kIndependentStream) {
+    // The replicated score pipeline: dot array, tree, exp units, m_c/l_c.
+    add("check_dot_mul", UnitKind::kMul, cfg.input_format, B * d, true);
+    add("check_dot_add_tree", UnitKind::kAdd, cfg.score_format, B * (d - 1),
+        true);
+    add("check_exp_unit", UnitKind::kExp, cfg.score_format, B * 2, true);
+    add("check_max_unit", UnitKind::kMax, cfg.max_format, B, true);
+    add("m_c_regs", UnitKind::kRegBit, cfg.max_format,
+        B * format_bits(cfg.max_format), true);
+    add("ell_c_mac_mul", UnitKind::kMulRect, chk, B, true);
+    add("ell_c_mac_add", UnitKind::kAdd, chk, B, true);
+    add("ell_c_regs", UnitKind::kRegBit, chk, B * format_bits(chk), true);
+  }
+  // Drain-side: the per-lane check dividers (Fig. 3's "global dividers" —
+  // every lane finalizes c_N / l_N in parallel at pass drain), the
+  // actual-checksum row-reduction tree, global accumulators and comparator.
+  add("check_div", UnitKind::kDiv, chk, B, true);
+  add("actual_sum_tree", UnitKind::kAdd, cfg.output_format, d - 1, true);
+  add("global_acc_add", UnitKind::kAdd, chk, 2, true);
+  add("global_acc_regs", UnitKind::kRegBit, chk, 2 * format_bits(chk), true);
+  add("comparator", UnitKind::kCompare, chk, 1, true);
+
+  return bom;
+}
+
+}  // namespace flashabft

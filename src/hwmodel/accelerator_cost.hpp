@@ -1,0 +1,56 @@
+// Composition of the Fig. 2/3 architecture into an itemized bill of
+// hardware, split datapath vs checker — the structure behind Fig. 4.
+//
+// Datapath (per query lane): the q.k dot-product array, two exponent units,
+// the (d+1)-wide rescale-and-accumulate array (d output elements; the +1
+// checksum lane is billed to the checker), the l MAC, the running-max unit,
+// the output divider, and the q/o/m/l/score registers.
+//
+// Checker (paper Fig. 3): the shared V row-sum adder tree (Σ block) and its
+// register, one checksum-lane MAC and c register per lane, the shared check
+// divider, the actual-checksum row-reduction tree, the global accumulators
+// and the comparator. In the independent-weight design (DESIGN.md §4) the
+// checker additionally replicates the score pipeline per lane, which is why
+// the merged design of Eq. 10 is the one with ~5% overhead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/components.hpp"
+#include "sim/accel_config.hpp"
+
+namespace flashabft {
+
+/// One line of the bill of materials.
+struct CostItem {
+  std::string name;
+  UnitKind kind = UnitKind::kAdd;
+  NumberFormat format = NumberFormat::kFp32;
+  double count = 0.0;      ///< number of unit instances (or register bits).
+  bool checker = false;    ///< belongs to the checking logic.
+  UnitCost unit;           ///< per-instance cost.
+
+  [[nodiscard]] double area_um2() const { return count * unit.area_um2; }
+  [[nodiscard]] double leakage_uw() const { return count * unit.leakage_uw; }
+};
+
+/// The full itemization for one accelerator configuration.
+struct CostBreakdown {
+  std::vector<CostItem> items;
+
+  [[nodiscard]] double total_area_um2() const;
+  [[nodiscard]] double checker_area_um2() const;
+  [[nodiscard]] double datapath_area_um2() const;
+  /// Fig. 4's headline metric: checker area / total area.
+  [[nodiscard]] double checker_area_share() const;
+
+  [[nodiscard]] double total_leakage_uw() const;
+  [[nodiscard]] double checker_leakage_uw() const;
+};
+
+/// Builds the bill of materials for `cfg`.
+[[nodiscard]] CostBreakdown accelerator_cost(
+    const AccelConfig& cfg, const TechParams& tech = default_tech());
+
+}  // namespace flashabft

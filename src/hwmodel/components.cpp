@@ -1,0 +1,100 @@
+#include "hwmodel/components.hpp"
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+const char* unit_kind_name(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kAdd: return "add";
+    case UnitKind::kMul: return "mul";
+    case UnitKind::kMulRect: return "mul_rect";
+    case UnitKind::kDiv: return "div";
+    case UnitKind::kExp: return "exp";
+    case UnitKind::kMax: return "max";
+    case UnitKind::kCompare: return "compare";
+    case UnitKind::kRegBit: return "reg_bit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Mantissa width including the hidden bit.
+int mantissa_bits(NumberFormat f) {
+  switch (f) {
+    case NumberFormat::kBf16: return 8;
+    case NumberFormat::kFp16: return 11;
+    case NumberFormat::kFp32: return 24;
+    case NumberFormat::kFp64: return 53;
+  }
+  return 53;
+}
+
+int exponent_bits(NumberFormat f) {
+  switch (f) {
+    case NumberFormat::kBf16: return 8;
+    case NumberFormat::kFp16: return 5;
+    case NumberFormat::kFp32: return 8;
+    case NumberFormat::kFp64: return 11;
+  }
+  return 11;
+}
+
+}  // namespace
+
+double unit_gate_count(UnitKind kind, NumberFormat format) {
+  const double m = mantissa_bits(format);
+  const double e = exponent_bits(format);
+  const double w = format_bits(format);
+  switch (kind) {
+    case UnitKind::kMul:
+      // Mantissa multiplier array (~1.2 gates per partial-product cell) +
+      // exponent add + rounding/normalization (~8 gates/bit).
+      return 1.2 * m * m + 12.0 * e + 8.0 * m;
+    case UnitKind::kMulRect:
+      // One operand is a 24-bit-mantissa weight: the partial-product array
+      // is m x 24 instead of m x m.
+      return 1.2 * m * 24.0 + 12.0 * e + 8.0 * m;
+    case UnitKind::kAdd:
+      // Alignment shifter + significand add + LZC + normalization shifter:
+      // ~30 gates/mantissa-bit is a common synthesis result.
+      return 30.0 * m + 10.0 * e;
+    case UnitKind::kDiv:
+      // Radix-4 SRT iterative divider: quotient-selection + CSA rows.
+      return 3.0 * m * m + 40.0 * e;
+    case UnitKind::kExp:
+      // Range reduction multiplier (x*log2e), degree-5 polynomial Horner
+      // datapath and exponent injection — roughly 6 multiplier-equivalents
+      // at the operating precision.
+      return 6.0 * (1.2 * m * m) + 20.0 * e;
+    case UnitKind::kMax:
+      return 3.0 * w;  // magnitude comparator + select mux
+    case UnitKind::kCompare:
+      // |a-b| (one adder) + magnitude compare against the threshold.
+      return 30.0 * m + 10.0 * e + 3.0 * w;
+    case UnitKind::kRegBit:
+      return 0.0;  // registers costed via flop area directly
+  }
+  return 0.0;
+}
+
+UnitCost unit_cost(UnitKind kind, NumberFormat format,
+                   const TechParams& tech) {
+  UnitCost cost;
+  if (kind == UnitKind::kRegBit) {
+    cost.area_um2 = tech.flop_area_um2;
+    cost.energy_pj = tech.reg_write_energy_pj;
+    cost.leakage_uw = tech.flop_leakage_uw;
+    return cost;
+  }
+  const double gates = unit_gate_count(kind, format);
+  FLASHABFT_ENSURE(gates > 0.0);
+  cost.area_um2 = gates * tech.nand2_area_um2;
+  // Roughly 25% of a combinational block's gates toggle per operation.
+  cost.energy_pj = 0.25 * gates * tech.gate_energy_pj;
+  cost.leakage_uw = gates * tech.gate_leakage_uw;
+  return cost;
+}
+
+}  // namespace flashabft

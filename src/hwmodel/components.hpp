@@ -1,0 +1,50 @@
+// Gate-level cost library for datapath components.
+//
+// Gate counts follow standard FPU construction: a floating-point multiplier
+// is dominated by its (m+1)x(m+1) mantissa array, an adder by alignment and
+// normalization shifters, a divider by an iterative mantissa array, and the
+// exponent unit by range reduction plus a small polynomial. Costs therefore
+// scale with the *format* of the operands, which is how the model captures
+// the paper's design choices (bf16 datapath, double-precision checksum
+// accumulators).
+#pragma once
+
+#include <string>
+
+#include "hwmodel/tech.hpp"
+#include "numerics/rounding.hpp"
+
+namespace flashabft {
+
+/// Arithmetic unit kinds appearing in the accelerator of Fig. 2/3.
+enum class UnitKind {
+  kAdd,       ///< floating-point adder.
+  kMul,       ///< floating-point multiplier.
+  kMulRect,   ///< rectangular multiplier: `format`-wide accumulator operand
+              ///< times an fp32-mantissa (24-bit) weight — the checksum
+              ///< lane's c*corr and sumrow*w products, where one operand is
+              ///< always a datapath weight.
+  kDiv,       ///< floating-point divider (iterative).
+  kExp,       ///< exponent unit e^x (range reduction + polynomial).
+  kMax,       ///< compare-select (running maximum).
+  kCompare,   ///< checksum comparator (|a-b| > t).
+  kRegBit,    ///< one register bit.
+};
+
+[[nodiscard]] const char* unit_kind_name(UnitKind kind);
+
+/// Area (µm²) and per-operation dynamic energy (pJ) of one unit instance.
+struct UnitCost {
+  double area_um2 = 0.0;
+  double energy_pj = 0.0;
+  double leakage_uw = 0.0;
+};
+
+/// NAND2-equivalent gate count of `kind` operating on `format` operands.
+[[nodiscard]] double unit_gate_count(UnitKind kind, NumberFormat format);
+
+/// Full cost of one unit instance in technology `tech`.
+[[nodiscard]] UnitCost unit_cost(UnitKind kind, NumberFormat format,
+                                 const TechParams& tech = default_tech());
+
+}  // namespace flashabft

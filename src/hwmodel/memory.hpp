@@ -1,0 +1,82 @@
+// On-chip memory and input-protection cost model.
+//
+// The paper assumes "memory that stores query, key and value matrices
+// before being loaded to the accelerator is protected by a separate error
+// detection logic" (§IV-B) and excludes memory power from Fig. 4. This
+// module prices that assumption — SRAM buffers with parity or SECDED — and
+// the per-lane q register-file parity that DESIGN.md's coverage analysis
+// shows the merged checker needs (q-register faults are invisible to the
+// Eq. 10 checksum, so they must be caught by code-based protection at the
+// storage level). bench/protection_options compares the resulting
+// full-system protection packages.
+#pragma once
+
+#include <cstddef>
+
+#include "hwmodel/tech.hpp"
+#include "sim/accel_config.hpp"
+
+namespace flashabft {
+
+/// Error-detecting code applied to a storage array.
+enum class StorageCode {
+  kNone,     ///< raw storage.
+  kParity,   ///< 1 check bit per word — detects single-bit errors.
+  kSecded,   ///< Hamming SECDED — corrects 1, detects 2 per word.
+};
+
+[[nodiscard]] const char* storage_code_name(StorageCode code);
+
+/// Check bits SECDED/parity add to a `data_bits`-wide word.
+[[nodiscard]] std::size_t code_check_bits(StorageCode code,
+                                          std::size_t data_bits);
+
+/// Cost summary of one protected storage array.
+struct StorageCost {
+  double area_um2 = 0.0;          ///< bit-cells + code logic.
+  double code_area_um2 = 0.0;     ///< the protection's share.
+  double access_energy_pj = 0.0;  ///< per-word read energy incl. checking.
+
+  [[nodiscard]] double code_share() const {
+    return area_um2 == 0.0 ? 0.0 : code_area_um2 / area_um2;
+  }
+};
+
+/// Prices an SRAM buffer of `words` entries x `data_bits` with `code`.
+/// SRAM bit-cells are ~6x denser than flops; the encoder/checker tree costs
+/// ~4 gates per covered bit per port.
+[[nodiscard]] StorageCost sram_cost(std::size_t words, std::size_t data_bits,
+                                    StorageCode code,
+                                    const TechParams& tech = default_tech());
+
+/// Prices a flop-based register file (the per-lane q registers) with
+/// `code`; check bits are flops like the data bits.
+[[nodiscard]] StorageCost regfile_cost(std::size_t words,
+                                       std::size_t data_bits,
+                                       StorageCode code,
+                                       const TechParams& tech = default_tech());
+
+/// The accelerator's input-side memory: double-buffered K/V stream buffers
+/// and the Q tile buffer for one pass, all SECDED-protected (the paper's
+/// assumption), plus the per-lane q register files at the requested code.
+struct InputProtection {
+  StorageCost kv_buffers;   ///< 2 x seq_len x d x input bits, SECDED.
+  StorageCost q_buffer;     ///< lanes x d x input bits staging, SECDED.
+  StorageCost q_regfile;    ///< per-lane register file at `q_reg_code`.
+
+  [[nodiscard]] double total_area_um2() const {
+    return kv_buffers.area_um2 + q_buffer.area_um2 + q_regfile.area_um2;
+  }
+  [[nodiscard]] double total_code_area_um2() const {
+    return kv_buffers.code_area_um2 + q_buffer.code_area_um2 +
+           q_regfile.code_area_um2;
+  }
+};
+
+/// Prices the input-side protection for `cfg` serving sequences of
+/// `seq_len`, with the q register file protected by `q_reg_code`.
+[[nodiscard]] InputProtection input_protection_cost(
+    const AccelConfig& cfg, std::size_t seq_len, StorageCode q_reg_code,
+    const TechParams& tech = default_tech());
+
+}  // namespace flashabft

@@ -1,0 +1,73 @@
+#include "hwmodel/power.hpp"
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+PowerEstimate estimate_power(const AccelConfig& cfg, const CostBreakdown& bom,
+                             const ActivityCounters& activity,
+                             const TechParams& tech) {
+  FLASHABFT_ENSURE_MSG(activity.cycles > 0, "no activity recorded");
+
+  auto op_energy = [&](UnitKind kind, NumberFormat fmt) {
+    return unit_cost(kind, fmt, tech).energy_pj;
+  };
+  const double reg_pj = tech.reg_write_energy_pj;
+
+  // ---- Dynamic energy (pJ), datapath. ----
+  double dp = 0.0;
+  dp += double(activity.dot_mults) * op_energy(UnitKind::kMul, cfg.input_format);
+  dp += double(activity.dot_adds) * op_energy(UnitKind::kAdd, cfg.score_format);
+  dp += double(activity.update_mults) *
+        op_energy(UnitKind::kMul, cfg.output_format);
+  dp += double(activity.update_adds) *
+        op_energy(UnitKind::kAdd, cfg.output_format);
+  dp += double(activity.exp_evals) * op_energy(UnitKind::kExp, cfg.score_format);
+  dp += double(activity.max_ops) * op_energy(UnitKind::kMax, cfg.max_format);
+  dp += double(activity.ell_ops) * op_energy(UnitKind::kAdd, cfg.ell_format);
+  dp += double(activity.output_divs) *
+        op_energy(UnitKind::kDiv, cfg.output_format);
+  // Register writes: each o element, m, l and score register is written once
+  // per lane-cycle (update_adds counts o-element writes; max_ops counts
+  // lane-cycles).
+  dp += double(activity.update_adds) * format_bits(cfg.output_format) * reg_pj;
+  dp += double(activity.max_ops) *
+        (format_bits(cfg.max_format) + format_bits(cfg.ell_format) +
+         format_bits(cfg.score_format)) *
+        reg_pj;
+
+  // ---- Dynamic energy (pJ), checker. ----
+  const NumberFormat chk = cfg.checker_format;
+  double ck = 0.0;
+  // The row-sum tree consumes bf16 inputs (see accelerator_cost); the
+  // checksum-lane multipliers are rectangular wide-by-fp32 products.
+  ck += double(activity.sumrow_adds) * 1.5 *
+        op_energy(UnitKind::kAdd, cfg.input_format);
+  ck += double(activity.check_mults) * op_energy(UnitKind::kMulRect, chk);
+  ck += double(activity.check_adds) * op_energy(UnitKind::kAdd, chk);
+  ck += double(activity.check_divs) * op_energy(UnitKind::kDiv, chk);
+  ck += double(activity.check_exp_evals) *
+        op_energy(UnitKind::kExp, cfg.score_format);
+  ck += double(activity.check_dot_mults) *
+        op_energy(UnitKind::kMul, cfg.input_format);
+  ck += double(activity.check_dot_adds) *
+        op_energy(UnitKind::kAdd, cfg.score_format);
+  ck += double(activity.compares) * op_energy(UnitKind::kCompare, chk);
+  // c register (one write per lane-cycle ~ check_mults/2) and sumrow
+  // register (one write per cycle).
+  ck += (double(activity.check_mults) / 2.0) * format_bits(chk) * reg_pj;
+  ck += double(activity.cycles) * format_bits(chk) * reg_pj;
+
+  // ---- Average power. ----
+  const double seconds =
+      double(activity.cycles) / (tech.clock_ghz * 1e9);
+  PowerEstimate est;
+  est.datapath_dynamic_mw = dp * 1e-12 / seconds * 1e3;
+  est.checker_dynamic_mw = ck * 1e-12 / seconds * 1e3;
+  est.datapath_leakage_mw =
+      (bom.total_leakage_uw() - bom.checker_leakage_uw()) * 1e-3;
+  est.checker_leakage_mw = bom.checker_leakage_uw() * 1e-3;
+  return est;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,44 @@
+// Dynamic + leakage power estimation from simulated switching activity.
+//
+// Mirrors the paper's methodology (§IV-A): the cycle simulator plays real
+// workloads and counts operations per unit type; average power is dynamic
+// energy over runtime plus leakage. Memory power is excluded, as in the
+// paper ("power estimation excludes memory power and focuses solely on the
+// computation kernel and the associated error checking logic").
+#pragma once
+
+#include "hwmodel/accelerator_cost.hpp"
+#include "sim/trace.hpp"
+
+namespace flashabft {
+
+/// Power split the way Fig. 4 presents it.
+struct PowerEstimate {
+  double datapath_dynamic_mw = 0.0;
+  double checker_dynamic_mw = 0.0;
+  double datapath_leakage_mw = 0.0;
+  double checker_leakage_mw = 0.0;
+
+  [[nodiscard]] double datapath_mw() const {
+    return datapath_dynamic_mw + datapath_leakage_mw;
+  }
+  [[nodiscard]] double checker_mw() const {
+    return checker_dynamic_mw + checker_leakage_mw;
+  }
+  [[nodiscard]] double total_mw() const {
+    return datapath_mw() + checker_mw();
+  }
+  /// Fig. 4's headline metric: checker power / total power.
+  [[nodiscard]] double checker_power_share() const {
+    const double t = total_mw();
+    return t == 0.0 ? 0.0 : checker_mw() / t;
+  }
+};
+
+/// Estimates average power for `activity` on the architecture of `cfg`.
+/// `bom` must be accelerator_cost(cfg, tech) for leakage attribution.
+[[nodiscard]] PowerEstimate estimate_power(
+    const AccelConfig& cfg, const CostBreakdown& bom,
+    const ActivityCounters& activity, const TechParams& tech = default_tech());
+
+}  // namespace flashabft

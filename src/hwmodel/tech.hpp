@@ -1,0 +1,30 @@
+// 28nm technology constants for the area/power model.
+//
+// The paper synthesizes with a 28nm standard-cell library at 500 MHz and
+// estimates power with PowerPro (§IV-A). Offline we model each arithmetic
+// unit by its typical gate count and scale by published 28nm cell figures.
+// Absolute numbers carry the usual factor-of-2 modeling uncertainty; the
+// quantities Fig. 4 asserts — the *checker's share* of area and power — are
+// ratios of sums of these units and are insensitive to the global scale.
+#pragma once
+
+namespace flashabft {
+
+/// Process/operating-point constants (28nm HPC-class library, nominal V).
+struct TechParams {
+  double nand2_area_um2 = 0.49;     ///< NAND2-equivalent gate area.
+  double flop_area_um2 = 4.0;       ///< area of one flip-flop bit.
+  double clock_ghz = 0.5;           ///< paper: 500 MHz target.
+  /// Dynamic energy of toggling one NAND2-equivalent gate (CV^2-derived).
+  double gate_energy_pj = 0.0008;
+  /// Register write energy per bit.
+  double reg_write_energy_pj = 0.003;
+  /// Leakage power per gate (µW); registers leak like ~8 gates per bit.
+  double gate_leakage_uw = 0.003;
+  double flop_leakage_uw = 0.02;
+};
+
+/// The default operating point used by all benches.
+[[nodiscard]] inline TechParams default_tech() { return TechParams{}; }
+
+}  // namespace flashabft

@@ -1,0 +1,56 @@
+#include "model/decoder_layer.hpp"
+
+namespace flashabft {
+
+namespace {
+
+MatrixD add_residual(const MatrixD& a, const MatrixD& b) {
+  FLASHABFT_ENSURE(a.rows() == b.rows() && a.cols() == b.cols());
+  MatrixD out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(i, j) = a(i, j) + b(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DecoderLayer::DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      self_attention_(cfg.model_dim, cfg.num_heads, cfg.head_dim, rng),
+      norm1_(cfg.model_dim),
+      cross_attention_(cfg.model_dim, cfg.num_heads, cfg.head_dim, rng),
+      norm2_(cfg.model_dim),
+      ffn1_(Linear::random_init(cfg.model_dim, cfg.ffn_dim, rng)),
+      ffn2_(Linear::random_init(cfg.ffn_dim, cfg.model_dim, rng)),
+      norm3_(cfg.model_dim) {}
+
+DecoderLayerResult DecoderLayer::forward(const MatrixD& x,
+                                         const MatrixD& memory,
+                                         AttentionBackend backend,
+                                         const Checker& checker) const {
+  FLASHABFT_ENSURE(x.cols() == cfg_.model_dim);
+  FLASHABFT_ENSURE(memory.cols() == cfg_.model_dim);
+
+  // Causally-masked self-attention + Add & Norm.
+  MhaResult self =
+      self_attention_.forward(x, backend, checker, AttentionMask::kCausal);
+  const MatrixD h1 = norm1_.forward(add_residual(x, self.output));
+
+  // Encoder cross-attention + Add & Norm.
+  MhaResult cross =
+      cross_attention_.forward_cross(h1, memory, backend, checker);
+  const MatrixD h2 = norm2_.forward(add_residual(h1, cross.output));
+
+  // Feed-forward block + Add & Norm.
+  const MatrixD ffn = ffn2_.forward(gelu_forward(ffn1_.forward(h2)));
+  DecoderLayerResult result;
+  result.output = norm3_.forward(add_residual(h2, ffn));
+  result.self_checks = std::move(self.checks);
+  result.cross_checks = std::move(cross.checks);
+  return result;
+}
+
+}  // namespace flashabft

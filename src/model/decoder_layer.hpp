@@ -1,0 +1,70 @@
+// One decoder transformer layer (paper §I: "the decoder consists of two
+// self-attention blocks followed by a feed-forward block" — in the standard
+// Vaswani architecture, a causally-masked self-attention block and an
+// encoder-attending cross-attention block).
+//
+// Both attention blocks run under Flash-ABFT protection; the checksum
+// algebra is mask-agnostic (masked keys simply contribute zero weight to
+// both the output and the prediction).
+#pragma once
+
+#include "model/gelu.hpp"
+#include "model/layernorm.hpp"
+#include "model/linear.hpp"
+#include "model/multi_head_attention.hpp"
+
+namespace flashabft {
+
+/// Shape of one decoder layer (same fields as the encoder's).
+struct DecoderLayerConfig {
+  std::size_t model_dim = 512;
+  std::size_t num_heads = 8;
+  std::size_t head_dim = 64;
+  std::size_t ffn_dim = 2048;
+};
+
+/// Result of a protected decoder forward pass.
+struct DecoderLayerResult {
+  MatrixD output;                            ///< n x model_dim.
+  std::vector<HeadCheckReport> self_checks;  ///< causal self-attention.
+  std::vector<HeadCheckReport> cross_checks; ///< encoder cross-attention.
+
+  [[nodiscard]] bool any_alarm() const {
+    for (const HeadCheckReport& r : self_checks) {
+      if (r.verdict == CheckVerdict::kAlarm) return true;
+    }
+    for (const HeadCheckReport& r : cross_checks) {
+      if (r.verdict == CheckVerdict::kAlarm) return true;
+    }
+    return false;
+  }
+};
+
+/// Post-LN decoder layer:
+///   x -> LN(x + CausalSelfAttn(x)) -> LN(. + CrossAttn(., memory))
+///     -> LN(. + FFN(.)).
+class DecoderLayer {
+ public:
+  DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng);
+
+  /// Forward pass: `x` are decoder-side embeddings (n x model_dim),
+  /// `memory` the encoder output it attends to (n_src x model_dim).
+  [[nodiscard]] DecoderLayerResult forward(const MatrixD& x,
+                                           const MatrixD& memory,
+                                           AttentionBackend backend,
+                                           const Checker& checker) const;
+
+  [[nodiscard]] const DecoderLayerConfig& config() const { return cfg_; }
+
+ private:
+  DecoderLayerConfig cfg_;
+  MultiHeadAttention self_attention_;
+  LayerNorm norm1_;
+  MultiHeadAttention cross_attention_;
+  LayerNorm norm2_;
+  Linear ffn1_;
+  Linear ffn2_;
+  LayerNorm norm3_;
+};
+
+}  // namespace flashabft

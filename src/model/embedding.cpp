@@ -1,0 +1,69 @@
+#include "model/embedding.hpp"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char ch : text) {
+    const unsigned char uc = static_cast<unsigned char>(ch);
+    if (std::isalnum(uc)) {
+      current.push_back(char(std::tolower(uc)));
+    } else {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+      if (std::ispunct(uc)) tokens.push_back(std::string(1, ch));
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Embedding::Embedding(std::size_t vocab_size, std::size_t dim,
+                     std::uint64_t seed)
+    : table_(vocab_size, dim) {
+  FLASHABFT_ENSURE(vocab_size > 0 && dim > 0);
+  Rng rng(seed);
+  fill_gaussian(table_, rng, 0.0, 1.0 / std::sqrt(double(dim)) * 4.0);
+}
+
+std::size_t Embedding::token_id(std::string_view token) const {
+  // FNV-1a, 64-bit.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char ch : token) {
+    hash ^= std::uint64_t(static_cast<unsigned char>(ch));
+    hash *= 1099511628211ULL;
+  }
+  return std::size_t(hash % table_.rows());
+}
+
+double positional_encoding(std::size_t pos, std::size_t i, std::size_t dim) {
+  const double exponent = double(2 * (i / 2)) / double(dim);
+  const double angle = double(pos) / std::pow(10000.0, exponent);
+  return (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+}
+
+MatrixD Embedding::embed(const std::vector<std::string>& tokens) const {
+  MatrixD out(tokens.size(), dim());
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const std::size_t id = token_id(tokens[t]);
+    for (std::size_t x = 0; x < dim(); ++x) {
+      out(t, x) = table_(id, x) + positional_encoding(t, x, dim());
+    }
+  }
+  return out;
+}
+
+MatrixD Embedding::embed_text(std::string_view text) const {
+  return embed(tokenize(text));
+}
+
+}  // namespace flashabft

@@ -1,0 +1,51 @@
+// Token embedding front-end (the "Input embedding" arrow of paper Fig. 1).
+//
+// A toy-but-complete text front-end so examples can run end-to-end from a
+// prompt string: whitespace/punctuation tokenizer with a hashed vocabulary,
+// learned-style token embedding table (seeded Gaussian), and sinusoidal
+// positional encodings (Vaswani et al. 2017).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/random.hpp"
+
+namespace flashabft {
+
+/// Splits text into lower-cased word/punctuation tokens.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view text);
+
+/// Hashed-vocabulary token embedding: token string -> stable id -> row of a
+/// seeded embedding table. No training, but deterministic and distributional
+/// (embeddings ~ N(0, 1/sqrt(dim)) like a trained table after LayerNorm).
+class Embedding {
+ public:
+  /// vocab_size buckets of dimension `dim`, seeded deterministically.
+  Embedding(std::size_t vocab_size, std::size_t dim, std::uint64_t seed);
+
+  /// Stable bucket id for a token (FNV-1a hash modulo vocab size).
+  [[nodiscard]] std::size_t token_id(std::string_view token) const;
+
+  /// Embeds a token sequence: one row per token, token embedding plus
+  /// sinusoidal positional encoding.
+  [[nodiscard]] MatrixD embed(const std::vector<std::string>& tokens) const;
+
+  /// Embeds raw text (tokenize + embed).
+  [[nodiscard]] MatrixD embed_text(std::string_view text) const;
+
+  [[nodiscard]] std::size_t dim() const { return table_.cols(); }
+  [[nodiscard]] std::size_t vocab_size() const { return table_.rows(); }
+
+ private:
+  MatrixD table_;  // vocab_size x dim
+};
+
+/// The sinusoidal positional encoding value PE(pos, i) for dimension `dim`.
+[[nodiscard]] double positional_encoding(std::size_t pos, std::size_t i,
+                                         std::size_t dim);
+
+}  // namespace flashabft

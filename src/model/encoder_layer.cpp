@@ -1,0 +1,43 @@
+#include "model/encoder_layer.hpp"
+
+namespace flashabft {
+
+EncoderLayer::EncoderLayer(const EncoderLayerConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      attention_(cfg.model_dim, cfg.num_heads, cfg.head_dim, rng),
+      norm1_(cfg.model_dim),
+      ffn1_(Linear::random_init(cfg.model_dim, cfg.ffn_dim, rng)),
+      ffn2_(Linear::random_init(cfg.ffn_dim, cfg.model_dim, rng)),
+      norm2_(cfg.model_dim) {}
+
+EncoderLayerResult EncoderLayer::forward(const MatrixD& x,
+                                         AttentionBackend backend,
+                                         const Checker& checker) const {
+  FLASHABFT_ENSURE(x.cols() == cfg_.model_dim);
+
+  // Self-attention block with residual + LayerNorm (Fig. 1 left half).
+  MhaResult mha = attention_.forward(x, backend, checker);
+  MatrixD h1(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      h1(i, j) = x(i, j) + mha.output(i, j);
+    }
+  }
+  const MatrixD normed1 = norm1_.forward(h1);
+
+  // Feed-forward block: Linear -> GELU -> Linear, residual + LayerNorm.
+  const MatrixD ffn = ffn2_.forward(gelu_forward(ffn1_.forward(normed1)));
+  MatrixD h2(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      h2(i, j) = normed1(i, j) + ffn(i, j);
+    }
+  }
+
+  EncoderLayerResult result;
+  result.output = norm2_.forward(h2);
+  result.checks = std::move(mha.checks);
+  return result;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,60 @@
+// One encoder-only transformer layer — paper Fig. 1 in code.
+//
+// "The input embedding is first projected to Query, Key and Value matrices
+// ... the output is normalized and added to the input of the attention
+// block. The self-attention block is followed by a feed-forward block that
+// consists of two fully-connected layers separated by a GELU activation."
+// BERT-base stacks twelve of these layers.
+#pragma once
+
+#include "model/gelu.hpp"
+#include "model/layernorm.hpp"
+#include "model/linear.hpp"
+#include "model/multi_head_attention.hpp"
+
+namespace flashabft {
+
+/// Shape of one encoder layer.
+struct EncoderLayerConfig {
+  std::size_t model_dim = 768;
+  std::size_t num_heads = 12;
+  std::size_t head_dim = 64;
+  std::size_t ffn_dim = 3072;  ///< inner feed-forward width (4x model_dim).
+};
+
+/// Result of a protected forward pass through the layer.
+struct EncoderLayerResult {
+  MatrixD output;                       ///< n x model_dim.
+  std::vector<HeadCheckReport> checks;  ///< attention checksum reports.
+
+  [[nodiscard]] bool any_alarm() const {
+    for (const HeadCheckReport& r : checks) {
+      if (r.verdict == CheckVerdict::kAlarm) return true;
+    }
+    return false;
+  }
+};
+
+/// Post-LN encoder layer: x -> LN(x + MHA(x)) -> LN(. + FFN(.)).
+class EncoderLayer {
+ public:
+  EncoderLayer(const EncoderLayerConfig& cfg, Rng& rng);
+
+  /// Forward pass; attention runs on `backend` and, when protected, per-head
+  /// checksums are compared by `checker`.
+  [[nodiscard]] EncoderLayerResult forward(
+      const MatrixD& x, AttentionBackend backend,
+      const Checker& checker) const;
+
+  [[nodiscard]] const EncoderLayerConfig& config() const { return cfg_; }
+
+ private:
+  EncoderLayerConfig cfg_;
+  MultiHeadAttention attention_;
+  LayerNorm norm1_;
+  Linear ffn1_;
+  Linear ffn2_;
+  LayerNorm norm2_;
+};
+
+}  // namespace flashabft

@@ -1,0 +1,27 @@
+#include "model/gelu.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace flashabft {
+
+double gelu(double x) {
+  return 0.5 * x * (1.0 + std::erf(x / std::numbers::sqrt2));
+}
+
+double gelu_tanh(double x) {
+  constexpr double c = 0.044715;
+  const double inner =
+      std::sqrt(2.0 / std::numbers::pi) * (x + c * x * x * x);
+  return 0.5 * x * (1.0 + std::tanh(inner));
+}
+
+MatrixD gelu_forward(const MatrixD& x) {
+  MatrixD y(x.rows(), x.cols());
+  const auto src = x.flat();
+  const auto dst = y.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = gelu(src[i]);
+  return y;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,18 @@
+// GELU activation (the nonlinearity between the two feed-forward layers of
+// the Fig. 1 encoder block).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Exact GELU: x * Phi(x) with the Gaussian CDF via erf.
+[[nodiscard]] double gelu(double x);
+
+/// The tanh approximation most accelerators implement.
+[[nodiscard]] double gelu_tanh(double x);
+
+/// Element-wise exact GELU over a matrix.
+[[nodiscard]] MatrixD gelu_forward(const MatrixD& x);
+
+}  // namespace flashabft

@@ -1,0 +1,38 @@
+#include "model/layernorm.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+LayerNorm::LayerNorm(std::size_t features, double epsilon)
+    : gamma_(features, 1.0), beta_(features, 0.0), epsilon_(epsilon) {
+  FLASHABFT_ENSURE(features > 0);
+}
+
+MatrixD LayerNorm::forward(const MatrixD& x) const {
+  FLASHABFT_ENSURE_MSG(x.cols() == gamma_.size(),
+                       "LayerNorm width mismatch: " << x.cols() << " vs "
+                                                    << gamma_.size());
+  MatrixD y(x.rows(), x.cols());
+  const double n = double(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double mean = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) mean += x(i, j);
+    mean /= n;
+    double var = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double dv = x(i, j) - mean;
+      var += dv * dv;
+    }
+    var /= n;
+    const double inv = 1.0 / std::sqrt(var + epsilon_);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      y(i, j) = gamma_[j] * (x(i, j) - mean) * inv + beta_[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace flashabft

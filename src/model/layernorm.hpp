@@ -1,0 +1,27 @@
+// Layer normalization (Fig. 1's "Add & Norm" blocks).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Row-wise layer normalization with learned gain/bias.
+class LayerNorm {
+ public:
+  explicit LayerNorm(std::size_t features, double epsilon = 1e-5);
+
+  /// Normalizes each row to zero mean / unit variance, then applies
+  /// gamma/beta.
+  [[nodiscard]] MatrixD forward(const MatrixD& x) const;
+
+  [[nodiscard]] std::vector<double>& gamma() { return gamma_; }
+  [[nodiscard]] std::vector<double>& beta() { return beta_; }
+  [[nodiscard]] std::size_t features() const { return gamma_.size(); }
+
+ private:
+  std::vector<double> gamma_;
+  std::vector<double> beta_;
+  double epsilon_;
+};
+
+}  // namespace flashabft

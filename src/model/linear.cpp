@@ -1,0 +1,31 @@
+#include "model/linear.hpp"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : weight_(in_features, out_features), bias_(out_features, 0.0) {}
+
+Linear Linear::random_init(std::size_t in_features, std::size_t out_features,
+                           Rng& rng) {
+  Linear layer(in_features, out_features);
+  const double stddev = 1.0 / std::sqrt(double(in_features));
+  fill_gaussian(layer.weight_, rng, 0.0, stddev);
+  return layer;
+}
+
+MatrixD Linear::forward(const MatrixD& x) const {
+  FLASHABFT_ENSURE_MSG(x.cols() == weight_.rows(),
+                       "Linear: input width " << x.cols() << " != "
+                                              << weight_.rows());
+  MatrixD y = matmul(x, weight_);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = 0; j < y.cols(); ++j) y(i, j) += bias_[j];
+  }
+  return y;
+}
+
+}  // namespace flashabft

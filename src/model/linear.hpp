@@ -1,0 +1,38 @@
+// Dense (fully-connected) layer: y = x W + b.
+//
+// Part of the Fig. 1 encoder-layer substrate: the Q/K/V projections, the
+// attention output projection and both feed-forward layers are Linear.
+#pragma once
+
+#include "tensor/matrix.hpp"
+#include "tensor/random.hpp"
+
+namespace flashabft {
+
+/// A dense layer with an in_features x out_features weight and a bias.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  /// Xavier/Glorot-style initialization: W ~ N(0, 1/in_features), b = 0.
+  static Linear random_init(std::size_t in_features, std::size_t out_features,
+                            Rng& rng);
+
+  /// y = x W + b for a batch of rows (x: n x in_features).
+  [[nodiscard]] MatrixD forward(const MatrixD& x) const;
+
+  [[nodiscard]] std::size_t in_features() const { return weight_.rows(); }
+  [[nodiscard]] std::size_t out_features() const { return weight_.cols(); }
+
+  [[nodiscard]] MatrixD& weight() { return weight_; }
+  [[nodiscard]] const MatrixD& weight() const { return weight_; }
+  [[nodiscard]] std::vector<double>& bias() { return bias_; }
+  [[nodiscard]] const std::vector<double>& bias() const { return bias_; }
+
+ private:
+  MatrixD weight_;            // in x out
+  std::vector<double> bias_;  // out
+};
+
+}  // namespace flashabft

@@ -1,0 +1,108 @@
+#include "model/multi_head_attention.hpp"
+
+#include <cmath>
+
+#include "attention/flash_attention2.hpp"
+#include "attention/reference_attention.hpp"
+
+namespace flashabft {
+
+MultiHeadAttention::MultiHeadAttention(std::size_t model_dim,
+                                       std::size_t num_heads,
+                                       std::size_t head_dim, Rng& rng)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(head_dim),
+      wq_(Linear::random_init(model_dim, num_heads * head_dim, rng)),
+      wk_(Linear::random_init(model_dim, num_heads * head_dim, rng)),
+      wv_(Linear::random_init(model_dim, num_heads * head_dim, rng)),
+      wo_(Linear::random_init(num_heads * head_dim, model_dim, rng)) {
+  FLASHABFT_ENSURE_MSG(model_dim == num_heads * head_dim,
+                       "model_dim " << model_dim << " != " << num_heads
+                                    << " x " << head_dim);
+}
+
+namespace {
+
+/// Extracts head h's slice (columns [h*d, (h+1)*d)) of a projected matrix.
+MatrixD head_slice(const MatrixD& m, std::size_t head, std::size_t d) {
+  MatrixD s(m.rows(), d);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t x = 0; x < d; ++x) s(i, x) = m(i, head * d + x);
+  }
+  return s;
+}
+
+}  // namespace
+
+MhaResult MultiHeadAttention::forward(const MatrixD& x,
+                                      AttentionBackend backend,
+                                      const Checker& checker,
+                                      AttentionMask mask) const {
+  return forward_impl(x, x, backend, checker, mask);
+}
+
+MhaResult MultiHeadAttention::forward_cross(const MatrixD& x_q,
+                                            const MatrixD& memory,
+                                            AttentionBackend backend,
+                                            const Checker& checker) const {
+  return forward_impl(x_q, memory, backend, checker, AttentionMask::kNone);
+}
+
+MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
+                                           const MatrixD& x_kv,
+                                           AttentionBackend backend,
+                                           const Checker& checker,
+                                           AttentionMask mask) const {
+  FLASHABFT_ENSURE(x_q.cols() == model_dim_ && x_kv.cols() == model_dim_);
+  const std::size_t n = x_q.rows();
+
+  const MatrixD q_all = wq_.forward(x_q);
+  const MatrixD k_all = wk_.forward(x_kv);
+  const MatrixD v_all = wv_.forward(x_kv);
+
+  AttentionConfig cfg;
+  cfg.seq_len = x_kv.rows();
+  cfg.head_dim = head_dim_;
+  cfg.scale = 1.0 / std::sqrt(double(head_dim_));
+  cfg.mask = mask;
+
+  MhaResult result;
+  MatrixD concat(n, num_heads_ * head_dim_);
+  for (std::size_t h = 0; h < num_heads_; ++h) {
+    const MatrixD q = head_slice(q_all, h, head_dim_);
+    const MatrixD k = head_slice(k_all, h, head_dim_);
+    const MatrixD v = head_slice(v_all, h, head_dim_);
+
+    MatrixD head_out;
+    switch (backend) {
+      case AttentionBackend::kReference:
+        head_out = reference_attention(q, k, v, cfg);
+        break;
+      case AttentionBackend::kFlashAttention2:
+        head_out = flash_attention2(q, k, v, cfg);
+        break;
+      case AttentionBackend::kFlashAbft: {
+        const CheckedAttention checked = flash_abft_attention(q, k, v, cfg);
+        head_out = checked.output;
+        HeadCheckReport report;
+        report.head = h;
+        report.predicted = checked.predicted_checksum;
+        report.actual = checked.actual_checksum;
+        report.verdict =
+            checker.compare(report.predicted, report.actual);
+        result.checks.push_back(report);
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < head_dim_; ++d) {
+        concat(i, h * head_dim_ + d) = head_out(i, d);
+      }
+    }
+  }
+  result.output = wo_.forward(concat);
+  return result;
+}
+
+}  // namespace flashabft

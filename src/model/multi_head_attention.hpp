@@ -1,0 +1,89 @@
+// Multi-head attention with optional Flash-ABFT protection per head.
+//
+// Realizes the attention block of Fig. 1: the input embedding is projected
+// to Q/K/V, split into heads, each head runs (checked) attention, heads are
+// concatenated and projected back. Each head maps onto one accelerator /
+// one checked-kernel invocation, so protection (and fault alarms) are
+// per-head — exactly how a multi-head hardware deployment of the paper's
+// scheme composes.
+#pragma once
+
+#include <vector>
+
+#include "attention/attention_config.hpp"
+#include "core/checker.hpp"
+#include "core/flash_abft.hpp"
+#include "model/linear.hpp"
+#include "tensor/random.hpp"
+
+namespace flashabft {
+
+/// How the attention inside the block is computed.
+enum class AttentionBackend {
+  kReference,           ///< golden three-pass attention (no checking).
+  kFlashAttention2,     ///< Alg. 2 kernel (no checking).
+  kFlashAbft,           ///< Alg. 3 kernel with online checksums.
+};
+
+/// Per-head checksum outcome of a protected forward pass.
+struct HeadCheckReport {
+  std::size_t head = 0;
+  double predicted = 0.0;
+  double actual = 0.0;
+  CheckVerdict verdict = CheckVerdict::kPass;
+};
+
+/// Result of one multi-head attention forward.
+struct MhaResult {
+  MatrixD output;                        ///< n x model_dim.
+  std::vector<HeadCheckReport> checks;   ///< one per head when protected.
+
+  [[nodiscard]] bool any_alarm() const {
+    for (const HeadCheckReport& r : checks) {
+      if (r.verdict == CheckVerdict::kAlarm) return true;
+    }
+    return false;
+  }
+};
+
+/// The multi-head attention block.
+class MultiHeadAttention {
+ public:
+  /// model_dim must equal num_heads * head_dim.
+  MultiHeadAttention(std::size_t model_dim, std::size_t num_heads,
+                     std::size_t head_dim, Rng& rng);
+
+  /// Self-attention forward over embeddings x (n x model_dim). When
+  /// `backend` is kFlashAbft, per-head checksum reports are produced and
+  /// compared with `checker`.
+  [[nodiscard]] MhaResult forward(const MatrixD& x, AttentionBackend backend,
+                                  const Checker& checker,
+                                  AttentionMask mask = AttentionMask::kNone) const;
+
+  /// Cross-attention: queries projected from `x_q` (n_q x model_dim), keys
+  /// and values from `memory` (n_kv x model_dim) — the decoder's
+  /// encoder-attending block. Masking is not meaningful here and must be
+  /// kNone.
+  [[nodiscard]] MhaResult forward_cross(const MatrixD& x_q,
+                                        const MatrixD& memory,
+                                        AttentionBackend backend,
+                                        const Checker& checker) const;
+
+  [[nodiscard]] std::size_t num_heads() const { return num_heads_; }
+  [[nodiscard]] std::size_t head_dim() const { return head_dim_; }
+  [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
+
+ private:
+  [[nodiscard]] MhaResult forward_impl(const MatrixD& x_q,
+                                       const MatrixD& x_kv,
+                                       AttentionBackend backend,
+                                       const Checker& checker,
+                                       AttentionMask mask) const;
+
+  std::size_t model_dim_;
+  std::size_t num_heads_;
+  std::size_t head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+}  // namespace flashabft

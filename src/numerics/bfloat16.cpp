@@ -1,0 +1,28 @@
+#include "numerics/bfloat16.hpp"
+
+namespace flashabft {
+
+std::uint16_t bf16::round_bits(float value) {
+  std::uint32_t in;
+  std::memcpy(&in, &value, sizeof(in));
+
+  const std::uint32_t exponent = (in >> 23) & 0xFF;
+  const std::uint32_t mantissa = in & 0x7FFFFF;
+
+  if (exponent == 0xFF) {
+    // Inf propagates exactly. NaN payloads are truncated bit-exactly —
+    // required so that register bit flips round-trip — and only quieted
+    // when truncation would otherwise produce an Inf pattern.
+    if (mantissa == 0) return std::uint16_t(in >> 16);
+    const std::uint16_t truncated = std::uint16_t(in >> 16);
+    if ((truncated & 0x7F) == 0) return std::uint16_t(truncated | 0x0040);
+    return truncated;
+  }
+
+  // Round to nearest even on the truncated 16 low bits.
+  const std::uint32_t rounding_bias = 0x7FFF + ((in >> 16) & 1);
+  const std::uint32_t rounded = in + rounding_bias;
+  return std::uint16_t(rounded >> 16);
+}
+
+}  // namespace flashabft

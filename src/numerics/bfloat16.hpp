@@ -1,0 +1,82 @@
+// Software bfloat16: the storage format of the accelerator datapath.
+//
+// The paper's accelerator ("Arithmetic operators inside the accelerator refer
+// to reduced precision BFloat16 format", §IV-A) stores query/key/value
+// elements as bfloat16. Fault injection flips bits of these 16-bit registers,
+// so the type is bit-exact: 1 sign, 8 exponent, 7 mantissa bits — the top
+// half of an IEEE-754 binary32. Conversion from float uses round-to-nearest-
+// even; conversion to float is exact (zero-extend the mantissa).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace flashabft {
+
+/// A 16-bit brain floating point value with IEEE-like semantics.
+///
+/// Arithmetic is intentionally not provided on the type itself: the simulator
+/// performs arithmetic in a wider type and rounds on register write-back,
+/// which mirrors the hardware (bf16 operands, wide accumulation). Use
+/// `bf16::round(x)` to model an operator whose *result register* is bf16.
+class bf16 {
+ public:
+  constexpr bf16() = default;
+
+  /// Constructs by rounding a binary32 value to the nearest bfloat16 (RNE).
+  explicit bf16(float value) : bits_(round_bits(value)) {}
+
+  /// Reinterprets raw storage bits (used by fault injection).
+  static constexpr bf16 from_bits(std::uint16_t bits) {
+    bf16 r;
+    r.bits_ = bits;
+    return r;
+  }
+
+  /// Exact widening conversion to binary32.
+  [[nodiscard]] float to_float() const {
+    const std::uint32_t wide = std::uint32_t(bits_) << 16;
+    float out;
+    std::memcpy(&out, &wide, sizeof(out));
+    return out;
+  }
+
+  /// Raw storage bits (sign | exponent | mantissa).
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  /// Rounds a float through bf16 precision and widens back — models a bf16
+  /// register on a datapath computing in fp32.
+  static float round(float value) { return bf16(value).to_float(); }
+
+  [[nodiscard]] bool is_nan() const {
+    return exponent_bits() == 0xFF && mantissa_bits() != 0;
+  }
+  [[nodiscard]] bool is_inf() const {
+    return exponent_bits() == 0xFF && mantissa_bits() == 0;
+  }
+
+  friend constexpr bool operator==(bf16 a, bf16 b) {
+    return a.bits_ == b.bits_;  // bit equality; NaN != NaN is *not* modeled
+  }
+
+  static constexpr int kMantissaBits = 7;
+  static constexpr int kExponentBits = 8;
+  static constexpr int kStorageBits = 16;
+
+ private:
+  [[nodiscard]] constexpr std::uint16_t exponent_bits() const {
+    return std::uint16_t((bits_ >> 7) & 0xFF);
+  }
+  [[nodiscard]] constexpr std::uint16_t mantissa_bits() const {
+    return std::uint16_t(bits_ & 0x7F);
+  }
+
+  static std::uint16_t round_bits(float value);
+
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(bf16) == 2, "bf16 must be exactly 16 bits of storage");
+
+}  // namespace flashabft

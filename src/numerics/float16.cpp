@@ -1,0 +1,87 @@
+#include "numerics/float16.hpp"
+
+#include <cstring>
+
+namespace flashabft {
+
+namespace {
+
+std::uint32_t f32_bits(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+float f32_from_bits(std::uint32_t b) {
+  float v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint16_t fp16::round_bits(float value) {
+  const std::uint32_t in = f32_bits(value);
+  const std::uint32_t sign = (in >> 16) & 0x8000;
+  const std::int32_t exponent = std::int32_t((in >> 23) & 0xFF) - 127;
+  std::uint32_t mantissa = in & 0x7FFFFF;
+
+  if (exponent == 128) {  // Inf / NaN
+    if (mantissa == 0) return std::uint16_t(sign | 0x7C00);
+    // Truncate the NaN payload bit-exactly (register flips must
+    // round-trip); quieten only if truncation would yield the Inf pattern.
+    const std::uint32_t payload = mantissa >> 13;
+    return std::uint16_t(sign | 0x7C00 | (payload == 0 ? 1 : payload));
+  }
+  if (exponent > 15) {  // overflow -> inf
+    return std::uint16_t(sign | 0x7C00);
+  }
+  if (exponent >= -14) {  // normal range
+    // 23-bit mantissa -> 10 bits with round-to-nearest-even.
+    std::uint32_t rounded = mantissa + 0x0FFF + ((mantissa >> 13) & 1);
+    std::uint32_t exp_out = std::uint32_t(exponent + 15);
+    if (rounded & 0x800000) {  // mantissa overflowed into the exponent
+      rounded = 0;
+      ++exp_out;
+      if (exp_out >= 31) return std::uint16_t(sign | 0x7C00);
+    }
+    return std::uint16_t(sign | (exp_out << 10) | (rounded >> 13));
+  }
+  if (exponent >= -24) {  // subnormal half range
+    // Add the hidden bit, then shift right by the denormalization amount.
+    mantissa |= 0x800000;
+    const int shift = -exponent - 14 + 13;
+    const std::uint32_t half = std::uint32_t(1) << (shift - 1);
+    std::uint32_t rounded = (mantissa + half - 1 +
+                             ((mantissa >> shift) & 1)) >>
+                            shift;
+    return std::uint16_t(sign | rounded);
+  }
+  return std::uint16_t(sign);  // underflow -> signed zero
+}
+
+float fp16::to_float() const {
+  const std::uint32_t sign = std::uint32_t(bits_ & 0x8000) << 16;
+  const std::uint32_t exponent = (bits_ >> 10) & 0x1F;
+  const std::uint32_t mantissa = bits_ & 0x3FF;
+
+  if (exponent == 0x1F) {  // Inf / NaN
+    return f32_from_bits(sign | 0x7F800000 | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return f32_from_bits(sign);  // signed zero
+    // Subnormal half: normalize into a float.
+    int e = -14;
+    std::uint32_t m = mantissa;
+    while ((m & 0x400) == 0) {
+      m <<= 1;
+      --e;
+    }
+    m &= 0x3FF;
+    return f32_from_bits(sign | std::uint32_t(e + 127) << 23 | (m << 13));
+  }
+  return f32_from_bits(sign | ((exponent - 15 + 127) << 23) |
+                       (mantissa << 13));
+}
+
+}  // namespace flashabft

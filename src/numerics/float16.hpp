@@ -1,0 +1,60 @@
+// Software IEEE-754 binary16 (half precision).
+//
+// Not used by the paper's accelerator (which stores bf16) but needed for the
+// register-width ablation of DESIGN.md §5: fp16 trades exponent range for
+// mantissa precision, which moves both the fault-free checksum residual and
+// the per-bit fault observability — the two sides of the §4(c) trade-off.
+#pragma once
+
+#include <cstdint>
+
+namespace flashabft {
+
+/// A 16-bit IEEE half: 1 sign, 5 exponent, 10 mantissa bits. Conversions
+/// use round-to-nearest-even and preserve Inf/NaN; overflow saturates to
+/// infinity, underflow denormalizes then flushes to zero below 2^-24.
+class fp16 {
+ public:
+  constexpr fp16() = default;
+
+  /// Rounds a binary32 value to the nearest half (RNE).
+  explicit fp16(float value) : bits_(round_bits(value)) {}
+
+  static constexpr fp16 from_bits(std::uint16_t bits) {
+    fp16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  /// Exact widening conversion to binary32.
+  [[nodiscard]] float to_float() const;
+
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  /// Rounds a float through fp16 precision and widens back.
+  static float round(float value) { return fp16(value).to_float(); }
+
+  [[nodiscard]] bool is_nan() const {
+    return (bits_ & 0x7C00) == 0x7C00 && (bits_ & 0x03FF) != 0;
+  }
+  [[nodiscard]] bool is_inf() const {
+    return (bits_ & 0x7C00) == 0x7C00 && (bits_ & 0x03FF) == 0;
+  }
+
+  friend constexpr bool operator==(fp16 a, fp16 b) {
+    return a.bits_ == b.bits_;
+  }
+
+  static constexpr int kMantissaBits = 10;
+  static constexpr int kExponentBits = 5;
+  static constexpr int kStorageBits = 16;
+
+ private:
+  static std::uint16_t round_bits(float value);
+
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(fp16) == 2, "fp16 must be exactly 16 bits of storage");
+
+}  // namespace flashabft

@@ -1,0 +1,60 @@
+#include "numerics/float_bits.hpp"
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+float flip_bit(float v, int bit) {
+  FLASHABFT_ENSURE_MSG(bit >= 0 && bit < 32, "binary32 bit " << bit);
+  return bits_to_float(float_to_bits(v) ^ (std::uint32_t(1) << bit));
+}
+
+double flip_bit(double v, int bit) {
+  FLASHABFT_ENSURE_MSG(bit >= 0 && bit < 64, "binary64 bit " << bit);
+  return bits_to_double(double_to_bits(v) ^ (std::uint64_t(1) << bit));
+}
+
+bf16 flip_bit(bf16 v, int bit) {
+  FLASHABFT_ENSURE_MSG(bit >= 0 && bit < 16, "bf16 bit " << bit);
+  return bf16::from_bits(std::uint16_t(v.bits() ^ (std::uint16_t(1) << bit)));
+}
+
+fp16 flip_bit(fp16 v, int bit) {
+  FLASHABFT_ENSURE_MSG(bit >= 0 && bit < 16, "fp16 bit " << bit);
+  return fp16::from_bits(std::uint16_t(v.bits() ^ (std::uint16_t(1) << bit)));
+}
+
+float narrow_to_float_bitexact(double v) {
+  const std::uint64_t bits = double_to_bits(v);
+  const bool is_nan = ((bits >> 52) & 0x7FF) == 0x7FF && (bits << 12) != 0;
+  if (!is_nan) return float(v);
+  const std::uint32_t sign = std::uint32_t(bits >> 63) << 31;
+  // Truncate the 52-bit payload to 23 bits; keep at least one payload bit
+  // set so the result stays NaN rather than collapsing to Inf.
+  std::uint32_t payload = std::uint32_t((bits >> 29) & 0x7FFFFF);
+  if (payload == 0) payload = 1;
+  return bits_to_float(sign | 0x7F800000u | payload);
+}
+
+double widen_to_double_bitexact(float v) {
+  const std::uint32_t bits = float_to_bits(v);
+  const bool is_nan = ((bits >> 23) & 0xFF) == 0xFF && (bits << 9) != 0;
+  if (!is_nan) return double(v);
+  const std::uint64_t sign = std::uint64_t(bits >> 31) << 63;
+  const std::uint64_t payload = std::uint64_t(bits & 0x7FFFFF) << 29;
+  return bits_to_double(sign | 0x7FF0000000000000ULL | payload);
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+  // Map to a monotone unsigned ordering (sign-magnitude to biased).
+  auto ordered = [](double v) -> std::uint64_t {
+    std::uint64_t bits = double_to_bits(v);
+    if (bits & (std::uint64_t(1) << 63)) return ~bits + 1;
+    return bits | (std::uint64_t(1) << 63);
+  };
+  const std::uint64_t ua = ordered(a);
+  const std::uint64_t ub = ordered(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,69 @@
+// Bit-level views of floating-point storage, used by the fault injector.
+//
+// A fault-injection campaign flips one randomly chosen bit of one randomly
+// chosen register at a random cycle (paper §IV-B). These helpers perform the
+// flips on float / double / bf16 values while preserving IEEE semantics
+// (a flip may well produce Inf or NaN — that is part of the experiment; the
+// paper's "Silent" category explicitly includes NaN outcomes).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "numerics/bfloat16.hpp"
+#include "numerics/float16.hpp"
+
+namespace flashabft {
+
+[[nodiscard]] inline std::uint32_t float_to_bits(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+[[nodiscard]] inline float bits_to_float(std::uint32_t b) {
+  float v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t double_to_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+[[nodiscard]] inline double bits_to_double(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+/// Flips bit `bit` (0 = LSB of the mantissa, 31 = sign) of a binary32 value.
+[[nodiscard]] float flip_bit(float v, int bit);
+
+/// Flips bit `bit` (0 = LSB of the mantissa, 63 = sign) of a binary64 value.
+[[nodiscard]] double flip_bit(double v, int bit);
+
+/// Flips bit `bit` (0 = LSB of the mantissa, 15 = sign) of a bfloat16 value.
+[[nodiscard]] bf16 flip_bit(bf16 v, int bit);
+
+/// Flips bit `bit` (0 = LSB of the mantissa, 15 = sign) of a binary16 value.
+[[nodiscard]] fp16 flip_bit(fp16 v, int bit);
+
+/// Units-in-the-last-place distance between two binary64 values of the same
+/// sign; used by tests to assert bit-level reproducibility.
+[[nodiscard]] std::uint64_t ulp_distance(double a, double b);
+
+/// double -> float conversion that preserves NaN payloads bit-exactly
+/// (mantissa truncation) instead of letting the FPU quieten signaling NaNs.
+/// Hardware registers hold raw bits, so a flip that creates an sNaN must
+/// round-trip; the plain cast would set the quiet bit. Non-NaN values use
+/// the ordinary (rounding) conversion.
+[[nodiscard]] float narrow_to_float_bitexact(double v);
+
+/// float -> double widening that preserves NaN payloads bit-exactly
+/// (mantissa left-shift). Non-NaN values use the ordinary exact widening.
+[[nodiscard]] double widen_to_double_bitexact(float v);
+
+}  // namespace flashabft

@@ -1,0 +1,93 @@
+// Register write-back rounding policies.
+//
+// The cycle simulator computes every update in double precision and then
+// rounds to the declared width of the destination register, mirroring a
+// datapath whose operators produce wide results latched into narrower
+// registers. The storage width is also what the fault injector flips.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "numerics/bfloat16.hpp"
+#include "numerics/float16.hpp"
+#include "numerics/float_bits.hpp"
+
+namespace flashabft {
+
+/// Storage format of a hardware register holding a real number.
+enum class NumberFormat : std::uint8_t {
+  kBf16,    ///< 16-bit brain float (datapath operands).
+  kFp16,    ///< IEEE binary16 (register-width ablations).
+  kFp32,    ///< IEEE binary32 (working accumulators).
+  kFp64,    ///< IEEE binary64 (checksum accumulators, paper §IV-A).
+};
+
+/// Bit width of a register in the given format (the fault surface size).
+[[nodiscard]] constexpr int format_bits(NumberFormat f) {
+  switch (f) {
+    case NumberFormat::kBf16: return 16;
+    case NumberFormat::kFp16: return 16;
+    case NumberFormat::kFp32: return 32;
+    case NumberFormat::kFp64: return 64;
+  }
+  return 64;
+}
+
+[[nodiscard]] constexpr std::string_view format_name(NumberFormat f) {
+  switch (f) {
+    case NumberFormat::kBf16: return "bf16";
+    case NumberFormat::kFp16: return "fp16";
+    case NumberFormat::kFp32: return "fp32";
+    case NumberFormat::kFp64: return "fp64";
+  }
+  return "fp64";
+}
+
+/// Rounds a double through the storage format (write-back model). NaN
+/// payloads are carried bit-exactly (registers hold raw bits; the FPU's
+/// signaling-NaN quieting must not leak into the storage model — fault
+/// injections that produce sNaN patterns have to round-trip).
+[[nodiscard]] inline double round_to(double value, NumberFormat f) {
+  switch (f) {
+    case NumberFormat::kBf16:
+      return widen_to_double_bitexact(
+          bf16::round(narrow_to_float_bitexact(value)));
+    case NumberFormat::kFp16:
+      return widen_to_double_bitexact(
+          fp16::round(narrow_to_float_bitexact(value)));
+    case NumberFormat::kFp32:
+      return widen_to_double_bitexact(narrow_to_float_bitexact(value));
+    case NumberFormat::kFp64:
+      return value;
+  }
+  return value;
+}
+
+/// Largest finite value representable in the format.
+[[nodiscard]] constexpr double format_max_finite(NumberFormat f) {
+  switch (f) {
+    case NumberFormat::kBf16: return 3.3895313892515355e38;   // 0x7F7F
+    case NumberFormat::kFp16: return 65504.0;                 // 0x7BFF
+    case NumberFormat::kFp32: return 3.4028234663852886e38;
+    case NumberFormat::kFp64: return 1.7976931348623157e308;
+  }
+  return 1.7976931348623157e308;
+}
+
+/// Saturating write-back: like round_to, but arithmetic overflow clamps to
+/// the format's largest finite magnitude instead of producing an infinity.
+/// This is how most accelerator datapaths are built (saturating MACs), and
+/// it determines whether a fault-induced overflow turns into a detectable
+/// huge value or an undetectable NaN chain (inf - inf). NaN inputs pass
+/// through unchanged — a register can still *hold* an Inf/NaN pattern if a
+/// fault writes one directly.
+[[nodiscard]] inline double round_to_saturating(double value,
+                                                NumberFormat f) {
+  const double rounded = round_to(value, f);
+  if (rounded > format_max_finite(f)) return format_max_finite(f);
+  if (rounded < -format_max_finite(f)) return -format_max_finite(f);
+  return rounded;  // finite values and NaN pass through
+}
+
+}  // namespace flashabft

@@ -1,0 +1,29 @@
+#include "numerics/summation.hpp"
+
+#include <cmath>
+
+namespace flashabft {
+
+double compensated_sum(std::span<const double> values) {
+  CompensatedSum acc;
+  for (const double v : values) acc.add(v);
+  return acc.value();
+}
+
+double pairwise_sum(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  if (n == 1) return values[0];
+  if (n == 2) return values[0] + values[1];
+  const std::size_t half = n / 2;
+  return pairwise_sum(values.subspan(0, half)) +
+         pairwise_sum(values.subspan(half));
+}
+
+double sequential_sum(std::span<const double> values) {
+  double acc = 0.0;
+  for (const double v : values) acc += v;
+  return acc;
+}
+
+}  // namespace flashabft

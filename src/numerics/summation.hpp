@@ -1,0 +1,51 @@
+// Compensated and hierarchical summation.
+//
+// Checksum comparisons in ABFT hinge on the fault-free residual between two
+// differently-ordered sums being far below the detection threshold. The
+// library offers Neumaier (improved Kahan) and pairwise summation so golden
+// paths can bound rounding independently of the simulated datapath order.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace flashabft {
+
+/// Running Neumaier-compensated accumulator; ~exact for long attention sums.
+class CompensatedSum {
+ public:
+  /// Adds one term, tracking the lost low-order part.
+  void add(double value) {
+    const double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// The compensated total.
+  [[nodiscard]] double value() const { return sum_ + compensation_; }
+
+  void reset() { sum_ = 0.0; compensation_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Neumaier-compensated sum of a contiguous range.
+[[nodiscard]] double compensated_sum(std::span<const double> values);
+
+/// Pairwise (cascade) summation — the rounding profile of an adder tree,
+/// which is how the checker's sum-row unit reduces a value vector in one
+/// cycle (Fig. 3's Σ block).
+[[nodiscard]] double pairwise_sum(std::span<const double> values);
+
+/// Plain left-to-right sum — the rounding profile of a sequential
+/// accumulator register.
+[[nodiscard]] double sequential_sum(std::span<const double> values);
+
+}  // namespace flashabft

@@ -1,0 +1,98 @@
+// Configuration of the block-parallel FlashAttention-2 accelerator model
+// (paper Fig. 2) and its Flash-ABFT checker extension (Fig. 3).
+//
+// The simulator is cycle-level: one key vector and one value vector are
+// consumed per cycle and broadcast to all B query lanes (paper §II: "each
+// cycle allows reading one key and one value vector"). A *pass* preloads B
+// query vectors and streams all N keys/values; ceil(N_q / B) passes complete
+// the attention. Register formats are explicit because they define the fault
+// surface: the injector flips one bit of one declared register.
+#pragma once
+
+#include <cstddef>
+
+#include "attention/attention_config.hpp"
+#include "numerics/exp_unit.hpp"
+#include "numerics/rounding.hpp"
+
+namespace flashabft {
+
+/// Where the checker's softmax weights e^{s-m} come from.
+enum class WeightSource {
+  /// The merged-hardware design of Eq. (9)/(10): the checksum lane shares
+  /// the datapath's exponent unit and weights (minimal area — the design
+  /// Fig. 4's overhead numbers describe). Structurally blind to faults in
+  /// the q register file, the score path, and the shared m/l registers
+  /// (DESIGN.md §4): such faults corrupt prediction and output identically.
+  kSharedDatapath,
+  /// The checker recomputes scores and weights from the protected input
+  /// stream (the q/k values as they arrive from fault-protected memory),
+  /// with its own double-precision accumulators. Detects q/score/m/l faults;
+  /// costs a duplicated score pipeline (quantified by the hardware model).
+  /// This matches the fault-isolation the paper's Table I rates imply.
+  kIndependentStream,
+};
+
+/// Granularity of the checksum comparison.
+enum class CompareGranularity {
+  /// One comparison per query at pass end: pred(q) vs sum of the produced
+  /// output row. Best signal-to-noise (the fault-free residual of a d-sum
+  /// instead of an N*d-sum); the default for fault campaigns.
+  kPerQuery,
+  /// One comparison of the globally accumulated checksums at the very end —
+  /// the literal Alg. 3 lines 10-11 aggregation.
+  kGlobal,
+};
+
+/// Full accelerator + checker configuration.
+struct AccelConfig {
+  std::size_t lanes = 16;        ///< B — query vectors processed in parallel.
+  std::size_t head_dim = 128;    ///< d — hidden dimension per head.
+  double scale = 1.0;            ///< score scale (1/sqrt(d) in transformers).
+  /// Causal (decoder-style) masking: lane q only consumes keys j <= q. In
+  /// hardware the lane's update path is clock-gated for masked keys; the
+  /// checksum lane gates identically, so the Alg. 3 algebra is unchanged
+  /// (masked keys contribute zero weight on both sides).
+  AttentionMask mask = AttentionMask::kNone;
+
+  // Register storage formats (= fault surface widths).
+  NumberFormat input_format = NumberFormat::kBf16;   ///< q/k/v registers.
+  NumberFormat score_format = NumberFormat::kFp32;   ///< s pipeline register.
+  NumberFormat max_format = NumberFormat::kFp32;     ///< m register.
+  NumberFormat ell_format = NumberFormat::kFp32;     ///< l accumulator.
+  NumberFormat output_format = NumberFormat::kFp32;  ///< o accumulators.
+  NumberFormat checker_format = NumberFormat::kFp64; ///< c + global accums
+                                                     ///< (paper: double).
+
+  ExpMode exp_mode = ExpMode::kHardware;  ///< exponent unit fidelity.
+  WeightSource weight_source = WeightSource::kIndependentStream;
+  CompareGranularity compare_granularity = CompareGranularity::kPerQuery;
+
+  /// Saturating datapath write-back (the common hardware choice): overflow
+  /// clamps to the format's max finite value instead of producing Inf.
+  /// Determines the fate of fault-induced overflows — saturated values are
+  /// hugely wrong and detected, while Inf feeds inf-inf = NaN chains that
+  /// the comparator cannot flag (the paper's Silent-NaN category). Ablate
+  /// with false to study the non-saturating design.
+  bool saturate_overflow = true;
+
+  /// In the shared-weight design, additionally keep a checker-private
+  /// replica of the sum-of-exponents and divide c by it (closes the shared-l
+  /// blind spot of DESIGN.md §4(b) for one extra accumulator per lane).
+  /// Ignored under kIndependentStream, which always has its own l.
+  bool replicate_ell = false;
+
+  /// Per-query detection threshold of the comparator (paper: 1e-6, "found
+  /// experimentally"); calibrate with calibrate_checker() in src/fault.
+  double detect_threshold = 1e-6;
+  /// Threshold for the final global-checksum comparison (Alg. 3 line 11
+  /// aggregate); looser than the per-query one because the fault-free
+  /// residual of an N*d-element sum is larger.
+  double detect_threshold_global = 1e-6;
+
+  [[nodiscard]] bool checker_has_own_ell() const {
+    return weight_source == WeightSource::kIndependentStream || replicate_ell;
+  }
+};
+
+}  // namespace flashabft

@@ -1,0 +1,487 @@
+#include "sim/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "numerics/float_bits.hpp"
+#include "numerics/summation.hpp"
+
+namespace flashabft {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Hardware-style running max: keep m unless s compares greater. NaN scores
+/// leave m unchanged; a NaN m sticks (s > NaN is false) and propagates
+/// through the exponent unit — faithful to a comparator built from a single
+/// 'greater-than' datapath.
+double hw_max(double m, double s) { return s > m ? s : m; }
+
+}  // namespace
+
+double force_stored_bit(double stored, NumberFormat fmt, int bit, bool one) {
+  // All narrow/widen steps are NaN-bit-exact: registers hold raw bits and a
+  // forced bit pattern (possibly a signaling NaN) must persist unmodified.
+  switch (fmt) {
+    case NumberFormat::kBf16: {
+      std::uint16_t b = bf16(narrow_to_float_bitexact(stored)).bits();
+      const std::uint16_t mask = std::uint16_t(1) << bit;
+      b = one ? std::uint16_t(b | mask) : std::uint16_t(b & ~mask);
+      return widen_to_double_bitexact(bf16::from_bits(b).to_float());
+    }
+    case NumberFormat::kFp16: {
+      std::uint16_t b = fp16(narrow_to_float_bitexact(stored)).bits();
+      const std::uint16_t mask = std::uint16_t(1) << bit;
+      b = one ? std::uint16_t(b | mask) : std::uint16_t(b & ~mask);
+      return widen_to_double_bitexact(fp16::from_bits(b).to_float());
+    }
+    case NumberFormat::kFp32: {
+      std::uint32_t b = float_to_bits(narrow_to_float_bitexact(stored));
+      const std::uint32_t mask = std::uint32_t(1) << bit;
+      b = one ? (b | mask) : (b & ~mask);
+      return widen_to_double_bitexact(bits_to_float(b));
+    }
+    case NumberFormat::kFp64: {
+      std::uint64_t b = double_to_bits(stored);
+      const std::uint64_t mask = std::uint64_t(1) << bit;
+      b = one ? (b | mask) : (b & ~mask);
+      return bits_to_double(b);
+    }
+  }
+  return stored;
+}
+
+double apply_fault_value(double stored, NumberFormat fmt,
+                         const InjectedFault& f) {
+  switch (f.type) {
+    case FaultType::kBitFlip:
+      return flip_stored_value(stored, fmt, f.bit);
+    case FaultType::kStuckAt0:
+      return force_stored_bit(stored, fmt, f.bit, false);
+    case FaultType::kStuckAt1:
+      return force_stored_bit(stored, fmt, f.bit, true);
+  }
+  return stored;
+}
+
+const char* fault_type_name(FaultType type) {
+  switch (type) {
+    case FaultType::kBitFlip: return "bit_flip";
+    case FaultType::kStuckAt0: return "stuck_at_0";
+    case FaultType::kStuckAt1: return "stuck_at_1";
+  }
+  return "?";
+}
+
+double flip_stored_value(double stored, NumberFormat fmt, int bit) {
+  switch (fmt) {
+    case NumberFormat::kBf16:
+      return widen_to_double_bitexact(
+          flip_bit(bf16(narrow_to_float_bitexact(stored)), bit).to_float());
+    case NumberFormat::kFp16:
+      return widen_to_double_bitexact(
+          flip_bit(fp16(narrow_to_float_bitexact(stored)), bit).to_float());
+    case NumberFormat::kFp32:
+      return widen_to_double_bitexact(
+          flip_bit(narrow_to_float_bitexact(stored), bit));
+    case NumberFormat::kFp64:
+      return flip_bit(stored, bit);
+  }
+  return stored;
+}
+
+Accelerator::Accelerator(AccelConfig cfg) : cfg_(cfg) {
+  FLASHABFT_ENSURE_MSG(cfg_.lanes > 0, "accelerator needs at least one lane");
+  FLASHABFT_ENSURE_MSG(cfg_.head_dim > 0, "head_dim must be positive");
+}
+
+std::size_t Accelerator::num_passes(std::size_t n_q) const {
+  return (n_q + cfg_.lanes - 1) / cfg_.lanes;
+}
+
+std::size_t Accelerator::total_cycles(std::size_t n_q,
+                                      std::size_t n_k) const {
+  return num_passes(n_q) * n_k;
+}
+
+void Accelerator::run_pass(const MatrixD& q, const MatrixD& k,
+                           const MatrixD& v, std::size_t pass_index,
+                           std::size_t first, std::size_t count,
+                           const FaultPlan& faults, AccelRunResult& result,
+                           const Checker& checker,
+                           const std::vector<std::size_t>* lane_subset) const {
+  const std::size_t d = cfg_.head_dim;
+  const std::size_t n_k = k.rows();
+  const std::size_t cycle_base = pass_index * n_k;
+
+  // Arithmetic write-back: saturating (hardware MACs) or Inf-producing.
+  const auto store = [this](double value, NumberFormat fmt) {
+    return cfg_.saturate_overflow ? round_to_saturating(value, fmt)
+                                  : round_to(value, fmt);
+  };
+
+  std::vector<std::size_t> active;
+  if (lane_subset != nullptr) {
+    active = *lane_subset;
+  } else {
+    active.resize(count);
+    for (std::size_t lane = 0; lane < count; ++lane) active[lane] = lane;
+  }
+
+  // --- Pass preload: B query vectors enter the lane register files, -------
+  // quantized to the input storage format.
+  std::vector<std::vector<double>> q_reg(count, std::vector<double>(d));
+  // The checker's independent weight path reads the protected input stream,
+  // not the (faultable) lane registers — keep a pristine copy.
+  std::vector<std::vector<double>> q_clean(count, std::vector<double>(d));
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    for (std::size_t x = 0; x < d; ++x) {
+      const double qx = round_to(q(first + lane, x), cfg_.input_format);
+      q_reg[lane][x] = qx;
+      q_clean[lane][x] = qx;
+    }
+  }
+
+  std::vector<std::vector<double>> o(count, std::vector<double>(d, 0.0));
+  std::vector<double> m(count, kNegInf);
+  std::vector<double> ell(count, 0.0);
+  std::vector<double> c(count, 0.0);
+  // Checker-side replica state (independent mode / replicated-l option).
+  std::vector<double> m_c(count, kNegInf);
+  std::vector<double> ell_c(count, 0.0);
+
+  const bool independent =
+      cfg_.weight_source == WeightSource::kIndependentStream;
+
+  std::vector<double> k_row(d);
+  std::vector<double> v_row(d);
+
+  for (std::size_t i = 0; i < n_k; ++i) {
+    const std::size_t cycle = cycle_base + i;
+
+    // --- Apply persistent-register faults active this cycle. --------------
+    for (const InjectedFault& f : faults) {
+      if (!f.active_at(cycle)) continue;
+      const Site& s = f.site;
+      if (s.lane >= count && s.kind != SiteKind::kSumRow &&
+          s.kind != SiteKind::kGlobalPred &&
+          s.kind != SiteKind::kGlobalActual) {
+        continue;  // lane idle in a partial final pass
+      }
+      switch (s.kind) {
+        case SiteKind::kQuery:
+          q_reg[s.lane][s.element] = apply_fault_value(
+              q_reg[s.lane][s.element], cfg_.input_format, f);
+          break;
+        case SiteKind::kOutput:
+          o[s.lane][s.element] =
+              apply_fault_value(o[s.lane][s.element], cfg_.output_format, f);
+          break;
+        case SiteKind::kMax:
+          m[s.lane] = apply_fault_value(m[s.lane], cfg_.max_format, f);
+          break;
+        case SiteKind::kSumExp:
+          ell[s.lane] = apply_fault_value(ell[s.lane], cfg_.ell_format, f);
+          break;
+        case SiteKind::kCheckAcc:
+          c[s.lane] = apply_fault_value(c[s.lane], cfg_.checker_format, f);
+          break;
+        default:
+          break;  // transient (score/sum_row) and global sites: elsewhere
+      }
+    }
+
+    // --- Stream in key/value vector i (protected memory, quantized). ------
+    for (std::size_t x = 0; x < d; ++x) {
+      k_row[x] = round_to(k(i, x), cfg_.input_format);
+      v_row[x] = round_to(v(i, x), cfg_.input_format);
+    }
+
+    // --- Checker Σ block: per-row checksum of V (Fig. 3), shared. ---------
+    double sumrow = round_to(pairwise_sum(v_row), cfg_.checker_format);
+    result.activity.sumrow_adds += d - 1;
+    for (const InjectedFault& f : faults) {
+      if (f.active_at(cycle) && f.site.kind == SiteKind::kSumRow) {
+        sumrow = apply_fault_value(sumrow, cfg_.checker_format, f);
+      }
+    }
+
+    // --- Per-lane datapath + checker updates. -----------------------------
+    for (const std::size_t lane : active) {
+      // Causal masking gates the whole lane for keys beyond its query
+      // index (both datapath and checksum lanes — they must stay merged).
+      if (!mask_allows(cfg_.mask, first + lane, i)) continue;
+      // Score: dot product in wide arithmetic, latched in the score format.
+      double dot = 0.0;
+      for (std::size_t x = 0; x < d; ++x) dot += q_reg[lane][x] * k_row[x];
+      double s = store(dot * cfg_.scale, cfg_.score_format);
+      result.activity.dot_mults += d;
+      result.activity.dot_adds += d - 1;
+      for (const InjectedFault& f : faults) {
+        if (f.active_at(cycle) && f.site.kind == SiteKind::kScore &&
+            f.site.lane == lane) {
+          s = apply_fault_value(s, cfg_.score_format, f);
+        }
+      }
+
+      const double m_new = round_to(hw_max(m[lane], s), cfg_.max_format);
+      const double corr =
+          m[lane] == kNegInf ? 0.0 : eval_exp(m[lane] - m_new, cfg_.exp_mode);
+      const double weight = eval_exp(s - m_new, cfg_.exp_mode);
+      result.activity.max_ops += 1;
+      result.activity.exp_evals += 2;
+
+      ell[lane] = store(ell[lane] * corr + weight, cfg_.ell_format);
+      result.activity.ell_ops += 2;
+      for (std::size_t x = 0; x < d; ++x) {
+        o[lane][x] = store(o[lane][x] * corr + weight * v_row[x],
+                           cfg_.output_format);
+      }
+      result.activity.update_mults += 2 * d;
+      result.activity.update_adds += d;
+      m[lane] = m_new;
+
+      // Checker weights: shared with the datapath (Eq. 10 merged hardware)
+      // or recomputed from the protected input stream.
+      double corr_c = corr;
+      double weight_c = weight;
+      if (independent) {
+        double dot_c = 0.0;
+        for (std::size_t x = 0; x < d; ++x) {
+          dot_c += q_clean[lane][x] * k_row[x];
+        }
+        const double s_c = store(dot_c * cfg_.scale, cfg_.score_format);
+        const double m_c_new =
+            round_to(hw_max(m_c[lane], s_c), cfg_.max_format);
+        corr_c = m_c[lane] == kNegInf
+                     ? 0.0
+                     : eval_exp(m_c[lane] - m_c_new, cfg_.exp_mode);
+        weight_c = eval_exp(s_c - m_c_new, cfg_.exp_mode);
+        m_c[lane] = m_c_new;
+        result.activity.check_dot_mults += d;
+        result.activity.check_dot_adds += d - 1;
+        result.activity.check_exp_evals += 2;
+      }
+
+      c[lane] = store(c[lane] * corr_c + weight_c * sumrow,
+                      cfg_.checker_format);
+      result.activity.check_mults += 2;
+      result.activity.check_adds += 1;
+      if (cfg_.checker_has_own_ell()) {
+        ell_c[lane] =
+            store(ell_c[lane] * corr_c + weight_c, cfg_.checker_format);
+        result.activity.check_adds += 1;
+        result.activity.check_mults += 1;
+      }
+    }
+    result.activity.cycles += 1;
+  }
+
+  // --- Pass drain: divisions, per-query comparison, global accumulation. --
+  for (const std::size_t lane : active) {
+    const std::size_t qi = first + lane;
+    std::vector<double> out_row(d);
+    for (std::size_t x = 0; x < d; ++x) {
+      out_row[x] = store(o[lane][x] / ell[lane], cfg_.output_format);
+      result.output(qi, x) = out_row[x];
+    }
+    result.activity.output_divs += d;
+
+    const double row_actual =
+        round_to(pairwise_sum(out_row), cfg_.checker_format);
+    const double divisor =
+        cfg_.checker_has_own_ell() ? ell_c[lane] : ell[lane];
+    const double pred = round_to(c[lane] / divisor, cfg_.checker_format);
+    result.activity.check_divs += 1;
+    result.activity.check_adds += d - 1;  // output-row reduction
+
+    result.per_query_pred[qi] = pred;
+    result.per_query_actual[qi] = row_actual;
+    if (checker.compare(pred, row_actual) == CheckVerdict::kAlarm) {
+      result.per_query_alarm = true;
+    }
+    result.activity.compares += 1;
+
+    result.global_pred =
+        round_to(result.global_pred + pred, cfg_.checker_format);
+    result.global_actual =
+        round_to(result.global_actual + row_actual, cfg_.checker_format);
+    result.activity.check_adds += 2;
+  }
+}
+
+AccelRunResult Accelerator::run(const MatrixD& q, const MatrixD& k,
+                                const MatrixD& v,
+                                const FaultPlan& faults) const {
+  FLASHABFT_ENSURE(q.cols() == cfg_.head_dim);
+  FLASHABFT_ENSURE(k.cols() == cfg_.head_dim && v.cols() == cfg_.head_dim);
+  FLASHABFT_ENSURE(k.rows() == v.rows());
+  FLASHABFT_ENSURE_MSG(
+      cfg_.mask == AttentionMask::kNone || q.rows() == k.rows(),
+      "causal masking needs one query per key position");
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+
+  AccelRunResult result;
+  result.output = MatrixD(n_q, cfg_.head_dim);
+  result.per_query_pred.assign(n_q, 0.0);
+  result.per_query_actual.assign(n_q, 0.0);
+
+  const Checker checker(CheckerConfig{cfg_.detect_threshold, 0.0});
+  const std::size_t passes = num_passes(n_q);
+
+  for (std::size_t p = 0; p < passes; ++p) {
+    // Global-accumulator faults take effect before the pass's accumulation
+    // (globals only mutate at pass drain; a fault active at any cycle of
+    // the pass lands on the value carried from the previous pass).
+    for (const InjectedFault& f : faults) {
+      if (f.cycle >= (p + 1) * n_k || f.last_cycle() < p * n_k) continue;
+      if (f.site.kind == SiteKind::kGlobalPred) {
+        result.global_pred =
+            apply_fault_value(result.global_pred, cfg_.checker_format, f);
+      } else if (f.site.kind == SiteKind::kGlobalActual) {
+        result.global_actual =
+            apply_fault_value(result.global_actual, cfg_.checker_format, f);
+      }
+    }
+
+    const std::size_t first = p * cfg_.lanes;
+    const std::size_t count = std::min(cfg_.lanes, n_q - first);
+    run_pass(q, k, v, p, first, count, faults, result, checker);
+  }
+
+  const Checker global_checker(
+      CheckerConfig{cfg_.detect_threshold_global, 0.0});
+  result.global_alarm =
+      global_checker.compare(result.global_pred, result.global_actual) ==
+      CheckVerdict::kAlarm;
+  result.activity.compares += 1;
+  return result;
+}
+
+AccelRunResult Accelerator::replay_with_faults(
+    const MatrixD& q, const MatrixD& k, const MatrixD& v,
+    const AccelRunResult& golden, const FaultPlan& faults) const {
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t passes = num_passes(n_q);
+
+  // Passes whose lane-local state is touched by a fault must be re-run.
+  std::set<std::size_t> dirty_passes;
+  for (const InjectedFault& f : faults) {
+    if (f.site.kind == SiteKind::kGlobalPred ||
+        f.site.kind == SiteKind::kGlobalActual) {
+      continue;  // handled during global re-accumulation
+    }
+    FLASHABFT_ENSURE_MSG(f.cycle < passes * n_k,
+                         "fault cycle " << f.cycle << " out of range");
+    const std::size_t first_pass = f.cycle / n_k;
+    const std::size_t last_pass =
+        std::min(f.last_cycle() / n_k, passes - 1);
+    for (std::size_t p = first_pass; p <= last_pass; ++p) {
+      dirty_passes.insert(p);
+    }
+  }
+
+  AccelRunResult result;
+  result.output = golden.output;
+  result.per_query_pred = golden.per_query_pred;
+  result.per_query_actual = golden.per_query_actual;
+  result.activity = golden.activity;
+
+  const Checker checker(CheckerConfig{cfg_.detect_threshold, 0.0});
+
+  // Re-run dirty passes in isolation: the scratch result writes the same
+  // per-query slots; its global accumulation is discarded (recomputed below).
+  for (const std::size_t p : dirty_passes) {
+    const std::size_t first = p * cfg_.lanes;
+    const std::size_t count = std::min(cfg_.lanes, n_q - first);
+
+    // Lane-local faults only touch their own lane; re-simulate just those
+    // lanes. A sum_row fault feeds every lane's checksum accumulator, so it
+    // forces the whole pass.
+    bool whole_pass = false;
+    std::vector<std::size_t> lanes;
+    for (const InjectedFault& f : faults) {
+      if (f.cycle >= (p + 1) * n_k || f.last_cycle() < p * n_k) continue;
+      switch (f.site.kind) {
+        case SiteKind::kSumRow:
+          whole_pass = true;
+          break;
+        case SiteKind::kGlobalPred:
+        case SiteKind::kGlobalActual:
+          break;  // handled in the re-accumulation below
+        default:
+          if (f.site.lane < count) lanes.push_back(f.site.lane);
+          break;
+      }
+    }
+    std::sort(lanes.begin(), lanes.end());
+    lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+    if (lanes.empty() && !whole_pass) continue;  // idle-lane fault: no effect
+
+    AccelRunResult scratch;
+    scratch.output = MatrixD(n_q, cfg_.head_dim);
+    scratch.per_query_pred.assign(n_q, 0.0);
+    scratch.per_query_actual.assign(n_q, 0.0);
+    run_pass(q, k, v, p, first, count, faults, scratch, checker,
+             whole_pass ? nullptr : &lanes);
+
+    if (whole_pass) {
+      lanes.resize(count);
+      for (std::size_t lane = 0; lane < count; ++lane) lanes[lane] = lane;
+    }
+    for (const std::size_t lane : lanes) {
+      const std::size_t qi = first + lane;
+      for (std::size_t x = 0; x < cfg_.head_dim; ++x) {
+        result.output(qi, x) = scratch.output(qi, x);
+      }
+      result.per_query_pred[qi] = scratch.per_query_pred[qi];
+      result.per_query_actual[qi] = scratch.per_query_actual[qi];
+    }
+  }
+
+  // Re-derive alarms and globals from per-query values, replaying the exact
+  // accumulation (and global-fault) order of run().
+  result.per_query_alarm = false;
+  result.global_pred = 0.0;
+  result.global_actual = 0.0;
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (const InjectedFault& f : faults) {
+      if (f.cycle >= (p + 1) * n_k || f.last_cycle() < p * n_k) continue;
+      if (f.site.kind == SiteKind::kGlobalPred) {
+        result.global_pred =
+            apply_fault_value(result.global_pred, cfg_.checker_format, f);
+      } else if (f.site.kind == SiteKind::kGlobalActual) {
+        result.global_actual =
+            apply_fault_value(result.global_actual, cfg_.checker_format, f);
+      }
+    }
+    const std::size_t first = p * cfg_.lanes;
+    const std::size_t count = std::min(cfg_.lanes, n_q - first);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      const std::size_t qi = first + lane;
+      if (checker.compare(result.per_query_pred[qi],
+                          result.per_query_actual[qi]) ==
+          CheckVerdict::kAlarm) {
+        result.per_query_alarm = true;
+      }
+      result.global_pred = round_to(
+          result.global_pred + result.per_query_pred[qi], cfg_.checker_format);
+      result.global_actual =
+          round_to(result.global_actual + result.per_query_actual[qi],
+                   cfg_.checker_format);
+    }
+  }
+  const Checker global_checker(
+      CheckerConfig{cfg_.detect_threshold_global, 0.0});
+  result.global_alarm =
+      global_checker.compare(result.global_pred, result.global_actual) ==
+      CheckVerdict::kAlarm;
+  return result;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,109 @@
+// Cycle-level model of the block-parallel FlashAttention-2 accelerator with
+// the Flash-ABFT checker (paper Fig. 2 + Fig. 3).
+//
+// Execution model (paper §II): B query vectors are preloaded into B parallel
+// lanes; every cycle one key vector and one value vector are read from
+// (fault-protected) local memory and broadcast to all lanes. Each lane holds
+// its running maximum m, sum-of-exponents l, output accumulator vector o and
+// — for the checker — the checksum accumulator c. After N cycles the pass
+// drains through the dividers and the next B queries are preloaded.
+//
+// All arithmetic is performed in double and rounded to each destination
+// register's declared storage format on write-back, which models wide
+// operator outputs latched into narrow registers and makes every stored
+// value exactly representable in its format — the property the bit-level
+// fault injector relies on.
+#pragma once
+
+#include <vector>
+
+#include "core/checker.hpp"
+#include "sim/accel_config.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/trace.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Everything one accelerator run produces.
+struct AccelRunResult {
+  MatrixD output;                        ///< n_q x d attention output.
+  std::vector<double> per_query_pred;    ///< check(q_i) = c_N / l_N.
+  std::vector<double> per_query_actual;  ///< sum of output row i.
+  double global_pred = 0.0;              ///< Alg. 3 line 11 accumulator.
+  double global_actual = 0.0;            ///< streamed output checksum.
+  bool per_query_alarm = false;          ///< any per-query comparison fired.
+  bool global_alarm = false;             ///< final global comparison fired.
+  ActivityCounters activity;
+
+  /// The alarm under the configured comparison granularity. Per-query mode
+  /// also performs the final global comparison (the Alg. 3 line 11
+  /// accumulators exist either way), so it is the OR of both.
+  [[nodiscard]] bool alarm(CompareGranularity granularity) const {
+    return granularity == CompareGranularity::kPerQuery
+               ? (per_query_alarm || global_alarm)
+               : global_alarm;
+  }
+};
+
+/// The accelerator machine. Stateless across runs (const methods); all
+/// mutable state lives on the stack of run(), so one instance can serve many
+/// fault campaigns.
+class Accelerator {
+ public:
+  explicit Accelerator(AccelConfig cfg);
+
+  [[nodiscard]] const AccelConfig& config() const { return cfg_; }
+
+  /// Number of passes needed for n_q queries: ceil(n_q / lanes).
+  [[nodiscard]] std::size_t num_passes(std::size_t n_q) const;
+
+  /// Total streaming cycles: num_passes * n_k (the fault-injection window).
+  [[nodiscard]] std::size_t total_cycles(std::size_t n_q,
+                                         std::size_t n_k) const;
+
+  /// Runs attention over Q (n_q x d), K/V (n_k x d) applying `faults`.
+  /// Inputs are quantized to the input format on load, modeling the
+  /// protected local memories feeding the accelerator.
+  [[nodiscard]] AccelRunResult run(const MatrixD& q, const MatrixD& k,
+                                   const MatrixD& v,
+                                   const FaultPlan& faults = {}) const;
+
+  /// Fast path for fault campaigns: re-runs only the queries of the pass
+  /// containing the (lane-local) faults, splicing everything else from a
+  /// golden result. Exact — bit-identical to run() — because passes only
+  /// interact through the global accumulators. Faults on global accumulator
+  /// sites are also handled. `golden` must come from run() with no faults on
+  /// identical inputs.
+  [[nodiscard]] AccelRunResult replay_with_faults(
+      const MatrixD& q, const MatrixD& k, const MatrixD& v,
+      const AccelRunResult& golden, const FaultPlan& faults) const;
+
+ private:
+  /// Executes one pass (queries [first, first+count)), applying the subset
+  /// of faults whose cycles fall inside the pass. Appends into `result`.
+  /// If `lane_subset` is non-null, only those lanes are simulated (exact for
+  /// lane-local faults: lanes never interact within a pass).
+  void run_pass(const MatrixD& q, const MatrixD& k, const MatrixD& v,
+                std::size_t pass_index, std::size_t first,
+                std::size_t count, const FaultPlan& faults,
+                AccelRunResult& result, const Checker& checker,
+                const std::vector<std::size_t>* lane_subset = nullptr) const;
+
+  AccelConfig cfg_;
+};
+
+/// Flips bit `bit` of a value stored in format `fmt`. The value must be
+/// exactly representable in `fmt` (guaranteed by write-back rounding).
+[[nodiscard]] double flip_stored_value(double stored, NumberFormat fmt,
+                                       int bit);
+
+/// Forces bit `bit` of a stored value to 0 or 1 (stuck-at fault model).
+[[nodiscard]] double force_stored_bit(double stored, NumberFormat fmt,
+                                      int bit, bool one);
+
+/// Applies one fault (flip or stuck-at) to a stored value.
+[[nodiscard]] double apply_fault_value(double stored, NumberFormat fmt,
+                                       const InjectedFault& fault);
+
+}  // namespace flashabft

@@ -1,0 +1,51 @@
+// A fault plan: the upsets to apply during one accelerator run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/site.hpp"
+
+namespace flashabft {
+
+/// The physical fault model of one injection.
+enum class FaultType : std::uint8_t {
+  kBitFlip,   ///< single-event upset: the bit inverts once (paper §IV-B).
+  kStuckAt0,  ///< the bit reads 0 for `duration` cycles (gate/via defect).
+  kStuckAt1,  ///< the bit reads 1 for `duration` cycles.
+};
+
+[[nodiscard]] const char* fault_type_name(FaultType type);
+
+/// One scheduled fault.
+///
+/// Timing semantics: for persistent registers (query, output, max, sum_exp,
+/// check_acc, global accumulators) the fault is applied to the stored value
+/// at the *start* of each active cycle, before that cycle's reads — for a
+/// stuck-at fault the bit is re-forced every cycle of [cycle,
+/// cycle+duration), modeling a defect that holds through intervening
+/// writes. For the transient per-cycle values (score, sum_row) the fault
+/// corrupts the freshly computed value within each active cycle.
+struct InjectedFault {
+  std::size_t cycle = 0;  ///< first active cycle (pass * n_keys + step).
+  Site site;
+  int bit = 0;            ///< 0 = LSB of the storage format.
+  FaultType type = FaultType::kBitFlip;
+  std::size_t duration = 1;  ///< active cycles (ignored for kBitFlip).
+
+  /// True if the fault perturbs state at `cycle`.
+  [[nodiscard]] bool active_at(std::size_t at) const {
+    if (type == FaultType::kBitFlip) return at == cycle;
+    return at >= cycle && at < cycle + duration;
+  }
+  /// Last cycle at which the fault can act.
+  [[nodiscard]] std::size_t last_cycle() const {
+    if (type == FaultType::kBitFlip) return cycle;
+    return cycle + (duration == 0 ? 0 : duration - 1);
+  }
+};
+
+using FaultPlan = std::vector<InjectedFault>;
+
+}  // namespace flashabft

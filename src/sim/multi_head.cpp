@@ -1,0 +1,61 @@
+#include "sim/multi_head.hpp"
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+std::vector<std::size_t> MultiHeadRunResult::alarming_heads(
+    CompareGranularity granularity) const {
+  std::vector<std::size_t> alarming;
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    if (heads[h].alarm(granularity)) alarming.push_back(h);
+  }
+  return alarming;
+}
+
+std::size_t cycles_per_head(const Accelerator& accel,
+                            const AttentionInputs& head) {
+  return accel.total_cycles(head.num_queries(), head.seq_len());
+}
+
+MultiHeadRunResult run_heads(const Accelerator& accel,
+                             std::span<const AttentionInputs> heads,
+                             const FaultPlan& faults) {
+  FLASHABFT_ENSURE_MSG(!heads.empty(), "no heads to schedule");
+  MultiHeadRunResult result;
+  result.heads.reserve(heads.size());
+
+  std::size_t window_start = 0;
+  for (const AttentionInputs& head : heads) {
+    const std::size_t window = cycles_per_head(accel, head);
+    // Re-base layer-global fault cycles into this head's local window.
+    FaultPlan local;
+    for (const InjectedFault& f : faults) {
+      if (f.cycle >= window_start + window ||
+          f.last_cycle() < window_start) {
+        continue;
+      }
+      InjectedFault shifted = f;
+      if (f.cycle >= window_start) {
+        shifted.cycle = f.cycle - window_start;
+      } else {
+        // Stuck-at window that began in a previous head: clip to this one.
+        shifted.cycle = 0;
+        shifted.duration = f.last_cycle() - window_start + 1;
+      }
+      // Clip windows that extend past this head (state resets between
+      // heads, so the remainder is handled by the next head's window).
+      if (shifted.type != FaultType::kBitFlip &&
+          shifted.cycle + shifted.duration > window) {
+        shifted.duration = window - shifted.cycle;
+      }
+      local.push_back(shifted);
+    }
+    result.heads.push_back(accel.run(head.q, head.k, head.v, local));
+    result.activity += result.heads.back().activity;
+    window_start += window;
+  }
+  return result;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,47 @@
+// Multi-head scheduling over the single-head accelerator.
+//
+// Transformers run H attention heads per layer (paper §II: "the attention
+// mechanism operates across multiple heads in parallel"). A deployment maps
+// heads onto one or more accelerator instances; each head's pass through
+// the machine carries its own checksums, so alarms localize to (head,
+// query) granularity — the unit a recovery controller re-executes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attention/inputs.hpp"
+#include "sim/accelerator.hpp"
+
+namespace flashabft {
+
+/// Result of scheduling one layer's heads through the accelerator(s).
+struct MultiHeadRunResult {
+  std::vector<AccelRunResult> heads;  ///< per-head results, in head order.
+  ActivityCounters activity;          ///< aggregate over all heads.
+
+  /// True if any head raised an alarm under `granularity`.
+  [[nodiscard]] bool any_alarm(CompareGranularity granularity) const {
+    for (const AccelRunResult& h : heads) {
+      if (h.alarm(granularity)) return true;
+    }
+    return false;
+  }
+  /// Indices of alarming heads (the re-execution work list).
+  [[nodiscard]] std::vector<std::size_t> alarming_heads(
+      CompareGranularity granularity) const;
+};
+
+/// Schedules H single-head workloads through `accel` sequentially (one
+/// physical accelerator instance, heads time-multiplexed — the minimal
+/// deployment). Faults in `faults` use *layer-global* cycles: head h's
+/// window is [h * cycles_per_head, (h+1) * cycles_per_head).
+[[nodiscard]] MultiHeadRunResult run_heads(
+    const Accelerator& accel, std::span<const AttentionInputs> heads,
+    const FaultPlan& faults = {});
+
+/// Total cycles one head occupies the machine (uniform head shapes).
+[[nodiscard]] std::size_t cycles_per_head(const Accelerator& accel,
+                                          const AttentionInputs& head);
+
+}  // namespace flashabft

@@ -1,0 +1,121 @@
+#include "sim/site.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+const char* site_kind_name(SiteKind kind) {
+  switch (kind) {
+    case SiteKind::kQuery: return "query";
+    case SiteKind::kOutput: return "output";
+    case SiteKind::kScore: return "score";
+    case SiteKind::kMax: return "max";
+    case SiteKind::kSumExp: return "sum_exp";
+    case SiteKind::kCheckAcc: return "check_acc";
+    case SiteKind::kSumRow: return "sum_row";
+    case SiteKind::kGlobalPred: return "global_pred";
+    case SiteKind::kGlobalActual: return "global_actual";
+  }
+  return "?";
+}
+
+bool is_checker_site(SiteKind kind) {
+  switch (kind) {
+    case SiteKind::kCheckAcc:
+    case SiteKind::kSumRow:
+    case SiteKind::kGlobalPred:
+    case SiteKind::kGlobalActual:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SiteMask::allows(SiteKind kind) const {
+  switch (kind) {
+    case SiteKind::kQuery: return query;
+    case SiteKind::kOutput: return output;
+    case SiteKind::kScore: return score;
+    case SiteKind::kMax: return max;
+    case SiteKind::kSumExp: return sum_exp;
+    case SiteKind::kCheckAcc:
+    case SiteKind::kSumRow:
+    case SiteKind::kGlobalPred:
+    case SiteKind::kGlobalActual:
+      return checker;
+  }
+  return false;
+}
+
+SiteMask SiteMask::all() {
+  SiteMask m;
+  m.score = true;
+  return m;
+}
+
+SiteMask SiteMask::datapath_only() {
+  SiteMask m;
+  m.checker = false;
+  return m;
+}
+
+SiteMask SiteMask::checker_only() {
+  SiteMask m;
+  m.query = false;
+  m.output = false;
+  m.score = false;
+  m.max = false;
+  m.sum_exp = false;
+  return m;
+}
+
+SiteMap::SiteMap(const AccelConfig& cfg, const SiteMask& mask) {
+  const std::size_t lanes = cfg.lanes;
+  const std::size_t d = cfg.head_dim;
+
+  auto push = [&](SiteKind kind, std::size_t lane, std::size_t element,
+                  NumberFormat format) {
+    if (!mask.allows(kind)) return;
+    records_.push_back({Site{kind, lane, element}, format});
+  };
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    for (std::size_t x = 0; x < d; ++x) {
+      push(SiteKind::kQuery, lane, x, cfg.input_format);
+    }
+    for (std::size_t x = 0; x < d; ++x) {
+      push(SiteKind::kOutput, lane, x, cfg.output_format);
+    }
+    push(SiteKind::kScore, lane, 0, cfg.score_format);
+    push(SiteKind::kMax, lane, 0, cfg.max_format);
+    push(SiteKind::kSumExp, lane, 0, cfg.ell_format);
+    push(SiteKind::kCheckAcc, lane, 0, cfg.checker_format);
+  }
+  push(SiteKind::kSumRow, 0, 0, cfg.checker_format);
+  push(SiteKind::kGlobalPred, 0, 0, cfg.checker_format);
+  push(SiteKind::kGlobalActual, 0, 0, cfg.checker_format);
+
+  cumulative_bits_.reserve(records_.size());
+  for (const SiteRecord& rec : records_) {
+    cumulative_bits_.push_back(total_bits_);
+    total_bits_ += std::uint64_t(rec.bits());
+    if (is_checker_site(rec.site.kind)) {
+      checker_bits_ += std::uint64_t(rec.bits());
+    }
+  }
+  FLASHABFT_ENSURE_MSG(total_bits_ > 0, "empty fault-site population");
+}
+
+SiteMap::Draw SiteMap::locate(std::uint64_t bit_offset) const {
+  FLASHABFT_ENSURE_MSG(bit_offset < total_bits_,
+                       "offset " << bit_offset << " >= " << total_bits_);
+  // Last cumulative entry <= bit_offset.
+  const auto it = std::upper_bound(cumulative_bits_.begin(),
+                                   cumulative_bits_.end(), bit_offset);
+  const std::size_t index = std::size_t(it - cumulative_bits_.begin()) - 1;
+  return Draw{index, int(bit_offset - cumulative_bits_[index])};
+}
+
+}  // namespace flashabft

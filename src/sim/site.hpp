@@ -1,0 +1,108 @@
+// Fault-site enumeration: every storage element of the accelerator.
+//
+// Paper §IV-B: "Faults are injected to randomly selected storage elements
+// covering both the registers of the FlashAttention-2 kernel and the
+// registers of the checking logic. Within a register each bit has an equal
+// probability of being flipped." The SiteMap enumerates those registers with
+// their bit widths so the injector can draw (site, bit) pairs with
+// probability proportional to bit count — which is exactly why a fault "is
+// more probable to hit the FlashAttention-2 hardware than the checker's
+// logic" (the paper's explanation of the false-positive trend).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/accel_config.hpp"
+
+namespace flashabft {
+
+/// Kinds of storage element in the accelerator of Fig. 2/3.
+enum class SiteKind : std::uint8_t {
+  kQuery,         ///< per-lane preloaded query element (d per lane).
+  kOutput,        ///< per-lane output accumulator element (d per lane).
+  kScore,         ///< per-lane score pipeline register (1 per lane).
+  kMax,           ///< per-lane running maximum m (1 per lane).
+  kSumExp,        ///< per-lane running sum-of-exponents l (1 per lane).
+  kCheckAcc,      ///< per-lane checksum accumulator c (checker state).
+  kSumRow,        ///< shared per-row V checksum register (checker state).
+  kGlobalPred,    ///< global predicted-checksum accumulator (checker state).
+  kGlobalActual,  ///< global actual-checksum accumulator (checker state).
+};
+
+[[nodiscard]] const char* site_kind_name(SiteKind kind);
+
+/// True for storage that belongs to the checking logic rather than the
+/// FlashAttention-2 kernel; faults here can only cause false alarms.
+[[nodiscard]] bool is_checker_site(SiteKind kind);
+
+/// Identifies one scalar register: kind + lane (shared sites use lane 0) +
+/// element index (only kQuery/kOutput have more than one element per lane).
+struct Site {
+  SiteKind kind = SiteKind::kOutput;
+  std::size_t lane = 0;
+  std::size_t element = 0;
+
+  friend bool operator==(const Site&, const Site&) = default;
+};
+
+/// Which site kinds a fault campaign may target. Table I's default targets
+/// everything the paper lists; ablations narrow or widen the set.
+struct SiteMask {
+  bool query = true;
+  bool output = true;
+  bool score = false;  ///< transient pipeline register; ablation-only by
+                       ///< default (its faults are sub-cycle events).
+  bool max = true;
+  bool sum_exp = true;
+  bool checker = true;  ///< c / sumrow / global accumulators.
+
+  [[nodiscard]] bool allows(SiteKind kind) const;
+
+  /// Everything including the score pipeline (coverage-gap ablations).
+  static SiteMask all();
+  /// Datapath registers only (no checker state) — no false alarms possible.
+  static SiteMask datapath_only();
+  /// Checker registers only — false alarms only.
+  static SiteMask checker_only();
+};
+
+/// One enumerated register with its storage width.
+struct SiteRecord {
+  Site site;
+  NumberFormat format = NumberFormat::kFp32;
+  [[nodiscard]] int bits() const { return format_bits(format); }
+};
+
+/// Enumerates every register of an accelerator configuration, in a fixed
+/// deterministic order, with bit widths; supports weighted random draws.
+class SiteMap {
+ public:
+  /// Builds the map for `cfg` under `mask`.
+  SiteMap(const AccelConfig& cfg, const SiteMask& mask);
+
+  [[nodiscard]] const std::vector<SiteRecord>& records() const {
+    return records_;
+  }
+  /// Total fault surface in bits (the draw space).
+  [[nodiscard]] std::uint64_t total_bits() const { return total_bits_; }
+  /// Bits belonging to checker state (drives the false-positive share).
+  [[nodiscard]] std::uint64_t checker_bits() const { return checker_bits_; }
+
+  /// Maps a uniform draw in [0, total_bits()) to (record index, bit index).
+  struct Draw {
+    std::size_t record_index = 0;
+    int bit = 0;
+  };
+  [[nodiscard]] Draw locate(std::uint64_t bit_offset) const;
+
+ private:
+  std::vector<SiteRecord> records_;
+  std::vector<std::uint64_t> cumulative_bits_;  // exclusive prefix sums
+  std::uint64_t total_bits_ = 0;
+  std::uint64_t checker_bits_ = 0;
+};
+
+}  // namespace flashabft

@@ -1,0 +1,26 @@
+#include "sim/trace.hpp"
+
+namespace flashabft {
+
+ActivityCounters& ActivityCounters::operator+=(const ActivityCounters& o) {
+  dot_mults += o.dot_mults;
+  dot_adds += o.dot_adds;
+  update_mults += o.update_mults;
+  update_adds += o.update_adds;
+  exp_evals += o.exp_evals;
+  max_ops += o.max_ops;
+  ell_ops += o.ell_ops;
+  output_divs += o.output_divs;
+  sumrow_adds += o.sumrow_adds;
+  check_mults += o.check_mults;
+  check_adds += o.check_adds;
+  check_divs += o.check_divs;
+  check_exp_evals += o.check_exp_evals;
+  check_dot_mults += o.check_dot_mults;
+  check_dot_adds += o.check_dot_adds;
+  compares += o.compares;
+  cycles += o.cycles;
+  return *this;
+}
+
+}  // namespace flashabft

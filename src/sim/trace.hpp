@@ -1,0 +1,52 @@
+// Activity counters collected by the cycle simulator.
+//
+// The power model (paper §IV-A uses PowerPro with switching activity from
+// real attention kernels) consumes these operation counts: dynamic energy =
+// sum over unit types of (ops x energy/op), and average power = energy /
+// (cycles / f_clk). Datapath and checker activity are kept separate because
+// Fig. 4 itemizes the checker's contribution.
+#pragma once
+
+#include <cstdint>
+
+namespace flashabft {
+
+/// Operation counts for one accelerator run.
+struct ActivityCounters {
+  // FlashAttention-2 datapath.
+  std::uint64_t dot_mults = 0;       ///< q·k multiplications.
+  std::uint64_t dot_adds = 0;        ///< q·k adder-tree additions.
+  std::uint64_t update_mults = 0;    ///< o rescale + weight multiplications.
+  std::uint64_t update_adds = 0;     ///< o accumulation additions.
+  std::uint64_t exp_evals = 0;       ///< exponent-unit evaluations.
+  std::uint64_t max_ops = 0;         ///< running-max comparisons.
+  std::uint64_t ell_ops = 0;         ///< l rescale+accumulate (counted as 2 flops each).
+  std::uint64_t output_divs = 0;     ///< final o/l divisions.
+
+  // Flash-ABFT checker.
+  std::uint64_t sumrow_adds = 0;     ///< V per-row checksum adder tree.
+  std::uint64_t check_mults = 0;     ///< c-lane multiplications.
+  std::uint64_t check_adds = 0;      ///< c-lane additions + global accumulation.
+  std::uint64_t check_divs = 0;      ///< c/l divisions.
+  std::uint64_t check_exp_evals = 0; ///< checker-side exponent evaluations
+                                     ///< (zero in the shared-weight design).
+  std::uint64_t check_dot_mults = 0; ///< checker-side score recomputation
+                                     ///< (zero in the shared-weight design).
+  std::uint64_t check_dot_adds = 0;
+  std::uint64_t compares = 0;        ///< checksum comparisons.
+
+  std::uint64_t cycles = 0;          ///< streaming cycles executed.
+
+  [[nodiscard]] std::uint64_t datapath_ops() const {
+    return dot_mults + dot_adds + update_mults + update_adds + exp_evals +
+           max_ops + ell_ops + output_divs;
+  }
+  [[nodiscard]] std::uint64_t checker_ops() const {
+    return sumrow_adds + check_mults + check_adds + check_divs +
+           check_exp_evals + check_dot_mults + check_dot_adds + compares;
+  }
+
+  ActivityCounters& operator+=(const ActivityCounters& other);
+};
+
+}  // namespace flashabft

@@ -1,0 +1,76 @@
+// Dense row-major matrix — the tensor substrate of the library.
+//
+// Q, K, V and attention outputs are small (sequence length x head dimension)
+// dense matrices; a simple owning row-major container with bounds-checked
+// element access is all the paper's computations need.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+/// Owning dense row-major matrix of `T`.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix with value-initialized elements.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, T fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+    FLASHABFT_ENSURE_MSG(r < rows_ && c < cols_,
+                         "(" << r << ',' << c << ") out of " << rows_ << 'x'
+                             << cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+    FLASHABFT_ENSURE_MSG(r < rows_ && c < cols_,
+                         "(" << r << ',' << c << ") out of " << rows_ << 'x'
+                             << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row `r` (length = cols()).
+  [[nodiscard]] std::span<T> row(std::size_t r) {
+    FLASHABFT_ENSURE(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    FLASHABFT_ENSURE(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<T> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> flat() const {
+    return {data_.data(), data_.size()};
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixF = Matrix<float>;
+
+}  // namespace flashabft

@@ -1,0 +1,28 @@
+#include "tensor/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  FLASHABFT_ENSURE(bound != 0);
+  // Rejection sampling on the top bits: unbiased and still cheap.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = gen_.next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_gaussian() {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  const double u1 = 1.0 - next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace flashabft

@@ -1,0 +1,70 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+AttentionInputs generate_gaussian(std::size_t seq_len, std::size_t head_dim,
+                                  Rng& rng, double q_stddev, double k_stddev,
+                                  double v_stddev) {
+  AttentionInputs w;
+  w.q = MatrixD(seq_len, head_dim);
+  w.k = MatrixD(seq_len, head_dim);
+  w.v = MatrixD(seq_len, head_dim);
+  fill_gaussian(w.q, rng, 0.0, q_stddev);
+  fill_gaussian(w.k, rng, 0.0, k_stddev);
+  fill_gaussian(w.v, rng, 0.0, v_stddev);
+  return w;
+}
+
+AttentionInputs generate_llm_like(const ModelPreset& preset,
+                                  std::size_t seq_len, Rng& rng) {
+  const std::size_t d = preset.head_dim;
+  const double rho = preset.token_correlation;
+  const double shared_w = std::sqrt(rho);
+  const double own_w = std::sqrt(1.0 - rho);
+
+  // A small set of topic directions; each token belongs to one topic, and a
+  // query scores high against the keys of its own topic. This is what makes
+  // the softmax concentrate on a handful of keys per query — the qualitative
+  // signature of real-prompt attention maps.
+  constexpr std::size_t kTopics = 4;
+  std::vector<std::vector<double>> topics(kTopics, std::vector<double>(d));
+  for (auto& topic : topics) {
+    for (double& t : topic) t = rng.next_gaussian();
+  }
+
+  AttentionInputs w;
+  w.q = MatrixD(seq_len, d);
+  w.k = MatrixD(seq_len, d);
+  w.v = MatrixD(seq_len, d);
+  for (std::size_t i = 0; i < seq_len; ++i) {
+    const auto& topic = topics[rng.next_below(kTopics)];
+    for (std::size_t x = 0; x < d; ++x) {
+      const double shared = shared_w * topic[x];
+      w.q(i, x) =
+          preset.q_stddev * (shared + own_w * rng.next_gaussian());
+      w.k(i, x) =
+          preset.k_stddev * (shared + own_w * rng.next_gaussian());
+      w.v(i, x) = preset.v_stddev * rng.next_gaussian();
+    }
+  }
+  return w;
+}
+
+std::vector<AttentionInputs> generate_calibration_set(
+    const ModelPreset& preset, std::size_t seq_len, std::size_t count,
+    std::uint64_t seed) {
+  std::vector<AttentionInputs> set;
+  set.reserve(count);
+  const Rng base(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng = base.derive(i);
+    set.push_back(generate_llm_like(preset, seq_len, rng));
+  }
+  return set;
+}
+
+}  // namespace flashabft

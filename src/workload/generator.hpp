@@ -1,0 +1,38 @@
+// Synthetic attention-workload generation.
+//
+// Substitutes for the paper's HuggingFace activations: seeded generators
+// produce Q/K/V with LLM-layer-like statistics. The token-correlation model
+// draws each key as a mix of a shared "topic" direction and an independent
+// component, which reproduces the qualitative softmax behaviour of real
+// prompts (a handful of dominant keys per query, the rest in the tail) —
+// the property that determines the dynamic range of m, l and o registers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/inputs.hpp"
+#include "tensor/random.hpp"
+#include "workload/model_presets.hpp"
+
+namespace flashabft {
+
+/// Plain iid-Gaussian workload (the simplest distribution; used by tests).
+[[nodiscard]] AttentionInputs generate_gaussian(std::size_t seq_len,
+                                                std::size_t head_dim,
+                                                Rng& rng,
+                                                double q_stddev = 1.0,
+                                                double k_stddev = 1.0,
+                                                double v_stddev = 1.0);
+
+/// LLM-layer-like workload for `preset` with `seq_len` tokens: correlated
+/// key/query directions per the preset's token_correlation.
+[[nodiscard]] AttentionInputs generate_llm_like(const ModelPreset& preset,
+                                                std::size_t seq_len, Rng& rng);
+
+/// A batch of independent workloads (e.g. the calibration set).
+[[nodiscard]] std::vector<AttentionInputs> generate_calibration_set(
+    const ModelPreset& preset, std::size_t seq_len, std::size_t count,
+    std::uint64_t seed);
+
+}  // namespace flashabft

@@ -1,0 +1,48 @@
+#include "workload/model_presets.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+double ModelPreset::attention_scale() const {
+  return 1.0 / std::sqrt(double(head_dim));
+}
+
+namespace {
+
+const std::array<ModelPreset, 4>& preset_table() {
+  // Head counts / model dims follow the public configurations:
+  // BERT-base (12 x 64 = 768), Phi-3-mini (32 x 96 = 3072),
+  // Llama-3.1-8B (32 x 128 = 4096), Gemma2 (8 x 256 = 2048).
+  //
+  // Activation scales: per-head Q/K/V values of pretrained encoders (after
+  // LayerNorm and the head projection) concentrate well below 1 — standard
+  // deviations around 0.3-0.6. The scale matters for fault statistics: a
+  // bf16 value in [1, 2) has exponent 0x7F, one exponent-MSB flip away from
+  // a NaN pattern, so over-scaled synthetic activations inflate the
+  // Silent-NaN rate relative to real prompts (EXPERIMENTS.md).
+  static const std::array<ModelPreset, 4> presets = {{
+      {"bert", 64, 12, 768, 0.55, 0.50, 0.45, 0.35},
+      {"phi-3-mini", 96, 32, 3072, 0.50, 0.45, 0.45, 0.30},
+      {"llama-3.1", 128, 32, 4096, 0.50, 0.45, 0.40, 0.30},
+      {"gemma2", 256, 8, 2048, 0.45, 0.40, 0.40, 0.25},
+  }};
+  return presets;
+}
+
+}  // namespace
+
+std::span<const ModelPreset> paper_models() { return preset_table(); }
+
+const ModelPreset& preset_by_name(const std::string& name) {
+  for (const ModelPreset& p : preset_table()) {
+    if (p.name == name) return p;
+  }
+  FLASHABFT_ENSURE_MSG(false, "unknown model preset '" << name << '\'');
+  return preset_table()[0];  // unreachable
+}
+
+}  // namespace flashabft

@@ -1,0 +1,45 @@
+// Attention-layer shape presets of the four LLMs the paper injects faults
+// into (§IV-B): "we evaluated the layers of Bert, Phi-3-mini, Llama-3.1, and
+// Gemma2, which have hidden dimensions of 64, 96, 128, and 256" (per-head
+// dimensions of the first attention layer).
+//
+// The real models' weights are not available offline; what Table I depends
+// on is the head dimension (which sets the register-file sizes and hence the
+// fault-site population) and realistic activation statistics. The presets
+// capture both; the generator produces matching synthetic Q/K/V.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace flashabft {
+
+/// Shape + activation statistics of one model's attention layer.
+struct ModelPreset {
+  std::string name;
+  std::size_t head_dim = 64;    ///< d — the paper's "hidden dimension".
+  std::size_t num_heads = 12;
+  std::size_t model_dim = 768;  ///< embedding width (= heads * head_dim here).
+  /// Activation scales: Q/K projections of pretrained encoders produce
+  /// roughly zero-mean values with these standard deviations (order 1 after
+  /// layer normalization).
+  double q_stddev = 1.0;
+  double k_stddev = 1.0;
+  double v_stddev = 1.0;
+  /// Fraction of score variance shared across tokens (topical correlation);
+  /// higher values concentrate softmax mass on fewer keys.
+  double token_correlation = 0.3;
+
+  /// The transformer convention: scores scaled by 1/sqrt(d).
+  [[nodiscard]] double attention_scale() const;
+};
+
+/// The paper's four evaluation models, in Table I column order
+/// (d = 64, 96, 128, 256).
+[[nodiscard]] std::span<const ModelPreset> paper_models();
+
+/// Lookup by name ("bert", "phi-3-mini", "llama-3.1", "gemma2").
+[[nodiscard]] const ModelPreset& preset_by_name(const std::string& name);
+
+}  // namespace flashabft

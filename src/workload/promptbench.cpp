@@ -1,0 +1,32 @@
+#include "workload/promptbench.hpp"
+
+namespace flashabft {
+
+const std::vector<PromptCategory>& prompt_suite() {
+  static const std::vector<PromptCategory> suite = {
+      {"sentiment", 128, 0.45, 1.0},
+      {"question_answering", 256, 0.35, 1.1},
+      {"summarization", 512, 0.30, 0.9},
+      {"code_completion", 384, 0.25, 1.2},
+      {"adversarial_noise", 256, 0.05, 1.4},
+  };
+  return suite;
+}
+
+std::vector<AttentionInputs> generate_prompt_suite(const ModelPreset& preset,
+                                                   std::uint64_t seed) {
+  std::vector<AttentionInputs> workloads;
+  const Rng base(seed);
+  std::size_t index = 0;
+  for (const PromptCategory& cat : prompt_suite()) {
+    ModelPreset adjusted = preset;
+    adjusted.token_correlation = cat.correlation;
+    adjusted.q_stddev *= cat.score_gain;
+    adjusted.k_stddev *= cat.score_gain;
+    Rng rng = base.derive(index++);
+    workloads.push_back(generate_llm_like(adjusted, cat.seq_len, rng));
+  }
+  return workloads;
+}
+
+}  // namespace flashabft

@@ -1,0 +1,37 @@
+// Synthetic "PromptBench-like" prompt suite.
+//
+// The paper derives switching activity "by running attention kernels for
+// various Large Language Models and benchmarks from PromptBench" (§IV-A).
+// PromptBench itself needs model checkpoints; this substitute defines a
+// suite of prompt *categories* whose attention statistics differ in the ways
+// that matter for activity estimation: score temperature (how peaked the
+// softmax is), topical correlation, and sequence length. Each category
+// yields seeded AttentionInputs; the suite is used for power-model activity
+// and threshold calibration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace flashabft {
+
+/// One prompt category of the synthetic suite.
+struct PromptCategory {
+  std::string name;
+  std::size_t seq_len = 256;
+  double correlation = 0.3;   ///< topical key/query correlation.
+  double score_gain = 1.0;    ///< scales Q/K stddev (softmax temperature).
+};
+
+/// The categories of the synthetic suite (sentiment, QA, summarization,
+/// code, adversarial-noise — mirroring PromptBench's task mix).
+[[nodiscard]] const std::vector<PromptCategory>& prompt_suite();
+
+/// Generates one workload per category for `preset`, deterministically.
+[[nodiscard]] std::vector<AttentionInputs> generate_prompt_suite(
+    const ModelPreset& preset, std::uint64_t seed);
+
+}  // namespace flashabft

@@ -1,0 +1,91 @@
+#include "workload/trace_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xFA8F7ACE;  // "Flash-ABFT trace"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = (unsigned char)((v >> (8 * i)) & 0xFF);
+  os.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  unsigned char bytes[4];
+  is.read(reinterpret_cast<char*>(bytes), 4);
+  FLASHABFT_ENSURE_MSG(is.good(), "trace truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(bytes[i]) << (8 * i);
+  return v;
+}
+
+void write_matrix(std::ostream& os, const MatrixD& m) {
+  const auto flat = m.flat();
+  os.write(reinterpret_cast<const char*>(flat.data()),
+           std::streamsize(flat.size() * sizeof(double)));
+}
+
+void read_matrix(std::istream& is, MatrixD& m) {
+  const auto flat = m.flat();
+  is.read(reinterpret_cast<char*>(flat.data()),
+          std::streamsize(flat.size() * sizeof(double)));
+  FLASHABFT_ENSURE_MSG(is.good(), "trace payload truncated");
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const AttentionInputs& workload) {
+  FLASHABFT_ENSURE(workload.q.cols() == workload.k.cols());
+  FLASHABFT_ENSURE(workload.k.rows() == workload.v.rows());
+  write_u32(os, kMagic);
+  write_u32(os, kVersion);
+  write_u32(os, std::uint32_t(workload.q.rows()));
+  write_u32(os, std::uint32_t(workload.k.rows()));
+  write_u32(os, std::uint32_t(workload.q.cols()));
+  write_matrix(os, workload.q);
+  write_matrix(os, workload.k);
+  write_matrix(os, workload.v);
+  FLASHABFT_ENSURE_MSG(os.good(), "trace write failed");
+}
+
+AttentionInputs read_trace(std::istream& is) {
+  FLASHABFT_ENSURE_MSG(read_u32(is) == kMagic, "not a flash-abft trace");
+  FLASHABFT_ENSURE_MSG(read_u32(is) == kVersion,
+                       "unsupported trace version");
+  const std::size_t n_q = read_u32(is);
+  const std::size_t n_k = read_u32(is);
+  const std::size_t d = read_u32(is);
+  FLASHABFT_ENSURE_MSG(n_q > 0 && n_k > 0 && d > 0, "degenerate trace dims");
+  AttentionInputs w;
+  w.q = MatrixD(n_q, d);
+  w.k = MatrixD(n_k, d);
+  w.v = MatrixD(n_k, d);
+  read_matrix(is, w.q);
+  read_matrix(is, w.k);
+  read_matrix(is, w.v);
+  return w;
+}
+
+void save_trace(const std::string& path, const AttentionInputs& workload) {
+  std::ofstream os(path, std::ios::binary);
+  FLASHABFT_ENSURE_MSG(os.is_open(), "cannot open " << path);
+  write_trace(os, workload);
+}
+
+AttentionInputs load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FLASHABFT_ENSURE_MSG(is.is_open(), "cannot open " << path);
+  return read_trace(is);
+}
+
+}  // namespace flashabft

@@ -1,0 +1,27 @@
+// Attention-workload trace I/O.
+//
+// Downstream users of the library will want to replay *their* Q/K/V
+// activations (dumped from a real model) through the checker and the fault
+// campaigns. The trace format is a minimal self-describing binary: magic,
+// version, three dimension fields, then row-major float64 payloads for Q, K
+// and V. Integers are little-endian.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "attention/inputs.hpp"
+
+namespace flashabft {
+
+/// Serializes a workload to a stream. Throws EnsureError on I/O failure.
+void write_trace(std::ostream& os, const AttentionInputs& workload);
+
+/// Reads a workload back. Throws EnsureError on malformed input.
+[[nodiscard]] AttentionInputs read_trace(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_trace(const std::string& path, const AttentionInputs& workload);
+[[nodiscard]] AttentionInputs load_trace(const std::string& path);
+
+}  // namespace flashabft

@@ -1,0 +1,229 @@
+// Tests of the attention kernel family: the reference oracle, Alg. 1 (lazy
+// softmax division) and Alg. 2 (FlashAttention-2) must agree across shapes,
+// distributions and masks — including adversarial score ranges that stress
+// the online max tracking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "attention/flash_attention2.hpp"
+#include "attention/lazy_softmax_attention.hpp"
+#include "attention/reference_attention.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d,
+                         AttentionMask mask = AttentionMask::kNone) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  cfg.mask = mask;
+  return cfg;
+}
+
+TEST(ReferenceAttention, SingleKeyIsIdentityOverV) {
+  // With one key, softmax is 1 and the output equals V's single row.
+  Rng rng(1);
+  const AttentionInputs w = generate_gaussian(1, 8, rng);
+  MatrixD q(3, 8);
+  fill_gaussian(q, rng);
+  const MatrixD out = reference_attention(q, w.k, w.v, make_cfg(1, 8));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t x = 0; x < 8; ++x) EXPECT_NEAR(out(i, x), w.v(0, x), 1e-12);
+  }
+}
+
+TEST(ReferenceAttention, UniformScoresAverageV) {
+  // Zero queries -> all scores equal -> output is the mean of V's rows.
+  const std::size_t n = 16, d = 4;
+  Rng rng(2);
+  AttentionInputs w = generate_gaussian(n, d, rng);
+  MatrixD q(2, d);  // zero queries
+  const MatrixD out = reference_attention(q, w.k, w.v, make_cfg(n, d));
+  for (std::size_t x = 0; x < d; ++x) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += w.v(i, x);
+    mean /= double(n);
+    EXPECT_NEAR(out(0, x), mean, 1e-12);
+    EXPECT_NEAR(out(1, x), mean, 1e-12);
+  }
+}
+
+TEST(ReferenceAttention, OutputIsConvexCombinationOfV) {
+  // Each output element lies within [min, max] of its V column.
+  Rng rng(3);
+  const std::size_t n = 32, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const MatrixD out = reference_attention(w.q, w.k, w.v, make_cfg(n, d));
+  for (std::size_t x = 0; x < d; ++x) {
+    double lo = w.v(0, x), hi = w.v(0, x);
+    for (std::size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, w.v(i, x));
+      hi = std::max(hi, w.v(i, x));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(out(i, x), lo - 1e-9);
+      EXPECT_LE(out(i, x), hi + 1e-9);
+    }
+  }
+}
+
+TEST(ReferenceAttention, ScoreMatrixRowsSumToOne) {
+  Rng rng(4);
+  const AttentionInputs w = generate_gaussian(12, 6, rng);
+  const MatrixD s = reference_score_matrix(w.q, w.k, make_cfg(12, 6));
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < s.cols(); ++j) sum += s(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence sweep: Alg. 1 == Alg. 2 == reference, over (n, d) shapes.
+// ---------------------------------------------------------------------------
+class KernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(KernelEquivalence, LazyMatchesReference) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 131 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  const MatrixD lazy = lazy_softmax_attention(w.q, w.k, w.v, cfg);
+  EXPECT_LT(max_abs_diff(ref, lazy), 1e-11);
+}
+
+TEST_P(KernelEquivalence, FlashMatchesReference) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 977 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  const MatrixD flash = flash_attention2(w.q, w.k, w.v, cfg);
+  EXPECT_LT(max_abs_diff(ref, flash), 1e-11);
+}
+
+TEST_P(KernelEquivalence, CausalFlashMatchesCausalReference) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 31 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d, AttentionMask::kCausal);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  const MatrixD flash = flash_attention2(w.q, w.k, w.v, cfg);
+  EXPECT_LT(max_abs_diff(ref, flash), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelEquivalence,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 16),
+                      std::make_tuple(2, 8), std::make_tuple(7, 3),
+                      std::make_tuple(16, 64), std::make_tuple(33, 5),
+                      std::make_tuple(64, 32), std::make_tuple(128, 16)));
+
+TEST(FlashAttention2, HandlesAdversarialScoreOrdering) {
+  // Keys arranged so the running max increases at every step, then a run
+  // where it never increases — stresses both rescale branches.
+  const std::size_t n = 32, d = 4;
+  MatrixD q(1, d), k(n, d), v(n, d);
+  q(0, 0) = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, 0) = i < n / 2 ? double(i) : -double(i);  // rising then falling
+    v(i, 1) = double(i);
+  }
+  AttentionConfig cfg = make_cfg(n, d);
+  cfg.scale = 1.0;
+  const MatrixD ref = reference_attention(q, k, v, cfg);
+  const MatrixD flash = flash_attention2(q, k, v, cfg);
+  EXPECT_LT(max_abs_diff(ref, flash), 1e-11);
+}
+
+TEST(FlashAttention2, LargeScoresDoNotOverflow) {
+  // Scores around +-700 overflow exp() without max subtraction.
+  const std::size_t n = 8, d = 2;
+  MatrixD q(2, d), k(n, d), v(n, d);
+  q(0, 0) = 700.0;
+  q(1, 0) = -700.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, 0) = (i % 2 == 0) ? 1.0 : -1.0;
+    v(i, 0) = double(i);
+  }
+  AttentionConfig cfg = make_cfg(n, d);
+  cfg.scale = 1.0;
+  const MatrixD out = flash_attention2(q, k, v, cfg);
+  for (const double x : out.flat()) EXPECT_TRUE(std::isfinite(x));
+  const MatrixD ref = reference_attention(q, k, v, cfg);
+  EXPECT_LT(max_abs_diff(ref, out), 1e-9);
+}
+
+TEST(FlashAttention2, StatsMatchDefinition) {
+  Rng rng(10);
+  const std::size_t n = 24, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  FlashAttentionStats stats;
+  (void)flash_attention2(w.q, w.k, w.v, cfg, &stats);
+  ASSERT_EQ(stats.row_max.size(), n);
+  ASSERT_EQ(stats.row_sum_exp.size(), n);
+  // Check against a direct computation for a few rows.
+  for (const std::size_t qi : {std::size_t(0), std::size_t(5), n - 1}) {
+    double m = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t x = 0; x < d; ++x) s += w.q(qi, x) * w.k(i, x);
+      m = std::max(m, s * cfg.scale);
+    }
+    EXPECT_NEAR(stats.row_max[qi], m, 1e-12);
+    double ell = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t x = 0; x < d; ++x) s += w.q(qi, x) * w.k(i, x);
+      ell += std::exp(s * cfg.scale - m);
+    }
+    EXPECT_NEAR(stats.row_sum_exp[qi], ell, 1e-9 * ell);
+  }
+}
+
+TEST(FlashAttention2, HardwareExpModeStaysClose) {
+  Rng rng(12);
+  const std::size_t n = 64, d = 16;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const MatrixD exact = flash_attention2(w.q, w.k, w.v, cfg);
+  const MatrixD hw =
+      flash_attention2(w.q, w.k, w.v, cfg, nullptr, ExpMode::kHardware);
+  // Hardware exp is ~1e-7 accurate; outputs are convex combinations.
+  EXPECT_LT(max_abs_diff(exact, hw), 1e-5);
+}
+
+TEST(Attention, RectangularQueryBlockWorks) {
+  // n_q != n_k (no mask): 5 queries against 40 keys.
+  Rng rng(13);
+  MatrixD q(5, 8);
+  fill_gaussian(q, rng);
+  const AttentionInputs w = generate_gaussian(40, 8, rng);
+  const AttentionConfig cfg = make_cfg(40, 8);
+  const MatrixD ref = reference_attention(q, w.k, w.v, cfg);
+  const MatrixD flash = flash_attention2(q, w.k, w.v, cfg);
+  EXPECT_LT(max_abs_diff(ref, flash), 1e-11);
+}
+
+TEST(Attention, CausalFirstRowAttendsOnlyFirstKey) {
+  Rng rng(14);
+  const std::size_t n = 10, d = 4;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d, AttentionMask::kCausal);
+  const MatrixD out = reference_attention(w.q, w.k, w.v, cfg);
+  for (std::size_t x = 0; x < d; ++x) {
+    EXPECT_NEAR(out(0, x), w.v(0, x), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace flashabft

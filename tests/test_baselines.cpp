@@ -1,0 +1,148 @@
+// Tests of the baseline checking schemes: traditional per-matmul ABFT,
+// the extreme-value screen, and the checking-cost accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "attention/reference_attention.hpp"
+#include "core/abft_cost.hpp"
+#include "core/extreme_value_screen.hpp"
+#include "core/matmul_abft.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  return cfg;
+}
+
+TEST(MatmulAbft, ProductCheckAgreesFaultFree) {
+  Rng rng(61);
+  MatrixD a(8, 12), b(12, 10);
+  fill_gaussian(a, rng);
+  fill_gaussian(b, rng);
+  const MatrixD c = matmul(a, b);
+  const MatmulCheck check = abft_check_product(a, b, c);
+  EXPECT_LT(check.residual(), 1e-10);
+}
+
+TEST(MatmulAbft, ProductCheckCatchesCorruptedElement) {
+  Rng rng(63);
+  MatrixD a(8, 12), b(12, 10);
+  fill_gaussian(a, rng);
+  fill_gaussian(b, rng);
+  MatrixD c = matmul(a, b);
+  c(4, 7) += 0.01;
+  const MatmulCheck check = abft_check_product(a, b, c);
+  EXPECT_NEAR(check.residual(), 0.01, 1e-9);
+}
+
+TEST(MatmulAbft, TwoStepAttentionAgreesWithReference) {
+  Rng rng(65);
+  const std::size_t n = 24, d = 16;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const TwoStepAbftAttention run = two_step_abft_attention(w.q, w.k, w.v, cfg);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  EXPECT_LT(max_abs_diff(run.output, ref), 1e-10);
+}
+
+TEST(MatmulAbft, TwoStepChecksPassFaultFree) {
+  Rng rng(67);
+  const std::size_t n = 32, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const TwoStepAbftAttention run =
+      two_step_abft_attention(w.q, w.k, w.v, make_cfg(n, d));
+  EXPECT_LT(run.qk_check.residual(), 1e-9);
+  EXPECT_LT(run.sv_check.residual(), 1e-9);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  EXPECT_EQ(run.verdict(checker), CheckVerdict::kPass);
+}
+
+TEST(MatmulAbft, VerdictAlarmsWhenEitherCheckTrips) {
+  TwoStepAbftAttention run;
+  run.qk_check = {1.0, 1.0};
+  run.sv_check = {2.0, 2.0};
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  EXPECT_EQ(run.verdict(checker), CheckVerdict::kPass);
+  run.qk_check.actual = 1.5;
+  EXPECT_EQ(run.verdict(checker), CheckVerdict::kAlarm);
+  run.qk_check.actual = 1.0;
+  run.sv_check.predicted = 3.0;
+  EXPECT_EQ(run.verdict(checker), CheckVerdict::kAlarm);
+}
+
+TEST(ExtremeScreen, CleanTensorPasses) {
+  Rng rng(69);
+  MatrixD m(16, 16);
+  fill_gaussian(m, rng, 0.0, 100.0);
+  const ExtremeValueReport report = extreme_value_screen(m);
+  EXPECT_FALSE(report.any());
+  EXPECT_EQ(report.verdict(), CheckVerdict::kPass);
+}
+
+TEST(ExtremeScreen, FlagsNanInfAndNearInf) {
+  MatrixD m(2, 3);
+  m(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  m(0, 1) = std::numeric_limits<double>::infinity();
+  m(1, 0) = 1e31;  // beyond the default near-inf threshold
+  const ExtremeValueReport report = extreme_value_screen(m);
+  EXPECT_EQ(report.nan_count, 1u);
+  EXPECT_EQ(report.inf_count, 1u);
+  EXPECT_EQ(report.near_inf_count, 1u);
+  EXPECT_EQ(report.verdict(), CheckVerdict::kAlarm);
+}
+
+TEST(ExtremeScreen, MissesNumericallyPlausibleCorruption) {
+  // The screen's fundamental limitation (why the paper's checksum matters):
+  // a sign flip is invisible to range screening.
+  Rng rng(71);
+  MatrixD m(8, 8);
+  fill_gaussian(m, rng);
+  m(3, 3) = -m(3, 3);
+  EXPECT_FALSE(extreme_value_screen(m).any());
+}
+
+TEST(AbftCost, FlashAbftStateAndOpsVersusTwoStep) {
+  // The quantitative form of the paper's "redundant checks eliminated"
+  // claim: op counts stay within a small factor of the two-step baseline,
+  // while live checker state drops from O(N^2) (materialized scores) to
+  // O(N) — the property that makes the check compatible with fused
+  // FlashAttention dataflow at all.
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    for (const std::size_t d : {64u, 128u}) {
+      const CheckingCost flash = flash_abft_cost(n, d);
+      const CheckingCost two = two_step_abft_cost(n, d);
+      EXPECT_LT(flash.total_ops(), 2 * two.total_ops()) << n << 'x' << d;
+      EXPECT_LT(flash.state_words, two.state_words / 8) << n << 'x' << d;
+    }
+  }
+}
+
+TEST(AbftCost, FlashStateIsLinearTwoStepQuadratic) {
+  const CheckingCost f1 = flash_abft_cost(128, 64);
+  const CheckingCost f2 = flash_abft_cost(256, 64);
+  // Flash-ABFT live state grows linearly with N...
+  EXPECT_NEAR(double(f2.state_words) / double(f1.state_words), 2.0, 0.1);
+  const CheckingCost t1 = two_step_abft_cost(128, 64);
+  const CheckingCost t2 = two_step_abft_cost(256, 64);
+  // ...while the two-step baseline's S-matrix state grows ~quadratically.
+  EXPECT_GT(double(t2.state_words) / double(t1.state_words), 3.5);
+}
+
+TEST(AbftCost, ExtremeScreenIsCheapestButStateless) {
+  const CheckingCost screen = extreme_screen_cost(256, 128);
+  const CheckingCost flash = flash_abft_cost(256, 128);
+  EXPECT_LT(screen.total_ops(), flash.total_ops());
+  EXPECT_EQ(screen.state_words, 1u);
+}
+
+}  // namespace
+}  // namespace flashabft

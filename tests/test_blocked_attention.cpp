@@ -1,0 +1,109 @@
+// Tests of the blocked (tiled) Flash-ABFT kernel: tiling invariance of both
+// the output and the checksums.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/reference_attention.hpp"
+#include "core/blocked_flash_attention.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d,
+                         AttentionMask mask = AttentionMask::kNone) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  cfg.mask = mask;
+  return cfg;
+}
+
+class BlockSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockSizeSweep, OutputInvariantToTiling) {
+  const std::size_t bc = GetParam();
+  Rng rng(1000 + bc);
+  const std::size_t n = 96, d = 32;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const CheckedAttention unblocked = flash_abft_attention(w.q, w.k, w.v, cfg);
+  const CheckedAttention blocked = blocked_flash_abft_attention(
+      w.q, w.k, w.v, cfg, BlockConfig{bc});
+  EXPECT_LT(max_abs_diff(unblocked.output, blocked.output), 1e-11) << bc;
+  EXPECT_NEAR(unblocked.predicted_checksum, blocked.predicted_checksum,
+              1e-9 * (1.0 + std::fabs(unblocked.predicted_checksum)))
+      << bc;
+}
+
+TEST_P(BlockSizeSweep, ChecksumIdentityHoldsPerTileSize) {
+  const std::size_t bc = GetParam();
+  Rng rng(2000 + bc);
+  const std::size_t n = 80, d = 16;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const CheckedAttention run = blocked_flash_abft_attention(
+      w.q, w.k, w.v, make_cfg(n, d), BlockConfig{bc});
+  EXPECT_LT(run.residual(), 1e-9 * (1.0 + std::fabs(run.actual_checksum)))
+      << bc;
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, BlockSizeSweep,
+                         ::testing::Values(1, 2, 7, 16, 32, 64, 128, 1024));
+
+TEST(BlockedFlashAbft, MatchesReference) {
+  Rng rng(3);
+  const std::size_t n = 64, d = 24;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  const CheckedAttention run =
+      blocked_flash_abft_attention(w.q, w.k, w.v, cfg, BlockConfig{16});
+  EXPECT_LT(max_abs_diff(run.output, ref), 1e-11);
+}
+
+TEST(BlockedFlashAbft, CausalMaskAcrossTiles) {
+  Rng rng(5);
+  const std::size_t n = 48, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d, AttentionMask::kCausal);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  const CheckedAttention run =
+      blocked_flash_abft_attention(w.q, w.k, w.v, cfg, BlockConfig{13});
+  EXPECT_LT(max_abs_diff(run.output, ref), 1e-11);
+  EXPECT_LT(run.residual(), 1e-9);
+}
+
+TEST(BlockedFlashAbft, TileLargerThanSequenceDegradesToUnblocked) {
+  Rng rng(7);
+  const std::size_t n = 20, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const CheckedAttention a = flash_abft_attention(w.q, w.k, w.v, cfg);
+  const CheckedAttention b =
+      blocked_flash_abft_attention(w.q, w.k, w.v, cfg, BlockConfig{4096});
+  EXPECT_LT(max_abs_diff(a.output, b.output), 1e-12);
+}
+
+TEST(BlockedFlashAbft, ZeroBlockSizeRejected) {
+  Rng rng(9);
+  const AttentionInputs w = generate_gaussian(8, 4, rng);
+  EXPECT_THROW((void)blocked_flash_abft_attention(
+                   w.q, w.k, w.v, make_cfg(8, 4), BlockConfig{0}),
+               EnsureError);
+}
+
+TEST(BlockedFlashAbft, ReplicatedEllOptionWorks) {
+  Rng rng(11);
+  const AttentionInputs w = generate_gaussian(32, 16, rng);
+  FlashAbftOptions opts;
+  opts.replicate_ell = true;
+  const CheckedAttention run = blocked_flash_abft_attention(
+      w.q, w.k, w.v, make_cfg(32, 16), BlockConfig{8}, opts);
+  EXPECT_LT(run.residual(), 1e-9);
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,89 @@
+// Tests of the comparator semantics (including the paper's NaN blind spot)
+// and threshold calibration.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "core/checker.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(Checker, PassesWithinAbsoluteTolerance) {
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  EXPECT_EQ(checker.compare(1.0, 1.0), CheckVerdict::kPass);
+  EXPECT_EQ(checker.compare(1.0, 1.0 + 9e-7), CheckVerdict::kPass);
+  EXPECT_EQ(checker.compare(1.0, 1.0 - 9e-7), CheckVerdict::kPass);
+}
+
+TEST(Checker, AlarmsBeyondAbsoluteTolerance) {
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  EXPECT_EQ(checker.compare(1.0, 1.0 + 2e-6), CheckVerdict::kAlarm);
+  EXPECT_EQ(checker.compare(-5.0, 5.0), CheckVerdict::kAlarm);
+}
+
+TEST(Checker, RelativeToleranceScalesWithMagnitude) {
+  const Checker checker(CheckerConfig{0.0, 1e-6});
+  EXPECT_EQ(checker.compare(1e6, 1e6 + 0.5), CheckVerdict::kPass);
+  EXPECT_EQ(checker.compare(1e6, 1e6 + 2.0), CheckVerdict::kAlarm);
+}
+
+TEST(Checker, NanDifferenceRaisesNoAlarm) {
+  // Paper §IV-B: bit flips yielding NaN are *silent* — a NaN difference
+  // fails the > comparison. This asymmetry is modeled deliberately.
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(checker.compare(nan, 1.0), CheckVerdict::kPass);
+  EXPECT_EQ(checker.compare(1.0, nan), CheckVerdict::kPass);
+  EXPECT_EQ(checker.compare(nan, nan), CheckVerdict::kPass);
+}
+
+TEST(Checker, InfinityMismatchDoesAlarm) {
+  // inf - finite = inf > tol: an Inf-corrupted checksum *is* detected
+  // (contrast with NaN).
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(checker.compare(inf, 1.0), CheckVerdict::kAlarm);
+  EXPECT_EQ(checker.compare(1.0, -inf), CheckVerdict::kAlarm);
+  // Same-signed infinities produce a NaN difference -> silent.
+  EXPECT_EQ(checker.compare(inf, inf), CheckVerdict::kPass);
+}
+
+TEST(Calibration, ThresholdIsMarginAboveWorstResidual) {
+  const std::vector<double> residuals{1e-9, 3e-9, 2e-10};
+  EXPECT_DOUBLE_EQ(calibrate_abs_threshold(residuals, 10.0), 3e-8);
+}
+
+TEST(Calibration, FloorAppliedForExactAgreement) {
+  const std::vector<double> residuals{0.0, 0.0};
+  EXPECT_GT(calibrate_abs_threshold(residuals), 0.0);
+}
+
+TEST(Calibration, RejectsNonFiniteResiduals) {
+  const std::vector<double> residuals{
+      1e-9, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)calibrate_abs_threshold(residuals), EnsureError);
+}
+
+TEST(Calibration, RejectsEmptyAndBadMargin) {
+  EXPECT_THROW((void)calibrate_abs_threshold({}), EnsureError);
+  const std::vector<double> residuals{1e-9};
+  EXPECT_THROW((void)calibrate_abs_threshold(residuals, 0.5), EnsureError);
+}
+
+TEST(Checker, CalibratedThresholdSeparatesNoiseFromFaults) {
+  // End-to-end property: residuals below the calibration set never alarm;
+  // a fault one decade above the threshold always does.
+  const std::vector<double> residuals{2e-9, 5e-9, 1e-9};
+  const double tol = calibrate_abs_threshold(residuals, 10.0);
+  const Checker checker(CheckerConfig{tol, 0.0});
+  for (const double r : residuals) {
+    EXPECT_EQ(checker.compare(1.0, 1.0 + r), CheckVerdict::kPass);
+  }
+  EXPECT_EQ(checker.compare(1.0, 1.0 + 10.0 * tol), CheckVerdict::kAlarm);
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,139 @@
+// Tests of the checksum algebra (paper §III-A): the three equivalent forms
+// of the predicted checksum — Eq. (5) from the materialized score matrix,
+// Eq. (8) per query, and the exact column-sum identity against the actual
+// attention output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "attention/reference_attention.hpp"
+#include "core/checksum.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d,
+                         AttentionMask mask = AttentionMask::kNone) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  cfg.mask = mask;
+  return cfg;
+}
+
+TEST(Checksum, ValueRowSumsDefinition) {
+  MatrixD v(2, 3);
+  v(0, 0) = 1; v(0, 1) = 2; v(0, 2) = 3;
+  v(1, 0) = -1; v(1, 1) = 0; v(1, 2) = 1;
+  const auto sums = value_row_sums(v);
+  EXPECT_EQ(sums, (std::vector<double>{6, 0}));
+}
+
+// The summation-interchange identity (Eq. 5 == Eq. 7/8): both oracle forms
+// must agree to double-precision rounding.
+class ChecksumForms
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ChecksumForms, ScoreFormEqualsPerQueryForm) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 7919 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const double a = predicted_checksum_from_scores(w.q, w.k, w.v, cfg);
+  const double b = predicted_checksum_per_query(w.q, w.k, w.v, cfg);
+  EXPECT_NEAR(a, b, 1e-9 * (1.0 + std::fabs(a)));
+}
+
+// The ABFT identity itself: predicted checksum == sum of all elements of the
+// attention output (exact in real arithmetic; ~1e-10 in double).
+TEST_P(ChecksumForms, PredictedMatchesActualOutputChecksum) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 104729 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const MatrixD out = reference_attention(w.q, w.k, w.v, cfg);
+  const double actual = output_checksum(out);
+  const double predicted = predicted_checksum_per_query(w.q, w.k, w.v, cfg);
+  EXPECT_NEAR(predicted, actual, 1e-9 * (1.0 + std::fabs(actual)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ChecksumForms,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(4, 4),
+                      std::make_tuple(16, 8), std::make_tuple(32, 64),
+                      std::make_tuple(64, 128), std::make_tuple(128, 32),
+                      std::make_tuple(256, 16)));
+
+TEST(Checksum, IdentityHoldsUnderCausalMask) {
+  Rng rng(31);
+  const std::size_t n = 48, d = 16;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d, AttentionMask::kCausal);
+  const MatrixD out = reference_attention(w.q, w.k, w.v, cfg);
+  const double predicted = predicted_checksum_per_query(w.q, w.k, w.v, cfg);
+  EXPECT_NEAR(predicted, output_checksum(out), 1e-9);
+}
+
+TEST(Checksum, IdentityHoldsForLlmLikeWorkloads) {
+  Rng rng(33);
+  for (const ModelPreset& preset : paper_models()) {
+    const AttentionInputs w = generate_llm_like(preset, 64, rng);
+    AttentionConfig cfg = make_cfg(64, preset.head_dim);
+    cfg.scale = preset.attention_scale();
+    const MatrixD out = reference_attention(w.q, w.k, w.v, cfg);
+    const double predicted =
+        predicted_checksum_per_query(w.q, w.k, w.v, cfg);
+    EXPECT_NEAR(predicted, output_checksum(out),
+                1e-9 * (1.0 + std::fabs(predicted)))
+        << preset.name;
+  }
+}
+
+TEST(Checksum, PerQueryChecksEqualOutputRowSums) {
+  Rng rng(35);
+  const std::size_t n = 24, d = 12;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const MatrixD out = reference_attention(w.q, w.k, w.v, cfg);
+  const auto checks = per_query_checksums(w.q, w.k, w.v, cfg);
+  const auto rows = row_sums(out);
+  ASSERT_EQ(checks.size(), rows.size());
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    EXPECT_NEAR(checks[i], rows[i], 1e-10) << "query " << i;
+  }
+}
+
+TEST(Checksum, SensitiveToOutputPerturbation) {
+  // The whole point: perturb one output element and the actual checksum
+  // moves by exactly that amount while the prediction stays put.
+  Rng rng(37);
+  const std::size_t n = 16, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  MatrixD out = reference_attention(w.q, w.k, w.v, cfg);
+  const double predicted = predicted_checksum_per_query(w.q, w.k, w.v, cfg);
+  out(3, 4) += 0.125;
+  EXPECT_NEAR(output_checksum(out) - predicted, 0.125, 1e-9);
+}
+
+TEST(Checksum, ScaleCommutesThroughChecksum) {
+  // Eq. 8 holds with any score scale: the derivation never uses scale == 1.
+  Rng rng(39);
+  const std::size_t n = 20, d = 10;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  for (const double scale : {0.1, 1.0, 3.0}) {
+    AttentionConfig cfg = make_cfg(n, d);
+    cfg.scale = scale;
+    const MatrixD out = reference_attention(w.q, w.k, w.v, cfg);
+    EXPECT_NEAR(predicted_checksum_per_query(w.q, w.k, w.v, cfg),
+                output_checksum(out), 1e-9)
+        << scale;
+  }
+}
+
+}  // namespace
+}  // namespace flashabft

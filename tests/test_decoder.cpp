@@ -1,0 +1,189 @@
+// Tests of cross-attention, the decoder layer, and causal masking in the
+// cycle-level accelerator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstring>
+
+#include "attention/reference_attention.hpp"
+#include "fault/calibrate.hpp"
+#include "model/decoder_layer.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(CrossAttention, MatchesReferencePerHead) {
+  Rng rng(61);
+  const MultiHeadAttention mha(32, 2, 16, rng);
+  MatrixD x_q(6, 32), memory(20, 32);
+  fill_gaussian(x_q, rng);
+  fill_gaussian(memory, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  const MhaResult ref =
+      mha.forward_cross(x_q, memory, AttentionBackend::kReference, checker);
+  const MhaResult abft =
+      mha.forward_cross(x_q, memory, AttentionBackend::kFlashAbft, checker);
+  EXPECT_LT(max_abs_diff(ref.output, abft.output), 1e-9);
+  ASSERT_EQ(abft.checks.size(), 2u);
+  for (const HeadCheckReport& r : abft.checks) {
+    EXPECT_EQ(r.verdict, CheckVerdict::kPass);
+  }
+}
+
+TEST(CrossAttention, OutputShapeFollowsQueries) {
+  Rng rng(62);
+  const MultiHeadAttention mha(16, 2, 8, rng);
+  MatrixD x_q(3, 16), memory(40, 16);
+  fill_gaussian(x_q, rng);
+  fill_gaussian(memory, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  const MhaResult out =
+      mha.forward_cross(x_q, memory, AttentionBackend::kFlashAttention2,
+                        checker);
+  EXPECT_EQ(out.output.rows(), 3u);
+  EXPECT_EQ(out.output.cols(), 16u);
+}
+
+TEST(DecoderLayerTest, ForwardShapesAndProtection) {
+  Rng rng(63);
+  DecoderLayerConfig cfg;
+  cfg.model_dim = 48;
+  cfg.num_heads = 3;
+  cfg.head_dim = 16;
+  cfg.ffn_dim = 96;
+  const DecoderLayer layer(cfg, rng);
+  MatrixD x(10, 48), memory(14, 48);
+  fill_gaussian(x, rng);
+  fill_gaussian(memory, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  const DecoderLayerResult out =
+      layer.forward(x, memory, AttentionBackend::kFlashAbft, checker);
+  EXPECT_EQ(out.output.rows(), 10u);
+  EXPECT_EQ(out.output.cols(), 48u);
+  EXPECT_EQ(out.self_checks.size(), 3u);
+  EXPECT_EQ(out.cross_checks.size(), 3u);
+  EXPECT_FALSE(out.any_alarm());
+  for (const double v : out.output.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(DecoderLayerTest, BackendsAgree) {
+  Rng rng(64);
+  DecoderLayerConfig cfg;
+  cfg.model_dim = 32;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.ffn_dim = 64;
+  const DecoderLayer layer(cfg, rng);
+  MatrixD x(8, 32), memory(12, 32);
+  fill_gaussian(x, rng);
+  fill_gaussian(memory, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  const MatrixD a =
+      layer.forward(x, memory, AttentionBackend::kReference, checker).output;
+  const MatrixD b =
+      layer.forward(x, memory, AttentionBackend::kFlashAbft, checker).output;
+  EXPECT_LT(max_abs_diff(a, b), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Causal masking in the cycle-level accelerator.
+// ---------------------------------------------------------------------------
+
+AccelConfig causal_config() {
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 8;
+  cfg.scale = 1.0 / std::sqrt(8.0);
+  cfg.mask = AttentionMask::kCausal;
+  cfg.detect_threshold = 1e-5;
+  cfg.detect_threshold_global = 1e-4;
+  return cfg;
+}
+
+TEST(CausalAccelerator, MatchesCausalReference) {
+  const AccelConfig cfg = causal_config();
+  const Accelerator accel(cfg);
+  Rng rng(65);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+  EXPECT_FALSE(run.per_query_alarm);
+
+  AttentionConfig acfg;
+  acfg.seq_len = 16;
+  acfg.head_dim = 8;
+  acfg.scale = cfg.scale;
+  acfg.mask = AttentionMask::kCausal;
+  const MatrixD ref = reference_attention(
+      quantize_bf16(w.q), quantize_bf16(w.k), quantize_bf16(w.v), acfg);
+  EXPECT_LT(max_abs_diff(run.output, ref), 2e-3);
+}
+
+TEST(CausalAccelerator, FirstQueryCopiesFirstValue) {
+  const Accelerator accel(causal_config());
+  Rng rng(66);
+  const AttentionInputs w = generate_gaussian(8, 8, rng);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+  for (std::size_t x = 0; x < 8; ++x) {
+    EXPECT_NEAR(run.output(0, x), round_to(w.v(0, x), NumberFormat::kBf16),
+                2e-3);
+  }
+}
+
+TEST(CausalAccelerator, RequiresSquareProblem) {
+  const Accelerator accel(causal_config());
+  Rng rng(67);
+  MatrixD q(4, 8);
+  fill_gaussian(q, rng);
+  const AttentionInputs w = generate_gaussian(8, 8, rng);
+  EXPECT_THROW((void)accel.run(q, w.k, w.v), EnsureError);
+}
+
+TEST(CausalAccelerator, FaultDetectionStillWorks) {
+  AccelConfig cfg = causal_config();
+  Rng rng(68);
+  auto w = generate_gaussian(16, 8, rng);
+  std::vector<AttentionInputs> calib;
+  calib.push_back(generate_gaussian(16, 8, rng));
+  cfg = with_calibrated_thresholds(cfg, calib, 10.0);
+  const Accelerator accel(cfg);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+
+  InjectedFault f;
+  f.site = {SiteKind::kOutput, 3, 2};
+  f.bit = 28;
+  f.cycle = 20;  // pass 1, after lane 3's query (index 7) has seen key 4
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  EXPECT_GT(max_abs_diff(run.output, golden.output), cfg.detect_threshold);
+  EXPECT_TRUE(run.alarm(CompareGranularity::kPerQuery));
+}
+
+TEST(CausalAccelerator, ReplayStaysExact) {
+  const AccelConfig cfg = causal_config();
+  const Accelerator accel(cfg);
+  Rng rng(69);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  const SiteMap map(cfg, SiteMask::all());
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto loc = map.locate(rng.next_below(map.total_bits()));
+    InjectedFault f;
+    f.site = map.records()[loc.record_index].site;
+    f.bit = loc.bit;
+    f.cycle = std::size_t(rng.next_below(accel.total_cycles(16, 16)));
+    const AccelRunResult full = accel.run(w.q, w.k, w.v, {f});
+    const AccelRunResult fast =
+        accel.replay_with_faults(w.q, w.k, w.v, golden, {f});
+    ASSERT_EQ(std::memcmp(full.output.flat().data(), fast.output.flat().data(),
+                          full.output.size() * sizeof(double)),
+              0)
+        << trial;
+    EXPECT_EQ(full.per_query_alarm, fast.per_query_alarm);
+  }
+}
+
+}  // namespace
+}  // namespace flashabft

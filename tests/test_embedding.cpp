@@ -1,0 +1,81 @@
+// Tests of the token-embedding front-end (model/embedding.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/embedding.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(Tokenize, SplitsWordsAndPunctuation) {
+  const auto tokens = tokenize("Attention is all you need!");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0], "attention");
+  EXPECT_EQ(tokens[4], "need");
+  EXPECT_EQ(tokens[5], "!");
+}
+
+TEST(Tokenize, LowercasesAndHandlesDigits) {
+  const auto tokens = tokenize("GPT-4 has 175B parameters");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "gpt");
+  EXPECT_EQ(tokens[1], "-");
+  EXPECT_EQ(tokens[2], "4");
+}
+
+TEST(Tokenize, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   \t\n ").empty());
+}
+
+TEST(EmbeddingTable, DeterministicTokenIds) {
+  const Embedding emb(1000, 64, 7);
+  EXPECT_EQ(emb.token_id("attention"), emb.token_id("attention"));
+  EXPECT_NE(emb.token_id("attention"), emb.token_id("checksum"));
+  EXPECT_LT(emb.token_id("anything"), emb.vocab_size());
+}
+
+TEST(EmbeddingTable, SameTokenSameEmbeddingPlusPosition) {
+  const Embedding emb(512, 32, 9);
+  const MatrixD m = emb.embed({"fault", "fault"});
+  // Rows differ only by the positional encoding.
+  for (std::size_t x = 0; x < 32; ++x) {
+    const double diff = m(1, x) - m(0, x);
+    const double pe_diff =
+        positional_encoding(1, x, 32) - positional_encoding(0, x, 32);
+    EXPECT_NEAR(diff, pe_diff, 1e-12);
+  }
+}
+
+TEST(PositionalEncoding, MatchesVaswaniDefinition) {
+  // PE(pos, 2i) = sin(pos / 10000^(2i/d)); PE(pos, 2i+1) = cos(...).
+  EXPECT_NEAR(positional_encoding(0, 0, 16), 0.0, 1e-12);
+  EXPECT_NEAR(positional_encoding(0, 1, 16), 1.0, 1e-12);
+  EXPECT_NEAR(positional_encoding(3, 0, 16), std::sin(3.0), 1e-12);
+  EXPECT_NEAR(positional_encoding(5, 7, 16),
+              std::cos(5.0 / std::pow(10000.0, 6.0 / 16.0)), 1e-12);
+}
+
+TEST(EmbeddingTable, EmbedTextEndToEnd) {
+  const Embedding emb(2048, 128, 11);
+  const MatrixD m = emb.embed_text("transformers need reliable hardware");
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 128u);
+  for (const double v : m.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EmbeddingTable, ActivationScaleReasonable) {
+  // Embedding rows should be O(1) so the bf16 accelerator inputs are in
+  // their comfortable range.
+  const Embedding emb(4096, 64, 13);
+  const MatrixD m = emb.embed_text(
+      "the quick brown fox jumps over the lazy dog again and again");
+  double max_abs = 0.0;
+  for (const double v : m.flat()) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_LT(max_abs, 8.0);
+  EXPECT_GT(max_abs, 0.1);
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,227 @@
+// Tests of the fault-campaign machinery: threshold calibration, fault-plan
+// drawing, classification and small end-to-end campaign properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "fault/calibrate.hpp"
+#include "fault/campaign.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AccelConfig test_config(std::size_t lanes = 4, std::size_t d = 8) {
+  AccelConfig cfg;
+  cfg.lanes = lanes;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  return cfg;
+}
+
+std::vector<AttentionInputs> calib_set(std::size_t n, std::size_t d) {
+  std::vector<AttentionInputs> set;
+  const Rng base(555);
+  for (int i = 0; i < 3; ++i) {
+    Rng rng = base.derive(std::uint64_t(i));
+    set.push_back(generate_gaussian(n, d, rng));
+  }
+  return set;
+}
+
+TEST(Calibrate, ThresholdsAboveResidualsAndFinite) {
+  const AccelConfig cfg = test_config();
+  const auto set = calib_set(16, 8);
+  const Accelerator accel(cfg);
+  const CheckerCalibration cal = calibrate_checker(accel, set, 10.0);
+  EXPECT_GT(cal.per_query_threshold, cal.worst_per_query_residual);
+  EXPECT_GT(cal.global_threshold, cal.worst_global_residual);
+  EXPECT_TRUE(std::isfinite(cal.per_query_threshold));
+  // The calibrated accelerator never alarms on its calibration set.
+  const AccelConfig tuned = with_calibrated_thresholds(cfg, set, 10.0);
+  const Accelerator tuned_accel(tuned);
+  for (const AttentionInputs& w : set) {
+    const AccelRunResult run = tuned_accel.run(w.q, w.k, w.v);
+    EXPECT_FALSE(run.per_query_alarm);
+    EXPECT_FALSE(run.global_alarm);
+  }
+}
+
+TEST(Calibrate, ThresholdScaleMatchesPaperOrder) {
+  // With the default register widths the calibrated per-query threshold
+  // lands near the paper's 1e-6 scale (documented in EXPERIMENTS.md).
+  const AccelConfig cfg = test_config(8, 64);
+  const auto set = calib_set(64, 64);
+  const AccelConfig tuned = with_calibrated_thresholds(cfg, set, 10.0);
+  EXPECT_LT(tuned.detect_threshold, 1e-3);
+  EXPECT_GT(tuned.detect_threshold, 1e-9);
+}
+
+class CampaignFixture : public ::testing::Test {
+ protected:
+  CampaignFixture() {
+    const AccelConfig base = test_config();
+    auto set = calib_set(16, 8);
+    cfg_ = with_calibrated_thresholds(base, set, 10.0);
+    runner_ = std::make_unique<CampaignRunner>(cfg_, std::move(set.front()));
+  }
+  AccelConfig cfg_;
+  std::unique_ptr<CampaignRunner> runner_;
+};
+
+TEST_F(CampaignFixture, GoldenIsAlarmFree) {
+  EXPECT_FALSE(runner_->golden().per_query_alarm);
+  EXPECT_FALSE(runner_->golden().global_alarm);
+}
+
+TEST_F(CampaignFixture, DrawPlanRespectsMaskAndRanges) {
+  const SiteMap map(cfg_, SiteMask::checker_only());
+  CampaignConfig draw_cfg;
+  Rng rng(31337);
+  for (int i = 0; i < 200; ++i) {
+    const FaultPlan plan = runner_->draw_plan(rng, map, draw_cfg);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_TRUE(is_checker_site(plan[0].site.kind));
+    EXPECT_LT(plan[0].cycle, runner_->accelerator().total_cycles(16, 16));
+    EXPECT_GE(plan[0].bit, 0);
+    EXPECT_LT(plan[0].bit, 64);
+  }
+}
+
+TEST_F(CampaignFixture, DrawDistributionFollowsBitWeights) {
+  // Site kinds should be hit proportionally to their bit share; with q
+  // (16 x 8 bits/lane) vs o (32 x 8 bits/lane), o must be drawn ~2x as often.
+  const SiteMap map(cfg_, SiteMask{});
+  CampaignConfig draw_cfg;
+  Rng rng(999);
+  std::map<SiteKind, int> hits;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const FaultPlan plan = runner_->draw_plan(rng, map, draw_cfg);
+    ++hits[plan[0].site.kind];
+  }
+  const double q_share = double(hits[SiteKind::kQuery]) / trials;
+  const double o_share = double(hits[SiteKind::kOutput]) / trials;
+  EXPECT_NEAR(o_share / q_share, 2.0, 0.15);
+  // Checker share equals its bit fraction.
+  const double checker_share =
+      double(hits[SiteKind::kCheckAcc] + hits[SiteKind::kSumRow] +
+             hits[SiteKind::kGlobalPred] + hits[SiteKind::kGlobalActual]) /
+      trials;
+  const double expected =
+      double(map.checker_bits()) / double(map.total_bits());
+  EXPECT_NEAR(checker_share, expected, 0.01);
+}
+
+TEST_F(CampaignFixture, ClassifyAgainstConstructedOutcomes) {
+  const AccelRunResult& golden = runner_->golden();
+  // Identical run, no alarm -> masked.
+  EXPECT_EQ(runner_->classify(golden, 0.0), FaultOutcome::kMasked);
+  // Corrupt output, no alarm -> silent.
+  AccelRunResult silent = golden;
+  silent.output(0, 0) += 1.0;
+  EXPECT_EQ(runner_->classify(silent, 0.0), FaultOutcome::kSilent);
+  // Corrupt output with alarm -> detected.
+  AccelRunResult detected = silent;
+  detected.per_query_alarm = true;
+  EXPECT_EQ(runner_->classify(detected, 0.0), FaultOutcome::kDetected);
+  // Clean output with alarm -> false positive.
+  AccelRunResult fp = golden;
+  fp.global_alarm = true;
+  EXPECT_EQ(runner_->classify(fp, 0.0), FaultOutcome::kFalsePositive);
+}
+
+TEST_F(CampaignFixture, NanOutputCountsAsCorrupted) {
+  AccelRunResult faulty = runner_->golden();
+  faulty.output(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(runner_->classify(faulty, 0.0), FaultOutcome::kSilent);
+}
+
+TEST_F(CampaignFixture, CampaignsAreSeedReproducible) {
+  CampaignConfig cc;
+  cc.num_campaigns = 60;
+  cc.seed = 42;
+  const CampaignStats a = runner_->run(cc);
+  const CampaignStats b = runner_->run(cc);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.false_positive, b.false_positive);
+  EXPECT_EQ(a.silent, b.silent);
+  EXPECT_EQ(a.masked_draws, b.masked_draws);
+}
+
+TEST_F(CampaignFixture, CheckerOnlyFaultsNeverDetectedAsDatapathErrors) {
+  CampaignConfig cc;
+  cc.num_campaigns = 80;
+  cc.site_mask = SiteMask::checker_only();
+  cc.seed = 7;
+  const CampaignStats stats = runner_->run(cc);
+  // Checker faults cannot corrupt the output: only false positives (or
+  // masked/exhausted draws) are possible.
+  EXPECT_EQ(stats.detected, 0u);
+  EXPECT_EQ(stats.silent, 0u);
+  EXPECT_GT(stats.false_positive, 0u);
+}
+
+TEST_F(CampaignFixture, DatapathOnlyFaultsNeverFalsePositive) {
+  CampaignConfig cc;
+  cc.num_campaigns = 80;
+  cc.site_mask = SiteMask::datapath_only();
+  cc.seed = 11;
+  const CampaignStats stats = runner_->run(cc);
+  EXPECT_EQ(stats.false_positive, 0u);
+  EXPECT_GT(stats.detected, 0u);
+}
+
+TEST_F(CampaignFixture, StatsBookkeepingConsistent) {
+  CampaignConfig cc;
+  cc.num_campaigns = 100;
+  cc.seed = 13;
+  const CampaignStats stats = runner_->run(cc);
+  EXPECT_EQ(stats.classified() + stats.exhausted, cc.num_campaigns);
+  EXPECT_GT(stats.detected, stats.silent);  // detection dominates
+  // Per-site tallies sum to the classified totals.
+  std::size_t by_site_total = 0;
+  for (const auto& kind_row : stats.by_site) {
+    by_site_total += kind_row[std::size_t(FaultOutcome::kDetected)];
+    by_site_total += kind_row[std::size_t(FaultOutcome::kFalsePositive)];
+    by_site_total += kind_row[std::size_t(FaultOutcome::kSilent)];
+  }
+  EXPECT_EQ(by_site_total, stats.classified());
+}
+
+TEST(WilsonInterval, BasicProperties) {
+  const Proportion p = wilson_interval(98, 100);
+  EXPECT_NEAR(p.rate, 0.98, 1e-12);
+  EXPECT_LT(p.ci_low, 0.98);
+  EXPECT_GT(p.ci_high, 0.98);
+  EXPECT_GE(p.ci_low, 0.0);
+  EXPECT_LE(p.ci_high, 1.0);
+  // Degenerate cases.
+  const Proportion zero = wilson_interval(0, 0);
+  EXPECT_EQ(zero.rate, 0.0);
+  const Proportion all = wilson_interval(50, 50);
+  EXPECT_EQ(all.rate, 1.0);
+  EXPECT_LT(all.ci_low, 1.0);
+}
+
+TEST(MultiFault, MoreFaultsDetectedAtLeastAsOften) {
+  const AccelConfig base = test_config();
+  auto set = calib_set(16, 8);
+  const AccelConfig cfg = with_calibrated_thresholds(base, set, 10.0);
+  const CampaignRunner runner(cfg, std::move(set.front()));
+  CampaignConfig one;
+  one.num_campaigns = 120;
+  one.seed = 17;
+  CampaignConfig five = one;
+  five.faults_per_campaign = 5;
+  const CampaignStats s1 = runner.run(one);
+  const CampaignStats s5 = runner.run(five);
+  // With five upsets, at least one is consequential far more often: the
+  // masked fraction must drop.
+  EXPECT_LT(s5.masked_fraction(), s1.masked_fraction() + 0.05);
+  EXPECT_GT(s5.detected, 0u);
+}
+
+}  // namespace
+}  // namespace flashabft

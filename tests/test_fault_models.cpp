@@ -1,0 +1,184 @@
+// Tests of the extended fault models: stuck-at-0/1 and multi-cycle
+// intermittents, including replay-path exactness under them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fault/calibrate.hpp"
+#include "fault/campaign.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AccelConfig small_config() {
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 8;
+  cfg.scale = 1.0 / std::sqrt(8.0);
+  cfg.detect_threshold = 1e-5;
+  cfg.detect_threshold_global = 1e-4;
+  return cfg;
+}
+
+TEST(FaultValue, ForceBitSemantics) {
+  // Force sign bit of a positive number to 1 -> negative; to 0 -> no-op.
+  EXPECT_EQ(force_stored_bit(3.0, NumberFormat::kFp64, 63, true), -3.0);
+  EXPECT_EQ(force_stored_bit(3.0, NumberFormat::kFp64, 63, false), 3.0);
+  EXPECT_EQ(force_stored_bit(-2.0f, NumberFormat::kFp32, 31, false), 2.0);
+  // Idempotent.
+  const double once = force_stored_bit(1.7, NumberFormat::kFp32, 5, true);
+  EXPECT_EQ(force_stored_bit(once, NumberFormat::kFp32, 5, true), once);
+}
+
+TEST(FaultValue, ApplyFaultDispatch) {
+  InjectedFault f;
+  f.bit = 63;
+  f.type = FaultType::kBitFlip;
+  EXPECT_EQ(apply_fault_value(1.0, NumberFormat::kFp64, f), -1.0);
+  f.type = FaultType::kStuckAt1;
+  EXPECT_EQ(apply_fault_value(1.0, NumberFormat::kFp64, f), -1.0);
+  f.type = FaultType::kStuckAt0;
+  EXPECT_EQ(apply_fault_value(-1.0, NumberFormat::kFp64, f), 1.0);
+}
+
+TEST(FaultTiming, ActivityWindows) {
+  InjectedFault flip;
+  flip.cycle = 10;
+  flip.type = FaultType::kBitFlip;
+  flip.duration = 99;  // ignored for flips
+  EXPECT_TRUE(flip.active_at(10));
+  EXPECT_FALSE(flip.active_at(11));
+  EXPECT_EQ(flip.last_cycle(), 10u);
+
+  InjectedFault stuck;
+  stuck.cycle = 10;
+  stuck.type = FaultType::kStuckAt0;
+  stuck.duration = 5;
+  EXPECT_FALSE(stuck.active_at(9));
+  EXPECT_TRUE(stuck.active_at(10));
+  EXPECT_TRUE(stuck.active_at(14));
+  EXPECT_FALSE(stuck.active_at(15));
+  EXPECT_EQ(stuck.last_cycle(), 14u);
+}
+
+TEST(StuckAt, PersistentDatapathDefectIsDetected) {
+  const AccelConfig cfg = small_config();
+  const Accelerator accel(cfg);
+  Rng rng(42);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+
+  InjectedFault f;
+  f.site = {SiteKind::kOutput, 1, 2};
+  f.bit = 29;  // high exponent bit
+  f.type = FaultType::kStuckAt1;
+  f.cycle = 0;
+  f.duration = accel.total_cycles(16, 16);  // stuck for the whole run
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  EXPECT_GT(max_abs_diff(run.output, golden.output), 1e-3);
+  EXPECT_TRUE(run.alarm(CompareGranularity::kPerQuery));
+}
+
+TEST(StuckAt, ForcingCurrentValueIsMasked) {
+  // Stuck-at-0 on a bit that is already 0 never perturbs anything.
+  const AccelConfig cfg = small_config();
+  const Accelerator accel(cfg);
+  Rng rng(43);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+
+  InjectedFault f;
+  f.site = {SiteKind::kMax, 0, 0};
+  f.bit = 31;  // sign bit: scores here make m positive... force it to its
+  f.type = FaultType::kStuckAt0;
+  f.cycle = 8;
+  f.duration = 4;
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  // m is positive for this workload (sign bit already 0): nothing changes.
+  if (golden.per_query_pred[0] > 0) {
+    EXPECT_EQ(std::memcmp(&run.global_actual, &golden.global_actual, 8), 0);
+  }
+}
+
+TEST(StuckAt, ReplayMatchesFullRun) {
+  const AccelConfig cfg = small_config();
+  const Accelerator accel(cfg);
+  Rng rng(44);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  const SiteMap map(cfg, SiteMask::all());
+
+  Rng draw(4567);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto loc = map.locate(draw.next_below(map.total_bits()));
+    InjectedFault f;
+    f.site = map.records()[loc.record_index].site;
+    f.bit = loc.bit;
+    f.type = (trial % 2 == 0) ? FaultType::kStuckAt0 : FaultType::kStuckAt1;
+    f.cycle = std::size_t(draw.next_below(accel.total_cycles(16, 16)));
+    f.duration = 1 + std::size_t(draw.next_below(40));  // may span passes
+    const AccelRunResult full = accel.run(w.q, w.k, w.v, {f});
+    const AccelRunResult fast =
+        accel.replay_with_faults(w.q, w.k, w.v, golden, {f});
+    ASSERT_EQ(std::memcmp(full.output.flat().data(), fast.output.flat().data(),
+                          full.output.size() * sizeof(double)),
+              0)
+        << "trial " << trial;
+    EXPECT_EQ(full.per_query_alarm, fast.per_query_alarm);
+    EXPECT_EQ(full.global_alarm, fast.global_alarm);
+  }
+}
+
+TEST(StuckAt, CampaignRunsEndToEnd) {
+  AccelConfig cfg = small_config();
+  Rng rng(45);
+  auto w = generate_gaussian(16, 8, rng);
+  std::vector<AttentionInputs> calib;
+  calib.push_back(generate_gaussian(16, 8, rng));
+  cfg = with_calibrated_thresholds(cfg, calib, 10.0);
+
+  CampaignRunner runner(cfg, std::move(w));
+  CampaignConfig cc;
+  cc.num_campaigns = 60;
+  cc.fault_type = FaultType::kStuckAt1;
+  cc.fault_duration = 8;
+  cc.seed = 5;
+  const CampaignStats stats = runner.run(cc);
+  EXPECT_EQ(stats.classified() + stats.exhausted, cc.num_campaigns);
+  EXPECT_GT(stats.detected, 0u);
+}
+
+TEST(StuckAt, LongerWindowsMaskLess) {
+  AccelConfig cfg = small_config();
+  Rng rng(46);
+  auto w = generate_gaussian(32, 8, rng);
+  std::vector<AttentionInputs> calib;
+  calib.push_back(generate_gaussian(32, 8, rng));
+  cfg = with_calibrated_thresholds(cfg, calib, 10.0);
+  CampaignRunner runner(cfg, std::move(w));
+
+  auto masked_at = [&](std::size_t duration) {
+    CampaignConfig cc;
+    cc.num_campaigns = 150;
+    cc.fault_type = FaultType::kStuckAt1;
+    cc.fault_duration = duration;
+    cc.seed = 6;
+    return runner.run(cc).masked_fraction();
+  };
+  // A 64-cycle window gives the defect far more chances to matter than a
+  // 1-cycle one; allow slack for sampling noise.
+  EXPECT_LT(masked_at(64), masked_at(1) + 0.02);
+}
+
+TEST(FaultTypeNames, AllNamed) {
+  EXPECT_STREQ(fault_type_name(FaultType::kBitFlip), "bit_flip");
+  EXPECT_STREQ(fault_type_name(FaultType::kStuckAt0), "stuck_at_0");
+  EXPECT_STREQ(fault_type_name(FaultType::kStuckAt1), "stuck_at_1");
+}
+
+}  // namespace
+}  // namespace flashabft

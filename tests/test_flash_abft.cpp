@@ -1,0 +1,156 @@
+// Tests of the Alg. 3 kernel (the paper's contribution in software form):
+// output correctness, online-checksum agreement, fault sensitivity and the
+// replicated-l design option.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "attention/reference_attention.hpp"
+#include "core/checksum.hpp"
+#include "core/flash_abft.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d,
+                         AttentionMask mask = AttentionMask::kNone) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  cfg.mask = mask;
+  return cfg;
+}
+
+class FlashAbftSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(FlashAbftSweep, OutputMatchesReference) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 613 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const CheckedAttention run = flash_abft_attention(w.q, w.k, w.v, cfg);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  EXPECT_LT(max_abs_diff(run.output, ref), 1e-11);
+}
+
+TEST_P(FlashAbftSweep, OnlineChecksumAgreesFaultFree) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 127 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const CheckedAttention run = flash_abft_attention(w.q, w.k, w.v, cfg);
+  // Both sides accumulate in double from identical weights: the fault-free
+  // residual is rounding-level.
+  EXPECT_LT(run.residual(), 1e-9 * (1.0 + std::fabs(run.actual_checksum)));
+}
+
+TEST_P(FlashAbftSweep, OnlineChecksumMatchesOracleForms) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 503 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const CheckedAttention run = flash_abft_attention(w.q, w.k, w.v, cfg);
+  const double oracle = predicted_checksum_per_query(w.q, w.k, w.v, cfg);
+  EXPECT_NEAR(run.predicted_checksum, oracle,
+              1e-9 * (1.0 + std::fabs(oracle)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FlashAbftSweep,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(8, 8),
+                      std::make_tuple(16, 64), std::make_tuple(64, 128),
+                      std::make_tuple(128, 96), std::make_tuple(256, 64)));
+
+TEST(FlashAbft, PerQueryValuesMatchRowSums) {
+  Rng rng(41);
+  const std::size_t n = 32, d = 16;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const CheckedAttention run =
+      flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(run.per_query_predicted[i], run.per_query_actual[i], 1e-10)
+        << "query " << i;
+  }
+}
+
+TEST(FlashAbft, DetectsOutputCorruption) {
+  Rng rng(43);
+  const std::size_t n = 32, d = 16;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  CheckedAttention run = flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d));
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  EXPECT_EQ(checker.compare(run.predicted_checksum, run.actual_checksum),
+            CheckVerdict::kPass);
+  // Corrupt one output element by more than the threshold and recompute the
+  // actual checksum as the hardware's output reduction would.
+  run.output(5, 3) += 1e-3;
+  const double corrupted_actual = output_checksum(run.output);
+  EXPECT_EQ(checker.compare(run.predicted_checksum, corrupted_actual),
+            CheckVerdict::kAlarm);
+}
+
+TEST(FlashAbft, CausalMaskSupported) {
+  Rng rng(45);
+  const std::size_t n = 40, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const AttentionConfig cfg = make_cfg(n, d, AttentionMask::kCausal);
+  const CheckedAttention run = flash_abft_attention(w.q, w.k, w.v, cfg);
+  const MatrixD ref = reference_attention(w.q, w.k, w.v, cfg);
+  EXPECT_LT(max_abs_diff(run.output, ref), 1e-11);
+  EXPECT_LT(run.residual(), 1e-9);
+}
+
+TEST(FlashAbft, ReplicatedEllAgreesFaultFree) {
+  Rng rng(47);
+  const std::size_t n = 48, d = 24;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  FlashAbftOptions opts;
+  opts.replicate_ell = true;
+  const CheckedAttention run =
+      flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d), opts);
+  EXPECT_LT(run.residual(), 1e-9);
+}
+
+TEST(FlashAbft, HardwareExpModeResidualStaysSmall) {
+  // With the hardware exponent unit both the output path and the checksum
+  // path use the same weights, so the residual stays at rounding level even
+  // though the weights themselves are approximate.
+  Rng rng(49);
+  const std::size_t n = 64, d = 32;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  FlashAbftOptions opts;
+  opts.exp_mode = ExpMode::kHardware;
+  const CheckedAttention run =
+      flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d), opts);
+  EXPECT_LT(run.residual(), 1e-9 * (1.0 + std::fabs(run.actual_checksum)));
+}
+
+TEST(FlashAbft, VerifyWrapperPassesFaultFree) {
+  Rng rng(51);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  EXPECT_EQ(flash_abft_verify(w.q, w.k, w.v, make_cfg(16, 8), checker),
+            CheckVerdict::kPass);
+}
+
+TEST(FlashAbft, ChecksumScalesWithValueMagnitude) {
+  // check = sum of all outputs; scaling V by alpha scales it by alpha.
+  Rng rng(53);
+  const std::size_t n = 16, d = 8;
+  AttentionInputs w = generate_gaussian(n, d, rng);
+  const CheckedAttention base =
+      flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d));
+  for (double& x : w.v.flat()) x *= 4.0;
+  const CheckedAttention scaled =
+      flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d));
+  EXPECT_NEAR(scaled.predicted_checksum, 4.0 * base.predicted_checksum,
+              1e-8 * (1.0 + std::fabs(base.predicted_checksum)));
+}
+
+}  // namespace
+}  // namespace flashabft

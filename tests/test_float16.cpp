@@ -1,0 +1,113 @@
+// Unit tests for the IEEE binary16 type used by register-width ablations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "numerics/float16.hpp"
+#include "numerics/float_bits.hpp"
+#include "numerics/rounding.hpp"
+#include "tensor/random.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  for (const float v : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, -0.25f, 1024.0f,
+                        -2048.0f, 1.5f, 0.0009765625f}) {
+    EXPECT_EQ(fp16(v).to_float(), v) << v;
+  }
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(fp16(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(fp16(-2.0f).bits(), 0xC000);
+  EXPECT_EQ(fp16(65504.0f).bits(), 0x7BFF);  // half max
+  EXPECT_EQ(fp16(0.0f).bits(), 0x0000);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // the even mantissa (1.0) wins.
+  EXPECT_EQ(fp16(1.0f + 0x1.0p-11f).to_float(), 1.0f);
+  EXPECT_EQ(fp16(1.0f + 0x1.8p-10f).to_float(), 1.0f + 0x1.0p-9f);
+}
+
+TEST(Fp16, RoundingErrorBounded) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = float(rng.next_gaussian() * 10.0);
+    const float r = fp16(x).to_float();
+    EXPECT_LE(std::fabs(x - r), std::ldexp(std::fabs(x), -11) + 1e-7f) << x;
+  }
+}
+
+TEST(Fp16, OverflowSaturatesToInf) {
+  EXPECT_TRUE(fp16(70000.0f).is_inf());
+  EXPECT_TRUE(fp16(-1e10f).is_inf());
+  EXPECT_FALSE(fp16(65504.0f).is_inf());
+}
+
+TEST(Fp16, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(fp16(inf).is_inf());
+  EXPECT_TRUE(std::isinf(fp16(-inf).to_float()));
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(fp16(nan).is_nan());
+  EXPECT_TRUE(std::isnan(fp16(nan).to_float()));
+}
+
+TEST(Fp16, SubnormalsRepresented) {
+  // Smallest subnormal half: 2^-24.
+  const float tiny = 0x1.0p-24f;
+  EXPECT_EQ(fp16(tiny).bits(), 0x0001);
+  EXPECT_EQ(fp16(tiny).to_float(), tiny);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float big_sub = 0x0.FFCp-14f;
+  EXPECT_EQ(fp16(big_sub).to_float(), big_sub);
+  // Below half the smallest subnormal: flush to zero.
+  EXPECT_EQ(fp16(0x1.0p-26f).bits(), 0x0000);
+}
+
+TEST(Fp16, FlipBitSemantics) {
+  EXPECT_EQ(flip_bit(fp16(1.0f), 15).to_float(), -1.0f);
+  // Flipping the top exponent bit of 1.0 (exp 15 -> 31) gives inf.
+  EXPECT_TRUE(flip_bit(fp16(1.0f), 14).is_inf());
+  // Round trip.
+  const fp16 v(0.3359375f);
+  EXPECT_EQ(flip_bit(flip_bit(v, 7), 7), v);
+}
+
+TEST(Fp16, NanPayloadFlipsRoundTrip) {
+  for (int bit = 0; bit < 16; ++bit) {
+    const fp16 v(1.5f);
+    const fp16 flipped = flip_bit(v, bit);
+    const fp16 stored = fp16(flipped.to_float());
+    EXPECT_EQ(stored.bits(), flipped.bits()) << bit;
+    EXPECT_EQ(flip_bit(stored, bit).bits(), v.bits()) << bit;
+  }
+}
+
+TEST(Fp16, RoundToFormatIntegration) {
+  EXPECT_EQ(format_bits(NumberFormat::kFp16), 16);
+  EXPECT_EQ(format_name(NumberFormat::kFp16), "fp16");
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.next_gaussian();
+    const double once = round_to(v, NumberFormat::kFp16);
+    EXPECT_EQ(round_to(once, NumberFormat::kFp16), once);
+    EXPECT_LE(std::fabs(v - once), std::fabs(v) * 0x1.0p-11 + 1e-7);
+  }
+}
+
+TEST(Fp16, MorePreciseThanBf16LessRangeThanBf16) {
+  // Precision: 1.001 survives fp16 better than bf16.
+  const float x = 1.001f;
+  EXPECT_LT(std::fabs(fp16::round(x) - x), std::fabs(bf16::round(x) - x));
+  // Range: 1e20 is fine in bf16, inf in fp16.
+  EXPECT_TRUE(std::isfinite(bf16::round(1e20f)));
+  EXPECT_TRUE(std::isinf(fp16::round(1e20f)));
+}
+
+}  // namespace
+}  // namespace flashabft

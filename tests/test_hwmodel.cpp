@@ -1,0 +1,138 @@
+// Tests of the 28nm hardware cost model: component sanity, architectural
+// composition, and the Fig. 4 headline ranges (checker share of area/power).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwmodel/accelerator_cost.hpp"
+#include "hwmodel/power.hpp"
+#include "sim/accelerator.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AccelConfig paper_config(std::size_t lanes) {
+  AccelConfig cfg;
+  cfg.lanes = lanes;
+  cfg.head_dim = 128;  // paper §IV-A: d = 128
+  cfg.scale = 1.0 / std::sqrt(128.0);
+  cfg.weight_source = WeightSource::kSharedDatapath;  // the Fig. 4 design
+  return cfg;
+}
+
+TEST(Components, CostsArePositiveAndOrdered) {
+  for (const UnitKind kind : {UnitKind::kAdd, UnitKind::kMul, UnitKind::kDiv,
+                              UnitKind::kExp, UnitKind::kMax,
+                              UnitKind::kCompare}) {
+    const UnitCost b = unit_cost(kind, NumberFormat::kBf16);
+    const UnitCost f = unit_cost(kind, NumberFormat::kFp32);
+    const UnitCost d = unit_cost(kind, NumberFormat::kFp64);
+    EXPECT_GT(b.area_um2, 0.0) << unit_kind_name(kind);
+    EXPECT_LT(b.area_um2, f.area_um2) << unit_kind_name(kind);
+    EXPECT_LT(f.area_um2, d.area_um2) << unit_kind_name(kind);
+    EXPECT_LT(b.energy_pj, d.energy_pj) << unit_kind_name(kind);
+  }
+}
+
+TEST(Components, MultiplierDominatedByMantissaArray) {
+  // fp64 multiplier ~ (53/24)^2 of fp32: quadratic mantissa scaling.
+  const double ratio = unit_gate_count(UnitKind::kMul, NumberFormat::kFp64) /
+                       unit_gate_count(UnitKind::kMul, NumberFormat::kFp32);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(AcceleratorCost, AdditiveInLanes) {
+  const CostBreakdown b16 = accelerator_cost(paper_config(16));
+  const CostBreakdown b32 = accelerator_cost(paper_config(32));
+  EXPECT_GT(b32.total_area_um2(), 1.8 * b16.total_area_um2());
+  EXPECT_LT(b32.total_area_um2(), 2.2 * b16.total_area_um2());
+}
+
+TEST(AcceleratorCost, CheckerShareInPaperRange) {
+  // Fig. 4: the checker adds ~5% area (average 4.55% across 16/32 lanes).
+  for (const std::size_t lanes : {16u, 32u}) {
+    const CostBreakdown bom = accelerator_cost(paper_config(lanes));
+    const double share = bom.checker_area_share();
+    EXPECT_GT(share, 0.02) << lanes;
+    EXPECT_LT(share, 0.09) << lanes;
+  }
+}
+
+TEST(AcceleratorCost, SharedSumrowAmortizesWithMoreLanes) {
+  // "Left checksum summation is shared across the blocks, thus making it
+  // contribute less to the total area overhead" (§IV-A): the checker share
+  // shrinks from 16 to 32 lanes.
+  const double s16 = accelerator_cost(paper_config(16)).checker_area_share();
+  const double s32 = accelerator_cost(paper_config(32)).checker_area_share();
+  EXPECT_LT(s32, s16);
+}
+
+TEST(AcceleratorCost, IndependentCheckerCostsMore) {
+  AccelConfig shared = paper_config(16);
+  AccelConfig indep = shared;
+  indep.weight_source = WeightSource::kIndependentStream;
+  const double shared_share = accelerator_cost(shared).checker_area_share();
+  const double indep_share = accelerator_cost(indep).checker_area_share();
+  EXPECT_GT(indep_share, 2.0 * shared_share);
+}
+
+TEST(AcceleratorCost, ReplicatedEllIsCheapAddition) {
+  AccelConfig base = paper_config(16);
+  AccelConfig repl = base;
+  repl.replicate_ell = true;
+  const double b = accelerator_cost(base).checker_area_um2();
+  const double r = accelerator_cost(repl).checker_area_um2();
+  EXPECT_GT(r, b);
+  EXPECT_LT(r, 1.35 * b);  // one extra MAC + register per lane
+}
+
+TEST(Power, CheckerShareInPaperRange) {
+  // Fig. 4: energy overhead < 1.9% (average 1.53%).
+  const AccelConfig cfg = paper_config(16);
+  const Accelerator accel(cfg);
+  Rng rng(404);
+  const AttentionInputs w = generate_gaussian(64, 128, rng);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+  const CostBreakdown bom = accelerator_cost(cfg);
+  const PowerEstimate power = estimate_power(cfg, bom, run.activity);
+  EXPECT_GT(power.total_mw(), 0.0);
+  EXPECT_GT(power.checker_power_share(), 0.002);
+  EXPECT_LT(power.checker_power_share(), 0.04);
+  // Power overhead must come in below area overhead (the checker switches
+  // one lane out of d+1 per cycle).
+  EXPECT_LT(power.checker_power_share(), bom.checker_area_share());
+}
+
+TEST(Power, ScalesWithClockAndActivity) {
+  const AccelConfig cfg = paper_config(16);
+  const Accelerator accel(cfg);
+  Rng rng(405);
+  const AttentionInputs w = generate_gaussian(32, 128, rng);
+  const ActivityCounters act = accel.run(w.q, w.k, w.v).activity;
+  const CostBreakdown bom = accelerator_cost(cfg);
+  TechParams fast = default_tech();
+  fast.clock_ghz *= 2.0;
+  const PowerEstimate p1 = estimate_power(cfg, bom, act);
+  const PowerEstimate p2 = estimate_power(cfg, bom, act, fast);
+  // Same energy in half the time: dynamic power doubles.
+  EXPECT_NEAR(p2.datapath_dynamic_mw / p1.datapath_dynamic_mw, 2.0, 1e-9);
+}
+
+TEST(Power, RequiresActivity) {
+  const AccelConfig cfg = paper_config(16);
+  const CostBreakdown bom = accelerator_cost(cfg);
+  EXPECT_THROW((void)estimate_power(cfg, bom, ActivityCounters{}), EnsureError);
+}
+
+TEST(AcceleratorCost, ItemizationCoversDatapathAndChecker) {
+  const CostBreakdown bom = accelerator_cost(paper_config(16));
+  EXPECT_GT(bom.items.size(), 10u);
+  EXPECT_NEAR(bom.datapath_area_um2() + bom.checker_area_um2(),
+              bom.total_area_um2(), 1e-6);
+  EXPECT_GT(bom.total_leakage_uw(), 0.0);
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,158 @@
+// Cross-module integration tests: the full pipeline from workload generation
+// through the cycle-level accelerator with calibrated checking, and the
+// software kernel protecting a real encoder layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/reference_attention.hpp"
+#include "fault/calibrate.hpp"
+#include "fault/campaign.hpp"
+#include "hwmodel/accelerator_cost.hpp"
+#include "hwmodel/power.hpp"
+#include "model/encoder_layer.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/promptbench.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(Integration, AcceleratorMatchesSoftwareKernelOnLlmWorkload) {
+  const ModelPreset& preset = preset_by_name("bert");
+  Rng rng(2001);
+  const AttentionInputs w = generate_llm_like(preset, 64, rng);
+
+  AccelConfig cfg;
+  cfg.lanes = 16;
+  cfg.head_dim = preset.head_dim;
+  cfg.scale = preset.attention_scale();
+  const Accelerator accel(cfg);
+  const AccelRunResult hw = accel.run(w.q, w.k, w.v);
+
+  AttentionConfig acfg;
+  acfg.seq_len = 64;
+  acfg.head_dim = preset.head_dim;
+  acfg.scale = preset.attention_scale();
+  const MatrixD golden = reference_attention(
+      quantize_bf16(w.q), quantize_bf16(w.k), quantize_bf16(w.v), acfg);
+  EXPECT_LT(max_abs_diff(hw.output, golden), 1e-3);
+}
+
+TEST(Integration, CalibratedPipelineEndToEnd) {
+  // The full Table I pipeline on a small instance: generate workloads,
+  // calibrate, run campaigns, check invariants of the outcome distribution.
+  const ModelPreset& preset = preset_by_name("bert");
+  AccelConfig cfg;
+  cfg.lanes = 8;
+  cfg.head_dim = preset.head_dim;
+  cfg.scale = preset.attention_scale();
+
+  auto calib = generate_calibration_set(preset, 32, 3, 77);
+  cfg = with_calibrated_thresholds(cfg, calib, 10.0);
+
+  Rng rng(88);
+  CampaignRunner runner(cfg, generate_llm_like(preset, 32, rng));
+  CampaignConfig cc;
+  cc.num_campaigns = 150;
+  cc.seed = 99;
+  const CampaignStats stats = runner.run(cc);
+
+  EXPECT_EQ(stats.classified() + stats.exhausted, cc.num_campaigns);
+  // Detection must dominate; the checker share bounds false positives.
+  EXPECT_GT(stats.detected_rate().rate, 0.80);
+  const SiteMap map(cfg, cc.site_mask);
+  const double checker_share =
+      double(map.checker_bits()) / double(map.total_bits());
+  EXPECT_LT(stats.false_positive_rate().rate, 3.0 * checker_share + 0.05);
+}
+
+TEST(Integration, ProtectedEncoderLayerDetectsInjectedHeadFault) {
+  // Corrupt one head's attention output inside an encoder layer and verify
+  // the per-head check catches it, using the software kernel's checksums.
+  Rng rng(91);
+  EncoderLayerConfig lcfg;
+  lcfg.model_dim = 64;
+  lcfg.num_heads = 4;
+  lcfg.head_dim = 16;
+  lcfg.ffn_dim = 128;
+  const EncoderLayer layer(lcfg, rng);
+  MatrixD x(16, 64);
+  fill_gaussian(x, rng);
+
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const EncoderLayerResult clean =
+      layer.forward(x, AttentionBackend::kFlashAbft, checker);
+  EXPECT_FALSE(clean.any_alarm());
+
+  // Simulate a corrupted head: tamper with a reported actual checksum the
+  // way a datapath fault would shift the output sum.
+  HeadCheckReport tampered = clean.checks[2];
+  tampered.actual += 1e-3;
+  EXPECT_EQ(checker.compare(tampered.predicted, tampered.actual),
+            CheckVerdict::kAlarm);
+}
+
+TEST(Integration, PromptSuiteDrivesPowerModel) {
+  // Fig. 4 pipeline: run the synthetic prompt suite through the accelerator,
+  // aggregate activity, and check the power split is sane.
+  const ModelPreset& preset = preset_by_name("llama-3.1");
+  AccelConfig cfg;
+  cfg.lanes = 16;
+  cfg.head_dim = preset.head_dim;
+  cfg.scale = preset.attention_scale();
+  cfg.weight_source = WeightSource::kSharedDatapath;
+  const Accelerator accel(cfg);
+
+  ActivityCounters total;
+  for (const AttentionInputs& w : generate_prompt_suite(preset, 11)) {
+    // Trim long prompts for test speed: first 64 queries.
+    MatrixD q(std::min<std::size_t>(64, w.q.rows()), w.q.cols());
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+      for (std::size_t j = 0; j < q.cols(); ++j) q(i, j) = w.q(i, j);
+    }
+    total += accel.run(q, w.k, w.v).activity;
+  }
+  const CostBreakdown bom = accelerator_cost(cfg);
+  const PowerEstimate power = estimate_power(cfg, bom, total);
+  EXPECT_GT(power.total_mw(), 0.1);
+  EXPECT_LT(power.checker_power_share(), bom.checker_area_share());
+}
+
+TEST(Integration, SharedVsIndependentCheckerCoverageGap) {
+  // The coverage-gap headline in miniature: under identical q-register
+  // faults the shared-weight checker stays quiet while the independent one
+  // alarms.
+  const ModelPreset& preset = preset_by_name("bert");
+  Rng rng(92);
+  const AttentionInputs w = generate_llm_like(preset, 32, rng);
+
+  AccelConfig shared;
+  shared.lanes = 8;
+  shared.head_dim = preset.head_dim;
+  shared.scale = preset.attention_scale();
+  shared.weight_source = WeightSource::kSharedDatapath;
+  auto calib = generate_calibration_set(preset, 32, 2, 5150);
+  shared = with_calibrated_thresholds(shared, calib, 10.0);
+  AccelConfig indep = shared;
+  indep.weight_source = WeightSource::kIndependentStream;
+  indep = with_calibrated_thresholds(indep, calib, 10.0);
+
+  InjectedFault f;
+  f.cycle = 3;
+  f.site = {SiteKind::kQuery, 2, 5};
+  f.bit = 13;  // high exponent bit: large but finite perturbation
+
+  const Accelerator a_shared(shared);
+  const Accelerator a_indep(indep);
+  const AccelRunResult r_shared = a_shared.run(w.q, w.k, w.v, {f});
+  const AccelRunResult r_indep = a_indep.run(w.q, w.k, w.v, {f});
+
+  const AccelRunResult g_shared = a_shared.run(w.q, w.k, w.v);
+  EXPECT_GT(max_abs_diff(r_shared.output, g_shared.output),
+            shared.detect_threshold);
+  EXPECT_FALSE(r_shared.alarm(CompareGranularity::kPerQuery));
+  EXPECT_TRUE(r_indep.alarm(CompareGranularity::kPerQuery));
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,100 @@
+// Tests of the storage/protection cost model (hwmodel/memory.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "hwmodel/memory.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(StorageCodes, CheckBitCounts) {
+  EXPECT_EQ(code_check_bits(StorageCode::kNone, 16), 0u);
+  EXPECT_EQ(code_check_bits(StorageCode::kParity, 16), 1u);
+  EXPECT_EQ(code_check_bits(StorageCode::kParity, 64), 1u);
+  // Hamming SECDED: 16 data bits need 5 hamming bits + 1 DED.
+  EXPECT_EQ(code_check_bits(StorageCode::kSecded, 16), 6u);
+  // 32 -> 6 + 1; 64 -> 7 + 1.
+  EXPECT_EQ(code_check_bits(StorageCode::kSecded, 32), 7u);
+  EXPECT_EQ(code_check_bits(StorageCode::kSecded, 64), 8u);
+}
+
+TEST(StorageCodes, Names) {
+  EXPECT_STREQ(storage_code_name(StorageCode::kNone), "none");
+  EXPECT_STREQ(storage_code_name(StorageCode::kParity), "parity");
+  EXPECT_STREQ(storage_code_name(StorageCode::kSecded), "secded");
+}
+
+TEST(SramCost, MonotoneInSizeAndCode) {
+  const StorageCost small = sram_cost(1024, 16, StorageCode::kNone);
+  const StorageCost big = sram_cost(4096, 16, StorageCode::kNone);
+  EXPECT_GT(big.area_um2, 3.5 * small.area_um2);
+
+  const StorageCost parity = sram_cost(1024, 16, StorageCode::kParity);
+  const StorageCost secded = sram_cost(1024, 16, StorageCode::kSecded);
+  EXPECT_GT(parity.area_um2, small.area_um2);
+  EXPECT_GT(secded.area_um2, parity.area_um2);
+  EXPECT_EQ(small.code_share(), 0.0);
+  EXPECT_GT(secded.code_share(), parity.code_share());
+}
+
+TEST(SramCost, ParityShareNearOneOverWordWidth) {
+  // Parity adds ~1/w of the bit-cells plus a small logic tree.
+  const StorageCost c = sram_cost(65536, 32, StorageCode::kParity);
+  EXPECT_GT(c.code_share(), 1.0 / 40.0);
+  EXPECT_LT(c.code_share(), 1.0 / 20.0);
+}
+
+TEST(RegfileCost, FlopsCostMoreThanSram) {
+  const StorageCost rf = regfile_cost(2048, 16, StorageCode::kNone);
+  const StorageCost sram = sram_cost(2048, 16, StorageCode::kNone);
+  EXPECT_GT(rf.area_um2, 3.0 * sram.area_um2);
+}
+
+TEST(RegfileCost, AccessEnergyPositive) {
+  const StorageCost rf = regfile_cost(128, 16, StorageCode::kParity);
+  EXPECT_GT(rf.access_energy_pj, 0.0);
+}
+
+TEST(InputProtectionCost, ComposesAndScales) {
+  AccelConfig cfg;
+  cfg.lanes = 16;
+  cfg.head_dim = 128;
+  const InputProtection p256 =
+      input_protection_cost(cfg, 256, StorageCode::kParity);
+  const InputProtection p512 =
+      input_protection_cost(cfg, 512, StorageCode::kParity);
+  EXPECT_GT(p256.total_area_um2(), 0.0);
+  // K/V buffers dominate and scale with sequence length.
+  EXPECT_GT(p512.kv_buffers.area_um2, 1.8 * p256.kv_buffers.area_um2);
+  // Q-side costs are sequence-independent.
+  EXPECT_EQ(p512.q_regfile.area_um2, p256.q_regfile.area_um2);
+  EXPECT_LE(p256.total_code_area_um2(), p256.total_area_um2());
+}
+
+TEST(InputProtectionCost, QParityIsCheapVsIndependentChecker) {
+  // The deployment argument of DESIGN.md §4a in numbers: parity on the q
+  // register file costs far less than 1% of the datapath, while the
+  // fault-isolated checker costs tens of percent.
+  AccelConfig cfg;
+  cfg.lanes = 16;
+  cfg.head_dim = 128;
+  cfg.weight_source = WeightSource::kSharedDatapath;
+  const InputProtection none =
+      input_protection_cost(cfg, 256, StorageCode::kNone);
+  const InputProtection parity =
+      input_protection_cost(cfg, 256, StorageCode::kParity);
+  const double q_parity_extra =
+      parity.q_regfile.area_um2 - none.q_regfile.area_um2;
+  EXPECT_GT(q_parity_extra, 0.0);
+  EXPECT_LT(q_parity_extra, 20000.0);  // ~ 2048 flops + logic
+}
+
+TEST(SramCost, RejectsDegenerateShapes) {
+  EXPECT_THROW((void)sram_cost(0, 16, StorageCode::kNone), EnsureError);
+  EXPECT_THROW((void)regfile_cost(16, 0, StorageCode::kNone), EnsureError);
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,199 @@
+// Tests of the encoder-layer substrate (Fig. 1): linear algebra blocks,
+// activation functions and the protected multi-head attention composition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/reference_attention.hpp"
+#include "model/encoder_layer.hpp"
+#include "model/gelu.hpp"
+#include "model/layernorm.hpp"
+#include "model/linear.hpp"
+#include "model/multi_head_attention.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(LinearLayer, KnownValues) {
+  Linear layer(2, 3);
+  layer.weight()(0, 0) = 1;
+  layer.weight()(0, 1) = 2;
+  layer.weight()(0, 2) = 3;
+  layer.weight()(1, 0) = 4;
+  layer.weight()(1, 1) = 5;
+  layer.weight()(1, 2) = 6;
+  layer.bias() = {0.5, -0.5, 0.0};
+  MatrixD x(1, 2);
+  x(0, 0) = 1.0;
+  x(0, 1) = 2.0;
+  const MatrixD y = layer.forward(x);
+  EXPECT_EQ(y(0, 0), 9.5);
+  EXPECT_EQ(y(0, 1), 11.5);
+  EXPECT_EQ(y(0, 2), 15.0);
+}
+
+TEST(LinearLayer, ShapeMismatchThrows) {
+  Linear layer(4, 2);
+  MatrixD x(1, 3);
+  EXPECT_THROW((void)layer.forward(x), EnsureError);
+}
+
+TEST(LinearLayer, RandomInitScale) {
+  Rng rng(77);
+  const Linear layer = Linear::random_init(256, 256, rng);
+  double sum2 = 0.0;
+  for (const double w : layer.weight().flat()) sum2 += w * w;
+  const double var = sum2 / double(layer.weight().size());
+  EXPECT_NEAR(var, 1.0 / 256.0, 0.3 / 256.0);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(78);
+  MatrixD x(4, 64);
+  fill_gaussian(x, rng, 3.0, 2.0);
+  const LayerNorm ln(64);
+  const MatrixD y = ln.forward(x);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t j = 0; j < y.cols(); ++j) mean += y(i, j);
+    mean /= 64.0;
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+      var += (y(i, j) - mean) * (y(i, j) - mean);
+    }
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, GammaBetaApplied) {
+  MatrixD x(1, 2);
+  x(0, 0) = -1.0;
+  x(0, 1) = 1.0;
+  LayerNorm ln(2);
+  ln.gamma() = {2.0, 2.0};
+  ln.beta() = {1.0, 1.0};
+  const MatrixD y = ln.forward(x);
+  EXPECT_NEAR(y(0, 0), 1.0 - 2.0, 1e-4);
+  EXPECT_NEAR(y(0, 1), 1.0 + 2.0, 1e-4);
+}
+
+TEST(Gelu, KnownValuesAndLimits) {
+  EXPECT_EQ(gelu(0.0), 0.0);
+  EXPECT_NEAR(gelu(1.0), 0.841345, 1e-5);
+  EXPECT_NEAR(gelu(-1.0), -0.158655, 1e-5);
+  // Large |x|: identity / zero asymptotes.
+  EXPECT_NEAR(gelu(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(gelu(-10.0), 0.0, 1e-9);
+}
+
+TEST(Gelu, TanhApproximationClose) {
+  for (double x = -5.0; x <= 5.0; x += 0.1) {
+    EXPECT_NEAR(gelu_tanh(x), gelu(x), 3e-3) << x;
+  }
+}
+
+TEST(Mha, BackendsAgreeOnOutput) {
+  Rng rng(80);
+  const std::size_t n = 24;
+  const MultiHeadAttention mha(64, 4, 16, rng);
+  MatrixD x(n, 64);
+  fill_gaussian(x, rng);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const MhaResult ref = mha.forward(x, AttentionBackend::kReference, checker);
+  const MhaResult flash =
+      mha.forward(x, AttentionBackend::kFlashAttention2, checker);
+  const MhaResult abft = mha.forward(x, AttentionBackend::kFlashAbft, checker);
+  EXPECT_LT(max_abs_diff(ref.output, flash.output), 1e-9);
+  EXPECT_LT(max_abs_diff(ref.output, abft.output), 1e-9);
+}
+
+TEST(Mha, ProtectedForwardReportsPerHeadChecks) {
+  Rng rng(81);
+  const MultiHeadAttention mha(48, 3, 16, rng);
+  MatrixD x(16, 48);
+  fill_gaussian(x, rng);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const MhaResult r = mha.forward(x, AttentionBackend::kFlashAbft, checker);
+  ASSERT_EQ(r.checks.size(), 3u);
+  for (const HeadCheckReport& c : r.checks) {
+    EXPECT_EQ(c.verdict, CheckVerdict::kPass);
+    EXPECT_NEAR(c.predicted, c.actual, 1e-8);
+  }
+  EXPECT_FALSE(r.any_alarm());
+}
+
+TEST(Mha, UnprotectedBackendsReportNoChecks) {
+  Rng rng(82);
+  const MultiHeadAttention mha(32, 2, 16, rng);
+  MatrixD x(8, 32);
+  fill_gaussian(x, rng);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  EXPECT_TRUE(
+      mha.forward(x, AttentionBackend::kReference, checker).checks.empty());
+}
+
+TEST(Mha, DimensionMismatchThrows) {
+  Rng rng(83);
+  EXPECT_THROW((void)MultiHeadAttention(60, 4, 16, rng), EnsureError);
+}
+
+TEST(EncoderLayerTest, ForwardShapesAndChecks) {
+  Rng rng(84);
+  EncoderLayerConfig cfg;
+  cfg.model_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 16;
+  cfg.ffn_dim = 128;
+  const EncoderLayer layer(cfg, rng);
+  MatrixD x(12, 64);
+  fill_gaussian(x, rng);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const EncoderLayerResult out =
+      layer.forward(x, AttentionBackend::kFlashAbft, checker);
+  EXPECT_EQ(out.output.rows(), 12u);
+  EXPECT_EQ(out.output.cols(), 64u);
+  EXPECT_EQ(out.checks.size(), 4u);
+  EXPECT_FALSE(out.any_alarm());
+  for (const double v : out.output.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EncoderLayerTest, ProtectionDoesNotChangeResult) {
+  Rng rng(85);
+  EncoderLayerConfig cfg;
+  cfg.model_dim = 32;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.ffn_dim = 64;
+  const EncoderLayer layer(cfg, rng);
+  MatrixD x(8, 32);
+  fill_gaussian(x, rng);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const MatrixD a =
+      layer.forward(x, AttentionBackend::kReference, checker).output;
+  const MatrixD b =
+      layer.forward(x, AttentionBackend::kFlashAbft, checker).output;
+  EXPECT_LT(max_abs_diff(a, b), 1e-9);
+}
+
+TEST(EncoderLayerTest, LayerNormKeepsOutputBounded) {
+  // Post-LN keeps activations O(1) — the statistics the accelerator's bf16
+  // inputs rely on.
+  Rng rng(86);
+  EncoderLayerConfig cfg;
+  cfg.model_dim = 64;
+  cfg.num_heads = 4;
+  cfg.head_dim = 16;
+  cfg.ffn_dim = 256;
+  const EncoderLayer layer(cfg, rng);
+  MatrixD x(16, 64);
+  fill_gaussian(x, rng, 0.0, 10.0);
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const MatrixD y =
+      layer.forward(x, AttentionBackend::kReference, checker).output;
+  EXPECT_LT(max_abs(y), 15.0);
+}
+
+}  // namespace
+}  // namespace flashabft

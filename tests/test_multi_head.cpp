@@ -1,0 +1,110 @@
+// Tests of multi-head scheduling over the single-head accelerator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/multi_head.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AccelConfig small_config() {
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 8;
+  cfg.scale = 1.0 / std::sqrt(8.0);
+  cfg.detect_threshold = 1e-5;
+  cfg.detect_threshold_global = 1e-4;
+  return cfg;
+}
+
+std::vector<AttentionInputs> make_heads(std::size_t count,
+                                        std::uint64_t seed) {
+  std::vector<AttentionInputs> heads;
+  const Rng base(seed);
+  for (std::size_t h = 0; h < count; ++h) {
+    Rng rng = base.derive(h);
+    heads.push_back(generate_gaussian(16, 8, rng));
+  }
+  return heads;
+}
+
+TEST(MultiHeadSim, CleanLayerHasNoAlarms) {
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(4, 77);
+  const MultiHeadRunResult run = run_heads(accel, heads);
+  ASSERT_EQ(run.heads.size(), 4u);
+  EXPECT_FALSE(run.any_alarm(CompareGranularity::kPerQuery));
+  EXPECT_TRUE(run.alarming_heads(CompareGranularity::kPerQuery).empty());
+}
+
+TEST(MultiHeadSim, EachHeadMatchesStandaloneRun) {
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(3, 78);
+  const MultiHeadRunResult run = run_heads(accel, heads);
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    const AccelRunResult solo =
+        accel.run(heads[h].q, heads[h].k, heads[h].v);
+    EXPECT_EQ(run.heads[h].output, solo.output) << h;
+    EXPECT_EQ(run.heads[h].global_pred, solo.global_pred) << h;
+  }
+}
+
+TEST(MultiHeadSim, ActivityAggregates) {
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(4, 79);
+  const MultiHeadRunResult run = run_heads(accel, heads);
+  const AccelRunResult solo = accel.run(heads[0].q, heads[0].k, heads[0].v);
+  EXPECT_EQ(run.activity.cycles, 4 * solo.activity.cycles);
+  EXPECT_EQ(run.activity.dot_mults, 4 * solo.activity.dot_mults);
+}
+
+TEST(MultiHeadSim, FaultWindowsLocalizeToTheRightHead) {
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(3, 80);
+  const std::size_t window = cycles_per_head(accel, heads[0]);
+
+  // A flip timed inside head 1's window corrupts head 1 only.
+  InjectedFault f;
+  f.site = {SiteKind::kOutput, 2, 5};
+  f.bit = 29;
+  f.cycle = window + 7;
+  const MultiHeadRunResult run = run_heads(accel, heads, {f});
+  const auto alarming = run.alarming_heads(CompareGranularity::kPerQuery);
+  ASSERT_EQ(alarming.size(), 1u);
+  EXPECT_EQ(alarming[0], 1u);
+
+  const AccelRunResult solo0 = accel.run(heads[0].q, heads[0].k, heads[0].v);
+  EXPECT_EQ(run.heads[0].output, solo0.output);
+  const AccelRunResult solo2 = accel.run(heads[2].q, heads[2].k, heads[2].v);
+  EXPECT_EQ(run.heads[2].output, solo2.output);
+}
+
+TEST(MultiHeadSim, StuckAtSpanningHeadsAffectsBoth) {
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(2, 81);
+  const std::size_t window = cycles_per_head(accel, heads[0]);
+
+  InjectedFault f;
+  f.site = {SiteKind::kOutput, 1, 3};
+  // Stuck-at-0 on fp32 exponent bit 6: for |o| in [2^-2, 2) the bit is set,
+  // so forcing it to 0 crushes the magnitude by ~2^64 — reliably material
+  // in both windows (stuck-at-1 there would often match the existing bit).
+  f.bit = 29;
+  f.type = FaultType::kStuckAt0;
+  f.cycle = window - 8;       // last 8 cycles of head 0...
+  f.duration = 16;            // ...through the first 8 cycles of head 1
+  const MultiHeadRunResult run = run_heads(accel, heads, {f});
+  const auto alarming = run.alarming_heads(CompareGranularity::kPerQuery);
+  EXPECT_EQ(alarming.size(), 2u);
+}
+
+TEST(MultiHeadSim, EmptyHeadListRejected) {
+  const Accelerator accel(small_config());
+  EXPECT_THROW((void)run_heads(accel, {}), EnsureError);
+}
+
+}  // namespace
+}  // namespace flashabft

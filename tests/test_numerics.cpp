@@ -1,0 +1,218 @@
+// Unit tests for the numerics substrate: bfloat16 semantics, bit
+// manipulation, the hardware exponent unit and compensated summation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "numerics/bfloat16.hpp"
+#include "numerics/exp_unit.hpp"
+#include "numerics/float_bits.hpp"
+#include "numerics/rounding.hpp"
+#include "numerics/summation.hpp"
+#include "tensor/random.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(Bfloat16, ExactValuesRoundTrip) {
+  // Powers of two and small integers are exactly representable.
+  for (const float v : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, -0.25f, 96.0f,
+                        -128.0f, 1.5f, 0.09375f}) {
+    EXPECT_EQ(bf16(v).to_float(), v) << v;
+  }
+}
+
+TEST(Bfloat16, RoundToNearestEven) {
+  // 1.0 + 2^-8 lies exactly between bf16(1.0) and bf16(1.0078125):
+  // RNE goes to the even mantissa (1.0).
+  const float halfway = 1.0f + 0x1.0p-8f;
+  EXPECT_EQ(bf16(halfway).to_float(), 1.0f);
+  // Just above the midpoint rounds up.
+  const float above = 1.0f + 0x1.1p-8f;
+  EXPECT_EQ(bf16(above).to_float(), 1.0078125f);
+}
+
+TEST(Bfloat16, RoundingErrorBounded) {
+  // |x - bf16(x)| <= 2^-8 * |x| for normal values (7 mantissa bits).
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = float(rng.next_gaussian() * 100.0);
+    const float r = bf16(x).to_float();
+    EXPECT_LE(std::fabs(x - r), std::ldexp(std::fabs(x), -8) + 1e-30f) << x;
+  }
+}
+
+TEST(Bfloat16, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(bf16(inf).is_inf());
+  EXPECT_TRUE(bf16(-inf).is_inf());
+  EXPECT_TRUE(std::isinf(bf16(inf).to_float()));
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(bf16(nan).is_nan());
+  EXPECT_TRUE(std::isnan(bf16(nan).to_float()));
+}
+
+TEST(Bfloat16, LargeFiniteDoesNotBecomeInf) {
+  // Values near bf16 max (~3.39e38) round to finite bf16.
+  const float big = 3.0e38f;
+  EXPECT_FALSE(bf16(big).is_inf());
+  EXPECT_TRUE(std::isfinite(bf16(big).to_float()));
+}
+
+TEST(Bfloat16, OverflowRoundsToInf) {
+  // float max exceeds bf16 max after rounding up.
+  const float vmax = std::numeric_limits<float>::max();
+  EXPECT_TRUE(bf16(vmax).is_inf());
+}
+
+TEST(Bfloat16, BitsAccessorMatchesTopHalfOfFloat) {
+  const float v = 1.5f;
+  EXPECT_EQ(bf16(v).bits(), std::uint16_t(float_to_bits(v) >> 16));
+}
+
+TEST(FloatBits, FlipBitIsItsOwnInverse) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.next_gaussian();
+    const int bit = int(rng.next_below(64));
+    EXPECT_EQ(flip_bit(flip_bit(v, bit), bit), v);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const float v = float(rng.next_gaussian());
+    const int bit = int(rng.next_below(32));
+    EXPECT_EQ(flip_bit(flip_bit(v, bit), bit), v);
+  }
+}
+
+TEST(FloatBits, SignBitFlipNegates) {
+  EXPECT_EQ(flip_bit(3.5, 63), -3.5);
+  EXPECT_EQ(flip_bit(-2.0f, 31), 2.0f);
+  EXPECT_EQ(flip_bit(bf16(1.0f), 15).to_float(), -1.0f);
+}
+
+TEST(FloatBits, ExponentFlipCanCreateInf) {
+  // Flipping the top exponent bit of 1.0f (exp 0x7F -> 0xFF) gives inf.
+  const float flipped = flip_bit(1.0f, 30);
+  EXPECT_TRUE(std::isinf(flipped));
+}
+
+TEST(FloatBits, MantissaLsbFlipIsTiny) {
+  const double v = 1.0;
+  const double flipped = flip_bit(v, 0);
+  EXPECT_NEAR(flipped, v, 1e-15);
+  EXPECT_NE(flipped, v);
+}
+
+TEST(Bfloat16, NanPayloadFlipsRoundTrip) {
+  // A register flip that produces NaN must round-trip bit-exactly through
+  // the storage model (value -> flip -> store -> flip -> original value).
+  for (int bit = 0; bit < 16; ++bit) {
+    const bf16 v(1.5f);
+    const bf16 flipped = flip_bit(v, bit);
+    const bf16 stored = bf16(flipped.to_float());  // write-back rounding
+    EXPECT_EQ(stored.bits(), flipped.bits()) << bit;
+    EXPECT_EQ(flip_bit(stored, bit).bits(), v.bits()) << bit;
+  }
+}
+
+TEST(FloatBits, UlpDistance) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_GT(ulp_distance(-1.0, 1.0), 1u << 20);
+}
+
+TEST(ExpUnit, HardwareMatchesLibmOnAttentionRange) {
+  // Attention arguments are <= 0 (max-subtracted). A fp32-input exp unit
+  // carries two error sources: the polynomial (~5e-9) and the fp32 rounding
+  // of the argument itself, which the exponential amplifies by |x| ulps —
+  // the tolerance must scale accordingly.
+  for (double x = -30.0; x <= 0.0; x += 0.01) {
+    const double exact = std::exp(x);
+    const double hw = eval_exp(x, ExpMode::kHardware);
+    const double rel_tol = 2e-7 + std::fabs(x) * 1.2e-7;
+    EXPECT_NEAR(hw, exact, rel_tol * std::max(exact, 1e-30)) << x;
+  }
+}
+
+TEST(ExpUnit, ExactModeIsLibm) {
+  EXPECT_EQ(eval_exp(-1.25, ExpMode::kExact), std::exp(-1.25));
+}
+
+TEST(ExpUnit, SaturationBehaviour) {
+  EXPECT_EQ(eval_exp(-1000.0, ExpMode::kHardware), 0.0);
+  EXPECT_TRUE(std::isinf(eval_exp(1000.0, ExpMode::kHardware)));
+  EXPECT_TRUE(std::isnan(
+      eval_exp(std::numeric_limits<double>::quiet_NaN(), ExpMode::kHardware)));
+}
+
+TEST(ExpUnit, ZeroGivesOne) {
+  EXPECT_NEAR(eval_exp(0.0, ExpMode::kHardware), 1.0, 1e-7);
+}
+
+TEST(Summation, CompensatedBeatsSequentialOnAdversarialInput) {
+  // 1 + 1e-16 * many: plain summation loses the small terms.
+  std::vector<double> values{1.0};
+  for (int i = 0; i < 10000; ++i) values.push_back(1e-16);
+  const double exact = 1.0 + 1e-12;
+  EXPECT_NEAR(compensated_sum(values), exact, 1e-18);
+  EXPECT_LT(std::fabs(sequential_sum(values) - exact),
+            std::fabs(1.0 - exact) + 1e-12);
+}
+
+TEST(Summation, AllAgreeOnBenignInput) {
+  Rng rng(3);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.next_gaussian();
+  const double a = compensated_sum(values);
+  const double b = pairwise_sum(values);
+  const double c = sequential_sum(values);
+  EXPECT_NEAR(a, b, 1e-10);
+  EXPECT_NEAR(a, c, 1e-9);
+}
+
+TEST(Summation, EmptyAndSingleton) {
+  EXPECT_EQ(pairwise_sum({}), 0.0);
+  EXPECT_EQ(sequential_sum({}), 0.0);
+  const std::vector<double> one{2.5};
+  EXPECT_EQ(pairwise_sum(one), 2.5);
+}
+
+TEST(Rounding, FormatBits) {
+  EXPECT_EQ(format_bits(NumberFormat::kBf16), 16);
+  EXPECT_EQ(format_bits(NumberFormat::kFp32), 32);
+  EXPECT_EQ(format_bits(NumberFormat::kFp64), 64);
+}
+
+TEST(Rounding, RoundToIsIdempotent) {
+  Rng rng(11);
+  for (const NumberFormat f :
+       {NumberFormat::kBf16, NumberFormat::kFp32, NumberFormat::kFp64}) {
+    for (int i = 0; i < 100; ++i) {
+      const double v = rng.next_gaussian() * 10.0;
+      const double once = round_to(v, f);
+      EXPECT_EQ(round_to(once, f), once);
+    }
+  }
+}
+
+class ExpUnitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpUnitSweep, RelativeErrorUnderBound) {
+  const double x = GetParam();
+  const double exact = std::exp(x);
+  const double hw = eval_exp(x, ExpMode::kHardware);
+  if (exact > 1e-300) {
+    // fp32 argument rounding contributes |x| * 2^-24 of relative error.
+    EXPECT_NEAR(hw / exact, 1.0, 3e-7 + std::fabs(x) * 1.2e-7) << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AttentionArguments, ExpUnitSweep,
+                         ::testing::Values(-0.001, -0.1, -0.5, -1.0, -2.0,
+                                           -5.0, -10.0, -20.0, -40.0, -80.0,
+                                           0.0));
+
+}  // namespace
+}  // namespace flashabft

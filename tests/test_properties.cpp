@@ -1,0 +1,254 @@
+// Property-based tests of the checksum algebra and the fault machinery:
+// algebraic invariances (permutation, linearity, concatenation) and
+// campaign-level properties that must hold for any seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "attention/reference_attention.hpp"
+#include "core/checksum.hpp"
+#include "core/flash_abft.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  return cfg;
+}
+
+/// Applies the same row permutation to K and V.
+AttentionInputs permute_keys(const AttentionInputs& w,
+                             const std::vector<std::size_t>& perm) {
+  AttentionInputs out = w;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    for (std::size_t x = 0; x < w.k.cols(); ++x) {
+      out.k(i, x) = w.k(perm[i], x);
+      out.v(i, x) = w.v(perm[i], x);
+    }
+  }
+  return out;
+}
+
+TEST(ChecksumProperties, InvariantUnderJointKeyValuePermutation) {
+  // Attention is a set operation over (key, value) pairs; the checksum must
+  // inherit that symmetry.
+  Rng rng(31);
+  const std::size_t n = 32, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.next_below(i + 1)]);
+  }
+  const AttentionInputs shuffled = permute_keys(w, perm);
+  const AttentionConfig cfg = make_cfg(n, d);
+  const CheckedAttention a = flash_abft_attention(w.q, w.k, w.v, cfg);
+  const CheckedAttention b =
+      flash_abft_attention(shuffled.q, shuffled.k, shuffled.v, cfg);
+  EXPECT_LT(max_abs_diff(a.output, b.output), 1e-10);
+  EXPECT_NEAR(a.predicted_checksum, b.predicted_checksum,
+              1e-9 * (1.0 + std::fabs(a.predicted_checksum)));
+}
+
+TEST(ChecksumProperties, LinearInV) {
+  // For fixed scores, attention is linear in V; check = sum of outputs
+  // inherits it: check(V1 + V2) = check(V1) + check(V2).
+  Rng rng(33);
+  const std::size_t n = 24, d = 8;
+  AttentionInputs w = generate_gaussian(n, d, rng);
+  MatrixD v2(n, d);
+  fill_gaussian(v2, rng);
+  const AttentionConfig cfg = make_cfg(n, d);
+
+  const double c1 = flash_abft_attention(w.q, w.k, w.v, cfg).predicted_checksum;
+  const double c2 = flash_abft_attention(w.q, w.k, v2, cfg).predicted_checksum;
+  MatrixD v_sum(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t x = 0; x < d; ++x) v_sum(i, x) = w.v(i, x) + v2(i, x);
+  }
+  const double c12 =
+      flash_abft_attention(w.q, w.k, v_sum, cfg).predicted_checksum;
+  EXPECT_NEAR(c12, c1 + c2, 1e-8 * (1.0 + std::fabs(c12)));
+}
+
+TEST(ChecksumProperties, QueryConcatenationAdds) {
+  // The global check is a sum of per-query checks (Eq. 8): running two
+  // query blocks separately must sum to running them together.
+  Rng rng(35);
+  const std::size_t d = 16;
+  const AttentionInputs w = generate_gaussian(32, d, rng);
+  MatrixD q1(8, d), q2(8, d);
+  fill_gaussian(q1, rng);
+  fill_gaussian(q2, rng);
+  MatrixD q12(16, d);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t x = 0; x < d; ++x) {
+      q12(i, x) = q1(i, x);
+      q12(8 + i, x) = q2(i, x);
+    }
+  }
+  const AttentionConfig cfg = make_cfg(32, d);
+  const double c1 =
+      flash_abft_attention(q1, w.k, w.v, cfg).predicted_checksum;
+  const double c2 =
+      flash_abft_attention(q2, w.k, w.v, cfg).predicted_checksum;
+  const double c12 =
+      flash_abft_attention(q12, w.k, w.v, cfg).predicted_checksum;
+  EXPECT_NEAR(c12, c1 + c2, 1e-9 * (1.0 + std::fabs(c12)));
+}
+
+TEST(ChecksumProperties, ConstantValueRowsGiveExactCheck) {
+  // If every V row sums to the same constant S, every per-query check is
+  // exactly S (softmax weights sum to 1) regardless of the scores.
+  Rng rng(37);
+  const std::size_t n = 16, d = 8;
+  AttentionInputs w = generate_gaussian(n, d, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Rebalance row i so it sums to 3.0 exactly.
+    double sum = 0.0;
+    for (std::size_t x = 0; x < d; ++x) sum += w.v(i, x);
+    w.v(i, 0) += 3.0 - sum;
+  }
+  const CheckedAttention run =
+      flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d));
+  for (const double check : run.per_query_predicted) {
+    EXPECT_NEAR(check, 3.0, 1e-9);
+  }
+  EXPECT_NEAR(run.predicted_checksum, 3.0 * double(n), 1e-8);
+}
+
+TEST(ChecksumProperties, DuplicatedKeyEquivalentToDoubledWeight) {
+  // Appending a duplicate of key j is equivalent to giving it double
+  // softmax weight; the checksum identity must keep holding.
+  Rng rng(39);
+  const std::size_t n = 12, d = 4;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  MatrixD k2(n + 1, d), v2(n + 1, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t x = 0; x < d; ++x) {
+      k2(i, x) = w.k(i, x);
+      v2(i, x) = w.v(i, x);
+    }
+  }
+  for (std::size_t x = 0; x < d; ++x) {
+    k2(n, x) = w.k(5, x);
+    v2(n, x) = w.v(5, x);
+  }
+  AttentionConfig cfg = make_cfg(n + 1, d);
+  const CheckedAttention run = flash_abft_attention(w.q, k2, v2, cfg);
+  EXPECT_LT(run.residual(), 1e-9 * (1.0 + std::fabs(run.actual_checksum)));
+}
+
+// ---------------------------------------------------------------------------
+// Fault-machinery properties over random draws.
+// ---------------------------------------------------------------------------
+
+TEST(FaultProperties, DoubleInjectionOfSameFlipCancels) {
+  // XOR twice at the same (cycle, site, bit) == golden, bit for bit.
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 8;
+  cfg.scale = 1.0 / std::sqrt(8.0);
+  const Accelerator accel(cfg);
+  Rng rng(41);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  const SiteMap map(cfg, SiteMask::all());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto loc = map.locate(rng.next_below(map.total_bits()));
+    InjectedFault f;
+    f.site = map.records()[loc.record_index].site;
+    f.bit = loc.bit;
+    f.cycle = std::size_t(rng.next_below(accel.total_cycles(16, 16)));
+    const AccelRunResult twice = accel.run(w.q, w.k, w.v, {f, f});
+    EXPECT_EQ(twice.output, golden.output) << trial;
+    EXPECT_EQ(twice.global_pred, golden.global_pred) << trial;
+  }
+}
+
+TEST(FaultProperties, CheckerFaultsNeverTouchOutput) {
+  // Strong version of the false-positive-only property: across many random
+  // checker-state faults, the output is bit-identical to golden.
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 8;
+  cfg.scale = 1.0 / std::sqrt(8.0);
+  const Accelerator accel(cfg);
+  Rng rng(43);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  const SiteMap map(cfg, SiteMask::checker_only());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto loc = map.locate(rng.next_below(map.total_bits()));
+    InjectedFault f;
+    f.site = map.records()[loc.record_index].site;
+    f.bit = loc.bit;
+    f.cycle = std::size_t(rng.next_below(accel.total_cycles(16, 16)));
+    const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+    EXPECT_EQ(run.output, golden.output) << trial;
+  }
+}
+
+TEST(FaultProperties, LaneFaultOnlyAffectsItsOwnQueries) {
+  // A fault in lane L of pass P can only corrupt query P*lanes + L.
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 8;
+  cfg.scale = 1.0 / std::sqrt(8.0);
+  const Accelerator accel(cfg);
+  Rng rng(45);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    InjectedFault f;
+    f.site.kind = SiteKind::kOutput;
+    f.site.lane = std::size_t(rng.next_below(4));
+    f.site.element = std::size_t(rng.next_below(8));
+    f.bit = int(rng.next_below(32));
+    f.cycle = std::size_t(rng.next_below(accel.total_cycles(16, 16)));
+    const std::size_t pass = f.cycle / 16;
+    const std::size_t victim = pass * 4 + f.site.lane;
+    const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+    for (std::size_t qi = 0; qi < 16; ++qi) {
+      if (qi == victim) continue;
+      for (std::size_t x = 0; x < 8; ++x) {
+        EXPECT_EQ(run.output(qi, x), golden.output(qi, x))
+            << "trial " << trial << " query " << qi;
+      }
+    }
+  }
+}
+
+TEST(FaultProperties, DetectionMonotoneInPerturbationSize) {
+  // At the software level: a corruption well above threshold alarms, one
+  // well below does not, for every query position.
+  Rng rng(47);
+  const std::size_t n = 16, d = 8;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  const CheckedAttention run =
+      flash_abft_attention(w.q, w.k, w.v, make_cfg(n, d));
+  const Checker checker(CheckerConfig{1e-6});
+  for (std::size_t qi = 0; qi < n; ++qi) {
+    EXPECT_EQ(checker.compare(run.per_query_predicted[qi],
+                              run.per_query_actual[qi] + 1e-4),
+              CheckVerdict::kAlarm);
+    EXPECT_EQ(checker.compare(run.per_query_predicted[qi],
+                              run.per_query_actual[qi] + 1e-9),
+              CheckVerdict::kPass);
+  }
+}
+
+}  // namespace
+}  // namespace flashabft

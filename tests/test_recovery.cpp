@@ -1,0 +1,100 @@
+// Tests of detection-triggered recovery (core/recovery.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/recovery.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AttentionConfig make_cfg(std::size_t n, std::size_t d) {
+  AttentionConfig cfg;
+  cfg.seq_len = n;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  return cfg;
+}
+
+/// A run_once engine that corrupts the first `faulty_runs` executions the
+/// way a datapath fault would (actual checksum shifted).
+struct FlakyEngine {
+  const AttentionInputs& w;
+  AttentionConfig cfg;
+  std::size_t faulty_runs;
+  mutable std::size_t calls = 0;
+
+  CheckedAttention operator()(std::size_t) const {
+    CheckedAttention run = flash_abft_attention(w.q, w.k, w.v, cfg);
+    if (calls++ < faulty_runs) run.actual_checksum += 0.5;
+    return run;
+  }
+};
+
+TEST(Recovery, CleanFirstTry) {
+  Rng rng(11);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  const GuardedResult r =
+      guarded_attention(w.q, w.k, w.v, make_cfg(16, 8), checker);
+  EXPECT_EQ(r.status, RecoveryStatus::kCleanFirstTry);
+  EXPECT_EQ(r.executions, 1u);
+}
+
+TEST(Recovery, TransientFaultRecoversOnRetry) {
+  Rng rng(13);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  FlakyEngine engine{w, make_cfg(16, 8), /*faulty_runs=*/1};
+  const GuardedResult r =
+      guarded_attention(checker, RecoveryPolicy{2}, engine);
+  EXPECT_EQ(r.status, RecoveryStatus::kRecovered);
+  EXPECT_EQ(r.executions, 2u);
+  // The accepted result is the clean one.
+  EXPECT_NEAR(r.attention.predicted_checksum, r.attention.actual_checksum,
+              1e-8);
+}
+
+TEST(Recovery, PersistentFaultEscalates) {
+  Rng rng(17);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  FlakyEngine engine{w, make_cfg(16, 8), /*faulty_runs=*/100};
+  const GuardedResult r =
+      guarded_attention(checker, RecoveryPolicy{3}, engine);
+  EXPECT_EQ(r.status, RecoveryStatus::kEscalated);
+  EXPECT_EQ(r.executions, 4u);  // initial + 3 retries
+}
+
+TEST(Recovery, SecondRetrySucceeds) {
+  Rng rng(19);
+  const AttentionInputs w = generate_gaussian(8, 4, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  FlakyEngine engine{w, make_cfg(8, 4), /*faulty_runs=*/2};
+  const GuardedResult r =
+      guarded_attention(checker, RecoveryPolicy{2}, engine);
+  EXPECT_EQ(r.status, RecoveryStatus::kRecovered);
+  EXPECT_EQ(r.executions, 3u);
+}
+
+TEST(Recovery, ZeroRetryPolicyEscalatesImmediately) {
+  Rng rng(23);
+  const AttentionInputs w = generate_gaussian(8, 4, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  FlakyEngine engine{w, make_cfg(8, 4), /*faulty_runs=*/1};
+  const GuardedResult r =
+      guarded_attention(checker, RecoveryPolicy{0}, engine);
+  EXPECT_EQ(r.status, RecoveryStatus::kEscalated);
+  EXPECT_EQ(r.executions, 1u);
+}
+
+TEST(Recovery, StatusNames) {
+  EXPECT_STREQ(recovery_status_name(RecoveryStatus::kCleanFirstTry),
+               "clean_first_try");
+  EXPECT_STREQ(recovery_status_name(RecoveryStatus::kRecovered), "recovered");
+  EXPECT_STREQ(recovery_status_name(RecoveryStatus::kEscalated), "escalated");
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,367 @@
+// Tests of the cycle-level accelerator: functional equivalence with the
+// golden kernels, site enumeration, fault-injection semantics and the
+// bit-exactness of the campaign replay fast path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "attention/reference_attention.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/site.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+AccelConfig small_config(std::size_t lanes = 4, std::size_t d = 8) {
+  AccelConfig cfg;
+  cfg.lanes = lanes;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  cfg.detect_threshold = 1e-5;
+  cfg.detect_threshold_global = 1e-4;
+  return cfg;
+}
+
+AttentionInputs small_workload(std::size_t n, std::size_t d,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_gaussian(n, d, rng);
+}
+
+TEST(Accelerator, PassAndCycleBookkeeping) {
+  const Accelerator accel(small_config(4, 8));
+  EXPECT_EQ(accel.num_passes(16), 4u);
+  EXPECT_EQ(accel.num_passes(17), 5u);
+  EXPECT_EQ(accel.num_passes(1), 1u);
+  EXPECT_EQ(accel.total_cycles(16, 32), 4u * 32u);
+}
+
+TEST(Accelerator, MatchesReferenceAttentionWithinPrecision) {
+  const std::size_t n = 32, d = 16;
+  AccelConfig cfg = small_config(8, d);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(n, d, 101);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+
+  // Golden computed on the bf16-quantized inputs (what the hardware sees).
+  AttentionConfig acfg;
+  acfg.seq_len = n;
+  acfg.head_dim = d;
+  acfg.scale = cfg.scale;
+  const MatrixD ref = reference_attention(
+      quantize_bf16(w.q), quantize_bf16(w.k), quantize_bf16(w.v), acfg);
+  // fp32 accumulators + hardware exp: agreement at ~1e-4 on O(1) outputs.
+  EXPECT_LT(max_abs_diff(run.output, ref), 5e-4);
+}
+
+TEST(Accelerator, FaultFreeRunRaisesNoAlarmAndTinyResiduals) {
+  const AccelConfig cfg = small_config(8, 16);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(64, 16, 103);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+  EXPECT_FALSE(run.per_query_alarm);
+  EXPECT_FALSE(run.global_alarm);
+  for (std::size_t i = 0; i < run.per_query_pred.size(); ++i) {
+    EXPECT_LT(std::fabs(run.per_query_pred[i] - run.per_query_actual[i]),
+              cfg.detect_threshold)
+        << i;
+  }
+}
+
+TEST(Accelerator, SharedWeightModeAlsoConsistentFaultFree) {
+  AccelConfig cfg = small_config(8, 16);
+  cfg.weight_source = WeightSource::kSharedDatapath;
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(32, 16, 104);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+  EXPECT_FALSE(run.per_query_alarm);
+  EXPECT_FALSE(run.global_alarm);
+}
+
+TEST(Accelerator, DeterministicAcrossRuns) {
+  const Accelerator accel(small_config(4, 8));
+  const AttentionInputs w = small_workload(16, 8, 105);
+  const AccelRunResult a = accel.run(w.q, w.k, w.v);
+  const AccelRunResult b = accel.run(w.q, w.k, w.v);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.global_pred, b.global_pred);
+  EXPECT_EQ(a.global_actual, b.global_actual);
+}
+
+TEST(Accelerator, PartialFinalPassHandled) {
+  // 10 queries on 4 lanes: final pass has 2 active lanes.
+  const Accelerator accel(small_config(4, 8));
+  const AttentionInputs w = small_workload(16, 8, 107);
+  MatrixD q10(10, 8);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t x = 0; x < 8; ++x) q10(i, x) = w.q(i, x);
+  }
+  const AccelRunResult run = accel.run(q10, w.k, w.v);
+  EXPECT_EQ(run.output.rows(), 10u);
+  EXPECT_FALSE(run.per_query_alarm);
+}
+
+TEST(Accelerator, OutputFaultIsDetected) {
+  const AccelConfig cfg = small_config(4, 8);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(16, 8, 109);
+  // Flip a high mantissa bit of an output accumulator mid-stream.
+  InjectedFault f;
+  f.cycle = 7;
+  f.site = {SiteKind::kOutput, 2, 3};
+  f.bit = 20;
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  EXPECT_TRUE(run.alarm(CompareGranularity::kPerQuery));
+}
+
+TEST(Accelerator, QueryFaultDetectedByIndependentChecker) {
+  // The independent-weight checker sees q faults as datapath/checker
+  // divergence (DESIGN.md §4a).
+  const AccelConfig cfg = small_config(4, 8);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(16, 8, 111);
+  InjectedFault f;
+  f.cycle = 2;
+  f.site = {SiteKind::kQuery, 1, 4};
+  f.bit = 13;  // high exponent bit: large but finite perturbation
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  EXPECT_TRUE(run.alarm(CompareGranularity::kPerQuery));
+}
+
+TEST(Accelerator, QueryFaultSilentUnderSharedWeights) {
+  // The merged-hardware design of Eq. 10 cannot see q faults: prediction and
+  // output corrupt identically — the structural coverage gap.
+  AccelConfig cfg = small_config(4, 8);
+  cfg.weight_source = WeightSource::kSharedDatapath;
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(16, 8, 111);
+  InjectedFault f;
+  f.cycle = 2;
+  f.site = {SiteKind::kQuery, 1, 4};
+  f.bit = 14;
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  // The output is corrupted...
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  EXPECT_GT(max_abs_diff(run.output, golden.output), 1e-4);
+  // ...but no alarm fires.
+  EXPECT_FALSE(run.alarm(CompareGranularity::kPerQuery));
+}
+
+TEST(Accelerator, EllFaultSilentSharedButDetectedWithReplication) {
+  const AttentionInputs w = small_workload(16, 8, 113);
+  InjectedFault f;
+  f.cycle = 12;
+  f.site = {SiteKind::kSumExp, 0, 0};
+  f.bit = 27;  // exponent bit of fp32 l: scales the whole output row
+
+  AccelConfig shared = small_config(4, 8);
+  shared.weight_source = WeightSource::kSharedDatapath;
+  {
+    const Accelerator accel(shared);
+    const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+    const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+    EXPECT_GT(max_abs_diff(run.output, golden.output), 1e-3);
+    EXPECT_FALSE(run.alarm(CompareGranularity::kPerQuery))
+        << "shared-l blind spot should mask the fault";
+  }
+  AccelConfig replicated = shared;
+  replicated.replicate_ell = true;
+  {
+    const Accelerator accel(replicated);
+    const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+    EXPECT_TRUE(run.alarm(CompareGranularity::kPerQuery))
+        << "replicated l must expose the fault";
+  }
+}
+
+TEST(Accelerator, CheckerFaultCausesFalseAlarmOnly) {
+  const AccelConfig cfg = small_config(4, 8);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(16, 8, 115);
+  InjectedFault f;
+  f.cycle = 5;
+  f.site = {SiteKind::kCheckAcc, 3, 0};
+  f.bit = 55;  // high exponent bit of the double accumulator
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  EXPECT_LT(max_abs_diff(run.output, golden.output), 1e-12)
+      << "checker faults must not affect the output";
+  EXPECT_TRUE(run.alarm(CompareGranularity::kPerQuery));
+}
+
+TEST(Accelerator, GlobalAccumulatorFaultTripsGlobalCompareOnly) {
+  const AccelConfig cfg = small_config(4, 8);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(16, 8, 117);
+  InjectedFault f;
+  f.cycle = 40;  // second pass
+  f.site = {SiteKind::kGlobalPred, 0, 0};
+  f.bit = 60;
+  const AccelRunResult run = accel.run(w.q, w.k, w.v, {f});
+  EXPECT_TRUE(run.global_alarm);
+  EXPECT_FALSE(run.per_query_alarm);
+}
+
+TEST(SiteMapTest, CountsMatchConfiguration) {
+  const AccelConfig cfg = small_config(4, 8);
+  const SiteMap map(cfg, SiteMask{});
+  // Per lane: q(8x16) + o(8x32) + m(32) + ell(32) + c(64); shared: sumrow +
+  // 2 globals (64 each). Score excluded by the default mask.
+  const std::uint64_t per_lane = 8 * 16 + 8 * 32 + 32 + 32 + 64;
+  EXPECT_EQ(map.total_bits(), 4 * per_lane + 3 * 64);
+  EXPECT_EQ(map.checker_bits(), 4 * 64u + 3 * 64u);
+}
+
+TEST(SiteMapTest, MasksFilterKinds) {
+  const AccelConfig cfg = small_config(2, 4);
+  const SiteMap datapath(cfg, SiteMask::datapath_only());
+  EXPECT_EQ(datapath.checker_bits(), 0u);
+  const SiteMap checker(cfg, SiteMask::checker_only());
+  EXPECT_EQ(checker.checker_bits(), checker.total_bits());
+  const SiteMap all(cfg, SiteMask::all());
+  EXPECT_GT(all.total_bits(), datapath.total_bits());
+}
+
+TEST(SiteMapTest, LocateRoundTripsEveryRecordBoundary) {
+  const AccelConfig cfg = small_config(2, 4);
+  const SiteMap map(cfg, SiteMask::all());
+  std::uint64_t offset = 0;
+  for (std::size_t r = 0; r < map.records().size(); ++r) {
+    const auto first = map.locate(offset);
+    EXPECT_EQ(first.record_index, r);
+    EXPECT_EQ(first.bit, 0);
+    const auto last = map.locate(offset + map.records()[r].bits() - 1);
+    EXPECT_EQ(last.record_index, r);
+    EXPECT_EQ(last.bit, map.records()[r].bits() - 1);
+    offset += map.records()[r].bits();
+  }
+  EXPECT_EQ(offset, map.total_bits());
+}
+
+TEST(Accelerator, FlipStoredValueFormats) {
+  EXPECT_EQ(flip_stored_value(1.0, NumberFormat::kFp64, 63), -1.0);
+  EXPECT_EQ(flip_stored_value(2.0, NumberFormat::kFp32, 31), -2.0);
+  EXPECT_EQ(flip_stored_value(1.5, NumberFormat::kBf16, 15), -1.5);
+  // Flip twice restores.
+  const double v = 0.3125;
+  EXPECT_EQ(
+      flip_stored_value(flip_stored_value(v, NumberFormat::kFp32, 7),
+                        NumberFormat::kFp32, 7),
+      v);
+}
+
+// ---------------------------------------------------------------------------
+// Replay fast-path exactness: for every site kind, replay == full run, bit
+// for bit. Comparison must be bitwise — faults can legitimately produce NaN,
+// and NaN != NaN under double equality even when the bits agree.
+// ---------------------------------------------------------------------------
+bool bitwise_equal(const MatrixD& a, const MatrixD& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.flat().data(), b.flat().data(),
+                     a.size() * sizeof(double)) == 0;
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+class ReplayEquivalence : public ::testing::TestWithParam<SiteKind> {};
+
+TEST_P(ReplayEquivalence, ReplayMatchesFullRunBitExactly) {
+  const SiteKind kind = GetParam();
+  AccelConfig cfg = small_config(4, 8);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(16, 8, 119);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+
+  Rng rng(7000 + std::uint64_t(kind));
+  for (int trial = 0; trial < 30; ++trial) {
+    InjectedFault f;
+    f.cycle = std::size_t(rng.next_below(accel.total_cycles(16, 16)));
+    f.site.kind = kind;
+    f.site.lane = std::size_t(rng.next_below(4));
+    f.site.element = std::size_t(rng.next_below(8));
+    if (kind == SiteKind::kSumRow || kind == SiteKind::kGlobalPred ||
+        kind == SiteKind::kGlobalActual) {
+      f.site.lane = 0;
+      f.site.element = 0;
+    }
+    if (kind != SiteKind::kQuery && kind != SiteKind::kOutput) {
+      f.site.element = 0;
+    }
+    int bits = 32;
+    if (kind == SiteKind::kQuery) bits = 16;
+    if (kind == SiteKind::kCheckAcc || kind == SiteKind::kSumRow ||
+        kind == SiteKind::kGlobalPred || kind == SiteKind::kGlobalActual) {
+      bits = 64;
+    }
+    f.bit = int(rng.next_below(std::uint64_t(bits)));
+
+    const AccelRunResult full = accel.run(w.q, w.k, w.v, {f});
+    const AccelRunResult fast =
+        accel.replay_with_faults(w.q, w.k, w.v, golden, {f});
+    ASSERT_TRUE(bitwise_equal(full.output, fast.output)) << "trial " << trial;
+    ASSERT_TRUE(bitwise_equal(full.per_query_pred, fast.per_query_pred));
+    ASSERT_TRUE(bitwise_equal(full.per_query_actual, fast.per_query_actual));
+    EXPECT_EQ(std::memcmp(&full.global_pred, &fast.global_pred, 8), 0);
+    EXPECT_EQ(std::memcmp(&full.global_actual, &fast.global_actual, 8), 0);
+    EXPECT_EQ(full.per_query_alarm, fast.per_query_alarm);
+    EXPECT_EQ(full.global_alarm, fast.global_alarm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSiteKinds, ReplayEquivalence,
+    ::testing::Values(SiteKind::kQuery, SiteKind::kOutput, SiteKind::kScore,
+                      SiteKind::kMax, SiteKind::kSumExp, SiteKind::kCheckAcc,
+                      SiteKind::kSumRow, SiteKind::kGlobalPred,
+                      SiteKind::kGlobalActual));
+
+TEST(Replay, MultiFaultPlansAlsoExact) {
+  AccelConfig cfg = small_config(4, 8);
+  const Accelerator accel(cfg);
+  const AttentionInputs w = small_workload(16, 8, 121);
+  const AccelRunResult golden = accel.run(w.q, w.k, w.v);
+  Rng rng(8111);
+  const SiteMap map(cfg, SiteMask::all());
+  for (int trial = 0; trial < 20; ++trial) {
+    FaultPlan plan;
+    const std::size_t n_faults = 1 + rng.next_below(5);
+    for (std::size_t i = 0; i < n_faults; ++i) {
+      const auto draw = map.locate(rng.next_below(map.total_bits()));
+      InjectedFault f;
+      f.cycle = std::size_t(rng.next_below(accel.total_cycles(16, 16)));
+      f.site = map.records()[draw.record_index].site;
+      f.bit = draw.bit;
+      plan.push_back(f);
+    }
+    const AccelRunResult full = accel.run(w.q, w.k, w.v, plan);
+    const AccelRunResult fast =
+        accel.replay_with_faults(w.q, w.k, w.v, golden, plan);
+    ASSERT_TRUE(bitwise_equal(full.output, fast.output)) << "trial " << trial;
+    EXPECT_EQ(full.per_query_alarm, fast.per_query_alarm);
+    EXPECT_EQ(full.global_alarm, fast.global_alarm);
+  }
+}
+
+TEST(Activity, CountersScaleWithWork) {
+  const AccelConfig cfg = small_config(4, 8);
+  const Accelerator accel(cfg);
+  const AttentionInputs w16 = small_workload(16, 8, 123);
+  const AttentionInputs w32 = small_workload(32, 8, 123);
+  const auto a16 = accel.run(w16.q, w16.k, w16.v).activity;
+  const auto a32 = accel.run(w32.q, w32.k, w32.v).activity;
+  // Doubling queries and keys quadruples streamed work.
+  EXPECT_EQ(a32.dot_mults, 4 * a16.dot_mults);
+  EXPECT_EQ(a32.cycles, 4 * a16.cycles);
+  EXPECT_GT(a16.checker_ops(), 0u);
+  EXPECT_GT(a16.datapath_ops(), a16.checker_ops());
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,171 @@
+// Configuration sweeps of the cycle-level accelerator: every supported
+// combination of lanes / head dim / weight source / granularity / exp mode
+// must run fault-free without alarms and agree with the quantized golden
+// model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "attention/reference_attention.hpp"
+#include "fault/calibrate.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+
+namespace flashabft {
+namespace {
+
+using ConfigParam = std::tuple<std::size_t /*lanes*/, std::size_t /*d*/,
+                               WeightSource, CompareGranularity>;
+
+class AccelConfigSweep : public ::testing::TestWithParam<ConfigParam> {};
+
+TEST_P(AccelConfigSweep, FaultFreeConsistencyAndAccuracy) {
+  const auto [lanes, d, source, granularity] = GetParam();
+  AccelConfig cfg;
+  cfg.lanes = lanes;
+  cfg.head_dim = d;
+  cfg.scale = 1.0 / std::sqrt(double(d));
+  cfg.weight_source = source;
+  cfg.compare_granularity = granularity;
+
+  const std::size_t n = 3 * lanes + 1;  // force a partial final pass
+  Rng rng(lanes * 100 + d);
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+
+  std::vector<AttentionInputs> calib;
+  Rng crng(lanes * 7 + d);
+  calib.push_back(generate_gaussian(n, d, crng));
+  cfg = with_calibrated_thresholds(cfg, calib, 10.0);
+
+  const Accelerator accel(cfg);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+  EXPECT_FALSE(run.alarm(granularity));
+
+  AttentionConfig acfg;
+  acfg.seq_len = n;
+  acfg.head_dim = d;
+  acfg.scale = cfg.scale;
+  const MatrixD golden = reference_attention(
+      quantize_bf16(w.q), quantize_bf16(w.k), quantize_bf16(w.v), acfg);
+  EXPECT_LT(max_abs_diff(run.output, golden), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AccelConfigSweep,
+    ::testing::Combine(
+        ::testing::Values(std::size_t(1), std::size_t(4), std::size_t(16)),
+        ::testing::Values(std::size_t(8), std::size_t(64)),
+        ::testing::Values(WeightSource::kSharedDatapath,
+                          WeightSource::kIndependentStream),
+        ::testing::Values(CompareGranularity::kPerQuery,
+                          CompareGranularity::kGlobal)));
+
+TEST(AccelConfigExtras, ExactExpModeAlsoConsistent) {
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 16;
+  cfg.scale = 0.25;
+  cfg.exp_mode = ExpMode::kExact;
+  Rng rng(5);
+  const AttentionInputs w = generate_gaussian(16, 16, rng);
+  std::vector<AttentionInputs> calib;
+  calib.push_back(generate_gaussian(16, 16, rng));
+  cfg = with_calibrated_thresholds(cfg, calib, 10.0);
+  const Accelerator accel(cfg);
+  EXPECT_FALSE(accel.run(w.q, w.k, w.v).per_query_alarm);
+}
+
+TEST(AccelConfigExtras, ReplicatedEllSharedModeConsistent) {
+  AccelConfig cfg;
+  cfg.lanes = 4;
+  cfg.head_dim = 16;
+  cfg.scale = 0.25;
+  cfg.weight_source = WeightSource::kSharedDatapath;
+  cfg.replicate_ell = true;
+  Rng rng(6);
+  const AttentionInputs w = generate_gaussian(16, 16, rng);
+  std::vector<AttentionInputs> calib;
+  calib.push_back(generate_gaussian(16, 16, rng));
+  cfg = with_calibrated_thresholds(cfg, calib, 10.0);
+  const Accelerator accel(cfg);
+  const AccelRunResult run = accel.run(w.q, w.k, w.v);
+  EXPECT_FALSE(run.per_query_alarm);
+  EXPECT_FALSE(run.global_alarm);
+}
+
+TEST(AccelConfigExtras, SingleLaneSingleQuery) {
+  AccelConfig cfg;
+  cfg.lanes = 1;
+  cfg.head_dim = 4;
+  cfg.scale = 0.5;
+  const Accelerator accel(cfg);
+  Rng rng(7);
+  MatrixD q(1, 4), k(8, 4), v(8, 4);
+  fill_gaussian(q, rng);
+  fill_gaussian(k, rng);
+  fill_gaussian(v, rng);
+  const AccelRunResult run = accel.run(q, k, v);
+  EXPECT_EQ(run.output.rows(), 1u);
+  EXPECT_EQ(accel.num_passes(1), 1u);
+}
+
+TEST(AccelConfigExtras, MoreLanesThanQueries) {
+  AccelConfig cfg;
+  cfg.lanes = 16;
+  cfg.head_dim = 8;
+  cfg.scale = 1.0 / std::sqrt(8.0);
+  const Accelerator accel(cfg);
+  Rng rng(8);
+  MatrixD q(3, 8);
+  fill_gaussian(q, rng);
+  const AttentionInputs w = generate_gaussian(12, 8, rng);
+  const AccelRunResult run = accel.run(q, w.k, w.v);
+  EXPECT_EQ(run.output.rows(), 3u);
+  EXPECT_EQ(run.per_query_pred.size(), 3u);
+}
+
+TEST(AccelConfigExtras, LaneCountDoesNotChangeResults) {
+  // The block-parallel decomposition is a scheduling choice: per-query
+  // results must be identical across lane counts (each lane computes its
+  // query independently with the same arithmetic).
+  Rng rng(9);
+  const std::size_t n = 24, d = 16;
+  const AttentionInputs w = generate_gaussian(n, d, rng);
+  AccelRunResult results[3];
+  std::size_t idx = 0;
+  for (const std::size_t lanes : {1u, 4u, 24u}) {
+    AccelConfig cfg;
+    cfg.lanes = lanes;
+    cfg.head_dim = d;
+    cfg.scale = 1.0 / std::sqrt(double(d));
+    results[idx++] = Accelerator(cfg).run(w.q, w.k, w.v);
+  }
+  EXPECT_EQ(results[0].output, results[1].output);
+  EXPECT_EQ(results[1].output, results[2].output);
+  EXPECT_EQ(results[0].global_pred, results[2].global_pred);
+}
+
+TEST(AccelConfigExtras, RejectsZeroLanesOrDim) {
+  AccelConfig cfg;
+  cfg.lanes = 0;
+  EXPECT_THROW((void)Accelerator{cfg}, EnsureError);
+  cfg.lanes = 4;
+  cfg.head_dim = 0;
+  EXPECT_THROW((void)Accelerator{cfg}, EnsureError);
+}
+
+TEST(AccelConfigExtras, MismatchedInputsRejected) {
+  AccelConfig cfg;
+  cfg.lanes = 2;
+  cfg.head_dim = 8;
+  const Accelerator accel(cfg);
+  Rng rng(10);
+  const AttentionInputs w = generate_gaussian(8, 8, rng);
+  MatrixD bad_q(8, 4);
+  EXPECT_THROW((void)accel.run(bad_q, w.k, w.v), EnsureError);
+}
+
+}  // namespace
+}  // namespace flashabft

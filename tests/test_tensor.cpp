@@ -1,0 +1,181 @@
+// Unit tests for the tensor substrate: Matrix, RNG determinism, reference
+// linear algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/bfloat16.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(Matrix, ShapeAndAccess) {
+  MatrixD m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  m(2, 3) = 7.5;
+  EXPECT_EQ(m(2, 3), 7.5);
+  EXPECT_EQ(m(0, 0), 0.0);  // value-initialized
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  MatrixD m(2, 2);
+  EXPECT_THROW((void)m(2, 0), EnsureError);
+  EXPECT_THROW((void)m(0, 2), EnsureError);
+  EXPECT_THROW((void)m.row(2), EnsureError);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  MatrixD m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  MatrixD m(2, 2, 3.0);
+  for (const double v : m.flat()) EXPECT_EQ(v, 3.0);
+}
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DerivedStreamsIndependentAndReproducible) {
+  const Rng base(99);
+  Rng c1 = base.derive(5);
+  Rng c2 = base.derive(5);
+  Rng c3 = base.derive(6);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  // Streams with different labels should diverge immediately.
+  Rng c4 = base.derive(5);
+  EXPECT_NE(c4.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversValues) {
+  Rng rng(77);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++hist[std::size_t(v)];
+  }
+  for (const int h : hist) EXPECT_GT(h, 800);  // roughly uniform
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(2024);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(TensorOps, MatmulSmallKnown) {
+  MatrixD a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const MatrixD c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(TensorOps, MatmulShapeMismatchThrows) {
+  MatrixD a(2, 3), b(2, 2);
+  EXPECT_THROW(matmul(a, b), EnsureError);
+}
+
+TEST(TensorOps, MatmulTransposedAgreesWithExplicitTranspose) {
+  Rng rng(5);
+  MatrixD a(4, 6), b(5, 6);
+  fill_gaussian(a, rng);
+  fill_gaussian(b, rng);
+  const MatrixD direct = matmul_transposed(a, b);
+  const MatrixD viaT = matmul(a, transpose(b));
+  EXPECT_LT(max_abs_diff(direct, viaT), 1e-12);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  Rng rng(6);
+  MatrixD s(8, 16);
+  fill_gaussian(s, rng, 0.0, 5.0);
+  const MatrixD p = row_softmax(s);
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GE(p(i, j), 0.0);
+      sum += p(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(TensorOps, SoftmaxShiftInvariance) {
+  Rng rng(8);
+  MatrixD s(4, 8);
+  fill_gaussian(s, rng);
+  MatrixD shifted = s;
+  for (double& v : shifted.flat()) v += 100.0;
+  EXPECT_LT(max_abs_diff(row_softmax(s), row_softmax(shifted)), 1e-12);
+}
+
+TEST(TensorOps, SoftmaxStableForHugeScores) {
+  MatrixD s(1, 3);
+  s(0, 0) = 1e4; s(0, 1) = 1e4 - 1.0; s(0, 2) = -1e4;
+  const MatrixD p = row_softmax(s);
+  EXPECT_TRUE(std::isfinite(p(0, 0)));
+  EXPECT_NEAR(p(0, 0) + p(0, 1) + p(0, 2), 1.0, 1e-12);
+  EXPECT_GT(p(0, 0), p(0, 1));
+  EXPECT_EQ(p(0, 2), 0.0);
+}
+
+TEST(TensorOps, RowAndColumnSums) {
+  MatrixD m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const auto rs = row_sums(m);
+  const auto cs = column_sums(m);
+  EXPECT_EQ(rs, (std::vector<double>{6, 15}));
+  EXPECT_EQ(cs, (std::vector<double>{5, 7, 9}));
+  EXPECT_EQ(element_sum(m), 21);
+}
+
+TEST(TensorOps, MaxAbsDiffDetectsNan) {
+  MatrixD a(1, 2), b(1, 2);
+  b(0, 1) = std::nan("");
+  EXPECT_TRUE(std::isinf(max_abs_diff(a, b)));
+}
+
+TEST(TensorOps, QuantizeBf16MatchesScalarRounding) {
+  Rng rng(9);
+  MatrixD m(4, 4);
+  fill_gaussian(m, rng, 0.0, 10.0);
+  const MatrixD q = quantize_bf16(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(q(i, j), double(bf16::round(float(m(i, j)))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flashabft

@@ -1,0 +1,88 @@
+// Tests of the workload trace format (workload/trace_io.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(TraceIo, StreamRoundTrip) {
+  Rng rng(21);
+  const AttentionInputs original = generate_gaussian(24, 16, rng);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace(buffer, original);
+  const AttentionInputs loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.q, original.q);
+  EXPECT_EQ(loaded.k, original.k);
+  EXPECT_EQ(loaded.v, original.v);
+}
+
+TEST(TraceIo, RectangularShapesPreserved) {
+  Rng rng(22);
+  AttentionInputs w = generate_gaussian(40, 8, rng);
+  // 5 queries against 40 keys.
+  MatrixD q(5, 8);
+  fill_gaussian(q, rng);
+  w.q = q;
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace(buffer, w);
+  const AttentionInputs loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.q.rows(), 5u);
+  EXPECT_EQ(loaded.k.rows(), 40u);
+  EXPECT_EQ(loaded.head_dim(), 8u);
+}
+
+TEST(TraceIo, RejectsGarbageMagic) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  buffer.write("NOT A TRACE AT ALL............", 30);
+  buffer.seekg(0);
+  EXPECT_THROW((void)read_trace(buffer), EnsureError);
+}
+
+TEST(TraceIo, RejectsTruncatedPayload) {
+  Rng rng(23);
+  const AttentionInputs w = generate_gaussian(16, 8, rng);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace(buffer, w);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);  // chop the payload
+  std::stringstream truncated(bytes,
+                              std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW((void)read_trace(truncated), EnsureError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Rng rng(24);
+  const AttentionInputs original = generate_gaussian(12, 4, rng);
+  const std::string path = "/tmp/flashabft_trace_test.bin";
+  save_trace(path, original);
+  const AttentionInputs loaded = load_trace(path);
+  EXPECT_EQ(loaded.q, original.q);
+  EXPECT_EQ(loaded.v, original.v);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/dir/trace.bin"), EnsureError);
+}
+
+TEST(TraceIo, SpecialValuesSurvive) {
+  // Traces dumped from real runs may contain denormals or huge values.
+  Rng rng(25);
+  AttentionInputs w = generate_gaussian(4, 4, rng);
+  w.q(0, 0) = 1e-310;  // subnormal double
+  w.v(3, 3) = -1e300;
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_trace(buffer, w);
+  const AttentionInputs loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.q(0, 0), 1e-310);
+  EXPECT_EQ(loaded.v(3, 3), -1e300);
+}
+
+}  // namespace
+}  // namespace flashabft

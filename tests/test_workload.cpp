@@ -1,0 +1,134 @@
+// Tests of the workload generators and model presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+#include "workload/generator.hpp"
+#include "workload/model_presets.hpp"
+#include "workload/promptbench.hpp"
+
+namespace flashabft {
+namespace {
+
+TEST(Presets, PaperModelsMatchTableI) {
+  const auto models = paper_models();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0].name, "bert");
+  EXPECT_EQ(models[0].head_dim, 64u);
+  EXPECT_EQ(models[1].name, "phi-3-mini");
+  EXPECT_EQ(models[1].head_dim, 96u);
+  EXPECT_EQ(models[2].name, "llama-3.1");
+  EXPECT_EQ(models[2].head_dim, 128u);
+  EXPECT_EQ(models[3].name, "gemma2");
+  EXPECT_EQ(models[3].head_dim, 256u);
+}
+
+TEST(Presets, LookupByName) {
+  EXPECT_EQ(preset_by_name("llama-3.1").head_dim, 128u);
+  EXPECT_THROW((void)preset_by_name("gpt-7"), EnsureError);
+}
+
+TEST(Presets, AttentionScaleIsRsqrtD) {
+  const ModelPreset& bert = preset_by_name("bert");
+  EXPECT_NEAR(bert.attention_scale(), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Generator, ShapesMatchRequest) {
+  Rng rng(1);
+  const AttentionInputs w = generate_gaussian(33, 17, rng);
+  EXPECT_EQ(w.q.rows(), 33u);
+  EXPECT_EQ(w.q.cols(), 17u);
+  EXPECT_EQ(w.seq_len(), 33u);
+  EXPECT_EQ(w.head_dim(), 17u);
+}
+
+TEST(Generator, GaussianMomentsRoughlyCorrect) {
+  Rng rng(2);
+  const AttentionInputs w = generate_gaussian(128, 64, rng, 1.0, 0.5, 2.0);
+  auto var_of = [](const MatrixD& m) {
+    double sum = 0.0, sum2 = 0.0;
+    for (const double v : m.flat()) {
+      sum += v;
+      sum2 += v * v;
+    }
+    const double n = double(m.size());
+    const double mean = sum / n;
+    return sum2 / n - mean * mean;
+  };
+  EXPECT_NEAR(var_of(w.q), 1.0, 0.1);
+  EXPECT_NEAR(var_of(w.k), 0.25, 0.03);
+  EXPECT_NEAR(var_of(w.v), 4.0, 0.4);
+}
+
+TEST(Generator, LlmLikeCorrelationRaisesScoreVariance) {
+  // Correlated tokens share a topic direction, so q.k scores have higher
+  // variance than under independence — the softmax concentrates.
+  const ModelPreset& preset = preset_by_name("llama-3.1");
+  Rng rng1(3), rng2(3);
+  const AttentionInputs corr = generate_llm_like(preset, 128, rng1);
+  ModelPreset uncorr = preset;
+  uncorr.token_correlation = 0.0;
+  const AttentionInputs flat = generate_llm_like(uncorr, 128, rng2);
+
+  auto score_var = [&](const AttentionInputs& w) {
+    const MatrixD s = matmul_transposed(w.q, w.k);
+    double sum = 0.0, sum2 = 0.0;
+    for (const double v : s.flat()) {
+      sum += v;
+      sum2 += v * v;
+    }
+    const double n = double(s.size());
+    return sum2 / n - (sum / n) * (sum / n);
+  };
+  EXPECT_GT(score_var(corr), 1.5 * score_var(flat));
+}
+
+TEST(Generator, DeterministicUnderSeed) {
+  const ModelPreset& preset = preset_by_name("bert");
+  Rng a(9), b(9);
+  const AttentionInputs w1 = generate_llm_like(preset, 32, a);
+  const AttentionInputs w2 = generate_llm_like(preset, 32, b);
+  EXPECT_EQ(w1.q, w2.q);
+  EXPECT_EQ(w1.k, w2.k);
+  EXPECT_EQ(w1.v, w2.v);
+}
+
+TEST(Generator, CalibrationSetIsIndependent) {
+  const auto set =
+      generate_calibration_set(preset_by_name("bert"), 16, 3, 1234);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_NE(set[0].q, set[1].q);
+  EXPECT_NE(set[1].q, set[2].q);
+}
+
+TEST(PromptSuite, CategoriesCoverTaskMix) {
+  const auto& suite = prompt_suite();
+  EXPECT_GE(suite.size(), 5u);
+  bool has_long = false;
+  for (const PromptCategory& cat : suite) {
+    EXPECT_GT(cat.seq_len, 0u);
+    if (cat.seq_len >= 512) has_long = true;
+  }
+  EXPECT_TRUE(has_long);
+}
+
+TEST(PromptSuite, GeneratesOneWorkloadPerCategory) {
+  const auto workloads =
+      generate_prompt_suite(preset_by_name("llama-3.1"), 42);
+  ASSERT_EQ(workloads.size(), prompt_suite().size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    EXPECT_EQ(workloads[i].seq_len(), prompt_suite()[i].seq_len);
+    EXPECT_EQ(workloads[i].head_dim(), 128u);
+  }
+}
+
+TEST(PromptSuite, Deterministic) {
+  const auto a = generate_prompt_suite(preset_by_name("bert"), 7);
+  const auto b = generate_prompt_suite(preset_by_name("bert"), 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].q, b[i].q);
+}
+
+}  // namespace
+}  // namespace flashabft
