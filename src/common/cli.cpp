@@ -45,6 +45,16 @@ std::int64_t CliArgs::get_int(const std::string& name,
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
+std::size_t CliArgs::get_size(const std::string& name,
+                              std::size_t fallback) const {
+  if (!has(name)) return fallback;
+  const std::int64_t value = get_int(name, 0);
+  FLASHABFT_ENSURE_MSG(value >= 0, "flag --" << name
+                                             << " expects a non-negative "
+                                                "value, got " << value);
+  return std::size_t(value);
+}
+
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
 #include "attention/attention_config.hpp"
 #include "core/checker.hpp"
@@ -38,35 +39,45 @@ struct GuardedResult {
   std::size_t executions = 1;    ///< total runs including retries.
 };
 
-/// Executes attention under checksum protection with retry-based recovery.
+/// Executes attention under checksum protection with retry-based recovery,
+/// reporting every attempt's verdict to `observe(attempt, verdict)`.
 ///
 /// `run_once` abstracts the execution engine so tests and simulations can
 /// inject faults per attempt: it receives the attempt index and returns the
-/// checked result of that execution.
-template <typename RunOnce>
+/// checked result of that execution. `observe` is the recovery hook a
+/// controller (e.g. the serving engine's telemetry) uses to count alarms and
+/// retries online instead of re-deriving them from the final result.
+template <typename RunOnce, typename Observer>
 [[nodiscard]] GuardedResult guarded_attention(const Checker& checker,
                                               const RecoveryPolicy& policy,
-                                              RunOnce&& run_once) {
+                                              RunOnce&& run_once,
+                                              Observer&& observe) {
   GuardedResult result;
-  result.attention = run_once(std::size_t{0});
-  if (checker.compare(result.attention.predicted_checksum,
-                      result.attention.actual_checksum) ==
-      CheckVerdict::kPass) {
-    result.status = RecoveryStatus::kCleanFirstTry;
-    return result;
-  }
-  for (std::size_t retry = 1; retry <= policy.max_retries; ++retry) {
-    result.attention = run_once(retry);
-    ++result.executions;
-    if (checker.compare(result.attention.predicted_checksum,
-                        result.attention.actual_checksum) ==
-        CheckVerdict::kPass) {
-      result.status = RecoveryStatus::kRecovered;
+  for (std::size_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    result.attention = run_once(attempt);
+    result.executions = attempt + 1;
+    const CheckVerdict verdict =
+        checker.compare(result.attention.predicted_checksum,
+                        result.attention.actual_checksum);
+    observe(attempt, verdict);
+    if (verdict == CheckVerdict::kPass) {
+      result.status = attempt == 0 ? RecoveryStatus::kCleanFirstTry
+                                   : RecoveryStatus::kRecovered;
       return result;
     }
   }
   result.status = RecoveryStatus::kEscalated;
   return result;
+}
+
+/// Hook-free form (the original interface).
+template <typename RunOnce>
+[[nodiscard]] GuardedResult guarded_attention(const Checker& checker,
+                                              const RecoveryPolicy& policy,
+                                              RunOnce&& run_once) {
+  return guarded_attention(checker, policy,
+                           std::forward<RunOnce>(run_once),
+                           [](std::size_t, CheckVerdict) {});
 }
 
 /// Convenience overload: guards the software Alg. 3 kernel directly (a

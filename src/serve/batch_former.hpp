@@ -1,0 +1,44 @@
+// Size- and latency-bounded batch forming over the request queue.
+//
+// A worker blocks for the first request, then keeps admitting until the
+// batch is full or the forming deadline (measured from the first admit)
+// expires. The deadline bounds the latency a lone request pays waiting for
+// company; the size bound keeps one batch's service time — and therefore
+// head-retry and fallback work — predictable.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace flashabft::serve {
+
+struct BatchFormerConfig {
+  std::size_t max_batch = 8;  ///< admission cap per batch.
+  /// How long to keep admitting after the first request arrives.
+  std::chrono::microseconds batch_deadline{200};
+};
+
+/// Pops one batch from `queue`. Blocks until at least one request is
+/// available; returns an empty vector only when the queue is closed and
+/// drained (the worker's shutdown signal).
+template <typename T>
+[[nodiscard]] std::vector<T> form_batch(BoundedMpmcQueue<T>& queue,
+                                        const BatchFormerConfig& config) {
+  std::vector<T> batch;
+  std::optional<T> first = queue.pop();
+  if (!first) return batch;
+  batch.push_back(std::move(*first));
+
+  const auto deadline =
+      BoundedMpmcQueue<T>::Clock::now() + config.batch_deadline;
+  while (batch.size() < config.max_batch) {
+    std::optional<T> next = queue.pop_until(deadline);
+    if (!next) break;  // deadline hit, or closed and drained.
+    batch.push_back(std::move(*next));
+  }
+  return batch;
+}
+
+}  // namespace flashabft::serve

@@ -1,0 +1,60 @@
+#include "serve/circuit_breaker.hpp"
+
+#include "common/ensure.hpp"
+
+namespace flashabft::serve {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {
+  FLASHABFT_ENSURE_MSG(config_.window > 0, "breaker window must be positive");
+  FLASHABFT_ENSURE_MSG(config_.trip_threshold > 0,
+                       "trip threshold must be positive");
+}
+
+bool CircuitBreaker::should_bypass() {
+  if (!open_) return false;
+  ++decisions_while_open_;
+  const bool probe = config_.probe_interval != 0 &&
+                     decisions_while_open_ % config_.probe_interval == 0;
+  return !probe;
+}
+
+bool CircuitBreaker::record_escalation() {
+  push_outcome(true);
+  if (!open_ && escalations_in_window_ >= config_.trip_threshold) {
+    open_ = true;
+    ++trips_;
+    decisions_while_open_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  push_outcome(false);
+  if (open_) {
+    // A probe went through the accelerator and came back clean: close and
+    // start a fresh window, forgetting the defect-era escalations.
+    open_ = false;
+    outcomes_.clear();
+    escalations_in_window_ = 0;
+  }
+}
+
+void CircuitBreaker::reset() {
+  open_ = false;
+  outcomes_.clear();
+  escalations_in_window_ = 0;
+  decisions_while_open_ = 0;
+}
+
+void CircuitBreaker::push_outcome(bool escalated) {
+  outcomes_.push_back(escalated);
+  if (escalated) ++escalations_in_window_;
+  while (outcomes_.size() > config_.window) {
+    if (outcomes_.front()) --escalations_in_window_;
+    outcomes_.pop_front();
+  }
+}
+
+}  // namespace flashabft::serve

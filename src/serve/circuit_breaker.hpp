@@ -1,0 +1,63 @@
+// Per-worker circuit breaker over escalation outcomes.
+//
+// A transient upset recovers on retry; a worker whose accelerator keeps
+// escalating is a persistent-defect suspect (paper §I: persistent faults
+// "keep alarming"). The breaker watches a sliding window of request
+// outcomes and, once escalations cross the trip threshold, opens: the
+// worker bypasses its accelerator and serves requests with the software
+// reference kernel. While open, every probe_interval-th request is sent
+// through the accelerator anyway (half-open probe); a clean probe closes
+// the breaker — the defect was transient after all.
+//
+// Not thread-safe by design: each worker owns one breaker and touches it
+// only from its own service loop.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace flashabft::serve {
+
+struct CircuitBreakerConfig {
+  std::size_t window = 16;         ///< outcomes tracked.
+  std::size_t trip_threshold = 3;  ///< escalations in window that trip it.
+  /// While open, every Nth decision routes to the accelerator as a probe;
+  /// 0 disables probing (the breaker stays open until reset()).
+  std::size_t probe_interval = 8;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config);
+
+  /// Decision point, called once per request *before* execution: true means
+  /// bypass the accelerator and serve via the reference fallback. While
+  /// open, returns false on probe turns.
+  [[nodiscard]] bool should_bypass();
+
+  /// Outcome report: the request escalated (retries exhausted). May trip
+  /// the breaker; returns true iff this call tripped it (closed -> open).
+  bool record_escalation();
+
+  /// Outcome report: the request completed clean or recovered on the
+  /// accelerator. Closes the breaker if a probe just succeeded.
+  void record_success();
+
+  /// Force-close (operator action / tests).
+  void reset();
+
+  [[nodiscard]] bool open() const { return open_; }
+  [[nodiscard]] std::size_t trips() const { return trips_; }
+
+ private:
+  void push_outcome(bool escalated);
+
+  CircuitBreakerConfig config_;
+  std::deque<bool> outcomes_;  ///< true = escalation, newest at back.
+  std::size_t escalations_in_window_ = 0;
+  bool open_ = false;
+  std::size_t trips_ = 0;
+  std::size_t decisions_while_open_ = 0;
+};
+
+}  // namespace flashabft::serve

@@ -1,0 +1,135 @@
+#include "serve/load_driver.hpp"
+
+#include <deque>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "fault/calibrate.hpp"
+#include "sim/multi_head.hpp"
+#include "workload/promptbench.hpp"
+
+namespace flashabft::serve {
+
+ServerConfig make_calibrated_server_config(const ModelPreset& preset,
+                                           std::size_t lanes,
+                                           std::size_t seq_len_cap,
+                                           std::uint64_t seed) {
+  ServerConfig config;
+  config.accel.lanes = lanes;
+  config.accel.head_dim = preset.head_dim;
+  config.accel.scale = preset.attention_scale();
+
+  // Fault-free residual calibration over one same-distribution draw per
+  // prompt category (capped like the driver's requests, though not the
+  // identical inputs), one margin decade above the worst observation.
+  std::vector<AttentionInputs> calibration;
+  const Rng base(seed);
+  std::size_t index = 0;
+  for (const PromptCategory& category : prompt_suite()) {
+    Rng rng = base.derive(index++);
+    calibration.push_back(generate_category_inputs(category, preset,
+                                                   rng.next_u64(),
+                                                   seq_len_cap));
+  }
+  config.accel = with_calibrated_thresholds(config.accel, calibration);
+  return config;
+}
+
+FaultPlan draw_fault_plan(const SiteMap& map, std::size_t total_cycles,
+                          bool persistent, Rng& rng) {
+  FLASHABFT_ENSURE_MSG(map.total_bits() > 0, "empty fault surface");
+  FLASHABFT_ENSURE_MSG(total_cycles > 0, "no cycles to inject into");
+  const SiteMap::Draw draw = map.locate(rng.next_below(map.total_bits()));
+  const SiteRecord& record = map.records()[draw.record_index];
+  InjectedFault fault;
+  fault.site = record.site;
+  fault.bit = draw.bit;
+  fault.cycle = rng.next_below(total_cycles);
+  if (persistent) {
+    fault.type = rng.next_below(2) == 0 ? FaultType::kStuckAt0
+                                        : FaultType::kStuckAt1;
+    fault.duration = total_cycles - fault.cycle;
+  }
+  return {fault};
+}
+
+LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
+  FLASHABFT_ENSURE_MSG(config.total_requests > 0, "no requests to drive");
+  FLASHABFT_ENSURE_MSG(config.concurrency > 0,
+                       "concurrency must be positive");
+  FLASHABFT_ENSURE_MSG(config.heads_per_request > 0,
+                       "requests need at least one head");
+  const ModelPreset& preset = preset_by_name(config.preset_name);
+  FLASHABFT_ENSURE_MSG(
+      preset.head_dim == server.config().accel.head_dim,
+      "preset head_dim " << preset.head_dim
+                         << " != server accelerator head_dim "
+                         << server.config().accel.head_dim);
+
+  const std::vector<PromptCategory>& categories = prompt_suite();
+  const Accelerator accel(server.config().accel);
+  const SiteMap site_map(server.config().accel, config.inject.sites);
+  const Rng base(config.seed);
+  Rng inject_rng = base.derive(0xFA117);
+
+  LoadReport report;
+  const auto absorb = [&report](const ServeResponse& response) {
+    ++report.completed;
+    if (response.checksum_clean) ++report.clean_responses;
+    switch (response.path) {
+      case ServePath::kGuardedClean: ++report.guarded_clean; break;
+      case ServePath::kGuardedRecovered: ++report.recovered; break;
+      case ServePath::kFallbackReference: ++report.fallback; break;
+    }
+  };
+
+  std::deque<std::future<ServeResponse>> inflight;
+  std::size_t submitted = 0;
+  const Clock::time_point start = Clock::now();
+  while (submitted < config.total_requests || !inflight.empty()) {
+    if (submitted < config.total_requests &&
+        inflight.size() < config.concurrency) {
+      const PromptCategory& category =
+          categories[submitted % categories.size()];
+      ServeRequest request;
+      request.id = submitted + 1;
+      request.category = category.name;
+      request.heads.reserve(config.heads_per_request);
+      Rng head_rng = base.derive(submitted + 1);
+      for (std::size_t h = 0; h < config.heads_per_request; ++h) {
+        request.heads.push_back(generate_category_inputs(
+            category, preset, head_rng.next_u64(), config.seq_len_cap));
+      }
+      if (config.inject.fault_probability > 0.0 &&
+          inject_rng.next_double() < config.inject.fault_probability) {
+        const bool persistent =
+            inject_rng.next_double() < config.inject.persistent_fraction;
+        // Heads of one request share a shape, so the layer-global window is
+        // heads * cycles_per_head — the same windows run_heads slices.
+        const std::size_t layer_cycles =
+            config.heads_per_request *
+            cycles_per_head(accel, request.heads.front());
+        request.faults =
+            draw_fault_plan(site_map, layer_cycles, persistent, inject_rng);
+        request.faults_persistent = persistent;
+        ++(persistent ? report.persistent_injected
+                      : report.transient_injected);
+      }
+      inflight.push_back(server.submit(std::move(request)));
+      ++submitted;
+      continue;
+    }
+    absorb(inflight.front().get());
+    inflight.pop_front();
+  }
+  const Clock::time_point end = Clock::now();
+
+  report.wall_seconds = std::chrono::duration<double>(end - start).count();
+  report.throughput_rps = report.wall_seconds > 0.0
+                              ? double(report.completed) / report.wall_seconds
+                              : 0.0;
+  report.telemetry = server.telemetry().snapshot();
+  return report;
+}
+
+}  // namespace flashabft::serve

@@ -1,0 +1,81 @@
+// Closed-loop load driver: replays prompt_suite() traffic through an
+// InferenceServer, optionally injecting faults drawn from the accelerator's
+// SiteMap — the serving analogue of the fault campaigns in src/fault.
+//
+// Closed loop: at most `concurrency` requests are in flight; completing one
+// admits the next. That makes offered load self-pacing (the paper's serving
+// scenario: saturating traffic, not open-loop overload) and wall time a
+// direct throughput measurement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/server.hpp"
+#include "sim/site.hpp"
+#include "tensor/random.hpp"
+#include "workload/model_presets.hpp"
+
+namespace flashabft::serve {
+
+/// Per-request fault injection knobs.
+struct FaultInjectionConfig {
+  /// Probability a request carries an injected fault.
+  double fault_probability = 0.0;
+  /// Of injected faults, the fraction modeled persistent: a stuck-at bit
+  /// lasting the whole run, re-applied on retries (forces escalation).
+  double persistent_fraction = 0.25;
+  /// Where faults may land. Datapath-only by default so every alarm traces
+  /// to a real output corruption (no checker-state false alarms).
+  SiteMask sites = SiteMask::datapath_only();
+};
+
+struct LoadDriverConfig {
+  std::size_t total_requests = 100;
+  std::size_t concurrency = 8;  ///< closed-loop in-flight window.
+  /// Workload shape: per-head inputs come from prompt_suite() categories
+  /// round-robin, generated for this preset.
+  std::string preset_name = "bert";
+  std::size_t heads_per_request = 4;
+  /// Clamp on category sequence lengths (the cycle-level simulator pays
+  /// O(passes * seq_len) per head; full prompt lengths are bench-only).
+  std::size_t seq_len_cap = 64;
+  FaultInjectionConfig inject{};
+  std::uint64_t seed = 7;
+};
+
+/// What one load run produced, alongside the server's telemetry snapshot.
+struct LoadReport {
+  std::size_t completed = 0;
+  std::size_t transient_injected = 0;   ///< requests given a bit-flip plan.
+  std::size_t persistent_injected = 0;  ///< requests given a stuck-at plan.
+  std::size_t clean_responses = 0;      ///< checksum_clean == true.
+  std::size_t guarded_clean = 0;
+  std::size_t recovered = 0;
+  std::size_t fallback = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  TelemetrySnapshot telemetry;
+};
+
+/// Builds a ServerConfig whose accelerator matches `preset` (1/sqrt(d)
+/// scaling, `lanes` lanes) with detection thresholds calibrated fault-free
+/// over the seq-len-capped prompt suite — ready to serve run_load traffic.
+/// Worker/batching/breaker knobs keep their defaults; adjust after.
+[[nodiscard]] ServerConfig make_calibrated_server_config(
+    const ModelPreset& preset, std::size_t lanes, std::size_t seq_len_cap,
+    std::uint64_t seed);
+
+/// Draws a single-fault plan over `map`: uniform (site, bit) weighted by
+/// storage width, uniform cycle in [0, total_cycles). Persistent faults are
+/// stuck-at for the remainder of the run; transient ones are one bit flip.
+[[nodiscard]] FaultPlan draw_fault_plan(const SiteMap& map,
+                                        std::size_t total_cycles,
+                                        bool persistent, Rng& rng);
+
+/// Runs the closed loop against `server` (which must be configured with an
+/// accelerator matching the preset's head_dim) and reports the outcome.
+[[nodiscard]] LoadReport run_load(InferenceServer& server,
+                                  const LoadDriverConfig& config);
+
+}  // namespace flashabft::serve

@@ -1,0 +1,74 @@
+// Request/response types of the fault-tolerant serving engine.
+//
+// A request is one decoder layer's attention work: H per-head Q/K/V bundles
+// plus an optional fault plan (the upsets the cycle-level simulator applies
+// while executing it). The response carries the accepted outputs, how they
+// were produced — guarded accelerator path, head re-execution, or the
+// software reference fallback — and enough accounting for telemetry to
+// reconcile alarms, retries and escalations against the injected plan.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attention/inputs.hpp"
+#include "sim/fault_plan.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// How a request's accepted outputs were produced.
+enum class ServePath {
+  /// Accelerator path, no alarm on the first execution.
+  kGuardedClean,
+  /// Accelerator path; one or more heads alarmed and their re-execution
+  /// passed the check (transient upset recovered).
+  kGuardedRecovered,
+  /// Escalated (every retry alarmed) or circuit-breaker bypass: the
+  /// affected heads were served by the software Alg. 3 reference kernel.
+  kFallbackReference,
+};
+
+[[nodiscard]] const char* serve_path_name(ServePath path);
+
+/// One attention/decoder-layer inference request.
+struct ServeRequest {
+  std::uint64_t id = 0;
+  std::string category;  ///< workload category tag (telemetry only).
+  /// The layer's heads, in head order; all heads share one shape.
+  std::vector<AttentionInputs> heads;
+  /// Faults applied to the first accelerator execution, with layer-global
+  /// cycles (run_heads windows). Empty plan = fault-free request.
+  FaultPlan faults;
+  /// If true the plan models a persistent defect: it is re-applied on every
+  /// retry, so head re-execution cannot succeed and the request escalates
+  /// to the reference fallback.
+  bool faults_persistent = false;
+  /// Stamped by InferenceServer::submit; used for queue-latency telemetry.
+  Clock::time_point enqueue_time{};
+};
+
+/// The completed result of one request.
+struct ServeResponse {
+  std::uint64_t id = 0;
+  ServePath path = ServePath::kGuardedClean;
+  std::vector<MatrixD> outputs;  ///< per-head attention outputs, head order.
+  std::size_t head_executions = 0;  ///< accelerator head-runs incl. retries.
+  std::size_t alarm_events = 0;     ///< head-alarm observations, all attempts.
+  std::size_t fallback_heads = 0;   ///< heads served by the reference kernel.
+  /// True iff every accepted head output passed its checksum comparison
+  /// (accelerator heads: no alarm under the configured granularity;
+  /// fallback heads: the reference kernel's own residual check).
+  bool checksum_clean = false;
+  std::size_t worker_id = 0;
+  std::size_t batch_size = 0;  ///< size of the batch this request rode in.
+  double queue_us = 0.0;       ///< enqueue -> execution start.
+  double service_us = 0.0;     ///< execution start -> completion.
+  double total_us = 0.0;       ///< enqueue -> completion.
+};
+
+}  // namespace flashabft::serve

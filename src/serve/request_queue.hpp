@@ -1,0 +1,122 @@
+// Bounded MPMC queue — the admission buffer between request producers and
+// the worker pool.
+//
+// Mutex + two condition variables: at serving batch sizes the queue handoff
+// is orders of magnitude cheaper than one accelerator head-run, so a lock
+// is the right tradeoff over a lock-free ring (simpler close semantics, no
+// spurious-failure retry loops). Bounded on purpose: admission control is
+// backpressure — a full queue blocks (or rejects, via try_push) instead of
+// letting latency grow without bound.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/ensure.hpp"
+
+namespace flashabft::serve {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    FLASHABFT_ENSURE_MSG(capacity > 0, "queue capacity must be positive");
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocks while full; returns false (item dropped) if the queue closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false if full or closed (load shedding).
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once closed *and* drained
+  /// (items pushed before close() are still delivered).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked(lock);
+  }
+
+  /// Like pop(), but gives up at `deadline`; nullopt on timeout too.
+  std::optional<T> pop_until(Clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_until(
+            lock, deadline, [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return pop_locked(lock);
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    return pop_locked(lock);
+  }
+
+  /// Closes the queue: pending pushes fail, pops drain the remainder then
+  /// return nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace flashabft::serve

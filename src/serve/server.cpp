@@ -1,0 +1,267 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "attention/attention_config.hpp"
+#include "common/ensure.hpp"
+#include "core/flash_abft.hpp"
+#include "sim/multi_head.hpp"
+
+namespace flashabft::serve {
+
+namespace {
+
+double to_us(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+void append_plan(FaultPlan& plan, const FaultPlan& extra) {
+  plan.insert(plan.end(), extra.begin(), extra.end());
+}
+
+}  // namespace
+
+const char* serve_path_name(ServePath path) {
+  switch (path) {
+    case ServePath::kGuardedClean: return "guarded_clean";
+    case ServePath::kGuardedRecovered: return "guarded_recovered";
+    case ServePath::kFallbackReference: return "fallback_reference";
+  }
+  return "unknown";
+}
+
+InferenceServer::InferenceServer(ServerConfig config)
+    : config_(config), queue_(config.queue_capacity) {
+  FLASHABFT_ENSURE_MSG(config_.num_workers > 0,
+                       "server needs at least one worker");
+  FLASHABFT_ENSURE_MSG(config_.batching.max_batch > 0,
+                       "max_batch must be positive");
+  workers_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    workers_.push_back(
+        std::make_unique<Worker>(w, config_.accel, config_.breaker));
+  }
+  // Threads start only after every Worker exists: worker_loop never sees a
+  // half-built pool.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, &worker] { worker_loop(*worker); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::shutdown() {
+  shut_down_.store(true, std::memory_order_release);
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+std::future<ServeResponse> InferenceServer::submit(ServeRequest request) {
+  FLASHABFT_ENSURE_MSG(!shut_down_.load(std::memory_order_acquire),
+                       "submit after shutdown");
+  FLASHABFT_ENSURE_MSG(!request.heads.empty(), "request has no heads");
+  if (request.id == 0) {
+    request.id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  request.enqueue_time = Clock::now();
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<ServeResponse> future = pending.promise.get_future();
+  // Counted before the push: once queued, a worker can complete the request
+  // (and bump `completed`) before this thread resumes, and a concurrent
+  // snapshot must never see completed > submitted.
+  telemetry_.on_submit();
+  const bool accepted = queue_.push(std::move(pending));
+  if (!accepted) {
+    telemetry_.on_reject();
+    FLASHABFT_ENSURE_MSG(false, "server shut down while submitting");
+  }
+  return future;
+}
+
+bool InferenceServer::try_submit(ServeRequest request,
+                                 std::future<ServeResponse>& out) {
+  // Invalid requests are a caller bug (same contract as submit()); the
+  // rejected counter is reserved for genuine load shedding.
+  FLASHABFT_ENSURE_MSG(!request.heads.empty(), "request has no heads");
+  if (shut_down_.load(std::memory_order_acquire)) {
+    telemetry_.on_reject();
+    return false;
+  }
+  if (request.id == 0) {
+    request.id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  request.enqueue_time = Clock::now();
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<ServeResponse> future = pending.promise.get_future();
+  telemetry_.on_submit();  // before the push — see submit().
+  if (!queue_.try_push(std::move(pending))) {
+    telemetry_.on_reject();
+    return false;
+  }
+  out = std::move(future);
+  return true;
+}
+
+void InferenceServer::set_worker_defect(std::size_t worker_id,
+                                        FaultPlan defect) {
+  FLASHABFT_ENSURE_MSG(worker_id < workers_.size(),
+                       "worker " << worker_id << " of " << workers_.size());
+  std::lock_guard lock(workers_[worker_id]->defect_mutex);
+  workers_[worker_id]->defect = std::move(defect);
+}
+
+bool InferenceServer::worker_breaker_open(std::size_t worker_id) const {
+  FLASHABFT_ENSURE(worker_id < workers_.size());
+  std::lock_guard lock(workers_[worker_id]->breaker_mutex);
+  return workers_[worker_id]->breaker.open();
+}
+
+std::size_t InferenceServer::worker_breaker_trips(
+    std::size_t worker_id) const {
+  FLASHABFT_ENSURE(worker_id < workers_.size());
+  std::lock_guard lock(workers_[worker_id]->breaker_mutex);
+  return workers_[worker_id]->breaker.trips();
+}
+
+void InferenceServer::worker_loop(Worker& worker) {
+  while (true) {
+    std::vector<Pending> batch = form_batch(queue_, config_.batching);
+    if (batch.empty()) return;  // queue closed and drained.
+    telemetry_.on_batch();
+    for (Pending& pending : batch) {
+      // A malformed request (e.g. head shapes that don't match the
+      // accelerator) must fail its own future, not escape the thread and
+      // terminate the whole server.
+      try {
+        ServeResponse response =
+            execute(worker, pending.request, batch.size());
+        telemetry_.on_response(response);
+        pending.promise.set_value(std::move(response));
+      } catch (...) {
+        pending.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+ServeResponse InferenceServer::execute(Worker& worker, ServeRequest& request,
+                                       std::size_t batch_size) {
+  const Clock::time_point start = Clock::now();
+  ServeResponse response;
+  response.id = request.id;
+  response.worker_id = worker.id;
+  response.batch_size = batch_size;
+  if (request.enqueue_time != Clock::time_point{}) {
+    response.queue_us = to_us(start - request.enqueue_time);
+  }
+
+  FaultPlan defect;
+  {
+    std::lock_guard lock(worker.defect_mutex);
+    defect = worker.defect;
+  }
+  bool bypass;
+  {
+    std::lock_guard lock(worker.breaker_mutex);
+    bypass = worker.breaker.should_bypass();
+  }
+
+  const CompareGranularity granularity = config_.accel.compare_granularity;
+  const Checker fallback_checker(config_.fallback_checker);
+  const auto serve_reference = [&](const AttentionInputs& head,
+                                   bool& clean) -> MatrixD {
+    AttentionConfig cfg;
+    cfg.seq_len = head.seq_len();
+    cfg.head_dim = head.head_dim();
+    cfg.scale = config_.accel.scale;
+    cfg.mask = config_.accel.mask;
+    CheckedAttention fb = flash_abft_attention(head.q, head.k, head.v, cfg);
+    clean = clean && fallback_checker.compare(fb.predicted_checksum,
+                                              fb.actual_checksum) ==
+                         CheckVerdict::kPass;
+    ++response.fallback_heads;
+    return std::move(fb.output);
+  };
+
+  bool clean = true;
+  response.outputs.reserve(request.heads.size());
+
+  if (bypass) {
+    // Breaker open: this worker's accelerator is a persistent-defect
+    // suspect; serve the whole layer from the reference kernel.
+    telemetry_.on_breaker_bypass();
+    response.path = ServePath::kFallbackReference;
+    for (const AttentionInputs& head : request.heads) {
+      response.outputs.push_back(serve_reference(head, clean));
+    }
+  } else {
+    FaultPlan first_plan = request.faults;
+    append_plan(first_plan, defect);
+    MultiHeadRunResult run =
+        run_heads(worker.accel, request.heads, first_plan);
+    response.head_executions += request.heads.size();
+    std::vector<std::size_t> alarming = run.alarming_heads(granularity);
+    response.alarm_events += alarming.size();
+
+    std::size_t retries = 0;
+    while (!alarming.empty() && retries < config_.recovery.max_retries) {
+      ++retries;
+      // A transient upset does not repeat; a persistent plan (and any
+      // standing worker defect) is applied to the retry as well.
+      FaultPlan retry_plan =
+          request.faults_persistent ? request.faults : FaultPlan{};
+      append_plan(retry_plan, defect);
+      run = rerun_alarming_heads(worker.accel, request.heads, run,
+                                 granularity, retry_plan);
+      response.head_executions += alarming.size();
+      alarming = run.alarming_heads(granularity);
+      response.alarm_events += alarming.size();
+    }
+
+    if (alarming.empty()) {
+      response.path = retries == 0 ? ServePath::kGuardedClean
+                                   : ServePath::kGuardedRecovered;
+      for (AccelRunResult& head : run.heads) {
+        response.outputs.push_back(std::move(head.output));
+      }
+      {
+        std::lock_guard lock(worker.breaker_mutex);
+        worker.breaker.record_success();
+      }
+    } else {
+      // Retries exhausted: persistent-fault suspect. Clean heads are
+      // accepted; the still-alarming ones fall back to the reference
+      // kernel, which carries its own checksum.
+      response.path = ServePath::kFallbackReference;
+      telemetry_.on_escalation();
+      bool tripped;
+      {
+        std::lock_guard lock(worker.breaker_mutex);
+        tripped = worker.breaker.record_escalation();
+      }
+      if (tripped) telemetry_.on_breaker_trip();
+      std::size_t next_alarm = 0;  // alarming_heads() is ascending.
+      for (std::size_t h = 0; h < request.heads.size(); ++h) {
+        if (next_alarm < alarming.size() && alarming[next_alarm] == h) {
+          ++next_alarm;
+          response.outputs.push_back(
+              serve_reference(request.heads[h], clean));
+        } else {
+          response.outputs.push_back(std::move(run.heads[h].output));
+        }
+      }
+    }
+  }
+
+  response.checksum_clean = clean;
+  const Clock::time_point end = Clock::now();
+  response.service_us = to_us(end - start);
+  response.total_us = response.queue_us + response.service_us;
+  return response;
+}
+
+}  // namespace flashabft::serve

@@ -1,0 +1,122 @@
+// The fault-tolerant inference server core.
+//
+// Topology: producers -> bounded MPMC queue -> batch former -> worker pool.
+// Each worker owns one accelerator instance (its "device"), a circuit
+// breaker, and an optional standing defect plan (the test/bench model of a
+// physically faulty unit). Per request the worker executes the guarded
+// path:
+//
+//   1. run_heads through the accelerator with the request's fault plan
+//      (+ the worker defect),
+//   2. on alarm, re-execute the alarming heads (rerun_alarming_heads) up to
+//      RecoveryPolicy::max_retries times — transient upsets recover here,
+//   3. if retries are exhausted, escalate: the still-alarming heads are
+//      served by the software Alg. 3 reference kernel (flash_abft), whose
+//      own checksum verifies the fallback outputs,
+//   4. escalations feed the worker's circuit breaker; once tripped, the
+//      worker bypasses its accelerator entirely (with periodic half-open
+//      probes) until a probe comes back clean.
+//
+// Every accepted output is checksum-verified on whichever path produced it,
+// so a completed request is checksum-clean by construction unless the
+// fallback itself failed verification (checksum_dirty counts those).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/recovery.hpp"
+#include "serve/batch_former.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "serve/request.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/telemetry.hpp"
+#include "sim/accelerator.hpp"
+
+namespace flashabft::serve {
+
+struct ServerConfig {
+  std::size_t num_workers = 2;
+  std::size_t queue_capacity = 64;
+  BatchFormerConfig batching{};
+  /// Per-worker accelerator configuration; compare_granularity also selects
+  /// the alarm granularity of the guarded path. Calibrate the detection
+  /// thresholds (fault/calibrate.hpp) for the workload being served.
+  AccelConfig accel{};
+  RecoveryPolicy recovery{};
+  /// Residual tolerance for verifying reference-fallback outputs.
+  CheckerConfig fallback_checker{};
+  CircuitBreakerConfig breaker{};
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submits a request; blocks while the queue is full (backpressure).
+  /// Throws EnsureError if the server has been shut down.
+  [[nodiscard]] std::future<ServeResponse> submit(ServeRequest request);
+
+  /// Load-shedding submit: returns false (and counts a rejection) instead
+  /// of blocking when the queue is full or the server is shut down.
+  [[nodiscard]] bool try_submit(ServeRequest request,
+                                std::future<ServeResponse>& out);
+
+  /// Closes admission, drains in-flight requests, joins workers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] const ServeTelemetry& telemetry() const { return telemetry_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Installs a standing fault plan on worker `worker_id`: it is applied
+  /// (on top of each request's own plan) to every accelerator execution
+  /// that worker performs — the model of a persistently defective device.
+  /// Pass an empty plan to heal the worker.
+  void set_worker_defect(std::size_t worker_id, FaultPlan defect);
+
+  [[nodiscard]] bool worker_breaker_open(std::size_t worker_id) const;
+  [[nodiscard]] std::size_t worker_breaker_trips(std::size_t worker_id) const;
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+  };
+
+  struct Worker {
+    std::size_t id = 0;
+    Accelerator accel;
+    CircuitBreaker breaker;
+    FaultPlan defect;                  ///< guarded by defect_mutex.
+    mutable std::mutex defect_mutex;   ///< set_worker_defect vs. loop.
+    mutable std::mutex breaker_mutex;  ///< external observers vs. loop.
+    std::thread thread;
+
+    Worker(std::size_t id_, const AccelConfig& accel_cfg,
+           const CircuitBreakerConfig& breaker_cfg)
+        : id(id_), accel(accel_cfg), breaker(breaker_cfg) {}
+  };
+
+  void worker_loop(Worker& worker);
+  [[nodiscard]] ServeResponse execute(Worker& worker, ServeRequest& request,
+                                      std::size_t batch_size);
+
+  ServerConfig config_;
+  BoundedMpmcQueue<Pending> queue_;
+  ServeTelemetry telemetry_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> next_auto_id_{1};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace flashabft::serve

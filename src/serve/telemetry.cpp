@@ -1,0 +1,134 @@
+#include "serve/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.hpp"
+
+namespace flashabft::serve {
+
+double percentile(std::span<const double> sorted_samples, double p) {
+  if (sorted_samples.empty()) return 0.0;
+  if (sorted_samples.size() == 1) return sorted_samples[0];
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const double rank = clamped * double(sorted_samples.size() - 1);
+  const std::size_t lo = std::size_t(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, sorted_samples.size() - 1);
+  const double frac = rank - double(lo);
+  return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac;
+}
+
+void LatencyReservoir::record(double sample_us, Rng& rng) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample_us);
+    return;
+  }
+  const std::uint64_t slot = rng.next_below(seen_);
+  if (slot < capacity_) samples_[std::size_t(slot)] = sample_us;
+}
+
+void ServeTelemetry::on_response(const ServeResponse& response) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  switch (response.path) {
+    case ServePath::kGuardedClean:
+      clean_first_try_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServePath::kGuardedRecovered:
+      recovered_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServePath::kFallbackReference:
+      fallback_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  alarm_events_.fetch_add(response.alarm_events, std::memory_order_relaxed);
+  head_executions_.fetch_add(response.head_executions,
+                             std::memory_order_relaxed);
+  fallback_heads_.fetch_add(response.fallback_heads,
+                            std::memory_order_relaxed);
+  (response.checksum_clean ? checksum_clean_ : checksum_dirty_)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard lock(latency_mutex_);
+  queue_us_.record(response.queue_us, reservoir_rng_);
+  service_us_.record(response.service_us, reservoir_rng_);
+  total_us_.record(response.total_us, reservoir_rng_);
+}
+
+TelemetrySnapshot ServeTelemetry::snapshot() const {
+  TelemetrySnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.clean_first_try = clean_first_try_.load(std::memory_order_relaxed);
+  s.recovered = recovered_.load(std::memory_order_relaxed);
+  s.fallback = fallback_.load(std::memory_order_relaxed);
+  s.escalations = escalations_.load(std::memory_order_relaxed);
+  s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  s.breaker_bypasses = breaker_bypasses_.load(std::memory_order_relaxed);
+  s.alarm_events = alarm_events_.load(std::memory_order_relaxed);
+  s.head_executions = head_executions_.load(std::memory_order_relaxed);
+  s.fallback_heads = fallback_heads_.load(std::memory_order_relaxed);
+  s.checksum_clean = checksum_clean_.load(std::memory_order_relaxed);
+  s.checksum_dirty = checksum_dirty_.load(std::memory_order_relaxed);
+
+  std::vector<double> queue_us, service_us, total_us;
+  {
+    std::lock_guard lock(latency_mutex_);
+    queue_us = queue_us_.samples();
+    service_us = service_us_.samples();
+    total_us = total_us_.samples();
+  }
+  std::sort(queue_us.begin(), queue_us.end());
+  std::sort(service_us.begin(), service_us.end());
+  std::sort(total_us.begin(), total_us.end());
+  s.queue_p50_us = percentile(queue_us, 0.50);
+  s.queue_p99_us = percentile(queue_us, 0.99);
+  s.service_p50_us = percentile(service_us, 0.50);
+  s.service_p99_us = percentile(service_us, 0.99);
+  s.total_p50_us = percentile(total_us, 0.50);
+  s.total_p95_us = percentile(total_us, 0.95);
+  s.total_p99_us = percentile(total_us, 0.99);
+  s.total_max_us = total_us.empty() ? 0.0 : total_us.back();
+  return s;
+}
+
+double TelemetrySnapshot::throughput_rps(double wall_seconds) const {
+  return wall_seconds > 0.0 ? double(completed) / wall_seconds : 0.0;
+}
+
+std::string TelemetrySnapshot::render(double wall_seconds) const {
+  Table t({"metric", "value"});
+  t.set_title("serving telemetry");
+  const auto row = [&t](const char* name, double value, int precision = 1) {
+    t.add_row({name, format_number(value, precision)});
+  };
+  row("requests submitted", double(submitted), 0);
+  row("requests rejected", double(rejected), 0);
+  row("requests completed", double(completed), 0);
+  row("batches", double(batches), 0);
+  row("throughput (req/s)", throughput_rps(wall_seconds));
+  row("clean first try", double(clean_first_try), 0);
+  row("recovered", double(recovered), 0);
+  row("fallback served", double(fallback), 0);
+  row("escalations", double(escalations), 0);
+  row("breaker trips", double(breaker_trips), 0);
+  row("breaker bypasses", double(breaker_bypasses), 0);
+  row("alarm events", double(alarm_events), 0);
+  row("head executions", double(head_executions), 0);
+  row("fallback heads", double(fallback_heads), 0);
+  row("checksum clean", double(checksum_clean), 0);
+  row("checksum dirty", double(checksum_dirty), 0);
+  row("queue p50 (us)", queue_p50_us);
+  row("queue p99 (us)", queue_p99_us);
+  row("service p50 (us)", service_p50_us);
+  row("service p99 (us)", service_p99_us);
+  row("total p50 (us)", total_p50_us);
+  row("total p95 (us)", total_p95_us);
+  row("total p99 (us)", total_p99_us);
+  row("total max (us)", total_max_us);
+  return t.render();
+}
+
+}  // namespace flashabft::serve

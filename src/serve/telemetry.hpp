@@ -1,0 +1,136 @@
+// Serving telemetry: counters and latency percentiles.
+//
+// Counters are atomics (workers bump them concurrently); latency samples go
+// through a mutex-guarded reservoir, snapshotted and sorted on demand. The
+// counters are designed to *reconcile*: completed = clean + recovered +
+// fallback, checksum_clean + checksum_dirty = completed, and under an
+// injection campaign every non-clean path traces back to an injected plan
+// or a standing worker defect — the invariants the acceptance tests assert.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "tensor/random.hpp"
+
+namespace flashabft::serve {
+
+/// Linear-interpolation percentile of a sample set; `p` in [0, 1].
+/// Returns 0 for an empty set.
+[[nodiscard]] double percentile(std::span<const double> sorted_samples,
+                                double p);
+
+/// Fixed-capacity uniform sample of a latency stream (Vitter's Algorithm
+/// R): exact up to `capacity` samples, then each later sample replaces a
+/// uniformly random slot with probability capacity/seen. Percentiles stay
+/// unbiased while memory — and the per-snapshot sort — stay bounded for
+/// arbitrarily long serving runs. Callers provide locking and the RNG.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 16384)
+      : capacity_(capacity) {}
+
+  void record(double sample_us, Rng& rng);
+  [[nodiscard]] const std::vector<double>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  std::uint64_t seen_ = 0;
+};
+
+/// A consistent copy of all telemetry at one instant.
+struct TelemetrySnapshot {
+  // Request lifecycle. `submitted` counts admission *attempts* (stamped
+  // before the queue push, so completed <= submitted always holds under
+  // concurrent snapshots); attempts that failed admission are also counted
+  // in `rejected`, so accepted = submitted - rejected.
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   ///< shed at admission (full or shut down).
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+
+  // Outcome paths.
+  std::uint64_t clean_first_try = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t fallback = 0;         ///< served (partly) by reference kernel.
+  std::uint64_t escalations = 0;      ///< retries exhausted on a worker.
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_bypasses = 0; ///< requests routed straight to fallback.
+
+  // Fault accounting.
+  std::uint64_t alarm_events = 0;     ///< head-alarm observations.
+  std::uint64_t head_executions = 0;  ///< accelerator head-runs incl. retries.
+  std::uint64_t fallback_heads = 0;
+  std::uint64_t checksum_clean = 0;
+  std::uint64_t checksum_dirty = 0;
+
+  // Latency percentiles, microseconds.
+  double queue_p50_us = 0, queue_p99_us = 0;
+  double service_p50_us = 0, service_p99_us = 0;
+  double total_p50_us = 0, total_p95_us = 0, total_p99_us = 0;
+  /// Max over the retained reservoir — exact until the reservoir fills.
+  double total_max_us = 0;
+
+  /// Requests per second over `wall_seconds`.
+  [[nodiscard]] double throughput_rps(double wall_seconds) const;
+
+  /// Two-column human-readable table (bench/demo output).
+  [[nodiscard]] std::string render(double wall_seconds) const;
+};
+
+/// Thread-safe telemetry sink shared by all workers of one server.
+class ServeTelemetry {
+ public:
+  void on_submit() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_reject() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_batch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+  void on_escalation() {
+    escalations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_breaker_trip() {
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_breaker_bypass() {
+    breaker_bypasses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one completed response: outcome path, fault accounting and the
+  /// three latency samples.
+  void on_response(const ServeResponse& response);
+
+  [[nodiscard]] TelemetrySnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> clean_first_try_{0};
+  std::atomic<std::uint64_t> recovered_{0};
+  std::atomic<std::uint64_t> fallback_{0};
+  std::atomic<std::uint64_t> escalations_{0};
+  std::atomic<std::uint64_t> breaker_trips_{0};
+  std::atomic<std::uint64_t> breaker_bypasses_{0};
+  std::atomic<std::uint64_t> alarm_events_{0};
+  std::atomic<std::uint64_t> head_executions_{0};
+  std::atomic<std::uint64_t> fallback_heads_{0};
+  std::atomic<std::uint64_t> checksum_clean_{0};
+  std::atomic<std::uint64_t> checksum_dirty_{0};
+
+  mutable std::mutex latency_mutex_;
+  Rng reservoir_rng_{0x5E12E};  ///< guarded by latency_mutex_.
+  LatencyReservoir queue_us_;
+  LatencyReservoir service_us_;
+  LatencyReservoir total_us_;
+};
+
+}  // namespace flashabft::serve

@@ -18,6 +18,38 @@ std::size_t cycles_per_head(const Accelerator& accel,
   return accel.total_cycles(head.num_queries(), head.seq_len());
 }
 
+namespace {
+
+// Re-bases layer-global fault cycles into one head's local window
+// [window_start, window_start + window).
+FaultPlan faults_in_window(const FaultPlan& faults, std::size_t window_start,
+                           std::size_t window) {
+  FaultPlan local;
+  for (const InjectedFault& f : faults) {
+    if (f.cycle >= window_start + window || f.last_cycle() < window_start) {
+      continue;
+    }
+    InjectedFault shifted = f;
+    if (f.cycle >= window_start) {
+      shifted.cycle = f.cycle - window_start;
+    } else {
+      // Stuck-at window that began in a previous head: clip to this one.
+      shifted.cycle = 0;
+      shifted.duration = f.last_cycle() - window_start + 1;
+    }
+    // Clip windows that extend past this head (state resets between
+    // heads, so the remainder is handled by the next head's window).
+    if (shifted.type != FaultType::kBitFlip &&
+        shifted.cycle + shifted.duration > window) {
+      shifted.duration = window - shifted.cycle;
+    }
+    local.push_back(shifted);
+  }
+  return local;
+}
+
+}  // namespace
+
 MultiHeadRunResult run_heads(const Accelerator& accel,
                              std::span<const AttentionInputs> heads,
                              const FaultPlan& faults) {
@@ -28,31 +60,33 @@ MultiHeadRunResult run_heads(const Accelerator& accel,
   std::size_t window_start = 0;
   for (const AttentionInputs& head : heads) {
     const std::size_t window = cycles_per_head(accel, head);
-    // Re-base layer-global fault cycles into this head's local window.
-    FaultPlan local;
-    for (const InjectedFault& f : faults) {
-      if (f.cycle >= window_start + window ||
-          f.last_cycle() < window_start) {
-        continue;
-      }
-      InjectedFault shifted = f;
-      if (f.cycle >= window_start) {
-        shifted.cycle = f.cycle - window_start;
-      } else {
-        // Stuck-at window that began in a previous head: clip to this one.
-        shifted.cycle = 0;
-        shifted.duration = f.last_cycle() - window_start + 1;
-      }
-      // Clip windows that extend past this head (state resets between
-      // heads, so the remainder is handled by the next head's window).
-      if (shifted.type != FaultType::kBitFlip &&
-          shifted.cycle + shifted.duration > window) {
-        shifted.duration = window - shifted.cycle;
-      }
-      local.push_back(shifted);
-    }
+    const FaultPlan local = faults_in_window(faults, window_start, window);
     result.heads.push_back(accel.run(head.q, head.k, head.v, local));
     result.activity += result.heads.back().activity;
+    window_start += window;
+  }
+  return result;
+}
+
+MultiHeadRunResult rerun_alarming_heads(const Accelerator& accel,
+                                        std::span<const AttentionInputs> heads,
+                                        const MultiHeadRunResult& previous,
+                                        CompareGranularity granularity,
+                                        const FaultPlan& faults) {
+  FLASHABFT_ENSURE_MSG(previous.heads.size() == heads.size(),
+                       "result has " << previous.heads.size()
+                                     << " heads, inputs have "
+                                     << heads.size());
+  MultiHeadRunResult result = previous;
+  std::size_t window_start = 0;
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    const std::size_t window = cycles_per_head(accel, heads[h]);
+    if (previous.heads[h].alarm(granularity)) {
+      const FaultPlan local = faults_in_window(faults, window_start, window);
+      result.heads[h] =
+          accel.run(heads[h].q, heads[h].k, heads[h].v, local);
+      result.activity += result.heads[h].activity;
+    }
     window_start += window;
   }
   return result;

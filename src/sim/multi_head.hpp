@@ -40,6 +40,19 @@ struct MultiHeadRunResult {
     const Accelerator& accel, std::span<const AttentionInputs> heads,
     const FaultPlan& faults = {});
 
+/// Re-executes the heads of `previous` that alarm under `granularity` and
+/// splices the fresh per-head results into a copy of `previous` — the
+/// recovery controller's work-list pass. `faults` uses the same layer-global
+/// cycle windows as run_heads: pass the standing plan again to model a
+/// persistent defect (the retry keeps alarming), or an empty plan for a
+/// transient upset (the retry comes back clean). The aggregate activity
+/// grows by the re-executed heads' work, so it reports the layer's total
+/// effort including recovery.
+[[nodiscard]] MultiHeadRunResult rerun_alarming_heads(
+    const Accelerator& accel, std::span<const AttentionInputs> heads,
+    const MultiHeadRunResult& previous, CompareGranularity granularity,
+    const FaultPlan& faults = {});
+
 /// Total cycles one head occupies the machine (uniform head shapes).
 [[nodiscard]] std::size_t cycles_per_head(const Accelerator& accel,
                                           const AttentionInputs& head);

@@ -13,18 +13,40 @@ const std::vector<PromptCategory>& prompt_suite() {
   return suite;
 }
 
+namespace {
+
+// How a category reshapes a preset's activation statistics.
+ModelPreset category_adjusted_preset(const PromptCategory& category,
+                                     const ModelPreset& preset) {
+  ModelPreset adjusted = preset;
+  adjusted.token_correlation = category.correlation;
+  adjusted.q_stddev *= category.score_gain;
+  adjusted.k_stddev *= category.score_gain;
+  return adjusted;
+}
+
+}  // namespace
+
+AttentionInputs generate_category_inputs(const PromptCategory& category,
+                                         const ModelPreset& preset,
+                                         std::uint64_t seed,
+                                         std::size_t seq_len_cap) {
+  std::size_t seq_len = category.seq_len;
+  if (seq_len_cap != 0 && seq_len > seq_len_cap) seq_len = seq_len_cap;
+  Rng rng(seed);
+  return generate_llm_like(category_adjusted_preset(category, preset),
+                           seq_len, rng);
+}
+
 std::vector<AttentionInputs> generate_prompt_suite(const ModelPreset& preset,
                                                    std::uint64_t seed) {
   std::vector<AttentionInputs> workloads;
   const Rng base(seed);
   std::size_t index = 0;
   for (const PromptCategory& cat : prompt_suite()) {
-    ModelPreset adjusted = preset;
-    adjusted.token_correlation = cat.correlation;
-    adjusted.q_stddev *= cat.score_gain;
-    adjusted.k_stddev *= cat.score_gain;
     Rng rng = base.derive(index++);
-    workloads.push_back(generate_llm_like(adjusted, cat.seq_len, rng));
+    workloads.push_back(generate_llm_like(
+        category_adjusted_preset(cat, preset), cat.seq_len, rng));
   }
   return workloads;
 }

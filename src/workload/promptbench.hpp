@@ -34,4 +34,13 @@ struct PromptCategory {
 [[nodiscard]] std::vector<AttentionInputs> generate_prompt_suite(
     const ModelPreset& preset, std::uint64_t seed);
 
+/// Generates one workload of `category` for `preset`. `seq_len_cap`, when
+/// nonzero, clamps the category's sequence length — the serving load driver
+/// replays a *stream* of per-category requests through the cycle-level
+/// simulator, where full-length prompts would dominate wall time. Same
+/// (category, preset, seed) -> same inputs.
+[[nodiscard]] AttentionInputs generate_category_inputs(
+    const PromptCategory& category, const ModelPreset& preset,
+    std::uint64_t seed, std::size_t seq_len_cap = 0);
+
 }  // namespace flashabft

@@ -2,7 +2,9 @@
 // and threshold calibration.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "common/ensure.hpp"
@@ -83,6 +85,38 @@ TEST(Checker, CalibratedThresholdSeparatesNoiseFromFaults) {
     EXPECT_EQ(checker.compare(1.0, 1.0 + r), CheckVerdict::kPass);
   }
   EXPECT_EQ(checker.compare(1.0, 1.0 + 10.0 * tol), CheckVerdict::kAlarm);
+}
+
+TEST(Checker, NanSilenceHoldsUnderConcurrentUse) {
+  // The serving engine shares one const Checker across a worker pool; the
+  // comparator is stateless, so concurrent comparisons — including the
+  // NaN-silent ones — must give the same verdicts as sequential use.
+  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 5000;
+
+  std::atomic<int> wrong_verdicts{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&checker, &wrong_verdicts, nan, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Interleave all three comparison classes on every thread.
+        if (checker.compare(nan, double(t + i)) != CheckVerdict::kPass) {
+          wrong_verdicts.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (checker.compare(1.0, 1.0 + 5e-7) != CheckVerdict::kPass) {
+          wrong_verdicts.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (checker.compare(1.0, 1.5) != CheckVerdict::kAlarm) {
+          wrong_verdicts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(wrong_verdicts.load(), 0);
 }
 
 }  // namespace

@@ -106,5 +106,80 @@ TEST(MultiHeadSim, EmptyHeadListRejected) {
   EXPECT_THROW((void)run_heads(accel, {}), EnsureError);
 }
 
+TEST(MultiHeadSim, RerunAlarmingHeadsRecoversTransientFault) {
+  // The work-list pass: only the alarming head is re-executed; fault-free
+  // re-execution makes it bit-identical to a clean run, and the clean
+  // heads' results are carried over untouched.
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(3, 90);
+  const std::size_t window = cycles_per_head(accel, heads[0]);
+
+  InjectedFault f;
+  f.site = {SiteKind::kOutput, 1, 4};
+  f.bit = 29;
+  f.cycle = window + 9;  // inside head 1's window, mid-pass.
+  const MultiHeadRunResult faulty = run_heads(accel, heads, {f});
+  ASSERT_EQ(faulty.alarming_heads(CompareGranularity::kPerQuery),
+            (std::vector<std::size_t>{1}));
+
+  const MultiHeadRunResult rerun = rerun_alarming_heads(
+      accel, heads, faulty, CompareGranularity::kPerQuery);
+  EXPECT_FALSE(rerun.any_alarm(CompareGranularity::kPerQuery));
+  const AccelRunResult solo1 = accel.run(heads[1].q, heads[1].k, heads[1].v);
+  EXPECT_EQ(rerun.heads[1].output, solo1.output);
+  EXPECT_EQ(rerun.heads[0].output, faulty.heads[0].output);
+  EXPECT_EQ(rerun.heads[2].output, faulty.heads[2].output);
+}
+
+TEST(MultiHeadSim, RerunWithPersistentPlanKeepsAlarming) {
+  // Re-applying the same plan models a persistent defect: the work-list
+  // re-execution alarms again, which is what drives escalation.
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(2, 91);
+  const std::size_t window = cycles_per_head(accel, heads[0]);
+
+  InjectedFault f;
+  f.site = {SiteKind::kSumExp, 2, 0};
+  f.bit = 30;
+  f.type = FaultType::kStuckAt1;
+  f.cycle = 0;
+  f.duration = 2 * window;  // the whole layer, every execution.
+  const MultiHeadRunResult faulty = run_heads(accel, heads, {f});
+  const auto alarming = faulty.alarming_heads(CompareGranularity::kPerQuery);
+  ASSERT_FALSE(alarming.empty());
+
+  const MultiHeadRunResult rerun = rerun_alarming_heads(
+      accel, heads, faulty, CompareGranularity::kPerQuery, {f});
+  EXPECT_EQ(rerun.alarming_heads(CompareGranularity::kPerQuery), alarming);
+}
+
+TEST(MultiHeadSim, RerunAddsOnlyTheRerunHeadsActivity) {
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(3, 92);
+  const std::size_t window = cycles_per_head(accel, heads[0]);
+
+  InjectedFault f;
+  f.site = {SiteKind::kOutput, 0, 2};
+  f.bit = 29;
+  f.cycle = 2 * window + 11;  // head 2 alarms.
+  const MultiHeadRunResult faulty = run_heads(accel, heads, {f});
+  ASSERT_EQ(faulty.alarming_heads(CompareGranularity::kPerQuery).size(), 1u);
+
+  const MultiHeadRunResult rerun = rerun_alarming_heads(
+      accel, heads, faulty, CompareGranularity::kPerQuery);
+  // 3 heads' worth of cycles + 1 re-executed head.
+  EXPECT_EQ(rerun.activity.cycles, faulty.activity.cycles + window);
+}
+
+TEST(MultiHeadSim, RerunMismatchedShapesRejected) {
+  const Accelerator accel(small_config());
+  const auto heads = make_heads(2, 93);
+  MultiHeadRunResult result = run_heads(accel, heads);
+  result.heads.pop_back();
+  EXPECT_THROW((void)rerun_alarming_heads(accel, heads, result,
+                                          CompareGranularity::kPerQuery),
+               EnsureError);
+}
+
 }  // namespace
 }  // namespace flashabft

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "core/recovery.hpp"
 #include "workload/generator.hpp"
@@ -87,6 +89,45 @@ TEST(Recovery, ZeroRetryPolicyEscalatesImmediately) {
       guarded_attention(checker, RecoveryPolicy{0}, engine);
   EXPECT_EQ(r.status, RecoveryStatus::kEscalated);
   EXPECT_EQ(r.executions, 1u);
+}
+
+TEST(Recovery, ObserverSeesEveryAttemptVerdict) {
+  Rng rng(29);
+  const AttentionInputs w = generate_gaussian(8, 4, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  FlakyEngine engine{w, make_cfg(8, 4), /*faulty_runs=*/1};
+  std::vector<std::pair<std::size_t, CheckVerdict>> observed;
+  const GuardedResult r = guarded_attention(
+      checker, RecoveryPolicy{2}, engine,
+      [&observed](std::size_t attempt, CheckVerdict verdict) {
+        observed.emplace_back(attempt, verdict);
+      });
+  EXPECT_EQ(r.status, RecoveryStatus::kRecovered);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], (std::pair<std::size_t, CheckVerdict>{
+                             0, CheckVerdict::kAlarm}));
+  EXPECT_EQ(observed[1], (std::pair<std::size_t, CheckVerdict>{
+                             1, CheckVerdict::kPass}));
+}
+
+TEST(Recovery, EscalationAfterExhaustedRetriesReportsEveryAlarm) {
+  // The kEscalated edge case: max_retries attempts all alarm, the observer
+  // sees each one, and the accepted (last) result is still the faulty run —
+  // exactly what the serving layer's fallback path must replace.
+  Rng rng(31);
+  const AttentionInputs w = generate_gaussian(8, 4, rng);
+  const Checker checker(CheckerConfig{1e-6});
+  FlakyEngine engine{w, make_cfg(8, 4), /*faulty_runs=*/100};
+  std::size_t alarms = 0;
+  const GuardedResult r = guarded_attention(
+      checker, RecoveryPolicy{2}, engine,
+      [&alarms](std::size_t, CheckVerdict verdict) {
+        if (verdict == CheckVerdict::kAlarm) ++alarms;
+      });
+  EXPECT_EQ(r.status, RecoveryStatus::kEscalated);
+  EXPECT_EQ(r.executions, 3u);  // initial + 2 retries, all alarming.
+  EXPECT_EQ(alarms, 3u);
+  EXPECT_GT(r.attention.residual(), 1e-6);  // the escalated result is dirty.
 }
 
 TEST(Recovery, StatusNames) {

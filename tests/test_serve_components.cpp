@@ -1,0 +1,201 @@
+// Tests of the serving components around the server core: batch forming,
+// the circuit breaker, and telemetry percentiles/counters.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/batch_former.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/telemetry.hpp"
+
+namespace flashabft::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- batch former ---
+
+TEST(BatchFormer, SizeBoundCapsTheBatch) {
+  BoundedMpmcQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.push(i));
+  BatchFormerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_deadline = 50ms;
+  const std::vector<int> batch = form_batch(q, cfg);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(BatchFormer, DeadlineBoundsTheWaitForCompany) {
+  BoundedMpmcQueue<int> q(16);
+  ASSERT_TRUE(q.push(42));
+  BatchFormerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.batch_deadline = 15ms;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<int> batch = form_batch(q, cfg);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch, (std::vector<int>{42}));  // lone request ships alone...
+  EXPECT_GE(waited, 15ms);                   // ...after the forming deadline.
+  EXPECT_LT(waited, 5s);
+}
+
+TEST(BatchFormer, LateArrivalsJoinWithinDeadline) {
+  BoundedMpmcQueue<int> q(16);
+  BatchFormerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_deadline = 500ms;
+  std::thread producer([&q] {
+    ASSERT_TRUE(q.push(1));
+    std::this_thread::sleep_for(5ms);
+    ASSERT_TRUE(q.push(2));
+    std::this_thread::sleep_for(5ms);
+    ASSERT_TRUE(q.push(3));
+    std::this_thread::sleep_for(5ms);
+    ASSERT_TRUE(q.push(4));  // fourth fills the batch before the deadline.
+  });
+  const std::vector<int> batch = form_batch(q, cfg);
+  producer.join();
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(BatchFormer, ClosedAndDrainedQueueYieldsEmptyBatch) {
+  BoundedMpmcQueue<int> q(4);
+  q.close();
+  const std::vector<int> batch = form_batch(q, BatchFormerConfig{});
+  EXPECT_TRUE(batch.empty());
+}
+
+// --- circuit breaker ---
+
+TEST(CircuitBreaker, TripsAtThresholdWithinWindow) {
+  CircuitBreaker breaker(CircuitBreakerConfig{/*window=*/8,
+                                              /*trip_threshold=*/3,
+                                              /*probe_interval=*/4});
+  EXPECT_FALSE(breaker.should_bypass());
+  EXPECT_FALSE(breaker.record_escalation());
+  EXPECT_FALSE(breaker.record_escalation());
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.record_escalation());  // third escalation trips.
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessesSlideEscalationsOutOfTheWindow) {
+  CircuitBreaker breaker(CircuitBreakerConfig{/*window=*/4,
+                                              /*trip_threshold=*/2,
+                                              /*probe_interval=*/4});
+  EXPECT_FALSE(breaker.record_escalation());
+  // Four successes push the escalation out of the 4-outcome window.
+  for (int i = 0; i < 4; ++i) breaker.record_success();
+  EXPECT_FALSE(breaker.record_escalation());  // back to 1 in window.
+  EXPECT_FALSE(breaker.open());
+}
+
+TEST(CircuitBreaker, OpenBypassesExceptOnProbeTurns) {
+  CircuitBreaker breaker(CircuitBreakerConfig{/*window=*/4,
+                                              /*trip_threshold=*/1,
+                                              /*probe_interval=*/3});
+  ASSERT_TRUE(breaker.record_escalation());
+  ASSERT_TRUE(breaker.open());
+  // Decisions 1, 2 bypass; decision 3 probes the accelerator.
+  EXPECT_TRUE(breaker.should_bypass());
+  EXPECT_TRUE(breaker.should_bypass());
+  EXPECT_FALSE(breaker.should_bypass());
+}
+
+TEST(CircuitBreaker, CleanProbeClosesTheBreaker) {
+  CircuitBreaker breaker(CircuitBreakerConfig{/*window=*/4,
+                                              /*trip_threshold=*/1,
+                                              /*probe_interval=*/1});
+  ASSERT_TRUE(breaker.record_escalation());
+  EXPECT_FALSE(breaker.should_bypass());  // probe_interval=1: always probe.
+  breaker.record_success();               // probe came back clean.
+  EXPECT_FALSE(breaker.open());
+  EXPECT_FALSE(breaker.should_bypass());
+}
+
+TEST(CircuitBreaker, FailedProbeStaysOpen) {
+  CircuitBreaker breaker(CircuitBreakerConfig{/*window=*/4,
+                                              /*trip_threshold=*/1,
+                                              /*probe_interval=*/2});
+  ASSERT_TRUE(breaker.record_escalation());
+  EXPECT_TRUE(breaker.should_bypass());
+  EXPECT_FALSE(breaker.should_bypass());      // probe turn...
+  EXPECT_FALSE(breaker.record_escalation());  // ...alarmed again: no re-trip,
+  EXPECT_TRUE(breaker.open());                // still open.
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreaker, ResetForcesClosed) {
+  CircuitBreaker breaker(CircuitBreakerConfig{/*window=*/2,
+                                              /*trip_threshold=*/1,
+                                              /*probe_interval=*/2});
+  ASSERT_TRUE(breaker.record_escalation());
+  breaker.reset();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_FALSE(breaker.should_bypass());
+}
+
+// --- telemetry ---
+
+TEST(Telemetry, PercentileInterpolates) {
+  const std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 0.99), 7.0);
+}
+
+TEST(Telemetry, ReservoirStaysBoundedAndRepresentative) {
+  LatencyReservoir reservoir(/*capacity=*/64);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) reservoir.record(double(i % 100), rng);
+  EXPECT_EQ(reservoir.samples().size(), 64u);
+  EXPECT_EQ(reservoir.seen(), 10000u);
+  for (const double sample : reservoir.samples()) {
+    EXPECT_GE(sample, 0.0);
+    EXPECT_LT(sample, 100.0);
+  }
+}
+
+TEST(Telemetry, CountersReconcileAcrossPaths) {
+  ServeTelemetry telemetry;
+  const auto response = [](ServePath path, bool clean, std::size_t alarms) {
+    ServeResponse r;
+    r.path = path;
+    r.checksum_clean = clean;
+    r.alarm_events = alarms;
+    r.head_executions = 2;
+    r.total_us = 100.0;
+    return r;
+  };
+  telemetry.on_submit();
+  telemetry.on_submit();
+  telemetry.on_submit();
+  telemetry.on_batch();
+  telemetry.on_response(response(ServePath::kGuardedClean, true, 0));
+  telemetry.on_response(response(ServePath::kGuardedRecovered, true, 1));
+  telemetry.on_escalation();
+  telemetry.on_response(response(ServePath::kFallbackReference, true, 3));
+
+  const TelemetrySnapshot s = telemetry.snapshot();
+  EXPECT_EQ(s.submitted, 3u);
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_EQ(s.clean_first_try + s.recovered + s.fallback, s.completed);
+  EXPECT_EQ(s.checksum_clean, 3u);
+  EXPECT_EQ(s.checksum_dirty, 0u);
+  EXPECT_EQ(s.alarm_events, 4u);
+  EXPECT_EQ(s.head_executions, 6u);
+  EXPECT_EQ(s.escalations, 1u);
+  EXPECT_DOUBLE_EQ(s.total_p50_us, 100.0);
+  EXPECT_GT(s.throughput_rps(2.0), 0.0);
+  EXPECT_FALSE(s.render(1.0).empty());
+}
+
+}  // namespace
+}  // namespace flashabft::serve

@@ -1,0 +1,126 @@
+// Tests of the bounded MPMC request queue (serve/request_queue.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace flashabft::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedMpmcQueue, FifoOrder) {
+  BoundedMpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedMpmcQueue, TryPushRespectsCapacity) {
+  BoundedMpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: shed, don't block.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedMpmcQueue, TryPopOnEmptyReturnsNothing) {
+  BoundedMpmcQueue<int> q(2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedMpmcQueue, PopUntilTimesOut) {
+  BoundedMpmcQueue<int> q(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_until(start + 20ms), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 20ms);
+}
+
+TEST(BoundedMpmcQueue, CloseDrainsThenSignalsEnd) {
+  BoundedMpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  EXPECT_TRUE(q.push(8));
+  q.close();
+  EXPECT_FALSE(q.push(9));  // admission refused after close...
+  EXPECT_EQ(q.pop(), 7);    // ...but accepted items still drain.
+  EXPECT_EQ(q.pop(), 8);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedMpmcQueue, BlockedPushUnblocksWhenConsumerPops) {
+  BoundedMpmcQueue<int> q(1);
+  EXPECT_TRUE(q.push(0));
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 1; i <= 5; ++i) {
+      if (q.push(i)) pushed.fetch_add(1);
+    }
+  });
+  std::vector<int> seen;
+  for (int i = 0; i < 6; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    seen.push_back(*item);
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), 5);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(BoundedMpmcQueue, BlockedPopUnblocksOnClose) {
+  BoundedMpmcQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedMpmcQueue, ConcurrentProducersAndConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedMpmcQueue<int> q(8);  // small: force producer/consumer blocking.
+
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (const auto item = q.pop()) {
+        consumed_sum.fetch_add(*item, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < kProducers; ++i) threads[i].join();
+  q.close();
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), total);
+  // Sum of 0 .. total-1: every item delivered exactly once.
+  EXPECT_EQ(consumed_sum.load(),
+            static_cast<long long>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace flashabft::serve
