@@ -26,14 +26,14 @@ using namespace flashabft;
 /// element perturbed by `delta` (modeling a corrupted head-output element
 /// that survived into the residual stream).
 MatrixD run_stack(const EncoderLayer& l1, const EncoderLayer& l2,
-                  const MatrixD& x, const Checker& checker, double delta,
-                  std::size_t row, std::size_t col) {
+                  const MatrixD& x, const GuardedExecutor& executor,
+                  double delta, std::size_t row, std::size_t col) {
   MatrixD perturbed = x;
   perturbed(row, col) += delta;
   const MatrixD h1 =
-      l1.forward(perturbed, AttentionBackend::kFlashAttention2, checker)
+      l1.forward(perturbed, AttentionBackend::kFlashAttention2, executor)
           .output;
-  return l2.forward(h1, AttentionBackend::kFlashAttention2, checker).output;
+  return l2.forward(h1, AttentionBackend::kFlashAttention2, executor).output;
 }
 
 }  // namespace
@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
   MatrixD x(seq_len, lcfg.model_dim);
   fill_gaussian(x, rng);
 
-  const Checker checker(CheckerConfig{1e-6});
-  const MatrixD clean = run_stack(layer1, layer2, x, checker, 0.0, 0, 0);
+  const GuardedExecutor executor(CheckerConfig{1e-6}, RecoveryPolicy{});
+  const MatrixD clean = run_stack(layer1, layer2, x, executor, 0.0, 0, 0);
   const double clean_scale = max_abs(clean);
 
   std::cout << "== Application-level impact of attention corruption "
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   for (const double delta : {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
                              10.0}) {
     const MatrixD out =
-        run_stack(layer1, layer2, x, checker, delta, seq_len / 2, 17);
+        run_stack(layer1, layer2, x, executor, delta, seq_len / 2, 17);
     const double dev = max_abs_diff(out, clean);
     const char* vs_tau = delta < 1e-6  ? "below (masked band)"
                          : delta < 1e-4 ? "near threshold"

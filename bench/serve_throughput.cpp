@@ -1,22 +1,32 @@
 // Serving-under-faults benchmark: closed-loop prompt-suite traffic through
 // the multi-threaded guarded serving engine (src/serve), fault-free and
-// under an injected-fault campaign.
+// under an injected-fault campaign — for raw attention-head requests and
+// for full protected decoder-layer requests.
 //
-// Reports, per scenario: throughput, p50/p95/p99 end-to-end latency, and
-// the alarm / recovery / escalation / fallback counters — plus the
-// reconciliation the serving design guarantees: every completed request is
-// checksum-clean (recovered on the accelerator or served by the verified
-// reference fallback), and non-clean paths only occur for requests that
-// actually carried an injected fault.
+// Reports, per scenario: throughput, p50/p95/p99 end-to-end latency, the
+// alarm / recovery / escalation / fallback counters, per-op-kind
+// accounting — plus the reconciliation the serving design guarantees:
+// every completed request is checksum-clean (recovered on the guarded path
+// or served by the verified reference fallback), and non-clean paths only
+// occur for requests that actually carried an injected fault.
 //
 // Knobs (defaults run a small self-contained campaign):
 //   --threads=N            worker pool size               (default 2)
 //   --max-batch=N          batch former admission cap     (default 8)
 //   --batch-deadline-us=N  batch forming deadline         (default 200)
-//   --inject-faults=BOOL   run the fault campaign too     (default true)
+//   --inject-faults=BOOL   run the fault campaigns too    (default true)
+//   --mode=attention|layer|both  request payloads         (default both)
 //   --requests=N --concurrency=N --heads=N --seq-cap=N
+//   --layer-requests=N     request count for layer scenarios (default 24)
+//   --layer-seq=N          decoder-side rows per layer request (default 24;
+//                          --seq-cap only shapes attention-mode requests)
 //   --preset=NAME --fault-prob=P --persistent-frac=P --seed=N
+//   --json=PATH            write scenario metrics as JSON (the perf
+//                          trajectory later PRs compare against)
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -24,10 +34,76 @@
 #include "serve/server.hpp"
 #include "workload/model_presets.hpp"
 
-int main(int argc, char** argv) {
-  using namespace flashabft;
-  using namespace flashabft::serve;
+namespace {
 
+using namespace flashabft;
+using namespace flashabft::serve;
+
+struct ScenarioMetrics {
+  std::string name;
+  std::string mode;
+  bool ok = false;
+  LoadReport report;
+};
+
+std::string json_escape_name(const std::string& name) {
+  std::string out;
+  for (const char c : name) out += c == '"' ? '\'' : c;
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<ScenarioMetrics>& scenarios,
+                std::size_t threads) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return;
+  }
+  out << "{\n  \"bench\": \"serve_throughput\",\n  \"workers\": " << threads
+      << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioMetrics& s = scenarios[i];
+    const TelemetrySnapshot& t = s.report.telemetry;
+    out << "    {\n"
+        << "      \"name\": \"" << json_escape_name(s.name) << "\",\n"
+        << "      \"mode\": \"" << s.mode << "\",\n"
+        << "      \"ok\": " << (s.ok ? "true" : "false") << ",\n"
+        << "      \"requests\": " << s.report.completed << ",\n"
+        << "      \"throughput_rps\": " << s.report.throughput_rps << ",\n"
+        << "      \"p50_us\": " << t.total_p50_us << ",\n"
+        << "      \"p95_us\": " << t.total_p95_us << ",\n"
+        << "      \"p99_us\": " << t.total_p99_us << ",\n"
+        << "      \"alarm_events\": " << t.alarm_events << ",\n"
+        << "      \"op_executions\": " << t.op_executions << ",\n"
+        << "      \"recovered\": " << t.recovered << ",\n"
+        << "      \"fallback\": " << t.fallback << ",\n"
+        << "      \"escalations\": " << t.escalations << ",\n"
+        << "      \"checksum_dirty\": " << t.checksum_dirty << ",\n"
+        << "      \"transient_injected\": " << s.report.transient_injected
+        << ",\n"
+        << "      \"persistent_injected\": " << s.report.persistent_injected
+        << ",\n      \"per_kind\": {";
+    bool first = true;
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      const OpKindStats& stats = t.per_kind[k];
+      if (stats.checks == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << '"' << op_kind_name(OpKind(k)) << "\": {\"checks\": "
+          << stats.checks << ", \"alarms\": " << stats.alarms
+          << ", \"recovered\": " << stats.recovered
+          << ", \"escalated\": " << stats.escalated << '}';
+    }
+    out << "}\n    }" << (i + 1 < scenarios.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::size_t threads = args.get_size("threads", 2);
   const std::size_t max_batch = args.get_size("max-batch", 8);
@@ -35,32 +111,49 @@ int main(int argc, char** argv) {
       args.get_size("batch-deadline-us", 200);
   const bool inject_faults = args.get_bool("inject-faults", true);
   const std::size_t requests = args.get_size("requests", 60);
+  const std::size_t layer_requests = args.get_size("layer-requests", 24);
+  const std::size_t layer_seq = args.get_size("layer-seq", 24);
   const std::size_t concurrency = args.get_size("concurrency", 8);
   const std::size_t heads = args.get_size("heads", 4);
   const std::size_t seq_cap = args.get_size("seq-cap", 48);
+  const std::string mode = args.get_string("mode", "both");
   const std::string preset_name = args.get_string("preset", "bert");
   const double fault_prob = args.get_double("fault-prob", 0.35);
   const double persistent_frac = args.get_double("persistent-frac", 0.2);
   const std::uint64_t seed = std::uint64_t(args.get_size("seed", 7));
+  const std::string json_path = args.get_string("json", "");
 
   const ModelPreset& preset = preset_by_name(preset_name);
+  const bool run_attention = mode == "attention" || mode == "both";
+  const bool run_layer = mode == "layer" || mode == "both";
 
+  std::vector<ScenarioMetrics> scenarios;
   bool all_clean = true;
-  const auto scenario = [&](const char* title, double probability) {
+  const auto scenario = [&](const char* title, RequestMode request_mode,
+                            double probability) {
     ServerConfig config =
         make_calibrated_server_config(preset, /*lanes=*/16, seq_cap, seed);
     config.num_workers = threads;
     config.batching.max_batch = max_batch;
     config.batching.batch_deadline =
         std::chrono::microseconds(batch_deadline_us);
+    // A modest decoder layer keeps the software path's matmuls serving-rate
+    // sized (the cycle-level accelerator stays the attention-mode engine).
+    config.layer.model_dim = 128;
+    config.layer.num_heads = 4;
+    config.layer.head_dim = 32;
+    config.layer.ffn_dim = 256;
 
+    const bool layer_mode = request_mode == RequestMode::kDecoderLayer;
     InferenceServer server(config);
     LoadDriverConfig load;
-    load.total_requests = requests;
+    load.mode = request_mode;
+    load.total_requests = layer_mode ? layer_requests : requests;
     load.concurrency = concurrency;
     load.preset_name = preset_name;
     load.heads_per_request = heads;
-    load.seq_len_cap = seq_cap;
+    load.seq_len_cap = layer_mode ? layer_seq : seq_cap;
+    load.memory_len = 12;
     load.seed = seed;
     load.inject.fault_probability = probability;
     load.inject.persistent_fraction = persistent_frac;
@@ -101,11 +194,20 @@ int main(int argc, char** argv) {
                format_number(double(report.fallback), 0)});
     t.add_row({"checksum-clean responses",
                format_number(double(report.clean_responses), 0)});
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      const OpKindStats& stats = report.telemetry.per_kind[k];
+      if (stats.checks == 0) continue;
+      t.add_row({std::string("op[") + op_kind_name(OpKind(k)) + "]",
+                 format_number(double(stats.checks), 0) + " checks, " +
+                     format_number(double(stats.alarms), 0) + " alarms, " +
+                     format_number(double(stats.recovered), 0) +
+                     " recovered"});
+    }
     std::cout << t.render() << '\n';
 
     // Reconciliation: completion, checksum cleanliness, and fault-plan
     // accounting (alarms only happen on requests that carried a plan).
-    const bool complete = report.completed == requests;
+    const bool complete = report.completed == load.total_requests;
     const bool clean = report.clean_responses == report.completed;
     // A tripped breaker routes fault-free requests to the fallback path
     // too, so bypasses join the injected plans on the right-hand side.
@@ -114,19 +216,36 @@ int main(int argc, char** argv) {
     const std::size_t explained =
         injected + std::size_t(report.telemetry.breaker_bypasses);
     const bool accounted = report.recovered + report.fallback <= explained;
-    std::cout << "  completed " << report.completed << "/" << requests
-              << ", checksum-clean " << report.clean_responses << "/"
-              << report.completed << ", non-clean paths "
-              << report.recovered + report.fallback
+    std::cout << "  completed " << report.completed << "/"
+              << load.total_requests << ", checksum-clean "
+              << report.clean_responses << "/" << report.completed
+              << ", non-clean paths " << report.recovered + report.fallback
               << " <= injected+bypassed " << explained
               << (complete && clean && accounted ? "  [ok]" : "  [FAIL]")
               << "\n\n";
-    all_clean = all_clean && complete && clean && accounted;
+    const bool ok = complete && clean && accounted;
+    all_clean = all_clean && ok;
+    scenarios.push_back({title, layer_mode ? "layer" : "attention", ok,
+                         report});
   };
 
-  scenario("fault-free serving", 0.0);
-  if (inject_faults) {
-    scenario("serving under injected faults", fault_prob);
+  if (run_attention) {
+    scenario("fault-free attention serving", RequestMode::kAttentionHeads,
+             0.0);
+    if (inject_faults) {
+      scenario("attention serving under injected faults",
+               RequestMode::kAttentionHeads, fault_prob);
+    }
   }
+  if (run_layer) {
+    scenario("fault-free decoder-layer serving", RequestMode::kDecoderLayer,
+             0.0);
+    if (inject_faults) {
+      scenario("decoder-layer serving under injected faults",
+               RequestMode::kDecoderLayer, fault_prob);
+    }
+  }
+
+  if (!json_path.empty()) write_json(json_path, scenarios, threads);
   return all_clean ? 0 : 1;
 }

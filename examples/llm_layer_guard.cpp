@@ -40,33 +40,39 @@ int main(int argc, char** argv) {
             << lcfg.head_dim << ", ffn " << lcfg.ffn_dim << ", seq_len "
             << seq_len << "\n\n";
 
-  const Checker checker(CheckerConfig{1e-6});
+  const GuardedExecutor executor(CheckerConfig{1e-6}, RecoveryPolicy{});
   const EncoderLayerResult result =
-      layer.forward(x, AttentionBackend::kFlashAbft, checker);
+      layer.forward(x, AttentionBackend::kFlashAbft, executor);
 
-  Table table({"head", "predicted checksum", "actual checksum", "residual",
-               "verdict"});
-  table.set_title("Per-head Flash-ABFT reports (fault-free forward)");
-  for (const HeadCheckReport& r : result.checks) {
-    table.add_row({std::to_string(r.head), format_number(r.predicted, 4),
-                   format_number(r.actual, 4),
-                   format_number(std::fabs(r.predicted - r.actual), 2),
+  Table table({"op", "index", "predicted checksum", "actual checksum",
+               "residual", "verdict"});
+  table.set_title("Unified OpReports (fault-free forward)");
+  const OpReport* head7 = nullptr;
+  for (const OpReport& r : result.report.ops) {
+    if (r.kind == OpKind::kAttentionFlashAbft && r.index == 7) head7 = &r;
+    table.add_row({op_kind_name(r.kind), std::to_string(r.index),
+                   format_number(r.predicted, 4), format_number(r.actual, 4),
+                   format_number(r.residual, 2),
                    r.verdict == CheckVerdict::kPass ? "pass" : "ALARM"});
   }
   std::cout << table.render() << '\n';
-  std::cout << "layer alarm: " << (result.any_alarm() ? "YES" : "no")
+  std::cout << "layer alarm: " << (result.report.any_alarm() ? "YES" : "no")
             << "  (output " << result.output.rows() << " x "
-            << result.output.cols() << ")\n\n";
+            << result.output.cols() << ", "
+            << result.report.count(OpKind::kAttentionFlashAbft)
+            << " attention + "
+            << result.report.count(OpKind::kProjection) << " projection + "
+            << result.report.count(OpKind::kFfn) << " FFN checks)\n\n";
 
   // What a corrupted head looks like: shift head 7's actual checksum the
   // way a stuck output accumulator would.
-  HeadCheckReport faulty = result.checks[7];
+  OpReport faulty = *head7;
   faulty.actual += 4.2e-4;
   std::cout << "injecting 4.2e-4 into head 7's output sum -> verdict: "
-            << (checker.compare(faulty.predicted, faulty.actual) ==
+            << (executor.checker().compare(faulty.predicted, faulty.actual) ==
                         CheckVerdict::kAlarm
                     ? "ALARM (head isolated for re-execution)"
                     : "pass (?!)")
             << '\n';
-  return result.any_alarm() ? 1 : 0;
+  return result.report.any_alarm() ? 1 : 0;
 }

@@ -46,17 +46,17 @@ int main() {
   for (int layer = 0; layer < 4; ++layer) stack.emplace_back(lcfg, rng);
 
   const Checker checker(CheckerConfig{1e-6});
+  const GuardedExecutor executor(CheckerConfig{1e-6}, RecoveryPolicy{});
   std::size_t total_alarms = 0;
   for (std::size_t layer = 0; layer < stack.size(); ++layer) {
     const EncoderLayerResult out =
-        stack[layer].forward(x, AttentionBackend::kFlashAbft, checker);
-    std::size_t alarms = 0;
-    for (const HeadCheckReport& r : out.checks) {
-      alarms += (r.verdict == CheckVerdict::kAlarm);
-    }
-    total_alarms += alarms;
-    std::cout << "layer " << layer << ": " << out.checks.size()
-              << " heads checked, " << alarms << " alarms\n";
+        stack[layer].forward(x, AttentionBackend::kFlashAbft, executor);
+    total_alarms += out.report.alarm_events();
+    std::cout << "layer " << layer << ": " << out.report.ops.size()
+              << " ops checked ("
+              << out.report.count(OpKind::kAttentionFlashAbft)
+              << " attention heads), " << out.report.alarm_events()
+              << " alarms\n";
     x = out.output;
   }
   std::cout << "clean inference completed, total alarms: " << total_alarms

@@ -9,18 +9,26 @@
 //           kernel, and the escalation streak trips the circuit breaker;
 //           the worker then serves via fallback until a probe comes back
 //           clean.
+//   act 4 — full decoder-layer requests: the LayerWork variant runs a
+//           protected decoder layer (per-head attention, Q/K/V/output
+//           projections and FFN all checked), with an emulated transient
+//           fault recovering in place and a persistent one escalating to
+//           the verified reference fallback — reported per op kind from
+//           the unified OpReport telemetry.
 //
 // Build & run:  ./build/examples/serving_demo
 // Knobs: --threads=N --max-batch=N --batch-deadline-us=N
-//        --inject-faults=BOOL (acts 2+3 on/off, default true)
+//        --inject-faults=BOOL (acts 2-4 faults on/off, default true)
 #include <future>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/server.hpp"
 #include "sim/multi_head.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "workload/model_presets.hpp"
 #include "workload/promptbench.hpp"
 
@@ -47,6 +55,10 @@ int main(int argc, char** argv) {
       std::chrono::microseconds(batch_deadline_us);
   config.breaker.trip_threshold = 2;
   config.breaker.probe_interval = 3;
+  config.layer.model_dim = 128;
+  config.layer.num_heads = 4;
+  config.layer.head_dim = 32;
+  config.layer.ffn_dim = 256;
 
   InferenceServer server(config);
   const Accelerator accel(config.accel);
@@ -59,18 +71,32 @@ int main(int argc, char** argv) {
     const PromptCategory& category =
         categories[category_index % categories.size()];
     request.category = category.name;
+    AttentionWork work;
     Rng rng = base.derive(++next_request);
     for (std::size_t h = 0; h < heads; ++h) {
-      request.heads.push_back(generate_category_inputs(
+      work.heads.push_back(generate_category_inputs(
           category, preset, rng.next_u64(), seq_cap));
     }
+    request.work = std::move(work);
+    return request;
+  };
+  const auto make_layer_request = [&]() {
+    ServeRequest request;
+    request.category = "decoder-layer";
+    LayerWork work;
+    Rng rng = base.derive(++next_request);
+    work.x = MatrixD(16, config.layer.model_dim);
+    fill_gaussian(work.x, rng);
+    work.memory = MatrixD(8, config.layer.model_dim);
+    fill_gaussian(work.memory, rng);
+    request.work = std::move(work);
     return request;
   };
   const auto describe = [](const ServeResponse& r) {
     std::cout << "  request " << r.id << ": path=" << serve_path_name(r.path)
               << " worker=" << r.worker_id << " batch=" << r.batch_size
               << " alarms=" << r.alarm_events
-              << " head-runs=" << r.head_executions
+              << " op-runs=" << r.op_executions
               << " checksum=" << (r.checksum_clean ? "clean" : "DIRTY")
               << '\n';
     return r.checksum_clean;
@@ -93,14 +119,15 @@ int main(int argc, char** argv) {
     std::cout << "\nact 2 — transient bit flip in an output accumulator:\n";
     {
       ServeRequest request = make_request(1);
+      AttentionWork& work = std::get<AttentionWork>(request.work);
       InjectedFault flip;
       flip.site = Site{SiteKind::kOutput, /*lane=*/0, /*element=*/0};
       flip.bit = 27;  // fp32 exponent bit: a large, detectable corruption.
       // Mid-pass, so the accumulator is nonzero (at a pass boundary it was
       // just reset, and flipping a bit of 0.0 is a masked denormal).
-      flip.cycle = cycles_per_head(accel, request.heads.front()) / 2 +
-                   request.heads.front().seq_len() / 2;
-      request.faults = {flip};
+      flip.cycle = cycles_per_head(accel, work.heads.front()) / 2 +
+                   work.heads.front().seq_len() / 2;
+      work.faults = {flip};
       all_clean = describe(server.submit(std::move(request)).get()) &&
                   all_clean;
     }
@@ -127,9 +154,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- act 4: full decoder-layer requests through the same server. ---
+  std::cout << "\nact 4 — protected decoder-layer serving ("
+            << config.layer.num_heads << " heads x d="
+            << config.layer.head_dim << ", ffn " << config.layer.ffn_dim
+            << "):\n";
+  {
+    std::vector<std::future<ServeResponse>> futures;
+    for (std::size_t i = 0; i < 4; ++i) {
+      futures.push_back(server.submit(make_layer_request()));
+    }
+    if (inject_faults) {
+      // A transient upset in a cross-attention head: recovers in place.
+      ServeRequest transient = make_layer_request();
+      LayerFault head_fault;
+      head_fault.kind = OpKind::kAttentionFlashAbft;
+      head_fault.op_index = config.layer.num_heads;  // first cross head.
+      head_fault.faulty_attempts = 1;
+      std::get<LayerWork>(transient.work).faults = {head_fault};
+      futures.push_back(server.submit(std::move(transient)));
+
+      // A persistent defect in the FFN: escalates to the verified fallback.
+      ServeRequest persistent = make_layer_request();
+      LayerFault ffn_fault;
+      ffn_fault.kind = OpKind::kFfn;
+      ffn_fault.op_index = 0;
+      ffn_fault.faulty_attempts = config.recovery.max_retries + 1;
+      std::get<LayerWork>(persistent.work).faults = {ffn_fault};
+      futures.push_back(server.submit(std::move(persistent)));
+    }
+    for (auto& f : futures) all_clean = describe(f.get()) && all_clean;
+  }
+
   const TelemetrySnapshot snapshot = server.telemetry().snapshot();
   server.shutdown();
   std::cout << '\n' << snapshot.render(/*wall_seconds=*/0.0) << '\n';
+
+  std::cout << "per-op-kind accounting (attention vs projection vs FFN):\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const OpKindStats& stats = snapshot.per_kind[k];
+    if (stats.checks == 0) continue;
+    std::cout << "  " << op_kind_name(OpKind(k)) << ": " << stats.checks
+              << " checks, " << stats.alarms << " alarms, "
+              << stats.recovered << " recovered, " << stats.escalated
+              << " escalated\n";
+  }
   std::cout << (all_clean ? "every completed request was checksum-clean\n"
                           : "checksum-dirty responses observed (?!)\n");
   return all_clean ? 0 : 1;

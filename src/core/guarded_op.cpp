@@ -1,0 +1,275 @@
+#include "core/guarded_op.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+const char* recovery_status_name(RecoveryStatus status) {
+  switch (status) {
+    case RecoveryStatus::kCleanFirstTry: return "clean_first_try";
+    case RecoveryStatus::kRecovered: return "recovered";
+    case RecoveryStatus::kEscalated: return "escalated";
+  }
+  return "?";
+}
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAttentionFlashAbft: return "attention_flash_abft";
+    case OpKind::kAttentionTwoStepAbft: return "attention_two_step_abft";
+    case OpKind::kProjection: return "projection";
+    case OpKind::kFfn: return "ffn";
+    case OpKind::kReferenceFallback: return "reference_fallback";
+  }
+  return "?";
+}
+
+double ChecksumPair::residual() const { return std::fabs(predicted - actual); }
+
+void LayerReport::add(GuardedOp op) {
+  ops.push_back(std::move(op.report));
+  if (op.fallback_report) ops.push_back(std::move(*op.fallback_report));
+}
+
+void LayerReport::append(LayerReport other) {
+  ops.insert(ops.end(), std::make_move_iterator(other.ops.begin()),
+             std::make_move_iterator(other.ops.end()));
+}
+
+bool LayerReport::any_alarm() const {
+  for (const OpReport& r : ops) {
+    if (r.accepted && r.verdict == CheckVerdict::kAlarm) return true;
+  }
+  return false;
+}
+
+std::size_t LayerReport::alarm_events() const {
+  std::size_t total = 0;
+  for (const OpReport& r : ops) total += r.alarms;
+  return total;
+}
+
+std::size_t LayerReport::executions() const {
+  std::size_t total = 0;
+  for (const OpReport& r : ops) total += r.executions;
+  return total;
+}
+
+std::size_t LayerReport::count(OpKind kind) const {
+  std::size_t total = 0;
+  for (const OpReport& r : ops) total += (r.kind == kind);
+  return total;
+}
+
+std::size_t LayerReport::alarms(OpKind kind) const {
+  std::size_t total = 0;
+  for (const OpReport& r : ops) {
+    if (r.kind == kind) total += r.alarms;
+  }
+  return total;
+}
+
+std::size_t LayerReport::recovered(OpKind kind) const {
+  std::size_t total = 0;
+  for (const OpReport& r : ops) {
+    total += (r.kind == kind && r.recovery == RecoveryStatus::kRecovered);
+  }
+  return total;
+}
+
+bool LayerReport::all_accepted_clean() const {
+  for (const OpReport& r : ops) {
+    if (r.accepted && r.verdict == CheckVerdict::kAlarm) return false;
+  }
+  return true;
+}
+
+GuardedExecutor::GuardedExecutor(Options options)
+    : options_(options), checker_(options.checker) {}
+
+GuardedExecutor::GuardedExecutor(CheckerConfig checker,
+                                 RecoveryPolicy recovery)
+    : GuardedExecutor(Options{checker, recovery, false, {}}) {}
+
+CheckVerdict GuardedExecutor::judge(const CheckedOp& op) const {
+  if (options_.screen_extremes &&
+      extreme_value_screen(op.output, options_.screen).any()) {
+    return CheckVerdict::kAlarm;
+  }
+  if (op.self_verdict) return *op.self_verdict;
+  if (checker_.compare(op.check.predicted, op.check.actual) ==
+      CheckVerdict::kAlarm) {
+    return CheckVerdict::kAlarm;
+  }
+  for (const ChecksumPair& pair : op.extra_checks) {
+    if (checker_.compare(pair.predicted, pair.actual) ==
+        CheckVerdict::kAlarm) {
+      return CheckVerdict::kAlarm;
+    }
+  }
+  return CheckVerdict::kPass;
+}
+
+OpReport GuardedExecutor::describe(OpKind kind, std::size_t index,
+                                   double cost, const CheckedOp& op) const {
+  OpReport report;
+  report.kind = kind;
+  report.index = index;
+  report.cost = cost;
+  // Report the worst-residual pair (NaN residuals never compare greater, so
+  // a NaN primary pair is kept and propagates into `residual`).
+  const ChecksumPair* worst = &op.check;
+  for (const ChecksumPair& pair : op.extra_checks) {
+    if (pair.residual() > worst->residual()) worst = &pair;
+  }
+  report.predicted = worst->predicted;
+  report.actual = worst->actual;
+  report.residual = worst->residual();
+  report.verdict = judge(op);
+  return report;
+}
+
+GuardedOp GuardedExecutor::run(OpKind kind, std::size_t index, double cost,
+                               const RunOp& run_once,
+                               const FallbackOp& fallback) const {
+  FLASHABFT_ENSURE_MSG(run_once, "GuardedExecutor::run needs an operator");
+  GuardedOp result;
+  CheckedOp last;
+  std::size_t alarms = 0;
+  for (std::size_t attempt = 0; attempt <= options_.recovery.max_retries;
+       ++attempt) {
+    last = run_once(attempt);
+    if (tamper_) tamper_(kind, index, attempt, last);
+    const CheckVerdict verdict = judge(last);
+    if (observer_) observer_(kind, index, attempt, verdict);
+    if (verdict == CheckVerdict::kPass) {
+      result.report = describe(kind, index, cost, last);
+      result.report.executions = attempt + 1;
+      result.report.alarms = alarms;
+      result.report.recovery = attempt == 0 ? RecoveryStatus::kCleanFirstTry
+                                            : RecoveryStatus::kRecovered;
+      result.output = std::move(last.output);
+      return result;
+    }
+    ++alarms;
+  }
+
+  // Retries exhausted: persistent-fault suspect.
+  result.report = describe(kind, index, cost, last);
+  result.report.executions = options_.recovery.max_retries + 1;
+  result.report.alarms = alarms;
+  result.report.recovery = RecoveryStatus::kEscalated;
+  if (!fallback) {
+    // No healthy engine to turn to: the dirty output is accepted (verdict
+    // kAlarm marks the response checksum-dirty).
+    result.output = std::move(last.output);
+    return result;
+  }
+  result.report.accepted = false;
+  CheckedOp served = fallback();
+  OpReport fb = describe(OpKind::kReferenceFallback, index, cost, served);
+  fb.recovery = RecoveryStatus::kEscalated;
+  fb.alarms = fb.verdict == CheckVerdict::kAlarm ? 1 : 0;
+  result.fallback_report = std::move(fb);
+  result.output = std::move(served.output);
+  return result;
+}
+
+WorklistResult GuardedExecutor::run_worklist(OpKind kind, std::size_t count,
+                                             double cost_per_op,
+                                             const RunRound& run_round,
+                                             const FallbackOne& fallback) const {
+  FLASHABFT_ENSURE_MSG(count > 0, "empty worklist");
+  FLASHABFT_ENSURE_MSG(run_round && fallback,
+                       "worklist needs an engine and a fallback");
+  std::vector<CheckedOp> accepted(count);
+  std::vector<std::size_t> executions(count, 0);
+  std::vector<std::size_t> alarms(count, 0);
+  std::vector<std::size_t> worklist(count);
+  std::iota(worklist.begin(), worklist.end(), std::size_t{0});
+
+  WorklistResult out;
+  for (std::size_t attempt = 0;
+       attempt <= options_.recovery.max_retries && !worklist.empty();
+       ++attempt) {
+    std::vector<CheckedOp> round = run_round(attempt, worklist);
+    FLASHABFT_ENSURE_MSG(round.size() == worklist.size(),
+                         "round produced " << round.size() << " ops for "
+                                           << worklist.size() << " indices");
+    std::vector<std::size_t> still_alarming;
+    for (std::size_t slot = 0; slot < worklist.size(); ++slot) {
+      const std::size_t index = worklist[slot];
+      CheckedOp op = std::move(round[slot]);
+      if (tamper_) tamper_(kind, index, attempt, op);
+      ++executions[index];
+      ++out.executions;
+      const CheckVerdict verdict = judge(op);
+      if (observer_) observer_(kind, index, attempt, verdict);
+      if (verdict == CheckVerdict::kAlarm) {
+        ++alarms[index];
+        ++out.alarm_events;
+        still_alarming.push_back(index);
+      }
+      accepted[index] = std::move(op);
+    }
+    worklist = std::move(still_alarming);
+  }
+
+  std::vector<bool> escalated(count, false);
+  for (const std::size_t index : worklist) escalated[index] = true;
+
+  out.outputs.reserve(count);
+  out.reports.reserve(count + worklist.size());
+  for (std::size_t index = 0; index < count; ++index) {
+    OpReport report = describe(kind, index, cost_per_op, accepted[index]);
+    report.executions = executions[index];
+    report.alarms = alarms[index];
+    if (escalated[index]) {
+      report.recovery = RecoveryStatus::kEscalated;
+      report.accepted = false;
+      out.reports.push_back(std::move(report));
+      serve_fallback(index, cost_per_op, fallback, out);
+      out.reports.back().recovery = RecoveryStatus::kEscalated;
+      out.escalated = true;
+    } else {
+      report.recovery = alarms[index] > 0 ? RecoveryStatus::kRecovered
+                                          : RecoveryStatus::kCleanFirstTry;
+      out.recovered_ops += alarms[index] > 0;
+      out.reports.push_back(std::move(report));
+      out.outputs.push_back(std::move(accepted[index].output));
+    }
+  }
+  return out;
+}
+
+WorklistResult GuardedExecutor::run_all_fallback(
+    std::size_t count, double cost_per_op, const FallbackOne& fallback) const {
+  FLASHABFT_ENSURE_MSG(count > 0, "empty worklist");
+  FLASHABFT_ENSURE_MSG(fallback, "bypass needs a fallback engine");
+  WorklistResult out;
+  out.outputs.reserve(count);
+  out.reports.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    serve_fallback(index, cost_per_op, fallback, out);
+  }
+  return out;
+}
+
+void GuardedExecutor::serve_fallback(std::size_t index, double cost_per_op,
+                                     const FallbackOne& fallback,
+                                     WorklistResult& out) const {
+  CheckedOp served = fallback(index);
+  OpReport report =
+      describe(OpKind::kReferenceFallback, index, cost_per_op, served);
+  report.alarms = report.verdict == CheckVerdict::kAlarm ? 1 : 0;
+  out.all_clean = out.all_clean && report.verdict == CheckVerdict::kPass;
+  ++out.fallback_ops;
+  out.reports.push_back(std::move(report));
+  out.outputs.push_back(std::move(served.output));
+}
+
+}  // namespace flashabft

@@ -2,15 +2,6 @@
 
 namespace flashabft {
 
-const char* recovery_status_name(RecoveryStatus status) {
-  switch (status) {
-    case RecoveryStatus::kCleanFirstTry: return "clean_first_try";
-    case RecoveryStatus::kRecovered: return "recovered";
-    case RecoveryStatus::kEscalated: return "escalated";
-  }
-  return "?";
-}
-
 GuardedResult guarded_attention(const MatrixD& q, const MatrixD& k,
                                 const MatrixD& v, const AttentionConfig& cfg,
                                 const Checker& checker,

@@ -1,36 +1,22 @@
-// Detection-triggered recovery — what the paper's online check enables.
+// Detection-triggered recovery — compatibility wrappers over GuardedExecutor.
 //
 // Paper §I: faults "should be detected online, ideally within a few cycles
-// of their occurrence, to facilitate quick recovery." Flash-ABFT's per-pass
-// alarms make the natural recovery unit the attention invocation: on alarm,
-// re-execute from the (fault-protected) inputs. Transient upsets do not
-// repeat, so one retry almost always restores correctness; a persistent
-// defect keeps alarming and is escalated after a bounded number of retries.
+// of their occurrence, to facilitate quick recovery." The protection regime
+// lives in core/guarded_op.hpp (`GuardedExecutor` owns the Checker, the
+// RecoveryPolicy and the observer hook); what remains here is the original
+// attention-shaped entry point, reduced to a thin adapter so existing
+// callers and tests keep their interface.
 #pragma once
 
 #include <cstddef>
 #include <utility>
 
 #include "attention/attention_config.hpp"
-#include "core/checker.hpp"
 #include "core/flash_abft.hpp"
+#include "core/guarded_op.hpp"
 #include "tensor/matrix.hpp"
 
 namespace flashabft {
-
-/// Retry policy for guarded execution.
-struct RecoveryPolicy {
-  std::size_t max_retries = 2;  ///< re-executions before escalating.
-};
-
-/// How a guarded invocation concluded.
-enum class RecoveryStatus {
-  kCleanFirstTry,  ///< no alarm on the first execution.
-  kRecovered,      ///< alarmed, then a retry passed the check.
-  kEscalated,      ///< every retry alarmed — persistent-fault suspect.
-};
-
-[[nodiscard]] const char* recovery_status_name(RecoveryStatus status);
 
 /// Result of a guarded attention invocation.
 struct GuardedResult {
@@ -40,33 +26,33 @@ struct GuardedResult {
 };
 
 /// Executes attention under checksum protection with retry-based recovery,
-/// reporting every attempt's verdict to `observe(attempt, verdict)`.
-///
-/// `run_once` abstracts the execution engine so tests and simulations can
-/// inject faults per attempt: it receives the attempt index and returns the
-/// checked result of that execution. `observe` is the recovery hook a
-/// controller (e.g. the serving engine's telemetry) uses to count alarms and
-/// retries online instead of re-deriving them from the final result.
+/// reporting every attempt's verdict to `observe(attempt, verdict)`. Thin
+/// wrapper over GuardedExecutor::run — `run_once` receives the attempt index
+/// and returns the checked result of that execution.
 template <typename RunOnce, typename Observer>
 [[nodiscard]] GuardedResult guarded_attention(const Checker& checker,
                                               const RecoveryPolicy& policy,
                                               RunOnce&& run_once,
                                               Observer&& observe) {
-  GuardedResult result;
-  for (std::size_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
-    result.attention = run_once(attempt);
-    result.executions = attempt + 1;
-    const CheckVerdict verdict =
-        checker.compare(result.attention.predicted_checksum,
-                        result.attention.actual_checksum);
+  GuardedExecutor executor(checker.config(), policy);
+  executor.set_observer([&observe](OpKind, std::size_t, std::size_t attempt,
+                                   CheckVerdict verdict) {
     observe(attempt, verdict);
-    if (verdict == CheckVerdict::kPass) {
-      result.status = attempt == 0 ? RecoveryStatus::kCleanFirstTry
-                                   : RecoveryStatus::kRecovered;
-      return result;
-    }
-  }
-  result.status = RecoveryStatus::kEscalated;
+  });
+  CheckedAttention last;
+  const GuardedOp op = executor.run(
+      OpKind::kAttentionFlashAbft, /*index=*/0, /*cost=*/0.0,
+      [&](std::size_t attempt) {
+        last = run_once(attempt);
+        CheckedOp checked;
+        checked.output = last.output;
+        checked.check = {last.predicted_checksum, last.actual_checksum};
+        return checked;
+      });
+  GuardedResult result;
+  result.attention = std::move(last);
+  result.status = op.report.recovery;
+  result.executions = op.report.executions;
   return result;
 }
 

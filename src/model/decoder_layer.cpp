@@ -1,21 +1,10 @@
 #include "model/decoder_layer.hpp"
 
+#include <utility>
+
+#include "tensor/tensor_ops.hpp"
+
 namespace flashabft {
-
-namespace {
-
-MatrixD add_residual(const MatrixD& a, const MatrixD& b) {
-  FLASHABFT_ENSURE(a.rows() == b.rows() && a.cols() == b.cols());
-  MatrixD out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      out(i, j) = a(i, j) + b(i, j);
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 DecoderLayer::DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng)
     : cfg_(cfg),
@@ -27,29 +16,33 @@ DecoderLayer::DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng)
       ffn2_(Linear::random_init(cfg.ffn_dim, cfg.model_dim, rng)),
       norm3_(cfg.model_dim) {}
 
-DecoderLayerResult DecoderLayer::forward(const MatrixD& x,
-                                         const MatrixD& memory,
-                                         AttentionBackend backend,
-                                         const Checker& checker) const {
+DecoderLayerResult DecoderLayer::forward(
+    const MatrixD& x, const MatrixD& memory, AttentionBackend backend,
+    const GuardedExecutor& executor) const {
   FLASHABFT_ENSURE(x.cols() == cfg_.model_dim);
   FLASHABFT_ENSURE(memory.cols() == cfg_.model_dim);
 
-  // Causally-masked self-attention + Add & Norm.
-  MhaResult self =
-      self_attention_.forward(x, backend, checker, AttentionMask::kCausal);
-  const MatrixD h1 = norm1_.forward(add_residual(x, self.output));
+  DecoderLayerResult result;
 
-  // Encoder cross-attention + Add & Norm.
-  MhaResult cross =
-      cross_attention_.forward_cross(h1, memory, backend, checker);
-  const MatrixD h2 = norm2_.forward(add_residual(h1, cross.output));
+  // Causally-masked self-attention + Add & Norm (block 0).
+  MhaResult self = self_attention_.forward(x, backend, executor,
+                                           AttentionMask::kCausal,
+                                           /*block=*/0);
+  const MatrixD h1 = norm1_.forward(element_add(x, self.output));
+  result.report = std::move(self.report);
+
+  // Encoder cross-attention + Add & Norm (block 1).
+  MhaResult cross = cross_attention_.forward_cross(h1, memory, backend,
+                                                   executor, /*block=*/1);
+  const MatrixD h2 = norm2_.forward(element_add(h1, cross.output));
+  result.report.append(std::move(cross.report));
 
   // Feed-forward block + Add & Norm.
-  const MatrixD ffn = ffn2_.forward(gelu_forward(ffn1_.forward(h2)));
-  DecoderLayerResult result;
-  result.output = norm3_.forward(add_residual(h2, ffn));
-  result.self_checks = std::move(self.checks);
-  result.cross_checks = std::move(cross.checks);
+  const MatrixD inner = gelu_forward(
+      guarded_linear(ffn1_, h2, OpKind::kFfn, 0, executor, result.report));
+  const MatrixD ffn =
+      guarded_linear(ffn2_, inner, OpKind::kFfn, 1, executor, result.report);
+  result.output = norm3_.forward(element_add(h2, ffn));
   return result;
 }
 

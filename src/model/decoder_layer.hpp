@@ -3,11 +3,15 @@
 // Vaswani architecture, a causally-masked self-attention block and an
 // encoder-attending cross-attention block).
 //
-// Both attention blocks run under Flash-ABFT protection; the checksum
-// algebra is mask-agnostic (masked keys simply contribute zero weight to
-// both the output and the prediction).
+// Both attention blocks, all eight projections and the FFN run under the
+// unified GuardedOp regime; the checksum algebra is mask-agnostic (masked
+// keys simply contribute zero weight to both the output and the
+// prediction). OpReport indices: self-attention heads 0..H-1 and
+// projections 0..3 (block 0), cross-attention heads H..2H-1 and projections
+// 4..7 (block 1), FFN products 0 and 1.
 #pragma once
 
+#include "core/guarded_op.hpp"
 #include "model/gelu.hpp"
 #include "model/layernorm.hpp"
 #include "model/linear.hpp"
@@ -25,19 +29,8 @@ struct DecoderLayerConfig {
 
 /// Result of a protected decoder forward pass.
 struct DecoderLayerResult {
-  MatrixD output;                            ///< n x model_dim.
-  std::vector<HeadCheckReport> self_checks;  ///< causal self-attention.
-  std::vector<HeadCheckReport> cross_checks; ///< encoder cross-attention.
-
-  [[nodiscard]] bool any_alarm() const {
-    for (const HeadCheckReport& r : self_checks) {
-      if (r.verdict == CheckVerdict::kAlarm) return true;
-    }
-    for (const HeadCheckReport& r : cross_checks) {
-      if (r.verdict == CheckVerdict::kAlarm) return true;
-    }
-    return false;
-  }
+  MatrixD output;      ///< n x model_dim.
+  LayerReport report;  ///< self + cross attention, projections, FFN.
 };
 
 /// Post-LN decoder layer:
@@ -49,10 +42,9 @@ class DecoderLayer {
 
   /// Forward pass: `x` are decoder-side embeddings (n x model_dim),
   /// `memory` the encoder output it attends to (n_src x model_dim).
-  [[nodiscard]] DecoderLayerResult forward(const MatrixD& x,
-                                           const MatrixD& memory,
-                                           AttentionBackend backend,
-                                           const Checker& checker) const;
+  [[nodiscard]] DecoderLayerResult forward(
+      const MatrixD& x, const MatrixD& memory, AttentionBackend backend,
+      const GuardedExecutor& executor) const;
 
   [[nodiscard]] const DecoderLayerConfig& config() const { return cfg_; }
 

@@ -1,5 +1,9 @@
 #include "model/encoder_layer.hpp"
 
+#include <utility>
+
+#include "tensor/tensor_ops.hpp"
+
 namespace flashabft {
 
 EncoderLayer::EncoderLayer(const EncoderLayerConfig& cfg, Rng& rng)
@@ -10,33 +14,24 @@ EncoderLayer::EncoderLayer(const EncoderLayerConfig& cfg, Rng& rng)
       ffn2_(Linear::random_init(cfg.ffn_dim, cfg.model_dim, rng)),
       norm2_(cfg.model_dim) {}
 
-EncoderLayerResult EncoderLayer::forward(const MatrixD& x,
-                                         AttentionBackend backend,
-                                         const Checker& checker) const {
+EncoderLayerResult EncoderLayer::forward(
+    const MatrixD& x, AttentionBackend backend,
+    const GuardedExecutor& executor) const {
   FLASHABFT_ENSURE(x.cols() == cfg_.model_dim);
 
   // Self-attention block with residual + LayerNorm (Fig. 1 left half).
-  MhaResult mha = attention_.forward(x, backend, checker);
-  MatrixD h1(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    for (std::size_t j = 0; j < x.cols(); ++j) {
-      h1(i, j) = x(i, j) + mha.output(i, j);
-    }
-  }
-  const MatrixD normed1 = norm1_.forward(h1);
+  MhaResult mha = attention_.forward(x, backend, executor);
+  const MatrixD normed1 = norm1_.forward(element_add(x, mha.output));
 
   // Feed-forward block: Linear -> GELU -> Linear, residual + LayerNorm.
-  const MatrixD ffn = ffn2_.forward(gelu_forward(ffn1_.forward(normed1)));
-  MatrixD h2(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    for (std::size_t j = 0; j < x.cols(); ++j) {
-      h2(i, j) = normed1(i, j) + ffn(i, j);
-    }
-  }
-
   EncoderLayerResult result;
-  result.output = norm2_.forward(h2);
-  result.checks = std::move(mha.checks);
+  result.report = std::move(mha.report);
+  const MatrixD inner = gelu_forward(guarded_linear(
+      ffn1_, normed1, OpKind::kFfn, 0, executor, result.report));
+  const MatrixD ffn =
+      guarded_linear(ffn2_, inner, OpKind::kFfn, 1, executor, result.report);
+
+  result.output = norm2_.forward(element_add(normed1, ffn));
   return result;
 }
 

@@ -4,9 +4,13 @@
 // ... the output is normalized and added to the input of the attention
 // block. The self-attention block is followed by a feed-forward block that
 // consists of two fully-connected layers separated by a GELU activation."
-// BERT-base stacks twelve of these layers.
+// BERT-base stacks twelve of these layers. Under the GuardedOp regime every
+// checkable product — Q/K/V/output projections, per-head attention, both
+// FFN layers — reports into one LayerReport (GELU and LayerNorm are
+// element-wise and remain outside the checked products).
 #pragma once
 
+#include "core/guarded_op.hpp"
 #include "model/gelu.hpp"
 #include "model/layernorm.hpp"
 #include "model/linear.hpp"
@@ -24,15 +28,8 @@ struct EncoderLayerConfig {
 
 /// Result of a protected forward pass through the layer.
 struct EncoderLayerResult {
-  MatrixD output;                       ///< n x model_dim.
-  std::vector<HeadCheckReport> checks;  ///< attention checksum reports.
-
-  [[nodiscard]] bool any_alarm() const {
-    for (const HeadCheckReport& r : checks) {
-      if (r.verdict == CheckVerdict::kAlarm) return true;
-    }
-    return false;
-  }
+  MatrixD output;      ///< n x model_dim.
+  LayerReport report;  ///< attention + projection + FFN OpReports.
 };
 
 /// Post-LN encoder layer: x -> LN(x + MHA(x)) -> LN(. + FFN(.)).
@@ -40,11 +37,11 @@ class EncoderLayer {
  public:
   EncoderLayer(const EncoderLayerConfig& cfg, Rng& rng);
 
-  /// Forward pass; attention runs on `backend` and, when protected, per-head
-  /// checksums are compared by `checker`.
+  /// Forward pass; attention runs on `backend`, every checkable op executes
+  /// through `executor` and reports into the result's LayerReport.
   [[nodiscard]] EncoderLayerResult forward(
       const MatrixD& x, AttentionBackend backend,
-      const Checker& checker) const;
+      const GuardedExecutor& executor) const;
 
   [[nodiscard]] const EncoderLayerConfig& config() const { return cfg_; }
 

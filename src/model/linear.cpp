@@ -1,6 +1,7 @@
 #include "model/linear.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "tensor/tensor_ops.hpp"
 
@@ -26,6 +27,40 @@ MatrixD Linear::forward(const MatrixD& x) const {
     for (std::size_t j = 0; j < y.cols(); ++j) y(i, j) += bias_[j];
   }
   return y;
+}
+
+CheckedOp Linear::checked_forward(const MatrixD& x) const {
+  FLASHABFT_ENSURE_MSG(x.cols() == weight_.rows(),
+                       "Linear: input width " << x.cols() << " != "
+                                              << weight_.rows());
+  MatrixD y = matmul(x, weight_);
+  const std::vector<double> col_x = column_sums(x);
+  const std::vector<double> row_w = row_sums(weight_);
+  CheckedOp op;
+  for (std::size_t i = 0; i < col_x.size(); ++i) {
+    op.check.predicted += col_x[i] * row_w[i];
+  }
+  double bias_sum = 0.0;
+  for (const double b : bias_) bias_sum += b;
+  op.check.predicted += double(x.rows()) * bias_sum;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = 0; j < y.cols(); ++j) y(i, j) += bias_[j];
+  }
+  op.check.actual = element_sum(y);
+  op.output = std::move(y);
+  return op;
+}
+
+MatrixD guarded_linear(const Linear& layer, const MatrixD& in, OpKind kind,
+                       std::size_t index, const GuardedExecutor& executor,
+                       LayerReport& report) {
+  GuardedOp op = executor.run(
+      kind, index, layer.forward_cost(in.rows()),
+      [&](std::size_t) { return layer.checked_forward(in); },
+      [&] { return layer.checked_forward(in); });
+  MatrixD out = std::move(op.output);
+  report.add(std::move(op));
+  return out;
 }
 
 }  // namespace flashabft

@@ -4,6 +4,7 @@
 // attention output projection and both feed-forward layers are Linear.
 #pragma once
 
+#include "core/guarded_op.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random.hpp"
 
@@ -22,6 +23,18 @@ class Linear {
   /// y = x W + b for a batch of rows (x: n x in_features).
   [[nodiscard]] MatrixD forward(const MatrixD& x) const;
 
+  /// The same forward under the classic ABFT product check (Huang & Abraham
+  /// 1984): predicted = dot(colsum(x), rowsum(W)) + n * sum(b), compared
+  /// against the element sum of the produced output — so both the product
+  /// and the bias add are covered. Executed through a GuardedExecutor this
+  /// is the `kProjection` / `kFfn` GuardedOp.
+  [[nodiscard]] CheckedOp checked_forward(const MatrixD& x) const;
+
+  /// MACs of one forward (the OpReport cost metric).
+  [[nodiscard]] double forward_cost(std::size_t rows) const {
+    return double(rows) * double(weight_.rows()) * double(weight_.cols());
+  }
+
   [[nodiscard]] std::size_t in_features() const { return weight_.rows(); }
   [[nodiscard]] std::size_t out_features() const { return weight_.cols(); }
 
@@ -34,5 +47,13 @@ class Linear {
   MatrixD weight_;            // in x out
   std::vector<double> bias_;  // out
 };
+
+/// Runs one Linear as a guarded op of `kind` — checked, retried on alarm,
+/// recomputed as its own fallback on escalation — appending the report(s)
+/// to `report` and returning the accepted output.
+[[nodiscard]] MatrixD guarded_linear(const Linear& layer, const MatrixD& in,
+                                     OpKind kind, std::size_t index,
+                                     const GuardedExecutor& executor,
+                                     LayerReport& report);
 
 }  // namespace flashabft

@@ -1,9 +1,12 @@
 #include "model/multi_head_attention.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "attention/flash_attention2.hpp"
 #include "attention/reference_attention.hpp"
+#include "core/flash_abft.hpp"
+#include "core/matmul_abft.hpp"
 
 namespace flashabft {
 
@@ -33,33 +36,60 @@ MatrixD head_slice(const MatrixD& m, std::size_t head, std::size_t d) {
   return s;
 }
 
+CheckedOp checked_flash_abft(const MatrixD& q, const MatrixD& k,
+                             const MatrixD& v, const AttentionConfig& cfg) {
+  CheckedAttention run = flash_abft_attention(q, k, v, cfg);
+  CheckedOp op;
+  op.output = std::move(run.output);
+  op.check = {run.predicted_checksum, run.actual_checksum};
+  return op;
+}
+
+double attention_cost(const MatrixD& q, const MatrixD& k) {
+  // MACs of QK^T + SV: two n_q x n_k x d products.
+  return 2.0 * double(q.rows()) * double(k.rows()) * double(q.cols());
+}
+
 }  // namespace
 
 MhaResult MultiHeadAttention::forward(const MatrixD& x,
                                       AttentionBackend backend,
-                                      const Checker& checker,
-                                      AttentionMask mask) const {
-  return forward_impl(x, x, backend, checker, mask);
+                                      const GuardedExecutor& executor,
+                                      AttentionMask mask,
+                                      std::size_t block) const {
+  return forward_impl(x, x, backend, executor, mask, block);
 }
 
 MhaResult MultiHeadAttention::forward_cross(const MatrixD& x_q,
                                             const MatrixD& memory,
                                             AttentionBackend backend,
-                                            const Checker& checker) const {
-  return forward_impl(x_q, memory, backend, checker, AttentionMask::kNone);
+                                            const GuardedExecutor& executor,
+                                            std::size_t block) const {
+  return forward_impl(x_q, memory, backend, executor, AttentionMask::kNone,
+                      block);
 }
 
 MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
                                            const MatrixD& x_kv,
                                            AttentionBackend backend,
-                                           const Checker& checker,
-                                           AttentionMask mask) const {
+                                           const GuardedExecutor& executor,
+                                           AttentionMask mask,
+                                           std::size_t block) const {
   FLASHABFT_ENSURE(x_q.cols() == model_dim_ && x_kv.cols() == model_dim_);
   const std::size_t n = x_q.rows();
+  const std::size_t projection_base = block * 4;
+  const std::size_t head_base = block * num_heads_;
 
-  const MatrixD q_all = wq_.forward(x_q);
-  const MatrixD k_all = wk_.forward(x_kv);
-  const MatrixD v_all = wv_.forward(x_kv);
+  MhaResult result;
+  const auto project = [&](const Linear& w, const MatrixD& in,
+                           std::size_t slot) {
+    return guarded_linear(w, in, OpKind::kProjection, projection_base + slot,
+                          executor, result.report);
+  };
+
+  const MatrixD q_all = project(wq_, x_q, 0);
+  const MatrixD k_all = project(wk_, x_kv, 1);
+  const MatrixD v_all = project(wv_, x_kv, 2);
 
   AttentionConfig cfg;
   cfg.seq_len = x_kv.rows();
@@ -67,12 +97,17 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
   cfg.scale = 1.0 / std::sqrt(double(head_dim_));
   cfg.mask = mask;
 
-  MhaResult result;
   MatrixD concat(n, num_heads_ * head_dim_);
   for (std::size_t h = 0; h < num_heads_; ++h) {
     const MatrixD q = head_slice(q_all, h, head_dim_);
     const MatrixD k = head_slice(k_all, h, head_dim_);
     const MatrixD v = head_slice(v_all, h, head_dim_);
+    const double cost = attention_cost(q, k);
+    // Escalated heads fall back to a fresh run of the software Alg. 3
+    // kernel — the reference engine, verified by its own fused checksum.
+    const auto reference_fallback = [&] {
+      return checked_flash_abft(q, k, v, cfg);
+    };
 
     MatrixD head_out;
     switch (backend) {
@@ -83,15 +118,29 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
         head_out = flash_attention2(q, k, v, cfg);
         break;
       case AttentionBackend::kFlashAbft: {
-        const CheckedAttention checked = flash_abft_attention(q, k, v, cfg);
-        head_out = checked.output;
-        HeadCheckReport report;
-        report.head = h;
-        report.predicted = checked.predicted_checksum;
-        report.actual = checked.actual_checksum;
-        report.verdict =
-            checker.compare(report.predicted, report.actual);
-        result.checks.push_back(report);
+        GuardedOp op = executor.run(
+            OpKind::kAttentionFlashAbft, head_base + h, cost,
+            [&](std::size_t) { return checked_flash_abft(q, k, v, cfg); },
+            reference_fallback);
+        head_out = std::move(op.output);
+        result.report.add(std::move(op));
+        break;
+      }
+      case AttentionBackend::kTwoStepAbft: {
+        GuardedOp op = executor.run(
+            OpKind::kAttentionTwoStepAbft, head_base + h, cost,
+            [&](std::size_t) {
+              TwoStepAbftAttention run = two_step_abft_attention(q, k, v, cfg);
+              CheckedOp checked;
+              checked.output = std::move(run.output);
+              checked.check = {run.qk_check.predicted, run.qk_check.actual};
+              checked.extra_checks.push_back(
+                  {run.sv_check.predicted, run.sv_check.actual});
+              return checked;
+            },
+            reference_fallback);
+        head_out = std::move(op.output);
+        result.report.add(std::move(op));
         break;
       }
     }
@@ -101,7 +150,8 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
       }
     }
   }
-  result.output = wo_.forward(concat);
+
+  result.output = project(wo_, concat, 3);
   return result;
 }
 

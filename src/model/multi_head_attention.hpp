@@ -1,18 +1,20 @@
-// Multi-head attention with optional Flash-ABFT protection per head.
+// Multi-head attention under the unified GuardedOp protection regime.
 //
 // Realizes the attention block of Fig. 1: the input embedding is projected
 // to Q/K/V, split into heads, each head runs (checked) attention, heads are
 // concatenated and projected back. Each head maps onto one accelerator /
-// one checked-kernel invocation, so protection (and fault alarms) are
-// per-head — exactly how a multi-head hardware deployment of the paper's
-// scheme composes.
+// one checked-kernel invocation, so attention protection (and fault alarms)
+// are per-head — exactly how a multi-head hardware deployment of the
+// paper's scheme composes. The Q/K/V/output projections, which the paper's
+// fused checksum does not cover, run under the classic matmul-ABFT product
+// check (`OpKind::kProjection`), so the whole block reports through one
+// `LayerReport` of `OpReport`s.
 #pragma once
 
 #include <vector>
 
 #include "attention/attention_config.hpp"
-#include "core/checker.hpp"
-#include "core/flash_abft.hpp"
+#include "core/guarded_op.hpp"
 #include "model/linear.hpp"
 #include "tensor/random.hpp"
 
@@ -22,28 +24,14 @@ namespace flashabft {
 enum class AttentionBackend {
   kReference,           ///< golden three-pass attention (no checking).
   kFlashAttention2,     ///< Alg. 2 kernel (no checking).
-  kFlashAbft,           ///< Alg. 3 kernel with online checksums.
-};
-
-/// Per-head checksum outcome of a protected forward pass.
-struct HeadCheckReport {
-  std::size_t head = 0;
-  double predicted = 0.0;
-  double actual = 0.0;
-  CheckVerdict verdict = CheckVerdict::kPass;
+  kFlashAbft,           ///< Alg. 3 kernel with the fused online checksum.
+  kTwoStepAbft,         ///< unfused baseline: two matmul-ABFT checks.
 };
 
 /// Result of one multi-head attention forward.
 struct MhaResult {
-  MatrixD output;                        ///< n x model_dim.
-  std::vector<HeadCheckReport> checks;   ///< one per head when protected.
-
-  [[nodiscard]] bool any_alarm() const {
-    for (const HeadCheckReport& r : checks) {
-      if (r.verdict == CheckVerdict::kAlarm) return true;
-    }
-    return false;
-  }
+  MatrixD output;      ///< n x model_dim.
+  LayerReport report;  ///< projection + per-head attention OpReports.
 };
 
 /// The multi-head attention block.
@@ -53,12 +41,16 @@ class MultiHeadAttention {
   MultiHeadAttention(std::size_t model_dim, std::size_t num_heads,
                      std::size_t head_dim, Rng& rng);
 
-  /// Self-attention forward over embeddings x (n x model_dim). When
-  /// `backend` is kFlashAbft, per-head checksum reports are produced and
-  /// compared with `checker`.
+  /// Self-attention forward over embeddings x (n x model_dim). Projections
+  /// always run under matmul-ABFT; heads are checked when `backend` carries
+  /// checksums (kFlashAbft / kTwoStepAbft). `block` offsets the OpReport
+  /// indices so a layer with several attention blocks (the decoder) keeps
+  /// them distinguishable: heads get index block*num_heads + h, projections
+  /// block*4 + {0:Q, 1:K, 2:V, 3:output}.
   [[nodiscard]] MhaResult forward(const MatrixD& x, AttentionBackend backend,
-                                  const Checker& checker,
-                                  AttentionMask mask = AttentionMask::kNone) const;
+                                  const GuardedExecutor& executor,
+                                  AttentionMask mask = AttentionMask::kNone,
+                                  std::size_t block = 0) const;
 
   /// Cross-attention: queries projected from `x_q` (n_q x model_dim), keys
   /// and values from `memory` (n_kv x model_dim) — the decoder's
@@ -67,7 +59,8 @@ class MultiHeadAttention {
   [[nodiscard]] MhaResult forward_cross(const MatrixD& x_q,
                                         const MatrixD& memory,
                                         AttentionBackend backend,
-                                        const Checker& checker) const;
+                                        const GuardedExecutor& executor,
+                                        std::size_t block = 0) const;
 
   [[nodiscard]] std::size_t num_heads() const { return num_heads_; }
   [[nodiscard]] std::size_t head_dim() const { return head_dim_; }
@@ -77,8 +70,9 @@ class MultiHeadAttention {
   [[nodiscard]] MhaResult forward_impl(const MatrixD& x_q,
                                        const MatrixD& x_kv,
                                        AttentionBackend backend,
-                                       const Checker& checker,
-                                       AttentionMask mask) const;
+                                       const GuardedExecutor& executor,
+                                       AttentionMask mask,
+                                       std::size_t block) const;
 
   std::size_t model_dim_;
   std::size_t num_heads_;

@@ -6,6 +6,7 @@
 #include "common/ensure.hpp"
 #include "fault/calibrate.hpp"
 #include "sim/multi_head.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "workload/promptbench.hpp"
 
 namespace flashabft::serve {
@@ -53,18 +54,83 @@ FaultPlan draw_fault_plan(const SiteMap& map, std::size_t total_cycles,
   return {fault};
 }
 
+LayerFault draw_layer_fault(const DecoderLayerConfig& layer,
+                            const RecoveryPolicy& recovery, double magnitude,
+                            bool persistent, Rng& rng) {
+  LayerFault fault;
+  // Target population mirrors the decoder's op census: 2H attention heads,
+  // 8 projections, 2 FFN products.
+  const std::size_t heads = 2 * layer.num_heads;
+  const std::size_t pick = rng.next_below(heads + 8 + 2);
+  if (pick < heads) {
+    fault.kind = OpKind::kAttentionFlashAbft;
+    fault.op_index = pick;
+  } else if (pick < heads + 8) {
+    fault.kind = OpKind::kProjection;
+    fault.op_index = pick - heads;
+  } else {
+    fault.kind = OpKind::kFfn;
+    fault.op_index = pick - heads - 8;
+  }
+  fault.faulty_attempts = persistent ? recovery.max_retries + 1 : 1;
+  fault.magnitude = magnitude;
+  return fault;
+}
+
+namespace {
+
+ServeRequest make_attention_request(const LoadDriverConfig& config,
+                                    const ModelPreset& preset,
+                                    const PromptCategory& category,
+                                    const Rng& base, std::size_t serial) {
+  ServeRequest request;
+  request.id = serial + 1;
+  request.category = category.name;
+  AttentionWork work;
+  work.heads.reserve(config.heads_per_request);
+  Rng head_rng = base.derive(serial + 1);
+  for (std::size_t h = 0; h < config.heads_per_request; ++h) {
+    work.heads.push_back(generate_category_inputs(
+        category, preset, head_rng.next_u64(), config.seq_len_cap));
+  }
+  request.work = std::move(work);
+  return request;
+}
+
+ServeRequest make_layer_request(const LoadDriverConfig& config,
+                                const DecoderLayerConfig& layer,
+                                const PromptCategory& category,
+                                const Rng& base, std::size_t serial) {
+  ServeRequest request;
+  request.id = serial + 1;
+  request.category = category.name;
+  LayerWork work;
+  Rng rng = base.derive(serial + 1);
+  work.x = MatrixD(config.seq_len_cap, layer.model_dim);
+  fill_gaussian(work.x, rng);
+  work.memory = MatrixD(config.memory_len, layer.model_dim);
+  fill_gaussian(work.memory, rng);
+  request.work = std::move(work);
+  return request;
+}
+
+}  // namespace
+
 LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
   FLASHABFT_ENSURE_MSG(config.total_requests > 0, "no requests to drive");
   FLASHABFT_ENSURE_MSG(config.concurrency > 0,
                        "concurrency must be positive");
   FLASHABFT_ENSURE_MSG(config.heads_per_request > 0,
                        "requests need at least one head");
+  const bool layer_mode = config.mode == RequestMode::kDecoderLayer;
   const ModelPreset& preset = preset_by_name(config.preset_name);
-  FLASHABFT_ENSURE_MSG(
-      preset.head_dim == server.config().accel.head_dim,
-      "preset head_dim " << preset.head_dim
-                         << " != server accelerator head_dim "
-                         << server.config().accel.head_dim);
+  if (!layer_mode) {
+    FLASHABFT_ENSURE_MSG(
+        preset.head_dim == server.config().accel.head_dim,
+        "preset head_dim " << preset.head_dim
+                           << " != server accelerator head_dim "
+                           << server.config().accel.head_dim);
+  }
 
   const std::vector<PromptCategory>& categories = prompt_suite();
   const Accelerator accel(server.config().accel);
@@ -91,27 +157,32 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
         inflight.size() < config.concurrency) {
       const PromptCategory& category =
           categories[submitted % categories.size()];
-      ServeRequest request;
-      request.id = submitted + 1;
-      request.category = category.name;
-      request.heads.reserve(config.heads_per_request);
-      Rng head_rng = base.derive(submitted + 1);
-      for (std::size_t h = 0; h < config.heads_per_request; ++h) {
-        request.heads.push_back(generate_category_inputs(
-            category, preset, head_rng.next_u64(), config.seq_len_cap));
-      }
+      ServeRequest request =
+          layer_mode ? make_layer_request(config, server.config().layer,
+                                          category, base, submitted)
+                     : make_attention_request(config, preset, category, base,
+                                              submitted);
       if (config.inject.fault_probability > 0.0 &&
           inject_rng.next_double() < config.inject.fault_probability) {
         const bool persistent =
             inject_rng.next_double() < config.inject.persistent_fraction;
-        // Heads of one request share a shape, so the layer-global window is
-        // heads * cycles_per_head — the same windows run_heads slices.
-        const std::size_t layer_cycles =
-            config.heads_per_request *
-            cycles_per_head(accel, request.heads.front());
-        request.faults =
-            draw_fault_plan(site_map, layer_cycles, persistent, inject_rng);
-        request.faults_persistent = persistent;
+        if (layer_mode) {
+          std::get<LayerWork>(request.work)
+              .faults.push_back(draw_layer_fault(
+                  server.config().layer, server.config().recovery,
+                  config.inject.layer_fault_magnitude, persistent,
+                  inject_rng));
+        } else {
+          AttentionWork& work = std::get<AttentionWork>(request.work);
+          // Heads of one request share a shape, so the layer-global window
+          // is heads * cycles_per_head — the windows run_heads slices.
+          const std::size_t layer_cycles =
+              config.heads_per_request *
+              cycles_per_head(accel, work.heads.front());
+          work.faults = draw_fault_plan(site_map, layer_cycles, persistent,
+                                        inject_rng);
+          work.faults_persistent = persistent;
+        }
         ++(persistent ? report.persistent_injected
                       : report.transient_injected);
       }

@@ -1,6 +1,7 @@
 // Closed-loop load driver: replays prompt_suite() traffic through an
-// InferenceServer, optionally injecting faults drawn from the accelerator's
-// SiteMap — the serving analogue of the fault campaigns in src/fault.
+// InferenceServer, optionally injecting faults — drawn from the
+// accelerator's SiteMap for attention-head requests, or emulated through
+// the GuardedExecutor tamper hook for decoder-layer requests.
 //
 // Closed loop: at most `concurrency` requests are in flight; completing one
 // admits the next. That makes offered load self-pacing (the paper's serving
@@ -18,37 +19,50 @@
 
 namespace flashabft::serve {
 
+/// What one request of the driven load carries.
+enum class RequestMode {
+  kAttentionHeads,  ///< AttentionWork through the cycle-level accelerator.
+  kDecoderLayer,    ///< LayerWork through the server's protected layer.
+};
+
 /// Per-request fault injection knobs.
 struct FaultInjectionConfig {
   /// Probability a request carries an injected fault.
   double fault_probability = 0.0;
-  /// Of injected faults, the fraction modeled persistent: a stuck-at bit
-  /// lasting the whole run, re-applied on retries (forces escalation).
+  /// Of injected faults, the fraction modeled persistent: re-applied on
+  /// every retry, forcing escalation to the reference fallback.
   double persistent_fraction = 0.25;
-  /// Where faults may land. Datapath-only by default so every alarm traces
-  /// to a real output corruption (no checker-state false alarms).
+  /// Attention mode: where accelerator faults may land. Datapath-only by
+  /// default so every alarm traces to a real output corruption.
   SiteMask sites = SiteMask::datapath_only();
+  /// Layer mode: emulated checksum shift applied to the targeted op.
+  double layer_fault_magnitude = 1e-3;
 };
 
 struct LoadDriverConfig {
   std::size_t total_requests = 100;
   std::size_t concurrency = 8;  ///< closed-loop in-flight window.
-  /// Workload shape: per-head inputs come from prompt_suite() categories
-  /// round-robin, generated for this preset.
+  RequestMode mode = RequestMode::kAttentionHeads;
+  /// Workload shape (attention mode): per-head inputs come from
+  /// prompt_suite() categories round-robin, generated for this preset.
+  /// Layer mode only borrows the category names as telemetry tags.
   std::string preset_name = "bert";
   std::size_t heads_per_request = 4;
-  /// Clamp on category sequence lengths (the cycle-level simulator pays
-  /// O(passes * seq_len) per head; full prompt lengths are bench-only).
+  /// Attention mode: clamp on category sequence lengths. Layer mode: the
+  /// decoder-side sequence length of each request.
   std::size_t seq_len_cap = 64;
+  /// Layer mode: encoder-memory length of each request.
+  std::size_t memory_len = 16;
   FaultInjectionConfig inject{};
   std::uint64_t seed = 7;
 };
 
-/// What one load run produced, alongside the server's telemetry snapshot.
+/// What one load run produced, alongside the server's telemetry snapshot
+/// (whose per_kind array carries the per-op-kind accounting).
 struct LoadReport {
   std::size_t completed = 0;
-  std::size_t transient_injected = 0;   ///< requests given a bit-flip plan.
-  std::size_t persistent_injected = 0;  ///< requests given a stuck-at plan.
+  std::size_t transient_injected = 0;   ///< requests given a transient fault.
+  std::size_t persistent_injected = 0;  ///< requests given a persistent one.
   std::size_t clean_responses = 0;      ///< checksum_clean == true.
   std::size_t guarded_clean = 0;
   std::size_t recovered = 0;
@@ -61,7 +75,7 @@ struct LoadReport {
 /// Builds a ServerConfig whose accelerator matches `preset` (1/sqrt(d)
 /// scaling, `lanes` lanes) with detection thresholds calibrated fault-free
 /// over the seq-len-capped prompt suite — ready to serve run_load traffic.
-/// Worker/batching/breaker knobs keep their defaults; adjust after.
+/// Worker/batching/breaker/layer knobs keep their defaults; adjust after.
 [[nodiscard]] ServerConfig make_calibrated_server_config(
     const ModelPreset& preset, std::size_t lanes, std::size_t seq_len_cap,
     std::uint64_t seed);
@@ -73,8 +87,17 @@ struct LoadReport {
                                         std::size_t total_cycles,
                                         bool persistent, Rng& rng);
 
-/// Runs the closed loop against `server` (which must be configured with an
-/// accelerator matching the preset's head_dim) and reports the outcome.
+/// Draws an emulated fault for a decoder-layer request: a uniformly chosen
+/// checkable op (attention head, projection, or FFN product) corrupted for
+/// one attempt (transient) or past the retry budget (persistent).
+[[nodiscard]] LayerFault draw_layer_fault(const DecoderLayerConfig& layer,
+                                          const RecoveryPolicy& recovery,
+                                          double magnitude, bool persistent,
+                                          Rng& rng);
+
+/// Runs the closed loop against `server` (whose accelerator — attention
+/// mode — or decoder layer — layer mode — must match the config's shapes)
+/// and reports the outcome.
 [[nodiscard]] LoadReport run_load(InferenceServer& server,
                                   const LoadDriverConfig& config);
 

@@ -1,19 +1,24 @@
 // Request/response types of the fault-tolerant serving engine.
 //
-// A request is one decoder layer's attention work: H per-head Q/K/V bundles
-// plus an optional fault plan (the upsets the cycle-level simulator applies
-// while executing it). The response carries the accepted outputs, how they
-// were produced — guarded accelerator path, head re-execution, or the
-// software reference fallback — and enough accounting for telemetry to
-// reconcile alarms, retries and escalations against the injected plan.
+// A request carries one of two payloads:
+//   * AttentionWork — H per-head Q/K/V bundles plus an optional fault plan
+//     (the upsets the cycle-level simulator applies while executing it), or
+//   * LayerWork — a full protected decoder-layer forward (embeddings +
+//     encoder memory), every checkable op of which (projections, per-head
+//     attention, FFN) runs through the worker's GuardedExecutor.
+// The response carries the accepted outputs, how they were produced, and
+// the unified per-op OpReport stream telemetry reconciles alarms, retries
+// and escalations against.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "attention/inputs.hpp"
+#include "core/guarded_op.hpp"
 #include "sim/fault_plan.hpp"
 #include "tensor/matrix.hpp"
 
@@ -21,24 +26,9 @@ namespace flashabft::serve {
 
 using Clock = std::chrono::steady_clock;
 
-/// How a request's accepted outputs were produced.
-enum class ServePath {
-  /// Accelerator path, no alarm on the first execution.
-  kGuardedClean,
-  /// Accelerator path; one or more heads alarmed and their re-execution
-  /// passed the check (transient upset recovered).
-  kGuardedRecovered,
-  /// Escalated (every retry alarmed) or circuit-breaker bypass: the
-  /// affected heads were served by the software Alg. 3 reference kernel.
-  kFallbackReference,
-};
-
-[[nodiscard]] const char* serve_path_name(ServePath path);
-
-/// One attention/decoder-layer inference request.
-struct ServeRequest {
-  std::uint64_t id = 0;
-  std::string category;  ///< workload category tag (telemetry only).
+/// Raw attention-head work: one decoder layer's attention executed on the
+/// worker's cycle-level accelerator.
+struct AttentionWork {
   /// The layer's heads, in head order; all heads share one shape.
   std::vector<AttentionInputs> heads;
   /// Faults applied to the first accelerator execution, with layer-global
@@ -48,7 +38,57 @@ struct ServeRequest {
   /// retry, so head re-execution cannot succeed and the request escalates
   /// to the reference fallback.
   bool faults_persistent = false;
-  /// Stamped by InferenceServer::submit; used for queue-latency telemetry.
+};
+
+/// Emulated fault for a decoder-layer request. The software layer path has
+/// no bit-level injector; instead the worker's GuardedExecutor tamper hook
+/// corrupts the targeted op's output (and its readout checksum) the way a
+/// datapath fault would, for the first `faulty_attempts` attempts — set it
+/// above RecoveryPolicy::max_retries to model a persistent defect that
+/// escalates to the reference fallback.
+struct LayerFault {
+  OpKind kind = OpKind::kAttentionFlashAbft;
+  std::size_t op_index = 0;        ///< OpReport index within the layer.
+  std::size_t faulty_attempts = 1; ///< corrupted attempts (1 = transient).
+  double magnitude = 1e-3;         ///< output/checksum shift.
+};
+
+/// A full protected decoder-layer forward.
+struct LayerWork {
+  MatrixD x;       ///< decoder-side embeddings, n x model_dim.
+  MatrixD memory;  ///< encoder output attended to, n_src x model_dim.
+  std::vector<LayerFault> faults;  ///< emulated faults (empty = clean).
+};
+
+/// How a request's accepted outputs were produced.
+enum class ServePath {
+  /// Guarded path, no alarm on the first execution of any op.
+  kGuardedClean,
+  /// Guarded path; one or more ops alarmed and their re-execution passed
+  /// the check (transient upset recovered).
+  kGuardedRecovered,
+  /// Escalated (every retry alarmed) or circuit-breaker bypass: the
+  /// affected ops were served by the software Alg. 3 reference kernel.
+  kFallbackReference,
+};
+
+[[nodiscard]] const char* serve_path_name(ServePath path);
+
+/// Typed admission outcome of try_submit.
+enum class SubmitResult {
+  kAccepted,
+  kQueueFull,  ///< shed: admission queue at capacity.
+  kShutDown,   ///< rejected: server no longer admits work.
+};
+
+[[nodiscard]] const char* submit_result_name(SubmitResult result);
+
+/// One inference request: attention-head work or a decoder-layer forward.
+struct ServeRequest {
+  std::uint64_t id = 0;
+  std::string category;  ///< workload category tag (telemetry only).
+  std::variant<AttentionWork, LayerWork> work = AttentionWork{};
+  /// Stamped at admission (submit/try_submit); queue-latency telemetry.
   Clock::time_point enqueue_time{};
 };
 
@@ -56,13 +96,18 @@ struct ServeRequest {
 struct ServeResponse {
   std::uint64_t id = 0;
   ServePath path = ServePath::kGuardedClean;
-  std::vector<MatrixD> outputs;  ///< per-head attention outputs, head order.
-  std::size_t head_executions = 0;  ///< accelerator head-runs incl. retries.
-  std::size_t alarm_events = 0;     ///< head-alarm observations, all attempts.
-  std::size_t fallback_heads = 0;   ///< heads served by the reference kernel.
-  /// True iff every accepted head output passed its checksum comparison
-  /// (accelerator heads: no alarm under the configured granularity;
-  /// fallback heads: the reference kernel's own residual check).
+  /// Attention work: per-head outputs, head order. Layer work: one matrix,
+  /// the layer output.
+  std::vector<MatrixD> outputs;
+  /// Unified per-op reports (guarded ops + any fallback ops) — the stream
+  /// telemetry's per-op-kind accounting consumes.
+  std::vector<OpReport> reports;
+  std::size_t op_executions = 0;  ///< guarded op-runs including retries.
+  std::size_t alarm_events = 0;   ///< op-alarm observations, all attempts.
+  std::size_t fallback_ops = 0;   ///< ops served by the reference kernel.
+  /// True iff every accepted op output passed its checksum comparison
+  /// (guarded ops: no alarm on the accepted run; fallback ops: the
+  /// reference kernel's own residual check).
   bool checksum_clean = false;
   std::size_t worker_id = 0;
   std::size_t batch_size = 0;  ///< size of the batch this request rode in.

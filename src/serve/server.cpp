@@ -30,6 +30,15 @@ const char* serve_path_name(ServePath path) {
   return "unknown";
 }
 
+const char* submit_result_name(SubmitResult result) {
+  switch (result) {
+    case SubmitResult::kAccepted: return "accepted";
+    case SubmitResult::kQueueFull: return "queue_full";
+    case SubmitResult::kShutDown: return "shut_down";
+  }
+  return "unknown";
+}
+
 InferenceServer::InferenceServer(ServerConfig config)
     : config_(config), queue_(config.queue_capacity) {
   FLASHABFT_ENSURE_MSG(config_.num_workers > 0,
@@ -58,16 +67,48 @@ void InferenceServer::shutdown() {
   }
 }
 
-std::future<ServeResponse> InferenceServer::submit(ServeRequest request) {
-  FLASHABFT_ENSURE_MSG(!shut_down_.load(std::memory_order_acquire),
-                       "submit after shutdown");
-  FLASHABFT_ENSURE_MSG(!request.heads.empty(), "request has no heads");
+const DecoderLayer& InferenceServer::layer() const {
+  std::call_once(layer_once_, [this] {
+    Rng rng(config_.layer_seed);
+    layer_ = std::make_unique<DecoderLayer>(config_.layer, rng);
+  });
+  return *layer_;
+}
+
+InferenceServer::Pending InferenceServer::make_pending(ServeRequest request) {
+  // Invalid payloads are a caller bug on both submit paths (the rejected
+  // counter is reserved for genuine load shedding).
+  if (const auto* attention = std::get_if<AttentionWork>(&request.work)) {
+    FLASHABFT_ENSURE_MSG(!attention->heads.empty(), "request has no heads");
+  } else {
+    const auto& layer_work = std::get<LayerWork>(request.work);
+    FLASHABFT_ENSURE_MSG(
+        layer_work.x.rows() > 0 &&
+            layer_work.x.cols() == config_.layer.model_dim,
+        "layer request x is " << layer_work.x.rows() << " x "
+                              << layer_work.x.cols() << ", layer model_dim "
+                              << config_.layer.model_dim);
+    FLASHABFT_ENSURE_MSG(
+        layer_work.memory.rows() > 0 &&
+            layer_work.memory.cols() == config_.layer.model_dim,
+        "layer request memory is " << layer_work.memory.rows() << " x "
+                                   << layer_work.memory.cols()
+                                   << ", layer model_dim "
+                                   << config_.layer.model_dim);
+  }
   if (request.id == 0) {
     request.id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
   }
   request.enqueue_time = Clock::now();
   Pending pending;
   pending.request = std::move(request);
+  return pending;
+}
+
+std::future<ServeResponse> InferenceServer::submit(ServeRequest request) {
+  FLASHABFT_ENSURE_MSG(!shut_down_.load(std::memory_order_acquire),
+                       "submit after shutdown");
+  Pending pending = make_pending(std::move(request));
   std::future<ServeResponse> future = pending.promise.get_future();
   // Counted before the push: once queued, a worker can complete the request
   // (and bump `completed`) before this thread resumes, and a concurrent
@@ -81,29 +122,24 @@ std::future<ServeResponse> InferenceServer::submit(ServeRequest request) {
   return future;
 }
 
-bool InferenceServer::try_submit(ServeRequest request,
-                                 std::future<ServeResponse>& out) {
-  // Invalid requests are a caller bug (same contract as submit()); the
-  // rejected counter is reserved for genuine load shedding.
-  FLASHABFT_ENSURE_MSG(!request.heads.empty(), "request has no heads");
+SubmitResult InferenceServer::try_submit(ServeRequest request,
+                                         std::future<ServeResponse>& out) {
   if (shut_down_.load(std::memory_order_acquire)) {
     telemetry_.on_reject();
-    return false;
+    return SubmitResult::kShutDown;
   }
-  if (request.id == 0) {
-    request.id = next_auto_id_.fetch_add(1, std::memory_order_relaxed);
-  }
-  request.enqueue_time = Clock::now();
-  Pending pending;
-  pending.request = std::move(request);
+  Pending pending = make_pending(std::move(request));
   std::future<ServeResponse> future = pending.promise.get_future();
   telemetry_.on_submit();  // before the push — see submit().
   if (!queue_.try_push(std::move(pending))) {
     telemetry_.on_reject();
-    return false;
+    // try_push fails for a full queue or a closed one; a close racing this
+    // call must surface as the typed shutdown reason, not as load shedding.
+    return queue_.closed() ? SubmitResult::kShutDown
+                           : SubmitResult::kQueueFull;
   }
   out = std::move(future);
-  return true;
+  return SubmitResult::kAccepted;
 }
 
 void InferenceServer::set_worker_defect(std::size_t worker_id,
@@ -148,6 +184,15 @@ void InferenceServer::worker_loop(Worker& worker) {
   }
 }
 
+GuardedExecutor InferenceServer::make_executor() const {
+  GuardedExecutor::Options options;
+  options.checker = config_.software_checker;
+  options.recovery = config_.recovery;
+  options.screen_extremes = config_.screen_extremes;
+  options.screen = config_.screen;
+  return GuardedExecutor(options);
+}
+
 ServeResponse InferenceServer::execute(Worker& worker, ServeRequest& request,
                                        std::size_t batch_size) {
   const Clock::time_point start = Clock::now();
@@ -159,6 +204,21 @@ ServeResponse InferenceServer::execute(Worker& worker, ServeRequest& request,
     response.queue_us = to_us(start - request.enqueue_time);
   }
 
+  if (const auto* attention = std::get_if<AttentionWork>(&request.work)) {
+    execute_attention(worker, *attention, response);
+  } else {
+    execute_layer(std::get<LayerWork>(request.work), response);
+  }
+
+  const Clock::time_point end = Clock::now();
+  response.service_us = to_us(end - start);
+  response.total_us = response.queue_us + response.service_us;
+  return response;
+}
+
+void InferenceServer::execute_attention(Worker& worker,
+                                        const AttentionWork& work,
+                                        ServeResponse& response) {
   FaultPlan defect;
   {
     std::lock_guard lock(worker.defect_mutex);
@@ -171,97 +231,149 @@ ServeResponse InferenceServer::execute(Worker& worker, ServeRequest& request,
   }
 
   const CompareGranularity granularity = config_.accel.compare_granularity;
-  const Checker fallback_checker(config_.fallback_checker);
-  const auto serve_reference = [&](const AttentionInputs& head,
-                                   bool& clean) -> MatrixD {
+  const GuardedExecutor executor = make_executor();
+  const std::size_t head_count = work.heads.size();
+  const double cost_per_head =
+      2.0 * double(work.heads.front().num_queries()) *
+      double(work.heads.front().seq_len()) *
+      double(work.heads.front().head_dim());
+
+  // Escalated or bypassed heads are served by the software Alg. 3 kernel,
+  // verified by its own fused checksum.
+  const auto reference_one = [&](std::size_t h) {
+    const AttentionInputs& head = work.heads[h];
     AttentionConfig cfg;
     cfg.seq_len = head.seq_len();
     cfg.head_dim = head.head_dim();
     cfg.scale = config_.accel.scale;
     cfg.mask = config_.accel.mask;
     CheckedAttention fb = flash_abft_attention(head.q, head.k, head.v, cfg);
-    clean = clean && fallback_checker.compare(fb.predicted_checksum,
-                                              fb.actual_checksum) ==
-                         CheckVerdict::kPass;
-    ++response.fallback_heads;
-    return std::move(fb.output);
+    CheckedOp op;
+    op.output = std::move(fb.output);
+    op.check = {fb.predicted_checksum, fb.actual_checksum};
+    return op;
   };
-
-  bool clean = true;
-  response.outputs.reserve(request.heads.size());
 
   if (bypass) {
     // Breaker open: this worker's accelerator is a persistent-defect
     // suspect; serve the whole layer from the reference kernel.
     telemetry_.on_breaker_bypass();
+    WorklistResult served =
+        executor.run_all_fallback(head_count, cost_per_head, reference_one);
     response.path = ServePath::kFallbackReference;
-    for (const AttentionInputs& head : request.heads) {
-      response.outputs.push_back(serve_reference(head, clean));
-    }
-  } else {
-    FaultPlan first_plan = request.faults;
-    append_plan(first_plan, defect);
-    MultiHeadRunResult run =
-        run_heads(worker.accel, request.heads, first_plan);
-    response.head_executions += request.heads.size();
-    std::vector<std::size_t> alarming = run.alarming_heads(granularity);
-    response.alarm_events += alarming.size();
-
-    std::size_t retries = 0;
-    while (!alarming.empty() && retries < config_.recovery.max_retries) {
-      ++retries;
-      // A transient upset does not repeat; a persistent plan (and any
-      // standing worker defect) is applied to the retry as well.
-      FaultPlan retry_plan =
-          request.faults_persistent ? request.faults : FaultPlan{};
-      append_plan(retry_plan, defect);
-      run = rerun_alarming_heads(worker.accel, request.heads, run,
-                                 granularity, retry_plan);
-      response.head_executions += alarming.size();
-      alarming = run.alarming_heads(granularity);
-      response.alarm_events += alarming.size();
-    }
-
-    if (alarming.empty()) {
-      response.path = retries == 0 ? ServePath::kGuardedClean
-                                   : ServePath::kGuardedRecovered;
-      for (AccelRunResult& head : run.heads) {
-        response.outputs.push_back(std::move(head.output));
-      }
-      {
-        std::lock_guard lock(worker.breaker_mutex);
-        worker.breaker.record_success();
-      }
-    } else {
-      // Retries exhausted: persistent-fault suspect. Clean heads are
-      // accepted; the still-alarming ones fall back to the reference
-      // kernel, which carries its own checksum.
-      response.path = ServePath::kFallbackReference;
-      telemetry_.on_escalation();
-      bool tripped;
-      {
-        std::lock_guard lock(worker.breaker_mutex);
-        tripped = worker.breaker.record_escalation();
-      }
-      if (tripped) telemetry_.on_breaker_trip();
-      std::size_t next_alarm = 0;  // alarming_heads() is ascending.
-      for (std::size_t h = 0; h < request.heads.size(); ++h) {
-        if (next_alarm < alarming.size() && alarming[next_alarm] == h) {
-          ++next_alarm;
-          response.outputs.push_back(
-              serve_reference(request.heads[h], clean));
-        } else {
-          response.outputs.push_back(std::move(run.heads[h].output));
-        }
-      }
-    }
+    response.outputs = std::move(served.outputs);
+    response.reports = std::move(served.reports);
+    response.fallback_ops = served.fallback_ops;
+    response.checksum_clean = served.all_clean;
+    return;
   }
 
-  response.checksum_clean = clean;
-  const Clock::time_point end = Clock::now();
-  response.service_us = to_us(end - start);
-  response.total_us = response.queue_us + response.service_us;
-  return response;
+  FaultPlan first_plan = work.faults;
+  append_plan(first_plan, defect);
+  // A transient upset does not repeat; a persistent plan (and any standing
+  // worker defect) is applied to every retry as well.
+  FaultPlan retry_plan = work.faults_persistent ? work.faults : FaultPlan{};
+  append_plan(retry_plan, defect);
+
+  MultiHeadRunResult run;
+  const auto run_round = [&](std::size_t attempt,
+                             const std::vector<std::size_t>& indices) {
+    run = attempt == 0
+              ? run_heads(worker.accel, work.heads, first_plan)
+              : rerun_alarming_heads(worker.accel, work.heads, run,
+                                     granularity, retry_plan);
+    std::vector<CheckedOp> ops;
+    ops.reserve(indices.size());
+    for (const std::size_t h : indices) {
+      AccelRunResult& head = run.heads[h];
+      CheckedOp op;
+      // Moved, not copied: rerun_alarming_heads only reads the previous
+      // round's alarm flags (and re-runs produce fresh outputs), so `run`
+      // never needs a head output after it is handed to the executor.
+      op.output = std::move(head.output);
+      op.check = {head.global_pred, head.global_actual};
+      // The accelerator's in-hardware checker (calibrated thresholds,
+      // configured granularity) is the verdict source.
+      op.self_verdict = head.alarm(granularity) ? CheckVerdict::kAlarm
+                                                : CheckVerdict::kPass;
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  };
+
+  WorklistResult served = executor.run_worklist(
+      OpKind::kAttentionFlashAbft, head_count, cost_per_head, run_round,
+      reference_one);
+
+  if (served.escalated) {
+    // Retries exhausted on this device: persistent-fault suspect.
+    telemetry_.on_escalation();
+    bool tripped;
+    {
+      std::lock_guard lock(worker.breaker_mutex);
+      tripped = worker.breaker.record_escalation();
+    }
+    if (tripped) telemetry_.on_breaker_trip();
+    response.path = ServePath::kFallbackReference;
+  } else {
+    {
+      std::lock_guard lock(worker.breaker_mutex);
+      worker.breaker.record_success();
+    }
+    response.path = served.recovered_ops > 0 ? ServePath::kGuardedRecovered
+                                             : ServePath::kGuardedClean;
+  }
+  response.outputs = std::move(served.outputs);
+  response.reports = std::move(served.reports);
+  response.op_executions = served.executions;
+  response.alarm_events = served.alarm_events;
+  response.fallback_ops = served.fallback_ops;
+  response.checksum_clean = served.all_clean;
+}
+
+void InferenceServer::execute_layer(const LayerWork& work,
+                                    ServeResponse& response) {
+  GuardedExecutor executor = make_executor();
+  if (!work.faults.empty()) {
+    executor.set_tamper([&work](OpKind kind, std::size_t index,
+                                std::size_t attempt, CheckedOp& op) {
+      for (const LayerFault& fault : work.faults) {
+        if (fault.kind != kind || fault.op_index != index ||
+            attempt >= fault.faulty_attempts) {
+          continue;
+        }
+        // A datapath upset: one output element corrupted, with the readout
+        // checksum recomputed from the corrupted output.
+        op.output(0, 0) += fault.magnitude;
+        op.check.actual += fault.magnitude;
+        op.self_verdict.reset();
+      }
+    });
+  }
+
+  DecoderLayerResult out =
+      layer().forward(work.x, work.memory, AttentionBackend::kFlashAbft,
+                      executor);
+  response.outputs.push_back(std::move(out.output));
+  response.op_executions = out.report.executions();
+  response.alarm_events = out.report.alarm_events();
+  response.fallback_ops = out.report.count(OpKind::kReferenceFallback);
+  response.checksum_clean = out.report.all_accepted_clean();
+  bool recovered = false;
+  bool escalated = false;
+  for (const OpReport& r : out.report.ops) {
+    recovered = recovered || r.recovery == RecoveryStatus::kRecovered;
+    escalated = escalated || (r.recovery == RecoveryStatus::kEscalated &&
+                              r.kind != OpKind::kReferenceFallback);
+  }
+  // Same per-request semantics as the attention path's worklist: a layer
+  // with any retries-exhausted op counts one escalation (the breaker is
+  // not fed — the software path never touched this worker's device).
+  if (escalated) telemetry_.on_escalation();
+  response.path = response.fallback_ops > 0 ? ServePath::kFallbackReference
+                  : recovered               ? ServePath::kGuardedRecovered
+                                            : ServePath::kGuardedClean;
+  response.reports = std::move(out.report.ops);
 }
 
 }  // namespace flashabft::serve

@@ -3,33 +3,37 @@
 // Topology: producers -> bounded MPMC queue -> batch former -> worker pool.
 // Each worker owns one accelerator instance (its "device"), a circuit
 // breaker, and an optional standing defect plan (the test/bench model of a
-// physically faulty unit). Per request the worker executes the guarded
-// path:
+// physically faulty unit). Every request executes under the unified
+// GuardedOp regime (core/guarded_op.hpp):
 //
-//   1. run_heads through the accelerator with the request's fault plan
-//      (+ the worker defect),
-//   2. on alarm, re-execute the alarming heads (rerun_alarming_heads) up to
-//      RecoveryPolicy::max_retries times — transient upsets recover here,
-//   3. if retries are exhausted, escalate: the still-alarming heads are
-//      served by the software Alg. 3 reference kernel (flash_abft), whose
-//      own checksum verifies the fallback outputs,
-//   4. escalations feed the worker's circuit breaker; once tripped, the
-//      worker bypasses its accelerator entirely (with periodic half-open
-//      probes) until a probe comes back clean.
+//   * AttentionWork runs through the accelerator as a GuardedExecutor
+//     work-list — run all heads, re-execute the alarming subset up to
+//     RecoveryPolicy::max_retries times, serve survivors from the software
+//     Alg. 3 reference kernel (whose own checksum verifies the fallback).
+//     Escalations feed the worker's circuit breaker; once tripped, the
+//     worker bypasses its accelerator entirely (with periodic half-open
+//     probes) until a probe comes back clean.
+//   * LayerWork runs the server's decoder layer forward, every checkable
+//     op (Q/K/V/output projections, per-head attention, FFN products)
+//     guarded individually; escalated ops fall back to a clean reference
+//     execution. The software path does not touch the worker's device, so
+//     layer escalations bypass the breaker.
 //
-// Every accepted output is checksum-verified on whichever path produced it,
-// so a completed request is checksum-clean by construction unless the
+// Every accepted output is checksum-verified on whichever path produced
+// it, so a completed request is checksum-clean by construction unless a
 // fallback itself failed verification (checksum_dirty counts those).
 #pragma once
 
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/checker.hpp"
-#include "core/recovery.hpp"
+#include "core/guarded_op.hpp"
+#include "model/decoder_layer.hpp"
 #include "serve/batch_former.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/request.hpp"
@@ -48,9 +52,20 @@ struct ServerConfig {
   /// thresholds (fault/calibrate.hpp) for the workload being served.
   AccelConfig accel{};
   RecoveryPolicy recovery{};
-  /// Residual tolerance for verifying reference-fallback outputs.
-  CheckerConfig fallback_checker{};
+  /// Software-path comparator: verifies reference-fallback outputs and
+  /// every op of a decoder-layer request.
+  CheckerConfig software_checker{};
+  /// Optional NaN/Inf screen over every guarded output (closes the
+  /// comparator's Silent-NaN blind spot for served traffic). Off by
+  /// default to preserve the paper's comparator semantics.
+  bool screen_extremes = false;
+  ExtremeValueConfig screen{};
   CircuitBreakerConfig breaker{};
+  /// Shape of the decoder layer serving LayerWork requests; its weights
+  /// are seeded once per server (constructed lazily on first layer
+  /// request) and shared by all workers.
+  DecoderLayerConfig layer{};
+  std::uint64_t layer_seed = 2027;
 };
 
 class InferenceServer {
@@ -65,10 +80,11 @@ class InferenceServer {
   /// Throws EnsureError if the server has been shut down.
   [[nodiscard]] std::future<ServeResponse> submit(ServeRequest request);
 
-  /// Load-shedding submit: returns false (and counts a rejection) instead
-  /// of blocking when the queue is full or the server is shut down.
-  [[nodiscard]] bool try_submit(ServeRequest request,
-                                std::future<ServeResponse>& out);
+  /// Load-shedding submit: never blocks; on kAccepted `out` holds the
+  /// response future, otherwise the typed reject reason (queue full vs
+  /// shut down) is returned and a rejection is counted.
+  [[nodiscard]] SubmitResult try_submit(ServeRequest request,
+                                        std::future<ServeResponse>& out);
 
   /// Closes admission, drains in-flight requests, joins workers.
   /// Idempotent; also called by the destructor.
@@ -77,6 +93,10 @@ class InferenceServer {
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] const ServeTelemetry& telemetry() const { return telemetry_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// The decoder layer LayerWork requests run through (lazily constructed;
+  /// also the reference for golden-output tests).
+  [[nodiscard]] const DecoderLayer& layer() const;
 
   /// Installs a standing fault plan on worker `worker_id`: it is applied
   /// (on top of each request's own plan) to every accelerator execution
@@ -107,9 +127,19 @@ class InferenceServer {
         : id(id_), accel(accel_cfg), breaker(breaker_cfg) {}
   };
 
+  /// Validates payload shape at admission; assigns an id and stamps
+  /// enqueue_time — shared by both submit paths so they behave identically.
+  [[nodiscard]] Pending make_pending(ServeRequest request);
+
+  /// The software-path executor (fallback verification, layer ops).
+  [[nodiscard]] GuardedExecutor make_executor() const;
+
   void worker_loop(Worker& worker);
   [[nodiscard]] ServeResponse execute(Worker& worker, ServeRequest& request,
                                       std::size_t batch_size);
+  void execute_attention(Worker& worker, const AttentionWork& work,
+                         ServeResponse& response);
+  void execute_layer(const LayerWork& work, ServeResponse& response);
 
   ServerConfig config_;
   BoundedMpmcQueue<Pending> queue_;
@@ -117,6 +147,8 @@ class InferenceServer {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> next_auto_id_{1};
   std::atomic<bool> shut_down_{false};
+  mutable std::once_flag layer_once_;
+  mutable std::unique_ptr<DecoderLayer> layer_;
 };
 
 }  // namespace flashabft::serve

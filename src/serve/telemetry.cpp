@@ -42,12 +42,27 @@ void ServeTelemetry::on_response(const ServeResponse& response) {
       break;
   }
   alarm_events_.fetch_add(response.alarm_events, std::memory_order_relaxed);
-  head_executions_.fetch_add(response.head_executions,
-                             std::memory_order_relaxed);
-  fallback_heads_.fetch_add(response.fallback_heads,
-                            std::memory_order_relaxed);
+  op_executions_.fetch_add(response.op_executions,
+                           std::memory_order_relaxed);
+  fallback_ops_.fetch_add(response.fallback_ops, std::memory_order_relaxed);
   (response.checksum_clean ? checksum_clean_ : checksum_dirty_)
       .fetch_add(1, std::memory_order_relaxed);
+
+  // Per-op-kind accounting from the unified report stream. Escalations are
+  // attributed to the escalating op's kind; the fallback op that replaced
+  // it reports separately under kReferenceFallback.
+  for (const OpReport& report : response.reports) {
+    const std::size_t kind = std::size_t(report.kind);
+    kind_checks_[kind].fetch_add(1, std::memory_order_relaxed);
+    kind_alarms_[kind].fetch_add(report.alarms, std::memory_order_relaxed);
+    if (report.recovery == RecoveryStatus::kRecovered) {
+      kind_recovered_[kind].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (report.recovery == RecoveryStatus::kEscalated &&
+        report.kind != OpKind::kReferenceFallback) {
+      kind_escalated_[kind].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   std::lock_guard lock(latency_mutex_);
   queue_us_.record(response.queue_us, reservoir_rng_);
@@ -68,10 +83,18 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
   s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
   s.breaker_bypasses = breaker_bypasses_.load(std::memory_order_relaxed);
   s.alarm_events = alarm_events_.load(std::memory_order_relaxed);
-  s.head_executions = head_executions_.load(std::memory_order_relaxed);
-  s.fallback_heads = fallback_heads_.load(std::memory_order_relaxed);
+  s.op_executions = op_executions_.load(std::memory_order_relaxed);
+  s.fallback_ops = fallback_ops_.load(std::memory_order_relaxed);
   s.checksum_clean = checksum_clean_.load(std::memory_order_relaxed);
   s.checksum_dirty = checksum_dirty_.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    s.per_kind[k].checks = kind_checks_[k].load(std::memory_order_relaxed);
+    s.per_kind[k].alarms = kind_alarms_[k].load(std::memory_order_relaxed);
+    s.per_kind[k].recovered =
+        kind_recovered_[k].load(std::memory_order_relaxed);
+    s.per_kind[k].escalated =
+        kind_escalated_[k].load(std::memory_order_relaxed);
+  }
 
   std::vector<double> queue_us, service_us, total_us;
   {
@@ -116,10 +139,20 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
   row("breaker trips", double(breaker_trips), 0);
   row("breaker bypasses", double(breaker_bypasses), 0);
   row("alarm events", double(alarm_events), 0);
-  row("head executions", double(head_executions), 0);
-  row("fallback heads", double(fallback_heads), 0);
+  row("op executions", double(op_executions), 0);
+  row("fallback ops", double(fallback_ops), 0);
   row("checksum clean", double(checksum_clean), 0);
   row("checksum dirty", double(checksum_dirty), 0);
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const OpKindStats& stats = per_kind[k];
+    if (stats.checks == 0) continue;
+    const std::string value =
+        format_number(double(stats.checks), 0) + " checks, " +
+        format_number(double(stats.alarms), 0) + " alarms, " +
+        format_number(double(stats.recovered), 0) + " recovered, " +
+        format_number(double(stats.escalated), 0) + " escalated";
+    t.add_row({std::string("op[") + op_kind_name(OpKind(k)) + "]", value});
+  }
   row("queue p50 (us)", queue_p50_us);
   row("queue p99 (us)", queue_p99_us);
   row("service p50 (us)", service_p50_us);

@@ -8,6 +8,7 @@
 // or a standing worker defect — the invariants the acceptance tests assert.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/guarded_op.hpp"
 #include "serve/request.hpp"
 #include "tensor/random.hpp"
 
@@ -47,6 +49,14 @@ class LatencyReservoir {
   std::uint64_t seen_ = 0;
 };
 
+/// Per-OpKind accounting derived from the unified OpReport stream.
+struct OpKindStats {
+  std::uint64_t checks = 0;     ///< guarded/fallback ops reported.
+  std::uint64_t alarms = 0;     ///< attempt-level alarm observations.
+  std::uint64_t recovered = 0;  ///< ops whose retry passed the check.
+  std::uint64_t escalated = 0;  ///< ops that exhausted their retries.
+};
+
 /// A consistent copy of all telemetry at one instant.
 struct TelemetrySnapshot {
   // Request lifecycle. `submitted` counts admission *attempts* (stamped
@@ -67,11 +77,15 @@ struct TelemetrySnapshot {
   std::uint64_t breaker_bypasses = 0; ///< requests routed straight to fallback.
 
   // Fault accounting.
-  std::uint64_t alarm_events = 0;     ///< head-alarm observations.
-  std::uint64_t head_executions = 0;  ///< accelerator head-runs incl. retries.
-  std::uint64_t fallback_heads = 0;
+  std::uint64_t alarm_events = 0;   ///< op-alarm observations.
+  std::uint64_t op_executions = 0;  ///< guarded op-runs incl. retries.
+  std::uint64_t fallback_ops = 0;   ///< ops served by the reference kernel.
   std::uint64_t checksum_clean = 0;
   std::uint64_t checksum_dirty = 0;
+
+  /// Per-op-kind view of the same stream (attention vs projection vs FFN
+  /// vs reference fallback), indexed by std::size_t(OpKind).
+  std::array<OpKindStats, kOpKindCount> per_kind{};
 
   // Latency percentiles, microseconds.
   double queue_p50_us = 0, queue_p99_us = 0;
@@ -121,10 +135,14 @@ class ServeTelemetry {
   std::atomic<std::uint64_t> breaker_trips_{0};
   std::atomic<std::uint64_t> breaker_bypasses_{0};
   std::atomic<std::uint64_t> alarm_events_{0};
-  std::atomic<std::uint64_t> head_executions_{0};
-  std::atomic<std::uint64_t> fallback_heads_{0};
+  std::atomic<std::uint64_t> op_executions_{0};
+  std::atomic<std::uint64_t> fallback_ops_{0};
   std::atomic<std::uint64_t> checksum_clean_{0};
   std::atomic<std::uint64_t> checksum_dirty_{0};
+  std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_checks_{};
+  std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_alarms_{};
+  std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_recovered_{};
+  std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_escalated_{};
 
   mutable std::mutex latency_mutex_;
   Rng reservoir_rng_{0x5E12E};  ///< guarded by latency_mutex_.

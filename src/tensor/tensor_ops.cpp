@@ -65,6 +65,17 @@ MatrixD row_softmax(const MatrixD& scores) {
   return out;
 }
 
+MatrixD element_add(const MatrixD& a, const MatrixD& b) {
+  FLASHABFT_ENSURE(a.rows() == b.rows() && a.cols() == b.cols());
+  MatrixD out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(i, j) = a(i, j) + b(i, j);
+    }
+  }
+  return out;
+}
+
 double element_sum(const MatrixD& a) {
   double acc = 0.0;
   for (const double v : a.flat()) acc += v;

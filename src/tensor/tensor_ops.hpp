@@ -24,6 +24,9 @@ namespace flashabft {
 /// Numerically-stable row-wise softmax (max subtraction, as paper Alg. 1).
 [[nodiscard]] MatrixD row_softmax(const MatrixD& scores);
 
+/// C = A + B element-wise. Requires matching shapes. (Residual adds.)
+[[nodiscard]] MatrixD element_add(const MatrixD& a, const MatrixD& b);
+
 /// Sum of every element (sequential order).
 [[nodiscard]] double element_sum(const MatrixD& a);
 

@@ -22,14 +22,14 @@ TEST(CrossAttention, MatchesReferencePerHead) {
   MatrixD x_q(6, 32), memory(20, 32);
   fill_gaussian(x_q, rng);
   fill_gaussian(memory, rng);
-  const Checker checker(CheckerConfig{1e-6});
+  const GuardedExecutor exec(CheckerConfig{1e-6}, RecoveryPolicy{});
   const MhaResult ref =
-      mha.forward_cross(x_q, memory, AttentionBackend::kReference, checker);
+      mha.forward_cross(x_q, memory, AttentionBackend::kReference, exec);
   const MhaResult abft =
-      mha.forward_cross(x_q, memory, AttentionBackend::kFlashAbft, checker);
+      mha.forward_cross(x_q, memory, AttentionBackend::kFlashAbft, exec);
   EXPECT_LT(max_abs_diff(ref.output, abft.output), 1e-9);
-  ASSERT_EQ(abft.checks.size(), 2u);
-  for (const HeadCheckReport& r : abft.checks) {
+  EXPECT_EQ(abft.report.count(OpKind::kAttentionFlashAbft), 2u);
+  for (const OpReport& r : abft.report.ops) {
     EXPECT_EQ(r.verdict, CheckVerdict::kPass);
   }
 }
@@ -40,10 +40,10 @@ TEST(CrossAttention, OutputShapeFollowsQueries) {
   MatrixD x_q(3, 16), memory(40, 16);
   fill_gaussian(x_q, rng);
   fill_gaussian(memory, rng);
-  const Checker checker(CheckerConfig{1e-6});
+  const GuardedExecutor exec(CheckerConfig{1e-6}, RecoveryPolicy{});
   const MhaResult out =
       mha.forward_cross(x_q, memory, AttentionBackend::kFlashAttention2,
-                        checker);
+                        exec);
   EXPECT_EQ(out.output.rows(), 3u);
   EXPECT_EQ(out.output.cols(), 16u);
 }
@@ -59,14 +59,17 @@ TEST(DecoderLayerTest, ForwardShapesAndProtection) {
   MatrixD x(10, 48), memory(14, 48);
   fill_gaussian(x, rng);
   fill_gaussian(memory, rng);
-  const Checker checker(CheckerConfig{1e-6});
+  const GuardedExecutor exec(CheckerConfig{1e-6}, RecoveryPolicy{});
   const DecoderLayerResult out =
-      layer.forward(x, memory, AttentionBackend::kFlashAbft, checker);
+      layer.forward(x, memory, AttentionBackend::kFlashAbft, exec);
   EXPECT_EQ(out.output.rows(), 10u);
   EXPECT_EQ(out.output.cols(), 48u);
-  EXPECT_EQ(out.self_checks.size(), 3u);
-  EXPECT_EQ(out.cross_checks.size(), 3u);
-  EXPECT_FALSE(out.any_alarm());
+  // Self heads 0..2, cross heads 3..5; 8 projections; 2 FFN products.
+  EXPECT_EQ(out.report.count(OpKind::kAttentionFlashAbft), 6u);
+  EXPECT_EQ(out.report.count(OpKind::kProjection), 8u);
+  EXPECT_EQ(out.report.count(OpKind::kFfn), 2u);
+  EXPECT_FALSE(out.report.any_alarm());
+  EXPECT_TRUE(out.report.all_accepted_clean());
   for (const double v : out.output.flat()) EXPECT_TRUE(std::isfinite(v));
 }
 
@@ -81,11 +84,11 @@ TEST(DecoderLayerTest, BackendsAgree) {
   MatrixD x(8, 32), memory(12, 32);
   fill_gaussian(x, rng);
   fill_gaussian(memory, rng);
-  const Checker checker(CheckerConfig{1e-6});
+  const GuardedExecutor exec(CheckerConfig{1e-6}, RecoveryPolicy{});
   const MatrixD a =
-      layer.forward(x, memory, AttentionBackend::kReference, checker).output;
+      layer.forward(x, memory, AttentionBackend::kReference, exec).output;
   const MatrixD b =
-      layer.forward(x, memory, AttentionBackend::kFlashAbft, checker).output;
+      layer.forward(x, memory, AttentionBackend::kFlashAbft, exec).output;
   EXPECT_LT(max_abs_diff(a, b), 1e-9);
 }
 

@@ -79,16 +79,16 @@ TEST(Integration, ProtectedEncoderLayerDetectsInjectedHeadFault) {
   MatrixD x(16, 64);
   fill_gaussian(x, rng);
 
-  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
   const EncoderLayerResult clean =
-      layer.forward(x, AttentionBackend::kFlashAbft, checker);
-  EXPECT_FALSE(clean.any_alarm());
+      layer.forward(x, AttentionBackend::kFlashAbft, exec);
+  EXPECT_FALSE(clean.report.any_alarm());
 
   // Simulate a corrupted head: tamper with a reported actual checksum the
   // way a datapath fault would shift the output sum.
-  HeadCheckReport tampered = clean.checks[2];
+  OpReport tampered = clean.report.ops[2];
   tampered.actual += 1e-3;
-  EXPECT_EQ(checker.compare(tampered.predicted, tampered.actual),
+  EXPECT_EQ(exec.checker().compare(tampered.predicted, tampered.actual),
             CheckVerdict::kAlarm);
 }
 

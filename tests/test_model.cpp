@@ -100,13 +100,16 @@ TEST(Mha, BackendsAgreeOnOutput) {
   const MultiHeadAttention mha(64, 4, 16, rng);
   MatrixD x(n, 64);
   fill_gaussian(x, rng);
-  const Checker checker(CheckerConfig{1e-6, 0.0});
-  const MhaResult ref = mha.forward(x, AttentionBackend::kReference, checker);
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
+  const MhaResult ref = mha.forward(x, AttentionBackend::kReference, exec);
   const MhaResult flash =
-      mha.forward(x, AttentionBackend::kFlashAttention2, checker);
-  const MhaResult abft = mha.forward(x, AttentionBackend::kFlashAbft, checker);
+      mha.forward(x, AttentionBackend::kFlashAttention2, exec);
+  const MhaResult abft = mha.forward(x, AttentionBackend::kFlashAbft, exec);
+  const MhaResult two_step =
+      mha.forward(x, AttentionBackend::kTwoStepAbft, exec);
   EXPECT_LT(max_abs_diff(ref.output, flash.output), 1e-9);
   EXPECT_LT(max_abs_diff(ref.output, abft.output), 1e-9);
+  EXPECT_LT(max_abs_diff(ref.output, two_step.output), 1e-9);
 }
 
 TEST(Mha, ProtectedForwardReportsPerHeadChecks) {
@@ -114,24 +117,40 @@ TEST(Mha, ProtectedForwardReportsPerHeadChecks) {
   const MultiHeadAttention mha(48, 3, 16, rng);
   MatrixD x(16, 48);
   fill_gaussian(x, rng);
-  const Checker checker(CheckerConfig{1e-6, 0.0});
-  const MhaResult r = mha.forward(x, AttentionBackend::kFlashAbft, checker);
-  ASSERT_EQ(r.checks.size(), 3u);
-  for (const HeadCheckReport& c : r.checks) {
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
+  const MhaResult r = mha.forward(x, AttentionBackend::kFlashAbft, exec);
+  EXPECT_EQ(r.report.count(OpKind::kAttentionFlashAbft), 3u);
+  // The projections (Q, K, V, output) are matmul-ABFT-checked too.
+  EXPECT_EQ(r.report.count(OpKind::kProjection), 4u);
+  for (const OpReport& c : r.report.ops) {
     EXPECT_EQ(c.verdict, CheckVerdict::kPass);
     EXPECT_NEAR(c.predicted, c.actual, 1e-8);
+    EXPECT_EQ(c.recovery, RecoveryStatus::kCleanFirstTry);
+    EXPECT_GT(c.cost, 0.0);
   }
-  EXPECT_FALSE(r.any_alarm());
+  EXPECT_FALSE(r.report.any_alarm());
 }
 
-TEST(Mha, UnprotectedBackendsReportNoChecks) {
+TEST(Mha, TwoStepBackendReportsBothProductChecks) {
+  Rng rng(88);
+  const MultiHeadAttention mha(32, 2, 16, rng);
+  MatrixD x(8, 32);
+  fill_gaussian(x, rng);
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
+  const MhaResult r = mha.forward(x, AttentionBackend::kTwoStepAbft, exec);
+  EXPECT_EQ(r.report.count(OpKind::kAttentionTwoStepAbft), 2u);
+  EXPECT_FALSE(r.report.any_alarm());
+}
+
+TEST(Mha, UnprotectedBackendsReportOnlyProjectionChecks) {
   Rng rng(82);
   const MultiHeadAttention mha(32, 2, 16, rng);
   MatrixD x(8, 32);
   fill_gaussian(x, rng);
-  const Checker checker(CheckerConfig{1e-6, 0.0});
-  EXPECT_TRUE(
-      mha.forward(x, AttentionBackend::kReference, checker).checks.empty());
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
+  const MhaResult r = mha.forward(x, AttentionBackend::kReference, exec);
+  EXPECT_EQ(r.report.count(OpKind::kAttentionFlashAbft), 0u);
+  EXPECT_EQ(r.report.count(OpKind::kProjection), 4u);
 }
 
 TEST(Mha, DimensionMismatchThrows) {
@@ -149,13 +168,16 @@ TEST(EncoderLayerTest, ForwardShapesAndChecks) {
   const EncoderLayer layer(cfg, rng);
   MatrixD x(12, 64);
   fill_gaussian(x, rng);
-  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
   const EncoderLayerResult out =
-      layer.forward(x, AttentionBackend::kFlashAbft, checker);
+      layer.forward(x, AttentionBackend::kFlashAbft, exec);
   EXPECT_EQ(out.output.rows(), 12u);
   EXPECT_EQ(out.output.cols(), 64u);
-  EXPECT_EQ(out.checks.size(), 4u);
-  EXPECT_FALSE(out.any_alarm());
+  EXPECT_EQ(out.report.count(OpKind::kAttentionFlashAbft), 4u);
+  EXPECT_EQ(out.report.count(OpKind::kProjection), 4u);
+  EXPECT_EQ(out.report.count(OpKind::kFfn), 2u);
+  EXPECT_FALSE(out.report.any_alarm());
+  EXPECT_TRUE(out.report.all_accepted_clean());
   for (const double v : out.output.flat()) EXPECT_TRUE(std::isfinite(v));
 }
 
@@ -169,11 +191,11 @@ TEST(EncoderLayerTest, ProtectionDoesNotChangeResult) {
   const EncoderLayer layer(cfg, rng);
   MatrixD x(8, 32);
   fill_gaussian(x, rng);
-  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
   const MatrixD a =
-      layer.forward(x, AttentionBackend::kReference, checker).output;
+      layer.forward(x, AttentionBackend::kReference, exec).output;
   const MatrixD b =
-      layer.forward(x, AttentionBackend::kFlashAbft, checker).output;
+      layer.forward(x, AttentionBackend::kFlashAbft, exec).output;
   EXPECT_LT(max_abs_diff(a, b), 1e-9);
 }
 
@@ -189,9 +211,9 @@ TEST(EncoderLayerTest, LayerNormKeepsOutputBounded) {
   const EncoderLayer layer(cfg, rng);
   MatrixD x(16, 64);
   fill_gaussian(x, rng, 0.0, 10.0);
-  const Checker checker(CheckerConfig{1e-6, 0.0});
+  const GuardedExecutor exec(CheckerConfig{1e-6, 0.0}, RecoveryPolicy{});
   const MatrixD y =
-      layer.forward(x, AttentionBackend::kReference, checker).output;
+      layer.forward(x, AttentionBackend::kReference, exec).output;
   EXPECT_LT(max_abs(y), 15.0);
 }
 

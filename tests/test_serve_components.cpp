@@ -170,8 +170,15 @@ TEST(Telemetry, CountersReconcileAcrossPaths) {
     r.path = path;
     r.checksum_clean = clean;
     r.alarm_events = alarms;
-    r.head_executions = 2;
+    r.op_executions = 2;
     r.total_us = 100.0;
+    OpReport op;
+    op.kind = OpKind::kAttentionFlashAbft;
+    op.alarms = alarms;
+    op.recovery = path == ServePath::kGuardedRecovered
+                      ? RecoveryStatus::kRecovered
+                      : RecoveryStatus::kCleanFirstTry;
+    r.reports.push_back(op);
     return r;
   };
   telemetry.on_submit();
@@ -190,8 +197,14 @@ TEST(Telemetry, CountersReconcileAcrossPaths) {
   EXPECT_EQ(s.checksum_clean, 3u);
   EXPECT_EQ(s.checksum_dirty, 0u);
   EXPECT_EQ(s.alarm_events, 4u);
-  EXPECT_EQ(s.head_executions, 6u);
+  EXPECT_EQ(s.op_executions, 6u);
   EXPECT_EQ(s.escalations, 1u);
+  // Per-op-kind accounting mirrors the report stream.
+  const OpKindStats& attention =
+      s.per_kind[std::size_t(OpKind::kAttentionFlashAbft)];
+  EXPECT_EQ(attention.checks, 3u);
+  EXPECT_EQ(attention.alarms, 4u);
+  EXPECT_EQ(attention.recovered, 1u);
   EXPECT_DOUBLE_EQ(s.total_p50_us, 100.0);
   EXPECT_GT(s.throughput_rps(2.0), 0.0);
   EXPECT_FALSE(s.render(1.0).empty());

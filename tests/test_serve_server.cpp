@@ -34,12 +34,18 @@ ServeRequest make_request(std::size_t heads, std::uint64_t seed) {
   const PromptCategory& category = prompt_suite().front();
   ServeRequest request;
   request.category = category.name;
+  AttentionWork work;
   Rng rng(seed);
   for (std::size_t h = 0; h < heads; ++h) {
-    request.heads.push_back(
+    work.heads.push_back(
         generate_category_inputs(category, preset, rng.next_u64(), kSeqCap));
   }
+  request.work = std::move(work);
   return request;
+}
+
+AttentionWork& attention_work(ServeRequest& request) {
+  return std::get<AttentionWork>(request.work);
 }
 
 // A mid-pass output-accumulator upset: large and reliably detected.
@@ -77,7 +83,7 @@ TEST(InferenceServer, CleanTrafficCompletesOnTheGuardedPath) {
     EXPECT_EQ(response.path, ServePath::kGuardedClean);
     EXPECT_TRUE(response.checksum_clean);
     EXPECT_EQ(response.outputs.size(), 2u);
-    EXPECT_EQ(response.head_executions, 2u);
+    EXPECT_EQ(response.op_executions, 2u);
     EXPECT_EQ(response.alarm_events, 0u);
     EXPECT_GE(response.batch_size, 1u);
     EXPECT_GE(response.total_us, response.service_us);
@@ -96,10 +102,11 @@ TEST(InferenceServer, TransientFaultRecoversWithGoldenOutput) {
   const Accelerator accel(config.accel);
 
   ServeRequest request = make_request(/*heads=*/2, 200);
-  request.faults = {detectable_flip(accel, request.heads.front())};
+  attention_work(request).faults = {
+      detectable_flip(accel, attention_work(request).heads.front())};
   // Golden: what the fault-free accelerator produces for each head.
   std::vector<MatrixD> golden;
-  for (const AttentionInputs& head : request.heads) {
+  for (const AttentionInputs& head : attention_work(request).heads) {
     golden.push_back(accel.run(head.q, head.k, head.v).output);
   }
 
@@ -108,7 +115,7 @@ TEST(InferenceServer, TransientFaultRecoversWithGoldenOutput) {
   EXPECT_EQ(response.path, ServePath::kGuardedRecovered);
   EXPECT_TRUE(response.checksum_clean);
   EXPECT_GE(response.alarm_events, 1u);
-  EXPECT_EQ(response.head_executions, 3u);  // 2 heads + 1 re-execution.
+  EXPECT_EQ(response.op_executions, 3u);  // 2 heads + 1 re-execution.
   // Fault-free re-execution is bit-identical to the golden run.
   ASSERT_EQ(response.outputs.size(), golden.size());
   for (std::size_t h = 0; h < golden.size(); ++h) {
@@ -127,17 +134,17 @@ TEST(InferenceServer, PersistentFaultEscalatesToVerifiedFallback) {
 
   ServeRequest request = make_request(/*heads=*/2, 300);
   const std::size_t layer_cycles =
-      2 * cycles_per_head(accel, request.heads.front());
-  request.faults = {persistent_stuck(layer_cycles)};
-  request.faults_persistent = true;
+      2 * cycles_per_head(accel, attention_work(request).heads.front());
+  attention_work(request).faults = {persistent_stuck(layer_cycles)};
+  attention_work(request).faults_persistent = true;
 
   const ServeResponse response =
       server.submit(std::move(request)).get();
   EXPECT_EQ(response.path, ServePath::kFallbackReference);
   EXPECT_TRUE(response.checksum_clean);
-  EXPECT_GE(response.fallback_heads, 1u);
+  EXPECT_GE(response.fallback_ops, 1u);
   // initial 2 heads + max_retries re-executions of each alarming head.
-  EXPECT_GT(response.head_executions, 2u);
+  EXPECT_GT(response.op_executions, 2u);
 
   const TelemetrySnapshot s = server.telemetry().snapshot();
   EXPECT_EQ(s.escalations, 1u);
@@ -154,9 +161,9 @@ TEST(InferenceServer, DefectiveWorkerTripsBreakerThenHeals) {
   InferenceServer server(config);
   const Accelerator accel(config.accel);
 
-  const ServeRequest probe_shape = make_request(/*heads=*/1, 400);
+  ServeRequest probe_shape = make_request(/*heads=*/1, 400);
   const std::size_t layer_cycles =
-      cycles_per_head(accel, probe_shape.heads.front());
+      cycles_per_head(accel, attention_work(probe_shape).heads.front());
   server.set_worker_defect(0, {persistent_stuck(layer_cycles)});
 
   // Two escalations trip the breaker; later requests bypass the defective
@@ -192,14 +199,41 @@ TEST(InferenceServer, SubmitValidatesAndShutdownRejects) {
   EXPECT_THROW((void)server.submit(ServeRequest{}), EnsureError);
 
   std::future<ServeResponse> future;
-  EXPECT_TRUE(server.try_submit(make_request(1, 700), future));
+  EXPECT_EQ(server.try_submit(make_request(1, 700), future),
+            SubmitResult::kAccepted);
   EXPECT_TRUE(future.get().checksum_clean);
 
   server.shutdown();
   EXPECT_THROW((void)server.submit(make_request(1, 701)), EnsureError);
-  EXPECT_FALSE(server.try_submit(make_request(1, 702), future));
+  EXPECT_EQ(server.try_submit(make_request(1, 702), future),
+            SubmitResult::kShutDown);
   const TelemetrySnapshot s = server.telemetry().snapshot();
   EXPECT_EQ(s.rejected, 1u);
+}
+
+TEST(InferenceServer, TrySubmitShedsWithTypedReasonWhenQueueFull) {
+  ServerConfig config = small_server_config(/*workers=*/1);
+  config.queue_capacity = 2;
+  InferenceServer server(config);
+  // The producer outruns one worker by orders of magnitude, so a tight
+  // admission loop must hit the capacity-2 queue and observe kQueueFull
+  // (distinguished from kShutDown by the typed result).
+  std::vector<std::future<ServeResponse>> accepted;
+  bool shed = false;
+  for (std::size_t i = 0; i < 500 && !shed; ++i) {
+    std::future<ServeResponse> future;
+    const SubmitResult result =
+        server.try_submit(make_request(1, 900 + i), future);
+    if (result == SubmitResult::kAccepted) {
+      accepted.push_back(std::move(future));
+    } else {
+      EXPECT_EQ(result, SubmitResult::kQueueFull);
+      shed = true;
+    }
+  }
+  EXPECT_TRUE(shed);
+  for (auto& future : accepted) EXPECT_TRUE(future.get().checksum_clean);
+  EXPECT_GE(server.telemetry().snapshot().rejected, 1u);
 }
 
 TEST(InferenceServer, MalformedRequestFailsItsFutureNotTheServer) {
@@ -208,8 +242,10 @@ TEST(InferenceServer, MalformedRequestFailsItsFutureNotTheServer) {
   // the worker's execution throws; the error must surface through this
   // request's future while the server keeps serving.
   ServeRequest bad;
+  AttentionWork bad_work;
   Rng rng(800);
-  bad.heads.push_back(generate_gaussian(8, 16, rng));
+  bad_work.heads.push_back(generate_gaussian(8, 16, rng));
+  bad.work = std::move(bad_work);
   auto bad_future = server.submit(std::move(bad));
   EXPECT_THROW((void)bad_future.get(), EnsureError);
 
