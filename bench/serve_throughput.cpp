@@ -1,25 +1,31 @@
 // Serving-under-faults benchmark: closed-loop prompt-suite traffic through
 // the multi-threaded guarded serving engine (src/serve), fault-free and
-// under an injected-fault campaign — for raw attention-head requests and
-// for full protected decoder-layer requests.
+// under an injected-fault campaign — for raw attention-head requests, full
+// protected decoder-layer requests, and autoregressive generation sessions
+// (prefill + resumable decode steps over the checksummed KV cache).
 //
-// Reports, per scenario: throughput, p50/p95/p99 end-to-end latency, the
-// alarm / recovery / escalation / fallback counters, per-op-kind
-// accounting — plus the reconciliation the serving design guarantees:
-// every completed request is checksum-clean (recovered on the guarded path
-// or served by the verified reference fallback), and non-clean paths only
-// occur for requests that actually carried an injected fault.
+// Reports, per scenario: throughput, p50/p95/p99 end-to-end latency (plus
+// tokens/sec and time-to-first-token for generation), the alarm / recovery
+// / escalation / fallback counters, per-op-kind accounting — plus the
+// reconciliation the serving design guarantees: every completed request is
+// checksum-clean (recovered on the guarded path or served by the verified
+// reference fallback), and non-clean paths only occur for requests that
+// actually carried an injected fault.
 //
 // Knobs (defaults run a small self-contained campaign):
 //   --threads=N            worker pool size               (default 2)
 //   --max-batch=N          batch former admission cap     (default 8)
 //   --batch-deadline-us=N  batch forming deadline         (default 200)
 //   --inject-faults=BOOL   run the fault campaigns too    (default true)
-//   --mode=attention|layer|both  request payloads         (default both)
+//   --mode=attention|layer|generate|both|all   payloads   (default all;
+//                          both = attention+layer, the pre-generation set)
 //   --requests=N --concurrency=N --heads=N --seq-cap=N
 //   --layer-requests=N     request count for layer scenarios (default 24)
-//   --layer-seq=N          decoder-side rows per layer request (default 24;
-//                          --seq-cap only shapes attention-mode requests)
+//   --layer-seq=N          decoder-side row cap per layer request
+//                          (default 24; --seq-cap only shapes
+//                          attention-mode requests)
+//   --gen-requests=N       generation sessions per scenario (default 10)
+//   --prompt-len=N --max-new-tokens=N --max-sessions=N
 //   --preset=NAME --fault-prob=P --persistent-frac=P --seed=N
 //   --json=PATH            write scenario metrics as JSON (the perf
 //                          trajectory later PRs compare against)
@@ -83,6 +89,14 @@ void write_json(const std::string& path,
         << "      \"transient_injected\": " << s.report.transient_injected
         << ",\n"
         << "      \"persistent_injected\": " << s.report.persistent_injected
+        << ",\n"
+        << "      \"tokens_generated\": " << s.report.tokens_generated
+        << ",\n"
+        << "      \"tokens_per_sec\": " << s.report.tokens_per_second
+        << ",\n"
+        << "      \"ttft_p50_us\": " << t.ttft_p50_us << ",\n"
+        << "      \"ttft_p99_us\": " << t.ttft_p99_us << ",\n"
+        << "      \"sessions_parked\": " << t.sessions_parked
         << ",\n      \"per_kind\": {";
     bool first = true;
     for (std::size_t k = 0; k < kOpKindCount; ++k) {
@@ -113,10 +127,14 @@ int main(int argc, char** argv) {
   const std::size_t requests = args.get_size("requests", 60);
   const std::size_t layer_requests = args.get_size("layer-requests", 24);
   const std::size_t layer_seq = args.get_size("layer-seq", 24);
+  const std::size_t gen_requests = args.get_size("gen-requests", 10);
+  const std::size_t prompt_len = args.get_size("prompt-len", 12);
+  const std::size_t max_new_tokens = args.get_size("max-new-tokens", 6);
+  const std::size_t max_sessions = args.get_size("max-sessions", 4);
   const std::size_t concurrency = args.get_size("concurrency", 8);
   const std::size_t heads = args.get_size("heads", 4);
   const std::size_t seq_cap = args.get_size("seq-cap", 48);
-  const std::string mode = args.get_string("mode", "both");
+  const std::string mode = args.get_string("mode", "all");
   const std::string preset_name = args.get_string("preset", "bert");
   const double fault_prob = args.get_double("fault-prob", 0.35);
   const double persistent_frac = args.get_double("persistent-frac", 0.2);
@@ -124,8 +142,10 @@ int main(int argc, char** argv) {
   const std::string json_path = args.get_string("json", "");
 
   const ModelPreset& preset = preset_by_name(preset_name);
-  const bool run_attention = mode == "attention" || mode == "both";
-  const bool run_layer = mode == "layer" || mode == "both";
+  const bool run_attention =
+      mode == "attention" || mode == "both" || mode == "all";
+  const bool run_layer = mode == "layer" || mode == "both" || mode == "all";
+  const bool run_generate = mode == "generate" || mode == "all";
 
   std::vector<ScenarioMetrics> scenarios;
   bool all_clean = true;
@@ -143,17 +163,31 @@ int main(int argc, char** argv) {
     config.layer.num_heads = 4;
     config.layer.head_dim = 32;
     config.layer.ffn_dim = 256;
+    // Likewise for the generation model (prompt + new tokens must fit).
+    config.model.vocab_size = 256;
+    config.model.model_dim = 64;
+    config.model.num_layers = 2;
+    config.model.num_heads = 2;
+    config.model.head_dim = 32;
+    config.model.ffn_dim = 128;
+    config.model.max_seq_len = prompt_len + max_new_tokens + 8;
+    config.max_sessions = max_sessions;
 
     const bool layer_mode = request_mode == RequestMode::kDecoderLayer;
+    const bool generate_mode = request_mode == RequestMode::kGeneration;
     InferenceServer server(config);
     LoadDriverConfig load;
     load.mode = request_mode;
-    load.total_requests = layer_mode ? layer_requests : requests;
+    load.total_requests = generate_mode ? gen_requests
+                          : layer_mode ? layer_requests
+                                       : requests;
     load.concurrency = concurrency;
     load.preset_name = preset_name;
     load.heads_per_request = heads;
     load.seq_len_cap = layer_mode ? layer_seq : seq_cap;
     load.memory_len = 12;
+    load.prompt_len = prompt_len;
+    load.max_new_tokens = max_new_tokens;
     load.seed = seed;
     load.inject.fault_probability = probability;
     load.inject.persistent_fraction = persistent_frac;
@@ -173,12 +207,27 @@ int main(int argc, char** argv) {
                format_number(report.telemetry.total_p95_us, 1)});
     t.add_row({"p99 latency (us)",
                format_number(report.telemetry.total_p99_us, 1)});
-    t.add_row({"mean batch size",
-               format_number(report.telemetry.batches > 0
-                                 ? double(report.completed) /
-                                       double(report.telemetry.batches)
-                                 : 0.0,
-                             2)});
+    if (generate_mode) {
+      t.add_row({"tokens generated",
+                 format_number(double(report.tokens_generated), 0)});
+      t.add_row({"tokens/sec", format_number(report.tokens_per_second, 1)});
+      t.add_row({"ttft p50 (us)",
+                 format_number(report.telemetry.ttft_p50_us, 1)});
+      t.add_row({"ttft p99 (us)",
+                 format_number(report.telemetry.ttft_p99_us, 1)});
+      t.add_row({"sessions parked",
+                 format_number(double(report.telemetry.sessions_parked), 0)});
+    }
+    // Sessions complete once but occupy many queue pops (prefill + decode
+    // continuations), so completed/batches is meaningless in generate mode.
+    if (!generate_mode) {
+      t.add_row({"mean batch size",
+                 format_number(report.telemetry.batches > 0
+                                   ? double(report.completed) /
+                                         double(report.telemetry.batches)
+                                   : 0.0,
+                               2)});
+    }
     t.add_row({"faults injected (transient)",
                format_number(double(report.transient_injected), 0)});
     t.add_row({"faults injected (persistent)",
@@ -225,8 +274,11 @@ int main(int argc, char** argv) {
               << "\n\n";
     const bool ok = complete && clean && accounted;
     all_clean = all_clean && ok;
-    scenarios.push_back({title, layer_mode ? "layer" : "attention", ok,
-                         report});
+    scenarios.push_back({title,
+                         generate_mode ? "generate"
+                         : layer_mode  ? "layer"
+                                       : "attention",
+                         ok, report});
   };
 
   if (run_attention) {
@@ -243,6 +295,13 @@ int main(int argc, char** argv) {
     if (inject_faults) {
       scenario("decoder-layer serving under injected faults",
                RequestMode::kDecoderLayer, fault_prob);
+    }
+  }
+  if (run_generate) {
+    scenario("fault-free generation serving", RequestMode::kGeneration, 0.0);
+    if (inject_faults) {
+      scenario("generation serving under injected faults",
+               RequestMode::kGeneration, fault_prob);
     }
   }
 

@@ -15,10 +15,18 @@
 //           fault recovering in place and a persistent one escalating to
 //           the verified reference fallback — reported per op kind from
 //           the unified OpReport telemetry.
+//   act 5 — a corrupted-KV-cache rescue: autoregressive generation
+//           sessions (prefill + resumable decode steps) run through the
+//           same server; a storage upset lands in one session's cached K
+//           between decode steps, the cache's running column checksum
+//           alarms on the next read, the cache is re-materialized from its
+//           checkpoint, and the session finishes with exactly the tokens
+//           of an uncorrupted run — the kv_cache op kind carries the
+//           alarm/recovery in telemetry.
 //
 // Build & run:  ./build/examples/serving_demo
 // Knobs: --threads=N --max-batch=N --batch-deadline-us=N
-//        --inject-faults=BOOL (acts 2-4 faults on/off, default true)
+//        --inject-faults=BOOL (acts 2-5 faults on/off, default true)
 #include <future>
 #include <iostream>
 #include <utility>
@@ -59,6 +67,14 @@ int main(int argc, char** argv) {
   config.layer.num_heads = 4;
   config.layer.head_dim = 32;
   config.layer.ffn_dim = 256;
+  config.model.vocab_size = 256;
+  config.model.model_dim = 64;
+  config.model.num_layers = 2;
+  config.model.num_heads = 2;
+  config.model.head_dim = 32;
+  config.model.ffn_dim = 128;
+  config.model.max_seq_len = 32;
+  config.max_sessions = 2;
 
   InferenceServer server(config);
   const Accelerator accel(config.accel);
@@ -184,6 +200,62 @@ int main(int argc, char** argv) {
       futures.push_back(server.submit(std::move(persistent)));
     }
     for (auto& f : futures) all_clean = describe(f.get()) && all_clean;
+  }
+
+  // --- act 5: a corrupted KV cache rescued mid-generation. ---
+  std::cout << "\nact 5 — generation sessions + a corrupted-KV-cache "
+               "rescue:\n";
+  {
+    const std::vector<std::size_t> prompt =
+        server.model().encode("the quick brown fox jumps over the lazy dog");
+    const std::size_t max_new = 5;
+
+    const auto make_generation_request = [&] {
+      ServeRequest request;
+      request.category = "generation";
+      GenerationWork work;
+      work.prompt = prompt;
+      work.max_new_tokens = max_new;
+      request.work = std::move(work);
+      return request;
+    };
+    const auto describe_session = [&](const ServeResponse& r,
+                                      const char* label) {
+      std::cout << "  session " << r.id << " (" << label << "): tokens [";
+      for (std::size_t t = 0; t < r.tokens.size(); ++t) {
+        std::cout << (t ? " " : "") << r.tokens[t];
+      }
+      std::cout << "] path=" << serve_path_name(r.path)
+                << " ttft=" << r.ttft_us << "us steps=" << r.decode_steps
+                << " alarms=" << r.alarm_events
+                << " checksum=" << (r.checksum_clean ? "clean" : "DIRTY")
+                << '\n';
+      return r.checksum_clean;
+    };
+
+    ServeResponse clean_run =
+        server.submit(make_generation_request()).get();
+    all_clean = describe_session(clean_run, "clean") && all_clean;
+
+    if (inject_faults) {
+      ServeRequest corrupted = make_generation_request();
+      KvCorruption upset;
+      upset.step = 2;   // read by the second decode step...
+      upset.layer = 1;  // ...in layer 1's cached K.
+      upset.row = 3;
+      upset.col = 17;
+      upset.delta = 1.5;
+      std::get<GenerationWork>(corrupted.work).kv_corruptions = {upset};
+      const ServeResponse rescued =
+          server.submit(std::move(corrupted)).get();
+      all_clean = describe_session(rescued, "KV upset") && all_clean;
+      const bool same_tokens = rescued.tokens == clean_run.tokens;
+      std::cout << "  cache checksum alarmed, re-materialized from "
+                   "checkpoint; tokens match clean run: "
+                << (same_tokens ? "yes" : "NO (?!)") << '\n';
+      all_clean = all_clean && same_tokens &&
+                  rescued.path == ServePath::kGuardedRecovered;
+    }
   }
 
   const TelemetrySnapshot snapshot = server.telemetry().snapshot();

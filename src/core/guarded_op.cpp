@@ -23,6 +23,7 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kAttentionTwoStepAbft: return "attention_two_step_abft";
     case OpKind::kProjection: return "projection";
     case OpKind::kFfn: return "ffn";
+    case OpKind::kKvCache: return "kv_cache";
     case OpKind::kReferenceFallback: return "reference_fallback";
   }
   return "?";

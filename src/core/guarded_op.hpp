@@ -45,9 +45,10 @@ enum class OpKind {
   kAttentionTwoStepAbft,    ///< classic two-product ABFT attention baseline.
   kProjection,              ///< Q/K/V/output projection under matmul-ABFT.
   kFfn,                     ///< feed-forward product under matmul-ABFT.
+  kKvCache,                 ///< KV-cache read verified by running checksums.
   kReferenceFallback,       ///< software Alg. 3 serving an escalated op.
 };
-inline constexpr std::size_t kOpKindCount = 5;
+inline constexpr std::size_t kOpKindCount = 6;
 
 [[nodiscard]] const char* op_kind_name(OpKind kind);
 

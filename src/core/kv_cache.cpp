@@ -1,0 +1,171 @@
+#include "core/kv_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+KvCacheLayer::KvCacheLayer(std::size_t capacity, std::size_t width)
+    : k_(capacity, width),
+      v_(capacity, width),
+      k_mirror_(capacity, width),
+      v_mirror_(capacity, width),
+      k_sum_(width, 0.0),
+      v_sum_(width, 0.0) {
+  FLASHABFT_ENSURE_MSG(capacity > 0 && width > 0,
+                       "KvCacheLayer needs capacity " << capacity
+                                                      << " x width " << width);
+}
+
+void KvCacheLayer::append(std::span<const double> k_row,
+                          std::span<const double> v_row) {
+  FLASHABFT_ENSURE_MSG(len_ < capacity(),
+                       "KV cache full: " << len_ << " of " << capacity());
+  FLASHABFT_ENSURE_MSG(k_row.size() == width() && v_row.size() == width(),
+                       "KV row width " << k_row.size() << "/" << v_row.size()
+                                       << " != cache width " << width());
+  for (std::size_t c = 0; c < width(); ++c) {
+    k_(len_, c) = k_row[c];
+    v_(len_, c) = v_row[c];
+    k_mirror_(len_, c) = k_row[c];
+    v_mirror_(len_, c) = v_row[c];
+    k_sum_[c] += k_row[c];
+    v_sum_[c] += v_row[c];
+  }
+  ++len_;
+}
+
+MatrixD KvCacheLayer::k_head(std::size_t head, std::size_t head_dim) const {
+  FLASHABFT_ENSURE((head + 1) * head_dim <= width());
+  MatrixD out(len_, head_dim);
+  for (std::size_t r = 0; r < len_; ++r) {
+    for (std::size_t c = 0; c < head_dim; ++c) {
+      out(r, c) = k_(r, head * head_dim + c);
+    }
+  }
+  return out;
+}
+
+MatrixD KvCacheLayer::v_head(std::size_t head, std::size_t head_dim) const {
+  FLASHABFT_ENSURE((head + 1) * head_dim <= width());
+  MatrixD out(len_, head_dim);
+  for (std::size_t r = 0; r < len_; ++r) {
+    for (std::size_t c = 0; c < head_dim; ++c) {
+      out(r, c) = v_(r, head * head_dim + c);
+    }
+  }
+  return out;
+}
+
+double KvCacheLayer::k_at(std::size_t row, std::size_t col) const {
+  FLASHABFT_ENSURE(row < len_ && col < width());
+  return k_(row, col);
+}
+
+double KvCacheLayer::v_at(std::size_t row, std::size_t col) const {
+  FLASHABFT_ENSURE(row < len_ && col < width());
+  return v_(row, col);
+}
+
+CheckedOp KvCacheLayer::verify() const {
+  CheckedOp op;
+  op.output = MatrixD(1, 1);
+  // Row-outer scan (sequential over the row-major storage); each column is
+  // still accumulated in append order, so a clean cache reproduces the
+  // running sums bit-for-bit.
+  std::vector<double> actual_k(width(), 0.0);
+  std::vector<double> actual_v(width(), 0.0);
+  for (std::size_t r = 0; r < len_; ++r) {
+    for (std::size_t c = 0; c < width(); ++c) {
+      actual_k[c] += k_(r, c);
+      actual_v[c] += v_(r, c);
+    }
+  }
+  ChecksumPair worst_k{0.0, 0.0};
+  ChecksumPair worst_v{0.0, 0.0};
+  for (std::size_t c = 0; c < width(); ++c) {
+    const ChecksumPair pair_k{k_sum_[c], actual_k[c]};
+    const ChecksumPair pair_v{v_sum_[c], actual_v[c]};
+    if (c == 0 || pair_k.residual() > worst_k.residual()) worst_k = pair_k;
+    if (c == 0 || pair_v.residual() > worst_v.residual()) worst_v = pair_v;
+  }
+  op.check = worst_k;
+  op.extra_checks.push_back(worst_v);
+  return op;
+}
+
+void KvCacheLayer::restore_from_checkpoint() {
+  for (std::size_t r = 0; r < len_; ++r) {
+    for (std::size_t c = 0; c < width(); ++c) {
+      k_(r, c) = k_mirror_(r, c);
+      v_(r, c) = v_mirror_(r, c);
+    }
+  }
+  rebuild_checksums();
+}
+
+void KvCacheLayer::rebuild_checksums() {
+  std::fill(k_sum_.begin(), k_sum_.end(), 0.0);
+  std::fill(v_sum_.begin(), v_sum_.end(), 0.0);
+  for (std::size_t r = 0; r < len_; ++r) {
+    for (std::size_t c = 0; c < width(); ++c) {
+      k_sum_[c] += k_(r, c);
+      v_sum_[c] += v_(r, c);
+    }
+  }
+}
+
+void KvCacheLayer::corrupt_k(std::size_t row, std::size_t col, double delta) {
+  FLASHABFT_ENSURE_MSG(row < len_ && col < width(),
+                       "corrupt (" << row << ',' << col << ") outside "
+                                   << len_ << 'x' << width());
+  k_(row, col) += delta;
+}
+
+void KvCacheLayer::corrupt_v(std::size_t row, std::size_t col, double delta) {
+  FLASHABFT_ENSURE_MSG(row < len_ && col < width(),
+                       "corrupt (" << row << ',' << col << ") outside "
+                                   << len_ << 'x' << width());
+  v_(row, col) += delta;
+}
+
+bool guarded_cache_verify(KvCacheLayer& cache, std::size_t index,
+                          const GuardedExecutor& executor,
+                          LayerReport& report) {
+  GuardedOp op = executor.run(
+      OpKind::kKvCache, index, cache.verify_cost(),
+      [&cache](std::size_t attempt) {
+        if (attempt > 0) cache.restore_from_checkpoint();
+        return cache.verify();
+      });
+  const bool clean = op.clean();
+  report.add(std::move(op));
+  return clean;
+}
+
+KvCache::KvCache(std::size_t num_layers, std::size_t capacity,
+                 std::size_t width) {
+  FLASHABFT_ENSURE_MSG(num_layers > 0, "KvCache needs at least one layer");
+  layers_.reserve(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    layers_.emplace_back(capacity, width);
+  }
+}
+
+KvCacheLayer& KvCache::layer(std::size_t i) {
+  FLASHABFT_ENSURE(i < layers_.size());
+  return layers_[i];
+}
+
+const KvCacheLayer& KvCache::layer(std::size_t i) const {
+  FLASHABFT_ENSURE(i < layers_.size());
+  return layers_[i];
+}
+
+std::size_t KvCache::len() const { return layers_.front().len(); }
+
+std::size_t KvCache::capacity() const { return layers_.front().capacity(); }
+
+}  // namespace flashabft

@@ -1,0 +1,111 @@
+// Checksummed KV cache — ABFT protection for autoregressive decode state.
+//
+// The paper protects computation; a generation session also carries *state*:
+// the cached K/V every decode step re-reads. A fault that lands in the cache
+// between steps corrupts every later token with no kernel ever alarming, so
+// the cache gets its own checksum regime:
+//
+//   * append — each projected K/V row (already verified by its projection's
+//     matmul-ABFT check) updates running per-column checksums in O(width)
+//     and is mirrored into a checkpoint copy.
+//   * verify — each decode step, before attending, recomputes the column
+//     sums of the live cache and compares them against the running
+//     checksums (worst-residual column for K as the primary pair, for V as
+//     the extra pair). Executed through `GuardedExecutor` as
+//     `OpKind::kKvCache`.
+//   * recover — on alarm the retry path re-materializes the live cache from
+//     the checkpoint and re-verifies; a mismatch that survives restoration
+//     means the checkpoint is suspect too and the op escalates.
+//
+// Clean-path cost: O(width) per append, O(len * width) per verify — the
+// same order as the decode step's attention itself.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/guarded_op.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// One decoder layer's cached K/V (all heads concatenated, row = token).
+class KvCacheLayer {
+ public:
+  /// `capacity` token rows of `width` = num_heads * head_dim columns.
+  KvCacheLayer(std::size_t capacity, std::size_t width);
+
+  [[nodiscard]] std::size_t len() const { return len_; }
+  [[nodiscard]] std::size_t capacity() const { return k_.rows(); }
+  [[nodiscard]] std::size_t width() const { return k_.cols(); }
+
+  /// Appends one token's K and V rows (length = width()), updating the
+  /// running column checksums and the checkpoint mirror in O(width).
+  void append(std::span<const double> k_row, std::span<const double> v_row);
+
+  /// Materializes head `head`'s cached K (len x head_dim) for attention.
+  [[nodiscard]] MatrixD k_head(std::size_t head, std::size_t head_dim) const;
+  [[nodiscard]] MatrixD v_head(std::size_t head, std::size_t head_dim) const;
+
+  [[nodiscard]] double k_at(std::size_t row, std::size_t col) const;
+  [[nodiscard]] double v_at(std::size_t row, std::size_t col) const;
+
+  /// The cache-read verification op: recomputes the live column sums and
+  /// compares them to the running checksums. `check` carries the
+  /// worst-residual K column, `extra_checks[0]` the worst V column; the
+  /// 1x1 output is unused (state, not data, is being checked).
+  [[nodiscard]] CheckedOp verify() const;
+
+  /// Re-materializes the live K/V from the checkpoint mirror and rebuilds
+  /// the running checksums — the recovery path of a cache alarm.
+  void restore_from_checkpoint();
+
+  /// Fault injection: shifts one live element *without* updating the
+  /// running checksum — the model of a storage upset between decode steps.
+  void corrupt_k(std::size_t row, std::size_t col, double delta);
+  void corrupt_v(std::size_t row, std::size_t col, double delta);
+
+  /// MACs-equivalent cost of one verify (the OpReport cost metric).
+  [[nodiscard]] double verify_cost() const {
+    return 2.0 * double(len_) * double(width());
+  }
+
+ private:
+  void rebuild_checksums();
+
+  std::size_t len_ = 0;
+  MatrixD k_, v_;                ///< live cache, capacity x width.
+  MatrixD k_mirror_, v_mirror_;  ///< checkpoint (verified appends only).
+  std::vector<double> k_sum_, v_sum_;  ///< running column checksums.
+};
+
+/// Runs `cache.verify()` as a guarded `kKvCache` op: attempt 0 checks the
+/// live cache, every retry first restores from the checkpoint, so a
+/// transient storage upset reports kRecovered and leaves the cache
+/// re-materialized. No fallback exists — a post-restoration mismatch (the
+/// checkpoint itself is suspect) escalates and is reported dirty. Appends
+/// the report to `report`; returns true iff the accepted verdict passed.
+bool guarded_cache_verify(KvCacheLayer& cache, std::size_t index,
+                          const GuardedExecutor& executor,
+                          LayerReport& report);
+
+/// The full model's cache: one checksummed layer cache per decoder layer.
+class KvCache {
+ public:
+  KvCache(std::size_t num_layers, std::size_t capacity, std::size_t width);
+
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] KvCacheLayer& layer(std::size_t i);
+  [[nodiscard]] const KvCacheLayer& layer(std::size_t i) const;
+
+  /// Tokens cached so far (layer 0's length — layers only diverge
+  /// transiently inside one forward pass).
+  [[nodiscard]] std::size_t len() const;
+  [[nodiscard]] std::size_t capacity() const;
+
+ private:
+  std::vector<KvCacheLayer> layers_;
+};
+
+}  // namespace flashabft

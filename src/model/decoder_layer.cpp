@@ -10,15 +10,32 @@ DecoderLayer::DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng)
     : cfg_(cfg),
       self_attention_(cfg.model_dim, cfg.num_heads, cfg.head_dim, rng),
       norm1_(cfg.model_dim),
-      cross_attention_(cfg.model_dim, cfg.num_heads, cfg.head_dim, rng),
+      cross_attention_(cfg.cross_attention
+                           ? std::optional<MultiHeadAttention>(
+                                 std::in_place, cfg.model_dim, cfg.num_heads,
+                                 cfg.head_dim, rng)
+                           : std::nullopt),
       norm2_(cfg.model_dim),
       ffn1_(Linear::random_init(cfg.model_dim, cfg.ffn_dim, rng)),
       ffn2_(Linear::random_init(cfg.ffn_dim, cfg.model_dim, rng)),
       norm3_(cfg.model_dim) {}
 
+MatrixD DecoderLayer::ffn_block(const MatrixD& h,
+                                const GuardedExecutor& executor,
+                                std::size_t ffn_base,
+                                LayerReport& report) const {
+  const MatrixD inner = gelu_forward(
+      guarded_linear(ffn1_, h, OpKind::kFfn, ffn_base, executor, report));
+  const MatrixD ffn = guarded_linear(ffn2_, inner, OpKind::kFfn, ffn_base + 1,
+                                     executor, report);
+  return norm3_.forward(element_add(h, ffn));
+}
+
 DecoderLayerResult DecoderLayer::forward(
     const MatrixD& x, const MatrixD& memory, AttentionBackend backend,
     const GuardedExecutor& executor) const {
+  FLASHABFT_ENSURE_MSG(cross_attention_.has_value(),
+                       "decoder-only layer has no cross-attention block");
   FLASHABFT_ENSURE(x.cols() == cfg_.model_dim);
   FLASHABFT_ENSURE(memory.cols() == cfg_.model_dim);
 
@@ -32,17 +49,47 @@ DecoderLayerResult DecoderLayer::forward(
   result.report = std::move(self.report);
 
   // Encoder cross-attention + Add & Norm (block 1).
-  MhaResult cross = cross_attention_.forward_cross(h1, memory, backend,
-                                                   executor, /*block=*/1);
+  MhaResult cross = cross_attention_->forward_cross(h1, memory, backend,
+                                                    executor, /*block=*/1);
   const MatrixD h2 = norm2_.forward(element_add(h1, cross.output));
   result.report.append(std::move(cross.report));
 
   // Feed-forward block + Add & Norm.
-  const MatrixD inner = gelu_forward(
-      guarded_linear(ffn1_, h2, OpKind::kFfn, 0, executor, result.report));
-  const MatrixD ffn =
-      guarded_linear(ffn2_, inner, OpKind::kFfn, 1, executor, result.report);
-  result.output = norm3_.forward(element_add(h2, ffn));
+  result.output = ffn_block(h2, executor, /*ffn_base=*/0, result.report);
+  return result;
+}
+
+DecoderLayerResult DecoderLayer::forward_causal(
+    const MatrixD& x, AttentionBackend backend,
+    const GuardedExecutor& executor, std::size_t layer_index,
+    KvCacheLayer* cache) const {
+  FLASHABFT_ENSURE(x.cols() == cfg_.model_dim);
+
+  DecoderLayerResult result;
+  MhaResult self =
+      self_attention_.forward(x, backend, executor, AttentionMask::kCausal,
+                              /*block=*/layer_index, cache);
+  const MatrixD h1 = norm1_.forward(element_add(x, self.output));
+  result.report = std::move(self.report);
+  result.output =
+      ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
+  return result;
+}
+
+DecoderLayerResult DecoderLayer::forward_decode(
+    const MatrixD& x_new, AttentionBackend backend,
+    const GuardedExecutor& executor, KvCacheLayer& cache,
+    std::size_t layer_index) const {
+  FLASHABFT_ENSURE(x_new.cols() == cfg_.model_dim);
+
+  DecoderLayerResult result;
+  MhaResult self = self_attention_.forward_decode(
+      x_new, backend, executor, cache, /*kv_check_index=*/layer_index,
+      /*block=*/layer_index);
+  const MatrixD h1 = norm1_.forward(element_add(x_new, self.output));
+  result.report = std::move(self.report);
+  result.output =
+      ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
   return result;
 }
 

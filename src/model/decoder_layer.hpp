@@ -9,9 +9,21 @@
 // prediction). OpReport indices: self-attention heads 0..H-1 and
 // projections 0..3 (block 0), cross-attention heads H..2H-1 and projections
 // 4..7 (block 1), FFN products 0 and 1.
+//
+// The layer also serves as the GPT-style building block of the
+// autoregressive `TransformerModel` (`cross_attention = false` in the
+// config): `forward_causal` runs self-attention + FFN only (optionally
+// filling a KV cache — the prefill pass), and `forward_decode` extends one
+// token over a checksummed `KvCacheLayer` in O(len). In those paths every
+// op index is offset by `layer_index` (heads layer*H+h, projections
+// layer*4+slot, FFN layer*2+{0,1}, cache check layer), so a stacked model's
+// report stream stays globally addressable for fault attribution.
 #pragma once
 
+#include <optional>
+
 #include "core/guarded_op.hpp"
+#include "core/kv_cache.hpp"
 #include "model/gelu.hpp"
 #include "model/layernorm.hpp"
 #include "model/linear.hpp"
@@ -25,6 +37,9 @@ struct DecoderLayerConfig {
   std::size_t num_heads = 8;
   std::size_t head_dim = 64;
   std::size_t ffn_dim = 2048;
+  /// When false the layer is decoder-only (GPT-style): no cross-attention
+  /// weights are drawn and only the causal/decode forwards are usable.
+  bool cross_attention = true;
 };
 
 /// Result of a protected decoder forward pass.
@@ -42,17 +57,43 @@ class DecoderLayer {
 
   /// Forward pass: `x` are decoder-side embeddings (n x model_dim),
   /// `memory` the encoder output it attends to (n_src x model_dim).
+  /// Requires `cross_attention` in the config.
   [[nodiscard]] DecoderLayerResult forward(
       const MatrixD& x, const MatrixD& memory, AttentionBackend backend,
       const GuardedExecutor& executor) const;
 
+  /// Decoder-only causal forward: x -> LN(x + CausalSelfAttn(x))
+  /// -> LN(. + FFN(.)); the cross-attention block is skipped. When `cache`
+  /// is non-null every projected K/V row is appended to it (the prefill
+  /// pass of a generation session). `layer_index` offsets every op index.
+  [[nodiscard]] DecoderLayerResult forward_causal(
+      const MatrixD& x, AttentionBackend backend,
+      const GuardedExecutor& executor, std::size_t layer_index = 0,
+      KvCacheLayer* cache = nullptr) const;
+
+  /// Single-token incremental decode over `cache`: verifies the cache's
+  /// running checksums (guarded kKvCache op, index = layer_index), appends
+  /// the token's K/V, attends over the full cache, then the FFN — the
+  /// O(len) decode step.
+  [[nodiscard]] DecoderLayerResult forward_decode(
+      const MatrixD& x_new, AttentionBackend backend,
+      const GuardedExecutor& executor, KvCacheLayer& cache,
+      std::size_t layer_index = 0) const;
+
   [[nodiscard]] const DecoderLayerConfig& config() const { return cfg_; }
 
  private:
+  /// FFN + Add & Norm shared by every forward; `ffn_base` offsets the two
+  /// product indices.
+  [[nodiscard]] MatrixD ffn_block(const MatrixD& h,
+                                  const GuardedExecutor& executor,
+                                  std::size_t ffn_base,
+                                  LayerReport& report) const;
+
   DecoderLayerConfig cfg_;
   MultiHeadAttention self_attention_;
   LayerNorm norm1_;
-  MultiHeadAttention cross_attention_;
+  std::optional<MultiHeadAttention> cross_attention_;
   LayerNorm norm2_;
   Linear ffn1_;
   Linear ffn2_;

@@ -52,14 +52,30 @@ double positional_encoding(std::size_t pos, std::size_t i, std::size_t dim) {
 }
 
 MatrixD Embedding::embed(const std::vector<std::string>& tokens) const {
-  MatrixD out(tokens.size(), dim());
-  for (std::size_t t = 0; t < tokens.size(); ++t) {
-    const std::size_t id = token_id(tokens[t]);
+  return embed_ids(token_ids(tokens), /*start_pos=*/0);
+}
+
+MatrixD Embedding::embed_ids(std::span<const std::size_t> ids,
+                             std::size_t start_pos) const {
+  MatrixD out(ids.size(), dim());
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    FLASHABFT_ENSURE_MSG(ids[t] < vocab_size(),
+                         "token id " << ids[t] << " outside vocab "
+                                     << vocab_size());
     for (std::size_t x = 0; x < dim(); ++x) {
-      out(t, x) = table_(id, x) + positional_encoding(t, x, dim());
+      out(t, x) =
+          table_(ids[t], x) + positional_encoding(start_pos + t, x, dim());
     }
   }
   return out;
+}
+
+std::vector<std::size_t> Embedding::token_ids(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::size_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) ids.push_back(token_id(token));
+  return ids;
 }
 
 MatrixD Embedding::embed_text(std::string_view text) const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,20 @@ class Embedding {
 
   /// Embeds raw text (tokenize + embed).
   [[nodiscard]] MatrixD embed_text(std::string_view text) const;
+
+  /// Embeds token ids directly, with positional encodings starting at
+  /// absolute position `start_pos` — the autoregressive-decode front-end
+  /// (a single token at position `cache length` embeds identically to the
+  /// same token inside a full-sequence pass).
+  [[nodiscard]] MatrixD embed_ids(std::span<const std::size_t> ids,
+                                  std::size_t start_pos = 0) const;
+
+  /// Token ids of a tokenized sequence (hashed-vocabulary buckets).
+  [[nodiscard]] std::vector<std::size_t> token_ids(
+      const std::vector<std::string>& tokens) const;
+
+  /// The embedding table (vocab_size x dim) — shared with a tied LM head.
+  [[nodiscard]] const MatrixD& table() const { return table_; }
 
   [[nodiscard]] std::size_t dim() const { return table_.cols(); }
   [[nodiscard]] std::size_t vocab_size() const { return table_.rows(); }

@@ -1,0 +1,108 @@
+#include "model/model_report.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+namespace {
+
+void accumulate(const LayerReport& report, ModelOpRollup& rollup) {
+  for (const OpReport& op : report.ops) {
+    ModelOpStats& stats = rollup[std::size_t(op.kind)];
+    ++stats.checks;
+    stats.alarms += op.alarms;
+    if (op.recovery == RecoveryStatus::kRecovered) ++stats.recovered;
+    if (op.recovery == RecoveryStatus::kEscalated &&
+        op.kind != OpKind::kReferenceFallback) {
+      ++stats.escalated;
+    }
+  }
+}
+
+}  // namespace
+
+void ModelReport::add_layer(LayerReport report) {
+  layers.push_back(std::move(report));
+}
+
+ModelOpRollup ModelReport::rollup() const {
+  ModelOpRollup out{};
+  for (const LayerReport& layer : layers) accumulate(layer, out);
+  accumulate(final_ops, out);
+  return out;
+}
+
+ModelOpRollup ModelReport::layer_rollup(std::size_t layer) const {
+  FLASHABFT_ENSURE_MSG(layer < layers.size(),
+                       "layer " << layer << " of " << layers.size());
+  ModelOpRollup out{};
+  accumulate(layers[layer], out);
+  return out;
+}
+
+std::size_t ModelReport::executions() const {
+  std::size_t total = final_ops.executions();
+  for (const LayerReport& layer : layers) total += layer.executions();
+  return total;
+}
+
+std::size_t ModelReport::alarm_events() const {
+  std::size_t total = final_ops.alarm_events();
+  for (const LayerReport& layer : layers) total += layer.alarm_events();
+  return total;
+}
+
+std::size_t ModelReport::fallback_ops() const {
+  std::size_t total = final_ops.count(OpKind::kReferenceFallback);
+  for (const LayerReport& layer : layers) {
+    total += layer.count(OpKind::kReferenceFallback);
+  }
+  return total;
+}
+
+std::size_t ModelReport::recovered_ops() const {
+  const ModelOpRollup all = rollup();
+  std::size_t total = 0;
+  for (const ModelOpStats& stats : all) total += stats.recovered;
+  return total;
+}
+
+std::size_t ModelReport::escalated_ops() const {
+  const ModelOpRollup all = rollup();
+  std::size_t total = 0;
+  for (const ModelOpStats& stats : all) total += stats.escalated;
+  return total;
+}
+
+bool ModelReport::all_accepted_clean() const {
+  for (const LayerReport& layer : layers) {
+    if (!layer.all_accepted_clean()) return false;
+  }
+  return final_ops.all_accepted_clean();
+}
+
+std::vector<OpReport> ModelReport::flatten() const {
+  std::vector<OpReport> out;
+  std::size_t total = final_ops.ops.size();
+  for (const LayerReport& layer : layers) total += layer.ops.size();
+  out.reserve(total);
+  for (const LayerReport& layer : layers) {
+    out.insert(out.end(), layer.ops.begin(), layer.ops.end());
+  }
+  out.insert(out.end(), final_ops.ops.begin(), final_ops.ops.end());
+  return out;
+}
+
+void ModelReport::merge(ModelReport other) {
+  if (layers.size() < other.layers.size()) {
+    layers.resize(other.layers.size());
+  }
+  for (std::size_t l = 0; l < other.layers.size(); ++l) {
+    layers[l].append(std::move(other.layers[l]));
+  }
+  final_ops.append(std::move(other.final_ops));
+}
+
+}  // namespace flashabft

@@ -1,0 +1,64 @@
+// ModelReport — the full-model aggregation of the GuardedOp report stream.
+//
+// A `TransformerModel` forward threads one `GuardedExecutor` through every
+// decoder layer; each layer yields a `LayerReport`, the final-norm/LM-head
+// ops land in `final_ops`, and `ModelReport` rolls the whole pass up two
+// ways: per layer (which layer alarmed/recovered/escalated) and per
+// `OpKind` (attention vs projection vs FFN vs KV-cache vs fallback). The
+// serving telemetry consumes the flattened stream; the rollup is the
+// fault-attribution surface tests and demos assert against.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/guarded_op.hpp"
+
+namespace flashabft {
+
+/// Per-kind accounting of one report scope (a layer, or the whole model).
+struct ModelOpStats {
+  std::size_t checks = 0;     ///< ops reported (guarded + fallback).
+  std::size_t alarms = 0;     ///< attempt-level alarm observations.
+  std::size_t recovered = 0;  ///< ops whose retry passed the check.
+  std::size_t escalated = 0;  ///< ops that exhausted their retries.
+};
+
+using ModelOpRollup = std::array<ModelOpStats, kOpKindCount>;
+
+/// Aggregated reports of one full-model forward (prefill or decode step).
+struct ModelReport {
+  /// Per decoder layer, in stack order.
+  std::vector<LayerReport> layers;
+  /// Model-level ops outside any layer (the tied LM head projection).
+  LayerReport final_ops;
+
+  void add_layer(LayerReport report);
+
+  [[nodiscard]] std::size_t num_layers() const { return layers.size(); }
+
+  /// Per-op-kind rollup over every layer plus the final ops.
+  [[nodiscard]] ModelOpRollup rollup() const;
+  /// Per-op-kind rollup of one layer.
+  [[nodiscard]] ModelOpRollup layer_rollup(std::size_t layer) const;
+
+  // Flattened totals over the whole pass.
+  [[nodiscard]] std::size_t executions() const;
+  [[nodiscard]] std::size_t alarm_events() const;
+  [[nodiscard]] std::size_t fallback_ops() const;
+  [[nodiscard]] std::size_t recovered_ops() const;
+  [[nodiscard]] std::size_t escalated_ops() const;
+  /// Every accepted op's verdict passed — the cleanliness predicate.
+  [[nodiscard]] bool all_accepted_clean() const;
+
+  /// One flat OpReport stream in layer order then final ops — what a
+  /// serving response carries to telemetry.
+  [[nodiscard]] std::vector<OpReport> flatten() const;
+
+  /// Merges another pass into this one layer-by-layer (decode steps of one
+  /// generation session accumulate into a single session report).
+  void merge(ModelReport other);
+};
+
+}  // namespace flashabft

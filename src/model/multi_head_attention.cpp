@@ -55,9 +55,9 @@ double attention_cost(const MatrixD& q, const MatrixD& k) {
 MhaResult MultiHeadAttention::forward(const MatrixD& x,
                                       AttentionBackend backend,
                                       const GuardedExecutor& executor,
-                                      AttentionMask mask,
-                                      std::size_t block) const {
-  return forward_impl(x, x, backend, executor, mask, block);
+                                      AttentionMask mask, std::size_t block,
+                                      KvCacheLayer* cache) const {
+  return forward_impl(x, x, backend, executor, mask, block, cache);
 }
 
 MhaResult MultiHeadAttention::forward_cross(const MatrixD& x_q,
@@ -66,7 +66,57 @@ MhaResult MultiHeadAttention::forward_cross(const MatrixD& x_q,
                                             const GuardedExecutor& executor,
                                             std::size_t block) const {
   return forward_impl(x_q, memory, backend, executor, AttentionMask::kNone,
-                      block);
+                      block, nullptr);
+}
+
+MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
+                                     const MatrixD& v,
+                                     AttentionBackend backend,
+                                     const GuardedExecutor& executor,
+                                     const AttentionConfig& cfg,
+                                     std::size_t index,
+                                     LayerReport& report) const {
+  const double cost = attention_cost(q, k);
+  // Escalated heads fall back to a fresh run of the software Alg. 3
+  // kernel — the reference engine, verified by its own fused checksum.
+  const auto reference_fallback = [&] {
+    return checked_flash_abft(q, k, v, cfg);
+  };
+
+  switch (backend) {
+    case AttentionBackend::kReference:
+      return reference_attention(q, k, v, cfg);
+    case AttentionBackend::kFlashAttention2:
+      return flash_attention2(q, k, v, cfg);
+    case AttentionBackend::kFlashAbft: {
+      GuardedOp op = executor.run(
+          OpKind::kAttentionFlashAbft, index, cost,
+          [&](std::size_t) { return checked_flash_abft(q, k, v, cfg); },
+          reference_fallback);
+      MatrixD out = std::move(op.output);
+      report.add(std::move(op));
+      return out;
+    }
+    case AttentionBackend::kTwoStepAbft: {
+      GuardedOp op = executor.run(
+          OpKind::kAttentionTwoStepAbft, index, cost,
+          [&](std::size_t) {
+            TwoStepAbftAttention run = two_step_abft_attention(q, k, v, cfg);
+            CheckedOp checked;
+            checked.output = std::move(run.output);
+            checked.check = {run.qk_check.predicted, run.qk_check.actual};
+            checked.extra_checks.push_back(
+                {run.sv_check.predicted, run.sv_check.actual});
+            return checked;
+          },
+          reference_fallback);
+      MatrixD out = std::move(op.output);
+      report.add(std::move(op));
+      return out;
+    }
+  }
+  FLASHABFT_ENSURE_MSG(false, "unknown attention backend");
+  return {};
 }
 
 MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
@@ -74,7 +124,8 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
                                            AttentionBackend backend,
                                            const GuardedExecutor& executor,
                                            AttentionMask mask,
-                                           std::size_t block) const {
+                                           std::size_t block,
+                                           KvCacheLayer* cache) const {
   FLASHABFT_ENSURE(x_q.cols() == model_dim_ && x_kv.cols() == model_dim_);
   const std::size_t n = x_q.rows();
   const std::size_t projection_base = block * 4;
@@ -91,6 +142,14 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
   const MatrixD k_all = project(wk_, x_kv, 1);
   const MatrixD v_all = project(wv_, x_kv, 2);
 
+  if (cache != nullptr) {
+    // Prefill: every verified K/V row enters the session cache (running
+    // checksums and checkpoint mirror updated per append).
+    for (std::size_t i = 0; i < x_kv.rows(); ++i) {
+      cache->append(k_all.row(i), v_all.row(i));
+    }
+  }
+
   AttentionConfig cfg;
   cfg.seq_len = x_kv.rows();
   cfg.head_dim = head_dim_;
@@ -102,52 +161,68 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
     const MatrixD q = head_slice(q_all, h, head_dim_);
     const MatrixD k = head_slice(k_all, h, head_dim_);
     const MatrixD v = head_slice(v_all, h, head_dim_);
-    const double cost = attention_cost(q, k);
-    // Escalated heads fall back to a fresh run of the software Alg. 3
-    // kernel — the reference engine, verified by its own fused checksum.
-    const auto reference_fallback = [&] {
-      return checked_flash_abft(q, k, v, cfg);
-    };
-
-    MatrixD head_out;
-    switch (backend) {
-      case AttentionBackend::kReference:
-        head_out = reference_attention(q, k, v, cfg);
-        break;
-      case AttentionBackend::kFlashAttention2:
-        head_out = flash_attention2(q, k, v, cfg);
-        break;
-      case AttentionBackend::kFlashAbft: {
-        GuardedOp op = executor.run(
-            OpKind::kAttentionFlashAbft, head_base + h, cost,
-            [&](std::size_t) { return checked_flash_abft(q, k, v, cfg); },
-            reference_fallback);
-        head_out = std::move(op.output);
-        result.report.add(std::move(op));
-        break;
-      }
-      case AttentionBackend::kTwoStepAbft: {
-        GuardedOp op = executor.run(
-            OpKind::kAttentionTwoStepAbft, head_base + h, cost,
-            [&](std::size_t) {
-              TwoStepAbftAttention run = two_step_abft_attention(q, k, v, cfg);
-              CheckedOp checked;
-              checked.output = std::move(run.output);
-              checked.check = {run.qk_check.predicted, run.qk_check.actual};
-              checked.extra_checks.push_back(
-                  {run.sv_check.predicted, run.sv_check.actual});
-              return checked;
-            },
-            reference_fallback);
-        head_out = std::move(op.output);
-        result.report.add(std::move(op));
-        break;
-      }
-    }
+    const MatrixD head_out = run_head(q, k, v, backend, executor, cfg,
+                                      head_base + h, result.report);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t d = 0; d < head_dim_; ++d) {
         concat(i, h * head_dim_ + d) = head_out(i, d);
       }
+    }
+  }
+
+  result.output = project(wo_, concat, 3);
+  return result;
+}
+
+MhaResult MultiHeadAttention::forward_decode(const MatrixD& x_new,
+                                             AttentionBackend backend,
+                                             const GuardedExecutor& executor,
+                                             KvCacheLayer& cache,
+                                             std::size_t kv_check_index,
+                                             std::size_t block) const {
+  FLASHABFT_ENSURE_MSG(x_new.rows() == 1 && x_new.cols() == model_dim_,
+                       "decode step takes one token, got "
+                           << x_new.rows() << " x " << x_new.cols());
+  FLASHABFT_ENSURE_MSG(cache.width() == num_heads_ * head_dim_,
+                       "cache width " << cache.width() << " != "
+                                      << num_heads_ * head_dim_);
+  const std::size_t projection_base = block * 4;
+  const std::size_t head_base = block * num_heads_;
+
+  MhaResult result;
+  const auto project = [&](const Linear& w, const MatrixD& in,
+                           std::size_t slot) {
+    return guarded_linear(w, in, OpKind::kProjection, projection_base + slot,
+                          executor, result.report);
+  };
+
+  // The state this step is about to read was written by earlier steps:
+  // verify the cache's running checksums first (restored from the
+  // checkpoint on alarm), then extend it with this token's verified row.
+  if (cache.len() > 0) {
+    guarded_cache_verify(cache, kv_check_index, executor, result.report);
+  }
+
+  const MatrixD q_all = project(wq_, x_new, 0);
+  const MatrixD k_all = project(wk_, x_new, 1);
+  const MatrixD v_all = project(wv_, x_new, 2);
+  cache.append(k_all.row(0), v_all.row(0));
+
+  AttentionConfig cfg;
+  cfg.seq_len = cache.len();
+  cfg.head_dim = head_dim_;
+  cfg.scale = 1.0 / std::sqrt(double(head_dim_));
+  cfg.mask = AttentionMask::kNone;  // all cached keys are <= this position.
+
+  MatrixD concat(1, num_heads_ * head_dim_);
+  for (std::size_t h = 0; h < num_heads_; ++h) {
+    const MatrixD q = head_slice(q_all, h, head_dim_);
+    const MatrixD k = cache.k_head(h, head_dim_);
+    const MatrixD v = cache.v_head(h, head_dim_);
+    const MatrixD head_out = run_head(q, k, v, backend, executor, cfg,
+                                      head_base + h, result.report);
+    for (std::size_t d = 0; d < head_dim_; ++d) {
+      concat(0, h * head_dim_ + d) = head_out(0, d);
     }
   }
 

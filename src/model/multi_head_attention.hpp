@@ -15,6 +15,7 @@
 
 #include "attention/attention_config.hpp"
 #include "core/guarded_op.hpp"
+#include "core/kv_cache.hpp"
 #include "model/linear.hpp"
 #include "tensor/random.hpp"
 
@@ -46,11 +47,14 @@ class MultiHeadAttention {
   /// checksums (kFlashAbft / kTwoStepAbft). `block` offsets the OpReport
   /// indices so a layer with several attention blocks (the decoder) keeps
   /// them distinguishable: heads get index block*num_heads + h, projections
-  /// block*4 + {0:Q, 1:K, 2:V, 3:output}.
+  /// block*4 + {0:Q, 1:K, 2:V, 3:output}. When `cache` is non-null every
+  /// projected K/V row is appended to it (the prefill path of a generation
+  /// session) — the cache must have room for x.rows() more tokens.
   [[nodiscard]] MhaResult forward(const MatrixD& x, AttentionBackend backend,
                                   const GuardedExecutor& executor,
                                   AttentionMask mask = AttentionMask::kNone,
-                                  std::size_t block = 0) const;
+                                  std::size_t block = 0,
+                                  KvCacheLayer* cache = nullptr) const;
 
   /// Cross-attention: queries projected from `x_q` (n_q x model_dim), keys
   /// and values from `memory` (n_kv x model_dim) — the decoder's
@@ -62,6 +66,21 @@ class MultiHeadAttention {
                                         const GuardedExecutor& executor,
                                         std::size_t block = 0) const;
 
+  /// Incremental decode: `x_new` is ONE new token's embedding
+  /// (1 x model_dim). The cache's running checksums are verified first
+  /// (a guarded `kKvCache` op with index `kv_check_index`, restored from
+  /// the checkpoint on alarm), the token's projected K/V row is appended,
+  /// and the new query attends over the full cache per head — O(len) per
+  /// step instead of the O(len^2) of recomputing full-sequence attention.
+  /// Attending to every cached key IS causal attention at this position,
+  /// so no mask is applied.
+  [[nodiscard]] MhaResult forward_decode(const MatrixD& x_new,
+                                         AttentionBackend backend,
+                                         const GuardedExecutor& executor,
+                                         KvCacheLayer& cache,
+                                         std::size_t kv_check_index = 0,
+                                         std::size_t block = 0) const;
+
   [[nodiscard]] std::size_t num_heads() const { return num_heads_; }
   [[nodiscard]] std::size_t head_dim() const { return head_dim_; }
   [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
@@ -71,8 +90,16 @@ class MultiHeadAttention {
                                        const MatrixD& x_kv,
                                        AttentionBackend backend,
                                        const GuardedExecutor& executor,
-                                       AttentionMask mask,
-                                       std::size_t block) const;
+                                       AttentionMask mask, std::size_t block,
+                                       KvCacheLayer* cache) const;
+
+  /// One head's (checked) attention under `backend`; reports into `report`.
+  [[nodiscard]] MatrixD run_head(const MatrixD& q, const MatrixD& k,
+                                 const MatrixD& v, AttentionBackend backend,
+                                 const GuardedExecutor& executor,
+                                 const AttentionConfig& cfg,
+                                 std::size_t index,
+                                 LayerReport& report) const;
 
   std::size_t model_dim_;
   std::size_t num_heads_;

@@ -1,0 +1,200 @@
+#include "model/transformer_model.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+namespace {
+
+DecoderLayerConfig layer_config(const TransformerConfig& cfg) {
+  DecoderLayerConfig layer;
+  layer.model_dim = cfg.model_dim;
+  layer.num_heads = cfg.num_heads;
+  layer.head_dim = cfg.head_dim;
+  layer.ffn_dim = cfg.ffn_dim;
+  layer.cross_attention = false;  // GPT-style decoder-only stack.
+  return layer;
+}
+
+}  // namespace
+
+TransformerModel::TransformerModel(const TransformerConfig& cfg,
+                                   std::uint64_t seed)
+    : cfg_(cfg),
+      embedding_(cfg.vocab_size, cfg.model_dim, seed),
+      final_norm_(cfg.model_dim) {
+  FLASHABFT_ENSURE_MSG(cfg.model_dim == cfg.num_heads * cfg.head_dim,
+                       "model_dim " << cfg.model_dim << " != "
+                                    << cfg.num_heads << " x " << cfg.head_dim);
+  FLASHABFT_ENSURE_MSG(cfg.num_layers > 0, "model needs at least one layer");
+  FLASHABFT_ENSURE_MSG(cfg.max_seq_len > 1, "max_seq_len too small");
+  Rng rng(seed + 1);
+  layers_.reserve(cfg.num_layers);
+  const DecoderLayerConfig layer = layer_config(cfg);
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    layers_.emplace_back(layer, rng);
+  }
+}
+
+const DecoderLayer& TransformerModel::layer(std::size_t i) const {
+  FLASHABFT_ENSURE(i < layers_.size());
+  return layers_[i];
+}
+
+std::vector<std::size_t> TransformerModel::encode(
+    std::string_view text) const {
+  return embedding_.token_ids(tokenize(text));
+}
+
+KvCache TransformerModel::make_cache() const {
+  return KvCache(cfg_.num_layers, cfg_.max_seq_len,
+                 cfg_.num_heads * cfg_.head_dim);
+}
+
+std::size_t TransformerModel::argmax(const std::vector<double>& logits) {
+  FLASHABFT_ENSURE(!logits.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<double> TransformerModel::lm_head(
+    const MatrixD& h, const GuardedExecutor& executor,
+    LayerReport& report) const {
+  // Tied head over the last position only: logits = h_last · E^T, checked
+  // by the classic product identity. rowsum(E^T) is colsum(E), so
+  // predicted = dot(h_last, colsum(E)) — O(dim·vocab) compute, O(dim)
+  // checksum prediction.
+  const std::size_t last = h.rows() - 1;
+  const MatrixD& table = embedding_.table();
+  const auto run = [&](std::size_t) {
+    CheckedOp op;
+    op.output = MatrixD(1, cfg_.vocab_size);
+    for (std::size_t v = 0; v < cfg_.vocab_size; ++v) {
+      double dot = 0.0;
+      for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
+        dot += h(last, j) * table(v, j);
+      }
+      op.output(0, v) = dot;
+    }
+    const std::vector<double> col_e = column_sums(table);
+    for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
+      op.check.predicted += h(last, j) * col_e[j];
+    }
+    op.check.actual = element_sum(op.output);
+    return op;
+  };
+  GuardedOp op = executor.run(
+      OpKind::kProjection, lm_head_index(),
+      double(cfg_.model_dim) * double(cfg_.vocab_size), run,
+      [&] { return run(0); });
+  std::vector<double> logits(op.output.row(0).begin(),
+                             op.output.row(0).end());
+  report.add(std::move(op));
+  return logits;
+}
+
+StepResult TransformerModel::prefill(const std::vector<std::size_t>& prompt,
+                                     AttentionBackend backend,
+                                     const GuardedExecutor& executor,
+                                     KvCache& cache) const {
+  FLASHABFT_ENSURE_MSG(!prompt.empty(), "prefill needs a non-empty prompt");
+  FLASHABFT_ENSURE_MSG(prompt.size() <= cfg_.max_seq_len,
+                       "prompt of " << prompt.size() << " tokens exceeds "
+                                    << cfg_.max_seq_len);
+  FLASHABFT_ENSURE_MSG(cache.len() == 0, "prefill needs an empty cache");
+  FLASHABFT_ENSURE(cache.num_layers() == cfg_.num_layers);
+
+  StepResult result;
+  MatrixD x = embedding_.embed_ids(prompt, /*start_pos=*/0);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    DecoderLayerResult out = layers_[l].forward_causal(
+        x, backend, executor, /*layer_index=*/l, &cache.layer(l));
+    x = std::move(out.output);
+    result.report.add_layer(std::move(out.report));
+  }
+  const MatrixD h = final_norm_.forward(x);
+  result.logits = lm_head(h, executor, result.report.final_ops);
+  result.next_token = argmax(result.logits);
+  return result;
+}
+
+StepResult TransformerModel::decode_step(std::size_t token,
+                                         AttentionBackend backend,
+                                         const GuardedExecutor& executor,
+                                         KvCache& cache) const {
+  const std::size_t pos = cache.len();
+  FLASHABFT_ENSURE_MSG(pos > 0, "decode before prefill");
+  FLASHABFT_ENSURE_MSG(pos < cfg_.max_seq_len,
+                       "cache full at " << pos << " tokens");
+
+  StepResult result;
+  const std::size_t ids[1] = {token};
+  MatrixD x = embedding_.embed_ids(ids, /*start_pos=*/pos);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    DecoderLayerResult out = layers_[l].forward_decode(
+        x, backend, executor, cache.layer(l), /*layer_index=*/l);
+    x = std::move(out.output);
+    result.report.add_layer(std::move(out.report));
+  }
+  const MatrixD h = final_norm_.forward(x);
+  result.logits = lm_head(h, executor, result.report.final_ops);
+  result.next_token = argmax(result.logits);
+  return result;
+}
+
+std::pair<MatrixD, ModelReport> TransformerModel::forward_full(
+    const std::vector<std::size_t>& tokens, AttentionBackend backend,
+    const GuardedExecutor& executor) const {
+  FLASHABFT_ENSURE(!tokens.empty());
+  ModelReport report;
+  MatrixD x = embedding_.embed_ids(tokens, /*start_pos=*/0);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    DecoderLayerResult out =
+        layers_[l].forward_causal(x, backend, executor, /*layer_index=*/l);
+    x = std::move(out.output);
+    report.add_layer(std::move(out.report));
+  }
+  const MatrixD h = final_norm_.forward(x);
+  // Oracle logits at every position (unguarded: the golden path).
+  MatrixD logits(h.rows(), cfg_.vocab_size);
+  const MatrixD& table = embedding_.table();
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    for (std::size_t v = 0; v < cfg_.vocab_size; ++v) {
+      double dot = 0.0;
+      for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
+        dot += h(i, j) * table(v, j);
+      }
+      logits(i, v) = dot;
+    }
+  }
+  return {std::move(logits), std::move(report)};
+}
+
+GenerationResult TransformerModel::generate(
+    const std::vector<std::size_t>& prompt, std::size_t max_new_tokens,
+    AttentionBackend backend, const GuardedExecutor& executor,
+    KvCache& cache) const {
+  FLASHABFT_ENSURE_MSG(max_new_tokens > 0, "nothing to generate");
+  FLASHABFT_ENSURE_MSG(prompt.size() + max_new_tokens <= cfg_.max_seq_len,
+                       "prompt " << prompt.size() << " + " << max_new_tokens
+                                 << " new tokens exceeds max_seq_len "
+                                 << cfg_.max_seq_len);
+  GenerationResult result;
+  StepResult step = prefill(prompt, backend, executor, cache);
+  result.tokens.push_back(step.next_token);
+  result.report.merge(std::move(step.report));
+  while (result.tokens.size() < max_new_tokens) {
+    step = decode_step(result.tokens.back(), backend, executor, cache);
+    result.tokens.push_back(step.next_token);
+    result.report.merge(std::move(step.report));
+  }
+  return result;
+}
+
+}  // namespace flashabft

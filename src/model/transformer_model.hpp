@@ -1,0 +1,122 @@
+// TransformerModel — the protected full-model autoregressive stack.
+//
+// Embedding → N stacked decoder-only layers (causal self-attention + FFN,
+// every checkable op under the GuardedOp regime) → final LayerNorm → tied
+// LM head (logits = h · E^T, checked by the classic matmul-ABFT product
+// identity with the *same* embedding table the front-end reads). One
+// `GuardedExecutor` threads through every layer of a forward; the pass
+// reports through a `ModelReport` (per-layer + per-op-kind rollup).
+//
+// Generation is the serving shape: `prefill` runs the whole prompt once
+// (filling the checksummed `KvCache`), then each `decode_step` embeds one
+// token at the next position, verifies + extends every layer's cache
+// (O(len) per step instead of the O(len^2) full recompute), and produces
+// the next-token logits. `forward_full` is the cache-free oracle the
+// golden-parity tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/guarded_op.hpp"
+#include "core/kv_cache.hpp"
+#include "model/decoder_layer.hpp"
+#include "model/embedding.hpp"
+#include "model/layernorm.hpp"
+#include "model/model_report.hpp"
+
+namespace flashabft {
+
+/// Shape of the autoregressive model.
+struct TransformerConfig {
+  std::size_t vocab_size = 256;
+  std::size_t model_dim = 64;
+  std::size_t num_layers = 2;
+  std::size_t num_heads = 2;
+  std::size_t head_dim = 32;
+  std::size_t ffn_dim = 128;
+  /// KV-cache capacity: prompt length + generated tokens must fit.
+  std::size_t max_seq_len = 64;
+};
+
+/// One forward's logits (last position) and its protected-op report.
+struct StepResult {
+  std::vector<double> logits;  ///< vocab_size next-token scores.
+  std::size_t next_token = 0;  ///< greedy argmax of `logits`.
+  ModelReport report;
+};
+
+/// A full greedy generation: the produced tokens plus the merged report of
+/// the prefill and every decode step.
+struct GenerationResult {
+  std::vector<std::size_t> tokens;  ///< generated ids (prompt excluded).
+  ModelReport report;
+};
+
+class TransformerModel {
+ public:
+  TransformerModel(const TransformerConfig& cfg, std::uint64_t seed);
+
+  [[nodiscard]] const TransformerConfig& config() const { return cfg_; }
+  [[nodiscard]] const Embedding& embedding() const { return embedding_; }
+  [[nodiscard]] const DecoderLayer& layer(std::size_t i) const;
+
+  /// Token ids of raw text through the hashed-vocabulary tokenizer.
+  [[nodiscard]] std::vector<std::size_t> encode(std::string_view text) const;
+
+  /// An empty cache shaped for this model (num_layers x max_seq_len x
+  /// num_heads*head_dim).
+  [[nodiscard]] KvCache make_cache() const;
+
+  /// Full-prompt causal pass that fills `cache` (which must be empty) and
+  /// returns the last position's logits — the prefill of a generation
+  /// session, and the producer of its first token.
+  [[nodiscard]] StepResult prefill(const std::vector<std::size_t>& prompt,
+                                   AttentionBackend backend,
+                                   const GuardedExecutor& executor,
+                                   KvCache& cache) const;
+
+  /// One autoregressive step: embeds `token` at position cache.len(),
+  /// verifies + extends every layer's cache, returns next-token logits.
+  [[nodiscard]] StepResult decode_step(std::size_t token,
+                                       AttentionBackend backend,
+                                       const GuardedExecutor& executor,
+                                       KvCache& cache) const;
+
+  /// Cache-free full forward: logits at every position (n x vocab_size).
+  /// The golden oracle incremental decode must match.
+  [[nodiscard]] std::pair<MatrixD, ModelReport> forward_full(
+      const std::vector<std::size_t>& tokens, AttentionBackend backend,
+      const GuardedExecutor& executor) const;
+
+  /// Greedy generation: prefill + (max_new_tokens - 1) decode steps.
+  [[nodiscard]] GenerationResult generate(
+      const std::vector<std::size_t>& prompt, std::size_t max_new_tokens,
+      AttentionBackend backend, const GuardedExecutor& executor,
+      KvCache& cache) const;
+
+  /// The LM head's global kProjection index (num_layers * 4 — past every
+  /// layer's Q/K/V/O slots), so tamper hooks can target it unambiguously.
+  [[nodiscard]] std::size_t lm_head_index() const {
+    return cfg_.num_layers * 4;
+  }
+
+  [[nodiscard]] static std::size_t argmax(const std::vector<double>& logits);
+
+ private:
+  /// Final LayerNorm + tied LM head over the last row of `h`; the logits
+  /// product is guarded by the matmul-ABFT identity
+  /// predicted = dot(colsum(h_last), colsum(E)).
+  [[nodiscard]] std::vector<double> lm_head(const MatrixD& h,
+                                            const GuardedExecutor& executor,
+                                            LayerReport& report) const;
+
+  TransformerConfig cfg_;
+  Embedding embedding_;
+  std::vector<DecoderLayer> layers_;
+  LayerNorm final_norm_;
+};
+
+}  // namespace flashabft

@@ -1,5 +1,6 @@
 #include "serve/load_driver.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <utility>
 
@@ -77,6 +78,51 @@ LayerFault draw_layer_fault(const DecoderLayerConfig& layer,
   return fault;
 }
 
+GenerationStepFault draw_generation_fault(const TransformerConfig& model,
+                                          const RecoveryPolicy& recovery,
+                                          double magnitude, bool persistent,
+                                          std::size_t max_new_tokens,
+                                          Rng& rng) {
+  GenerationStepFault out;
+  out.step = std::size_t(rng.next_below(max_new_tokens));
+  // Global-op census of the decoder-only stack: L*H heads, L*4 layer
+  // projections + 1 LM head, L*2 FFN products. (kKvCache is excluded —
+  // cache faults are injected as real storage upsets, not tampering.)
+  const std::size_t heads = model.num_layers * model.num_heads;
+  const std::size_t projections = model.num_layers * 4 + 1;
+  const std::size_t ffn = model.num_layers * 2;
+  const std::size_t pick = rng.next_below(heads + projections + ffn);
+  if (pick < heads) {
+    out.fault.kind = OpKind::kAttentionFlashAbft;
+    out.fault.op_index = pick;
+  } else if (pick < heads + projections) {
+    out.fault.kind = OpKind::kProjection;
+    out.fault.op_index = pick - heads;  // num_layers*4 is the LM head.
+  } else {
+    out.fault.kind = OpKind::kFfn;
+    out.fault.op_index = pick - heads - projections;
+  }
+  out.fault.faulty_attempts = persistent ? recovery.max_retries + 1 : 1;
+  out.fault.magnitude = magnitude;
+  return out;
+}
+
+KvCorruption draw_kv_corruption(const TransformerConfig& model,
+                                std::size_t max_new_tokens, double delta,
+                                Rng& rng) {
+  FLASHABFT_ENSURE_MSG(max_new_tokens >= 2,
+                       "a KV corruption needs a decode step to read it");
+  KvCorruption out;
+  out.step = 1 + std::size_t(rng.next_below(max_new_tokens - 1));
+  out.layer = std::size_t(rng.next_below(model.num_layers));
+  out.row = std::size_t(rng.next_u64());  // reduced mod len at injection.
+  out.col = std::size_t(
+      rng.next_below(model.num_heads * model.head_dim));
+  out.delta = delta;
+  out.value_side = rng.next_below(2) == 1;
+  return out;
+}
+
 namespace {
 
 ServeRequest make_attention_request(const LoadDriverConfig& config,
@@ -106,10 +152,34 @@ ServeRequest make_layer_request(const LoadDriverConfig& config,
   request.category = category.name;
   LayerWork work;
   Rng rng = base.derive(serial + 1);
-  work.x = MatrixD(config.seq_len_cap, layer.model_dim);
+  // Sized from the sampled category (capped), like attention-mode heads —
+  // so layer-mode load actually varies across categories.
+  const std::size_t rows =
+      config.seq_len_cap > 0
+          ? std::min(category.seq_len, config.seq_len_cap)
+          : category.seq_len;
+  work.x = MatrixD(rows, layer.model_dim);
   fill_gaussian(work.x, rng);
   work.memory = MatrixD(config.memory_len, layer.model_dim);
   fill_gaussian(work.memory, rng);
+  request.work = std::move(work);
+  return request;
+}
+
+ServeRequest make_generation_request(const LoadDriverConfig& config,
+                                     const TransformerConfig& model,
+                                     const PromptCategory& category,
+                                     const Rng& base, std::size_t serial) {
+  ServeRequest request;
+  request.id = serial + 1;
+  request.category = category.name;
+  GenerationWork work;
+  Rng rng = base.derive(serial + 1);
+  work.prompt.reserve(config.prompt_len);
+  for (std::size_t t = 0; t < config.prompt_len; ++t) {
+    work.prompt.push_back(std::size_t(rng.next_below(model.vocab_size)));
+  }
+  work.max_new_tokens = config.max_new_tokens;
   request.work = std::move(work);
   return request;
 }
@@ -123,13 +193,23 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
   FLASHABFT_ENSURE_MSG(config.heads_per_request > 0,
                        "requests need at least one head");
   const bool layer_mode = config.mode == RequestMode::kDecoderLayer;
+  const bool generation_mode = config.mode == RequestMode::kGeneration;
   const ModelPreset& preset = preset_by_name(config.preset_name);
-  if (!layer_mode) {
+  if (config.mode == RequestMode::kAttentionHeads) {
     FLASHABFT_ENSURE_MSG(
         preset.head_dim == server.config().accel.head_dim,
         "preset head_dim " << preset.head_dim
                            << " != server accelerator head_dim "
                            << server.config().accel.head_dim);
+  }
+  if (generation_mode) {
+    FLASHABFT_ENSURE_MSG(config.prompt_len > 0, "empty generation prompt");
+    FLASHABFT_ENSURE_MSG(
+        config.prompt_len + config.max_new_tokens <=
+            server.config().model.max_seq_len,
+        "prompt " << config.prompt_len << " + " << config.max_new_tokens
+                  << " tokens exceeds model max_seq_len "
+                  << server.config().model.max_seq_len);
   }
 
   const std::vector<PromptCategory>& categories = prompt_suite();
@@ -142,6 +222,7 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
   const auto absorb = [&report](const ServeResponse& response) {
     ++report.completed;
     if (response.checksum_clean) ++report.clean_responses;
+    report.tokens_generated += response.tokens.size();
     switch (response.path) {
       case ServePath::kGuardedClean: ++report.guarded_clean; break;
       case ServePath::kGuardedRecovered: ++report.recovered; break;
@@ -158,15 +239,36 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
       const PromptCategory& category =
           categories[submitted % categories.size()];
       ServeRequest request =
-          layer_mode ? make_layer_request(config, server.config().layer,
-                                          category, base, submitted)
-                     : make_attention_request(config, preset, category, base,
-                                              submitted);
+          generation_mode
+              ? make_generation_request(config, server.config().model,
+                                        category, base, submitted)
+          : layer_mode ? make_layer_request(config, server.config().layer,
+                                            category, base, submitted)
+                       : make_attention_request(config, preset, category,
+                                                base, submitted);
       if (config.inject.fault_probability > 0.0 &&
           inject_rng.next_double() < config.inject.fault_probability) {
-        const bool persistent =
+        bool persistent =
             inject_rng.next_double() < config.inject.persistent_fraction;
-        if (layer_mode) {
+        if (generation_mode) {
+          GenerationWork& work = std::get<GenerationWork>(request.work);
+          const bool corrupt_cache =
+              config.max_new_tokens >= 2 &&
+              inject_rng.next_double() < config.inject.kv_corruption_fraction;
+          if (corrupt_cache) {
+            // A storage upset always recovers via the checkpoint —
+            // accounted as transient.
+            persistent = false;
+            work.kv_corruptions.push_back(draw_kv_corruption(
+                server.config().model, config.max_new_tokens,
+                config.inject.kv_corruption_delta, inject_rng));
+          } else {
+            work.faults.push_back(draw_generation_fault(
+                server.config().model, server.config().recovery,
+                config.inject.layer_fault_magnitude, persistent,
+                config.max_new_tokens, inject_rng));
+          }
+        } else if (layer_mode) {
           std::get<LayerWork>(request.work)
               .faults.push_back(draw_layer_fault(
                   server.config().layer, server.config().recovery,
@@ -199,6 +301,10 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
   report.throughput_rps = report.wall_seconds > 0.0
                               ? double(report.completed) / report.wall_seconds
                               : 0.0;
+  report.tokens_per_second =
+      report.wall_seconds > 0.0
+          ? double(report.tokens_generated) / report.wall_seconds
+          : 0.0;
   report.telemetry = server.telemetry().snapshot();
   return report;
 }

@@ -23,6 +23,7 @@ namespace flashabft::serve {
 enum class RequestMode {
   kAttentionHeads,  ///< AttentionWork through the cycle-level accelerator.
   kDecoderLayer,    ///< LayerWork through the server's protected layer.
+  kGeneration,      ///< GenerationWork sessions through the full model.
 };
 
 /// Per-request fault injection knobs.
@@ -35,8 +36,16 @@ struct FaultInjectionConfig {
   /// Attention mode: where accelerator faults may land. Datapath-only by
   /// default so every alarm traces to a real output corruption.
   SiteMask sites = SiteMask::datapath_only();
-  /// Layer mode: emulated checksum shift applied to the targeted op.
+  /// Layer/generation modes: emulated checksum shift applied to the
+  /// targeted op.
   double layer_fault_magnitude = 1e-3;
+  /// Generation mode: of injected faults, the fraction that are KV-cache
+  /// storage upsets (detected by the cache checksum and re-materialized
+  /// from the checkpoint) rather than op tampering. Needs >= 2 generated
+  /// tokens to have a decode step that reads the cache.
+  double kv_corruption_fraction = 0.5;
+  /// Generation mode: element shift of a KV-cache corruption.
+  double kv_corruption_delta = 1.0;
 };
 
 struct LoadDriverConfig {
@@ -45,14 +54,20 @@ struct LoadDriverConfig {
   RequestMode mode = RequestMode::kAttentionHeads;
   /// Workload shape (attention mode): per-head inputs come from
   /// prompt_suite() categories round-robin, generated for this preset.
-  /// Layer mode only borrows the category names as telemetry tags.
+  /// Layer mode draws its row count from the sampled category too;
+  /// generation mode only borrows the category names as telemetry tags.
   std::string preset_name = "bert";
   std::size_t heads_per_request = 4;
-  /// Attention mode: clamp on category sequence lengths. Layer mode: the
-  /// decoder-side sequence length of each request.
+  /// Clamp on the sampled category's sequence length: attention-mode head
+  /// shapes and layer-mode decoder-side rows both follow
+  /// min(category.seq_len, seq_len_cap), so load varies per category.
   std::size_t seq_len_cap = 64;
   /// Layer mode: encoder-memory length of each request.
   std::size_t memory_len = 16;
+  /// Generation mode: prompt tokens per session (random ids over the
+  /// server model's vocab) and greedy tokens to produce.
+  std::size_t prompt_len = 12;
+  std::size_t max_new_tokens = 6;
   FaultInjectionConfig inject{};
   std::uint64_t seed = 7;
 };
@@ -67,8 +82,10 @@ struct LoadReport {
   std::size_t guarded_clean = 0;
   std::size_t recovered = 0;
   std::size_t fallback = 0;
+  std::size_t tokens_generated = 0;     ///< generation mode only.
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;
+  double tokens_per_second = 0.0;       ///< generation mode only.
   TelemetrySnapshot telemetry;
 };
 
@@ -94,6 +111,21 @@ struct LoadReport {
                                           const RecoveryPolicy& recovery,
                                           double magnitude, bool persistent,
                                           Rng& rng);
+
+/// Draws an emulated op fault for one step of a generation session: a
+/// uniform step in [0, max_new_tokens) and a uniform checkable op of the
+/// stacked model (heads, projections incl. the LM head, FFN products),
+/// addressed by its global index.
+[[nodiscard]] GenerationStepFault draw_generation_fault(
+    const TransformerConfig& model, const RecoveryPolicy& recovery,
+    double magnitude, bool persistent, std::size_t max_new_tokens, Rng& rng);
+
+/// Draws a KV-cache storage upset for a generation session: a uniform
+/// decode step in [1, max_new_tokens), layer, K/V side and element (row/col
+/// are reduced modulo the live cache shape at injection time).
+[[nodiscard]] KvCorruption draw_kv_corruption(const TransformerConfig& model,
+                                              std::size_t max_new_tokens,
+                                              double delta, Rng& rng);
 
 /// Runs the closed loop against `server` (whose accelerator — attention
 /// mode — or decoder layer — layer mode — must match the config's shapes)

@@ -1,11 +1,15 @@
 // Request/response types of the fault-tolerant serving engine.
 //
-// A request carries one of two payloads:
+// A request carries one of three external payloads:
 //   * AttentionWork — H per-head Q/K/V bundles plus an optional fault plan
-//     (the upsets the cycle-level simulator applies while executing it), or
+//     (the upsets the cycle-level simulator applies while executing it),
 //   * LayerWork — a full protected decoder-layer forward (embeddings +
 //     encoder memory), every checkable op of which (projections, per-head
-//     attention, FFN) runs through the worker's GuardedExecutor.
+//     attention, FFN) runs through the worker's GuardedExecutor, or
+//   * GenerationWork — an autoregressive generation session: prefill over
+//     the prompt, then resumable single-token decode steps over the
+//     session's checksummed KV cache (DecodeStepWork is the internal
+//     continuation the server re-enqueues between steps).
 // The response carries the accepted outputs, how they were produced, and
 // the unified per-op OpReport stream telemetry reconciles alarms, retries
 // and escalations against.
@@ -60,6 +64,47 @@ struct LayerWork {
   std::vector<LayerFault> faults;  ///< emulated faults (empty = clean).
 };
 
+/// An emulated op fault scoped to one step of a generation session:
+/// step 0 is the prefill, step s >= 1 the s-th decode step. `fault` uses
+/// the model's *global* op indices (heads layer*H+h, projections
+/// layer*4+slot, FFN layer*2+{0,1}, cache checks layer, LM head
+/// num_layers*4), so one (kind, index) pair names one op in the stack.
+struct GenerationStepFault {
+  std::size_t step = 0;
+  LayerFault fault;
+};
+
+/// A KV-cache storage upset: one element of the session's live cache is
+/// shifted (running checksums left stale) just before decode step `step`
+/// reads it. The cache checksum must detect it and re-materialize from the
+/// checkpoint. `row`/`col` are taken modulo the cache's length/width at
+/// injection time.
+struct KvCorruption {
+  std::size_t step = 1;   ///< decode step (>= 1) that reads the bad cache.
+  std::size_t layer = 0;  ///< decoder layer, modulo num_layers.
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double delta = 1.0;       ///< element shift.
+  bool value_side = false;  ///< corrupt V instead of K.
+};
+
+/// An autoregressive generation session: greedy decode of
+/// `max_new_tokens` tokens from `prompt` through the server's protected
+/// TransformerModel, one resumable step at a time.
+struct GenerationWork {
+  std::vector<std::size_t> prompt;  ///< token ids (model.encode for text).
+  std::size_t max_new_tokens = 8;
+  std::vector<GenerationStepFault> faults;   ///< emulated op faults.
+  std::vector<KvCorruption> kv_corruptions;  ///< cache upsets between steps.
+};
+
+/// Internal continuation payload: one decode step of an active session,
+/// re-enqueued by the server so sessions interleave with other traffic.
+/// Never submitted by clients.
+struct DecodeStepWork {
+  std::uint64_t session_id = 0;
+};
+
 /// How a request's accepted outputs were produced.
 enum class ServePath {
   /// Guarded path, no alarm on the first execution of any op.
@@ -83,11 +128,13 @@ enum class SubmitResult {
 
 [[nodiscard]] const char* submit_result_name(SubmitResult result);
 
-/// One inference request: attention-head work or a decoder-layer forward.
+/// One inference request: attention-head work, a decoder-layer forward, or
+/// a generation session (DecodeStepWork is internal-only).
 struct ServeRequest {
   std::uint64_t id = 0;
   std::string category;  ///< workload category tag (telemetry only).
-  std::variant<AttentionWork, LayerWork> work = AttentionWork{};
+  std::variant<AttentionWork, LayerWork, GenerationWork, DecodeStepWork>
+      work = AttentionWork{};
   /// Stamped at admission (submit/try_submit); queue-latency telemetry.
   Clock::time_point enqueue_time{};
 };
@@ -114,6 +161,11 @@ struct ServeResponse {
   double queue_us = 0.0;       ///< enqueue -> execution start.
   double service_us = 0.0;     ///< execution start -> completion.
   double total_us = 0.0;       ///< enqueue -> completion.
+
+  // Generation sessions only:
+  std::vector<std::size_t> tokens;  ///< generated ids (prompt excluded).
+  std::size_t decode_steps = 0;     ///< steps after the prefill.
+  double ttft_us = 0.0;             ///< enqueue -> first token (prefill).
 };
 
 }  // namespace flashabft::serve

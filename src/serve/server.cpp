@@ -19,6 +19,24 @@ void append_plan(FaultPlan& plan, const FaultPlan& extra) {
   plan.insert(plan.end(), extra.begin(), extra.end());
 }
 
+/// The emulated datapath-upset tamper shared by LayerWork requests and
+/// generation-session steps: shifts one output element and the readout
+/// checksum of every matching op for its first `faulty_attempts` attempts.
+GuardedExecutor::Tamper layer_fault_tamper(std::vector<LayerFault> faults) {
+  return [faults = std::move(faults)](OpKind kind, std::size_t index,
+                                      std::size_t attempt, CheckedOp& op) {
+    for (const LayerFault& fault : faults) {
+      if (fault.kind != kind || fault.op_index != index ||
+          attempt >= fault.faulty_attempts) {
+        continue;
+      }
+      op.output(0, 0) += fault.magnitude;
+      op.check.actual += fault.magnitude;
+      op.self_verdict.reset();
+    }
+  };
+}
+
 }  // namespace
 
 const char* serve_path_name(ServePath path) {
@@ -40,7 +58,9 @@ const char* submit_result_name(SubmitResult result) {
 }
 
 InferenceServer::InferenceServer(ServerConfig config)
-    : config_(config), queue_(config.queue_capacity) {
+    : config_(config),
+      queue_(config.queue_capacity),
+      sessions_(config.max_sessions, config.queue_capacity) {
   FLASHABFT_ENSURE_MSG(config_.num_workers > 0,
                        "server needs at least one worker");
   FLASHABFT_ENSURE_MSG(config_.batching.max_batch > 0,
@@ -75,11 +95,40 @@ const DecoderLayer& InferenceServer::layer() const {
   return *layer_;
 }
 
+const TransformerModel& InferenceServer::model() const {
+  std::call_once(model_once_, [this] {
+    model_ =
+        std::make_unique<TransformerModel>(config_.model, config_.model_seed);
+  });
+  return *model_;
+}
+
 InferenceServer::Pending InferenceServer::make_pending(ServeRequest request) {
   // Invalid payloads are a caller bug on both submit paths (the rejected
   // counter is reserved for genuine load shedding).
   if (const auto* attention = std::get_if<AttentionWork>(&request.work)) {
     FLASHABFT_ENSURE_MSG(!attention->heads.empty(), "request has no heads");
+  } else if (const auto* generation =
+                 std::get_if<GenerationWork>(&request.work)) {
+    FLASHABFT_ENSURE_MSG(!generation->prompt.empty(),
+                         "generation request has an empty prompt");
+    FLASHABFT_ENSURE_MSG(generation->max_new_tokens > 0,
+                         "generation request asks for zero tokens");
+    FLASHABFT_ENSURE_MSG(
+        generation->prompt.size() + generation->max_new_tokens <=
+            config_.model.max_seq_len,
+        "prompt " << generation->prompt.size() << " + "
+                  << generation->max_new_tokens
+                  << " new tokens exceeds model max_seq_len "
+                  << config_.model.max_seq_len);
+    for (const std::size_t id : generation->prompt) {
+      FLASHABFT_ENSURE_MSG(id < config_.model.vocab_size,
+                           "prompt token " << id << " outside vocab "
+                                           << config_.model.vocab_size);
+    }
+  } else if (std::holds_alternative<DecodeStepWork>(request.work)) {
+    FLASHABFT_ENSURE_MSG(false,
+                         "DecodeStepWork is an internal continuation");
   } else {
     const auto& layer_work = std::get<LayerWork>(request.work);
     FLASHABFT_ENSURE_MSG(
@@ -169,6 +218,13 @@ void InferenceServer::worker_loop(Worker& worker) {
     if (batch.empty()) return;  // queue closed and drained.
     telemetry_.on_batch();
     for (Pending& pending : batch) {
+      // Session work manages its own promise (it lives with the session
+      // across continuations) and its own error reporting.
+      if (std::holds_alternative<GenerationWork>(pending.request.work) ||
+          std::holds_alternative<DecodeStepWork>(pending.request.work)) {
+        handle_generation(worker, std::move(pending), batch.size());
+        continue;
+      }
       // A malformed request (e.g. head shapes that don't match the
       // accelerator) must fail its own future, not escape the thread and
       // terminate the whole server.
@@ -335,20 +391,7 @@ void InferenceServer::execute_layer(const LayerWork& work,
                                     ServeResponse& response) {
   GuardedExecutor executor = make_executor();
   if (!work.faults.empty()) {
-    executor.set_tamper([&work](OpKind kind, std::size_t index,
-                                std::size_t attempt, CheckedOp& op) {
-      for (const LayerFault& fault : work.faults) {
-        if (fault.kind != kind || fault.op_index != index ||
-            attempt >= fault.faulty_attempts) {
-          continue;
-        }
-        // A datapath upset: one output element corrupted, with the readout
-        // checksum recomputed from the corrupted output.
-        op.output(0, 0) += fault.magnitude;
-        op.check.actual += fault.magnitude;
-        op.self_verdict.reset();
-      }
-    });
+    executor.set_tamper(layer_fault_tamper(work.faults));
   }
 
   DecoderLayerResult out =
@@ -374,6 +417,178 @@ void InferenceServer::execute_layer(const LayerWork& work,
                   : recovered               ? ServePath::kGuardedRecovered
                                             : ServePath::kGuardedClean;
   response.reports = std::move(out.report.ops);
+}
+
+void InferenceServer::handle_generation(Worker& worker, Pending pending,
+                                        std::size_t batch_size) {
+  if (std::holds_alternative<GenerationWork>(pending.request.work)) {
+    auto session = std::make_unique<GenerationSession>();
+    session->id = pending.request.id;
+    session->category = std::move(pending.request.category);
+    session->work = std::move(std::get<GenerationWork>(pending.request.work));
+    session->promise = std::move(pending.promise);
+    session->enqueue_time = pending.request.enqueue_time;
+    SessionAdmission admission = sessions_.admit(std::move(session));
+    if (admission.shed != nullptr) {
+      // Active set and parking FIFO both full: generation load shedding.
+      telemetry_.on_reject();
+      admission.shed->promise.set_exception(std::make_exception_ptr(
+          EnsureError("generation session load-shed: session table full")));
+      return;
+    }
+    if (admission.active == nullptr) {
+      // Session bound reached: parked in the table's FIFO; the worker that
+      // completes an active session will activate and drive it.
+      telemetry_.on_session_parked();
+      return;
+    }
+    telemetry_.on_session_start();
+    drive_session(worker, admission.active, batch_size);
+    return;
+  }
+  const std::uint64_t key =
+      std::get<DecodeStepWork>(pending.request.work).session_id;
+  drive_session(worker, sessions_.find(key), batch_size);
+}
+
+void InferenceServer::drive_session(Worker& worker,
+                                    GenerationSession* session,
+                                    std::size_t batch_size) {
+  while (session != nullptr) {
+    bool done = false;
+    try {
+      done = execute_session_step(worker, *session, batch_size);
+    } catch (...) {
+      // A failing step fails its own session, not the worker thread.
+      session->promise.set_exception(std::current_exception());
+      auto [failed, next] = sessions_.finish(session->key);
+      session = next;
+      if (session != nullptr) telemetry_.on_session_start();
+      batch_size = 1;
+      continue;
+    }
+    if (!done) {
+      ServeRequest continuation;
+      continuation.id = session->id;
+      continuation.category = session->category;
+      continuation.work = DecodeStepWork{session->key};
+      Pending next_step;
+      next_step.request = std::move(continuation);
+      if (queue_.try_push(std::move(next_step))) return;  // handed off.
+      // Queue full (or closed during shutdown drain): keep driving this
+      // session inline so it still completes.
+      batch_size = 1;
+      continue;
+    }
+    session = finalize_session(*session);
+    if (session != nullptr) telemetry_.on_session_start();
+    batch_size = 1;
+  }
+}
+
+bool InferenceServer::execute_session_step(Worker& worker,
+                                           GenerationSession& session,
+                                           std::size_t batch_size) {
+  const Clock::time_point start = Clock::now();
+  const bool is_prefill = session.tokens.empty();
+  // Step numbering of the fault surfaces: 0 = prefill, s >= 1 = the s-th
+  // decode step.
+  const std::size_t step_index = is_prefill ? 0 : session.steps_done + 1;
+
+  GuardedExecutor executor = make_executor();
+  std::vector<LayerFault> step_faults;
+  for (const GenerationStepFault& f : session.work.faults) {
+    if (f.step == step_index) step_faults.push_back(f.fault);
+  }
+  if (!step_faults.empty()) {
+    executor.set_tamper(layer_fault_tamper(std::move(step_faults)));
+  }
+
+  const TransformerModel& m = model();
+  if (is_prefill) {
+    session.cache = std::make_unique<KvCache>(m.make_cache());
+    if (session.enqueue_time != Clock::time_point{}) {
+      session.queue_us = to_us(start - session.enqueue_time);
+    }
+  } else {
+    // Storage upsets scheduled between steps land now, before this step
+    // reads the cache (its kKvCache check must catch and repair them).
+    for (const KvCorruption& c : session.work.kv_corruptions) {
+      if (c.step != step_index) continue;
+      KvCacheLayer& cache_layer =
+          session.cache->layer(c.layer % config_.model.num_layers);
+      if (cache_layer.len() == 0) continue;
+      const std::size_t row = c.row % cache_layer.len();
+      const std::size_t col = c.col % cache_layer.width();
+      if (c.value_side) {
+        cache_layer.corrupt_v(row, col, c.delta);
+      } else {
+        cache_layer.corrupt_k(row, col, c.delta);
+      }
+    }
+  }
+
+  StepResult step =
+      is_prefill ? m.prefill(session.work.prompt, AttentionBackend::kFlashAbft,
+                             executor, *session.cache)
+                 : m.decode_step(session.tokens.back(),
+                                 AttentionBackend::kFlashAbft, executor,
+                                 *session.cache);
+
+  session.tokens.push_back(step.next_token);
+  if (!is_prefill) ++session.steps_done;
+  session.op_executions += step.report.executions();
+  session.alarm_events += step.report.alarm_events();
+  session.fallback_ops += step.report.fallback_ops();
+  session.recovered_ops += step.report.recovered_ops();
+  if (step.report.escalated_ops() > 0) telemetry_.on_escalation();
+  session.checksum_clean =
+      session.checksum_clean && step.report.all_accepted_clean();
+  std::vector<OpReport> flat = step.report.flatten();
+  session.all_reports.insert(session.all_reports.end(),
+                             std::make_move_iterator(flat.begin()),
+                             std::make_move_iterator(flat.end()));
+  session.worker_id = worker.id;
+  session.batch_size = batch_size;
+
+  const Clock::time_point end = Clock::now();
+  session.service_us += to_us(end - start);
+  if (is_prefill) {
+    session.ttft_us = session.enqueue_time != Clock::time_point{}
+                          ? to_us(end - session.enqueue_time)
+                          : session.service_us;
+  }
+  return session.done();
+}
+
+GenerationSession* InferenceServer::finalize_session(
+    GenerationSession& session) {
+  ServeResponse response;
+  response.id = session.id;
+  response.worker_id = session.worker_id;
+  response.batch_size = session.batch_size;
+  response.tokens = session.tokens;
+  response.decode_steps = session.steps_done;
+  response.ttft_us = session.ttft_us;
+  response.queue_us = session.queue_us;
+  response.service_us = session.service_us;
+  response.total_us = session.enqueue_time != Clock::time_point{}
+                          ? to_us(Clock::now() - session.enqueue_time)
+                          : session.service_us;
+  response.reports = std::move(session.all_reports);
+  response.op_executions = session.op_executions;
+  response.alarm_events = session.alarm_events;
+  response.fallback_ops = session.fallback_ops;
+  response.checksum_clean = session.checksum_clean;
+  response.path = session.fallback_ops > 0 ? ServePath::kFallbackReference
+                  : session.recovered_ops > 0
+                      ? ServePath::kGuardedRecovered
+                      : ServePath::kGuardedClean;
+  telemetry_.on_response(response);
+  telemetry_.on_session_complete(response);
+  auto [finished, next] = sessions_.finish(session.key);
+  finished->promise.set_value(std::move(response));
+  return next;
 }
 
 }  // namespace flashabft::serve

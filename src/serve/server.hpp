@@ -18,6 +18,15 @@
 //     guarded individually; escalated ops fall back to a clean reference
 //     execution. The software path does not touch the worker's device, so
 //     layer escalations bypass the breaker.
+//   * GenerationWork is a *session*: the prefill runs like a batched
+//     request (filling the session's checksummed KV cache), then each
+//     decode step is re-enqueued as a DecodeStepWork continuation so steps
+//     interleave with other traffic. Concurrent sessions are bounded
+//     (SessionTable); excess sessions wait in an admission FIFO. Every
+//     step's ops — including the per-layer kKvCache cache verification,
+//     which re-materializes a corrupted cache from its checkpoint — feed
+//     the same OpReport telemetry; the response reports generated tokens,
+//     decode steps and time-to-first-token.
 //
 // Every accepted output is checksum-verified on whichever path produced
 // it, so a completed request is checksum-clean by construction unless a
@@ -34,10 +43,12 @@
 #include "core/checker.hpp"
 #include "core/guarded_op.hpp"
 #include "model/decoder_layer.hpp"
+#include "model/transformer_model.hpp"
 #include "serve/batch_former.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/session.hpp"
 #include "serve/telemetry.hpp"
 #include "sim/accelerator.hpp"
 
@@ -66,6 +77,16 @@ struct ServerConfig {
   /// request) and shared by all workers.
   DecoderLayerConfig layer{};
   std::uint64_t layer_seed = 2027;
+  /// Shape of the autoregressive model serving GenerationWork sessions
+  /// (also lazily constructed, shared by all workers).
+  TransformerConfig model{};
+  std::uint64_t model_seed = 2029;
+  /// Bound on concurrently active generation sessions. Excess sessions
+  /// wait in the session table's admission FIFO, itself bounded by
+  /// `queue_capacity`; beyond that a generation request is load-shed (its
+  /// future fails and a rejection is counted), so generation traffic
+  /// cannot grow server state without bound.
+  std::size_t max_sessions = 4;
 };
 
 class InferenceServer {
@@ -97,6 +118,21 @@ class InferenceServer {
   /// The decoder layer LayerWork requests run through (lazily constructed;
   /// also the reference for golden-output tests).
   [[nodiscard]] const DecoderLayer& layer() const;
+
+  /// The model GenerationWork sessions run through (lazily constructed;
+  /// also the reference for golden-token tests).
+  [[nodiscard]] const TransformerModel& model() const;
+
+  // Generation-session observability.
+  [[nodiscard]] std::size_t active_sessions() const {
+    return sessions_.active();
+  }
+  [[nodiscard]] std::size_t peak_active_sessions() const {
+    return sessions_.peak_active();
+  }
+  [[nodiscard]] std::size_t parked_sessions() const {
+    return sessions_.parked();
+  }
 
   /// Installs a standing fault plan on worker `worker_id`: it is applied
   /// (on top of each request's own plan) to every accelerator execution
@@ -141,14 +177,36 @@ class InferenceServer {
                          ServeResponse& response);
   void execute_layer(const LayerWork& work, ServeResponse& response);
 
+  // --- generation sessions ---
+  /// Handles a popped GenerationWork (activate-or-park + prefill) or
+  /// DecodeStepWork (one decode step) and drives continuations.
+  void handle_generation(Worker& worker, Pending pending,
+                         std::size_t batch_size);
+  /// Runs the session's next step (prefill if no tokens yet). Returns true
+  /// when the session produced its last token.
+  [[nodiscard]] bool execute_session_step(Worker& worker,
+                                          GenerationSession& session,
+                                          std::size_t batch_size);
+  /// Runs steps until the session hands off (continuation enqueued) or
+  /// completes; on completion drives any newly activated parked session.
+  void drive_session(Worker& worker, GenerationSession* session,
+                     std::size_t batch_size);
+  /// Completes the session: builds the response, fulfills the promise,
+  /// records telemetry; returns the next parked session (now active).
+  [[nodiscard]] GenerationSession* finalize_session(
+      GenerationSession& session);
+
   ServerConfig config_;
   BoundedMpmcQueue<Pending> queue_;
   ServeTelemetry telemetry_;
+  SessionTable sessions_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> next_auto_id_{1};
   std::atomic<bool> shut_down_{false};
   mutable std::once_flag layer_once_;
   mutable std::unique_ptr<DecoderLayer> layer_;
+  mutable std::once_flag model_once_;
+  mutable std::unique_ptr<TransformerModel> model_;
 };
 
 }  // namespace flashabft::serve

@@ -1,0 +1,131 @@
+// Generation sessions: the server-side state of in-flight autoregressive
+// requests.
+//
+// A generation request is not one unit of work — it is a prefill followed
+// by many single-token decode steps over a growing, checksummed KV cache.
+// The server keeps that state here: each `GenerationSession` owns its
+// cache, the tokens produced so far, the accumulated OpReport stream and
+// the latency bookkeeping (TTFT, per-step service time). Between steps the
+// session is *parked in the queue* as a DecodeStepWork continuation, so
+// decode steps interleave with other traffic instead of pinning a worker.
+//
+// Concurrency is bounded: at most `max_active` sessions hold a KV cache at
+// once. A session arriving beyond the bound waits in an admission FIFO
+// (itself bounded by `max_parked` — beyond that the session is load-shed
+// and its future fails) and is activated by whichever worker completes an
+// active session — the completing worker drives the newly activated
+// session's prefill itself.
+//
+// Sessions are addressed by a server-internal `key` (monotonic), never by
+// the client-chosen request id, so duplicate request ids cannot collide in
+// the table.
+//
+// Thread-safety: the table's map/FIFO/counters are mutex-guarded. A
+// session's *contents* are not — exactly one continuation per session
+// exists at any time (enforced by the re-enqueue protocol), so only one
+// worker ever touches a session between activation and completion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/kv_cache.hpp"
+#include "serve/request.hpp"
+
+namespace flashabft::serve {
+
+/// The server-side state of one generation request.
+struct GenerationSession {
+  std::uint64_t key = 0;  ///< server-internal table/continuation address.
+  std::uint64_t id = 0;   ///< client-visible request id (response.id).
+  std::string category;
+  GenerationWork work;
+  std::promise<ServeResponse> promise;
+
+  /// Built at activation (prefill); empty while parked.
+  std::unique_ptr<KvCache> cache;
+  std::vector<std::size_t> tokens;  ///< generated so far.
+  std::size_t steps_done = 0;       ///< decode steps executed.
+
+  Clock::time_point enqueue_time{};
+  double queue_us = 0.0;    ///< admission -> first execution.
+  double service_us = 0.0;  ///< accumulated per-step compute time.
+  double ttft_us = 0.0;     ///< admission -> first token.
+
+  /// Accumulated OpReport stream of every step (telemetry's view).
+  std::vector<OpReport> all_reports;
+  std::size_t op_executions = 0;
+  std::size_t alarm_events = 0;
+  std::size_t fallback_ops = 0;
+  std::size_t recovered_ops = 0;
+  bool checksum_clean = true;
+
+  std::size_t worker_id = 0;   ///< last worker to run a step.
+  std::size_t batch_size = 0;  ///< batch the last step rode in.
+
+  [[nodiscard]] bool done() const {
+    return tokens.size() >= work.max_new_tokens;
+  }
+};
+
+/// Outcome of offering a session to the table.
+struct SessionAdmission {
+  /// Set when the session was activated (a slot was free): drive it now.
+  GenerationSession* active = nullptr;
+  /// Set when both the active set and the parked FIFO are full: the
+  /// session was shed and handed back (fail its promise).
+  std::unique_ptr<GenerationSession> shed;
+  [[nodiscard]] bool parked() const {
+    return active == nullptr && shed == nullptr;
+  }
+};
+
+/// Bounded-concurrency session registry with a bounded admission FIFO.
+class SessionTable {
+ public:
+  SessionTable(std::size_t max_active, std::size_t max_parked);
+
+  /// Activates `session` (assigning its table key) if a slot is free,
+  /// parks it FIFO if there is parking room, or sheds it. Parked sessions
+  /// are activated by `finish`.
+  [[nodiscard]] SessionAdmission admit(
+      std::unique_ptr<GenerationSession> session);
+
+  /// The active session with table key `key`; throws if unknown (a
+  /// continuation for a dead session is a protocol bug).
+  [[nodiscard]] GenerationSession* find(std::uint64_t key) const;
+
+  /// Removes active session `key`, returning its ownership plus the next
+  /// parked session, if any, now activated in its slot (the caller must
+  /// drive it).
+  [[nodiscard]] std::pair<std::unique_ptr<GenerationSession>,
+                          GenerationSession*>
+  finish(std::uint64_t key);
+
+  [[nodiscard]] std::size_t max_active() const { return max_active_; }
+  [[nodiscard]] std::size_t active() const;
+  [[nodiscard]] std::size_t parked() const;
+  [[nodiscard]] std::size_t peak_active() const;
+
+ private:
+  /// Registers `session` as active under a fresh key. Caller holds mutex_.
+  [[nodiscard]] GenerationSession* activate_locked(
+      std::unique_ptr<GenerationSession> session);
+
+  const std::size_t max_active_;
+  const std::size_t max_parked_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_key_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<GenerationSession>>
+      active_;
+  std::deque<std::unique_ptr<GenerationSession>> parked_;
+  std::size_t peak_active_ = 0;
+};
+
+}  // namespace flashabft::serve

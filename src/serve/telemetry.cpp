@@ -70,6 +70,15 @@ void ServeTelemetry::on_response(const ServeResponse& response) {
   total_us_.record(response.total_us, reservoir_rng_);
 }
 
+void ServeTelemetry::on_session_complete(const ServeResponse& response) {
+  sessions_completed_.fetch_add(1, std::memory_order_relaxed);
+  tokens_generated_.fetch_add(response.tokens.size(),
+                              std::memory_order_relaxed);
+  decode_steps_.fetch_add(response.decode_steps, std::memory_order_relaxed);
+  std::lock_guard lock(latency_mutex_);
+  ttft_us_.record(response.ttft_us, reservoir_rng_);
+}
+
 TelemetrySnapshot ServeTelemetry::snapshot() const {
   TelemetrySnapshot s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -87,6 +96,12 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
   s.fallback_ops = fallback_ops_.load(std::memory_order_relaxed);
   s.checksum_clean = checksum_clean_.load(std::memory_order_relaxed);
   s.checksum_dirty = checksum_dirty_.load(std::memory_order_relaxed);
+  s.sessions_started = sessions_started_.load(std::memory_order_relaxed);
+  s.sessions_completed =
+      sessions_completed_.load(std::memory_order_relaxed);
+  s.sessions_parked = sessions_parked_.load(std::memory_order_relaxed);
+  s.tokens_generated = tokens_generated_.load(std::memory_order_relaxed);
+  s.decode_steps = decode_steps_.load(std::memory_order_relaxed);
   for (std::size_t k = 0; k < kOpKindCount; ++k) {
     s.per_kind[k].checks = kind_checks_[k].load(std::memory_order_relaxed);
     s.per_kind[k].alarms = kind_alarms_[k].load(std::memory_order_relaxed);
@@ -96,16 +111,18 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
         kind_escalated_[k].load(std::memory_order_relaxed);
   }
 
-  std::vector<double> queue_us, service_us, total_us;
+  std::vector<double> queue_us, service_us, total_us, ttft_us;
   {
     std::lock_guard lock(latency_mutex_);
     queue_us = queue_us_.samples();
     service_us = service_us_.samples();
     total_us = total_us_.samples();
+    ttft_us = ttft_us_.samples();
   }
   std::sort(queue_us.begin(), queue_us.end());
   std::sort(service_us.begin(), service_us.end());
   std::sort(total_us.begin(), total_us.end());
+  std::sort(ttft_us.begin(), ttft_us.end());
   s.queue_p50_us = percentile(queue_us, 0.50);
   s.queue_p99_us = percentile(queue_us, 0.99);
   s.service_p50_us = percentile(service_us, 0.50);
@@ -114,11 +131,17 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
   s.total_p95_us = percentile(total_us, 0.95);
   s.total_p99_us = percentile(total_us, 0.99);
   s.total_max_us = total_us.empty() ? 0.0 : total_us.back();
+  s.ttft_p50_us = percentile(ttft_us, 0.50);
+  s.ttft_p99_us = percentile(ttft_us, 0.99);
   return s;
 }
 
 double TelemetrySnapshot::throughput_rps(double wall_seconds) const {
   return wall_seconds > 0.0 ? double(completed) / wall_seconds : 0.0;
+}
+
+double TelemetrySnapshot::tokens_per_second(double wall_seconds) const {
+  return wall_seconds > 0.0 ? double(tokens_generated) / wall_seconds : 0.0;
 }
 
 std::string TelemetrySnapshot::render(double wall_seconds) const {
@@ -143,6 +166,18 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
   row("fallback ops", double(fallback_ops), 0);
   row("checksum clean", double(checksum_clean), 0);
   row("checksum dirty", double(checksum_dirty), 0);
+  if (sessions_started > 0 || sessions_parked > 0) {
+    row("gen sessions started", double(sessions_started), 0);
+    row("gen sessions completed", double(sessions_completed), 0);
+    row("gen sessions parked", double(sessions_parked), 0);
+    row("tokens generated", double(tokens_generated), 0);
+    row("decode steps", double(decode_steps), 0);
+    if (wall_seconds > 0.0) {
+      row("tokens/sec", tokens_per_second(wall_seconds));
+    }
+    row("ttft p50 (us)", ttft_p50_us);
+    row("ttft p99 (us)", ttft_p99_us);
+  }
   for (std::size_t k = 0; k < kOpKindCount; ++k) {
     const OpKindStats& stats = per_kind[k];
     if (stats.checks == 0) continue;

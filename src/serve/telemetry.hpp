@@ -83,6 +83,13 @@ struct TelemetrySnapshot {
   std::uint64_t checksum_clean = 0;
   std::uint64_t checksum_dirty = 0;
 
+  // Generation sessions.
+  std::uint64_t sessions_started = 0;    ///< activated (prefill scheduled).
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_parked = 0;     ///< waited for a session slot.
+  std::uint64_t tokens_generated = 0;
+  std::uint64_t decode_steps = 0;        ///< steps after each prefill.
+
   /// Per-op-kind view of the same stream (attention vs projection vs FFN
   /// vs reference fallback), indexed by std::size_t(OpKind).
   std::array<OpKindStats, kOpKindCount> per_kind{};
@@ -93,9 +100,14 @@ struct TelemetrySnapshot {
   double total_p50_us = 0, total_p95_us = 0, total_p99_us = 0;
   /// Max over the retained reservoir — exact until the reservoir fills.
   double total_max_us = 0;
+  /// Time-to-first-token percentiles over completed sessions.
+  double ttft_p50_us = 0, ttft_p99_us = 0;
 
   /// Requests per second over `wall_seconds`.
   [[nodiscard]] double throughput_rps(double wall_seconds) const;
+
+  /// Generated tokens per second over `wall_seconds`.
+  [[nodiscard]] double tokens_per_second(double wall_seconds) const;
 
   /// Two-column human-readable table (bench/demo output).
   [[nodiscard]] std::string render(double wall_seconds) const;
@@ -116,10 +128,20 @@ class ServeTelemetry {
   void on_breaker_bypass() {
     breaker_bypasses_.fetch_add(1, std::memory_order_relaxed);
   }
+  void on_session_start() {
+    sessions_started_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_session_parked() {
+    sessions_parked_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Records one completed response: outcome path, fault accounting and the
   /// three latency samples.
   void on_response(const ServeResponse& response);
+
+  /// Records a completed generation session's token/TTFT accounting (the
+  /// generic on_response is still called for the same response).
+  void on_session_complete(const ServeResponse& response);
 
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
@@ -139,6 +161,11 @@ class ServeTelemetry {
   std::atomic<std::uint64_t> fallback_ops_{0};
   std::atomic<std::uint64_t> checksum_clean_{0};
   std::atomic<std::uint64_t> checksum_dirty_{0};
+  std::atomic<std::uint64_t> sessions_started_{0};
+  std::atomic<std::uint64_t> sessions_completed_{0};
+  std::atomic<std::uint64_t> sessions_parked_{0};
+  std::atomic<std::uint64_t> tokens_generated_{0};
+  std::atomic<std::uint64_t> decode_steps_{0};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_checks_{};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_alarms_{};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_recovered_{};
@@ -149,6 +176,7 @@ class ServeTelemetry {
   LatencyReservoir queue_us_;
   LatencyReservoir service_us_;
   LatencyReservoir total_us_;
+  LatencyReservoir ttft_us_;
 };
 
 }  // namespace flashabft::serve

@@ -73,6 +73,60 @@ TEST(DecoderLayerTest, ForwardShapesAndProtection) {
   for (const double v : out.output.flat()) EXPECT_TRUE(std::isfinite(v));
 }
 
+// Rectangular cross-attention: the decoder's encoder memory is generally
+// NOT the decoder-side length (n_src != n). Pin the checksum algebra for
+// both directions of the rectangle, on both checked backends.
+TEST(DecoderLayerTest, RectangularCrossAttentionWideMemory) {
+  Rng rng(70);
+  DecoderLayerConfig cfg;
+  cfg.model_dim = 32;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.ffn_dim = 64;
+  const DecoderLayer layer(cfg, rng);
+  MatrixD x(5, 32), memory(23, 32);  // n_src >> n.
+  fill_gaussian(x, rng);
+  fill_gaussian(memory, rng);
+  const GuardedExecutor exec(CheckerConfig{1e-6}, RecoveryPolicy{});
+  const DecoderLayerResult golden =
+      layer.forward(x, memory, AttentionBackend::kReference, exec);
+  const DecoderLayerResult checked =
+      layer.forward(x, memory, AttentionBackend::kFlashAbft, exec);
+  EXPECT_EQ(checked.output.rows(), 5u);
+  EXPECT_LT(max_abs_diff(golden.output, checked.output), 1e-9);
+  EXPECT_FALSE(checked.report.any_alarm());
+  EXPECT_TRUE(checked.report.all_accepted_clean());
+}
+
+TEST(DecoderLayerTest, RectangularCrossAttentionNarrowMemory) {
+  Rng rng(71);
+  DecoderLayerConfig cfg;
+  cfg.model_dim = 32;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.ffn_dim = 64;
+  const DecoderLayer layer(cfg, rng);
+  MatrixD x(17, 32), memory(3, 32);  // n_src << n.
+  fill_gaussian(x, rng);
+  fill_gaussian(memory, rng);
+  const GuardedExecutor exec(CheckerConfig{1e-6}, RecoveryPolicy{});
+  const DecoderLayerResult golden =
+      layer.forward(x, memory, AttentionBackend::kReference, exec);
+  const DecoderLayerResult checked =
+      layer.forward(x, memory, AttentionBackend::kFlashAbft, exec);
+  EXPECT_EQ(checked.output.rows(), 17u);
+  EXPECT_LT(max_abs_diff(golden.output, checked.output), 1e-9);
+  EXPECT_TRUE(checked.report.all_accepted_clean());
+
+  // The unfused two-step baseline's product checks must also hold on the
+  // rectangle (its checksum vectors have n_src-dependent shapes).
+  const DecoderLayerResult two_step =
+      layer.forward(x, memory, AttentionBackend::kTwoStepAbft, exec);
+  EXPECT_LT(max_abs_diff(golden.output, two_step.output), 1e-9);
+  EXPECT_TRUE(two_step.report.all_accepted_clean());
+  EXPECT_EQ(two_step.report.count(OpKind::kAttentionTwoStepAbft), 4u);
+}
+
 TEST(DecoderLayerTest, BackendsAgree) {
   Rng rng(64);
   DecoderLayerConfig cfg;

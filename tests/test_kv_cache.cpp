@@ -1,0 +1,164 @@
+// Tests of the checksummed KV cache: checksum maintenance on append,
+// detection of storage upsets on read, checkpoint re-materialization, and
+// the guarded kKvCache verification op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/kv_cache.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+namespace {
+
+std::vector<double> random_row(std::size_t width, Rng& rng) {
+  std::vector<double> row(width);
+  for (double& x : row) x = rng.next_gaussian();
+  return row;
+}
+
+void fill_cache(KvCacheLayer& cache, std::size_t rows, Rng& rng) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    cache.append(random_row(cache.width(), rng),
+                 random_row(cache.width(), rng));
+  }
+}
+
+TEST(KvCacheLayer, CleanAppendsVerifyExactly) {
+  Rng rng(11);
+  KvCacheLayer cache(16, 8);
+  EXPECT_EQ(cache.len(), 0u);
+  fill_cache(cache, 10, rng);
+  EXPECT_EQ(cache.len(), 10u);
+
+  // The running sums are accumulated in the same order verify() recomputes
+  // them, so a clean cache has a bitwise-zero residual.
+  const CheckedOp op = cache.verify();
+  EXPECT_EQ(op.check.residual(), 0.0);
+  ASSERT_EQ(op.extra_checks.size(), 1u);
+  EXPECT_EQ(op.extra_checks[0].residual(), 0.0);
+}
+
+TEST(KvCacheLayer, HeadSlicesMatchAppendedRows) {
+  Rng rng(12);
+  KvCacheLayer cache(8, 6);  // 2 heads x d=3.
+  const std::vector<double> k_row = random_row(6, rng);
+  const std::vector<double> v_row = random_row(6, rng);
+  cache.append(k_row, v_row);
+  const MatrixD k1 = cache.k_head(1, 3);
+  ASSERT_EQ(k1.rows(), 1u);
+  ASSERT_EQ(k1.cols(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(k1(0, c), k_row[3 + c]);
+  const MatrixD v0 = cache.v_head(0, 3);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(v0(0, c), v_row[c]);
+}
+
+TEST(KvCacheLayer, CapacityEnforced) {
+  Rng rng(13);
+  KvCacheLayer cache(2, 4);
+  fill_cache(cache, 2, rng);
+  EXPECT_THROW(cache.append(random_row(4, rng), random_row(4, rng)),
+               EnsureError);
+}
+
+TEST(KvCacheLayer, CorruptionShowsInWorstColumnResidual) {
+  Rng rng(14);
+  KvCacheLayer cache(16, 8);
+  fill_cache(cache, 12, rng);
+  cache.corrupt_k(5, 3, 0.25);
+  const CheckedOp op = cache.verify();
+  EXPECT_NEAR(op.check.residual(), 0.25, 1e-12);  // worst K column.
+  EXPECT_EQ(op.extra_checks[0].residual(), 0.0);  // V untouched.
+}
+
+TEST(KvCacheLayer, ValueCorruptionShowsOnTheValueSide) {
+  Rng rng(15);
+  KvCacheLayer cache(16, 8);
+  fill_cache(cache, 12, rng);
+  cache.corrupt_v(2, 7, -0.5);
+  const CheckedOp op = cache.verify();
+  EXPECT_EQ(op.check.residual(), 0.0);
+  EXPECT_NEAR(op.extra_checks[0].residual(), 0.5, 1e-12);
+}
+
+TEST(KvCacheLayer, RestoreRematerializesCorruptedElements) {
+  Rng rng(16);
+  KvCacheLayer cache(16, 8);
+  fill_cache(cache, 12, rng);
+  const double before = cache.k_at(5, 3);
+  cache.corrupt_k(5, 3, 1.0);
+  EXPECT_NE(cache.k_at(5, 3), before);
+  cache.restore_from_checkpoint();
+  EXPECT_EQ(cache.k_at(5, 3), before);
+  EXPECT_EQ(cache.verify().check.residual(), 0.0);
+}
+
+TEST(GuardedCacheVerify, TransientUpsetRecoversViaCheckpoint) {
+  Rng rng(17);
+  KvCacheLayer cache(16, 8);
+  fill_cache(cache, 12, rng);
+  cache.corrupt_k(1, 2, 0.75);
+
+  const GuardedExecutor executor(CheckerConfig{1e-6}, RecoveryPolicy{});
+  LayerReport report;
+  EXPECT_TRUE(guarded_cache_verify(cache, /*index=*/3, executor, report));
+
+  ASSERT_EQ(report.ops.size(), 1u);
+  const OpReport& op = report.ops[0];
+  EXPECT_EQ(op.kind, OpKind::kKvCache);
+  EXPECT_EQ(op.index, 3u);
+  EXPECT_EQ(op.recovery, RecoveryStatus::kRecovered);
+  EXPECT_EQ(op.alarms, 1u);
+  EXPECT_EQ(op.executions, 2u);
+  EXPECT_EQ(op.verdict, CheckVerdict::kPass);
+  // The live cache was re-materialized, not just re-checked.
+  EXPECT_EQ(cache.verify().check.residual(), 0.0);
+}
+
+TEST(GuardedCacheVerify, CleanCacheIsOneCleanCheck) {
+  Rng rng(18);
+  KvCacheLayer cache(8, 4);
+  fill_cache(cache, 4, rng);
+  const GuardedExecutor executor(CheckerConfig{1e-6}, RecoveryPolicy{});
+  LayerReport report;
+  EXPECT_TRUE(guarded_cache_verify(cache, 0, executor, report));
+  EXPECT_EQ(report.ops[0].recovery, RecoveryStatus::kCleanFirstTry);
+  EXPECT_EQ(report.ops[0].executions, 1u);
+}
+
+TEST(GuardedCacheVerify, TamperedVerdictEscalatesWithoutFallback) {
+  // A kKvCache op that keeps alarming past the retry budget (the tamper
+  // hook models the checkpoint itself being suspect) is accepted dirty.
+  Rng rng(19);
+  KvCacheLayer cache(8, 4);
+  fill_cache(cache, 4, rng);
+  GuardedExecutor executor(CheckerConfig{1e-6}, RecoveryPolicy{1});
+  executor.set_tamper([](OpKind kind, std::size_t, std::size_t,
+                         CheckedOp& op) {
+    if (kind == OpKind::kKvCache) op.check.actual += 1.0;
+  });
+  LayerReport report;
+  EXPECT_FALSE(guarded_cache_verify(cache, 0, executor, report));
+  EXPECT_EQ(report.ops[0].recovery, RecoveryStatus::kEscalated);
+  EXPECT_FALSE(report.all_accepted_clean());
+}
+
+TEST(KvCacheStack, PerLayerCachesAreIndependent) {
+  Rng rng(20);
+  KvCache cache(3, 8, 4);
+  EXPECT_EQ(cache.num_layers(), 3u);
+  EXPECT_EQ(cache.capacity(), 8u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    fill_cache(cache.layer(l), 5, rng);
+  }
+  EXPECT_EQ(cache.len(), 5u);
+  cache.layer(1).corrupt_k(0, 0, 0.5);
+  EXPECT_EQ(cache.layer(0).verify().check.residual(), 0.0);
+  EXPECT_NEAR(cache.layer(1).verify().check.residual(), 0.5, 1e-12);
+  EXPECT_EQ(cache.layer(2).verify().check.residual(), 0.0);
+}
+
+}  // namespace
+}  // namespace flashabft
