@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over serve_throughput --json output.
+
+Compares a freshly measured BENCH_serve.json candidate against the
+committed baseline and fails (exit 1) when:
+
+  * a scenario's throughput_rps drops more than --max-drop below the
+    (machine-normalized) baseline value,
+  * a generation scenario's tokens_per_sec drops more than --max-drop,
+  * a kernel's SIMD-over-scalar speedup falls below --min-kernel-speedup
+    (0 disables the check), or
+  * a baseline scenario is missing from the candidate, or a scenario that
+    was ok in the baseline is no longer ok (reconciliation failed).
+
+Scenarios are matched by (name, mode, backend).
+
+Machine normalization: the baseline may have been recorded on different
+hardware than the candidate run, so absolute throughput is not compared
+directly. Both files carry the same fixed-shape scalar kernel timings
+("kernels"[].scalar_ms); their median ratio estimates how much slower or
+faster the candidate machine is, and baseline throughput expectations are
+scaled by it (clamped to [0.2, 5.0] so a broken probe cannot hide a real
+regression). --no-normalize compares raw values. The SIMD speedup check is
+a within-machine ratio and needs no normalization.
+
+Usage:
+  python3 bench/check_regression.py \
+      --baseline BENCH_serve.json --candidate bench_serve_ci.json \
+      [--max-drop 0.30] [--min-kernel-speedup 2.0] [--no-normalize]
+"""
+
+import argparse
+import json
+import sys
+
+
+def scenario_key(scenario):
+    return (scenario["name"], scenario["mode"], scenario.get("backend", ""))
+
+
+def machine_slowdown(baseline, candidate):
+    """Median candidate/baseline scalar kernel time ratio (>1 = candidate
+    machine slower), clamped; 1.0 when either side lacks kernel timings."""
+    base_kernels = {k.get("name"): k for k in baseline.get("kernels", [])}
+    ratios = []
+    for kernel in candidate.get("kernels", []):
+        base = base_kernels.get(kernel.get("name"))
+        if not base:
+            continue
+        base_ms = base.get("scalar_ms", 0.0)
+        cand_ms = kernel.get("scalar_ms", 0.0)
+        if base_ms > 0.0 and cand_ms > 0.0:
+            ratios.append(cand_ms / base_ms)
+    if not ratios:
+        return 1.0
+    ratios.sort()
+    mid = len(ratios) // 2
+    median = (ratios[mid] if len(ratios) % 2
+              else 0.5 * (ratios[mid - 1] + ratios[mid]))
+    return min(5.0, max(0.2, median))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--max-drop", type=float, default=0.30,
+                        help="max fractional throughput drop (default 0.30)")
+    parser.add_argument("--min-kernel-speedup", type=float, default=2.0,
+                        help="min SIMD/scalar kernel speedup; 0 disables")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw throughput without machine-speed "
+                             "normalization")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.candidate) as f:
+        candidate = json.load(f)
+
+    slowdown = 1.0 if args.no_normalize else machine_slowdown(baseline,
+                                                              candidate)
+    print(f"machine slowdown factor (candidate vs baseline): "
+          f"{slowdown:.3f}x")
+
+    candidate_scenarios = {scenario_key(s): s
+                           for s in candidate.get("scenarios", [])}
+    floor = (1.0 - args.max_drop) / slowdown
+    failures = []
+    checked = 0
+
+    for base in baseline.get("scenarios", []):
+        if not base.get("ok", False):
+            continue  # never pin a baseline that was already failing
+        key = scenario_key(base)
+        cand = candidate_scenarios.get(key)
+        label = " / ".join(k for k in key if k)
+        if cand is None:
+            failures.append(f"missing scenario: {label}")
+            continue
+        if not cand.get("ok", False):
+            failures.append(f"reconciliation failed: {label}")
+            continue
+        for metric in ("throughput_rps", "tokens_per_sec"):
+            base_value = base.get(metric, 0.0)
+            if base_value <= 0.0:
+                continue
+            cand_value = cand.get(metric, 0.0)
+            checked += 1
+            if cand_value < floor * base_value:
+                failures.append(
+                    f"{label}: {metric} {cand_value:.1f} < "
+                    f"{floor:.2f} x baseline {base_value:.1f}")
+
+    if args.min_kernel_speedup > 0.0:
+        kernels = candidate.get("kernels", [])
+        if not kernels:
+            failures.append("candidate has no kernels section "
+                            "(run with --kernel-reps > 0)")
+        for kernel in kernels:
+            checked += 1
+            speedup = kernel.get("speedup", 0.0)
+            if speedup < args.min_kernel_speedup:
+                failures.append(
+                    f"kernel {kernel.get('name', '?')}: speedup "
+                    f"{speedup:.2f}x < {args.min_kernel_speedup:.2f}x")
+
+    if failures:
+        print(f"perf regression check FAILED ({len(failures)} problem(s), "
+              f"{checked} metrics checked):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"perf regression check passed ({checked} metrics checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@
 #include "core/matmul_abft.hpp"
 #include "numerics/bfloat16.hpp"
 #include "numerics/exp_unit.hpp"
+#include "tensor/backend.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -87,6 +89,59 @@ void BM_TwoStepAbft(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * d);
 }
 
+// --- compute-backend comparisons (range(2): 0 = scalar, 1 = simd) ---
+// The scalar-vs-SIMD speedup at {512, 64} is the acceptance shape the
+// perf-smoke CI gate pins via BENCH_serve.json's "kernels" section.
+
+ComputeBackend backend_of(const benchmark::State& state) {
+  return state.range(2) == 0 ? ComputeBackend::kScalar
+                             : ComputeBackend::kSimd;
+}
+
+void BM_BackendMatmulFused(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const ComputeBackend backend = backend_of(state);
+  Rng rng(n * 2654435761ULL + d);
+  MatrixD a(n, d), b(d, n);
+  fill_gaussian(a, rng);
+  fill_gaussian(b, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend_matmul_fused(a, b, backend));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+  state.SetLabel(backend_name(backend));
+}
+
+void BM_BackendFlashAbft(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const AttentionInputs w = workload_for(n, d);
+  const AttentionConfig cfg = cfg_for(n, d);
+  FlashAbftOptions options;
+  options.backend = backend_of(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flash_abft_attention(w.q, w.k, w.v, cfg,
+                                                  options));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+  state.SetLabel(backend_name(options.backend));
+}
+
+void BM_BackendTwoStepAbft(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  const std::size_t d = std::size_t(state.range(1));
+  const AttentionInputs w = workload_for(n, d);
+  const AttentionConfig cfg = cfg_for(n, d);
+  const ComputeBackend backend = backend_of(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        two_step_abft_attention(w.q, w.k, w.v, cfg, backend));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * d);
+  state.SetLabel(backend_name(backend));
+}
+
 void BM_HardwareExp(benchmark::State& state) {
   double x = -0.37;
   for (auto _ : state) {
@@ -116,6 +171,17 @@ BENCHMARK(BM_FlashAbft)
     ->Args({256, 128})
     ->Args({512, 128});
 BENCHMARK(BM_TwoStepAbft)->Args({256, 64})->Args({256, 128});
+BENCHMARK(BM_BackendMatmulFused)
+    ->Args({512, 64, 0})
+    ->Args({512, 64, 1})
+    ->Args({1024, 64, 0})
+    ->Args({1024, 64, 1});
+BENCHMARK(BM_BackendFlashAbft)
+    ->Args({512, 64, 0})
+    ->Args({512, 64, 1})
+    ->Args({512, 128, 0})
+    ->Args({512, 128, 1});
+BENCHMARK(BM_BackendTwoStepAbft)->Args({512, 64, 0})->Args({512, 64, 1});
 BENCHMARK(BM_HardwareExp);
 BENCHMARK(BM_Bf16RoundTrip);
 

@@ -27,8 +27,16 @@
 //   --gen-requests=N       generation sessions per scenario (default 10)
 //   --prompt-len=N --max-new-tokens=N --max-sessions=N
 //   --preset=NAME --fault-prob=P --persistent-frac=P --seed=N
+//   --backend=scalar|simd|both   compute backend of the software guarded
+//                          path; "both" runs every scenario per backend
+//                          and is the BENCH_serve.json baseline (default)
+//   --kernel-reps=N        reps of the scalar-vs-SIMD kernel timing
+//                          section (default 3; 0 skips it)
 //   --json=PATH            write scenario metrics as JSON (the perf
-//                          trajectory later PRs compare against)
+//                          trajectory later PRs compare against; the
+//                          perf-smoke CI gate diffs it via
+//                          bench/check_regression.py)
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -36,8 +44,11 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "core/flash_abft.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/server.hpp"
+#include "tensor/backend.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "workload/model_presets.hpp"
 
 namespace {
@@ -48,9 +59,81 @@ using namespace flashabft::serve;
 struct ScenarioMetrics {
   std::string name;
   std::string mode;
+  ComputeBackend backend = ComputeBackend::kScalar;
   bool ok = false;
   LoadReport report;
 };
+
+/// One kernel's scalar-vs-SIMD wall time at the acceptance shape
+/// (d=64, seq=512) — the speedup record the CI gate pins.
+struct KernelTiming {
+  std::string name;
+  double scalar_ms = 0.0;
+  double simd_ms = 0.0;
+  [[nodiscard]] double speedup() const {
+    return simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0;
+  }
+};
+
+template <typename F>
+double time_reps_ms(std::size_t reps, F&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) body();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         double(reps);
+}
+
+/// Times the fused-checksum matmul and the Flash-ABFT kernel on both
+/// backends at n=512, d=64 (the acceptance-criteria shape).
+std::vector<KernelTiming> measure_kernels(std::size_t reps) {
+  std::vector<KernelTiming> timings;
+  if (reps == 0) return timings;
+  Rng rng(0xBACC0DE);
+  MatrixD a(512, 64), b(64, 512), q(512, 64), k(512, 64), v(512, 64);
+  fill_gaussian(a, rng);
+  fill_gaussian(b, rng);
+  fill_gaussian(q, rng);
+  fill_gaussian(k, rng);
+  fill_gaussian(v, rng);
+  AttentionConfig cfg;
+  cfg.seq_len = 512;
+  cfg.head_dim = 64;
+  cfg.scale = 1.0 / 8.0;
+
+  double sink = 0.0;
+  // One untimed warmup rep per kernel: without it the first-timed kernel
+  // absorbs the page-fault/cache-fill cost and biases the speedup ratio.
+  const auto timed = [&](auto&& body) {
+    body();
+    return time_reps_ms(reps, body);
+  };
+
+  KernelTiming matmul{"matmul_fused_512x64", 0.0, 0.0};
+  matmul.scalar_ms = timed([&] {
+    sink += backend_matmul_fused(a, b, ComputeBackend::kScalar).actual;
+  });
+  matmul.simd_ms = timed([&] {
+    sink += backend_matmul_fused(a, b, ComputeBackend::kSimd).actual;
+  });
+  timings.push_back(matmul);
+
+  KernelTiming flash{"flash_abft_512x64", 0.0, 0.0};
+  FlashAbftOptions scalar_opts;
+  scalar_opts.backend = ComputeBackend::kScalar;
+  FlashAbftOptions simd_opts;
+  simd_opts.backend = ComputeBackend::kSimd;
+  flash.scalar_ms = timed([&] {
+    sink += flash_abft_attention(q, k, v, cfg, scalar_opts).actual_checksum;
+  });
+  flash.simd_ms = timed([&] {
+    sink += flash_abft_attention(q, k, v, cfg, simd_opts).actual_checksum;
+  });
+  timings.push_back(flash);
+
+  if (sink == 42.0) std::cerr << "";  // keep the kernels observable.
+  return timings;
+}
 
 std::string json_escape_name(const std::string& name) {
   std::string out;
@@ -60,6 +143,7 @@ std::string json_escape_name(const std::string& name) {
 
 void write_json(const std::string& path,
                 const std::vector<ScenarioMetrics>& scenarios,
+                const std::vector<KernelTiming>& kernels,
                 std::size_t threads) {
   std::ofstream out(path);
   if (!out) {
@@ -67,13 +151,22 @@ void write_json(const std::string& path,
     return;
   }
   out << "{\n  \"bench\": \"serve_throughput\",\n  \"workers\": " << threads
-      << ",\n  \"scenarios\": [\n";
+      << ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelTiming& kt = kernels[i];
+    out << "    {\"name\": \"" << kt.name << "\", \"scalar_ms\": "
+        << kt.scalar_ms << ", \"simd_ms\": " << kt.simd_ms
+        << ", \"speedup\": " << kt.speedup() << '}'
+        << (i + 1 < kernels.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const ScenarioMetrics& s = scenarios[i];
     const TelemetrySnapshot& t = s.report.telemetry;
     out << "    {\n"
         << "      \"name\": \"" << json_escape_name(s.name) << "\",\n"
         << "      \"mode\": \"" << s.mode << "\",\n"
+        << "      \"backend\": \"" << backend_name(s.backend) << "\",\n"
         << "      \"ok\": " << (s.ok ? "true" : "false") << ",\n"
         << "      \"requests\": " << s.report.completed << ",\n"
         << "      \"throughput_rps\": " << s.report.throughput_rps << ",\n"
@@ -135,6 +228,8 @@ int main(int argc, char** argv) {
   const std::size_t heads = args.get_size("heads", 4);
   const std::size_t seq_cap = args.get_size("seq-cap", 48);
   const std::string mode = args.get_string("mode", "all");
+  const std::string backend_arg = args.get_string("backend", "both");
+  const std::size_t kernel_reps = args.get_size("kernel-reps", 3);
   const std::string preset_name = args.get_string("preset", "bert");
   const double fault_prob = args.get_double("fault-prob", 0.35);
   const double persistent_frac = args.get_double("persistent-frac", 0.2);
@@ -147,10 +242,23 @@ int main(int argc, char** argv) {
   const bool run_layer = mode == "layer" || mode == "both" || mode == "all";
   const bool run_generate = mode == "generate" || mode == "all";
 
+  std::vector<ComputeBackend> backends;
+  if (backend_arg == "both") {
+    backends = {ComputeBackend::kScalar, ComputeBackend::kSimd};
+  } else {
+    const std::optional<ComputeBackend> parsed = parse_backend(backend_arg);
+    if (!parsed) {
+      std::cerr << "unknown --backend=" << backend_arg
+                << " (want scalar|simd|both)\n";
+      return 2;
+    }
+    backends = {*parsed};
+  }
+
   std::vector<ScenarioMetrics> scenarios;
   bool all_clean = true;
   const auto scenario = [&](const char* title, RequestMode request_mode,
-                            double probability) {
+                            double probability, ComputeBackend compute) {
     ServerConfig config =
         make_calibrated_server_config(preset, /*lanes=*/16, seq_cap, seed);
     config.num_workers = threads;
@@ -172,6 +280,7 @@ int main(int argc, char** argv) {
     config.model.ffn_dim = 128;
     config.model.max_seq_len = prompt_len + max_new_tokens + 8;
     config.max_sessions = max_sessions;
+    config.compute = compute;
 
     const bool layer_mode = request_mode == RequestMode::kDecoderLayer;
     const bool generate_mode = request_mode == RequestMode::kGeneration;
@@ -196,7 +305,8 @@ int main(int argc, char** argv) {
     server.shutdown();
 
     Table t({"metric", "value"});
-    t.set_title(title);
+    t.set_title(std::string(title) + " · " + backend_name(compute));
+    t.add_row({"compute backend", backend_name(compute)});
     t.add_row({"workers", format_number(double(threads), 0)});
     t.add_row({"requests", format_number(double(report.completed), 0)});
     t.add_row({"throughput (req/s)",
@@ -278,33 +388,48 @@ int main(int argc, char** argv) {
                          generate_mode ? "generate"
                          : layer_mode  ? "layer"
                                        : "attention",
-                         ok, report});
+                         compute, ok, report});
   };
 
-  if (run_attention) {
-    scenario("fault-free attention serving", RequestMode::kAttentionHeads,
-             0.0);
-    if (inject_faults) {
-      scenario("attention serving under injected faults",
-               RequestMode::kAttentionHeads, fault_prob);
+  for (const ComputeBackend compute : backends) {
+    if (run_attention) {
+      scenario("fault-free attention serving", RequestMode::kAttentionHeads,
+               0.0, compute);
+      if (inject_faults) {
+        scenario("attention serving under injected faults",
+                 RequestMode::kAttentionHeads, fault_prob, compute);
+      }
     }
-  }
-  if (run_layer) {
-    scenario("fault-free decoder-layer serving", RequestMode::kDecoderLayer,
-             0.0);
-    if (inject_faults) {
-      scenario("decoder-layer serving under injected faults",
-               RequestMode::kDecoderLayer, fault_prob);
+    if (run_layer) {
+      scenario("fault-free decoder-layer serving",
+               RequestMode::kDecoderLayer, 0.0, compute);
+      if (inject_faults) {
+        scenario("decoder-layer serving under injected faults",
+                 RequestMode::kDecoderLayer, fault_prob, compute);
+      }
     }
-  }
-  if (run_generate) {
-    scenario("fault-free generation serving", RequestMode::kGeneration, 0.0);
-    if (inject_faults) {
-      scenario("generation serving under injected faults",
-               RequestMode::kGeneration, fault_prob);
+    if (run_generate) {
+      scenario("fault-free generation serving", RequestMode::kGeneration,
+               0.0, compute);
+      if (inject_faults) {
+        scenario("generation serving under injected faults",
+                 RequestMode::kGeneration, fault_prob, compute);
+      }
     }
   }
 
-  if (!json_path.empty()) write_json(json_path, scenarios, threads);
+  const std::vector<KernelTiming> kernels = measure_kernels(kernel_reps);
+  if (!kernels.empty()) {
+    Table kt({"kernel", "scalar (ms)", "simd (ms)", "speedup"});
+    kt.set_title("scalar vs SIMD kernels (d=64, seq=512)");
+    for (const KernelTiming& timing : kernels) {
+      kt.add_row({timing.name, format_number(timing.scalar_ms, 2),
+                  format_number(timing.simd_ms, 2),
+                  format_number(timing.speedup(), 2) + "x"});
+    }
+    std::cout << kt.render() << '\n';
+  }
+
+  if (!json_path.empty()) write_json(json_path, scenarios, kernels, threads);
   return all_clean ? 0 : 1;
 }

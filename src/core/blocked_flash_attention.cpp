@@ -40,25 +40,47 @@ CheckedAttention blocked_flash_abft_attention(const MatrixD& q,
   std::vector<double> ell_c(n_q, 0.0);
   MatrixD o(n_q, d);
 
+  const bool vectorized = options.backend == ComputeBackend::kSimd;
+  const double* k_data = k.flat().data();
+  const double* v_data = v.flat().data();
+  const double exp_zero = eval_exp(0.0, options.exp_mode);
   for (std::size_t tile = 0; tile < n_k; tile += bc) {
     const std::size_t tile_end = std::min(tile + bc, n_k);
     for (std::size_t qi = 0; qi < n_q; ++qi) {
+      const double* q_row = q.row(qi).data();
+      double* o_row = o.row(qi).data();
       for (std::size_t i = tile; i < tile_end; ++i) {
         if (!mask_allows(cfg.mask, qi, i)) continue;
 
-        double s = 0.0;
-        for (std::size_t x = 0; x < d; ++x) s += q(qi, x) * k(i, x);
+        double s;
+        if (vectorized) {
+          s = simd::dot(q_row, k_data + i * d, d);
+        } else {
+          s = 0.0;
+          for (std::size_t x = 0; x < d; ++x) s += q(qi, x) * k(i, x);
+        }
         s *= cfg.scale;
 
         const double m_new = std::max(m[qi], s);
         const double correction =
             std::isinf(m[qi]) ? 0.0
-                              : eval_exp(m[qi] - m_new, options.exp_mode);
+            : vectorized && m[qi] - m_new == 0.0
+                ? exp_zero
+                : eval_exp(m[qi] - m_new, options.exp_mode);
         const double weight = eval_exp(s - m_new, options.exp_mode);
 
         ell[qi] = ell[qi] * correction + weight;
-        for (std::size_t x = 0; x < d; ++x) {
-          o(qi, x) = o(qi, x) * correction + weight * v(i, x);
+        if (vectorized) {
+          if (correction == 1.0) {
+            simd::axpy(o_row, weight, v_data + i * d, d);
+          } else {
+            simd::scale_accumulate(o_row, correction, weight, v_data + i * d,
+                                   d);
+          }
+        } else {
+          for (std::size_t x = 0; x < d; ++x) {
+            o(qi, x) = o(qi, x) * correction + weight * v(i, x);
+          }
         }
         c[qi] = c[qi] * correction + weight * row_v[i];
         if (options.replicate_ell) {
@@ -70,10 +92,16 @@ CheckedAttention blocked_flash_abft_attention(const MatrixD& q,
   }
 
   for (std::size_t qi = 0; qi < n_q; ++qi) {
-    double row_actual = 0.0;
-    for (std::size_t x = 0; x < d; ++x) {
-      result.output(qi, x) = o(qi, x) / ell[qi];
-      row_actual += result.output(qi, x);
+    double row_actual;
+    if (vectorized) {
+      row_actual = simd::scale_to(result.output.row(qi).data(),
+                                  o.row(qi).data(), 1.0 / ell[qi], d);
+    } else {
+      row_actual = 0.0;
+      for (std::size_t x = 0; x < d; ++x) {
+        result.output(qi, x) = o(qi, x) / ell[qi];
+        row_actual += result.output(qi, x);
+      }
     }
     const double divisor = options.replicate_ell ? ell_c[qi] : ell[qi];
     result.per_query_predicted[qi] = c[qi] / divisor;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "core/checksum.hpp"
@@ -12,6 +13,78 @@ namespace flashabft {
 double CheckedAttention::residual() const {
   return std::fabs(predicted_checksum - actual_checksum);
 }
+
+namespace {
+
+/// Vectorized Alg. 3: identical recurrence, raw-pointer rows and simd::
+/// primitives on the d-wide inner loops. The checksum lane c rides the same
+/// correction/weight updates as the output accumulator — fused, as on the
+/// scalar path.
+CheckedAttention flash_abft_attention_simd(const MatrixD& q, const MatrixD& k,
+                                           const MatrixD& v,
+                                           const AttentionConfig& cfg,
+                                           const FlashAbftOptions& options,
+                                           CheckedAttention result) {
+  const std::size_t n_q = q.rows();
+  const std::size_t n_k = k.rows();
+  const std::size_t d = q.cols();
+  const std::vector<double> row_v = value_row_sums(v);
+
+  // Raw strided walks over K/V (row-major, d-wide) and the exp-at-zero
+  // shortcut: when the running max does not move, the correction argument
+  // is exactly 0, so the (scalar, expensive) exp unit is bypassed with its
+  // precomputed value — the dominant case once the max has settled.
+  const double* k_data = k.flat().data();
+  const double* v_data = v.flat().data();
+  const double exp_zero = eval_exp(0.0, options.exp_mode);
+
+  std::vector<double> o(d);
+  for (std::size_t qi = 0; qi < n_q; ++qi) {
+    const double* q_row = q.row(qi).data();
+    double m = -std::numeric_limits<double>::infinity();
+    double ell = 0.0;
+    double c = 0.0;
+    double ell_c = 0.0;
+    std::fill(o.begin(), o.end(), 0.0);
+
+    for (std::size_t i = 0; i < n_k; ++i) {
+      if (!mask_allows(cfg.mask, qi, i)) continue;
+
+      const double s = simd::dot(q_row, k_data + i * d, d) * cfg.scale;
+      const double m_new = std::max(m, s);
+      const double correction =
+          std::isinf(m) ? 0.0
+          : m - m_new == 0.0
+              ? exp_zero
+              : eval_exp(m - m_new, options.exp_mode);
+      const double weight = eval_exp(s - m_new, options.exp_mode);
+
+      ell = ell * correction + weight;
+      if (correction == 1.0) {
+        simd::axpy(o.data(), weight, v_data + i * d, d);
+      } else {
+        simd::scale_accumulate(o.data(), correction, weight, v_data + i * d,
+                               d);
+      }
+      c = c * correction + weight * row_v[i];
+      if (options.replicate_ell) ell_c = ell_c * correction + weight;
+      m = m_new;
+    }
+
+    const double row_actual =
+        simd::scale_to(result.output.row(qi).data(), o.data(), 1.0 / ell, d);
+    const double divisor = options.replicate_ell ? ell_c : ell;
+    result.per_query_predicted[qi] = c / divisor;
+    result.per_query_actual[qi] = row_actual;
+    result.stats.row_max[qi] = m;
+    result.stats.row_sum_exp[qi] = ell;
+    result.predicted_checksum += result.per_query_predicted[qi];
+    result.actual_checksum += row_actual;
+  }
+  return result;
+}
+
+}  // namespace
 
 CheckedAttention flash_abft_attention(const MatrixD& q, const MatrixD& k,
                                       const MatrixD& v,
@@ -29,6 +102,11 @@ CheckedAttention flash_abft_attention(const MatrixD& q, const MatrixD& k,
   result.per_query_actual.assign(n_q, 0.0);
   result.stats.row_max.assign(n_q, 0.0);
   result.stats.row_sum_exp.assign(n_q, 0.0);
+
+  if (options.backend == ComputeBackend::kSimd) {
+    return flash_abft_attention_simd(q, k, v, cfg, options,
+                                     std::move(result));
+  }
 
   // Fig. 3's Σ block: the per-row checksum of V, computed once as the value
   // vectors stream in and shared by all query lanes.

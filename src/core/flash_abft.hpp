@@ -19,6 +19,7 @@
 #include "attention/flash_attention2.hpp"
 #include "core/checker.hpp"
 #include "numerics/exp_unit.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/matrix.hpp"
 
 namespace flashabft {
@@ -31,6 +32,13 @@ struct FlashAbftOptions {
   /// l_N. Closes the shared-divisor blind spot analyzed in DESIGN.md §4(b);
   /// ablated in bench/checker_design.
   bool replicate_ell = false;
+  /// Compute backend of the kernel. kSimd runs the vectorized inner loops
+  /// (QK dot, output/checksum accumulator update, finalize) on raw rows;
+  /// the checksum lane stays fused either way, and exp_mode is honored on
+  /// both backends (the exp unit is a per-score scalar on each).
+  /// Initialized from the process-wide default (kScalar unless
+  /// set_default_backend() changed it).
+  ComputeBackend backend = default_backend();
 };
 
 /// Everything Alg. 3 produces in one pass.

@@ -21,6 +21,7 @@
 
 #include "core/checker.hpp"
 #include "core/extreme_value_screen.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/matrix.hpp"
 
 namespace flashabft {
@@ -150,6 +151,12 @@ class GuardedExecutor {
     /// the paper's comparator semantics.
     bool screen_extremes = false;
     ExtremeValueConfig screen{};
+    /// Compute backend the guarded software kernels (attention, projection,
+    /// FFN, LM head) run on. Fallback executions always run kScalar — the
+    /// reference engine stays implementation-diverse from the guarded path.
+    /// Initialized from the process-wide default (kScalar unless
+    /// set_default_backend() changed it).
+    ComputeBackend compute = default_backend();
   };
 
   /// run_once(attempt) -> the checked result of that execution.
@@ -176,6 +183,10 @@ class GuardedExecutor {
 
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] const Checker& checker() const { return checker_; }
+  /// The backend guarded kernels should execute on.
+  [[nodiscard]] ComputeBackend compute_backend() const {
+    return options_.compute;
+  }
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
   void set_tamper(Tamper tamper) { tamper_ = std::move(tamper); }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "attention/reference_attention.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -35,16 +36,26 @@ CheckVerdict TwoStepAbftAttention::verdict(const Checker& checker) const {
 TwoStepAbftAttention two_step_abft_attention(const MatrixD& q,
                                              const MatrixD& k,
                                              const MatrixD& v,
-                                             const AttentionConfig& cfg) {
+                                             const AttentionConfig& cfg,
+                                             ComputeBackend backend) {
   FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
   FLASHABFT_ENSURE(k.rows() == v.rows());
 
   // Stage 1: S' = scale * Q K^T, checked as a product. The scale multiplies
   // both sides of the checksum identity, so we check the unscaled product
   // and scale afterwards (hardware applies scale inside the PE anyway).
-  MatrixD scores = matmul_transposed(q, k);
+  // rowsum(K^T) is colsum(K), so the predicted side needs no materialized
+  // transpose on either backend.
+  MatrixD scores = backend_matmul_transposed(q, k, backend);
   TwoStepAbftAttention result;
-  result.qk_check = abft_check_product(q, transpose(k), scores);
+  {
+    const std::vector<double> col_q = column_sums(q);
+    const std::vector<double> col_k = column_sums(k);
+    for (std::size_t x = 0; x < col_q.size(); ++x) {
+      result.qk_check.predicted += col_q[x] * col_k[x];
+    }
+    result.qk_check.actual = element_sum(scores);
+  }
 
   for (std::size_t i = 0; i < scores.rows(); ++i) {
     for (std::size_t j = 0; j < scores.cols(); ++j) {
@@ -56,11 +67,13 @@ TwoStepAbftAttention two_step_abft_attention(const MatrixD& q,
   }
 
   // Stage 2: softmax — *unprotected* in this baseline (the paper's point).
-  const MatrixD s = row_softmax(scores);
+  const MatrixD s = backend_row_softmax(scores, backend);
 
-  // Stage 3: O = S V, checked as a product.
-  result.output = matmul(s, v);
-  result.sv_check = abft_check_product(s, v, result.output);
+  // Stage 3: O = S V, checked as a product (fused into the product tiles
+  // on the SIMD backend).
+  FusedMatmul sv = backend_matmul_fused(s, v, backend);
+  result.output = std::move(sv.c);
+  result.sv_check = {sv.predicted, sv.actual};
   return result;
 }
 

@@ -18,6 +18,7 @@
 
 #include "attention/attention_config.hpp"
 #include "core/checker.hpp"
+#include "tensor/backend.hpp"
 #include "tensor/matrix.hpp"
 
 namespace flashabft {
@@ -46,9 +47,12 @@ struct TwoStepAbftAttention {
 
 /// Computes attention in three explicit stages (QK^T, softmax, SV) with the
 /// two traditional ABFT checks. The score matrix is materialized — this is
-/// the unfused baseline architecture.
+/// the unfused baseline architecture. On kSimd the stages run on the
+/// vectorized kernels and the SV check comes out of the fused product
+/// (backend_matmul_fused); the QK check's colsum(Q)/colsum(K) are input-side
+/// sums, so the baseline's structural cost (the materialized S) is unchanged.
 [[nodiscard]] TwoStepAbftAttention two_step_abft_attention(
     const MatrixD& q, const MatrixD& k, const MatrixD& v,
-    const AttentionConfig& cfg);
+    const AttentionConfig& cfg, ComputeBackend backend = default_backend());
 
 }  // namespace flashabft

@@ -29,35 +29,26 @@ MatrixD Linear::forward(const MatrixD& x) const {
   return y;
 }
 
-CheckedOp Linear::checked_forward(const MatrixD& x) const {
+CheckedOp Linear::checked_forward(const MatrixD& x,
+                                  ComputeBackend backend) const {
   FLASHABFT_ENSURE_MSG(x.cols() == weight_.rows(),
                        "Linear: input width " << x.cols() << " != "
                                               << weight_.rows());
-  MatrixD y = matmul(x, weight_);
-  const std::vector<double> col_x = column_sums(x);
-  const std::vector<double> row_w = row_sums(weight_);
+  FusedMatmul fused = backend_linear_fused(x, weight_, bias_, backend);
   CheckedOp op;
-  for (std::size_t i = 0; i < col_x.size(); ++i) {
-    op.check.predicted += col_x[i] * row_w[i];
-  }
-  double bias_sum = 0.0;
-  for (const double b : bias_) bias_sum += b;
-  op.check.predicted += double(x.rows()) * bias_sum;
-  for (std::size_t i = 0; i < y.rows(); ++i) {
-    for (std::size_t j = 0; j < y.cols(); ++j) y(i, j) += bias_[j];
-  }
-  op.check.actual = element_sum(y);
-  op.output = std::move(y);
+  op.check = {fused.predicted, fused.actual};
+  op.output = std::move(fused.c);
   return op;
 }
 
 MatrixD guarded_linear(const Linear& layer, const MatrixD& in, OpKind kind,
                        std::size_t index, const GuardedExecutor& executor,
                        LayerReport& report) {
+  const ComputeBackend backend = executor.compute_backend();
   GuardedOp op = executor.run(
       kind, index, layer.forward_cost(in.rows()),
-      [&](std::size_t) { return layer.checked_forward(in); },
-      [&] { return layer.checked_forward(in); });
+      [&](std::size_t) { return layer.checked_forward(in, backend); },
+      [&] { return layer.checked_forward(in, ComputeBackend::kScalar); });
   MatrixD out = std::move(op.output);
   report.add(std::move(op));
   return out;

@@ -26,9 +26,12 @@ class Linear {
   /// The same forward under the classic ABFT product check (Huang & Abraham
   /// 1984): predicted = dot(colsum(x), rowsum(W)) + n * sum(b), compared
   /// against the element sum of the produced output — so both the product
-  /// and the bias add are covered. Executed through a GuardedExecutor this
-  /// is the `kProjection` / `kFfn` GuardedOp.
-  [[nodiscard]] CheckedOp checked_forward(const MatrixD& x) const;
+  /// and the bias add are covered. On kSimd the pair comes out of the fused
+  /// product tiles (backend_linear_fused) instead of a second pass.
+  /// Executed through a GuardedExecutor this is the `kProjection` / `kFfn`
+  /// GuardedOp.
+  [[nodiscard]] CheckedOp checked_forward(
+      const MatrixD& x, ComputeBackend backend = default_backend()) const;
 
   /// MACs of one forward (the OpReport cost metric).
   [[nodiscard]] double forward_cost(std::size_t rows) const {
@@ -50,7 +53,9 @@ class Linear {
 
 /// Runs one Linear as a guarded op of `kind` — checked, retried on alarm,
 /// recomputed as its own fallback on escalation — appending the report(s)
-/// to `report` and returning the accepted output.
+/// to `report` and returning the accepted output. Guarded attempts run on
+/// the executor's compute backend; the fallback recomputation always runs
+/// kScalar (implementation diversity against a systematically wrong kernel).
 [[nodiscard]] MatrixD guarded_linear(const Linear& layer, const MatrixD& in,
                                      OpKind kind, std::size_t index,
                                      const GuardedExecutor& executor,

@@ -37,8 +37,11 @@ MatrixD head_slice(const MatrixD& m, std::size_t head, std::size_t d) {
 }
 
 CheckedOp checked_flash_abft(const MatrixD& q, const MatrixD& k,
-                             const MatrixD& v, const AttentionConfig& cfg) {
-  CheckedAttention run = flash_abft_attention(q, k, v, cfg);
+                             const MatrixD& v, const AttentionConfig& cfg,
+                             ComputeBackend backend) {
+  FlashAbftOptions options;
+  options.backend = backend;
+  CheckedAttention run = flash_abft_attention(q, k, v, cfg, options);
   CheckedOp op;
   op.output = std::move(run.output);
   op.check = {run.predicted_checksum, run.actual_checksum};
@@ -77,10 +80,12 @@ MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
                                      std::size_t index,
                                      LayerReport& report) const {
   const double cost = attention_cost(q, k);
+  const ComputeBackend compute = executor.compute_backend();
   // Escalated heads fall back to a fresh run of the software Alg. 3
-  // kernel — the reference engine, verified by its own fused checksum.
+  // kernel — the reference engine, verified by its own fused checksum and
+  // pinned to the scalar backend (implementation diversity).
   const auto reference_fallback = [&] {
-    return checked_flash_abft(q, k, v, cfg);
+    return checked_flash_abft(q, k, v, cfg, ComputeBackend::kScalar);
   };
 
   switch (backend) {
@@ -91,7 +96,9 @@ MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
     case AttentionBackend::kFlashAbft: {
       GuardedOp op = executor.run(
           OpKind::kAttentionFlashAbft, index, cost,
-          [&](std::size_t) { return checked_flash_abft(q, k, v, cfg); },
+          [&](std::size_t) {
+            return checked_flash_abft(q, k, v, cfg, compute);
+          },
           reference_fallback);
       MatrixD out = std::move(op.output);
       report.add(std::move(op));
@@ -101,7 +108,8 @@ MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
       GuardedOp op = executor.run(
           OpKind::kAttentionTwoStepAbft, index, cost,
           [&](std::size_t) {
-            TwoStepAbftAttention run = two_step_abft_attention(q, k, v, cfg);
+            TwoStepAbftAttention run =
+                two_step_abft_attention(q, k, v, cfg, compute);
             CheckedOp checked;
             checked.output = std::move(run.output);
             checked.check = {run.qk_check.predicted, run.qk_check.actual};

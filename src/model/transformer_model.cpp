@@ -72,15 +72,21 @@ std::vector<double> TransformerModel::lm_head(
   // checksum prediction.
   const std::size_t last = h.rows() - 1;
   const MatrixD& table = embedding_.table();
-  const auto run = [&](std::size_t) {
+  const auto run = [&](ComputeBackend compute) {
     CheckedOp op;
     op.output = MatrixD(1, cfg_.vocab_size);
+    const double* h_row = h.row(last).data();
     for (std::size_t v = 0; v < cfg_.vocab_size; ++v) {
-      double dot = 0.0;
-      for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
-        dot += h(last, j) * table(v, j);
+      if (compute == ComputeBackend::kSimd) {
+        op.output(0, v) = simd::dot(h_row, table.row(v).data(),
+                                    cfg_.model_dim);
+      } else {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
+          dot += h(last, j) * table(v, j);
+        }
+        op.output(0, v) = dot;
       }
-      op.output(0, v) = dot;
     }
     const std::vector<double> col_e = column_sums(table);
     for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
@@ -91,8 +97,9 @@ std::vector<double> TransformerModel::lm_head(
   };
   GuardedOp op = executor.run(
       OpKind::kProjection, lm_head_index(),
-      double(cfg_.model_dim) * double(cfg_.vocab_size), run,
-      [&] { return run(0); });
+      double(cfg_.model_dim) * double(cfg_.vocab_size),
+      [&](std::size_t) { return run(executor.compute_backend()); },
+      [&] { return run(ComputeBackend::kScalar); });
   std::vector<double> logits(op.output.row(0).begin(),
                              op.output.row(0).end());
   report.add(std::move(op));

@@ -65,6 +65,7 @@ InferenceServer::InferenceServer(ServerConfig config)
                        "server needs at least one worker");
   FLASHABFT_ENSURE_MSG(config_.batching.max_batch > 0,
                        "max_batch must be positive");
+  telemetry_.set_compute(config_.compute);
   workers_.reserve(config_.num_workers);
   for (std::size_t w = 0; w < config_.num_workers; ++w) {
     workers_.push_back(
@@ -246,6 +247,7 @@ GuardedExecutor InferenceServer::make_executor() const {
   options.recovery = config_.recovery;
   options.screen_extremes = config_.screen_extremes;
   options.screen = config_.screen;
+  options.compute = config_.compute;
   return GuardedExecutor(options);
 }
 

@@ -66,6 +66,11 @@ struct ServerConfig {
   /// Software-path comparator: verifies reference-fallback outputs and
   /// every op of a decoder-layer request.
   CheckerConfig software_checker{};
+  /// Compute backend of the software guarded path (layer and generation
+  /// requests, attention-head heads served in software). Reference
+  /// fallbacks always run kScalar regardless — see GuardedExecutor::Options.
+  /// Initialized from the process-wide default.
+  ComputeBackend compute = default_backend();
   /// Optional NaN/Inf screen over every guarded output (closes the
   /// comparator's Silent-NaN blind spot for served traffic). Off by
   /// default to preserve the paper's comparator semantics.

@@ -81,6 +81,7 @@ void ServeTelemetry::on_session_complete(const ServeResponse& response) {
 
 TelemetrySnapshot ServeTelemetry::snapshot() const {
   TelemetrySnapshot s;
+  s.compute = compute_.load(std::memory_order_relaxed);
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
@@ -150,6 +151,7 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
   const auto row = [&t](const char* name, double value, int precision = 1) {
     t.add_row({name, format_number(value, precision)});
   };
+  t.add_row({"compute backend", backend_name(compute)});
   row("requests submitted", double(submitted), 0);
   row("requests rejected", double(rejected), 0);
   row("requests completed", double(completed), 0);

@@ -59,6 +59,9 @@ struct OpKindStats {
 
 /// A consistent copy of all telemetry at one instant.
 struct TelemetrySnapshot {
+  /// Compute backend the server's software guarded path ran on.
+  ComputeBackend compute = ComputeBackend::kScalar;
+
   // Request lifecycle. `submitted` counts admission *attempts* (stamped
   // before the queue push, so completed <= submitted always holds under
   // concurrent snapshots); attempts that failed admission are also counted
@@ -134,6 +137,10 @@ class ServeTelemetry {
   void on_session_parked() {
     sessions_parked_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Stamps the compute backend served traffic runs on (server construction).
+  void set_compute(ComputeBackend compute) {
+    compute_.store(compute, std::memory_order_relaxed);
+  }
 
   /// Records one completed response: outcome path, fault accounting and the
   /// three latency samples.
@@ -146,6 +153,7 @@ class ServeTelemetry {
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
  private:
+  std::atomic<ComputeBackend> compute_{ComputeBackend::kScalar};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};

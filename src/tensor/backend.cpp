@@ -1,0 +1,200 @@
+#include "tensor/backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+
+namespace {
+
+std::atomic<ComputeBackend> g_default_backend{ComputeBackend::kScalar};
+
+/// The shared blocked microkernel: C = A * B [+ bias], optionally
+/// accumulating colsum(A) and Σ C in-tile. A block of kSimdRowTile C rows
+/// stays live across a kSimdDepthTile-deep K sweep; the inner j loop is the
+/// vector axis. Each A element is broadcast exactly once, which is where
+/// its colsum contribution is taken; each finished C row block is reduced
+/// (and biased) while still cache-hot — no second pass over C.
+FusedMatmul simd_matmul_impl(const MatrixD& a, const MatrixD& b,
+                             std::span<const double> bias, bool fuse_checks) {
+  const std::size_t m = a.rows();
+  const std::size_t depth = a.cols();
+  const std::size_t n = b.cols();
+
+  FusedMatmul result;
+  result.c = MatrixD(m, n);
+  std::vector<double> col_a(fuse_checks ? depth : 0, 0.0);
+  double actual = 0.0;
+
+  for (std::size_t i0 = 0; i0 < m; i0 += kSimdRowTile) {
+    const std::size_t i_end = std::min(i0 + kSimdRowTile, m);
+    for (std::size_t k0 = 0; k0 < depth; k0 += kSimdDepthTile) {
+      const std::size_t k_end = std::min(k0 + kSimdDepthTile, depth);
+      for (std::size_t i = i0; i < i_end; ++i) {
+        const double* a_row = a.row(i).data();
+        double* c_row = result.c.row(i).data();
+        for (std::size_t k = k0; k < k_end; ++k) {
+          const double a_ik = a_row[k];
+          // Each A element is broadcast exactly once (j is not blocked), so
+          // this is where its colsum(A) contribution is taken.
+          if (fuse_checks) col_a[k] += a_ik;
+          simd::axpy(c_row, a_ik, b.row(k).data(), n);
+        }
+      }
+    }
+    // Finalize this row block while its C rows are hot: bias + actual Σ.
+    for (std::size_t i = i0; i < i_end; ++i) {
+      double* c_row = result.c.row(i).data();
+      if (!bias.empty()) {
+        const double* b_ptr = bias.data();
+        FLASHABFT_PRAGMA(omp simd)
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += b_ptr[j];
+      }
+      if (fuse_checks) actual += simd::sum(c_row, n);
+    }
+  }
+
+  if (fuse_checks) {
+    // rowsum(B): input-side checksum, one vectorized streaming pass.
+    std::vector<double> row_b(depth, 0.0);
+    for (std::size_t k = 0; k < depth; ++k) {
+      row_b[k] = simd::sum(b.row(k).data(), n);
+    }
+    result.predicted = simd::dot(col_a.data(), row_b.data(), depth);
+    if (!bias.empty()) {
+      result.predicted += double(m) * simd::sum(bias.data(), bias.size());
+    }
+    result.actual = actual;
+  }
+  return result;
+}
+
+MatrixD simd_matmul_transposed(const MatrixD& a, const MatrixD& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t depth = a.cols();
+  MatrixD c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a.row(i).data();
+    double* c_row = c.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) {
+      c_row[j] = simd::dot(a_row, b.row(j).data(), depth);
+    }
+  }
+  return c;
+}
+
+MatrixD simd_row_softmax(const MatrixD& scores) {
+  MatrixD out(scores.rows(), scores.cols());
+  const std::size_t n = scores.cols();
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const double* s_row = scores.row(i).data();
+    double* o_row = out.row(i).data();
+    const double m = simd::max(s_row, n);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      o_row[j] = std::exp(s_row[j] - m);
+      denom += o_row[j];
+    }
+    const double inv = 1.0 / denom;
+    FLASHABFT_PRAGMA(omp simd)
+    for (std::size_t j = 0; j < n; ++j) o_row[j] *= inv;
+  }
+  return out;
+}
+
+/// Scalar fused product: the reference path computes the same pair with
+/// the classic second-pass checksums (documenting exactly what fusion
+/// removes).
+FusedMatmul scalar_fused(const MatrixD& a, const MatrixD& b,
+                         std::span<const double> bias) {
+  FusedMatmul result;
+  result.c = matmul(a, b);
+  const std::vector<double> col_a = column_sums(a);
+  const std::vector<double> row_b = row_sums(b);
+  for (std::size_t k = 0; k < col_a.size(); ++k) {
+    result.predicted += col_a[k] * row_b[k];
+  }
+  if (!bias.empty()) {
+    double bias_sum = 0.0;
+    for (const double v : bias) bias_sum += v;
+    result.predicted += double(a.rows()) * bias_sum;
+    for (std::size_t i = 0; i < result.c.rows(); ++i) {
+      for (std::size_t j = 0; j < result.c.cols(); ++j) {
+        result.c(i, j) += bias[j];
+      }
+    }
+  }
+  result.actual = element_sum(result.c);
+  return result;
+}
+
+}  // namespace
+
+const char* backend_name(ComputeBackend backend) {
+  switch (backend) {
+    case ComputeBackend::kScalar: return "scalar";
+    case ComputeBackend::kSimd: return "simd";
+  }
+  return "?";
+}
+
+std::optional<ComputeBackend> parse_backend(std::string_view name) {
+  if (name == "scalar") return ComputeBackend::kScalar;
+  if (name == "simd") return ComputeBackend::kSimd;
+  return std::nullopt;
+}
+
+ComputeBackend default_backend() {
+  return g_default_backend.load(std::memory_order_relaxed);
+}
+
+void set_default_backend(ComputeBackend backend) {
+  g_default_backend.store(backend, std::memory_order_relaxed);
+}
+
+MatrixD backend_matmul(const MatrixD& a, const MatrixD& b,
+                       ComputeBackend backend) {
+  FLASHABFT_ENSURE_MSG(a.cols() == b.rows(), "backend_matmul "
+                                                 << a.rows() << 'x' << a.cols()
+                                                 << " * " << b.rows() << 'x'
+                                                 << b.cols());
+  if (backend == ComputeBackend::kScalar) return matmul(a, b);
+  return simd_matmul_impl(a, b, {}, /*fuse_checks=*/false).c;
+}
+
+MatrixD backend_matmul_transposed(const MatrixD& a, const MatrixD& b,
+                                  ComputeBackend backend) {
+  FLASHABFT_ENSURE_MSG(a.cols() == b.cols(),
+                       "backend_matmul_transposed inner dims "
+                           << a.cols() << " vs " << b.cols());
+  if (backend == ComputeBackend::kScalar) return matmul_transposed(a, b);
+  return simd_matmul_transposed(a, b);
+}
+
+MatrixD backend_row_softmax(const MatrixD& scores, ComputeBackend backend) {
+  if (backend == ComputeBackend::kScalar) return row_softmax(scores);
+  return simd_row_softmax(scores);
+}
+
+FusedMatmul backend_matmul_fused(const MatrixD& a, const MatrixD& b,
+                                 ComputeBackend backend) {
+  FLASHABFT_ENSURE(a.cols() == b.rows());
+  if (backend == ComputeBackend::kScalar) return scalar_fused(a, b, {});
+  return simd_matmul_impl(a, b, {}, /*fuse_checks=*/true);
+}
+
+FusedMatmul backend_linear_fused(const MatrixD& x, const MatrixD& w,
+                                 std::span<const double> bias,
+                                 ComputeBackend backend) {
+  FLASHABFT_ENSURE(x.cols() == w.rows());
+  FLASHABFT_ENSURE_MSG(bias.empty() || bias.size() == w.cols(),
+                       "bias size " << bias.size() << " != " << w.cols());
+  if (backend == ComputeBackend::kScalar) return scalar_fused(x, w, bias);
+  return simd_matmul_impl(x, w, bias, /*fuse_checks=*/true);
+}
+
+}  // namespace flashabft

@@ -1,0 +1,162 @@
+// Runtime-selectable compute backend for the hot dense kernels.
+//
+// Every hot kernel in the repo (matmul, row softmax, flash attention,
+// checksum accumulation) exists in two implementations behind one enum:
+//
+//   * kScalar — the bounds-checked reference triple loops of
+//     tensor/tensor_ops.hpp. Bit-stable goldens; the engine every parity
+//     test and every fallback execution runs on.
+//   * kSimd   — blocked, vectorized kernels: register-tiled microkernel
+//     (kSimdRowTile output rows live across a kSimdDepthTile-deep K sweep),
+//     raw-pointer rows, `#pragma omp simd` inner loops (portable: honored
+//     under -fopenmp-simd, harmless auto-vectorizable C++ otherwise).
+//
+// Checksum fusion contract: the `*_fused` kernels produce the classic
+// matmul-ABFT pair (predicted = dot(colsum(A), rowsum(B)) [+ n·Σbias],
+// actual = Σ C) *inside the same tiles* as the product — colsum(A)
+// accumulates as each A element is broadcast into the microkernel, and the
+// actual checksum is reduced from each output row block while it is still
+// cache-hot — so the checked product never takes a second pass over its
+// output. (rowsum(B) is an input-side checksum, computed once as B streams
+// in — the software analogue of Fig. 3's Σ block.)
+//
+// Backend selection must not change *what* is computed: parity tests
+// (tests/test_backend.cpp) hold SIMD to scalar agreement within rounding
+// across odd shapes, and alarm behavior to parity under injected faults.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+// Portable vectorization pragma: a real `omp simd` under -fopenmp-simd
+// (no OpenMP runtime dependency), otherwise ignored.
+#if defined(__GNUC__) || defined(__clang__)
+#define FLASHABFT_PRAGMA(directive) _Pragma(#directive)
+#else
+#define FLASHABFT_PRAGMA(directive)
+#endif
+
+namespace flashabft {
+
+/// Which implementation family a kernel dispatches to.
+enum class ComputeBackend {
+  kScalar = 0,  ///< bounds-checked reference loops (tensor_ops).
+  kSimd,        ///< blocked + vectorized kernels with fused checksums.
+};
+inline constexpr std::size_t kComputeBackendCount = 2;
+
+[[nodiscard]] const char* backend_name(ComputeBackend backend);
+
+/// Parses "scalar" / "simd" (the `--backend=` CLI values).
+[[nodiscard]] std::optional<ComputeBackend> parse_backend(
+    std::string_view name);
+
+/// Process-wide default backend (thread-safe; initial value kScalar). It
+/// seeds `FlashAbftOptions::backend`, `GuardedExecutor::Options::compute`
+/// and `ServerConfig::compute` at construction, so set_default_backend()
+/// before building those objects steers every kernel that is not pinned
+/// explicitly.
+[[nodiscard]] ComputeBackend default_backend();
+void set_default_backend(ComputeBackend backend);
+
+/// Tile geometry of the vectorized microkernel — part of the backend
+/// contract: kernels must be exact for shapes that are *not* multiples of
+/// either tile (parity tests sweep the boundaries).
+inline constexpr std::size_t kSimdRowTile = 4;    ///< MR — C rows per tile.
+inline constexpr std::size_t kSimdDepthTile = 64; ///< KC — K depth per sweep.
+
+namespace simd {
+
+/// dot(a, b) over n lanes.
+[[nodiscard]] inline double dot(const double* a, const double* b,
+                                std::size_t n) {
+  double acc = 0.0;
+  FLASHABFT_PRAGMA(omp simd reduction(+ : acc))
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// o = o * scale + weight * v — the flash-attention accumulator update.
+inline void scale_accumulate(double* o, double scale, double weight,
+                             const double* v, std::size_t n) {
+  FLASHABFT_PRAGMA(omp simd)
+  for (std::size_t i = 0; i < n; ++i) o[i] = o[i] * scale + weight * v[i];
+}
+
+/// y += alpha * x.
+inline void axpy(double* y, double alpha, const double* x, std::size_t n) {
+  FLASHABFT_PRAGMA(omp simd)
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// Σ a[i].
+[[nodiscard]] inline double sum(const double* a, std::size_t n) {
+  double acc = 0.0;
+  FLASHABFT_PRAGMA(omp simd reduction(+ : acc))
+  for (std::size_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+/// max a[i]; n must be > 0.
+[[nodiscard]] inline double max(const double* a, std::size_t n) {
+  double m = a[0];
+  FLASHABFT_PRAGMA(omp simd reduction(max : m))
+  for (std::size_t i = 1; i < n; ++i) m = m > a[i] ? m : a[i];
+  return m;
+}
+
+/// out = acc * scale; returns Σ out — the flash finalize (divide by l_N and
+/// reduce the row's actual checksum in one pass).
+[[nodiscard]] inline double scale_to(double* out, const double* acc,
+                                     double scale, std::size_t n) {
+  double row_sum = 0.0;
+  FLASHABFT_PRAGMA(omp simd reduction(+ : row_sum))
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = acc[i] * scale;
+    row_sum += out[i];
+  }
+  return row_sum;
+}
+
+}  // namespace simd
+
+/// A product plus the matmul-ABFT checksum pair that came out of the same
+/// tiles (kSimd) or a reference second pass (kScalar).
+struct FusedMatmul {
+  MatrixD c;
+  double predicted = 0.0;  ///< dot(colsum(A), rowsum(B)) [+ rows·Σbias].
+  double actual = 0.0;     ///< Σ C (bias included when present).
+};
+
+/// C = A * B on the selected backend.
+[[nodiscard]] MatrixD backend_matmul(const MatrixD& a, const MatrixD& b,
+                                     ComputeBackend backend);
+
+/// C = A * B^T on the selected backend (the QK^T shape).
+[[nodiscard]] MatrixD backend_matmul_transposed(const MatrixD& a,
+                                                const MatrixD& b,
+                                                ComputeBackend backend);
+
+/// Numerically-stable row softmax on the selected backend.
+[[nodiscard]] MatrixD backend_row_softmax(const MatrixD& scores,
+                                          ComputeBackend backend);
+
+/// C = A * B with the ABFT checksum pair fused into the product tiles.
+[[nodiscard]] FusedMatmul backend_matmul_fused(const MatrixD& a,
+                                               const MatrixD& b,
+                                               ComputeBackend backend);
+
+/// y = x W + bias with the fused checksum pair; `bias` may be empty, else
+/// bias.size() == W.cols(). predicted includes the rows·Σbias term, actual
+/// is taken over the biased output — the Linear::checked_forward identity.
+[[nodiscard]] FusedMatmul backend_linear_fused(const MatrixD& x,
+                                               const MatrixD& w,
+                                               std::span<const double> bias,
+                                               ComputeBackend backend);
+
+}  // namespace flashabft

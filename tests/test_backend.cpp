@@ -1,0 +1,319 @@
+// Backend parity suite: the SIMD kernels must agree with the scalar
+// reference within rounding for every shape — especially shapes that are
+// not multiples of the microkernel tiles — the fused checksum pairs must
+// match their second-pass definitions, and fault detection/recovery must
+// behave identically on both backends (alarm parity).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/blocked_flash_attention.hpp"
+#include "core/flash_abft.hpp"
+#include "core/guarded_op.hpp"
+#include "core/matmul_abft.hpp"
+#include "model/linear.hpp"
+#include "model/multi_head_attention.hpp"
+#include "tensor/backend.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace flashabft {
+namespace {
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+// Odd shapes around the kSimdRowTile=4 / kSimdDepthTile=64 boundaries:
+// single row/column/depth, primes, one-past-tile, and exact multiples.
+const std::vector<Shape>& odd_shapes() {
+  static const std::vector<Shape> shapes = {
+      {1, 1, 1},   {1, 3, 5},    {3, 1, 7},    {5, 7, 1},
+      {4, 64, 8},  {17, 31, 13}, {33, 65, 9},  {5, 129, 66},
+      {64, 64, 64}};
+  return shapes;
+}
+
+MatrixD random_matrix(std::size_t rows, std::size_t cols,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixD m(rows, cols);
+  fill_gaussian(m, rng);
+  return m;
+}
+
+/// Rounding-level agreement, scaled by the reduction depth and magnitude.
+void expect_matrix_near(const MatrixD& a, const MatrixD& b,
+                        std::size_t depth) {
+  const double scale = std::max(1.0, std::max(max_abs(a), max_abs(b)));
+  EXPECT_LE(max_abs_diff(a, b), 1e-12 * double(depth + 1) * scale);
+}
+
+void expect_close(double a, double b, double tol) {
+  EXPECT_NEAR(a, b, tol * std::max(1.0, std::max(std::fabs(a),
+                                                 std::fabs(b))));
+}
+
+TEST(Backend, ParseAndName) {
+  EXPECT_EQ(parse_backend("scalar"), ComputeBackend::kScalar);
+  EXPECT_EQ(parse_backend("simd"), ComputeBackend::kSimd);
+  EXPECT_FALSE(parse_backend("avx512").has_value());
+  EXPECT_STREQ(backend_name(ComputeBackend::kScalar), "scalar");
+  EXPECT_STREQ(backend_name(ComputeBackend::kSimd), "simd");
+}
+
+TEST(Backend, DefaultBackendIsProcessWide) {
+  EXPECT_EQ(default_backend(), ComputeBackend::kScalar);
+  set_default_backend(ComputeBackend::kSimd);
+  EXPECT_EQ(default_backend(), ComputeBackend::kSimd);
+  set_default_backend(ComputeBackend::kScalar);
+}
+
+TEST(Backend, MatmulParityAcrossOddShapes) {
+  for (const Shape& shape : odd_shapes()) {
+    const MatrixD a = random_matrix(shape.m, shape.k, shape.m * 977 + 1);
+    const MatrixD b = random_matrix(shape.k, shape.n, shape.n * 131 + 2);
+    const MatrixD scalar = backend_matmul(a, b, ComputeBackend::kScalar);
+    const MatrixD simd = backend_matmul(a, b, ComputeBackend::kSimd);
+    expect_matrix_near(scalar, simd, shape.k);
+  }
+}
+
+TEST(Backend, MatmulTransposedParityAcrossOddShapes) {
+  for (const Shape& shape : odd_shapes()) {
+    const MatrixD a = random_matrix(shape.m, shape.k, shape.m * 31 + 5);
+    const MatrixD b = random_matrix(shape.n, shape.k, shape.n * 17 + 6);
+    const MatrixD scalar =
+        backend_matmul_transposed(a, b, ComputeBackend::kScalar);
+    const MatrixD simd =
+        backend_matmul_transposed(a, b, ComputeBackend::kSimd);
+    expect_matrix_near(scalar, simd, shape.k);
+  }
+}
+
+TEST(Backend, RowSoftmaxParity) {
+  for (const std::size_t cols : {1u, 2u, 7u, 64u, 129u}) {
+    const MatrixD scores = random_matrix(9, cols, cols * 709 + 3);
+    const MatrixD scalar =
+        backend_row_softmax(scores, ComputeBackend::kScalar);
+    const MatrixD simd = backend_row_softmax(scores, ComputeBackend::kSimd);
+    expect_matrix_near(scalar, simd, cols);
+    for (std::size_t i = 0; i < simd.rows(); ++i) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) row_sum += simd(i, j);
+      EXPECT_NEAR(row_sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Backend, FusedChecksumMatchesSecondPassDefinition) {
+  for (const ComputeBackend backend :
+       {ComputeBackend::kScalar, ComputeBackend::kSimd}) {
+    for (const Shape& shape : odd_shapes()) {
+      const MatrixD a = random_matrix(shape.m, shape.k, shape.k * 73 + 9);
+      const MatrixD b = random_matrix(shape.k, shape.n, shape.k * 41 + 10);
+      const FusedMatmul fused = backend_matmul_fused(a, b, backend);
+      expect_matrix_near(fused.c, matmul(a, b), shape.k);
+
+      // The fused pair must equal the classic second-pass checksums.
+      const std::vector<double> col_a = column_sums(a);
+      const std::vector<double> row_b = row_sums(b);
+      double predicted = 0.0;
+      for (std::size_t x = 0; x < col_a.size(); ++x) {
+        predicted += col_a[x] * row_b[x];
+      }
+      const double tol = 1e-11 * double(shape.m * shape.n + 1);
+      expect_close(fused.predicted, predicted, tol);
+      expect_close(fused.actual, element_sum(fused.c), tol);
+      // Clean execution: the pair itself must agree.
+      expect_close(fused.predicted, fused.actual, tol);
+    }
+  }
+}
+
+TEST(Backend, LinearFusedCoversBias) {
+  Rng rng(2026);
+  Linear layer = Linear::random_init(37, 19, rng);
+  for (std::size_t j = 0; j < layer.bias().size(); ++j) {
+    layer.bias()[j] = 0.01 * double(j + 1);
+  }
+  const MatrixD x = random_matrix(11, 37, 77);
+  const MatrixD golden = layer.forward(x);
+  for (const ComputeBackend backend :
+       {ComputeBackend::kScalar, ComputeBackend::kSimd}) {
+    const FusedMatmul fused =
+        backend_linear_fused(x, layer.weight(), layer.bias(), backend);
+    expect_matrix_near(fused.c, golden, 37);
+    expect_close(fused.predicted, fused.actual, 1e-10);
+
+    const CheckedOp op = layer.checked_forward(x, backend);
+    expect_matrix_near(op.output, golden, 37);
+    expect_close(op.check.predicted, op.check.actual, 1e-10);
+  }
+}
+
+TEST(Backend, FlashAbftParityIncludingMasksAndRectangles) {
+  struct Case {
+    std::size_t n_q, n_k, d;
+    AttentionMask mask;
+  };
+  const std::vector<Case> cases = {
+      {1, 1, 1, AttentionMask::kNone},
+      {23, 23, 16, AttentionMask::kNone},
+      {23, 23, 16, AttentionMask::kCausal},
+      {9, 23, 7, AttentionMask::kNone},   // cross-attention, short queries
+      {23, 9, 7, AttentionMask::kNone},   // cross-attention, short memory
+      {33, 65, 64, AttentionMask::kNone},
+  };
+  for (const Case& c : cases) {
+    const MatrixD q = random_matrix(c.n_q, c.d, c.n_q * 3 + 1);
+    const MatrixD k = random_matrix(c.n_k, c.d, c.n_k * 5 + 2);
+    const MatrixD v = random_matrix(c.n_k, c.d, c.n_k * 7 + 3);
+    AttentionConfig cfg;
+    cfg.seq_len = c.n_k;
+    cfg.head_dim = c.d;
+    cfg.scale = 1.0 / std::sqrt(double(c.d));
+    cfg.mask = c.mask;
+
+    FlashAbftOptions simd_options;
+    simd_options.backend = ComputeBackend::kSimd;
+    const CheckedAttention scalar = flash_abft_attention(q, k, v, cfg);
+    const CheckedAttention simd =
+        flash_abft_attention(q, k, v, cfg, simd_options);
+
+    expect_matrix_near(scalar.output, simd.output, c.n_k * c.d);
+    const double tol = 1e-10 * double(c.n_q + 1);
+    expect_close(scalar.predicted_checksum, simd.predicted_checksum, tol);
+    expect_close(scalar.actual_checksum, simd.actual_checksum, tol);
+    // Both runs are clean: each backend's own pair must agree.
+    EXPECT_LT(simd.residual(), 1e-8);
+  }
+}
+
+TEST(Backend, BlockedFlashParityAcrossBlockSizes) {
+  const MatrixD q = random_matrix(29, 16, 11);
+  const MatrixD k = random_matrix(29, 16, 12);
+  const MatrixD v = random_matrix(29, 16, 13);
+  AttentionConfig cfg;
+  cfg.seq_len = 29;
+  cfg.head_dim = 16;
+  cfg.scale = 0.25;
+
+  const CheckedAttention golden = flash_abft_attention(q, k, v, cfg);
+  for (const std::size_t block : {1u, 5u, 64u, 1000u}) {
+    FlashAbftOptions options;
+    options.backend = ComputeBackend::kSimd;
+    const CheckedAttention tiled = blocked_flash_abft_attention(
+        q, k, v, cfg, BlockConfig{block}, options);
+    expect_matrix_near(golden.output, tiled.output, 29 * 16);
+    expect_close(golden.predicted_checksum, tiled.predicted_checksum,
+                 1e-10);
+  }
+}
+
+TEST(Backend, TwoStepAbftParity) {
+  const MatrixD q = random_matrix(21, 13, 31);
+  const MatrixD k = random_matrix(17, 13, 32);
+  const MatrixD v = random_matrix(17, 13, 33);
+  AttentionConfig cfg;
+  cfg.seq_len = 17;
+  cfg.head_dim = 13;
+  cfg.scale = 1.0 / std::sqrt(13.0);
+
+  const TwoStepAbftAttention scalar = two_step_abft_attention(q, k, v, cfg);
+  const TwoStepAbftAttention simd =
+      two_step_abft_attention(q, k, v, cfg, ComputeBackend::kSimd);
+  expect_matrix_near(scalar.output, simd.output, 17 * 13);
+  expect_close(scalar.qk_check.predicted, simd.qk_check.predicted, 1e-10);
+  expect_close(scalar.sv_check.predicted, simd.sv_check.predicted, 1e-10);
+  EXPECT_LT(simd.qk_check.residual(), 1e-8);
+  EXPECT_LT(simd.sv_check.residual(), 1e-8);
+}
+
+GuardedExecutor::Options executor_options(ComputeBackend backend) {
+  GuardedExecutor::Options options;
+  options.compute = backend;
+  return options;
+}
+
+TEST(Backend, AlarmParityUnderInjectedProjectionFault) {
+  // The same transient fault (tampered output on the first attempt) must
+  // alarm, retry, and recover identically on both backends.
+  Rng rng(404);
+  const Linear layer = Linear::random_init(24, 16, rng);
+  const MatrixD x = random_matrix(6, 24, 55);
+
+  for (const ComputeBackend backend :
+       {ComputeBackend::kScalar, ComputeBackend::kSimd}) {
+    GuardedExecutor executor(executor_options(backend));
+    executor.set_tamper([](OpKind, std::size_t, std::size_t attempt,
+                           CheckedOp& op) {
+      // A datapath fault: the corrupted element flows into the actual
+      // checksum (which is derived from the produced output), while the
+      // input-side predicted checksum stays clean — the ABFT detection
+      // case.
+      if (attempt == 0) {
+        op.output(0, 0) += 100.0;
+        op.check.actual += 100.0;
+      }
+    });
+    LayerReport report;
+    const MatrixD out = guarded_linear(layer, x, OpKind::kProjection, 0,
+                                       executor, report);
+    ASSERT_EQ(report.ops.size(), 1u);
+    EXPECT_EQ(report.ops[0].recovery, RecoveryStatus::kRecovered);
+    EXPECT_EQ(report.ops[0].alarms, 1u);
+    EXPECT_EQ(report.ops[0].verdict, CheckVerdict::kPass);
+    expect_matrix_near(out, layer.forward(x), 24);
+  }
+}
+
+TEST(Backend, AlarmParityUnderPersistentAttentionFault) {
+  // A persistent fault (every guarded attempt tampered) must escalate to
+  // the scalar reference fallback on both backends, with identical
+  // report structure and a clean accepted output.
+  Rng rng(405);
+  MultiHeadAttention mha(32, 2, 16, rng);
+  const MatrixD x = random_matrix(7, 32, 66);
+
+  for (const ComputeBackend backend :
+       {ComputeBackend::kScalar, ComputeBackend::kSimd}) {
+    GuardedExecutor executor(executor_options(backend));
+    executor.set_tamper([](OpKind kind, std::size_t index, std::size_t,
+                           CheckedOp& op) {
+      if (kind == OpKind::kAttentionFlashAbft && index == 1) {
+        op.check.actual += 7.0;
+      }
+    });
+    const MhaResult result =
+        mha.forward(x, AttentionBackend::kFlashAbft, executor);
+    EXPECT_TRUE(result.report.all_accepted_clean());
+    EXPECT_EQ(result.report.count(OpKind::kReferenceFallback), 1u);
+    const std::size_t recovered_or_escalated =
+        result.report.alarms(OpKind::kAttentionFlashAbft);
+    EXPECT_GT(recovered_or_escalated, 0u);
+  }
+}
+
+TEST(Backend, MhaForwardParityAcrossBackends) {
+  // End-to-end block parity: the whole guarded MHA forward (projections,
+  // per-head flash attention, output projection) on SIMD matches scalar.
+  Rng rng(406);
+  MultiHeadAttention mha(48, 3, 16, rng);
+  const MatrixD x = random_matrix(11, 48, 67);
+
+  GuardedExecutor scalar_exec(executor_options(ComputeBackend::kScalar));
+  GuardedExecutor simd_exec(executor_options(ComputeBackend::kSimd));
+  const MhaResult scalar =
+      mha.forward(x, AttentionBackend::kFlashAbft, scalar_exec,
+                  AttentionMask::kCausal);
+  const MhaResult simd = mha.forward(x, AttentionBackend::kFlashAbft,
+                                     simd_exec, AttentionMask::kCausal);
+  expect_matrix_near(scalar.output, simd.output, 48 * 11);
+  EXPECT_TRUE(scalar.report.all_accepted_clean());
+  EXPECT_TRUE(simd.report.all_accepted_clean());
+  EXPECT_EQ(scalar.report.ops.size(), simd.report.ops.size());
+}
+
+}  // namespace
+}  // namespace flashabft
