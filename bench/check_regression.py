@@ -14,6 +14,13 @@ committed baseline and fails (exit 1) when:
 
 Scenarios are matched by (name, mode, backend).
 
+Config guard: both files record the full effective run configuration
+("config": seed, backend, scheduler, page size, request counts, ...).
+When the configs disagree the comparison is refused (exit 2) instead of
+silently diffing apples against oranges — a baseline recorded at a
+different seed or page size is not a baseline. A file without a "config"
+section (pre-PR-5 format) only produces a warning.
+
 Machine normalization: the baseline may have been recorded on different
 hardware than the candidate run, so absolute throughput is not compared
 directly. Both files carry the same fixed-shape scalar kernel timings
@@ -60,6 +67,26 @@ def machine_slowdown(baseline, candidate):
     return min(5.0, max(0.2, median))
 
 
+def check_config_match(baseline, candidate):
+    """Returns a list of config keys whose effective values differ; warns
+    (but allows) when either side predates the config section."""
+    base_cfg = baseline.get("config")
+    cand_cfg = candidate.get("config")
+    if base_cfg is None or cand_cfg is None:
+        print("warning: missing \"config\" section "
+              f"(baseline: {base_cfg is not None}, "
+              f"candidate: {cand_cfg is not None}); "
+              "cannot verify the runs are comparable")
+        return []
+    mismatched = []
+    for key in sorted(set(base_cfg) | set(cand_cfg)):
+        if base_cfg.get(key) != cand_cfg.get(key):
+            mismatched.append(
+                f"{key}: baseline {base_cfg.get(key)!r} "
+                f"!= candidate {cand_cfg.get(key)!r}")
+    return mismatched
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -77,6 +104,14 @@ def main():
         baseline = json.load(f)
     with open(args.candidate) as f:
         candidate = json.load(f)
+
+    mismatched = check_config_match(baseline, candidate)
+    if mismatched:
+        print(f"config mismatch — refusing to compare ({len(mismatched)} "
+              "differing key(s)):")
+        for item in mismatched:
+            print(f"  - {item}")
+        return 2
 
     slowdown = 1.0 if args.no_normalize else machine_slowdown(baseline,
                                                               candidate)

@@ -17,15 +17,25 @@
 //   --max-batch=N          batch former admission cap     (default 8)
 //   --batch-deadline-us=N  batch forming deadline         (default 200)
 //   --inject-faults=BOOL   run the fault campaigns too    (default true)
-//   --mode=attention|layer|generate|both|all   payloads   (default all;
-//                          both = attention+layer, the pre-generation set)
+//   --mode=attention|layer|generate|continuous|both|all   payloads
+//                          (default all; both = attention+layer, the
+//                          pre-generation set; continuous = generation
+//                          sessions through the continuous-batching
+//                          scheduler + paged KV pool)
+//   --scheduler=legacy|continuous   engine of the *generate* scenario
+//                          family (default legacy; the continuous family
+//                          always runs the continuous scheduler, so the
+//                          default "all" run records the head-to-head)
+//   --page-size=N          KV-pool page size, tokens per page (default 16)
+//   --max-batch-tokens=N   scheduler decode-batch cap       (default 16)
 //   --requests=N --concurrency=N --heads=N --seq-cap=N
 //   --layer-requests=N     request count for layer scenarios (default 24)
 //   --layer-seq=N          decoder-side row cap per layer request
 //                          (default 24; --seq-cap only shapes
 //                          attention-mode requests)
-//   --gen-requests=N       generation sessions per scenario (default 10)
-//   --prompt-len=N --max-new-tokens=N --max-sessions=N
+//   --gen-requests=N       generation sessions per scenario (default 16)
+//   --prompt-len=N --max-new-tokens=N --max-sessions=N (default 8 — the
+//                          generation families run >= 8-way concurrent)
 //   --preset=NAME --fault-prob=P --persistent-frac=P --seed=N
 //   --backend=scalar|simd|both   compute backend of the software guarded
 //                          path; "both" runs every scenario per backend
@@ -37,8 +47,10 @@
 //                          perf-smoke CI gate diffs it via
 //                          bench/check_regression.py)
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,8 +72,36 @@ struct ScenarioMetrics {
   std::string name;
   std::string mode;
   ComputeBackend backend = ComputeBackend::kScalar;
+  SchedulerMode scheduler = SchedulerMode::kLegacy;
   bool ok = false;
   LoadReport report;
+};
+
+/// The full effective run configuration, recorded into the JSON so
+/// bench/check_regression.py can refuse to compare mismatched runs.
+struct EffectiveConfig {
+  std::uint64_t seed = 0;
+  std::string backend;
+  std::string scheduler;
+  std::string preset;
+  std::size_t threads = 0;
+  std::size_t max_batch = 0;
+  std::size_t page_size = 0;
+  std::size_t max_batch_tokens = 0;
+  std::size_t batch_deadline_us = 0;
+  std::size_t requests = 0;
+  std::size_t layer_requests = 0;
+  std::size_t layer_seq = 0;
+  std::size_t gen_requests = 0;
+  std::size_t prompt_len = 0;
+  std::size_t max_new_tokens = 0;
+  std::size_t max_sessions = 0;
+  std::size_t concurrency = 0;
+  std::size_t heads = 0;
+  std::size_t seq_cap = 0;
+  bool inject_faults = false;
+  double fault_prob = 0.0;
+  double persistent_frac = 0.0;
 };
 
 /// One kernel's scalar-vs-SIMD wall time at the acceptance shape
@@ -144,14 +184,38 @@ std::string json_escape_name(const std::string& name) {
 void write_json(const std::string& path,
                 const std::vector<ScenarioMetrics>& scenarios,
                 const std::vector<KernelTiming>& kernels,
-                std::size_t threads) {
+                const EffectiveConfig& config) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << '\n';
     return;
   }
-  out << "{\n  \"bench\": \"serve_throughput\",\n  \"workers\": " << threads
-      << ",\n  \"kernels\": [\n";
+  out << "{\n  \"bench\": \"serve_throughput\",\n  \"workers\": "
+      << config.threads << ",\n  \"config\": {\n"
+      << "    \"seed\": " << config.seed << ",\n"
+      << "    \"backend\": \"" << config.backend << "\",\n"
+      << "    \"scheduler\": \"" << config.scheduler << "\",\n"
+      << "    \"preset\": \"" << config.preset << "\",\n"
+      << "    \"threads\": " << config.threads << ",\n"
+      << "    \"max_batch\": " << config.max_batch << ",\n"
+      << "    \"batch_deadline_us\": " << config.batch_deadline_us << ",\n"
+      << "    \"page_size\": " << config.page_size << ",\n"
+      << "    \"max_batch_tokens\": " << config.max_batch_tokens << ",\n"
+      << "    \"requests\": " << config.requests << ",\n"
+      << "    \"layer_requests\": " << config.layer_requests << ",\n"
+      << "    \"layer_seq\": " << config.layer_seq << ",\n"
+      << "    \"gen_requests\": " << config.gen_requests << ",\n"
+      << "    \"prompt_len\": " << config.prompt_len << ",\n"
+      << "    \"max_new_tokens\": " << config.max_new_tokens << ",\n"
+      << "    \"max_sessions\": " << config.max_sessions << ",\n"
+      << "    \"concurrency\": " << config.concurrency << ",\n"
+      << "    \"heads\": " << config.heads << ",\n"
+      << "    \"seq_cap\": " << config.seq_cap << ",\n"
+      << "    \"inject_faults\": " << (config.inject_faults ? "true" : "false")
+      << ",\n"
+      << "    \"fault_prob\": " << config.fault_prob << ",\n"
+      << "    \"persistent_frac\": " << config.persistent_frac << "\n"
+      << "  },\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelTiming& kt = kernels[i];
     out << "    {\"name\": \"" << kt.name << "\", \"scalar_ms\": "
@@ -167,6 +231,8 @@ void write_json(const std::string& path,
         << "      \"name\": \"" << json_escape_name(s.name) << "\",\n"
         << "      \"mode\": \"" << s.mode << "\",\n"
         << "      \"backend\": \"" << backend_name(s.backend) << "\",\n"
+        << "      \"scheduler\": \"" << scheduler_mode_name(s.scheduler)
+        << "\",\n"
         << "      \"ok\": " << (s.ok ? "true" : "false") << ",\n"
         << "      \"requests\": " << s.report.completed << ",\n"
         << "      \"throughput_rps\": " << s.report.throughput_rps << ",\n"
@@ -189,7 +255,11 @@ void write_json(const std::string& path,
         << ",\n"
         << "      \"ttft_p50_us\": " << t.ttft_p50_us << ",\n"
         << "      \"ttft_p99_us\": " << t.ttft_p99_us << ",\n"
-        << "      \"sessions_parked\": " << t.sessions_parked
+        << "      \"sessions_parked\": " << t.sessions_parked << ",\n"
+        << "      \"batch_occupancy\": " << t.batch_occupancy() << ",\n"
+        << "      \"preemptions\": " << t.preemptions << ",\n"
+        << "      \"session_resumes\": " << t.session_resumes << ",\n"
+        << "      \"peak_page_utilization\": " << t.peak_page_utilization()
         << ",\n      \"per_kind\": {";
     bool first = true;
     for (std::size_t k = 0; k < kOpKindCount; ++k) {
@@ -220,14 +290,17 @@ int main(int argc, char** argv) {
   const std::size_t requests = args.get_size("requests", 60);
   const std::size_t layer_requests = args.get_size("layer-requests", 24);
   const std::size_t layer_seq = args.get_size("layer-seq", 24);
-  const std::size_t gen_requests = args.get_size("gen-requests", 10);
+  const std::size_t gen_requests = args.get_size("gen-requests", 16);
   const std::size_t prompt_len = args.get_size("prompt-len", 12);
-  const std::size_t max_new_tokens = args.get_size("max-new-tokens", 6);
-  const std::size_t max_sessions = args.get_size("max-sessions", 4);
+  const std::size_t max_new_tokens = args.get_size("max-new-tokens", 16);
+  const std::size_t max_sessions = args.get_size("max-sessions", 8);
   const std::size_t concurrency = args.get_size("concurrency", 8);
   const std::size_t heads = args.get_size("heads", 4);
   const std::size_t seq_cap = args.get_size("seq-cap", 48);
+  const std::size_t page_size = args.get_size("page-size", 16);
+  const std::size_t max_batch_tokens = args.get_size("max-batch-tokens", 16);
   const std::string mode = args.get_string("mode", "all");
+  const std::string scheduler_arg = args.get_string("scheduler", "legacy");
   const std::string backend_arg = args.get_string("backend", "both");
   const std::size_t kernel_reps = args.get_size("kernel-reps", 3);
   const std::string preset_name = args.get_string("preset", "bert");
@@ -241,6 +314,14 @@ int main(int argc, char** argv) {
       mode == "attention" || mode == "both" || mode == "all";
   const bool run_layer = mode == "layer" || mode == "both" || mode == "all";
   const bool run_generate = mode == "generate" || mode == "all";
+  const bool run_continuous = mode == "continuous" || mode == "all";
+  const std::optional<SchedulerMode> generate_scheduler =
+      parse_scheduler_mode(scheduler_arg);
+  if (!generate_scheduler) {
+    std::cerr << "unknown --scheduler=" << scheduler_arg
+              << " (want legacy|continuous)\n";
+    return 2;
+  }
 
   std::vector<ComputeBackend> backends;
   if (backend_arg == "both") {
@@ -258,13 +339,18 @@ int main(int argc, char** argv) {
   std::vector<ScenarioMetrics> scenarios;
   bool all_clean = true;
   const auto scenario = [&](const char* title, RequestMode request_mode,
-                            double probability, ComputeBackend compute) {
+                            double probability, ComputeBackend compute,
+                            SchedulerMode scheduler_mode =
+                                SchedulerMode::kLegacy) {
     ServerConfig config =
         make_calibrated_server_config(preset, /*lanes=*/16, seq_cap, seed);
     config.num_workers = threads;
     config.batching.max_batch = max_batch;
     config.batching.batch_deadline =
         std::chrono::microseconds(batch_deadline_us);
+    config.scheduler.mode = scheduler_mode;
+    config.scheduler.page_size = page_size;
+    config.scheduler.max_batch_tokens = max_batch_tokens;
     // A modest decoder layer keeps the software path's matmuls serving-rate
     // sized (the cycle-level accelerator stays the attention-mode engine).
     config.layer.model_dim = 128;
@@ -284,6 +370,8 @@ int main(int argc, char** argv) {
 
     const bool layer_mode = request_mode == RequestMode::kDecoderLayer;
     const bool generate_mode = request_mode == RequestMode::kGeneration;
+    const bool continuous =
+        generate_mode && scheduler_mode == SchedulerMode::kContinuous;
     InferenceServer server(config);
     LoadDriverConfig load;
     load.mode = request_mode;
@@ -318,6 +406,7 @@ int main(int argc, char** argv) {
     t.add_row({"p99 latency (us)",
                format_number(report.telemetry.total_p99_us, 1)});
     if (generate_mode) {
+      t.add_row({"scheduler", scheduler_mode_name(scheduler_mode)});
       t.add_row({"tokens generated",
                  format_number(double(report.tokens_generated), 0)});
       t.add_row({"tokens/sec", format_number(report.tokens_per_second, 1)});
@@ -327,6 +416,16 @@ int main(int argc, char** argv) {
                  format_number(report.telemetry.ttft_p99_us, 1)});
       t.add_row({"sessions parked",
                  format_number(double(report.telemetry.sessions_parked), 0)});
+    }
+    if (continuous) {
+      t.add_row({"scheduler ticks",
+                 format_number(double(report.telemetry.scheduler_ticks), 0)});
+      t.add_row({"batch occupancy",
+                 format_number(report.telemetry.batch_occupancy(), 2)});
+      t.add_row({"preemptions",
+                 format_number(double(report.telemetry.preemptions), 0)});
+      t.add_row({"peak page utilization",
+                 format_number(report.telemetry.peak_page_utilization(), 2)});
     }
     // Sessions complete once but occupy many queue pops (prefill + decode
     // continuations), so completed/batches is meaningless in generate mode.
@@ -385,10 +484,11 @@ int main(int argc, char** argv) {
     const bool ok = complete && clean && accounted;
     all_clean = all_clean && ok;
     scenarios.push_back({title,
-                         generate_mode ? "generate"
-                         : layer_mode  ? "layer"
-                                       : "attention",
-                         compute, ok, report});
+                         continuous      ? "continuous"
+                         : generate_mode ? "generate"
+                         : layer_mode    ? "layer"
+                                         : "attention",
+                         compute, scheduler_mode, ok, report});
   };
 
   for (const ComputeBackend compute : backends) {
@@ -410,11 +510,54 @@ int main(int argc, char** argv) {
     }
     if (run_generate) {
       scenario("fault-free generation serving", RequestMode::kGeneration,
-               0.0, compute);
+               0.0, compute, *generate_scheduler);
       if (inject_faults) {
         scenario("generation serving under injected faults",
-                 RequestMode::kGeneration, fault_prob, compute);
+                 RequestMode::kGeneration, fault_prob, compute,
+                 *generate_scheduler);
       }
+    }
+    if (run_continuous) {
+      scenario("fault-free continuous-batching generation",
+               RequestMode::kGeneration, 0.0, compute,
+               SchedulerMode::kContinuous);
+      if (inject_faults) {
+        scenario("continuous-batching generation under injected faults",
+                 RequestMode::kGeneration, fault_prob, compute,
+                 SchedulerMode::kContinuous);
+      }
+    }
+  }
+
+  // The head-to-head the acceptance criteria pin: aggregate tokens/sec of
+  // the continuous scheduler vs the legacy per-session path at the same
+  // (>= 8-way) session concurrency, per backend.
+  for (const ComputeBackend compute : backends) {
+    const ScenarioMetrics* legacy = nullptr;
+    const ScenarioMetrics* continuous = nullptr;
+    for (const ScenarioMetrics& s : scenarios) {
+      if (s.backend != compute || s.report.tokens_generated == 0) continue;
+      if (s.mode == "generate" && s.scheduler == SchedulerMode::kLegacy &&
+          s.name.find("fault-free") != std::string::npos) {
+        legacy = &s;
+      }
+      if (s.mode == "continuous" &&
+          s.name.find("fault-free") != std::string::npos) {
+        continuous = &s;
+      }
+    }
+    if (legacy != nullptr && continuous != nullptr &&
+        legacy->report.tokens_per_second > 0.0) {
+      std::cout << "continuous vs legacy tokens/sec ("
+                << backend_name(compute) << "): "
+                << format_number(continuous->report.tokens_per_second, 1)
+                << " vs "
+                << format_number(legacy->report.tokens_per_second, 1)
+                << " = "
+                << format_number(continuous->report.tokens_per_second /
+                                     legacy->report.tokens_per_second,
+                                 2)
+                << "x\n\n";
     }
   }
 
@@ -430,6 +573,31 @@ int main(int argc, char** argv) {
     std::cout << kt.render() << '\n';
   }
 
-  if (!json_path.empty()) write_json(json_path, scenarios, kernels, threads);
+  if (!json_path.empty()) {
+    EffectiveConfig effective;
+    effective.seed = seed;
+    effective.backend = backend_arg;
+    effective.scheduler = scheduler_arg;
+    effective.preset = preset_name;
+    effective.threads = threads;
+    effective.max_batch = max_batch;
+    effective.batch_deadline_us = batch_deadline_us;
+    effective.page_size = page_size;
+    effective.max_batch_tokens = max_batch_tokens;
+    effective.requests = requests;
+    effective.layer_requests = layer_requests;
+    effective.layer_seq = layer_seq;
+    effective.gen_requests = gen_requests;
+    effective.prompt_len = prompt_len;
+    effective.max_new_tokens = max_new_tokens;
+    effective.max_sessions = max_sessions;
+    effective.concurrency = concurrency;
+    effective.heads = heads;
+    effective.seq_cap = seq_cap;
+    effective.inject_faults = inject_faults;
+    effective.fault_prob = fault_prob;
+    effective.persistent_frac = persistent_frac;
+    write_json(json_path, scenarios, kernels, effective);
+  }
   return all_clean ? 0 : 1;
 }

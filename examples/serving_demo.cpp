@@ -23,6 +23,14 @@
 //           checkpoint, and the session finishes with exactly the tokens
 //           of an uncorrupted run — the kv_cache op kind carries the
 //           alarm/recovery in telemetry.
+//   act 6 — continuous batching over the paged KV pool: a second server
+//           runs --scheduler=continuous with a deliberately tight page
+//           pool, so eight concurrent sessions decode in one batched sweep
+//           per tick, preempt each other under page pressure and resume
+//           losslessly — while one session takes a KV-page *double fault*
+//           (page data + its page-table entry corrupted in the same tick),
+//           recovered from the page checkpoints with token-for-token
+//           parity against its fault-free twin.
 //
 // Build & run:  ./build/examples/serving_demo
 // Knobs: --threads=N --max-batch=N --batch-deadline-us=N
@@ -256,6 +264,84 @@ int main(int argc, char** argv) {
       all_clean = all_clean && same_tokens &&
                   rescued.path == ServePath::kGuardedRecovered;
     }
+  }
+
+  // --- act 6: continuous batching + a KV-page double-fault rescue. ---
+  std::cout << "\nact 6 — continuous batching over the paged KV pool "
+               "(8 sessions, tight pool):\n";
+  {
+    ServerConfig continuous = config;
+    continuous.max_sessions = 8;
+    continuous.model.max_seq_len = 24;
+    continuous.scheduler.mode = SchedulerMode::kContinuous;
+    continuous.scheduler.page_size = 4;
+    // 2 layers x 6 pages fits one full session; ~half of what 8 sessions
+    // want, so preemption/resume must carry the run.
+    continuous.scheduler.num_pages = 26;
+    InferenceServer engine(continuous);
+    const std::vector<std::size_t> prompt =
+        engine.model().encode("paged attention under checksums");
+    const std::size_t max_new = 8;
+
+    const auto session_request = [&](bool double_fault) {
+      ServeRequest request;
+      request.category = "continuous";
+      GenerationWork work;
+      work.prompt = prompt;
+      work.max_new_tokens = max_new;
+      if (double_fault && inject_faults) {
+        KvCorruption data;
+        data.step = 4;
+        data.layer = 1;
+        data.row = 2;
+        data.col = 9;
+        data.delta = 2.0;
+        KvCorruption table = data;
+        table.page_table = true;  // redirect the page-table entry too.
+        work.kv_corruptions = {data, table};
+      }
+      request.work = std::move(work);
+      return request;
+    };
+
+    std::vector<std::future<ServeResponse>> futures;
+    futures.push_back(engine.submit(session_request(/*double_fault=*/true)));
+    for (std::size_t i = 1; i < 8; ++i) {
+      futures.push_back(engine.submit(session_request(false)));
+    }
+    std::vector<ServeResponse> responses;
+    for (auto& f : futures) responses.push_back(f.get());
+
+    const ServeResponse& faulted = responses.front();
+    const ServeResponse& twin = responses[1];  // same prompt, fault-free.
+    for (const ServeResponse& r : responses) {
+      std::cout << "  session " << r.id << ": path="
+                << serve_path_name(r.path) << " tokens=" << r.tokens.size()
+                << " preempted=" << r.preemptions << " resumed=" << r.resumes
+                << " alarms=" << r.alarm_events
+                << " checksum=" << (r.checksum_clean ? "clean" : "DIRTY")
+                << '\n';
+      all_clean = all_clean && r.checksum_clean;
+    }
+    const TelemetrySnapshot s = engine.telemetry().snapshot();
+    std::cout << "  scheduler: " << s.scheduler_ticks
+              << " ticks, batch occupancy "
+              << s.batch_occupancy() << ", preemptions " << s.preemptions
+              << ", resumes " << s.session_resumes
+              << ", peak page utilization " << s.peak_page_utilization()
+              << '\n';
+    if (inject_faults) {
+      const OpKindStats& kv = s.per_kind[std::size_t(OpKind::kKvPage)];
+      const bool parity = faulted.tokens == twin.tokens;
+      std::cout << "  double fault (page data + page-table entry): kv_page "
+                << kv.alarms << " alarm(s), " << kv.recovered
+                << " recovered; tokens match fault-free twin: "
+                << (parity ? "yes" : "NO (?!)") << '\n';
+      all_clean = all_clean && parity && kv.recovered >= 1 &&
+                  faulted.path == ServePath::kGuardedRecovered;
+    }
+    all_clean = all_clean && s.preemptions > 0 && s.session_resumes > 0;
+    engine.shutdown();
   }
 
   const TelemetrySnapshot snapshot = server.telemetry().snapshot();

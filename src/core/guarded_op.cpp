@@ -24,6 +24,7 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kProjection: return "projection";
     case OpKind::kFfn: return "ffn";
     case OpKind::kKvCache: return "kv_cache";
+    case OpKind::kKvPage: return "kv_page";
     case OpKind::kReferenceFallback: return "reference_fallback";
   }
   return "?";

@@ -47,9 +47,10 @@ enum class OpKind {
   kProjection,              ///< Q/K/V/output projection under matmul-ABFT.
   kFfn,                     ///< feed-forward product under matmul-ABFT.
   kKvCache,                 ///< KV-cache read verified by running checksums.
+  kKvPage,                  ///< paged KV pool: page contents + page table.
   kReferenceFallback,       ///< software Alg. 3 serving an escalated op.
 };
-inline constexpr std::size_t kOpKindCount = 6;
+inline constexpr std::size_t kOpKindCount = 7;
 
 [[nodiscard]] const char* op_kind_name(OpKind kind);
 

@@ -1,0 +1,477 @@
+#include "core/kv_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "numerics/exp_unit.hpp"
+#include "tensor/backend.hpp"
+
+namespace flashabft {
+
+namespace {
+
+/// Position-weighted mapping checksum term of table slot `slot` holding
+/// page `id`. The (slot+1)/(id+1) offsets keep slot 0 / page 0 visible.
+double table_term(std::size_t slot, std::size_t id) {
+  return double(slot + 1) * double(id + 1);
+}
+
+}  // namespace
+
+std::size_t PagedKv::len(std::size_t layer) const {
+  FLASHABFT_ENSURE(layer < layers_.size());
+  return layers_[layer].len;
+}
+
+std::size_t PagedKv::pages(std::size_t layer) const {
+  FLASHABFT_ENSURE(layer < layers_.size());
+  return layers_[layer].entries.size();
+}
+
+std::size_t PagedKv::total_pages() const {
+  std::size_t total = 0;
+  for (const LayerTable& table : layers_) total += table.entries.size();
+  return total;
+}
+
+KvPagePool::KvPagePool(const KvPoolConfig& cfg) : cfg_(cfg) {
+  FLASHABFT_ENSURE_MSG(cfg.num_pages > 0 && cfg.page_size > 0 &&
+                           cfg.width > 0 && cfg.num_layers > 0,
+                       "KvPagePool needs pages " << cfg.num_pages << " x rows "
+                                                 << cfg.page_size << " x width "
+                                                 << cfg.width << " x layers "
+                                                 << cfg.num_layers);
+  pages_.resize(cfg.num_pages);
+  for (Page& page : pages_) {
+    page.k = MatrixD(cfg.page_size, cfg.width);
+    page.v = MatrixD(cfg.page_size, cfg.width);
+    page.k_mirror = MatrixD(cfg.page_size, cfg.width);
+    page.v_mirror = MatrixD(cfg.page_size, cfg.width);
+    page.k_sum.assign(cfg.width, 0.0);
+    page.v_sum.assign(cfg.width, 0.0);
+  }
+  free_list_.resize(cfg.num_pages);
+  // Allocation pops from the back; keep ids ascending for readable tests.
+  std::iota(free_list_.rbegin(), free_list_.rend(), std::size_t{0});
+}
+
+PagedKv KvPagePool::make_session(std::uint64_t session_id) const {
+  PagedKv kv;
+  kv.session_id_ = session_id;
+  kv.layers_.resize(cfg_.num_layers);
+  return kv;
+}
+
+bool KvPagePool::owned(std::size_t id, const PagedKv& kv,
+                       std::size_t layer) const {
+  return id < pages_.size() && pages_[id].allocated &&
+         pages_[id].owner == kv.session_id_ &&
+         pages_[id].owner_layer == layer;
+}
+
+std::size_t KvPagePool::alloc_page(std::uint64_t owner, std::size_t layer) {
+  FLASHABFT_ENSURE_MSG(!free_list_.empty(),
+                       "KV pool exhausted: " << pages_.size()
+                                             << " pages all in use");
+  const std::size_t id = free_list_.back();
+  free_list_.pop_back();
+  Page& page = pages_[id];
+  page.used = 0;
+  page.allocated = true;
+  page.owner = owner;
+  page.owner_layer = layer;
+  std::fill(page.k_sum.begin(), page.k_sum.end(), 0.0);
+  std::fill(page.v_sum.begin(), page.v_sum.end(), 0.0);
+  peak_in_use_ = std::max(peak_in_use_, pages_in_use());
+  return id;
+}
+
+void KvPagePool::release_page(std::size_t id) {
+  FLASHABFT_ENSURE(id < pages_.size() && pages_[id].allocated);
+  pages_[id].allocated = false;
+  pages_[id].used = 0;
+  free_list_.push_back(id);
+}
+
+std::size_t KvPagePool::append_pages_needed(const PagedKv& kv) const {
+  std::size_t needed = 0;
+  for (const PagedKv::LayerTable& table : kv.layers_) {
+    needed += table.len == table.entries.size() * cfg_.page_size;
+  }
+  return needed;
+}
+
+void KvPagePool::grow_table(PagedKv& kv, std::size_t layer) {
+  PagedKv::LayerTable& table = kv.layers_[layer];
+  const std::size_t id = alloc_page(kv.session_id_, layer);
+  table.entries.push_back(id);
+  table.mirror.push_back(id);
+  table.table_sum += table_term(table.entries.size() - 1, id);
+}
+
+void KvPagePool::reserve_append(PagedKv& kv) {
+  for (std::size_t layer = 0; layer < kv.layers_.size(); ++layer) {
+    const PagedKv::LayerTable& table = kv.layers_[layer];
+    if (table.len < table.entries.size() * cfg_.page_size) continue;
+    grow_table(kv, layer);
+  }
+}
+
+void KvPagePool::append(PagedKv& kv, std::size_t layer,
+                        std::span<const double> k_row,
+                        std::span<const double> v_row) {
+  FLASHABFT_ENSURE(layer < kv.layers_.size());
+  FLASHABFT_ENSURE_MSG(k_row.size() == cfg_.width && v_row.size() == cfg_.width,
+                       "KV row width " << k_row.size() << "/" << v_row.size()
+                                       << " != pool width " << cfg_.width);
+  PagedKv::LayerTable& table = kv.layers_[layer];
+  if (table.len == table.entries.size() * cfg_.page_size) {
+    grow_table(kv, layer);
+  }
+  Page& page = pages_[table.entries[table.len / cfg_.page_size]];
+  const std::size_t r = table.len % cfg_.page_size;
+  for (std::size_t c = 0; c < cfg_.width; ++c) {
+    page.k(r, c) = k_row[c];
+    page.v(r, c) = v_row[c];
+    page.k_mirror(r, c) = k_row[c];
+    page.v_mirror(r, c) = v_row[c];
+    page.k_sum[c] += k_row[c];
+    page.v_sum[c] += v_row[c];
+  }
+  ++page.used;
+  ++table.len;
+}
+
+void KvPagePool::free_session(PagedKv& kv) {
+  for (PagedKv::LayerTable& table : kv.layers_) {
+    // Release through the *mirror* mapping: it is the verified copy, so a
+    // live-table corruption cannot leak pages (or free a foreign one).
+    for (const std::size_t id : table.mirror) {
+      if (id < pages_.size() && pages_[id].allocated &&
+          pages_[id].owner == kv.session_id_) {
+        release_page(id);
+      }
+    }
+    table.entries.clear();
+    table.mirror.clear();
+    table.table_sum = 0.0;
+    table.len = 0;
+  }
+}
+
+CheckedOp KvPagePool::verify(const PagedKv& kv, std::size_t layer) const {
+  FLASHABFT_ENSURE(layer < kv.layers_.size());
+  const PagedKv::LayerTable& table = kv.layers_[layer];
+  CheckedOp op;
+  op.output = MatrixD(1, 1);
+
+  ChecksumPair worst_k{0.0, 0.0};
+  ChecksumPair worst_v{0.0, 0.0};
+  bool first = true;
+  double table_actual = 0.0;
+  std::vector<double> actual_k(cfg_.width);
+  std::vector<double> actual_v(cfg_.width);
+  for (std::size_t slot = 0; slot < table.entries.size(); ++slot) {
+    const std::size_t id = table.entries[slot];
+    table_actual += table_term(slot, id);
+    // A mapping upset usually lands on a page this session does not own;
+    // its contents are not scanned (they may belong to another session) —
+    // the table pair carries the alarm.
+    if (!owned(id, kv, layer)) continue;
+    const Page& page = pages_[id];
+    std::fill(actual_k.begin(), actual_k.end(), 0.0);
+    std::fill(actual_v.begin(), actual_v.end(), 0.0);
+    // Row-outer raw scan in append order: a clean page reproduces its
+    // running sums bit-for-bit, and this loop runs on every decode step of
+    // every session — no per-element bounds checks.
+    const double* k_data = page.k.flat().data();
+    const double* v_data = page.v.flat().data();
+    for (std::size_t r = 0; r < page.used; ++r) {
+      const double* k_row = k_data + r * cfg_.width;
+      const double* v_row = v_data + r * cfg_.width;
+      for (std::size_t c = 0; c < cfg_.width; ++c) {
+        actual_k[c] += k_row[c];
+        actual_v[c] += v_row[c];
+      }
+    }
+    for (std::size_t c = 0; c < cfg_.width; ++c) {
+      const ChecksumPair pair_k{page.k_sum[c], actual_k[c]};
+      const ChecksumPair pair_v{page.v_sum[c], actual_v[c]};
+      if (first || pair_k.residual() > worst_k.residual()) worst_k = pair_k;
+      if (first || pair_v.residual() > worst_v.residual()) worst_v = pair_v;
+      first = false;
+    }
+  }
+  op.check = worst_k;
+  op.extra_checks.push_back(worst_v);
+  op.extra_checks.push_back({table.table_sum, table_actual});
+  return op;
+}
+
+void KvPagePool::restore(PagedKv& kv, std::size_t layer) {
+  FLASHABFT_ENSURE(layer < kv.layers_.size());
+  PagedKv::LayerTable& table = kv.layers_[layer];
+  // Mapping first: content restoration must walk the verified table.
+  table.entries = table.mirror;
+  table.table_sum = 0.0;
+  for (std::size_t slot = 0; slot < table.entries.size(); ++slot) {
+    table.table_sum += table_term(slot, table.entries[slot]);
+  }
+  for (const std::size_t id : table.entries) {
+    FLASHABFT_ENSURE(owned(id, kv, layer));
+    Page& page = pages_[id];
+    bool dirty = false;
+    for (std::size_t c = 0; c < cfg_.width && !dirty; ++c) {
+      double sum_k = 0.0;
+      double sum_v = 0.0;
+      for (std::size_t r = 0; r < page.used; ++r) {
+        sum_k += page.k(r, c);
+        sum_v += page.v(r, c);
+      }
+      dirty = sum_k != page.k_sum[c] || sum_v != page.v_sum[c];
+    }
+    if (!dirty) continue;  // only the corrupted page is re-materialized.
+    for (std::size_t r = 0; r < page.used; ++r) {
+      for (std::size_t c = 0; c < cfg_.width; ++c) {
+        page.k(r, c) = page.k_mirror(r, c);
+        page.v(r, c) = page.v_mirror(r, c);
+      }
+    }
+    for (std::size_t c = 0; c < cfg_.width; ++c) {
+      double sum_k = 0.0;
+      double sum_v = 0.0;
+      for (std::size_t r = 0; r < page.used; ++r) {
+        sum_k += page.k(r, c);
+        sum_v += page.v(r, c);
+      }
+      page.k_sum[c] = sum_k;
+      page.v_sum[c] = sum_v;
+    }
+  }
+}
+
+std::vector<KvPagePool::Chunk> KvPagePool::chunks(const PagedKv& kv,
+                                                  std::size_t layer) const {
+  FLASHABFT_ENSURE(layer < kv.layers_.size());
+  const PagedKv::LayerTable& table = kv.layers_[layer];
+  std::vector<Chunk> out;
+  out.reserve(table.entries.size());
+  std::size_t remaining = table.len;
+  for (const std::size_t id : table.entries) {
+    if (!owned(id, kv, layer)) continue;
+    const Page& page = pages_[id];
+    const std::size_t rows = std::min(remaining, page.used);
+    if (rows == 0) break;
+    out.push_back({page.k.flat().data(), page.v.flat().data(), rows});
+    remaining -= rows;
+  }
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> KvPagePool::locate(
+    const PagedKv& kv, std::size_t layer, std::size_t row) const {
+  FLASHABFT_ENSURE(layer < kv.layers_.size());
+  const PagedKv::LayerTable& table = kv.layers_[layer];
+  FLASHABFT_ENSURE_MSG(row < table.len, "row " << row << " outside cache of "
+                                               << table.len << " tokens");
+  const std::size_t slot = row / cfg_.page_size;
+  FLASHABFT_ENSURE(slot < table.entries.size());
+  return {table.entries[slot], row % cfg_.page_size};
+}
+
+MatrixD KvPagePool::gather_k_head(const PagedKv& kv, std::size_t layer,
+                                  std::size_t head,
+                                  std::size_t head_dim) const {
+  FLASHABFT_ENSURE((head + 1) * head_dim <= cfg_.width);
+  MatrixD out(kv.len(layer), head_dim);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const auto [id, pr] = locate(kv, layer, r);
+    for (std::size_t c = 0; c < head_dim; ++c) {
+      out(r, c) = pages_[id].k(pr, head * head_dim + c);
+    }
+  }
+  return out;
+}
+
+MatrixD KvPagePool::gather_v_head(const PagedKv& kv, std::size_t layer,
+                                  std::size_t head,
+                                  std::size_t head_dim) const {
+  FLASHABFT_ENSURE((head + 1) * head_dim <= cfg_.width);
+  MatrixD out(kv.len(layer), head_dim);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const auto [id, pr] = locate(kv, layer, r);
+    for (std::size_t c = 0; c < head_dim; ++c) {
+      out(r, c) = pages_[id].v(pr, head * head_dim + c);
+    }
+  }
+  return out;
+}
+
+double KvPagePool::k_at(const PagedKv& kv, std::size_t layer, std::size_t row,
+                        std::size_t col) const {
+  FLASHABFT_ENSURE(col < cfg_.width);
+  const auto [id, pr] = locate(kv, layer, row);
+  return pages_[id].k(pr, col);
+}
+
+double KvPagePool::v_at(const PagedKv& kv, std::size_t layer, std::size_t row,
+                        std::size_t col) const {
+  FLASHABFT_ENSURE(col < cfg_.width);
+  const auto [id, pr] = locate(kv, layer, row);
+  return pages_[id].v(pr, col);
+}
+
+void KvPagePool::corrupt_k(PagedKv& kv, std::size_t layer, std::size_t row,
+                           std::size_t col, double delta) {
+  FLASHABFT_ENSURE(col < cfg_.width);
+  const auto [id, pr] = locate(kv, layer, row);
+  pages_[id].k(pr, col) += delta;
+}
+
+void KvPagePool::corrupt_v(PagedKv& kv, std::size_t layer, std::size_t row,
+                           std::size_t col, double delta) {
+  FLASHABFT_ENSURE(col < cfg_.width);
+  const auto [id, pr] = locate(kv, layer, row);
+  pages_[id].v(pr, col) += delta;
+}
+
+void KvPagePool::corrupt_page_table(PagedKv& kv, std::size_t layer,
+                                    std::size_t row, std::size_t shift) {
+  FLASHABFT_ENSURE(layer < kv.layers_.size());
+  PagedKv::LayerTable& table = kv.layers_[layer];
+  FLASHABFT_ENSURE_MSG(row < table.len, "row " << row << " outside cache of "
+                                               << table.len << " tokens");
+  FLASHABFT_ENSURE_MSG(shift % pages_.size() != 0,
+                       "page-table corruption shift is a no-op");
+  const std::size_t slot = row / cfg_.page_size;
+  std::size_t& entry = table.entries[slot];
+  entry = (entry + shift) % pages_.size();
+}
+
+bool guarded_page_verify(KvPagePool& pool, PagedKv& kv, std::size_t layer,
+                         std::size_t index, const GuardedExecutor& executor,
+                         LayerReport& report) {
+  GuardedOp op = executor.run(
+      OpKind::kKvPage, index, pool.verify_cost(kv, layer),
+      [&pool, &kv, layer](std::size_t attempt) {
+        if (attempt > 0) pool.restore(kv, layer);
+        return pool.verify(kv, layer);
+      });
+  const bool clean = op.clean();
+  report.add(std::move(op));
+  return clean;
+}
+
+namespace {
+
+/// The scalar recurrence, operation-for-operation the same as
+/// flash_abft_attention's scalar loop over the gathered head (ExpMode
+/// kExact, no ell replication) — bit-identical outputs by construction.
+CheckedOp paged_head_scalar(std::span<const double> q_row,
+                            const std::vector<KvPagePool::Chunk>& chunks,
+                            std::size_t width, std::size_t head,
+                            std::size_t head_dim, double scale) {
+  const std::size_t offset = head * head_dim;
+  double m = -std::numeric_limits<double>::infinity();
+  double ell = 0.0;
+  double c = 0.0;
+  std::vector<double> o(head_dim, 0.0);
+  for (const KvPagePool::Chunk& chunk : chunks) {
+    for (std::size_t r = 0; r < chunk.rows; ++r) {
+      const double* kp = chunk.k + r * width + offset;
+      const double* vp = chunk.v + r * width + offset;
+      double s = 0.0;
+      for (std::size_t x = 0; x < head_dim; ++x) s += q_row[x] * kp[x];
+      s *= scale;
+      const double m_new = std::max(m, s);
+      const double correction =
+          std::isinf(m) ? 0.0 : eval_exp(m - m_new, ExpMode::kExact);
+      const double weight = eval_exp(s - m_new, ExpMode::kExact);
+      ell = ell * correction + weight;
+      for (std::size_t x = 0; x < head_dim; ++x) {
+        o[x] = o[x] * correction + weight * vp[x];
+      }
+      double row_v = 0.0;
+      for (std::size_t x = 0; x < head_dim; ++x) row_v += vp[x];
+      c = c * correction + weight * row_v;
+      m = m_new;
+    }
+  }
+  CheckedOp op;
+  op.output = MatrixD(1, head_dim);
+  double row_actual = 0.0;
+  for (std::size_t x = 0; x < head_dim; ++x) {
+    op.output(0, x) = o[x] / ell;
+    row_actual += op.output(0, x);
+  }
+  op.check = {c / ell, row_actual};
+  return op;
+}
+
+/// The vectorized recurrence, mirroring flash_abft_attention_simd (simd::
+/// primitives, exp(0) bypass, reciprocal finalize) over the strided pages.
+CheckedOp paged_head_simd(std::span<const double> q_row,
+                          const std::vector<KvPagePool::Chunk>& chunks,
+                          std::size_t width, std::size_t head,
+                          std::size_t head_dim, double scale) {
+  const std::size_t offset = head * head_dim;
+  const double exp_zero = eval_exp(0.0, ExpMode::kExact);
+  double m = -std::numeric_limits<double>::infinity();
+  double ell = 0.0;
+  double c = 0.0;
+  std::vector<double> o(head_dim, 0.0);
+  for (const KvPagePool::Chunk& chunk : chunks) {
+    for (std::size_t r = 0; r < chunk.rows; ++r) {
+      const double* kp = chunk.k + r * width + offset;
+      const double* vp = chunk.v + r * width + offset;
+      const double s = simd::dot(q_row.data(), kp, head_dim) * scale;
+      const double m_new = std::max(m, s);
+      const double correction =
+          std::isinf(m) ? 0.0
+          : m - m_new == 0.0 ? exp_zero
+                             : eval_exp(m - m_new, ExpMode::kExact);
+      const double weight = eval_exp(s - m_new, ExpMode::kExact);
+      ell = ell * correction + weight;
+      if (correction == 1.0) {
+        simd::axpy(o.data(), weight, vp, head_dim);
+      } else {
+        simd::scale_accumulate(o.data(), correction, weight, vp, head_dim);
+      }
+      // Row sum of the value head slice, accumulated in column order like
+      // value_row_sums (keeps the checksum lane bit-stable across layouts).
+      double row_v = 0.0;
+      for (std::size_t x = 0; x < head_dim; ++x) row_v += vp[x];
+      c = c * correction + weight * row_v;
+      m = m_new;
+    }
+  }
+  CheckedOp op;
+  op.output = MatrixD(1, head_dim);
+  const double row_actual =
+      simd::scale_to(op.output.row(0).data(), o.data(), 1.0 / ell, head_dim);
+  op.check = {c / ell, row_actual};
+  return op;
+}
+
+}  // namespace
+
+CheckedOp paged_flash_abft_head(std::span<const double> q_row,
+                                const std::vector<KvPagePool::Chunk>& chunks,
+                                std::size_t width, std::size_t head,
+                                std::size_t head_dim, double scale,
+                                ComputeBackend backend) {
+  FLASHABFT_ENSURE_MSG(q_row.size() == head_dim,
+                       "query of " << q_row.size() << " lanes for head_dim "
+                                   << head_dim);
+  FLASHABFT_ENSURE((head + 1) * head_dim <= width);
+  FLASHABFT_ENSURE_MSG(!chunks.empty(), "paged attention over an empty cache");
+  return backend == ComputeBackend::kSimd
+             ? paged_head_simd(q_row, chunks, width, head, head_dim, scale)
+             : paged_head_scalar(q_row, chunks, width, head, head_dim, scale);
+}
+
+}  // namespace flashabft

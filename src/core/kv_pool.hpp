@@ -1,0 +1,238 @@
+// Checksum-protected paged KV pool — shared serving memory under ABFT.
+//
+// The contiguous `KvCache` of PR 3 reserves max_seq_len rows per session at
+// admission. Continuous-batching serving instead draws fixed-size *pages*
+// from one pool shared by every session, so memory follows actual sequence
+// length and sessions can be preempted/resumed by releasing/re-acquiring
+// pages. Pooling moves two new structures into the fault surface, and both
+// are checksummed:
+//
+//   * page *contents* — each page keeps running per-column K/V checksums
+//     over its used rows (updated O(width) per append, like
+//     `KvCacheLayer`) plus a checkpoint mirror. A storage upset between
+//     decode steps is caught by the per-page column-sum recomputation, and
+//     recovery re-materializes *only the corrupted page* from its mirror.
+//   * the page *mapping* — each session×layer page table carries a
+//     position-weighted running checksum (sum of (slot+1)·(page_id+1)) and
+//     a mirror copy. A corrupted table entry silently redirects reads to a
+//     page whose own content checksums may be perfectly self-consistent —
+//     only the mapping checksum can see it.
+//
+// Both are verified together on every decode-step read as one guarded
+// `OpKind::kKvPage` op (worst-residual K column primary, worst V column and
+// the table pair as extra checks); the retry path restores the table from
+// its mirror and re-materializes mismatching pages, so transient upsets
+// report kRecovered. A mismatch that survives restoration escalates — the
+// checkpoint itself is suspect.
+//
+// The pool is deliberately single-owner: the continuous scheduler thread is
+// the only mutator, so no locking is layered on top (the SessionTable
+// bounds admission; the pool bounds memory).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/guarded_op.hpp"
+#include "tensor/matrix.hpp"
+
+namespace flashabft {
+
+/// Shape of the shared page pool.
+struct KvPoolConfig {
+  std::size_t num_pages = 64;   ///< pages shared by all sessions/layers.
+  std::size_t page_size = 16;   ///< token rows per page.
+  std::size_t width = 64;       ///< columns = num_heads * head_dim.
+  std::size_t num_layers = 2;   ///< page tables per session.
+};
+
+/// One session's view of the pool: per-layer page tables (the mapping from
+/// logical token rows to pool pages) with their running checksums and
+/// checkpoint mirrors. Create with `KvPagePool::make_session`; all mutation
+/// goes through the pool.
+class PagedKv {
+ public:
+  PagedKv() = default;
+
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  /// Cached token rows of layer `layer`.
+  [[nodiscard]] std::size_t len(std::size_t layer = 0) const;
+  /// Page-table entries (allocated pages) of layer `layer`.
+  [[nodiscard]] std::size_t pages(std::size_t layer = 0) const;
+  /// Pages held across all layers.
+  [[nodiscard]] std::size_t total_pages() const;
+
+ private:
+  friend class KvPagePool;
+  struct LayerTable {
+    std::vector<std::size_t> entries;  ///< live mapping, slot -> page id.
+    std::vector<std::size_t> mirror;   ///< checkpoint of the mapping.
+    double table_sum = 0.0;            ///< running weighted checksum.
+    std::size_t len = 0;               ///< cached token rows.
+  };
+  std::uint64_t session_id_ = 0;
+  std::vector<LayerTable> layers_;
+};
+
+/// The fixed-size page allocator with per-page and per-table checksums.
+class KvPagePool {
+ public:
+  explicit KvPagePool(const KvPoolConfig& cfg);
+
+  [[nodiscard]] const KvPoolConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t num_pages() const { return pages_.size(); }
+  [[nodiscard]] std::size_t free_pages() const { return free_list_.size(); }
+  [[nodiscard]] std::size_t pages_in_use() const {
+    return pages_.size() - free_list_.size();
+  }
+  [[nodiscard]] std::size_t peak_pages_in_use() const { return peak_in_use_; }
+
+  /// Pages one layer needs to hold `tokens` rows.
+  [[nodiscard]] std::size_t pages_for_tokens(std::size_t tokens) const {
+    return (tokens + cfg_.page_size - 1) / cfg_.page_size;
+  }
+  /// Pages (across all layers) a session holding `tokens` rows occupies.
+  [[nodiscard]] std::size_t session_pages_for(std::size_t tokens) const {
+    return cfg_.num_layers * pages_for_tokens(tokens);
+  }
+  /// Pages (across all layers) the next single-token append will allocate
+  /// (zero when every layer still has reserved room).
+  [[nodiscard]] std::size_t append_pages_needed(const PagedKv& kv) const;
+
+  /// Pre-allocates the page each layer needs for its next append, so a
+  /// subsequent `append` cannot touch the shared free list — what makes
+  /// the scheduler's parallel decode sweep race-free. The caller must have
+  /// checked `append_pages_needed` against `free_pages`.
+  void reserve_append(PagedKv& kv);
+
+  /// A fresh handle with empty tables for every layer.
+  [[nodiscard]] PagedKv make_session(std::uint64_t session_id) const;
+
+  /// Appends one token's K/V rows (length = width) to layer `layer`,
+  /// allocating a page when the last one is full. The caller must have
+  /// checked capacity (`append_pages_needed` / `free_pages`); an exhausted
+  /// pool here is a scheduler bug and throws.
+  void append(PagedKv& kv, std::size_t layer, std::span<const double> k_row,
+              std::span<const double> v_row);
+
+  /// Releases every page the session holds; tables reset to empty (the
+  /// preemption path — the session's tokens live elsewhere).
+  void free_session(PagedKv& kv);
+
+  /// The kKvPage verification op: recomputes every owned page's column
+  /// sums and the page table's weighted sum. `check` carries the
+  /// worst-residual K column, `extra_checks` the worst V column and the
+  /// table pair. Entries that do not map to a page this session/layer owns
+  /// contribute a table mismatch and are skipped for the content scan.
+  [[nodiscard]] CheckedOp verify(const PagedKv& kv, std::size_t layer) const;
+
+  /// Recovery path of a kKvPage alarm: restores the page table from its
+  /// mirror, then re-materializes only the pages whose recomputed column
+  /// sums mismatch their running checksums.
+  void restore(PagedKv& kv, std::size_t layer);
+
+  /// MACs-equivalent cost of one verify (the OpReport cost metric).
+  [[nodiscard]] double verify_cost(const PagedKv& kv,
+                                   std::size_t layer) const {
+    return 2.0 * double(kv.len(layer)) * double(cfg_.width);
+  }
+
+  // --- reads ---
+  /// One contiguous page span of a layer's cache, in logical row order.
+  /// `k`/`v` point at the page's first used row; rows are `width` apart.
+  struct Chunk {
+    const double* k = nullptr;
+    const double* v = nullptr;
+    std::size_t rows = 0;
+  };
+  /// The layer's pages as raw spans — the strided walk the paged attention
+  /// kernel consumes. Entries that fail the ownership check are skipped
+  /// (verification must run — and restore — before attending).
+  [[nodiscard]] std::vector<Chunk> chunks(const PagedKv& kv,
+                                          std::size_t layer) const;
+
+  /// Materializes head `head`'s cached K/V (len x head_dim) — the gather
+  /// the scalar reference fallback runs on.
+  [[nodiscard]] MatrixD gather_k_head(const PagedKv& kv, std::size_t layer,
+                                      std::size_t head,
+                                      std::size_t head_dim) const;
+  [[nodiscard]] MatrixD gather_v_head(const PagedKv& kv, std::size_t layer,
+                                      std::size_t head,
+                                      std::size_t head_dim) const;
+
+  [[nodiscard]] double k_at(const PagedKv& kv, std::size_t layer,
+                            std::size_t row, std::size_t col) const;
+  [[nodiscard]] double v_at(const PagedKv& kv, std::size_t layer,
+                            std::size_t row, std::size_t col) const;
+
+  // --- fault surfaces ---
+  /// Shifts one live element of the page holding logical `row` without
+  /// updating its running checksums — a storage upset between decode steps.
+  void corrupt_k(PagedKv& kv, std::size_t layer, std::size_t row,
+                 std::size_t col, double delta);
+  void corrupt_v(PagedKv& kv, std::size_t layer, std::size_t row,
+                 std::size_t col, double delta);
+  /// Shifts the page-table entry covering logical `row` to another page id
+  /// (modulo the pool) without updating the table checksum — the mapping
+  /// upset only the table pair can detect.
+  void corrupt_page_table(PagedKv& kv, std::size_t layer, std::size_t row,
+                          std::size_t shift);
+
+ private:
+  struct Page {
+    MatrixD k, v;                ///< live rows, page_size x width.
+    MatrixD k_mirror, v_mirror;  ///< checkpoint (verified appends only).
+    std::vector<double> k_sum, v_sum;  ///< running column sums, used rows.
+    std::size_t used = 0;
+    bool allocated = false;
+    std::uint64_t owner = 0;      ///< owning session id.
+    std::size_t owner_layer = 0;
+  };
+
+  /// True iff `id` names a page this session/layer owns (a corrupted table
+  /// entry usually fails this).
+  [[nodiscard]] bool owned(std::size_t id, const PagedKv& kv,
+                           std::size_t layer) const;
+  [[nodiscard]] std::size_t alloc_page(std::uint64_t owner,
+                                       std::size_t layer);
+  /// Allocates a page and appends it to the layer's table, mirror and
+  /// running mapping checksum — the single grow-by-one-page invariant.
+  void grow_table(PagedKv& kv, std::size_t layer);
+  void release_page(std::size_t id);
+  /// The page and in-page row of logical `row` (through the live table).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> locate(
+      const PagedKv& kv, std::size_t layer, std::size_t row) const;
+
+  KvPoolConfig cfg_;
+  std::vector<Page> pages_;
+  std::vector<std::size_t> free_list_;
+  std::size_t peak_in_use_ = 0;
+};
+
+/// Runs `pool.verify(kv, layer)` as a guarded `kKvPage` op with index
+/// `index` (the layer's global op index): attempt 0 checks the live pages
+/// and mapping, every retry restores from the checkpoints first, so a
+/// transient upset — in a page or in the table — reports kRecovered with
+/// the state repaired. No fallback exists; a post-restoration mismatch
+/// escalates and is reported dirty. Returns true iff the accepted verdict
+/// passed.
+bool guarded_page_verify(KvPagePool& pool, PagedKv& kv, std::size_t layer,
+                         std::size_t index, const GuardedExecutor& executor,
+                         LayerReport& report);
+
+/// Single-query Flash-ABFT (paper Alg. 3) over the paged K/V of one head:
+/// walks the page chunks directly with `width`-strided raw-pointer rows —
+/// no gather — evaluating the same recurrence (and producing the same
+/// fused checksum pair) as `flash_abft_attention` over the equivalent
+/// contiguous K/V. `q_row` is the head's query (head_dim wide); kSimd uses
+/// the vectorized primitives and the exp(0) bypass exactly like the
+/// contiguous SIMD kernel, so outputs are bit-identical per backend.
+[[nodiscard]] CheckedOp paged_flash_abft_head(
+    std::span<const double> q_row, const std::vector<KvPagePool::Chunk>& chunks,
+    std::size_t width, std::size_t head, std::size_t head_dim, double scale,
+    ComputeBackend backend);
+
+}  // namespace flashabft

@@ -18,6 +18,8 @@ DecoderLayer::DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng)
       norm2_(cfg.model_dim),
       ffn1_(Linear::random_init(cfg.model_dim, cfg.ffn_dim, rng)),
       ffn2_(Linear::random_init(cfg.ffn_dim, cfg.model_dim, rng)),
+      ffn1_checksums_(ffn1_.input_checksums()),
+      ffn2_checksums_(ffn2_.input_checksums()),
       norm3_(cfg.model_dim) {}
 
 MatrixD DecoderLayer::ffn_block(const MatrixD& h,
@@ -76,6 +78,28 @@ DecoderLayerResult DecoderLayer::forward_causal(
   return result;
 }
 
+DecoderLayerResult DecoderLayer::forward_causal_paged(
+    const MatrixD& x, AttentionBackend backend,
+    const GuardedExecutor& executor, std::size_t layer_index,
+    KvPagePool& pool, PagedKv& kv) const {
+  FLASHABFT_ENSURE(x.cols() == cfg_.model_dim);
+
+  DecoderLayerResult result;
+  const KvRowSink sink = [&pool, &kv, layer_index](
+                             std::span<const double> k_row,
+                             std::span<const double> v_row) {
+    pool.append(kv, layer_index, k_row, v_row);
+  };
+  MhaResult self =
+      self_attention_.forward(x, backend, executor, AttentionMask::kCausal,
+                              /*block=*/layer_index, sink);
+  const MatrixD h1 = norm1_.forward(element_add(x, self.output));
+  result.report = std::move(self.report);
+  result.output =
+      ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
+  return result;
+}
+
 DecoderLayerResult DecoderLayer::forward_decode(
     const MatrixD& x_new, AttentionBackend backend,
     const GuardedExecutor& executor, KvCacheLayer& cache,
@@ -86,6 +110,56 @@ DecoderLayerResult DecoderLayer::forward_decode(
   MhaResult self = self_attention_.forward_decode(
       x_new, backend, executor, cache, /*kv_check_index=*/layer_index,
       /*block=*/layer_index);
+  const MatrixD h1 = norm1_.forward(element_add(x_new, self.output));
+  result.report = std::move(self.report);
+  result.output =
+      ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
+  return result;
+}
+
+MatrixD DecoderLayer::forward_decode_paged_batch(
+    const MatrixD& x_stacked, AttentionBackend backend,
+    std::span<const GuardedExecutor* const> executors, KvPagePool& pool,
+    std::span<PagedKv* const> kvs, std::size_t layer_index,
+    std::span<LayerReport* const> reports) const {
+  FLASHABFT_ENSURE(x_stacked.cols() == cfg_.model_dim);
+  const std::vector<std::size_t> ones(x_stacked.rows(), 1);
+
+  const MatrixD attn = self_attention_.forward_decode_paged_batch(
+      x_stacked, backend, executors, pool, kvs, layer_index, reports);
+  const MatrixD h1 = norm1_.forward(element_add(x_stacked, attn));
+
+  // FFN as stacked products (per-session checksum groups), then the
+  // row-wise Add & Norm — LayerNorm/GELU are per-row, so the stacked pass
+  // is bit-identical to per-session forwards.
+  const auto ffn_product = [&](const Linear& w, const MatrixD& in,
+                               std::size_t slot) {
+    std::vector<MatrixD> rows = guarded_linear_batch(
+        w, in, ones, OpKind::kFfn, layer_index * 2 + slot, executors,
+        reports, slot == 0 ? &ffn1_checksums_ : &ffn2_checksums_);
+    MatrixD stacked(in.rows(), w.out_features());
+    for (std::size_t s = 0; s < rows.size(); ++s) {
+      const double* src = rows[s].row(0).data();
+      double* dst = stacked.row(s).data();
+      for (std::size_t j = 0; j < stacked.cols(); ++j) dst[j] = src[j];
+    }
+    return stacked;
+  };
+  const MatrixD inner = gelu_forward(ffn_product(ffn1_, h1, 0));
+  const MatrixD ffn = ffn_product(ffn2_, inner, 1);
+  return norm3_.forward(element_add(h1, ffn));
+}
+
+DecoderLayerResult DecoderLayer::forward_decode_paged(
+    const MatrixD& x_new, AttentionBackend backend,
+    const GuardedExecutor& executor, KvPagePool& pool, PagedKv& kv,
+    std::size_t layer_index) const {
+  FLASHABFT_ENSURE(x_new.cols() == cfg_.model_dim);
+
+  DecoderLayerResult result;
+  MhaResult self = self_attention_.forward_decode_paged(
+      x_new, backend, executor, pool, kv, layer_index,
+      /*kv_check_index=*/layer_index, /*block=*/layer_index);
   const MatrixD h1 = norm1_.forward(element_add(x_new, self.output));
   result.report = std::move(self.report);
   result.output =

@@ -71,6 +71,14 @@ class DecoderLayer {
       const GuardedExecutor& executor, std::size_t layer_index = 0,
       KvCacheLayer* cache = nullptr) const;
 
+  /// Causal forward with K/V rows streamed into a paged pool — the prefill
+  /// (or preemption-resume re-prefill) pass of a continuous-batching
+  /// session. The caller must have reserved pages for x.rows() tokens.
+  [[nodiscard]] DecoderLayerResult forward_causal_paged(
+      const MatrixD& x, AttentionBackend backend,
+      const GuardedExecutor& executor, std::size_t layer_index,
+      KvPagePool& pool, PagedKv& kv) const;
+
   /// Single-token incremental decode over `cache`: verifies the cache's
   /// running checksums (guarded kKvCache op, index = layer_index), appends
   /// the token's K/V, attends over the full cache, then the FFN — the
@@ -79,6 +87,27 @@ class DecoderLayer {
       const MatrixD& x_new, AttentionBackend backend,
       const GuardedExecutor& executor, KvCacheLayer& cache,
       std::size_t layer_index = 0) const;
+
+  /// Single-token incremental decode over the session's *paged* cache:
+  /// verifies page contents + page table (guarded kKvPage op, index =
+  /// layer_index), appends through the pool, attends over the page list
+  /// with the strided paged kernel, then the FFN.
+  [[nodiscard]] DecoderLayerResult forward_decode_paged(
+      const MatrixD& x_new, AttentionBackend backend,
+      const GuardedExecutor& executor, KvPagePool& pool, PagedKv& kv,
+      std::size_t layer_index = 0) const;
+
+  /// The continuous-batching sweep of this layer: one token row per
+  /// session stacked as B x model_dim. Attention projections and both FFN
+  /// products run as single stacked guarded products (per-session checksum
+  /// groups — see guarded_linear_batch); page verification, appends and
+  /// head attention stay per session. Returns the stacked layer output;
+  /// reports append per session.
+  [[nodiscard]] MatrixD forward_decode_paged_batch(
+      const MatrixD& x_stacked, AttentionBackend backend,
+      std::span<const GuardedExecutor* const> executors, KvPagePool& pool,
+      std::span<PagedKv* const> kvs, std::size_t layer_index,
+      std::span<LayerReport* const> reports) const;
 
   [[nodiscard]] const DecoderLayerConfig& config() const { return cfg_; }
 
@@ -97,6 +126,10 @@ class DecoderLayer {
   LayerNorm norm2_;
   Linear ffn1_;
   Linear ffn2_;
+  /// Cached input-side ABFT checksums of the frozen FFN weights, for the
+  /// batched decode sweep (see MultiHeadAttention::projection_checksums_).
+  Linear::InputChecksums ffn1_checksums_;
+  Linear::InputChecksums ffn2_checksums_;
   LayerNorm norm3_;
 };
 

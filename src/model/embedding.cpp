@@ -29,10 +29,16 @@ std::vector<std::string> tokenize(std::string_view text) {
 
 Embedding::Embedding(std::size_t vocab_size, std::size_t dim,
                      std::uint64_t seed)
-    : table_(vocab_size, dim) {
+    : table_(vocab_size, dim), pos_freq_(dim) {
   FLASHABFT_ENSURE(vocab_size > 0 && dim > 0);
   Rng rng(seed);
   fill_gaussian(table_, rng, 0.0, 1.0 / std::sqrt(double(dim)) * 4.0);
+  // The position-independent PE divisor of each dimension, cached so the
+  // per-decode-step embed pays sin/cos only (angles stay bit-identical to
+  // positional_encoding: same pow, same division).
+  for (std::size_t i = 0; i < dim; ++i) {
+    pos_freq_[i] = std::pow(10000.0, double(2 * (i / 2)) / double(dim));
+  }
 }
 
 std::size_t Embedding::token_id(std::string_view token) const {
@@ -62,9 +68,12 @@ MatrixD Embedding::embed_ids(std::span<const std::size_t> ids,
     FLASHABFT_ENSURE_MSG(ids[t] < vocab_size(),
                          "token id " << ids[t] << " outside vocab "
                                      << vocab_size());
+    const double pos = double(start_pos + t);
+    const double* row = table_.row(ids[t]).data();
+    double* dst = out.row(t).data();
     for (std::size_t x = 0; x < dim(); ++x) {
-      out(t, x) =
-          table_(ids[t], x) + positional_encoding(start_pos + t, x, dim());
+      const double angle = pos / pos_freq_[x];
+      dst[x] = row[x] + (x % 2 == 0 ? std::sin(angle) : std::cos(angle));
     }
   }
   return out;

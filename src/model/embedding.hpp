@@ -57,6 +57,8 @@ class Embedding {
 
  private:
   MatrixD table_;  // vocab_size x dim
+  /// Cached PE divisors pow(10000, 2*(i/2)/dim) — position-independent.
+  std::vector<double> pos_freq_;
 };
 
 /// The sinusoidal positional encoding value PE(pos, i) for dimension `dim`.

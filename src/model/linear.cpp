@@ -41,6 +41,37 @@ CheckedOp Linear::checked_forward(const MatrixD& x,
   return op;
 }
 
+namespace {
+
+/// Raw-pointer y = x W (+ bias in a second pass), in `matmul`'s exact
+/// accumulation order (i, k-ascending, j; bias added after the full sum) —
+/// bit-identical rows to Linear::forward / scalar_fused, without the
+/// per-element bounds checks the hot batched path cannot afford.
+MatrixD raw_linear_scalar(const MatrixD& x, const MatrixD& w,
+                          std::span<const double> bias) {
+  MatrixD y(x.rows(), w.cols());
+  const std::size_t inner = x.cols();
+  const std::size_t out = w.cols();
+  const double* w_data = w.flat().data();
+  double* y_data = y.flat().data();
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* x_row = x.row(i).data();
+    double* y_row = y_data + i * out;
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = x_row[k];
+      if (aik == 0.0) continue;
+      const double* w_row = w_data + k * out;
+      for (std::size_t j = 0; j < out; ++j) y_row[j] += aik * w_row[j];
+    }
+    if (!bias.empty()) {
+      for (std::size_t j = 0; j < out; ++j) y_row[j] += bias[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
 MatrixD guarded_linear(const Linear& layer, const MatrixD& in, OpKind kind,
                        std::size_t index, const GuardedExecutor& executor,
                        LayerReport& report) {
@@ -52,6 +83,115 @@ MatrixD guarded_linear(const Linear& layer, const MatrixD& in, OpKind kind,
   MatrixD out = std::move(op.output);
   report.add(std::move(op));
   return out;
+}
+
+Linear::InputChecksums Linear::input_checksums() const {
+  InputChecksums sums;
+  sums.row_w.resize(weight_.rows());
+  for (std::size_t k = 0; k < weight_.rows(); ++k) {
+    const double* w_row = weight_.row(k).data();
+    double sum = 0.0;
+    for (std::size_t j = 0; j < weight_.cols(); ++j) sum += w_row[j];
+    sums.row_w[k] = sum;
+  }
+  for (const double b : bias_) sums.bias_sum += b;
+  return sums;
+}
+
+std::vector<MatrixD> guarded_linear_batch(
+    const Linear& layer, const MatrixD& x_stacked,
+    std::span<const std::size_t> group_rows, OpKind kind, std::size_t index,
+    std::span<const GuardedExecutor* const> executors,
+    std::span<LayerReport* const> reports,
+    const Linear::InputChecksums* cached) {
+  const std::size_t groups = group_rows.size();
+  FLASHABFT_ENSURE_MSG(groups > 0, "empty linear batch");
+  FLASHABFT_ENSURE(executors.size() == groups && reports.size() == groups);
+  std::size_t total_rows = 0;
+  for (const std::size_t rows : group_rows) total_rows += rows;
+  FLASHABFT_ENSURE_MSG(total_rows == x_stacked.rows(),
+                       "group rows " << total_rows << " != stacked "
+                                     << x_stacked.rows());
+  const MatrixD& w = layer.weight();
+  const std::vector<double>& bias = layer.bias();
+  const std::size_t inner = w.rows();
+  const std::size_t out_cols = w.cols();
+  const ComputeBackend compute = executors.front()->compute_backend();
+
+  // The shared clean-path work: one product over every group's rows, one
+  // input-side rowsum(W) / Σb for every group's prediction. The tiled SIMD
+  // microkernel only pays off once the stack is deep enough to amortize
+  // its packing; decode batches (a handful of single-token rows) run the
+  // raw ordered loop on either backend.
+  const bool tiled = compute == ComputeBackend::kSimd &&
+                     x_stacked.rows() >= 4 * kSimdRowTile;
+  MatrixD y = tiled ? [&] {
+    MatrixD product = backend_matmul(x_stacked, w, compute);
+    if (!bias.empty()) {
+      for (std::size_t i = 0; i < product.rows(); ++i) {
+        double* row = product.row(i).data();
+        for (std::size_t j = 0; j < out_cols; ++j) row[j] += bias[j];
+      }
+    }
+    return product;
+  }()
+                    : raw_linear_scalar(x_stacked, w, bias);
+  const Linear::InputChecksums local =
+      cached != nullptr ? Linear::InputChecksums{} : layer.input_checksums();
+  const std::vector<double>& row_w =
+      cached != nullptr ? cached->row_w : local.row_w;
+  const double bias_sum =
+      cached != nullptr ? cached->bias_sum : local.bias_sum;
+  FLASHABFT_ENSURE(row_w.size() == inner);
+
+  std::vector<MatrixD> outputs;
+  outputs.reserve(groups);
+  std::size_t base = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t rows = group_rows[g];
+    CheckedOp first;
+    first.output = MatrixD(rows, out_cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* src = y.row(base + r).data();
+      double* dst = first.output.row(r).data();
+      for (std::size_t j = 0; j < out_cols; ++j) {
+        dst[j] = src[j];
+        first.check.actual += src[j];
+      }
+    }
+    for (std::size_t k = 0; k < inner; ++k) {
+      double col = 0.0;
+      for (std::size_t r = 0; r < rows; ++r) col += x_stacked(base + r, k);
+      first.check.predicted += col * row_w[k];
+    }
+    first.check.predicted += double(rows) * bias_sum;
+
+    // Retries (and the diverse fallback) recompute only this group's rows
+    // — the same engine shape as the per-session guarded_linear.
+    const auto group_input = [&, base, rows] {
+      MatrixD x_g(rows, x_stacked.cols());
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* src = x_stacked.row(base + r).data();
+        double* dst = x_g.row(r).data();
+        for (std::size_t k = 0; k < inner; ++k) dst[k] = src[k];
+      }
+      return x_g;
+    };
+    GuardedOp op = executors[g]->run(
+        kind, index, layer.forward_cost(rows),
+        [&](std::size_t attempt) {
+          if (attempt == 0) return std::move(first);
+          return layer.checked_forward(group_input(), compute);
+        },
+        [&] {
+          return layer.checked_forward(group_input(),
+                                       ComputeBackend::kScalar);
+        });
+    outputs.push_back(std::move(op.output));
+    reports[g]->add(std::move(op));
+    base += rows;
+  }
+  return outputs;
 }
 
 }  // namespace flashabft

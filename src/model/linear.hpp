@@ -4,6 +4,9 @@
 // attention output projection and both feed-forward layers are Linear.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/guarded_op.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random.hpp"
@@ -46,6 +49,18 @@ class Linear {
   [[nodiscard]] std::vector<double>& bias() { return bias_; }
   [[nodiscard]] const std::vector<double>& bias() const { return bias_; }
 
+  /// The input-side ABFT checksums of the *current* weights: rowsum(W)
+  /// and Σb. Owners whose weights are frozen after construction (the
+  /// model layers) compute this once and hand it to guarded_linear_batch
+  /// on every call — the cache lives with whoever can guarantee it stays
+  /// valid, not inside Linear (whose weight()/bias() accessors are
+  /// mutable).
+  struct InputChecksums {
+    std::vector<double> row_w;  ///< rowsum(W), in_features long.
+    double bias_sum = 0.0;
+  };
+  [[nodiscard]] InputChecksums input_checksums() const;
+
  private:
   MatrixD weight_;            // in x out
   std::vector<double> bias_;  // out
@@ -60,5 +75,26 @@ class Linear {
                                      OpKind kind, std::size_t index,
                                      const GuardedExecutor& executor,
                                      LayerReport& report);
+
+/// The continuous-batching form of `guarded_linear`: ONE stacked product
+/// y = [x_1; ...; x_G] W + b — the weight matrix (and its rowsum checksum)
+/// streams once per batch instead of once per session — checked *per row
+/// group*. The matmul-ABFT identity holds on any row subset, so group g
+/// (rows `group_rows[g]` of the stack, one group per session) gets its own
+/// pair (predicted = dot(colsum(x_g), rowsum(W)) + rows_g·Σb, actual =
+/// Σ y_g), its own GuardedOp run under `executors[g]` (whose tamper hook
+/// carries only that session's faults; retries recompute only that group's
+/// rows, the escalation fallback recomputes them on kScalar), and its own
+/// report appended to `reports[g]`. Protection granularity, fault
+/// attribution and recovery semantics are therefore exactly the
+/// per-session ones; only the clean-path compute is shared. The scalar
+/// product keeps `matmul`'s accumulation order, so per-group outputs are
+/// bit-identical to per-session `guarded_linear` calls.
+[[nodiscard]] std::vector<MatrixD> guarded_linear_batch(
+    const Linear& layer, const MatrixD& x_stacked,
+    std::span<const std::size_t> group_rows, OpKind kind, std::size_t index,
+    std::span<const GuardedExecutor* const> executors,
+    std::span<LayerReport* const> reports,
+    const Linear::InputChecksums* cached = nullptr);
 
 }  // namespace flashabft

@@ -23,6 +23,8 @@ MultiHeadAttention::MultiHeadAttention(std::size_t model_dim,
   FLASHABFT_ENSURE_MSG(model_dim == num_heads * head_dim,
                        "model_dim " << model_dim << " != " << num_heads
                                     << " x " << head_dim);
+  projection_checksums_ = {wq_.input_checksums(), wk_.input_checksums(),
+                           wv_.input_checksums(), wo_.input_checksums()};
 }
 
 namespace {
@@ -60,7 +62,22 @@ MhaResult MultiHeadAttention::forward(const MatrixD& x,
                                       const GuardedExecutor& executor,
                                       AttentionMask mask, std::size_t block,
                                       KvCacheLayer* cache) const {
-  return forward_impl(x, x, backend, executor, mask, block, cache);
+  KvRowSink sink;
+  if (cache != nullptr) {
+    sink = [cache](std::span<const double> k_row,
+                   std::span<const double> v_row) {
+      cache->append(k_row, v_row);
+    };
+  }
+  return forward_impl(x, x, backend, executor, mask, block, sink);
+}
+
+MhaResult MultiHeadAttention::forward(const MatrixD& x,
+                                      AttentionBackend backend,
+                                      const GuardedExecutor& executor,
+                                      AttentionMask mask, std::size_t block,
+                                      const KvRowSink& sink) const {
+  return forward_impl(x, x, backend, executor, mask, block, sink);
 }
 
 MhaResult MultiHeadAttention::forward_cross(const MatrixD& x_q,
@@ -69,7 +86,7 @@ MhaResult MultiHeadAttention::forward_cross(const MatrixD& x_q,
                                             const GuardedExecutor& executor,
                                             std::size_t block) const {
   return forward_impl(x_q, memory, backend, executor, AttentionMask::kNone,
-                      block, nullptr);
+                      block, KvRowSink{});
 }
 
 MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
@@ -133,7 +150,7 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
                                            const GuardedExecutor& executor,
                                            AttentionMask mask,
                                            std::size_t block,
-                                           KvCacheLayer* cache) const {
+                                           const KvRowSink& sink) const {
   FLASHABFT_ENSURE(x_q.cols() == model_dim_ && x_kv.cols() == model_dim_);
   const std::size_t n = x_q.rows();
   const std::size_t projection_base = block * 4;
@@ -150,11 +167,11 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
   const MatrixD k_all = project(wk_, x_kv, 1);
   const MatrixD v_all = project(wv_, x_kv, 2);
 
-  if (cache != nullptr) {
+  if (sink) {
     // Prefill: every verified K/V row enters the session cache (running
     // checksums and checkpoint mirror updated per append).
     for (std::size_t i = 0; i < x_kv.rows(); ++i) {
-      cache->append(k_all.row(i), v_all.row(i));
+      sink(k_all.row(i), v_all.row(i));
     }
   }
 
@@ -232,6 +249,166 @@ MhaResult MultiHeadAttention::forward_decode(const MatrixD& x_new,
     for (std::size_t d = 0; d < head_dim_; ++d) {
       concat(0, h * head_dim_ + d) = head_out(0, d);
     }
+  }
+
+  result.output = project(wo_, concat, 3);
+  return result;
+}
+
+MatrixD MultiHeadAttention::forward_decode_paged_batch(
+    const MatrixD& x_stacked, AttentionBackend backend,
+    std::span<const GuardedExecutor* const> executors, KvPagePool& pool,
+    std::span<PagedKv* const> kvs, std::size_t layer,
+    std::span<LayerReport* const> reports) const {
+  const std::size_t batch = x_stacked.rows();
+  FLASHABFT_ENSURE_MSG(batch > 0 && x_stacked.cols() == model_dim_,
+                       "decode batch is " << batch << " x "
+                                          << x_stacked.cols());
+  FLASHABFT_ENSURE(executors.size() == batch && kvs.size() == batch &&
+                   reports.size() == batch);
+  FLASHABFT_ENSURE_MSG(pool.config().width == num_heads_ * head_dim_,
+                       "pool width " << pool.config().width << " != "
+                                     << num_heads_ * head_dim_);
+  FLASHABFT_ENSURE_MSG(backend == AttentionBackend::kFlashAbft,
+                       "paged decode serves the Flash-ABFT backend only");
+  const std::size_t projection_base = layer * 4;
+  const std::size_t head_base = layer * num_heads_;
+  const std::size_t width = pool.config().width;
+  const std::vector<std::size_t> ones(batch, 1);
+
+  // State written by earlier steps is verified per session first — each
+  // through its own executor, so alarms attribute to the right session.
+  for (std::size_t s = 0; s < batch; ++s) {
+    if (kvs[s]->len(layer) > 0) {
+      guarded_page_verify(pool, *kvs[s], layer, /*index=*/layer,
+                          *executors[s], *reports[s]);
+    }
+  }
+
+  const auto project = [&](const Linear& w, const MatrixD& in,
+                           std::size_t slot) {
+    return guarded_linear_batch(w, in, ones, OpKind::kProjection,
+                                projection_base + slot, executors, reports,
+                                &projection_checksums_[slot]);
+  };
+  const std::vector<MatrixD> q_all = project(wq_, x_stacked, 0);
+  const std::vector<MatrixD> k_all = project(wk_, x_stacked, 1);
+  const std::vector<MatrixD> v_all = project(wv_, x_stacked, 2);
+  for (std::size_t s = 0; s < batch; ++s) {
+    pool.append(*kvs[s], layer, k_all[s].row(0), v_all[s].row(0));
+  }
+
+  const double scale = 1.0 / std::sqrt(double(head_dim_));
+  MatrixD concat(batch, num_heads_ * head_dim_);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const std::vector<KvPagePool::Chunk> pages = pool.chunks(*kvs[s], layer);
+    const double cost = 2.0 * double(kvs[s]->len(layer)) * double(head_dim_);
+    const ComputeBackend compute = executors[s]->compute_backend();
+    for (std::size_t h = 0; h < num_heads_; ++h) {
+      const MatrixD q = head_slice(q_all[s], h, head_dim_);
+      const auto gather_fallback = [&] {
+        AttentionConfig cfg;
+        cfg.seq_len = kvs[s]->len(layer);
+        cfg.head_dim = head_dim_;
+        cfg.scale = scale;
+        cfg.mask = AttentionMask::kNone;
+        return checked_flash_abft(
+            q, pool.gather_k_head(*kvs[s], layer, h, head_dim_),
+            pool.gather_v_head(*kvs[s], layer, h, head_dim_), cfg,
+            ComputeBackend::kScalar);
+      };
+      GuardedOp op = executors[s]->run(
+          OpKind::kAttentionFlashAbft, head_base + h, cost,
+          [&](std::size_t) {
+            return paged_flash_abft_head(q.row(0), pages, width, h,
+                                         head_dim_, scale, compute);
+          },
+          gather_fallback);
+      for (std::size_t d = 0; d < head_dim_; ++d) {
+        concat(s, h * head_dim_ + d) = op.output(0, d);
+      }
+      reports[s]->add(std::move(op));
+    }
+  }
+
+  const std::vector<MatrixD> projected = project(wo_, concat, 3);
+  MatrixD out(batch, model_dim_);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const double* src = projected[s].row(0).data();
+    for (std::size_t d = 0; d < model_dim_; ++d) out(s, d) = src[d];
+  }
+  return out;
+}
+
+MhaResult MultiHeadAttention::forward_decode_paged(
+    const MatrixD& x_new, AttentionBackend backend,
+    const GuardedExecutor& executor, KvPagePool& pool, PagedKv& kv,
+    std::size_t layer, std::size_t kv_check_index, std::size_t block) const {
+  FLASHABFT_ENSURE_MSG(x_new.rows() == 1 && x_new.cols() == model_dim_,
+                       "decode step takes one token, got "
+                           << x_new.rows() << " x " << x_new.cols());
+  FLASHABFT_ENSURE_MSG(pool.config().width == num_heads_ * head_dim_,
+                       "pool width " << pool.config().width << " != "
+                                     << num_heads_ * head_dim_);
+  FLASHABFT_ENSURE_MSG(backend == AttentionBackend::kFlashAbft,
+                       "paged decode serves the Flash-ABFT backend only");
+  const std::size_t projection_base = block * 4;
+  const std::size_t head_base = block * num_heads_;
+  const std::size_t width = pool.config().width;
+
+  MhaResult result;
+  const auto project = [&](const Linear& w, const MatrixD& in,
+                           std::size_t slot) {
+    return guarded_linear(w, in, OpKind::kProjection, projection_base + slot,
+                          executor, result.report);
+  };
+
+  // The pages (and the mapping about to be walked) were written by earlier
+  // steps: verify both first — restored from their checkpoints on alarm —
+  // then extend the cache with this token's verified row.
+  if (kv.len(layer) > 0) {
+    guarded_page_verify(pool, kv, layer, kv_check_index, executor,
+                        result.report);
+  }
+
+  const MatrixD q_all = project(wq_, x_new, 0);
+  const MatrixD k_all = project(wk_, x_new, 1);
+  const MatrixD v_all = project(wv_, x_new, 2);
+  pool.append(kv, layer, k_all.row(0), v_all.row(0));
+
+  const std::vector<KvPagePool::Chunk> pages = pool.chunks(kv, layer);
+  const double scale = 1.0 / std::sqrt(double(head_dim_));
+  const double cost =
+      2.0 * double(kv.len(layer)) * double(head_dim_);
+  const ComputeBackend compute = executor.compute_backend();
+
+  MatrixD concat(1, num_heads_ * head_dim_);
+  for (std::size_t h = 0; h < num_heads_; ++h) {
+    const MatrixD q = head_slice(q_all, h, head_dim_);
+    // Escalated heads gather the pages into contiguous K/V and run the
+    // scalar software Alg. 3 kernel — an engine diverse from the strided
+    // paged walk, verified by its own fused checksum.
+    const auto gather_fallback = [&] {
+      AttentionConfig cfg;
+      cfg.seq_len = kv.len(layer);
+      cfg.head_dim = head_dim_;
+      cfg.scale = scale;
+      cfg.mask = AttentionMask::kNone;
+      return checked_flash_abft(q, pool.gather_k_head(kv, layer, h, head_dim_),
+                                pool.gather_v_head(kv, layer, h, head_dim_),
+                                cfg, ComputeBackend::kScalar);
+    };
+    GuardedOp op = executor.run(
+        OpKind::kAttentionFlashAbft, head_base + h, cost,
+        [&](std::size_t) {
+          return paged_flash_abft_head(q.row(0), pages, width, h, head_dim_,
+                                       scale, compute);
+        },
+        gather_fallback);
+    for (std::size_t d = 0; d < head_dim_; ++d) {
+      concat(0, h * head_dim_ + d) = op.output(0, d);
+    }
+    result.report.add(std::move(op));
   }
 
   result.output = project(wo_, concat, 3);

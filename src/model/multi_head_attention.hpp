@@ -11,15 +11,24 @@
 // `LayerReport` of `OpReport`s.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "attention/attention_config.hpp"
 #include "core/guarded_op.hpp"
 #include "core/kv_cache.hpp"
+#include "core/kv_pool.hpp"
 #include "model/linear.hpp"
 #include "tensor/random.hpp"
 
 namespace flashabft {
+
+/// Sink for projected K/V rows during a cache-filling forward: one call per
+/// token row, in position order. Adapts the prefill pass to whichever cache
+/// is behind it (contiguous KvCacheLayer append or paged-pool append).
+using KvRowSink = std::function<void(std::span<const double> k_row,
+                                     std::span<const double> v_row)>;
 
 /// How the attention inside the block is computed.
 enum class AttentionBackend {
@@ -56,6 +65,13 @@ class MultiHeadAttention {
                                   std::size_t block = 0,
                                   KvCacheLayer* cache = nullptr) const;
 
+  /// The same forward with projected K/V rows streamed into an arbitrary
+  /// cache sink — the paged prefill path (the scheduler's pool append).
+  [[nodiscard]] MhaResult forward(const MatrixD& x, AttentionBackend backend,
+                                  const GuardedExecutor& executor,
+                                  AttentionMask mask, std::size_t block,
+                                  const KvRowSink& sink) const;
+
   /// Cross-attention: queries projected from `x_q` (n_q x model_dim), keys
   /// and values from `memory` (n_kv x model_dim) — the decoder's
   /// encoder-attending block. Masking is not meaningful here and must be
@@ -81,6 +97,39 @@ class MultiHeadAttention {
                                          std::size_t kv_check_index = 0,
                                          std::size_t block = 0) const;
 
+  /// Incremental decode over a *paged* cache: the session's page contents
+  /// and page table are verified first (a guarded `kKvPage` op with index
+  /// `kv_check_index`, table + corrupted pages restored from checkpoints on
+  /// alarm), the token's K/V row is appended through the pool, and each
+  /// head attends over the non-contiguous page list with the strided
+  /// paged Flash-ABFT kernel — no gather on the guarded path (the
+  /// escalation fallback gathers and runs the scalar reference kernel).
+  /// Only kFlashAbft is supported; the caller must have reserved pages for
+  /// the append (`KvPagePool::append_pages_needed`).
+  [[nodiscard]] MhaResult forward_decode_paged(const MatrixD& x_new,
+                                               AttentionBackend backend,
+                                               const GuardedExecutor& executor,
+                                               KvPagePool& pool, PagedKv& kv,
+                                               std::size_t layer,
+                                               std::size_t kv_check_index = 0,
+                                               std::size_t block = 0) const;
+
+  /// The continuous-batching decode sweep of this block: `x_stacked` holds
+  /// one token row per session (B x model_dim) and the Q/K/V/output
+  /// projections run as ONE stacked product each (guarded_linear_batch —
+  /// weights and their checksums stream once per batch), while the
+  /// per-session work keeps per-session granularity: each session's pages
+  /// + mapping are verified through its own executor, its K/V row appended,
+  /// and each of its heads attends over its page list with the strided
+  /// paged kernel. Outputs land row-per-session in the returned matrix;
+  /// reports append to `reports[s]`. Scalar outputs are bit-identical to B
+  /// separate `forward_decode_paged` calls.
+  [[nodiscard]] MatrixD forward_decode_paged_batch(
+      const MatrixD& x_stacked, AttentionBackend backend,
+      std::span<const GuardedExecutor* const> executors, KvPagePool& pool,
+      std::span<PagedKv* const> kvs, std::size_t layer,
+      std::span<LayerReport* const> reports) const;
+
   [[nodiscard]] std::size_t num_heads() const { return num_heads_; }
   [[nodiscard]] std::size_t head_dim() const { return head_dim_; }
   [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
@@ -91,7 +140,7 @@ class MultiHeadAttention {
                                        AttentionBackend backend,
                                        const GuardedExecutor& executor,
                                        AttentionMask mask, std::size_t block,
-                                       KvCacheLayer* cache) const;
+                                       const KvRowSink& sink) const;
 
   /// One head's (checked) attention under `backend`; reports into `report`.
   [[nodiscard]] MatrixD run_head(const MatrixD& q, const MatrixD& k,
@@ -105,6 +154,11 @@ class MultiHeadAttention {
   std::size_t num_heads_;
   std::size_t head_dim_;
   Linear wq_, wk_, wv_, wo_;
+  /// Cached input-side ABFT checksums (rowsum(W), Σb) of the four frozen
+  /// projections, indexed by slot {0:Q, 1:K, 2:V, 3:output} — handed to
+  /// guarded_linear_batch so the batched decode sweep never recomputes
+  /// them.
+  std::array<Linear::InputChecksums, 4> projection_checksums_;
 };
 
 }  // namespace flashabft

@@ -1,5 +1,6 @@
 #include "model/transformer_model.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/ensure.hpp"
@@ -37,6 +38,7 @@ TransformerModel::TransformerModel(const TransformerConfig& cfg,
   for (std::size_t l = 0; l < cfg.num_layers; ++l) {
     layers_.emplace_back(layer, rng);
   }
+  lm_colsum_ = column_sums(embedding_.table());
 }
 
 const DecoderLayer& TransformerModel::layer(std::size_t i) const {
@@ -54,6 +56,27 @@ KvCache TransformerModel::make_cache() const {
                  cfg_.num_heads * cfg_.head_dim);
 }
 
+KvPoolConfig TransformerModel::make_pool_config(std::size_t page_size,
+                                                std::size_t num_pages,
+                                                std::size_t sessions) const {
+  KvPoolConfig pool;
+  pool.page_size = page_size;
+  pool.width = cfg_.num_heads * cfg_.head_dim;
+  pool.num_layers = cfg_.num_layers;
+  const std::size_t per_session =
+      cfg_.num_layers * ((cfg_.max_seq_len + page_size - 1) / page_size);
+  pool.num_pages =
+      num_pages > 0 ? num_pages : std::max<std::size_t>(1, sessions) *
+                                      per_session;
+  // Progress guarantee: the oldest session is never preempted, so the pool
+  // must at least fit one full-length session.
+  FLASHABFT_ENSURE_MSG(pool.num_pages >= per_session,
+                       "pool of " << pool.num_pages << " pages cannot hold "
+                                  << "one max_seq_len session ("
+                                  << per_session << " pages)");
+  return pool;
+}
+
 std::size_t TransformerModel::argmax(const std::vector<double>& logits) {
   FLASHABFT_ENSURE(!logits.empty());
   std::size_t best = 0;
@@ -61,6 +84,24 @@ std::size_t TransformerModel::argmax(const std::vector<double>& logits) {
     if (logits[i] > logits[best]) best = i;
   }
   return best;
+}
+
+void TransformerModel::lm_head_row(std::span<const double> h_row,
+                                   ComputeBackend engine,
+                                   double* out) const {
+  const MatrixD& table = embedding_.table();
+  for (std::size_t v = 0; v < cfg_.vocab_size; ++v) {
+    if (engine == ComputeBackend::kSimd) {
+      out[v] = simd::dot(h_row.data(), table.row(v).data(), cfg_.model_dim);
+    } else {
+      double dot = 0.0;
+      const double* t_row = table.row(v).data();
+      for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
+        dot += h_row[j] * t_row[j];
+      }
+      out[v] = dot;
+    }
+  }
 }
 
 std::vector<double> TransformerModel::lm_head(
@@ -71,26 +112,12 @@ std::vector<double> TransformerModel::lm_head(
   // predicted = dot(h_last, colsum(E)) — O(dim·vocab) compute, O(dim)
   // checksum prediction.
   const std::size_t last = h.rows() - 1;
-  const MatrixD& table = embedding_.table();
   const auto run = [&](ComputeBackend compute) {
     CheckedOp op;
     op.output = MatrixD(1, cfg_.vocab_size);
-    const double* h_row = h.row(last).data();
-    for (std::size_t v = 0; v < cfg_.vocab_size; ++v) {
-      if (compute == ComputeBackend::kSimd) {
-        op.output(0, v) = simd::dot(h_row, table.row(v).data(),
-                                    cfg_.model_dim);
-      } else {
-        double dot = 0.0;
-        for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
-          dot += h(last, j) * table(v, j);
-        }
-        op.output(0, v) = dot;
-      }
-    }
-    const std::vector<double> col_e = column_sums(table);
+    lm_head_row(h.row(last), compute, op.output.row(0).data());
     for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
-      op.check.predicted += h(last, j) * col_e[j];
+      op.check.predicted += h(last, j) * lm_colsum_[j];
     }
     op.check.actual = element_sum(op.output);
     return op;
@@ -153,6 +180,167 @@ StepResult TransformerModel::decode_step(std::size_t token,
   result.logits = lm_head(h, executor, result.report.final_ops);
   result.next_token = argmax(result.logits);
   return result;
+}
+
+StepResult TransformerModel::prefill_paged(
+    const std::vector<std::size_t>& tokens, AttentionBackend backend,
+    const GuardedExecutor& executor, KvPagePool& pool, PagedKv& kv) const {
+  FLASHABFT_ENSURE_MSG(!tokens.empty(), "prefill needs a non-empty prompt");
+  FLASHABFT_ENSURE_MSG(tokens.size() <= cfg_.max_seq_len,
+                       "prompt of " << tokens.size() << " tokens exceeds "
+                                    << cfg_.max_seq_len);
+  FLASHABFT_ENSURE_MSG(kv.len() == 0, "prefill needs an empty paged cache");
+  FLASHABFT_ENSURE(kv.num_layers() == cfg_.num_layers);
+
+  StepResult result;
+  MatrixD x = embedding_.embed_ids(tokens, /*start_pos=*/0);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    DecoderLayerResult out = layers_[l].forward_causal_paged(
+        x, backend, executor, /*layer_index=*/l, pool, kv);
+    x = std::move(out.output);
+    result.report.add_layer(std::move(out.report));
+  }
+  const MatrixD h = final_norm_.forward(x);
+  result.logits = lm_head(h, executor, result.report.final_ops);
+  result.next_token = argmax(result.logits);
+  return result;
+}
+
+StepResult TransformerModel::decode_step_paged(
+    std::size_t token, AttentionBackend backend,
+    const GuardedExecutor& executor, KvPagePool& pool, PagedKv& kv) const {
+  const std::size_t pos = kv.len();
+  FLASHABFT_ENSURE_MSG(pos > 0, "decode before prefill");
+  FLASHABFT_ENSURE_MSG(pos < cfg_.max_seq_len,
+                       "cache full at " << pos << " tokens");
+
+  StepResult result;
+  const std::size_t ids[1] = {token};
+  MatrixD x = embedding_.embed_ids(ids, /*start_pos=*/pos);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    DecoderLayerResult out = layers_[l].forward_decode_paged(
+        x, backend, executor, pool, kv, /*layer_index=*/l);
+    x = std::move(out.output);
+    result.report.add_layer(std::move(out.report));
+  }
+  const MatrixD h = final_norm_.forward(x);
+  result.logits = lm_head(h, executor, result.report.final_ops);
+  result.next_token = argmax(result.logits);
+  return result;
+}
+
+std::vector<std::vector<double>> TransformerModel::lm_head_batch(
+    const MatrixD& h_stacked,
+    std::span<const GuardedExecutor* const> executors,
+    std::span<LayerReport* const> reports) const {
+  const std::size_t batch = h_stacked.rows();
+  const ComputeBackend compute = executors.front()->compute_backend();
+
+  // One stacked logits product; the tied table (and colsum(E)) stream once
+  // per batch. Row readout shared with the per-session lm_head.
+  MatrixD y(batch, cfg_.vocab_size);
+  for (std::size_t s = 0; s < batch; ++s) {
+    lm_head_row(h_stacked.row(s), compute, y.row(s).data());
+  }
+  const std::vector<double>& col_e = lm_colsum_;
+
+  // Per-session recomputation engine for retries/fallback: the same
+  // single-row run the non-batched lm_head uses.
+  const auto run_one = [&](std::size_t s, ComputeBackend engine) {
+    CheckedOp op;
+    op.output = MatrixD(1, cfg_.vocab_size);
+    lm_head_row(h_stacked.row(s), engine, op.output.row(0).data());
+    const double* h_row = h_stacked.row(s).data();
+    for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
+      op.check.predicted += h_row[j] * col_e[j];
+    }
+    op.check.actual = element_sum(op.output);
+    return op;
+  };
+
+  std::vector<std::vector<double>> logits(batch);
+  for (std::size_t s = 0; s < batch; ++s) {
+    CheckedOp first;
+    first.output = MatrixD(1, cfg_.vocab_size);
+    const double* y_row = y.row(s).data();
+    for (std::size_t v = 0; v < cfg_.vocab_size; ++v) {
+      first.output(0, v) = y_row[v];
+      first.check.actual += y_row[v];
+    }
+    const double* h_row = h_stacked.row(s).data();
+    for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
+      first.check.predicted += h_row[j] * col_e[j];
+    }
+    GuardedOp op = executors[s]->run(
+        OpKind::kProjection, lm_head_index(),
+        double(cfg_.model_dim) * double(cfg_.vocab_size),
+        [&](std::size_t attempt) {
+          if (attempt == 0) return std::move(first);
+          return run_one(s, compute);
+        },
+        [&] { return run_one(s, ComputeBackend::kScalar); });
+    logits[s].assign(op.output.row(0).begin(), op.output.row(0).end());
+    reports[s]->add(std::move(op));
+  }
+  return logits;
+}
+
+std::vector<StepResult> TransformerModel::decode_step_batch(
+    std::span<const std::size_t> tokens,
+    std::span<const GuardedExecutor* const> executors,
+    AttentionBackend backend, KvPagePool& pool,
+    std::span<PagedKv* const> kvs) const {
+  const std::size_t batch = tokens.size();
+  FLASHABFT_ENSURE_MSG(batch > 0, "empty decode batch");
+  FLASHABFT_ENSURE(executors.size() == batch && kvs.size() == batch);
+
+  std::vector<StepResult> results(batch);
+  MatrixD x(batch, cfg_.model_dim);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const std::size_t pos = kvs[s]->len();
+    FLASHABFT_ENSURE_MSG(pos > 0, "decode before prefill");
+    FLASHABFT_ENSURE_MSG(pos < cfg_.max_seq_len,
+                         "cache full at " << pos << " tokens");
+    const std::size_t ids[1] = {tokens[s]};
+    const MatrixD row = embedding_.embed_ids(ids, /*start_pos=*/pos);
+    for (std::size_t d = 0; d < cfg_.model_dim; ++d) x(s, d) = row(0, d);
+  }
+
+  // One batched sweep per layer: the whole batch crosses layer l in a
+  // single stacked forward before any session touches layer l+1. Each
+  // session's reports accumulate into a per-layer LayerReport so the
+  // ModelReport keeps the same per-layer attribution as the single path.
+  std::vector<std::vector<LayerReport>> layer_reports(
+      batch, std::vector<LayerReport>(layers_.size()));
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<LayerReport*> reports;
+    reports.reserve(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+      reports.push_back(&layer_reports[s][l]);
+    }
+    x = layers_[l].forward_decode_paged_batch(x, backend, executors, pool,
+                                              kvs, /*layer_index=*/l,
+                                              reports);
+  }
+  for (std::size_t s = 0; s < batch; ++s) {
+    for (LayerReport& report : layer_reports[s]) {
+      results[s].report.add_layer(std::move(report));
+    }
+  }
+
+  const MatrixD h = final_norm_.forward(x);
+  std::vector<LayerReport*> final_reports;
+  final_reports.reserve(batch);
+  for (std::size_t s = 0; s < batch; ++s) {
+    final_reports.push_back(&results[s].report.final_ops);
+  }
+  std::vector<std::vector<double>> logits =
+      lm_head_batch(h, executors, final_reports);
+  for (std::size_t s = 0; s < batch; ++s) {
+    results[s].logits = std::move(logits[s]);
+    results[s].next_token = argmax(results[s].logits);
+  }
+  return results;
 }
 
 std::pair<MatrixD, ModelReport> TransformerModel::forward_full(

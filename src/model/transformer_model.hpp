@@ -16,12 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/guarded_op.hpp"
 #include "core/kv_cache.hpp"
+#include "core/kv_pool.hpp"
 #include "model/decoder_layer.hpp"
 #include "model/embedding.hpp"
 #include "model/layernorm.hpp"
@@ -70,6 +72,13 @@ class TransformerModel {
   /// num_heads*head_dim).
   [[nodiscard]] KvCache make_cache() const;
 
+  /// A paged-pool configuration shaped for this model: `page_size`-token
+  /// pages, width num_heads*head_dim, one table per layer. `num_pages` = 0
+  /// derives the minimum pool that fits `sessions` full-length sessions.
+  [[nodiscard]] KvPoolConfig make_pool_config(std::size_t page_size,
+                                              std::size_t num_pages,
+                                              std::size_t sessions) const;
+
   /// Full-prompt causal pass that fills `cache` (which must be empty) and
   /// returns the last position's logits — the prefill of a generation
   /// session, and the producer of its first token.
@@ -84,6 +93,41 @@ class TransformerModel {
                                        AttentionBackend backend,
                                        const GuardedExecutor& executor,
                                        KvCache& cache) const;
+
+  /// Paged prefill: the same full-prompt causal pass, K/V rows streamed
+  /// into the session's pool pages. Also the preemption-resume path —
+  /// `tokens` is then prompt + already-generated tokens (minus the last,
+  /// still-undecoded one) and the returned logits are discarded. The
+  /// session's tables must be empty and pages must have been reserved.
+  [[nodiscard]] StepResult prefill_paged(const std::vector<std::size_t>& tokens,
+                                         AttentionBackend backend,
+                                         const GuardedExecutor& executor,
+                                         KvPagePool& pool, PagedKv& kv) const;
+
+  /// One autoregressive step over the paged cache: embeds `token` at
+  /// position kv.len(), verifies page contents + mapping and extends every
+  /// layer's pages, returns next-token logits.
+  [[nodiscard]] StepResult decode_step_paged(std::size_t token,
+                                             AttentionBackend backend,
+                                             const GuardedExecutor& executor,
+                                             KvPagePool& pool,
+                                             PagedKv& kv) const;
+
+  /// The continuous-batching sweep: advances every session one token with
+  /// a single batched forward pass per layer — the stacked projections,
+  /// FFN products and LM head each execute once for the whole batch
+  /// (weights and their checksums stream once per layer, not once per
+  /// session) while every session keeps its own checksum group, its own
+  /// kKvPage verification, its own per-head attention and its own
+  /// executor (`executors[i]`, whose tamper hook carries that session's
+  /// faults). Results align with the inputs; per-session reports stay
+  /// independent for attribution, and scalar outputs are bit-identical to
+  /// per-session `decode_step_paged` calls.
+  [[nodiscard]] std::vector<StepResult> decode_step_batch(
+      std::span<const std::size_t> tokens,
+      std::span<const GuardedExecutor* const> executors,
+      AttentionBackend backend, KvPagePool& pool,
+      std::span<PagedKv* const> kvs) const;
 
   /// Cache-free full forward: logits at every position (n x vocab_size).
   /// The golden oracle incremental decode must match.
@@ -113,10 +157,27 @@ class TransformerModel {
                                             const GuardedExecutor& executor,
                                             LayerReport& report) const;
 
+  /// Batched tied LM head: one h_stacked · E^T product (colsum(E) computed
+  /// once) with one checksum group — and one OpReport — per row/session.
+  [[nodiscard]] std::vector<std::vector<double>> lm_head_batch(
+      const MatrixD& h_stacked,
+      std::span<const GuardedExecutor* const> executors,
+      std::span<LayerReport* const> reports) const;
+
+  /// One row of tied-head logits, out[v] = dot(h_row, E[v]) on `engine` —
+  /// the single readout every LM-head path (per-session, batched clean
+  /// path, retry/fallback recompute) shares, which is what keeps them
+  /// bit-identical.
+  void lm_head_row(std::span<const double> h_row, ComputeBackend engine,
+                   double* out) const;
+
   TransformerConfig cfg_;
   Embedding embedding_;
   std::vector<DecoderLayer> layers_;
   LayerNorm final_norm_;
+  /// colsum(E) — the tied LM head's input-side checksum. The table never
+  /// changes after construction, so it is computed once, not per step.
+  std::vector<double> lm_colsum_;
 };
 
 }  // namespace flashabft

@@ -57,6 +57,26 @@ struct LayerFault {
   double magnitude = 1e-3;         ///< output/checksum shift.
 };
 
+/// Builds the emulated datapath-upset tamper hook shared by decoder-layer
+/// requests, legacy generation steps and continuous-scheduler ticks: shifts
+/// one output element and the readout checksum of every matching op for its
+/// first `faulty_attempts` attempts.
+[[nodiscard]] inline GuardedExecutor::Tamper make_layer_fault_tamper(
+    std::vector<LayerFault> faults) {
+  return [faults = std::move(faults)](OpKind kind, std::size_t index,
+                                      std::size_t attempt, CheckedOp& op) {
+    for (const LayerFault& fault : faults) {
+      if (fault.kind != kind || fault.op_index != index ||
+          attempt >= fault.faulty_attempts) {
+        continue;
+      }
+      op.output(0, 0) += fault.magnitude;
+      op.check.actual += fault.magnitude;
+      op.self_verdict.reset();
+    }
+  };
+}
+
 /// A full protected decoder-layer forward.
 struct LayerWork {
   MatrixD x;       ///< decoder-side embeddings, n x model_dim.
@@ -86,6 +106,12 @@ struct KvCorruption {
   std::size_t col = 0;
   double delta = 1.0;       ///< element shift.
   bool value_side = false;  ///< corrupt V instead of K.
+  /// Continuous scheduler only: corrupt the *page-table entry* covering
+  /// `row` (redirecting it to another pool page, checksums left stale)
+  /// instead of page data — the mapping upset only the kKvPage table
+  /// checksum can detect. Ignored on the legacy contiguous-cache path,
+  /// which has no page table.
+  bool page_table = false;
 };
 
 /// An autoregressive generation session: greedy decode of
@@ -166,6 +192,9 @@ struct ServeResponse {
   std::vector<std::size_t> tokens;  ///< generated ids (prompt excluded).
   std::size_t decode_steps = 0;     ///< steps after the prefill.
   double ttft_us = 0.0;             ///< enqueue -> first token (prefill).
+  // Continuous scheduler only:
+  std::size_t preemptions = 0;  ///< times the session lost its pages.
+  std::size_t resumes = 0;      ///< lossless re-prefills after preemption.
 };
 
 }  // namespace flashabft::serve

@@ -1,0 +1,486 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace flashabft::serve {
+
+namespace {
+
+double to_us(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+const char* scheduler_mode_name(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kLegacy: return "legacy";
+    case SchedulerMode::kContinuous: return "continuous";
+  }
+  return "unknown";
+}
+
+std::optional<SchedulerMode> parse_scheduler_mode(std::string_view name) {
+  if (name == "legacy") return SchedulerMode::kLegacy;
+  if (name == "continuous") return SchedulerMode::kContinuous;
+  return std::nullopt;
+}
+
+ContinuousScheduler::ContinuousScheduler(
+    const SchedulerConfig& cfg, const TransformerModel& model,
+    const GuardedExecutor::Options& executor_options, SessionTable& sessions,
+    ServeTelemetry& telemetry)
+    : cfg_(cfg),
+      model_(model),
+      executor_options_(executor_options),
+      sessions_(sessions),
+      telemetry_(telemetry),
+      pool_(model.make_pool_config(cfg.page_size, cfg.num_pages,
+                                   sessions.max_active())) {
+  FLASHABFT_ENSURE_MSG(cfg_.max_batch_tokens > 0,
+                       "scheduler needs a positive decode-batch cap");
+  // 0 is resolved by the server (worker count capped at hardware
+  // concurrency); an explicit setting is honored as-is so the parallel
+  // sweep stays testable on any machine.
+  if (cfg_.sweep_threads == 0) cfg_.sweep_threads = 1;
+  telemetry_.set_page_usage(0, pool_.num_pages(), 0);
+  thread_ = std::thread([this] { loop(); });
+}
+
+ContinuousScheduler::~ContinuousScheduler() { shutdown(); }
+
+bool ContinuousScheduler::admit(std::unique_ptr<GenerationSession>& session,
+                                SessionAdmission& admission) {
+  FLASHABFT_ENSURE(session != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    // stop_ flips under this mutex and the loop only exits once stop_ is
+    // observed *and* everything drained — so a false here happens-before
+    // the final drain check and the session cannot be orphaned.
+    if (stop_) return false;
+    admission = sessions_.admit(std::move(session));
+    if (admission.activated != nullptr) {
+      ready_.push_back(admission.activated);
+    }
+  }
+  wake_.notify_one();
+  return true;
+}
+
+void ContinuousScheduler::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ContinuousScheduler::loop() {
+  while (true) {
+    std::vector<GenerationSession*> incoming;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || !ready_.empty() || !waiting_.empty() ||
+               !running_.empty() || sessions_.parked() > 0;
+      });
+      const bool drained = ready_.empty() && waiting_.empty() &&
+                           running_.empty() && sessions_.parked() == 0;
+      if (stop_ && drained) return;
+      incoming.swap(ready_);
+    }
+    tick(std::move(incoming));
+  }
+}
+
+std::size_t ContinuousScheduler::content_tokens(
+    const GenerationSession& session) const {
+  // The cache holds the prompt plus every generated token except the last,
+  // still-undecoded one (mirrors the legacy step protocol).
+  return session.work.prompt.size() +
+         (session.tokens.empty() ? 0 : session.tokens.size() - 1);
+}
+
+void ContinuousScheduler::insert_waiting(GenerationSession* session) {
+  const auto pos = std::find_if(
+      waiting_.begin(), waiting_.end(), [&](const GenerationSession* other) {
+        return other->sched_order > session->sched_order;
+      });
+  waiting_.insert(pos, session);
+}
+
+void ContinuousScheduler::tick(std::vector<GenerationSession*> incoming) {
+  // Parked admissions first: the table promotes oldest-first, and stamping
+  // orders here keeps FIFO age consistent with admission order.
+  while (GenerationSession* parked = sessions_.try_activate_parked()) {
+    telemetry_.on_session_start();
+    parked->sched_order = next_order_++;
+    insert_waiting(parked);
+  }
+  for (GenerationSession* session : incoming) {
+    telemetry_.on_session_start();
+    session->sched_order = next_order_++;
+    insert_waiting(session);
+  }
+  admit_waiting();
+  decode_tick();
+  // Completions inside this tick freed slots; pull their parked successors
+  // now so the wait predicate can sleep on an empty table.
+  while (GenerationSession* parked = sessions_.try_activate_parked()) {
+    telemetry_.on_session_start();
+    parked->sched_order = next_order_++;
+    insert_waiting(parked);
+  }
+  publish_page_usage();
+}
+
+void ContinuousScheduler::admit_waiting() {
+  while (!waiting_.empty()) {
+    GenerationSession* session = waiting_.front();
+    // Room for the re-prefilled content plus the next decode append keeps a
+    // fresh admission from preempting something on its very first step.
+    const std::size_t needed =
+        pool_.session_pages_for(content_tokens(*session) + 1);
+    if (pool_.free_pages() < needed &&
+        !preempt_for(needed, session->sched_order)) {
+      break;  // no eligible (younger) victims — wait for completions.
+    }
+    waiting_.pop_front();
+    try {
+      start_or_resume(*session);
+    } catch (...) {
+      fail(session, std::current_exception());
+    }
+  }
+}
+
+void ContinuousScheduler::start_or_resume(GenerationSession& session) {
+  const Clock::time_point start = Clock::now();
+  const bool first_activation = session.paged == nullptr;
+  if (first_activation) {
+    session.paged = std::make_unique<PagedKv>(
+        pool_.make_session(session.key));
+    if (session.enqueue_time != Clock::time_point{}) {
+      session.queue_us = to_us(start - session.enqueue_time);
+    }
+  } else {
+    ++session.resumes;
+    telemetry_.on_session_resume();
+  }
+
+  // First activation prefills the prompt; a resume re-prefills prompt +
+  // generated tokens (minus the undecoded last) — greedy decode is
+  // deterministic, so the rebuilt pages continue token-for-token.
+  std::vector<std::size_t> content = session.work.prompt;
+  if (!session.tokens.empty()) {
+    content.insert(content.end(), session.tokens.begin(),
+                   session.tokens.end() - 1);
+  }
+  // Step-0 faults fire on the original prefill only: a resume is a fresh
+  // recomputation of already-produced state, so re-arming the tamper would
+  // re-inject the same fault once per preemption cycle and inflate the
+  // alarm/fallback accounting relative to what was actually injected.
+  GuardedExecutor executor = first_activation
+                                 ? make_step_executor(session, /*step=*/0)
+                                 : GuardedExecutor(executor_options_);
+  StepResult step = model_.prefill_paged(
+      content, AttentionBackend::kFlashAbft, executor, pool_, *session.paged);
+
+  const double service_us = to_us(Clock::now() - start);
+  if (first_activation) {
+    const bool done = absorb_step(session, std::move(step),
+                                  /*batch_size=*/1, service_us);
+    session.ttft_us = session.enqueue_time != Clock::time_point{}
+                          ? to_us(Clock::now() - session.enqueue_time)
+                          : session.service_us;
+    if (done) {
+      finalize(&session);
+      return;
+    }
+  } else {
+    // The resume's produced token is the one the session already holds;
+    // only the (real, protected) recomputation work is accounted.
+    absorb_report(session, std::move(step.report), service_us);
+  }
+  running_.push_back(&session);
+}
+
+bool ContinuousScheduler::preempt_for(std::size_t needed,
+                                      std::uint64_t requester_order) {
+  while (pool_.free_pages() < needed) {
+    GenerationSession* victim = nullptr;
+    for (GenerationSession* candidate : running_) {
+      // Victims are strictly younger than the requester: the oldest
+      // session can never be preempted, so it always finishes.
+      if (candidate->sched_order <= requester_order) continue;
+      if (victim == nullptr) {
+        victim = candidate;
+        continue;
+      }
+      const bool newer = candidate->sched_order > victim->sched_order;
+      if (cfg_.preemption == PreemptionPolicy::kNewestFirst ? newer : !newer) {
+        victim = candidate;
+      }
+    }
+    if (victim == nullptr) return false;
+    preempt(victim);
+  }
+  return true;
+}
+
+void ContinuousScheduler::preempt(GenerationSession* victim) {
+  pool_.free_session(*victim->paged);
+  ++victim->preemptions;
+  telemetry_.on_preemption();
+  running_.erase(std::find(running_.begin(), running_.end(), victim));
+  insert_waiting(victim);
+}
+
+void ContinuousScheduler::apply_corruptions(GenerationSession& session,
+                                            std::size_t step_index) {
+  for (const KvCorruption& c : session.work.kv_corruptions) {
+    if (c.step != step_index) continue;
+    PagedKv& kv = *session.paged;
+    const std::size_t layer = c.layer % kv.num_layers();
+    if (kv.len(layer) == 0) continue;
+    const std::size_t row = c.row % kv.len(layer);
+    if (c.page_table) {
+      if (pool_.num_pages() < 2) continue;  // nowhere to redirect to.
+      pool_.corrupt_page_table(kv, layer, row,
+                               1 + c.col % (pool_.num_pages() - 1));
+    } else if (c.value_side) {
+      pool_.corrupt_v(kv, layer, row, c.col % pool_.config().width, c.delta);
+    } else {
+      pool_.corrupt_k(kv, layer, row, c.col % pool_.config().width, c.delta);
+    }
+  }
+}
+
+GuardedExecutor ContinuousScheduler::make_step_executor(
+    const GenerationSession& session, std::size_t step_index) const {
+  GuardedExecutor executor(executor_options_);
+  std::vector<LayerFault> step_faults;
+  for (const GenerationStepFault& f : session.work.faults) {
+    if (f.step == step_index) step_faults.push_back(f.fault);
+  }
+  if (!step_faults.empty()) {
+    executor.set_tamper(make_layer_fault_tamper(std::move(step_faults)));
+  }
+  return executor;
+}
+
+void ContinuousScheduler::absorb_report(GenerationSession& session,
+                                        ModelReport report,
+                                        double service_us) {
+  session.op_executions += report.executions();
+  session.alarm_events += report.alarm_events();
+  session.fallback_ops += report.fallback_ops();
+  session.recovered_ops += report.recovered_ops();
+  if (report.escalated_ops() > 0) telemetry_.on_escalation();
+  session.checksum_clean =
+      session.checksum_clean && report.all_accepted_clean();
+  std::vector<OpReport> flat = report.flatten();
+  session.all_reports.insert(session.all_reports.end(),
+                             std::make_move_iterator(flat.begin()),
+                             std::make_move_iterator(flat.end()));
+  session.service_us += service_us;
+}
+
+bool ContinuousScheduler::absorb_step(GenerationSession& session,
+                                      StepResult step, std::size_t batch_size,
+                                      double service_us) {
+  const bool is_prefill = session.tokens.empty();
+  session.tokens.push_back(step.next_token);
+  if (!is_prefill) ++session.steps_done;
+  absorb_report(session, std::move(step.report), service_us);
+  session.batch_size = batch_size;
+  return session.done();
+}
+
+void ContinuousScheduler::decode_tick() {
+  if (running_.empty()) return;
+
+  // Round-robin selection keeps every session advancing when the run set
+  // exceeds the decode-batch cap.
+  std::vector<GenerationSession*> batch;
+  const std::size_t take = std::min(cfg_.max_batch_tokens, running_.size());
+  rotate_ %= running_.size();
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(running_[(rotate_ + i) % running_.size()]);
+  }
+  rotate_ += take;
+
+  // Page-pressure phase: sessions crossing a page boundary take their
+  // pages oldest-first, *eagerly* (reserve_append), so the parallel sweep
+  // below never touches the shared free list — and later batch members
+  // cannot double-book pages already granted this tick. Victims of a
+  // reservation are always strictly younger than the requester, i.e.
+  // later in this age-sorted batch — never a session already admitted to
+  // `advancing`.
+  std::sort(batch.begin(), batch.end(),
+            [](const GenerationSession* a, const GenerationSession* b) {
+              return a->sched_order < b->sched_order;
+            });
+  std::vector<GenerationSession*> advancing;
+  for (GenerationSession* session : batch) {
+    if (std::find(running_.begin(), running_.end(), session) ==
+        running_.end()) {
+      continue;  // preempted by an older batch member's reservation.
+    }
+    const std::size_t needed = pool_.append_pages_needed(*session->paged);
+    if (needed > 0) {
+      if (pool_.free_pages() < needed &&
+          !preempt_for(needed, session->sched_order)) {
+        continue;  // skip this tick; pages free as older sessions finish.
+      }
+      pool_.reserve_append(*session->paged);
+    }
+    advancing.push_back(session);
+  }
+  if (advancing.empty()) return;
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::size_t> tokens;
+  std::vector<GuardedExecutor> executors;
+  std::vector<const GuardedExecutor*> executor_ptrs;
+  std::vector<PagedKv*> kvs;
+  tokens.reserve(advancing.size());
+  executors.reserve(advancing.size());
+  kvs.reserve(advancing.size());
+  for (GenerationSession* session : advancing) {
+    const std::size_t step_index = session->steps_done + 1;
+    // Storage upsets scheduled between steps land now, before the sweep
+    // reads the pages (the kKvPage check must catch and repair them).
+    apply_corruptions(*session, step_index);
+    tokens.push_back(session->tokens.back());
+    executors.push_back(make_step_executor(*session, step_index));
+    kvs.push_back(session->paged.get());
+  }
+  for (const GuardedExecutor& executor : executors) {
+    executor_ptrs.push_back(&executor);
+  }
+
+  // Parallel sweep: the batch is partitioned into contiguous slices, one
+  // per sweep thread. Pages were pre-reserved above, so slice sessions
+  // only touch their own pages and executors — no shared mutable state.
+  // Threads are spawned per tick (simple and join-bounded); a slice must
+  // carry at least two sessions so tiny batches never pay a spawn for
+  // less work than it costs.
+  const std::size_t slices = std::max<std::size_t>(
+      1, std::min(cfg_.sweep_threads, advancing.size() / 2));
+  std::vector<std::vector<StepResult>> slice_steps(slices);
+  std::vector<std::exception_ptr> slice_errors(slices);
+  const auto run_slice = [&](std::size_t slice) {
+    const std::size_t begin = slice * advancing.size() / slices;
+    const std::size_t end = (slice + 1) * advancing.size() / slices;
+    try {
+      slice_steps[slice] = model_.decode_step_batch(
+          std::span(tokens).subspan(begin, end - begin),
+          std::span(executor_ptrs).subspan(begin, end - begin),
+          AttentionBackend::kFlashAbft, pool_,
+          std::span(kvs).subspan(begin, end - begin));
+    } catch (...) {
+      slice_errors[slice] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> sweepers;
+  sweepers.reserve(slices - 1);
+  for (std::size_t slice = 1; slice < slices; ++slice) {
+    sweepers.emplace_back(run_slice, slice);
+  }
+  run_slice(0);
+  for (std::thread& sweeper : sweepers) sweeper.join();
+
+  std::vector<StepResult> steps;
+  steps.reserve(advancing.size());
+  bool failed = false;
+  for (std::size_t slice = 0; slice < slices; ++slice) {
+    if (slice_errors[slice] != nullptr) {
+      failed = true;
+      break;
+    }
+    steps.insert(steps.end(),
+                 std::make_move_iterator(slice_steps[slice].begin()),
+                 std::make_move_iterator(slice_steps[slice].end()));
+  }
+  if (failed) {
+    // A throwing sweep cannot attribute per-session progress; fail the
+    // whole batch rather than the scheduler thread.
+    std::exception_ptr error;
+    for (const std::exception_ptr& e : slice_errors) {
+      if (e != nullptr) error = e;
+    }
+    for (GenerationSession* session : advancing) {
+      running_.erase(std::find(running_.begin(), running_.end(), session));
+      fail(session, error);
+    }
+    return;
+  }
+
+  const double share_us =
+      to_us(Clock::now() - start) / double(advancing.size());
+  telemetry_.on_scheduler_tick(advancing.size());
+  for (std::size_t i = 0; i < advancing.size(); ++i) {
+    GenerationSession* session = advancing[i];
+    if (absorb_step(*session, std::move(steps[i]), advancing.size(),
+                    share_us)) {
+      running_.erase(std::find(running_.begin(), running_.end(), session));
+      finalize(session);
+    }
+  }
+}
+
+void ContinuousScheduler::finalize(GenerationSession* session) {
+  ServeResponse response;
+  response.id = session->id;
+  response.worker_id = session->worker_id;
+  response.batch_size = session->batch_size;
+  response.tokens = session->tokens;
+  response.decode_steps = session->steps_done;
+  response.ttft_us = session->ttft_us;
+  response.queue_us = session->queue_us;
+  response.service_us = session->service_us;
+  response.total_us = session->enqueue_time != Clock::time_point{}
+                          ? to_us(Clock::now() - session->enqueue_time)
+                          : session->service_us;
+  response.reports = std::move(session->all_reports);
+  response.op_executions = session->op_executions;
+  response.alarm_events = session->alarm_events;
+  response.fallback_ops = session->fallback_ops;
+  response.checksum_clean = session->checksum_clean;
+  response.preemptions = session->preemptions;
+  response.resumes = session->resumes;
+  response.path = session->fallback_ops > 0 ? ServePath::kFallbackReference
+                  : session->recovered_ops > 0
+                      ? ServePath::kGuardedRecovered
+                      : ServePath::kGuardedClean;
+  pool_.free_session(*session->paged);
+  publish_page_usage();
+  telemetry_.on_response(response);
+  telemetry_.on_session_complete(response);
+  std::unique_ptr<GenerationSession> finished =
+      sessions_.release(session->key);
+  finished->promise.set_value(std::move(response));
+}
+
+void ContinuousScheduler::fail(GenerationSession* session,
+                               std::exception_ptr error) {
+  if (session->paged != nullptr) pool_.free_session(*session->paged);
+  std::unique_ptr<GenerationSession> failed = sessions_.release(session->key);
+  failed->promise.set_exception(std::move(error));
+}
+
+void ContinuousScheduler::publish_page_usage() {
+  telemetry_.set_page_usage(pool_.pages_in_use(), pool_.num_pages(),
+                            pool_.peak_pages_in_use());
+}
+
+}  // namespace flashabft::serve

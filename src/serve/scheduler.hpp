@@ -1,0 +1,183 @@
+// Continuous-batching decode scheduler over the checksum-protected paged
+// KV pool.
+//
+// The legacy generation path (PR 3) advances one session per worker pass:
+// every decode step takes a queue round-trip, a batch-forming deadline and
+// a privately-owned contiguous KvCache reserved at admission. This
+// scheduler is the production-serving alternative: one scheduler thread
+// owns a shared `KvPagePool` and a run set of sessions, and every *tick*
+// advances ALL schedulable sessions one token with a single layer-major
+// `decode_step_batch` sweep — no per-token queue traffic, memory follows
+// actual sequence length, and aggregate tokens/sec scales with concurrency
+// instead of worker count.
+//
+// Admission flows through the server's `SessionTable` (bounded active set +
+// age-ordered parking FIFO with the starvation guard); page pressure is
+// handled by *preemption*: when the pool cannot back a session's next
+// append (or a waiting session's prefill), a strictly-younger running
+// session is parked — its pages released, its generated tokens kept — and
+// later *resumed losslessly* by re-prefilling prompt + generated tokens
+// (greedy decode is deterministic, so the rebuilt cache continues
+// token-for-token; the drill tests pin this). The oldest session is never
+// preempted and the pool always fits one full-length session, so progress
+// is guaranteed.
+//
+// Every step runs under the same GuardedOp regime as the legacy path, plus
+// the pool's `kKvPage` verification (page contents + page-table mapping,
+// checkpoint-restore recovery) on every cached read. The legacy per-session
+// path remains available behind `SchedulerMode::kLegacy` as the diverse
+// fallback engine.
+//
+// Threading: the scheduler thread is the only toucher of the pool, the run
+// set and session contents after activation; cross-thread handoff is the
+// mutex-guarded ready queue (enqueue side) and the SessionTable's own lock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/kv_pool.hpp"
+#include "model/transformer_model.hpp"
+#include "serve/session.hpp"
+#include "serve/telemetry.hpp"
+
+namespace flashabft::serve {
+
+/// Which engine serves GenerationWork.
+enum class SchedulerMode {
+  kLegacy,      ///< PR 3 path: per-session contiguous cache, queue-driven.
+  kContinuous,  ///< paged pool + continuous-batching scheduler thread.
+};
+
+[[nodiscard]] const char* scheduler_mode_name(SchedulerMode mode);
+/// Parses "legacy" / "continuous" (the `--scheduler=` CLI values).
+[[nodiscard]] std::optional<SchedulerMode> parse_scheduler_mode(
+    std::string_view name);
+
+/// Which running session loses its pages under page pressure. Victims are
+/// always strictly younger (by admission order) than the session being
+/// scheduled, so the oldest session always makes progress.
+enum class PreemptionPolicy {
+  kNewestFirst,  ///< LIFO victims: minimal wasted prefix work (default).
+  kOldestFirst,  ///< oldest eligible victim first (stress-tests resume).
+};
+
+struct SchedulerConfig {
+  SchedulerMode mode = SchedulerMode::kLegacy;
+  /// Decode-batch cap: sessions advanced per tick (the "max batch tokens"
+  /// of a one-token-per-session decode sweep). Excess sessions rotate in
+  /// round-robin across ticks.
+  std::size_t max_batch_tokens = 16;
+  /// Token rows per pool page.
+  std::size_t page_size = 16;
+  /// Pool size; 0 derives the minimum that fits `max_sessions` full-length
+  /// sessions (no page pressure). Size it smaller to exercise preemption.
+  std::size_t num_pages = 0;
+  PreemptionPolicy preemption = PreemptionPolicy::kNewestFirst;
+  /// Decode-sweep parallelism: the tick's batch is partitioned across this
+  /// many threads (sessions are independent once pages are pre-reserved;
+  /// slices under two sessions never spawn). 0 = resolved by the server to
+  /// its worker count capped at hardware concurrency, so the continuous
+  /// engine runs on the same thread budget as the legacy path it replaces;
+  /// an explicit value is honored as-is.
+  std::size_t sweep_threads = 0;
+};
+
+/// The continuous-batching engine. Owned by the server when
+/// `SchedulerConfig::mode == kContinuous`; constructed lazily with the
+/// shared TransformerModel.
+class ContinuousScheduler {
+ public:
+  ContinuousScheduler(const SchedulerConfig& cfg,
+                      const TransformerModel& model,
+                      const GuardedExecutor::Options& executor_options,
+                      SessionTable& sessions, ServeTelemetry& telemetry);
+  ~ContinuousScheduler();
+
+  ContinuousScheduler(const ContinuousScheduler&) = delete;
+  ContinuousScheduler& operator=(const ContinuousScheduler&) = delete;
+
+  /// Admits a session through the SessionTable *under the scheduler's
+  /// lock*, so admission and shutdown are serialized: if this returns true
+  /// the scheduler thread is guaranteed to still drain the session
+  /// (activated, parked or promoted alike); if it returns false the drain
+  /// has already been decided and `session` is handed back untouched for
+  /// the caller to fail. Any thread.
+  [[nodiscard]] bool admit(std::unique_ptr<GenerationSession>& session,
+                           SessionAdmission& admission);
+
+  /// Drains every admitted session (active, parked and waiting) to
+  /// completion, then joins the scheduler thread. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
+  /// Pool shape for observability (the pool itself is scheduler-private).
+  [[nodiscard]] std::size_t pool_pages() const { return pool_.num_pages(); }
+
+ private:
+  void loop();
+  /// One scheduler iteration over `incoming` newly activated sessions.
+  void tick(std::vector<GenerationSession*> incoming);
+  /// Inserts into waiting_ keeping ascending age (sched_order).
+  void insert_waiting(GenerationSession* session);
+  /// Admits waiting sessions (oldest first) while the pool can back their
+  /// prefill/resume, preempting younger running sessions as needed.
+  void admit_waiting();
+  /// Prefill (or lossless resume re-prefill) of a pageless session;
+  /// finalizes it if the prefill produced its last token.
+  void start_or_resume(GenerationSession& session);
+  /// Advances up to max_batch_tokens running sessions one token.
+  void decode_tick();
+  /// Frees pages until `needed` are available using victims strictly
+  /// younger than `requester_order`; false if no eligible victim remains.
+  bool preempt_for(std::size_t needed, std::uint64_t requester_order);
+  void preempt(GenerationSession* victim);
+  /// Applies the session's KvCorruptions scheduled for `step_index` to its
+  /// live pages / page tables (checksums left stale — real storage upsets).
+  void apply_corruptions(GenerationSession& session, std::size_t step_index);
+  /// The session's executor for `step_index`, tamper armed with that
+  /// step's emulated faults.
+  [[nodiscard]] GuardedExecutor make_step_executor(
+      const GenerationSession& session, std::size_t step_index) const;
+  /// Folds one pass's protected-op accounting into the session (shared by
+  /// decode steps and resume re-prefills, which produce no new token).
+  void absorb_report(GenerationSession& session, ModelReport report,
+                     double service_us);
+  /// Folds one step's results into the session; true if it is done.
+  bool absorb_step(GenerationSession& session, StepResult step,
+                   std::size_t batch_size, double service_us);
+  void finalize(GenerationSession* session);
+  void fail(GenerationSession* session, std::exception_ptr error);
+  void publish_page_usage();
+  [[nodiscard]] std::size_t content_tokens(
+      const GenerationSession& session) const;
+
+  SchedulerConfig cfg_;
+  const TransformerModel& model_;
+  GuardedExecutor::Options executor_options_;
+  SessionTable& sessions_;
+  ServeTelemetry& telemetry_;
+  KvPagePool pool_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<GenerationSession*> ready_;  ///< guarded by mutex_.
+  bool stop_ = false;                      ///< guarded by mutex_.
+
+  // Scheduler-thread-private state.
+  std::deque<GenerationSession*> waiting_;  ///< pageless, ascending age.
+  std::vector<GenerationSession*> running_; ///< holding pages, decode-ready.
+  std::uint64_t next_order_ = 1;
+  std::size_t rotate_ = 0;  ///< round-robin cursor over running_.
+
+  std::thread thread_;
+};
+
+}  // namespace flashabft::serve

@@ -19,24 +19,6 @@ void append_plan(FaultPlan& plan, const FaultPlan& extra) {
   plan.insert(plan.end(), extra.begin(), extra.end());
 }
 
-/// The emulated datapath-upset tamper shared by LayerWork requests and
-/// generation-session steps: shifts one output element and the readout
-/// checksum of every matching op for its first `faulty_attempts` attempts.
-GuardedExecutor::Tamper layer_fault_tamper(std::vector<LayerFault> faults) {
-  return [faults = std::move(faults)](OpKind kind, std::size_t index,
-                                      std::size_t attempt, CheckedOp& op) {
-    for (const LayerFault& fault : faults) {
-      if (fault.kind != kind || fault.op_index != index ||
-          attempt >= fault.faulty_attempts) {
-        continue;
-      }
-      op.output(0, 0) += fault.magnitude;
-      op.check.actual += fault.magnitude;
-      op.self_verdict.reset();
-    }
-  };
-}
-
 }  // namespace
 
 const char* serve_path_name(ServePath path) {
@@ -86,6 +68,14 @@ void InferenceServer::shutdown() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  // After the workers: the scheduler drains every admitted session itself.
+  // The no-op call_once claims the flag if no session ever arrived, so a
+  // submit racing this shutdown cannot construct a scheduler afterwards
+  // (it observes the claimed flag and fails like a closed-queue submit).
+  if (config_.scheduler.mode == SchedulerMode::kContinuous) {
+    std::call_once(scheduler_once_, [] {});
+    if (scheduler_ != nullptr) scheduler_->shutdown();
+  }
 }
 
 const DecoderLayer& InferenceServer::layer() const {
@@ -102,6 +92,28 @@ const TransformerModel& InferenceServer::model() const {
         std::make_unique<TransformerModel>(config_.model, config_.model_seed);
   });
   return *model_;
+}
+
+ContinuousScheduler& InferenceServer::scheduler() {
+  std::call_once(scheduler_once_, [this] {
+    FLASHABFT_ENSURE(config_.scheduler.mode == SchedulerMode::kContinuous);
+    SchedulerConfig cfg = config_.scheduler;
+    // Same thread budget as the legacy engine it replaces (the comparison
+    // and the CI baseline stay apples-to-apples), capped at what the
+    // machine can actually run in parallel — extra sweep threads on fewer
+    // cores are pure spawn/context-switch overhead per tick.
+    if (cfg.sweep_threads == 0) {
+      cfg.sweep_threads = config_.num_workers;
+      const std::size_t cores = std::thread::hardware_concurrency();
+      if (cores > 0) cfg.sweep_threads = std::min(cfg.sweep_threads, cores);
+    }
+    scheduler_ = std::make_unique<ContinuousScheduler>(
+        cfg, model(), executor_options(), sessions_, telemetry_);
+  });
+  // Null only when shutdown() claimed the flag first (see shutdown()).
+  FLASHABFT_ENSURE_MSG(scheduler_ != nullptr,
+                       "server shut down while submitting");
+  return *scheduler_;
 }
 
 InferenceServer::Pending InferenceServer::make_pending(ServeRequest request) {
@@ -164,6 +176,13 @@ std::future<ServeResponse> InferenceServer::submit(ServeRequest request) {
   // (and bump `completed`) before this thread resumes, and a concurrent
   // snapshot must never see completed > submitted.
   telemetry_.on_submit();
+  if (config_.scheduler.mode == SchedulerMode::kContinuous &&
+      std::holds_alternative<GenerationWork>(pending.request.work)) {
+    // Continuous mode: generation sessions bypass the worker queue —
+    // admission control is the SessionTable, backpressure the paged pool.
+    admit_continuous(std::move(pending));
+    return future;
+  }
   const bool accepted = queue_.push(std::move(pending));
   if (!accepted) {
     telemetry_.on_reject();
@@ -181,6 +200,14 @@ SubmitResult InferenceServer::try_submit(ServeRequest request,
   Pending pending = make_pending(std::move(request));
   std::future<ServeResponse> future = pending.promise.get_future();
   telemetry_.on_submit();  // before the push — see submit().
+  if (config_.scheduler.mode == SchedulerMode::kContinuous &&
+      std::holds_alternative<GenerationWork>(pending.request.work)) {
+    // Same admission semantics as the legacy path: the request is accepted
+    // and a table-full shed fails its future (counted as a rejection).
+    admit_continuous(std::move(pending));
+    out = std::move(future);
+    return SubmitResult::kAccepted;
+  }
   if (!queue_.try_push(std::move(pending))) {
     telemetry_.on_reject();
     // try_push fails for a full queue or a closed one; a close racing this
@@ -190,6 +217,51 @@ SubmitResult InferenceServer::try_submit(ServeRequest request,
   }
   out = std::move(future);
   return SubmitResult::kAccepted;
+}
+
+std::unique_ptr<GenerationSession> InferenceServer::make_session(
+    Pending pending) {
+  auto session = std::make_unique<GenerationSession>();
+  session->id = pending.request.id;
+  session->category = std::move(pending.request.category);
+  session->work = std::move(std::get<GenerationWork>(pending.request.work));
+  session->promise = std::move(pending.promise);
+  session->enqueue_time = pending.request.enqueue_time;
+  return session;
+}
+
+void InferenceServer::admit_continuous(Pending pending) {
+  // Resolve the scheduler first: if shutdown won the construction race
+  // this throws to the submitter before any session enters the table —
+  // counted as a rejection so submitted == completed + rejected still
+  // reconciles (the legacy closed-queue path pairs its throw the same way).
+  ContinuousScheduler* engine = nullptr;
+  try {
+    engine = &scheduler();
+  } catch (...) {
+    telemetry_.on_reject();
+    throw;
+  }
+  std::unique_ptr<GenerationSession> session =
+      make_session(std::move(pending));
+  SessionAdmission admission;
+  if (!engine->admit(session, admission)) {
+    // Shutdown already decided the drain: admitting now would orphan the
+    // session's future, so it fails like a closed-queue submit.
+    telemetry_.on_reject();
+    session->promise.set_exception(std::make_exception_ptr(
+        EnsureError("server shut down while submitting")));
+    return;
+  }
+  if (admission.shed != nullptr) {
+    telemetry_.on_reject();
+    admission.shed->promise.set_exception(std::make_exception_ptr(
+        EnsureError("generation session load-shed: session table full")));
+    return;
+  }
+  // on_session_start is the scheduler thread's to emit (it must precede
+  // on_session_complete, and the session may already be running).
+  if (admission.parked) telemetry_.on_session_parked();
 }
 
 void InferenceServer::set_worker_defect(std::size_t worker_id,
@@ -241,14 +313,18 @@ void InferenceServer::worker_loop(Worker& worker) {
   }
 }
 
-GuardedExecutor InferenceServer::make_executor() const {
+GuardedExecutor::Options InferenceServer::executor_options() const {
   GuardedExecutor::Options options;
   options.checker = config_.software_checker;
   options.recovery = config_.recovery;
   options.screen_extremes = config_.screen_extremes;
   options.screen = config_.screen;
   options.compute = config_.compute;
-  return GuardedExecutor(options);
+  return options;
+}
+
+GuardedExecutor InferenceServer::make_executor() const {
+  return GuardedExecutor(executor_options());
 }
 
 ServeResponse InferenceServer::execute(Worker& worker, ServeRequest& request,
@@ -393,7 +469,7 @@ void InferenceServer::execute_layer(const LayerWork& work,
                                     ServeResponse& response) {
   GuardedExecutor executor = make_executor();
   if (!work.faults.empty()) {
-    executor.set_tamper(layer_fault_tamper(work.faults));
+    executor.set_tamper(make_layer_fault_tamper(work.faults));
   }
 
   DecoderLayerResult out =
@@ -424,13 +500,8 @@ void InferenceServer::execute_layer(const LayerWork& work,
 void InferenceServer::handle_generation(Worker& worker, Pending pending,
                                         std::size_t batch_size) {
   if (std::holds_alternative<GenerationWork>(pending.request.work)) {
-    auto session = std::make_unique<GenerationSession>();
-    session->id = pending.request.id;
-    session->category = std::move(pending.request.category);
-    session->work = std::move(std::get<GenerationWork>(pending.request.work));
-    session->promise = std::move(pending.promise);
-    session->enqueue_time = pending.request.enqueue_time;
-    SessionAdmission admission = sessions_.admit(std::move(session));
+    SessionAdmission admission =
+        sessions_.admit(make_session(std::move(pending)));
     if (admission.shed != nullptr) {
       // Active set and parking FIFO both full: generation load shedding.
       telemetry_.on_reject();
@@ -438,14 +509,15 @@ void InferenceServer::handle_generation(Worker& worker, Pending pending,
           EnsureError("generation session load-shed: session table full")));
       return;
     }
-    if (admission.active == nullptr) {
-      // Session bound reached: parked in the table's FIFO; the worker that
-      // completes an active session will activate and drive it.
+    if (admission.parked) {
+      // Session bound reached (or an older parked session was promoted
+      // into the free slot by the starvation guard): this one waits in the
+      // table's FIFO until a completing worker activates it.
       telemetry_.on_session_parked();
-      return;
     }
+    if (admission.activated == nullptr) return;
     telemetry_.on_session_start();
-    drive_session(worker, admission.active, batch_size);
+    drive_session(worker, admission.activated, batch_size);
     return;
   }
   const std::uint64_t key =
@@ -503,7 +575,7 @@ bool InferenceServer::execute_session_step(Worker& worker,
     if (f.step == step_index) step_faults.push_back(f.fault);
   }
   if (!step_faults.empty()) {
-    executor.set_tamper(layer_fault_tamper(std::move(step_faults)));
+    executor.set_tamper(make_layer_fault_tamper(std::move(step_faults)));
   }
 
   const TransformerModel& m = model();

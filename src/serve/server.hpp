@@ -48,6 +48,7 @@
 #include "serve/circuit_breaker.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/scheduler.hpp"
 #include "serve/session.hpp"
 #include "serve/telemetry.hpp"
 #include "sim/accelerator.hpp"
@@ -92,6 +93,11 @@ struct ServerConfig {
   /// future fails and a rejection is counted), so generation traffic
   /// cannot grow server state without bound.
   std::size_t max_sessions = 4;
+  /// Generation engine selection + continuous-batching knobs. kLegacy (the
+  /// default) keeps the PR 3 per-session decode path; kContinuous routes
+  /// GenerationWork to the paged-pool scheduler thread (AttentionWork and
+  /// LayerWork always flow through the worker pool).
+  SchedulerConfig scheduler{};
 };
 
 class InferenceServer {
@@ -127,6 +133,15 @@ class InferenceServer {
   /// The model GenerationWork sessions run through (lazily constructed;
   /// also the reference for golden-token tests).
   [[nodiscard]] const TransformerModel& model() const;
+
+  /// The engine serving GenerationWork.
+  [[nodiscard]] SchedulerMode scheduler_mode() const {
+    return config_.scheduler.mode;
+  }
+
+  /// The continuous-batching engine (kContinuous mode only; lazily built
+  /// with the shared model).
+  [[nodiscard]] ContinuousScheduler& scheduler();
 
   // Generation-session observability.
   [[nodiscard]] std::size_t active_sessions() const {
@@ -174,6 +189,15 @@ class InferenceServer {
 
   /// The software-path executor (fallback verification, layer ops).
   [[nodiscard]] GuardedExecutor make_executor() const;
+  [[nodiscard]] GuardedExecutor::Options executor_options() const;
+
+  /// Builds the session object for a popped/routed GenerationWork request.
+  [[nodiscard]] static std::unique_ptr<GenerationSession> make_session(
+      Pending pending);
+
+  /// kContinuous admission: SessionTable admit + scheduler handoff (the
+  /// starvation guard may promote an older parked session instead).
+  void admit_continuous(Pending pending);
 
   void worker_loop(Worker& worker);
   [[nodiscard]] ServeResponse execute(Worker& worker, ServeRequest& request,
@@ -212,6 +236,8 @@ class InferenceServer {
   mutable std::unique_ptr<DecoderLayer> layer_;
   mutable std::once_flag model_once_;
   mutable std::unique_ptr<TransformerModel> model_;
+  std::once_flag scheduler_once_;
+  std::unique_ptr<ContinuousScheduler> scheduler_;
 };
 
 }  // namespace flashabft::serve

@@ -28,9 +28,21 @@ SessionAdmission SessionTable::admit(
   SessionAdmission admission;
   std::lock_guard lock(mutex_);
   if (active_.size() < max_active_) {
-    admission.active = activate_locked(std::move(session));
+    if (parked_.empty()) {
+      admission.activated = activate_locked(std::move(session));
+    } else {
+      // Starvation guard: the free slot goes to the oldest parked session
+      // (age-based promotion); the fresh arrival parks behind it. Promoting
+      // first also guarantees FIFO room for the newcomer.
+      std::unique_ptr<GenerationSession> oldest = std::move(parked_.front());
+      parked_.pop_front();
+      admission.activated = activate_locked(std::move(oldest));
+      parked_.push_back(std::move(session));
+      admission.parked = true;
+    }
   } else if (parked_.size() < max_parked_) {
     parked_.push_back(std::move(session));
+    admission.parked = true;
   } else {
     admission.shed = std::move(session);
   }
@@ -58,6 +70,23 @@ SessionTable::finish(std::uint64_t key) {
     next = activate_locked(std::move(activated));
   }
   return {std::move(finished), next};
+}
+
+std::unique_ptr<GenerationSession> SessionTable::release(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  const auto it = active_.find(key);
+  FLASHABFT_ENSURE_MSG(it != active_.end(), "unknown session " << key);
+  std::unique_ptr<GenerationSession> finished = std::move(it->second);
+  active_.erase(it);
+  return finished;
+}
+
+GenerationSession* SessionTable::try_activate_parked() {
+  std::lock_guard lock(mutex_);
+  if (parked_.empty() || active_.size() >= max_active_) return nullptr;
+  std::unique_ptr<GenerationSession> oldest = std::move(parked_.front());
+  parked_.pop_front();
+  return activate_locked(std::move(oldest));
 }
 
 std::size_t SessionTable::active() const {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/kv_cache.hpp"
+#include "core/kv_pool.hpp"
 #include "serve/request.hpp"
 
 namespace flashabft::serve {
@@ -48,8 +49,14 @@ struct GenerationSession {
   GenerationWork work;
   std::promise<ServeResponse> promise;
 
-  /// Built at activation (prefill); empty while parked.
+  /// Built at activation (prefill); empty while parked. Legacy path only.
   std::unique_ptr<KvCache> cache;
+  /// Continuous-batching path: the session's paged-pool handle (tables
+  /// empty while it waits for pages) and preemption accounting.
+  std::unique_ptr<PagedKv> paged;
+  std::uint64_t sched_order = 0;  ///< scheduler age stamp (admission order).
+  std::size_t preemptions = 0;  ///< times this session's pages were taken.
+  std::size_t resumes = 0;      ///< lossless re-prefills after preemption.
   std::vector<std::size_t> tokens;  ///< generated so far.
   std::size_t steps_done = 0;       ///< decode steps executed.
 
@@ -76,14 +83,15 @@ struct GenerationSession {
 
 /// Outcome of offering a session to the table.
 struct SessionAdmission {
-  /// Set when the session was activated (a slot was free): drive it now.
-  GenerationSession* active = nullptr;
+  /// The session now activated, if any — drive it. Under the starvation
+  /// guard this may be an *older* parked session promoted into the free
+  /// slot while the submitted one parks behind it.
+  GenerationSession* activated = nullptr;
+  /// True when the submitted session was parked (age-ordered FIFO).
+  bool parked = false;
   /// Set when both the active set and the parked FIFO are full: the
   /// session was shed and handed back (fail its promise).
   std::unique_ptr<GenerationSession> shed;
-  [[nodiscard]] bool parked() const {
-    return active == nullptr && shed == nullptr;
-  }
 };
 
 /// Bounded-concurrency session registry with a bounded admission FIFO.
@@ -91,9 +99,15 @@ class SessionTable {
  public:
   SessionTable(std::size_t max_active, std::size_t max_parked);
 
-  /// Activates `session` (assigning its table key) if a slot is free,
-  /// parks it FIFO if there is parking room, or sheds it. Parked sessions
-  /// are activated by `finish`.
+  /// Admits `session`: activates it (assigning its table key) if a slot is
+  /// free, parks it FIFO if there is parking room, or sheds it.
+  ///
+  /// Starvation guard: a free slot never lets a fresh admission overtake
+  /// the parking FIFO. If sessions are parked when a slot is free (the
+  /// continuous scheduler frees slots with `release` and activates later),
+  /// the *oldest* parked session is promoted into the slot and the fresh
+  /// one parks behind it — age-based promotion, so a long-parked session
+  /// cannot be bypassed indefinitely by new arrivals.
   [[nodiscard]] SessionAdmission admit(
       std::unique_ptr<GenerationSession> session);
 
@@ -107,6 +121,16 @@ class SessionTable {
   [[nodiscard]] std::pair<std::unique_ptr<GenerationSession>,
                           GenerationSession*>
   finish(std::uint64_t key);
+
+  /// Removes active session `key` *without* activating a parked one — the
+  /// continuous scheduler's completion path (it pulls parked sessions at
+  /// tick boundaries via `try_activate_parked`, which is what makes the
+  /// admit() starvation guard load-bearing).
+  [[nodiscard]] std::unique_ptr<GenerationSession> release(std::uint64_t key);
+
+  /// Activates the oldest parked session if a slot is free; nullptr
+  /// otherwise. Call repeatedly to fill all free slots.
+  [[nodiscard]] GenerationSession* try_activate_parked();
 
   [[nodiscard]] std::size_t max_active() const { return max_active_; }
   [[nodiscard]] std::size_t active() const;

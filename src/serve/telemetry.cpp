@@ -103,6 +103,13 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
   s.sessions_parked = sessions_parked_.load(std::memory_order_relaxed);
   s.tokens_generated = tokens_generated_.load(std::memory_order_relaxed);
   s.decode_steps = decode_steps_.load(std::memory_order_relaxed);
+  s.scheduler_ticks = scheduler_ticks_.load(std::memory_order_relaxed);
+  s.scheduled_steps = scheduled_steps_.load(std::memory_order_relaxed);
+  s.preemptions = preemptions_.load(std::memory_order_relaxed);
+  s.session_resumes = session_resumes_.load(std::memory_order_relaxed);
+  s.pages_in_use = pages_in_use_.load(std::memory_order_relaxed);
+  s.pages_total = pages_total_.load(std::memory_order_relaxed);
+  s.peak_pages_in_use = peak_pages_in_use_.load(std::memory_order_relaxed);
   for (std::size_t k = 0; k < kOpKindCount; ++k) {
     s.per_kind[k].checks = kind_checks_[k].load(std::memory_order_relaxed);
     s.per_kind[k].alarms = kind_alarms_[k].load(std::memory_order_relaxed);
@@ -179,6 +186,14 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
     }
     row("ttft p50 (us)", ttft_p50_us);
     row("ttft p99 (us)", ttft_p99_us);
+  }
+  if (scheduler_ticks > 0) {
+    row("scheduler ticks", double(scheduler_ticks), 0);
+    row("batch occupancy", batch_occupancy(), 2);
+    row("preemptions", double(preemptions), 0);
+    row("session resumes", double(session_resumes), 0);
+    row("pages in use", double(pages_in_use), 0);
+    row("peak page utilization", peak_page_utilization(), 2);
   }
   for (std::size_t k = 0; k < kOpKindCount; ++k) {
     const OpKindStats& stats = per_kind[k];

@@ -93,6 +93,27 @@ struct TelemetrySnapshot {
   std::uint64_t tokens_generated = 0;
   std::uint64_t decode_steps = 0;        ///< steps after each prefill.
 
+  // Continuous-batching scheduler (zero on the legacy path).
+  std::uint64_t scheduler_ticks = 0;     ///< decode sweeps executed.
+  std::uint64_t scheduled_steps = 0;     ///< session-steps across all ticks.
+  std::uint64_t preemptions = 0;         ///< sessions whose pages were taken.
+  std::uint64_t session_resumes = 0;     ///< lossless re-prefills after one.
+  std::uint64_t pages_in_use = 0;        ///< pool gauge at snapshot time.
+  std::uint64_t pages_total = 0;         ///< pool size (0 = no pool).
+  std::uint64_t peak_pages_in_use = 0;
+
+  /// Mean decode-batch occupancy (sessions advanced per tick).
+  [[nodiscard]] double batch_occupancy() const {
+    return scheduler_ticks > 0
+               ? double(scheduled_steps) / double(scheduler_ticks)
+               : 0.0;
+  }
+  /// Peak fraction of the page pool in use.
+  [[nodiscard]] double peak_page_utilization() const {
+    return pages_total > 0 ? double(peak_pages_in_use) / double(pages_total)
+                           : 0.0;
+  }
+
   /// Per-op-kind view of the same stream (attention vs projection vs FFN
   /// vs reference fallback), indexed by std::size_t(OpKind).
   std::array<OpKindStats, kOpKindCount> per_kind{};
@@ -137,6 +158,25 @@ class ServeTelemetry {
   void on_session_parked() {
     sessions_parked_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// One continuous-scheduler decode sweep advancing `batch` sessions.
+  void on_scheduler_tick(std::size_t batch) {
+    scheduler_ticks_.fetch_add(1, std::memory_order_relaxed);
+    scheduled_steps_.fetch_add(batch, std::memory_order_relaxed);
+  }
+  void on_preemption() {
+    preemptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_session_resume() {
+    session_resumes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Publishes the scheduler's page-pool occupancy (scheduler thread only;
+  /// peak is tracked by the caller alongside the gauge).
+  void set_page_usage(std::size_t in_use, std::size_t total,
+                      std::size_t peak) {
+    pages_in_use_.store(in_use, std::memory_order_relaxed);
+    pages_total_.store(total, std::memory_order_relaxed);
+    peak_pages_in_use_.store(peak, std::memory_order_relaxed);
+  }
   /// Stamps the compute backend served traffic runs on (server construction).
   void set_compute(ComputeBackend compute) {
     compute_.store(compute, std::memory_order_relaxed);
@@ -174,6 +214,13 @@ class ServeTelemetry {
   std::atomic<std::uint64_t> sessions_parked_{0};
   std::atomic<std::uint64_t> tokens_generated_{0};
   std::atomic<std::uint64_t> decode_steps_{0};
+  std::atomic<std::uint64_t> scheduler_ticks_{0};
+  std::atomic<std::uint64_t> scheduled_steps_{0};
+  std::atomic<std::uint64_t> preemptions_{0};
+  std::atomic<std::uint64_t> session_resumes_{0};
+  std::atomic<std::uint64_t> pages_in_use_{0};
+  std::atomic<std::uint64_t> pages_total_{0};
+  std::atomic<std::uint64_t> peak_pages_in_use_{0};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_checks_{};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_alarms_{};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_recovered_{};

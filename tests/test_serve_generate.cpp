@@ -253,10 +253,12 @@ TEST(SessionTableUnit, ActivateParkThenShed) {
     return s;
   };
   SessionAdmission a = table.admit(make_session(1));
-  ASSERT_NE(a.active, nullptr);
+  ASSERT_NE(a.activated, nullptr);
+  EXPECT_FALSE(a.parked);
   EXPECT_EQ(a.shed, nullptr);
   SessionAdmission b = table.admit(make_session(2));
-  EXPECT_TRUE(b.parked());
+  EXPECT_TRUE(b.parked);
+  EXPECT_EQ(b.activated, nullptr);
   SessionAdmission c = table.admit(make_session(3));
   ASSERT_NE(c.shed, nullptr);  // FIFO full: handed back for shedding.
   EXPECT_EQ(c.shed->id, 3u);
@@ -264,7 +266,7 @@ TEST(SessionTableUnit, ActivateParkThenShed) {
   EXPECT_EQ(table.parked(), 1u);
 
   // Finishing the active session activates the parked one, FIFO order.
-  auto [finished, next] = table.finish(a.active->key);
+  auto [finished, next] = table.finish(a.activated->key);
   ASSERT_NE(next, nullptr);
   EXPECT_EQ(next->id, 2u);
   EXPECT_EQ(table.active(), 1u);
