@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""SDC-coverage gate over fault_campaign --json output.
+
+Compares a freshly measured BENCH_faults.json candidate against the
+committed baseline and fails (exit 1) when any (scheduler, subsystem)
+cell's detection quality regresses:
+
+  * detection coverage regression: the candidate's coverage upper
+    confidence bound falls below the baseline coverage minus --max-drop
+    (i.e. even granting the candidate its full Wilson interval, it is
+    still worse than the baseline by more than the allowance), or
+  * SDC-rate regression: the candidate's SDC lower confidence bound rises
+    above the baseline SDC rate plus --max-rise, or
+  * a crash regression: the candidate has crash/hang trials in a cell
+    whose baseline had none, or
+  * a baseline cell is missing from the candidate.
+
+Comparing CI bounds against baseline point values (rather than point vs
+point) keeps the gate honest across trial counts: the CI smoke run uses
+far fewer trials per cell than the committed baseline, so its point
+estimates are noisy, but its intervals widen to match — a true regression
+still trips the gate, sampling noise does not.
+
+Config guard: both files record the full effective campaign configuration
+("config": model shape, seeds, session shape, page shape). When the
+configs disagree the comparison is refused (exit 2) instead of silently
+diffing different experiments — a baseline recorded at a different seed or
+model shape is not a baseline. "trials_per_cell" deliberately lives
+OUTSIDE the config section: differing trial counts are expected (smoke vs
+baseline) and handled by the CI-bound comparison above.
+
+Usage:
+  python3 bench/check_coverage.py \
+      --baseline BENCH_faults.json --candidate bench_faults_ci.json \
+      [--max-drop 0.02] [--max-rise 0.02]
+"""
+
+import argparse
+import json
+import sys
+
+
+def cell_key(cell):
+    return (cell["scheduler"], cell["subsystem"])
+
+
+def check_config_match(baseline, candidate):
+    """Returns config keys whose values differ; refuses comparison when a
+    config section is missing entirely (there is no pre-config format for
+    this bench)."""
+    base_cfg = baseline.get("config")
+    cand_cfg = candidate.get("config")
+    if base_cfg is None or cand_cfg is None:
+        return ["config section missing "
+                f"(baseline: {base_cfg is not None}, "
+                f"candidate: {cand_cfg is not None})"]
+    mismatched = []
+    for key in sorted(set(base_cfg) | set(cand_cfg)):
+        if base_cfg.get(key) != cand_cfg.get(key):
+            mismatched.append(
+                f"{key}: baseline {base_cfg.get(key)!r} "
+                f"!= candidate {cand_cfg.get(key)!r}")
+    return mismatched
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--max-drop", type=float, default=0.02,
+                        help="allowed detection-coverage drop below the "
+                             "baseline point value (default 0.02)")
+    parser.add_argument("--max-rise", type=float, default=0.02,
+                        help="allowed SDC-rate rise above the baseline "
+                             "point value (default 0.02)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.candidate) as f:
+        candidate = json.load(f)
+
+    mismatched = check_config_match(baseline, candidate)
+    if mismatched:
+        print(f"config mismatch — refusing to compare ({len(mismatched)} "
+              "differing key(s)):")
+        for item in mismatched:
+            print(f"  - {item}")
+        return 2
+
+    candidate_cells = {cell_key(c): c for c in candidate.get("results", [])}
+    failures = []
+    checked = 0
+
+    for base in baseline.get("results", []):
+        key = cell_key(base)
+        label = f"{key[0]}/{key[1]}"
+        cand = candidate_cells.get(key)
+        if cand is None:
+            failures.append(f"missing cell: {label}")
+            continue
+
+        checked += 1
+        base_cov = base.get("detection_coverage", 0.0)
+        cand_cov_high = cand.get("coverage_ci_high", 0.0)
+        if cand_cov_high < base_cov - args.max_drop:
+            failures.append(
+                f"{label}: coverage upper bound {cand_cov_high:.4f} < "
+                f"baseline {base_cov:.4f} - {args.max_drop}")
+
+        base_sdc = base.get("sdc_rate", 0.0)
+        cand_sdc_low = cand.get("sdc_ci_low", 0.0)
+        if cand_sdc_low > base_sdc + args.max_rise:
+            failures.append(
+                f"{label}: sdc lower bound {cand_sdc_low:.4f} > "
+                f"baseline {base_sdc:.4f} + {args.max_rise}")
+
+        base_crash = base.get("outcomes", {}).get("crash_hang", 0)
+        cand_crash = cand.get("outcomes", {}).get("crash_hang", 0)
+        if base_crash == 0 and cand_crash > 0:
+            failures.append(
+                f"{label}: {cand_crash} crash/hang trial(s), baseline had "
+                "none")
+
+    if not checked:
+        failures.append("baseline has no result cells")
+
+    if failures:
+        print(f"coverage gate FAILED ({len(failures)} problem(s), "
+              f"{checked} cells checked):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"coverage gate passed ({checked} cells checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,14 @@ const char* op_kind_name(OpKind kind) {
   return "?";
 }
 
+std::optional<OpKind> parse_op_kind(std::string_view name) {
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const OpKind kind = OpKind(k);
+    if (name == op_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 double ChecksumPair::residual() const { return std::fabs(predicted - actual); }
 
 void LayerReport::add(GuardedOp op) {
@@ -96,6 +104,12 @@ GuardedExecutor::GuardedExecutor(Options options)
 GuardedExecutor::GuardedExecutor(CheckerConfig checker,
                                  RecoveryPolicy recovery)
     : GuardedExecutor(Options{checker, recovery, false, {}}) {}
+
+void GuardedExecutor::corrupt_checker_tolerances(double scale) {
+  options_.checker.abs_tolerance *= scale;
+  options_.checker.rel_tolerance *= scale;
+  checker_ = Checker(options_.checker);
+}
 
 CheckVerdict GuardedExecutor::judge(const CheckedOp& op) const {
   if (options_.screen_extremes &&

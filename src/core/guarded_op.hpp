@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/checker.hpp"
@@ -53,6 +54,9 @@ enum class OpKind {
 inline constexpr std::size_t kOpKindCount = 7;
 
 [[nodiscard]] const char* op_kind_name(OpKind kind);
+/// Inverse of op_kind_name: parses the canonical name (the one report/JSON
+/// emitters produce); nullopt for anything else.
+[[nodiscard]] std::optional<OpKind> parse_op_kind(std::string_view name);
 
 /// One predicted/actual checksum pair.
 struct ChecksumPair {
@@ -191,6 +195,13 @@ class GuardedExecutor {
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
   void set_tamper(Tamper tamper) { tamper_ = std::move(tamper); }
+
+  /// Fault hook on the executor's own *detector state*: rebuilds the
+  /// comparator with both tolerances scaled by `scale`, modeling corrupted
+  /// calibration/threshold registers. scale 0 makes the detector
+  /// hyperactive (every rounding residual alarms); a large scale blinds it.
+  /// The fault-campaign's checksum-state subsystem draws this site.
+  void corrupt_checker_tolerances(double scale);
 
   /// Verdict of one execution: the extreme-value screen (when enabled),
   /// then the operator's own verdict if it carries one, else the checksum

@@ -131,6 +131,14 @@ void KvCacheLayer::corrupt_v(std::size_t row, std::size_t col, double delta) {
   v_(row, col) += delta;
 }
 
+void KvCacheLayer::corrupt_checksum(std::size_t col, double delta,
+                                    bool value_side) {
+  FLASHABFT_ENSURE_MSG(col < width(),
+                       "corrupt checksum col " << col << " outside width "
+                                               << width());
+  (value_side ? v_sum_ : k_sum_)[col] += delta;
+}
+
 bool guarded_cache_verify(KvCacheLayer& cache, std::size_t index,
                           const GuardedExecutor& executor,
                           LayerReport& report) {

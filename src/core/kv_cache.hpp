@@ -66,6 +66,12 @@ class KvCacheLayer {
   void corrupt_k(std::size_t row, std::size_t col, double delta);
   void corrupt_v(std::size_t row, std::size_t col, double delta);
 
+  /// Fault injection on the *checksum state itself*: shifts one running
+  /// column sum while the data stays clean. The next verify raises a false
+  /// alarm and checkpoint restoration rebuilds the sums — the path that
+  /// measures what a detector-state upset costs end to end.
+  void corrupt_checksum(std::size_t col, double delta, bool value_side);
+
   /// MACs-equivalent cost of one verify (the OpReport cost metric).
   [[nodiscard]] double verify_cost() const {
     return 2.0 * double(len_) * double(width());

@@ -352,6 +352,22 @@ void KvPagePool::corrupt_page_table(PagedKv& kv, std::size_t layer,
   entry = (entry + shift) % pages_.size();
 }
 
+void KvPagePool::corrupt_page_checksum(PagedKv& kv, std::size_t layer,
+                                       std::size_t row, std::size_t col,
+                                       double delta, bool value_side) {
+  FLASHABFT_ENSURE(col < cfg_.width);
+  const auto [id, pr] = locate(kv, layer, row);
+  (void)pr;
+  Page& page = pages_[id];
+  (value_side ? page.v_sum : page.k_sum)[col] += delta;
+}
+
+void KvPagePool::corrupt_table_checksum(PagedKv& kv, std::size_t layer,
+                                        double delta) {
+  FLASHABFT_ENSURE(layer < kv.layers_.size());
+  kv.layers_[layer].table_sum += delta;
+}
+
 bool guarded_page_verify(KvPagePool& pool, PagedKv& kv, std::size_t layer,
                          std::size_t index, const GuardedExecutor& executor,
                          LayerReport& report) {

@@ -180,6 +180,13 @@ class KvPagePool {
   /// upset only the table pair can detect.
   void corrupt_page_table(PagedKv& kv, std::size_t layer, std::size_t row,
                           std::size_t shift);
+  /// Checksum-state upsets: shift a running per-page column sum (the page
+  /// holding logical `row`) or the page table's running weighted sum while
+  /// the protected data stays clean — the next verify raises a false alarm
+  /// and checkpoint restoration rebuilds the sums.
+  void corrupt_page_checksum(PagedKv& kv, std::size_t layer, std::size_t row,
+                             std::size_t col, double delta, bool value_side);
+  void corrupt_table_checksum(PagedKv& kv, std::size_t layer, double delta);
 
  private:
   struct Page {

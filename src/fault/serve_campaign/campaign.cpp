@@ -1,0 +1,218 @@
+#include "fault/serve_campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace flashabft::serve_campaign {
+
+const char* trial_outcome_name(TrialOutcome outcome) {
+  switch (outcome) {
+    case TrialOutcome::kDetectedCorrected: return "detected_corrected";
+    case TrialOutcome::kDetectedUncorrected: return "detected_uncorrected";
+    case TrialOutcome::kMasked: return "masked";
+    case TrialOutcome::kSdc: return "sdc";
+    case TrialOutcome::kCrashHang: return "crash_hang";
+  }
+  return "unknown";
+}
+
+TrialOutcome classify_trial(bool crashed, bool alarmed, bool diverged) {
+  if (crashed) return TrialOutcome::kCrashHang;
+  if (alarmed) {
+    return diverged ? TrialOutcome::kDetectedUncorrected
+                    : TrialOutcome::kDetectedCorrected;
+  }
+  return diverged ? TrialOutcome::kSdc : TrialOutcome::kMasked;
+}
+
+bool logits_diverge(const std::vector<double>& golden,
+                    const std::vector<double>& candidate, double tol) {
+  if (golden.size() != candidate.size()) return true;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const double g = golden[i];
+    const double c = candidate[i];
+    // Non-finite values compare by class, never through the magnitude
+    // test: NaN's every comparison is false, so |g - c| > tol would call
+    // a NaN-poisoned output "converged" — the exact blind spot the
+    // campaign exists to count as SDC.
+    if (std::isnan(g) || std::isnan(c)) {
+      if (!(std::isnan(g) && std::isnan(c))) return true;
+      continue;
+    }
+    if (std::isinf(g) || std::isinf(c)) {
+      if (g != c) return true;
+      continue;
+    }
+    const double scale = std::max({1.0, std::fabs(g), std::fabs(c)});
+    if (std::fabs(g - c) > tol * scale) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<serve::GenerationWork> make_works(const CampaignConfig& cfg) {
+  const Rng base(cfg.seed);
+  std::vector<serve::GenerationWork> works(cfg.sessions);
+  for (std::size_t i = 0; i < cfg.sessions; ++i) {
+    Rng rng = base.derive(1000 + i);
+    works[i].prompt.reserve(cfg.prompt_len);
+    for (std::size_t t = 0; t < cfg.prompt_len; ++t) {
+      works[i].prompt.push_back(
+          std::size_t(rng.next_below(cfg.model.vocab_size)));
+    }
+    works[i].max_new_tokens = cfg.max_new_tokens;
+  }
+  return works;
+}
+
+serve::StepperConfig make_stepper_config(const CampaignConfig& cfg,
+                                         serve::SchedulerMode mode) {
+  serve::StepperConfig out;
+  out.mode = mode;
+  out.executor_options = cfg.executor_options;
+  out.max_batch_tokens = std::max<std::size_t>(cfg.sessions, 1);
+  out.page_size = cfg.page_size;
+  out.num_pages = cfg.num_pages;
+  return out;
+}
+
+/// Injection-time bucket: 0 = prefill, 1..4 = decode-step quartiles.
+std::size_t time_bucket(std::size_t step, std::size_t max_new_tokens) {
+  if (step == 0) return 0;
+  const std::size_t decode_steps = std::max<std::size_t>(max_new_tokens - 1,
+                                                         1);
+  const std::size_t q = (step - 1) * 4 / decode_steps;
+  return 1 + std::min<std::size_t>(q, 3);
+}
+
+bool trial_diverged(const std::vector<serve::SteppedSession>& golden,
+                    const std::vector<serve::SteppedSession>& trial) {
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    if (trial[i].tokens != golden[i].tokens) return true;
+    if (logits_diverge(golden[i].final_logits, trial[i].final_logits)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool trial_alarmed(const std::vector<serve::SteppedSession>& trial) {
+  for (const serve::SteppedSession& s : trial) {
+    if (s.alarm_events > 0 || s.fallback_ops > 0 || !s.checksum_clean ||
+        s.path != serve::ServePath::kGuardedClean) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool trial_crashed(const std::vector<serve::SteppedSession>& trial) {
+  for (const serve::SteppedSession& s : trial) {
+    if (s.failed || s.hang) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(
+    const CampaignConfig& cfg,
+    const std::function<void(const CellResult&)>& progress) {
+  FLASHABFT_ENSURE_MSG(cfg.trials_per_cell > 0, "no trials to run");
+  FLASHABFT_ENSURE_MSG(
+      cfg.prompt_len + cfg.max_new_tokens <= cfg.model.max_seq_len,
+      "prompt " << cfg.prompt_len << " + " << cfg.max_new_tokens
+                << " tokens exceeds max_seq_len " << cfg.model.max_seq_len);
+
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  const std::vector<serve::GenerationWork> works = make_works(cfg);
+  const Rng base(cfg.seed);
+
+  CampaignResult result;
+  result.config = cfg;
+
+  const serve::SchedulerMode modes[] = {serve::SchedulerMode::kLegacy,
+                                        serve::SchedulerMode::kContinuous};
+  for (std::size_t m = 0; m < 2; ++m) {
+    const serve::SchedulerMode mode = modes[m];
+    const serve::StepperConfig stepper_cfg = make_stepper_config(cfg, mode);
+    const std::vector<serve::SteppedSession> golden =
+        serve::run_stepped(model, works, stepper_cfg);
+    for (const serve::SteppedSession& s : golden) {
+      FLASHABFT_ENSURE_MSG(!s.failed && s.checksum_clean,
+                           "golden run not clean under "
+                               << serve::scheduler_mode_name(mode)
+                               << (s.failed ? (": " + s.error) : ""));
+    }
+
+    for (std::size_t sub = 0; sub < kSubsystemCount; ++sub) {
+      const Subsystem subsystem = Subsystem(sub);
+      if (!subsystem_applicable(subsystem, mode)) continue;
+
+      CellResult cell;
+      cell.scheduler = mode;
+      cell.subsystem = subsystem;
+      cell.trial_outcomes.reserve(cfg.trials_per_cell);
+      for (std::size_t trial = 0; trial < cfg.trials_per_cell; ++trial) {
+        // One independent, label-derived stream per trial: outcomes never
+        // depend on trial order or other cells' draws.
+        Rng rng = base.derive(0xCA4FA17).derive(
+            (m * kSubsystemCount + sub) * 1000003 + trial);
+        const TrialPlan plan = draw_trial_plan(
+            subsystem, mode, model, cfg.sessions, cfg.max_new_tokens,
+            cfg.executor_options.recovery, rng);
+
+        std::vector<serve::GenerationWork> trial_works = works;
+        serve::GenerationWork& target = trial_works[plan.session];
+        if (plan.fault) target.faults.push_back(*plan.fault);
+        if (plan.kv) target.kv_corruptions.push_back(*plan.kv);
+        if (plan.tamper) target.tampers.push_back(*plan.tamper);
+
+        serve::StepperConfig trial_cfg = stepper_cfg;
+        if (plan.checker_tolerance_scale != 1.0) {
+          trial_cfg.executor_options.checker.abs_tolerance *=
+              plan.checker_tolerance_scale;
+          trial_cfg.executor_options.checker.rel_tolerance *=
+              plan.checker_tolerance_scale;
+        }
+
+        std::vector<serve::SteppedSession> outcome;
+        if (plan.weight) {
+          // Latent parameter upset: a fresh, identically-seeded model with
+          // one element shifted (weight-derived cached checksums go stale
+          // on purpose — that staleness IS the detection mechanism).
+          TransformerModel faulty(cfg.model, cfg.model_seed);
+          faulty.corrupt_weight(*plan.weight);
+          outcome = serve::run_stepped(faulty, trial_works, trial_cfg);
+        } else {
+          outcome = serve::run_stepped(model, trial_works, trial_cfg);
+        }
+
+        const bool crashed = trial_crashed(outcome);
+        const bool alarmed = trial_alarmed(outcome);
+        const bool diverged = !crashed && trial_diverged(golden, outcome);
+        const TrialOutcome verdict =
+            classify_trial(crashed, alarmed, diverged);
+
+        ++cell.trials;
+        ++cell.outcomes[std::size_t(verdict)];
+        ++cell.by_time[time_bucket(plan.step, cfg.max_new_tokens)]
+                      [std::size_t(verdict)];
+        if (plan.op_kind) {
+          ++cell.by_op_kind[std::size_t(*plan.op_kind)]
+                           [std::size_t(verdict)];
+        }
+        cell.trial_outcomes.push_back(std::uint8_t(verdict));
+      }
+      if (progress) progress(cell);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace flashabft::serve_campaign

@@ -1,0 +1,129 @@
+// Whole-stack fault-injection campaign over the real serving engines.
+//
+// Each trial boots the campaign's TransformerModel under one scheduler
+// (legacy per-session or continuous-batching, both driven deterministically
+// through serve::run_stepped), injects exactly one fault drawn from a
+// subsystem's site registry (sites.hpp) and classifies the outcome against
+// a fault-free golden run of the same seed:
+//
+//   detected_corrected    alarm raised, output matches golden
+//   detected_uncorrected  alarm raised, output diverged anyway
+//   masked                no alarm, no divergence (benign upset)
+//   sdc                   diverged silently — the failure ABFT exists to
+//                         prevent; NaN/Inf divergence counts here, never
+//                         as masked
+//   crash_hang            the engine threw or the tick watchdog fired
+//
+// Aggregation is per (scheduler, subsystem) cell with Wilson-interval
+// detection coverage (detected / (detected + sdc)) and SDC rate, plus
+// injection-time curves (prefill + decode quartiles) and per-OpKind
+// splits. Identical seeds reproduce identical trial-by-trial outcomes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/serve_campaign/sites.hpp"
+#include "fault/stats.hpp"
+#include "serve/stepper.hpp"
+
+namespace flashabft::serve_campaign {
+
+enum class TrialOutcome {
+  kDetectedCorrected = 0,
+  kDetectedUncorrected,
+  kMasked,
+  kSdc,
+  kCrashHang,
+};
+inline constexpr std::size_t kTrialOutcomeCount = 5;
+
+[[nodiscard]] const char* trial_outcome_name(TrialOutcome outcome);
+
+/// The three observables -> the outcome class. `crashed` dominates;
+/// otherwise alarmed x diverged spans the 2x2.
+[[nodiscard]] TrialOutcome classify_trial(bool crashed, bool alarmed,
+                                          bool diverged);
+
+/// Whether a trial's final logits diverge from the golden run's. Relative
+/// tolerance `tol` absorbs fallback-kernel rounding differences (the
+/// reference engine is implementation-diverse, not bit-identical). Any
+/// non-finite mismatch — NaN or Inf where golden is finite, or differing
+/// infinities — is divergence: the NaN blind spot must never classify as
+/// masked (see test_serve_campaign's regression).
+[[nodiscard]] bool logits_diverge(const std::vector<double>& golden,
+                                  const std::vector<double>& candidate,
+                                  double tol = 1e-7);
+
+struct CampaignConfig {
+  /// Small-but-real stack: 2 layers / 2 heads exercise every protected op
+  /// class while a trial stays ~milliseconds.
+  TransformerConfig model{.vocab_size = 48,
+                          .model_dim = 16,
+                          .num_layers = 2,
+                          .num_heads = 2,
+                          .head_dim = 8,
+                          .ffn_dim = 32,
+                          .max_seq_len = 24};
+  std::uint64_t model_seed = 42;
+  std::size_t sessions = 3;  ///< concurrent sessions per trial.
+  std::size_t prompt_len = 5;
+  std::size_t max_new_tokens = 6;
+  std::size_t trials_per_cell = 500;  ///< per (scheduler, subsystem).
+  std::uint64_t seed = 2026;
+  /// Continuous-engine shape: small pages so sessions span several.
+  std::size_t page_size = 4;
+  std::size_t num_pages = 0;  ///< 0 = derived (no page pressure).
+  GuardedExecutor::Options executor_options{};
+};
+
+/// One (scheduler, subsystem) cell's tallies.
+struct CellResult {
+  serve::SchedulerMode scheduler = serve::SchedulerMode::kLegacy;
+  Subsystem subsystem = Subsystem::kActivations;
+  std::size_t trials = 0;
+  std::array<std::size_t, kTrialOutcomeCount> outcomes{};
+  /// Injection-time curve: bucket 0 = prefill, 1..4 = decode quartiles.
+  static constexpr std::size_t kTimeBuckets = 5;
+  std::array<std::array<std::size_t, kTrialOutcomeCount>, kTimeBuckets>
+      by_time{};
+  /// Per-OpKind split for sites attributable to a checkable op class.
+  std::array<std::array<std::size_t, kTrialOutcomeCount>, kOpKindCount>
+      by_op_kind{};
+  /// The trial-by-trial outcome stream — the reproducibility contract
+  /// (identical seeds => identical streams; pinned by tests).
+  std::vector<std::uint8_t> trial_outcomes;
+
+  [[nodiscard]] std::size_t count(TrialOutcome outcome) const {
+    return outcomes[std::size_t(outcome)];
+  }
+  [[nodiscard]] std::size_t detected() const {
+    return count(TrialOutcome::kDetectedCorrected) +
+           count(TrialOutcome::kDetectedUncorrected);
+  }
+  /// Coverage over consequential faults: detected / (detected + SDC).
+  /// Masked trials say nothing about the detector; crashes are their own
+  /// failure class.
+  [[nodiscard]] Proportion detection_coverage() const {
+    return wilson_interval(detected(),
+                           detected() + count(TrialOutcome::kSdc));
+  }
+  [[nodiscard]] Proportion sdc_rate() const {
+    return wilson_interval(count(TrialOutcome::kSdc), trials);
+  }
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<CellResult> cells;  ///< scheduler-major, subsystem order.
+};
+
+/// Runs trials_per_cell trials for every applicable (scheduler, subsystem)
+/// cell. `progress` (optional) fires after each completed cell.
+[[nodiscard]] CampaignResult run_campaign(
+    const CampaignConfig& cfg,
+    const std::function<void(const CellResult&)>& progress = nullptr);
+
+}  // namespace flashabft::serve_campaign

@@ -1,0 +1,30 @@
+// JSON emission for the serving fault campaign — the BENCH_faults.json
+// schema the check_coverage.py CI gate consumes.
+//
+// Shape:
+//   { "bench": "fault_campaign",
+//     "config": { model shape, seeds, session shape, page shape },
+//     "trials_per_cell": N,            // OUTSIDE config: the smoke run
+//                                      // uses fewer trials on purpose and
+//                                      // must still match the baseline
+//     "results": [ { "scheduler", "subsystem", "trials",
+//                    "outcomes": {class: count, ...},
+//                    "detection_coverage", "coverage_ci_low/high",
+//                    "sdc_rate", "sdc_ci_low/high",
+//                    "time_curve":  [ {bucket, trials, detected, sdc} ],
+//                    "per_op_kind": [ {kind, trials, detected, sdc} ] } ] }
+#pragma once
+
+#include <string>
+
+#include "fault/serve_campaign/campaign.hpp"
+
+namespace flashabft::serve_campaign {
+
+/// The full campaign report as a JSON document.
+[[nodiscard]] std::string campaign_report_json(const CampaignResult& result);
+
+/// Human-readable per-cell summary table (stdout companion of the JSON).
+[[nodiscard]] std::string campaign_report_text(const CampaignResult& result);
+
+}  // namespace flashabft::serve_campaign

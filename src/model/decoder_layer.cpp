@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/ensure.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace flashabft {
@@ -21,6 +22,20 @@ DecoderLayer::DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng)
       ffn1_checksums_(ffn1_.input_checksums()),
       ffn2_checksums_(ffn2_.input_checksums()),
       norm3_(cfg.model_dim) {}
+
+void DecoderLayer::corrupt_projection_weight(std::size_t slot, std::size_t row,
+                                             std::size_t col, double delta) {
+  self_attention_.corrupt_projection_weight(slot, row, col, delta);
+}
+
+void DecoderLayer::corrupt_ffn_weight(std::size_t which, std::size_t row,
+                                      std::size_t col, double delta) {
+  FLASHABFT_ENSURE_MSG(which < 2, "FFN product " << which << " out of range");
+  MatrixD& weight = (which == 0 ? ffn1_ : ffn2_).weight();
+  FLASHABFT_ENSURE(row < weight.rows() && col < weight.cols());
+  weight(row, col) += delta;
+  // ffn*_checksums_ deliberately stay stale (see header).
+}
 
 MatrixD DecoderLayer::ffn_block(const MatrixD& h,
                                 const GuardedExecutor& executor,

@@ -111,6 +111,15 @@ class DecoderLayer {
 
   [[nodiscard]] const DecoderLayerConfig& config() const { return cfg_; }
 
+  /// Fault injection: shifts one element of a self-attention projection
+  /// weight (slot {0:Q, 1:K, 2:V, 3:output}) or an FFN product weight
+  /// (`which` 0 or 1). Cached input-side checksums deliberately stay stale
+  /// — see MultiHeadAttention::corrupt_projection_weight.
+  void corrupt_projection_weight(std::size_t slot, std::size_t row,
+                                 std::size_t col, double delta);
+  void corrupt_ffn_weight(std::size_t which, std::size_t row, std::size_t col,
+                          double delta);
+
  private:
   /// FFN + Add & Norm shared by every forward; `ffn_base` offsets the two
   /// product indices.

@@ -52,6 +52,14 @@ class Embedding {
   /// The embedding table (vocab_size x dim) — shared with a tied LM head.
   [[nodiscard]] const MatrixD& table() const { return table_; }
 
+  /// Fault injection: shifts one table element in place. Owners caching
+  /// table-derived checksums (the tied LM head's colsum) deliberately go
+  /// stale — that staleness is the detection path the fault campaign
+  /// measures.
+  void corrupt(std::size_t row, std::size_t col, double delta) {
+    table_(row, col) += delta;
+  }
+
   [[nodiscard]] std::size_t dim() const { return table_.cols(); }
   [[nodiscard]] std::size_t vocab_size() const { return table_.rows(); }
 

@@ -27,6 +27,18 @@ MultiHeadAttention::MultiHeadAttention(std::size_t model_dim,
                            wv_.input_checksums(), wo_.input_checksums()};
 }
 
+void MultiHeadAttention::corrupt_projection_weight(std::size_t slot,
+                                                   std::size_t row,
+                                                   std::size_t col,
+                                                   double delta) {
+  FLASHABFT_ENSURE_MSG(slot < 4, "projection slot " << slot << " out of range");
+  Linear* projections[4] = {&wq_, &wk_, &wv_, &wo_};
+  MatrixD& weight = projections[slot]->weight();
+  FLASHABFT_ENSURE(row < weight.rows() && col < weight.cols());
+  weight(row, col) += delta;
+  // projection_checksums_ deliberately stays stale (see header).
+}
+
 namespace {
 
 /// Extracts head h's slice (columns [h*d, (h+1)*d)) of a projected matrix.

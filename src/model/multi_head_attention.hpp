@@ -134,6 +134,15 @@ class MultiHeadAttention {
   [[nodiscard]] std::size_t head_dim() const { return head_dim_; }
   [[nodiscard]] std::size_t model_dim() const { return model_dim_; }
 
+  /// Fault injection: shifts one element of projection `slot`
+  /// {0:Q, 1:K, 2:V, 3:output}. The cached input-side checksums are
+  /// deliberately NOT refreshed: the batched decode sweep's stale
+  /// rowsum(W) is what detects a post-construction weight upset, while
+  /// per-call paths recompute from the corrupted weight and stay silently
+  /// consistent — the asymmetry the fault campaign measures.
+  void corrupt_projection_weight(std::size_t slot, std::size_t row,
+                                 std::size_t col, double delta);
+
  private:
   [[nodiscard]] MhaResult forward_impl(const MatrixD& x_q,
                                        const MatrixD& x_kv,

@@ -46,6 +46,95 @@ const DecoderLayer& TransformerModel::layer(std::size_t i) const {
   return layers_[i];
 }
 
+const char* weight_matrix_name(WeightSite::Matrix matrix) {
+  switch (matrix) {
+    case WeightSite::Matrix::kEmbedding: return "embedding";
+    case WeightSite::Matrix::kWq: return "wq";
+    case WeightSite::Matrix::kWk: return "wk";
+    case WeightSite::Matrix::kWv: return "wv";
+    case WeightSite::Matrix::kWo: return "wo";
+    case WeightSite::Matrix::kFfn1: return "ffn1";
+    case WeightSite::Matrix::kFfn2: return "ffn2";
+  }
+  return "?";
+}
+
+std::size_t TransformerModel::weight_element_count() const {
+  const std::size_t projections = 4 * cfg_.model_dim * cfg_.model_dim;
+  const std::size_t ffn = 2 * cfg_.model_dim * cfg_.ffn_dim;
+  return cfg_.vocab_size * cfg_.model_dim +
+         cfg_.num_layers * (projections + ffn);
+}
+
+WeightSite TransformerModel::draw_weight_site(Rng& rng, double delta) const {
+  WeightSite site;
+  site.delta = delta;
+  std::size_t pick = std::size_t(rng.next_below(weight_element_count()));
+  const std::size_t embedding = cfg_.vocab_size * cfg_.model_dim;
+  if (pick < embedding) {
+    site.matrix = WeightSite::Matrix::kEmbedding;
+    site.row = pick / cfg_.model_dim;
+    site.col = pick % cfg_.model_dim;
+    return site;
+  }
+  pick -= embedding;
+  const std::size_t proj = cfg_.model_dim * cfg_.model_dim;
+  const std::size_t ffn = cfg_.model_dim * cfg_.ffn_dim;
+  const std::size_t per_layer = 4 * proj + 2 * ffn;
+  site.layer = pick / per_layer;
+  pick %= per_layer;
+  if (pick < 4 * proj) {
+    const std::size_t slot = pick / proj;
+    site.matrix = WeightSite::Matrix(std::size_t(WeightSite::Matrix::kWq) +
+                                     slot);
+    pick %= proj;
+    site.row = pick / cfg_.model_dim;
+    site.col = pick % cfg_.model_dim;
+    return site;
+  }
+  pick -= 4 * proj;
+  if (pick < ffn) {
+    // ffn1 is model_dim x ffn_dim.
+    site.matrix = WeightSite::Matrix::kFfn1;
+    site.row = pick / cfg_.ffn_dim;
+    site.col = pick % cfg_.ffn_dim;
+  } else {
+    // ffn2 is ffn_dim x model_dim.
+    pick -= ffn;
+    site.matrix = WeightSite::Matrix::kFfn2;
+    site.row = pick / cfg_.model_dim;
+    site.col = pick % cfg_.model_dim;
+  }
+  return site;
+}
+
+void TransformerModel::corrupt_weight(const WeightSite& site) {
+  switch (site.matrix) {
+    case WeightSite::Matrix::kEmbedding:
+      // lm_colsum_ deliberately stays stale (see header).
+      embedding_.corrupt(site.row, site.col, site.delta);
+      return;
+    case WeightSite::Matrix::kWq:
+    case WeightSite::Matrix::kWk:
+    case WeightSite::Matrix::kWv:
+    case WeightSite::Matrix::kWo: {
+      FLASHABFT_ENSURE(site.layer < layers_.size());
+      const std::size_t slot = std::size_t(site.matrix) -
+                               std::size_t(WeightSite::Matrix::kWq);
+      layers_[site.layer].corrupt_projection_weight(slot, site.row, site.col,
+                                                    site.delta);
+      return;
+    }
+    case WeightSite::Matrix::kFfn1:
+    case WeightSite::Matrix::kFfn2:
+      FLASHABFT_ENSURE(site.layer < layers_.size());
+      layers_[site.layer].corrupt_ffn_weight(
+          site.matrix == WeightSite::Matrix::kFfn1 ? 0 : 1, site.row,
+          site.col, site.delta);
+      return;
+  }
+}
+
 std::vector<std::size_t> TransformerModel::encode(
     std::string_view text) const {
   return embedding_.token_ids(tokenize(text));

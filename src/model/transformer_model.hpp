@@ -57,6 +57,28 @@ struct GenerationResult {
   ModelReport report;
 };
 
+/// One corruptible weight element of the stack — the fault campaign's
+/// weight-subsystem site taxonomy. Drawn uniformly over every element of
+/// the embedding table, the per-layer projections and the FFN products.
+struct WeightSite {
+  enum class Matrix {
+    kEmbedding = 0,  ///< shared table: front-end rows + tied LM head.
+    kWq,
+    kWk,
+    kWv,
+    kWo,
+    kFfn1,
+    kFfn2,
+  };
+  Matrix matrix = Matrix::kEmbedding;
+  std::size_t layer = 0;  ///< decoder layer; ignored for kEmbedding.
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double delta = 0.0;
+};
+
+[[nodiscard]] const char* weight_matrix_name(WeightSite::Matrix matrix);
+
 class TransformerModel {
  public:
   TransformerModel(const TransformerConfig& cfg, std::uint64_t seed);
@@ -146,6 +168,17 @@ class TransformerModel {
   [[nodiscard]] std::size_t lm_head_index() const {
     return cfg_.num_layers * 4;
   }
+
+  /// Total corruptible weight elements (the WeightSite sample space).
+  [[nodiscard]] std::size_t weight_element_count() const;
+  /// Draws a uniform element over that space; `delta` is the shift applied.
+  [[nodiscard]] WeightSite draw_weight_site(Rng& rng, double delta) const;
+  /// Fault injection: shifts the site's element in place. Cached
+  /// weight-derived checksums (projection/FFN input checksums, the tied LM
+  /// head's colsum) deliberately go stale — paths consuming the caches
+  /// alarm on the corruption, paths recomputing from the live weights stay
+  /// silently consistent, and the campaign quantifies the split.
+  void corrupt_weight(const WeightSite& site);
 
   [[nodiscard]] static std::size_t argmax(const std::vector<double>& logits);
 

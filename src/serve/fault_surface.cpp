@@ -1,0 +1,94 @@
+#include "serve/fault_surface.hpp"
+
+#include <utility>
+
+namespace flashabft::serve {
+
+void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
+                          KvCache& cache) {
+  for (const KvCorruption& c : work.kv_corruptions) {
+    if (c.step != step_index) continue;
+    KvCacheLayer& layer = cache.layer(c.layer % cache.num_layers());
+    if (layer.len() == 0) continue;
+    const std::size_t col = c.col % layer.width();
+    if (c.checksum_state) {
+      layer.corrupt_checksum(col, c.delta, c.value_side);
+    } else if (c.value_side) {
+      layer.corrupt_v(c.row % layer.len(), col, c.delta);
+    } else {
+      layer.corrupt_k(c.row % layer.len(), col, c.delta);
+    }
+  }
+}
+
+void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
+                          KvPagePool& pool, PagedKv& kv) {
+  for (const KvCorruption& c : work.kv_corruptions) {
+    if (c.step != step_index) continue;
+    const std::size_t layer = c.layer % kv.num_layers();
+    if (kv.len(layer) == 0) continue;
+    const std::size_t row = c.row % kv.len(layer);
+    const std::size_t col = c.col % pool.config().width;
+    if (c.checksum_state) {
+      if (c.page_table) {
+        pool.corrupt_table_checksum(kv, layer, c.delta);
+      } else {
+        pool.corrupt_page_checksum(kv, layer, row, col, c.delta,
+                                   c.value_side);
+      }
+    } else if (c.page_table) {
+      if (pool.num_pages() < 2) continue;  // nowhere to redirect to.
+      pool.corrupt_page_table(kv, layer, row,
+                              1 + c.col % (pool.num_pages() - 1));
+    } else if (c.value_side) {
+      pool.corrupt_v(kv, layer, row, col, c.delta);
+    } else {
+      pool.corrupt_k(kv, layer, row, col, c.delta);
+    }
+  }
+}
+
+void apply_session_tampers(GenerationWork& work, std::size_t step_index,
+                           std::vector<std::size_t>& generated,
+                           std::size_t vocab_size) {
+  for (const SessionTamper& t : work.tampers) {
+    if (t.step != step_index) continue;
+    switch (t.target) {
+      case SessionTamper::Target::kGeneratedToken:
+        if (!generated.empty() && vocab_size > 0) {
+          std::size_t& token = generated[t.index % generated.size()];
+          token = (token + t.delta) % vocab_size;
+        }
+        break;
+      case SessionTamper::Target::kPromptToken:
+        if (!work.prompt.empty() && vocab_size > 0) {
+          std::size_t& token = work.prompt[t.index % work.prompt.size()];
+          token = (token + t.delta) % vocab_size;
+        }
+        break;
+      case SessionTamper::Target::kMaxNewTokens:
+        // Shrink-only (range [1, budget]) so the session still terminates
+        // and the engines cannot be driven past max_seq_len.
+        if (work.max_new_tokens > 0) {
+          work.max_new_tokens = 1 + t.delta % work.max_new_tokens;
+        }
+        break;
+    }
+  }
+}
+
+GuardedExecutor make_generation_step_executor(
+    const GenerationWork& work, std::size_t step_index,
+    const GuardedExecutor::Options& options) {
+  GuardedExecutor executor(options);
+  std::vector<LayerFault> step_faults;
+  for (const GenerationStepFault& f : work.faults) {
+    if (f.step == step_index) step_faults.push_back(f.fault);
+  }
+  if (!step_faults.empty()) {
+    executor.set_tamper(make_layer_fault_tamper(std::move(step_faults)));
+  }
+  return executor;
+}
+
+}  // namespace flashabft::serve

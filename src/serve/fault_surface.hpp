@@ -1,0 +1,53 @@
+// The shared fault-application surface of both generation engines.
+//
+// A generation session's injected faults — emulated op upsets, KV storage
+// and checksum-state upsets, page-table redirects, session-metadata tampers
+// — used to be applied by engine-private code (the legacy server's step
+// loop and the continuous scheduler's tick). The fault campaign measures
+// both engines against one fault model, so the application logic lives
+// here once and every engine (server worker, scheduler tick, campaign
+// stepper) calls the same functions: identical faults land identically no
+// matter which engine executes the step.
+//
+// Step numbering everywhere: 0 = prefill, s >= 1 = the s-th decode step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/guarded_op.hpp"
+#include "core/kv_cache.hpp"
+#include "core/kv_pool.hpp"
+#include "serve/request.hpp"
+
+namespace flashabft::serve {
+
+/// Applies the work's KvCorruptions scheduled for `step_index` to a legacy
+/// contiguous cache. The legacy path has no page table, so `page_table`
+/// corruptions degrade to the nearest real site: a data upset (or, with
+/// `checksum_state`, a running-sum upset).
+void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
+                          KvCache& cache);
+
+/// The paged-pool variant: data, page-table, per-page-checksum and
+/// table-checksum upsets on the session's live pages/tables.
+void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
+                          KvPagePool& pool, PagedKv& kv);
+
+/// Applies the work's SessionTampers scheduled for `step_index` to the
+/// session's unprotected metadata: `generated` is the engine's
+/// produced-token list (the feedback path of the next decode step), and
+/// prompt / generation budget live in `work` itself. Token shifts wrap at
+/// `vocab_size`; budget tampers shrink (never extend) the budget so a
+/// tampered session still terminates.
+void apply_session_tampers(GenerationWork& work, std::size_t step_index,
+                           std::vector<std::size_t>& generated,
+                           std::size_t vocab_size);
+
+/// The per-step executor both engines use: `options`, with the tamper hook
+/// armed iff the work schedules op faults for `step_index`.
+[[nodiscard]] GuardedExecutor make_generation_step_executor(
+    const GenerationWork& work, std::size_t step_index,
+    const GuardedExecutor::Options& options);
+
+}  // namespace flashabft::serve

@@ -109,7 +109,8 @@ GenerationStepFault draw_generation_fault(const TransformerConfig& model,
 
 KvCorruption draw_kv_corruption(const TransformerConfig& model,
                                 std::size_t max_new_tokens, double delta,
-                                Rng& rng) {
+                                Rng& rng, bool page_table,
+                                bool checksum_state) {
   FLASHABFT_ENSURE_MSG(max_new_tokens >= 2,
                        "a KV corruption needs a decode step to read it");
   KvCorruption out;
@@ -120,6 +121,32 @@ KvCorruption draw_kv_corruption(const TransformerConfig& model,
       rng.next_below(model.num_heads * model.head_dim));
   out.delta = delta;
   out.value_side = rng.next_below(2) == 1;
+  out.page_table = page_table;
+  out.checksum_state = checksum_state;
+  return out;
+}
+
+SessionTamper draw_session_tamper(std::size_t max_new_tokens, Rng& rng) {
+  FLASHABFT_ENSURE_MSG(max_new_tokens >= 2,
+                       "a token tamper needs a decode step to feed it back");
+  SessionTamper out;
+  switch (rng.next_below(3)) {
+    case 0:
+      out.target = SessionTamper::Target::kGeneratedToken;
+      // The fed-back token exists from the first decode step on.
+      out.step = 1 + std::size_t(rng.next_below(max_new_tokens - 1));
+      break;
+    case 1:
+      out.target = SessionTamper::Target::kPromptToken;
+      out.step = 0;  // the prompt is read by the prefill.
+      break;
+    default:
+      out.target = SessionTamper::Target::kMaxNewTokens;
+      out.step = std::size_t(rng.next_below(max_new_tokens));
+      break;
+  }
+  out.index = std::size_t(rng.next_u64());  // reduced mod live length.
+  out.delta = 1 + std::size_t(rng.next_below(7));
   return out;
 }
 
@@ -257,11 +284,30 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
               inject_rng.next_double() < config.inject.kv_corruption_fraction;
           if (corrupt_cache) {
             // A storage upset always recovers via the checkpoint —
-            // accounted as transient.
+            // accounted as transient. The page-table / checksum-state site
+            // classes only consume draws when their fractions are enabled,
+            // so default configs replay the PR 5 stream bit-identically.
             persistent = false;
+            const bool page_table =
+                config.inject.page_table_fraction > 0.0 &&
+                inject_rng.next_double() < config.inject.page_table_fraction;
+            const bool checksum_state =
+                config.inject.checksum_state_fraction > 0.0 &&
+                inject_rng.next_double() <
+                    config.inject.checksum_state_fraction;
             work.kv_corruptions.push_back(draw_kv_corruption(
                 server.config().model, config.max_new_tokens,
-                config.inject.kv_corruption_delta, inject_rng));
+                config.inject.kv_corruption_delta, inject_rng, page_table,
+                checksum_state));
+          } else if (config.inject.session_tamper_fraction > 0.0 &&
+                     config.max_new_tokens >= 2 &&
+                     inject_rng.next_double() <
+                         config.inject.session_tamper_fraction) {
+            // Unprotected-metadata tampers: no checksum covers these, so
+            // they are expected SDCs, not recoveries.
+            persistent = false;
+            work.tampers.push_back(
+                draw_session_tamper(config.max_new_tokens, inject_rng));
           } else {
             work.faults.push_back(draw_generation_fault(
                 server.config().model, server.config().recovery,

@@ -46,6 +46,18 @@ struct FaultInjectionConfig {
   double kv_corruption_fraction = 0.5;
   /// Generation mode: element shift of a KV-cache corruption.
   double kv_corruption_delta = 1.0;
+  /// Of KV-cache upsets, the fraction redirected at the page *table*
+  /// (continuous scheduler's mapping state; the legacy cache degrades them
+  /// to data upsets). 0 keeps the PR 5 draw stream bit-identical.
+  double page_table_fraction = 0.0;
+  /// Of KV-cache upsets, the fraction landing on checksum *state* (running
+  /// sums / table checksum) instead of data — the false-alarm recovery
+  /// surface. 0 keeps the PR 5 draw stream bit-identical.
+  double checksum_state_fraction = 0.0;
+  /// Of injected non-KV faults, the fraction that tamper unprotected
+  /// session metadata (fed-back tokens, prompt, generation budget) instead
+  /// of op outputs. 0 keeps the PR 5 draw stream bit-identical.
+  double session_tamper_fraction = 0.0;
 };
 
 struct LoadDriverConfig {
@@ -122,10 +134,24 @@ struct LoadReport {
 
 /// Draws a KV-cache storage upset for a generation session: a uniform
 /// decode step in [1, max_new_tokens), layer, K/V side and element (row/col
-/// are reduced modulo the live cache shape at injection time).
+/// are reduced modulo the live cache shape at injection time). The
+/// trailing site-class flags retarget the same draw at the page table
+/// (`page_table`) or at checksum state (`checksum_state`) — see
+/// KvCorruption; defaults preserve the PR 5 data-upset behavior and draw
+/// stream.
 [[nodiscard]] KvCorruption draw_kv_corruption(const TransformerConfig& model,
                                               std::size_t max_new_tokens,
-                                              double delta, Rng& rng);
+                                              double delta, Rng& rng,
+                                              bool page_table = false,
+                                              bool checksum_state = false);
+
+/// Draws a session-metadata tamper for a generation session: a uniform
+/// target over the unprotected scheduler/session state — the fed-back
+/// generated token (uniform decode step), a prompt token (lands on the
+/// prefill) or the generation budget (shrink-only). These sites carry no
+/// checksum, so the campaign expects them to surface as SDCs.
+[[nodiscard]] SessionTamper draw_session_tamper(std::size_t max_new_tokens,
+                                                Rng& rng);
 
 /// Runs the closed loop against `server` (whose accelerator — attention
 /// mode — or decoder layer — layer mode — must match the config's shapes)

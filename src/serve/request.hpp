@@ -55,6 +55,10 @@ struct LayerFault {
   std::size_t op_index = 0;        ///< OpReport index within the layer.
   std::size_t faulty_attempts = 1; ///< corrupted attempts (1 = transient).
   double magnitude = 1e-3;         ///< output/checksum shift.
+  /// When true only the readout checksum is shifted — the output stays
+  /// correct, so the alarm is a false positive. Models an upset in the
+  /// checksum datapath itself (the campaign's checksum-state subsystem).
+  bool checksum_only = false;
 };
 
 /// Builds the emulated datapath-upset tamper hook shared by decoder-layer
@@ -70,7 +74,7 @@ struct LayerFault {
           attempt >= fault.faulty_attempts) {
         continue;
       }
-      op.output(0, 0) += fault.magnitude;
+      if (!fault.checksum_only) op.output(0, 0) += fault.magnitude;
       op.check.actual += fault.magnitude;
       op.self_verdict.reset();
     }
@@ -112,6 +116,28 @@ struct KvCorruption {
   /// checksum can detect. Ignored on the legacy contiguous-cache path,
   /// which has no page table.
   bool page_table = false;
+  /// Corrupt the *checksum state* instead of the protected data: the
+  /// running column sum covering (row, col) — or, with `page_table`, the
+  /// table's running weighted sum — is shifted while the data stays clean.
+  /// The next verify raises a false alarm and restoration rebuilds the
+  /// sums. On the legacy path `page_table` is ignored (no table exists).
+  bool checksum_state = false;
+};
+
+/// A scheduler/session-metadata upset: unprotected bookkeeping of one
+/// generation session is tampered just before step `step` runs. No
+/// checksum covers this state today — the campaign's scheduler-state
+/// subsystem measures exactly how much silent corruption that admits.
+struct SessionTamper {
+  enum class Target {
+    kGeneratedToken,  ///< shift a produced token id (mod vocab).
+    kPromptToken,     ///< shift a prompt token id (mod vocab).
+    kMaxNewTokens,    ///< shrink the generation budget (mod original).
+  };
+  std::size_t step = 1;  ///< applied just before this step executes.
+  Target target = Target::kGeneratedToken;
+  std::size_t index = 0;  ///< which token, modulo the live count.
+  std::size_t delta = 1;  ///< id/budget shift; 0 is a no-op.
 };
 
 /// An autoregressive generation session: greedy decode of
@@ -122,6 +148,7 @@ struct GenerationWork {
   std::size_t max_new_tokens = 8;
   std::vector<GenerationStepFault> faults;   ///< emulated op faults.
   std::vector<KvCorruption> kv_corruptions;  ///< cache upsets between steps.
+  std::vector<SessionTamper> tampers;        ///< session-metadata upsets.
 };
 
 /// Internal continuation payload: one decode step of an active session,
@@ -191,6 +218,8 @@ struct ServeResponse {
   // Generation sessions only:
   std::vector<std::size_t> tokens;  ///< generated ids (prompt excluded).
   std::size_t decode_steps = 0;     ///< steps after the prefill.
+  /// Last step's next-token logits — the campaign's divergence oracle.
+  std::vector<double> final_logits;
   double ttft_us = 0.0;             ///< enqueue -> first token (prefill).
   // Continuous scheduler only:
   std::size_t preemptions = 0;  ///< times the session lost its pages.

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <exception>
 #include <span>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "serve/fault_surface.hpp"
 
 namespace flashabft::serve {
 
@@ -51,7 +53,13 @@ ContinuousScheduler::ContinuousScheduler(
   // sweep stays testable on any machine.
   if (cfg_.sweep_threads == 0) cfg_.sweep_threads = 1;
   telemetry_.set_page_usage(0, pool_.num_pages(), 0);
-  thread_ = std::thread([this] { loop(); });
+  if (cfg_.manual) {
+    // Deterministic stepping: the owner drives ticks via run_tick() and a
+    // single-threaded sweep keeps every tick's work order reproducible.
+    cfg_.sweep_threads = 1;
+  } else {
+    thread_ = std::thread([this] { loop(); });
+  }
 }
 
 ContinuousScheduler::~ContinuousScheduler() { shutdown(); }
@@ -80,7 +88,72 @@ void ContinuousScheduler::shutdown() {
     stop_ = true;
   }
   wake_.notify_all();
+  if (cfg_.manual) {
+    // No scheduler thread: drain inline. The run_tick() stall guard fails
+    // unbackable sessions, so this loop terminates.
+    while (run_tick()) {
+    }
+    return;
+  }
   if (thread_.joinable()) thread_.join();
+}
+
+bool ContinuousScheduler::run_tick() {
+  FLASHABFT_ENSURE_MSG(cfg_.manual,
+                       "run_tick requires SchedulerConfig::manual");
+  std::vector<GenerationSession*> incoming;
+  {
+    std::lock_guard lock(mutex_);
+    incoming.swap(ready_);
+  }
+  tick(std::move(incoming));
+
+  // Stall guard: with nothing running there is nothing to preempt, so
+  // waiting sessions the pool cannot back will never be admitted by
+  // further ticks. A few grace ticks cover transient shapes (completions
+  // land parked promotions next tick); past that, fail them so manual
+  // drains always terminate.
+  if (!running_.empty() || waiting_.empty()) {
+    stall_ticks_ = 0;
+  } else if (++stall_ticks_ >= 3) {
+    std::deque<GenerationSession*> stalled;
+    stalled.swap(waiting_);
+    for (GenerationSession* session : stalled) {
+      fail(session, std::make_exception_ptr(std::runtime_error(
+                        "scheduler stalled: page pool cannot back the "
+                        "waiting session")));
+    }
+    stall_ticks_ = 0;
+  }
+
+  std::lock_guard lock(mutex_);
+  return !ready_.empty() || !waiting_.empty() || !running_.empty() ||
+         sessions_.parked() > 0;
+}
+
+void ContinuousScheduler::abort_all(const std::string& reason) {
+  FLASHABFT_ENSURE_MSG(cfg_.manual,
+                       "abort_all requires SchedulerConfig::manual");
+  const auto error =
+      std::make_exception_ptr(std::runtime_error(reason));
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+    for (GenerationSession* session : ready_) waiting_.push_back(session);
+    ready_.clear();
+  }
+  // Fail running sessions first so their freed table slots let parked
+  // sessions activate (and be failed) below.
+  std::vector<GenerationSession*> running;
+  running.swap(running_);
+  for (GenerationSession* session : running) fail(session, error);
+  std::deque<GenerationSession*> waiting;
+  waiting.swap(waiting_);
+  for (GenerationSession* session : waiting) fail(session, error);
+  while (GenerationSession* parked = sessions_.try_activate_parked()) {
+    fail(parked, error);
+  }
+  publish_page_usage();
 }
 
 void ContinuousScheduler::loop() {
@@ -176,6 +249,14 @@ void ContinuousScheduler::start_or_resume(GenerationSession& session) {
     telemetry_.on_session_resume();
   }
 
+  // Step-0 session tampers (prompt upsets, budget tampers) land on the
+  // original prefill only, mirroring the step-0 tamper rule below: a
+  // resume replays already-tampered state.
+  if (first_activation) {
+    apply_session_tampers(session.work, /*step_index=*/0, session.tokens,
+                          model_.config().vocab_size);
+  }
+
   // First activation prefills the prompt; a resume re-prefills prompt +
   // generated tokens (minus the undecoded last) — greedy decode is
   // deterministic, so the rebuilt pages continue token-for-token.
@@ -246,35 +327,13 @@ void ContinuousScheduler::preempt(GenerationSession* victim) {
 
 void ContinuousScheduler::apply_corruptions(GenerationSession& session,
                                             std::size_t step_index) {
-  for (const KvCorruption& c : session.work.kv_corruptions) {
-    if (c.step != step_index) continue;
-    PagedKv& kv = *session.paged;
-    const std::size_t layer = c.layer % kv.num_layers();
-    if (kv.len(layer) == 0) continue;
-    const std::size_t row = c.row % kv.len(layer);
-    if (c.page_table) {
-      if (pool_.num_pages() < 2) continue;  // nowhere to redirect to.
-      pool_.corrupt_page_table(kv, layer, row,
-                               1 + c.col % (pool_.num_pages() - 1));
-    } else if (c.value_side) {
-      pool_.corrupt_v(kv, layer, row, c.col % pool_.config().width, c.delta);
-    } else {
-      pool_.corrupt_k(kv, layer, row, c.col % pool_.config().width, c.delta);
-    }
-  }
+  apply_kv_corruptions(session.work, step_index, pool_, *session.paged);
 }
 
 GuardedExecutor ContinuousScheduler::make_step_executor(
     const GenerationSession& session, std::size_t step_index) const {
-  GuardedExecutor executor(executor_options_);
-  std::vector<LayerFault> step_faults;
-  for (const GenerationStepFault& f : session.work.faults) {
-    if (f.step == step_index) step_faults.push_back(f.fault);
-  }
-  if (!step_faults.empty()) {
-    executor.set_tamper(make_layer_fault_tamper(std::move(step_faults)));
-  }
-  return executor;
+  return make_generation_step_executor(session.work, step_index,
+                                       executor_options_);
 }
 
 void ContinuousScheduler::absorb_report(GenerationSession& session,
@@ -299,6 +358,7 @@ bool ContinuousScheduler::absorb_step(GenerationSession& session,
                                       double service_us) {
   const bool is_prefill = session.tokens.empty();
   session.tokens.push_back(step.next_token);
+  session.final_logits = std::move(step.logits);
   if (!is_prefill) ++session.steps_done;
   absorb_report(session, std::move(step.report), service_us);
   session.batch_size = batch_size;
@@ -345,6 +405,25 @@ void ContinuousScheduler::decode_tick() {
     }
     advancing.push_back(session);
   }
+  if (advancing.empty()) return;
+
+  // Session tampers land only on sessions actually stepping this tick (a
+  // skipped session re-applies the same step next tick, which would
+  // double-inject). A budget tamper can end a session on the spot.
+  std::vector<GenerationSession*> stepping;
+  stepping.reserve(advancing.size());
+  for (GenerationSession* session : advancing) {
+    const std::size_t step_index = session->steps_done + 1;
+    apply_session_tampers(session->work, step_index, session->tokens,
+                          model_.config().vocab_size);
+    if (session->done()) {
+      running_.erase(std::find(running_.begin(), running_.end(), session));
+      finalize(session);
+      continue;
+    }
+    stepping.push_back(session);
+  }
+  advancing = std::move(stepping);
   if (advancing.empty()) return;
 
   const Clock::time_point start = Clock::now();
@@ -444,6 +523,7 @@ void ContinuousScheduler::finalize(GenerationSession* session) {
   response.worker_id = session->worker_id;
   response.batch_size = session->batch_size;
   response.tokens = session->tokens;
+  response.final_logits = std::move(session->final_logits);
   response.decode_steps = session->steps_done;
   response.ttft_us = session->ttft_us;
   response.queue_us = session->queue_us;

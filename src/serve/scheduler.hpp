@@ -88,6 +88,11 @@ struct SchedulerConfig {
   /// engine runs on the same thread budget as the legacy path it replaces;
   /// an explicit value is honored as-is.
   std::size_t sweep_threads = 0;
+  /// Deterministic single-tick stepping: no scheduler thread is spawned
+  /// and the owner drives every tick explicitly through `run_tick()`
+  /// (sweep_threads forced to 1). The fault campaign runs the real
+  /// scheduler this way so identical seeds replay identical tick orders.
+  bool manual = false;
 };
 
 /// The continuous-batching engine. Owned by the server when
@@ -114,8 +119,24 @@ class ContinuousScheduler {
                            SessionAdmission& admission);
 
   /// Drains every admitted session (active, parked and waiting) to
-  /// completion, then joins the scheduler thread. Idempotent.
+  /// completion, then joins the scheduler thread. In manual mode there is
+  /// no thread: the drain runs inline as repeated `run_tick()` calls.
+  /// Idempotent.
   void shutdown();
+
+  /// Manual mode only: runs exactly one scheduler tick on the calling
+  /// thread and returns true while admitted sessions remain (i.e. another
+  /// tick is needed). A stall guard fails waiting sessions that the pool
+  /// provably cannot back (nothing running to preempt for several
+  /// consecutive ticks), so driving `run_tick()` to false always
+  /// terminates.
+  [[nodiscard]] bool run_tick();
+
+  /// Manual mode only: fails every admitted session (ready, running,
+  /// waiting and parked) with `reason` — the tick-budget watchdog's escape
+  /// hatch, so a wedged campaign trial can classify as crash/hang instead
+  /// of hanging the destructor's drain.
+  void abort_all(const std::string& reason);
 
   [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
   /// Pool shape for observability (the pool itself is scheduler-private).
@@ -176,6 +197,7 @@ class ContinuousScheduler {
   std::vector<GenerationSession*> running_; ///< holding pages, decode-ready.
   std::uint64_t next_order_ = 1;
   std::size_t rotate_ = 0;  ///< round-robin cursor over running_.
+  std::size_t stall_ticks_ = 0;  ///< manual mode: no-progress tick streak.
 
   std::thread thread_;
 };

@@ -5,6 +5,7 @@
 #include "attention/attention_config.hpp"
 #include "common/ensure.hpp"
 #include "core/flash_abft.hpp"
+#include "serve/fault_surface.hpp"
 #include "sim/multi_head.hpp"
 
 namespace flashabft::serve {
@@ -569,14 +570,12 @@ bool InferenceServer::execute_session_step(Worker& worker,
   // decode step.
   const std::size_t step_index = is_prefill ? 0 : session.steps_done + 1;
 
-  GuardedExecutor executor = make_executor();
-  std::vector<LayerFault> step_faults;
-  for (const GenerationStepFault& f : session.work.faults) {
-    if (f.step == step_index) step_faults.push_back(f.fault);
-  }
-  if (!step_faults.empty()) {
-    executor.set_tamper(make_layer_fault_tamper(std::move(step_faults)));
-  }
+  GuardedExecutor executor = make_generation_step_executor(
+      session.work, step_index, executor_options());
+  // Session-metadata tampers land before the step reads any of it (the
+  // prompt for a prefill, the fed-back token and budget for a decode step).
+  apply_session_tampers(session.work, step_index, session.tokens,
+                        config_.model.vocab_size);
 
   const TransformerModel& m = model();
   if (is_prefill) {
@@ -587,19 +586,7 @@ bool InferenceServer::execute_session_step(Worker& worker,
   } else {
     // Storage upsets scheduled between steps land now, before this step
     // reads the cache (its kKvCache check must catch and repair them).
-    for (const KvCorruption& c : session.work.kv_corruptions) {
-      if (c.step != step_index) continue;
-      KvCacheLayer& cache_layer =
-          session.cache->layer(c.layer % config_.model.num_layers);
-      if (cache_layer.len() == 0) continue;
-      const std::size_t row = c.row % cache_layer.len();
-      const std::size_t col = c.col % cache_layer.width();
-      if (c.value_side) {
-        cache_layer.corrupt_v(row, col, c.delta);
-      } else {
-        cache_layer.corrupt_k(row, col, c.delta);
-      }
-    }
+    apply_kv_corruptions(session.work, step_index, *session.cache);
   }
 
   StepResult step =
@@ -610,6 +597,7 @@ bool InferenceServer::execute_session_step(Worker& worker,
                                  *session.cache);
 
   session.tokens.push_back(step.next_token);
+  session.final_logits = std::move(step.logits);
   if (!is_prefill) ++session.steps_done;
   session.op_executions += step.report.executions();
   session.alarm_events += step.report.alarm_events();
@@ -643,6 +631,7 @@ GenerationSession* InferenceServer::finalize_session(
   response.batch_size = session.batch_size;
   response.tokens = session.tokens;
   response.decode_steps = session.steps_done;
+  response.final_logits = std::move(session.final_logits);
   response.ttft_us = session.ttft_us;
   response.queue_us = session.queue_us;
   response.service_us = session.service_us;

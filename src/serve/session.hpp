@@ -59,6 +59,7 @@ struct GenerationSession {
   std::size_t resumes = 0;      ///< lossless re-prefills after preemption.
   std::vector<std::size_t> tokens;  ///< generated so far.
   std::size_t steps_done = 0;       ///< decode steps executed.
+  std::vector<double> final_logits; ///< last step's next-token logits.
 
   Clock::time_point enqueue_time{};
   double queue_us = 0.0;    ///< admission -> first execution.

@@ -1,0 +1,174 @@
+#include "serve/stepper.hpp"
+
+#include <exception>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "serve/fault_surface.hpp"
+#include "serve/session.hpp"
+#include "serve/telemetry.hpp"
+
+namespace flashabft::serve {
+
+namespace {
+
+ServePath classify_path(std::size_t fallback_ops, std::size_t recovered_ops) {
+  if (fallback_ops > 0) return ServePath::kFallbackReference;
+  if (recovered_ops > 0) return ServePath::kGuardedRecovered;
+  return ServePath::kGuardedClean;
+}
+
+/// Mirrors the legacy server's execute_session_step loop without the
+/// worker pool: same step numbering, same fault surface, same accounting.
+SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
+                          const StepperConfig& cfg) {
+  SteppedSession out;
+  KvCache cache = model.make_cache();
+  std::size_t steps_done = 0;
+  std::size_t recovered_ops = 0;
+  // Budget tampers only ever shrink max_new_tokens, so the loop is
+  // intrinsically bounded; the watchdog is the defense against engine
+  // bugs, mirrored from the continuous tick budget.
+  const std::size_t max_steps =
+      cfg.max_ticks > 0 ? cfg.max_ticks : work.max_new_tokens + 8;
+  std::size_t steps = 0;
+  try {
+    while (out.tokens.size() < work.max_new_tokens) {
+      if (++steps > max_steps) {
+        out.failed = true;
+        out.hang = true;
+        out.error = "step budget exceeded";
+        break;
+      }
+      const bool is_prefill = out.tokens.empty();
+      const std::size_t step_index = is_prefill ? 0 : steps_done + 1;
+      GuardedExecutor executor = make_generation_step_executor(
+          work, step_index, cfg.executor_options);
+      apply_session_tampers(work, step_index, out.tokens,
+                            model.config().vocab_size);
+      if (!is_prefill) apply_kv_corruptions(work, step_index, cache);
+      StepResult step =
+          is_prefill ? model.prefill(work.prompt,
+                                     AttentionBackend::kFlashAbft, executor,
+                                     cache)
+                     : model.decode_step(out.tokens.back(),
+                                         AttentionBackend::kFlashAbft,
+                                         executor, cache);
+      out.tokens.push_back(step.next_token);
+      out.final_logits = std::move(step.logits);
+      if (!is_prefill) ++steps_done;
+      out.op_executions += step.report.executions();
+      out.alarm_events += step.report.alarm_events();
+      out.fallback_ops += step.report.fallback_ops();
+      recovered_ops += step.report.recovered_ops();
+      out.checksum_clean =
+          out.checksum_clean && step.report.all_accepted_clean();
+    }
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  } catch (...) {
+    out.failed = true;
+    out.error = "unknown exception";
+  }
+  out.path = classify_path(out.fallback_ops, recovered_ops);
+  return out;
+}
+
+std::vector<SteppedSession> run_continuous(const TransformerModel& model,
+                                           std::vector<GenerationWork> works,
+                                           const StepperConfig& cfg) {
+  std::vector<SteppedSession> out(works.size());
+
+  const std::size_t max_active =
+      cfg.max_active > 0 ? cfg.max_active : works.size();
+  SessionTable table(max_active, works.size());
+  ServeTelemetry telemetry;
+  SchedulerConfig scfg;
+  scfg.mode = SchedulerMode::kContinuous;
+  scfg.manual = true;
+  scfg.max_batch_tokens = cfg.max_batch_tokens;
+  scfg.page_size = cfg.page_size;
+  scfg.num_pages = cfg.num_pages;
+  scfg.sweep_threads = 1;
+  ContinuousScheduler scheduler(scfg, model, cfg.executor_options, table,
+                                telemetry);
+
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(works.size());
+  std::size_t total_budget = 0;
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    total_budget += works[i].max_new_tokens;
+    auto session = std::make_unique<GenerationSession>();
+    session->id = i;
+    session->work = std::move(works[i]);
+    futures.push_back(session->promise.get_future());
+    SessionAdmission admission;
+    if (!scheduler.admit(session, admission)) {
+      session->promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("scheduler refused admission")));
+    } else if (admission.shed != nullptr) {
+      admission.shed->promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("session shed at admission")));
+    }
+  }
+
+  // Tick watchdog: each session needs ~1 tick per token plus prefill and
+  // preemption-resume ticks; anything far past that is a wedged engine and
+  // becomes the campaign's crash/hang class.
+  const std::size_t max_ticks =
+      cfg.max_ticks > 0 ? cfg.max_ticks
+                        : (total_budget + 4 * works.size()) * 8 + 64;
+  std::size_t ticks = 0;
+  while (scheduler.run_tick()) {
+    if (++ticks > max_ticks) {
+      scheduler.abort_all("tick budget exceeded");
+      break;
+    }
+  }
+  scheduler.shutdown();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SteppedSession& result = out[i];
+    try {
+      ServeResponse response = futures[i].get();
+      result.tokens = std::move(response.tokens);
+      result.final_logits = std::move(response.final_logits);
+      result.path = response.path;
+      result.op_executions = response.op_executions;
+      result.alarm_events = response.alarm_events;
+      result.fallback_ops = response.fallback_ops;
+      result.checksum_clean = response.checksum_clean;
+    } catch (const std::exception& e) {
+      result.failed = true;
+      result.error = e.what();
+      result.hang = result.error.find("tick budget exceeded") !=
+                    std::string::npos;
+    } catch (...) {
+      result.failed = true;
+      result.error = "unknown exception";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SteppedSession> run_stepped(const TransformerModel& model,
+                                        std::vector<GenerationWork> works,
+                                        const StepperConfig& cfg) {
+  if (cfg.mode == SchedulerMode::kContinuous) {
+    return run_continuous(model, std::move(works), cfg);
+  }
+  std::vector<SteppedSession> out;
+  out.reserve(works.size());
+  for (GenerationWork& work : works) {
+    out.push_back(run_legacy(model, std::move(work), cfg));
+  }
+  return out;
+}
+
+}  // namespace flashabft::serve

@@ -1,0 +1,63 @@
+// Deterministic tick-stepped execution of generation work on the real
+// serving engines.
+//
+// The fault campaign needs thousands of seeded trials whose outcomes are
+// bit-reproducible, which the production entry points cannot give: the
+// legacy server schedules steps through a worker pool and the continuous
+// scheduler runs its own thread. This stepper drives the same step code —
+// the model's prefill/decode calls, the shared fault surface
+// (fault_surface.hpp) and, in continuous mode, the actual
+// ContinuousScheduler in `SchedulerConfig::manual` single-tick mode — on
+// the calling thread, one step/tick at a time, in a fixed order. Identical
+// works + identical config => identical tokens, logits and fault
+// accounting, every run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/guarded_op.hpp"
+#include "model/transformer_model.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+
+namespace flashabft::serve {
+
+/// Per-session outcome of a stepped run (index-aligned with the submitted
+/// works).
+struct SteppedSession {
+  std::vector<std::size_t> tokens;   ///< generated ids (prompt excluded).
+  std::vector<double> final_logits;  ///< last step's next-token logits.
+  ServePath path = ServePath::kGuardedClean;
+  std::size_t op_executions = 0;
+  std::size_t alarm_events = 0;
+  std::size_t fallback_ops = 0;
+  bool checksum_clean = true;
+  bool failed = false;  ///< a step threw / the engine failed the session.
+  bool hang = false;    ///< the step/tick watchdog fired (implies failed).
+  std::string error;    ///< failure description when `failed`.
+};
+
+struct StepperConfig {
+  SchedulerMode mode = SchedulerMode::kLegacy;
+  GuardedExecutor::Options executor_options;
+  /// Continuous-engine shape (ignored by the legacy path).
+  std::size_t max_batch_tokens = 16;
+  std::size_t page_size = 8;
+  std::size_t num_pages = 0;   ///< 0 = derived (no page pressure).
+  std::size_t max_active = 0;  ///< 0 = every session active at once.
+  /// Watchdog: hard cap on scheduler ticks (continuous) or per-session
+  /// steps (legacy). 0 derives a generous bound from the session budgets;
+  /// exceeding it fails the remaining sessions with `hang` set instead of
+  /// spinning forever — the campaign's crash/hang outcome class.
+  std::size_t max_ticks = 0;
+};
+
+/// Drives every work item to completion on the calling thread, one
+/// deterministic step (legacy) or scheduler tick (continuous) at a time.
+/// Sessions are admitted in submission order; results are index-aligned.
+[[nodiscard]] std::vector<SteppedSession> run_stepped(
+    const TransformerModel& model, std::vector<GenerationWork> works,
+    const StepperConfig& cfg);
+
+}  // namespace flashabft::serve

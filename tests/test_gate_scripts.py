@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""CTest-invoked checks of the CI gate scripts themselves.
+
+Exercises bench/check_coverage.py (the SDC-coverage gate) end to end over
+synthetic BENCH_faults.json files — the pass path, every regression class
+(coverage drop, SDC rise, new crash/hang, missing cell) must exit 1, and a
+config mismatch must refuse the comparison with exit 2 — plus the existing
+bench/check_regression.py config-mismatch path. A gate that silently
+passes regressed candidates is worse than no gate, so the gate is tested
+like any other code.
+
+Usage (CTest passes the bench directory):
+  python3 tests/test_gate_scripts.py /path/to/repo/bench
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+BENCH_DIR = None  # resolved in __main__ below.
+
+
+def coverage_baseline():
+    """A minimal but schema-complete fault-campaign report."""
+    return {
+        "bench": "fault_campaign",
+        "config": {
+            "vocab_size": 48, "model_dim": 16, "num_layers": 2,
+            "num_heads": 2, "head_dim": 8, "ffn_dim": 32,
+            "max_seq_len": 24, "model_seed": 42, "sessions": 3,
+            "prompt_len": 5, "max_new_tokens": 6, "seed": 2026,
+            "page_size": 4, "num_pages": 0,
+        },
+        "trials_per_cell": 1000,
+        "results": [
+            {
+                "scheduler": "legacy", "subsystem": "activations",
+                "trials": 1000,
+                "outcomes": {"detected_corrected": 900,
+                             "detected_uncorrected": 50, "masked": 30,
+                             "sdc": 20, "crash_hang": 0},
+                "detection_coverage": 0.979, "coverage_ci_low": 0.968,
+                "coverage_ci_high": 0.987, "sdc_rate": 0.02,
+                "sdc_ci_low": 0.013, "sdc_ci_high": 0.031,
+                "time_curve": [], "per_op_kind": [],
+            },
+            {
+                "scheduler": "continuous", "subsystem": "kv_pages",
+                "trials": 1000,
+                "outcomes": {"detected_corrected": 950,
+                             "detected_uncorrected": 30, "masked": 10,
+                             "sdc": 10, "crash_hang": 0},
+                "detection_coverage": 0.99, "coverage_ci_low": 0.982,
+                "coverage_ci_high": 0.995, "sdc_rate": 0.01,
+                "sdc_ci_low": 0.005, "sdc_ci_high": 0.018,
+                "time_curve": [], "per_op_kind": [],
+            },
+        ],
+    }
+
+
+def regression_report(seed):
+    """A minimal serve-throughput report for check_regression.py."""
+    return {
+        "bench": "serve_throughput",
+        "config": {"seed": seed, "backend": "simd", "page_size": 8},
+        "scenarios": [],
+        "kernels": [{"name": "attention", "scalar_ms": 1.0,
+                     "simd_ms": 0.25, "speedup": 4.0}],
+    }
+
+
+class GateScriptTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_gate(self, script, baseline, candidate, *extra):
+        return subprocess.run(
+            [sys.executable, os.path.join(BENCH_DIR, script),
+             "--baseline", baseline, "--candidate", candidate, *extra],
+            capture_output=True, text=True)
+
+    # --- check_coverage.py -------------------------------------------
+
+    def test_coverage_identical_reports_pass(self):
+        base = self.write("base.json", coverage_baseline())
+        result = self.run_gate("check_coverage.py", base, base)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("coverage gate passed", result.stdout)
+
+    def test_coverage_noisy_smoke_within_ci_bounds_passes(self):
+        # A low-trial candidate: worse point estimates but wide intervals
+        # that still reach the baseline — sampling noise, not regression.
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        cand["trials_per_cell"] = 60  # outside "config": allowed to differ.
+        cell = cand["results"][0]
+        cell["trials"] = 60
+        cell["detection_coverage"] = 0.93
+        cell["coverage_ci_low"] = 0.84
+        cell["coverage_ci_high"] = 0.97
+        cell["sdc_rate"] = 0.05
+        cell["sdc_ci_low"] = 0.016
+        cell["sdc_ci_high"] = 0.13
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_coverage_drop_fails(self):
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        cell = cand["results"][0]
+        cell["detection_coverage"] = 0.50
+        cell["coverage_ci_low"] = 0.47
+        cell["coverage_ci_high"] = 0.53  # < 0.979 - 0.02: real regression.
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("coverage upper bound", result.stdout)
+
+    def test_sdc_rise_fails(self):
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        cell = cand["results"][1]
+        cell["sdc_rate"] = 0.20
+        cell["sdc_ci_low"] = 0.18  # > 0.01 + 0.02: real regression.
+        cell["sdc_ci_high"] = 0.23
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("sdc lower bound", result.stdout)
+
+    def test_new_crash_fails(self):
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        cand["results"][0]["outcomes"]["crash_hang"] = 3
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("crash/hang", result.stdout)
+
+    def test_missing_cell_fails(self):
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        del cand["results"][1]
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("missing cell", result.stdout)
+
+    def test_config_mismatch_refused(self):
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        cand["config"]["seed"] = 7
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 2, result.stdout)
+        self.assertIn("config mismatch", result.stdout)
+
+    def test_missing_config_section_refused(self):
+        # Unlike check_regression.py (whose pre-config format only warns),
+        # there is no pre-config fault report: strict refusal.
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        del cand["config"]
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 2, result.stdout)
+
+    def test_wider_allowances_admit_the_drop(self):
+        # The thresholds are real knobs, not decoration.
+        base = self.write("base.json", coverage_baseline())
+        cand = copy.deepcopy(coverage_baseline())
+        cell = cand["results"][0]
+        cell["coverage_ci_high"] = 0.90
+        cell["sdc_ci_low"] = 0.08
+        path = self.write("cand.json", cand)
+        strict = self.run_gate("check_coverage.py", base, path)
+        self.assertEqual(strict.returncode, 1, strict.stdout)
+        lax = self.run_gate("check_coverage.py", base, path,
+                            "--max-drop", "0.2", "--max-rise", "0.2")
+        self.assertEqual(lax.returncode, 0, lax.stdout)
+
+    # --- check_regression.py -----------------------------------------
+
+    def test_regression_gate_config_mismatch_refused(self):
+        base = self.write("base.json", regression_report(seed=2026))
+        cand = self.write("cand.json", regression_report(seed=7))
+        result = self.run_gate("check_regression.py", base, cand)
+        self.assertEqual(result.returncode, 2, result.stdout)
+        self.assertIn("config mismatch", result.stdout)
+
+    def test_regression_gate_matching_config_compares(self):
+        base = self.write("base.json", regression_report(seed=2026))
+        cand = self.write("cand.json", regression_report(seed=2026))
+        result = self.run_gate("check_regression.py", base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit("usage: test_gate_scripts.py <bench-dir>")
+    BENCH_DIR = sys.argv.pop(1)
+    if not os.path.isdir(BENCH_DIR):
+        sys.exit(f"bench dir not found: {BENCH_DIR}")
+    unittest.main(verbosity=2)

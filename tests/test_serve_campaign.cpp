@@ -1,0 +1,390 @@
+// Tests of the whole-stack serving fault campaign: the deterministic
+// tick stepper, the subsystem site registry, outcome classification (the
+// NaN-never-masked regression), the tamper surfaces on both engines, and
+// seed-reproducibility of whole campaigns.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "fault/serve_campaign/campaign.hpp"
+#include "fault/serve_campaign/report.hpp"
+#include "serve/load_driver.hpp"
+#include "serve/stepper.hpp"
+
+namespace flashabft::serve_campaign {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.sessions = 2;
+  cfg.prompt_len = 4;
+  cfg.max_new_tokens = 4;
+  cfg.trials_per_cell = 6;
+  cfg.seed = 99;
+  return cfg;
+}
+
+serve::GenerationWork make_work(const CampaignConfig& cfg,
+                                std::uint64_t salt) {
+  serve::GenerationWork work;
+  Rng rng(cfg.seed + salt);
+  for (std::size_t t = 0; t < cfg.prompt_len; ++t) {
+    work.prompt.push_back(
+        std::size_t(rng.next_below(cfg.model.vocab_size)));
+  }
+  work.max_new_tokens = cfg.max_new_tokens;
+  return work;
+}
+
+serve::StepperConfig stepper_config(const CampaignConfig& cfg,
+                                    serve::SchedulerMode mode) {
+  serve::StepperConfig out;
+  out.mode = mode;
+  out.executor_options = cfg.executor_options;
+  out.page_size = cfg.page_size;
+  return out;
+}
+
+// The campaign's per-session "alarmed" observable: any guarded-op alarm,
+// fallback, dirty checksum verify, or non-clean serve path.
+bool session_alarmed(const serve::SteppedSession& s) {
+  return s.alarm_events > 0 || s.fallback_ops > 0 || !s.checksum_clean ||
+         s.path != serve::ServePath::kGuardedClean;
+}
+
+// --- Outcome classification -------------------------------------------
+
+TEST(Classification, TwoByTwoPlusCrash) {
+  EXPECT_EQ(classify_trial(true, true, true), TrialOutcome::kCrashHang);
+  EXPECT_EQ(classify_trial(false, true, false),
+            TrialOutcome::kDetectedCorrected);
+  EXPECT_EQ(classify_trial(false, true, true),
+            TrialOutcome::kDetectedUncorrected);
+  EXPECT_EQ(classify_trial(false, false, false), TrialOutcome::kMasked);
+  EXPECT_EQ(classify_trial(false, false, true), TrialOutcome::kSdc);
+}
+
+// Regression: a NaN/Inf-poisoned output must always count as divergence.
+// The naive comparator |golden - candidate| > tol is false for NaN (every
+// NaN comparison is false), which would classify a NaN-poisoned unalarmed
+// trial as masked/benign instead of SDC.
+TEST(Classification, NanDivergenceIsNeverMasked) {
+  const std::vector<double> golden = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(logits_diverge(golden, {1.0, kNan, 3.0}));
+  EXPECT_TRUE(logits_diverge(golden, {kInf, 2.0, 3.0}));
+  EXPECT_TRUE(logits_diverge(golden, {1.0, 2.0, -kInf}));
+  EXPECT_EQ(classify_trial(false, false,
+                           logits_diverge(golden, {1.0, kNan, 3.0})),
+            TrialOutcome::kSdc);
+  // Alarmed NaN divergence is detected (uncorrected), never masked.
+  EXPECT_EQ(classify_trial(false, true,
+                           logits_diverge(golden, {1.0, kNan, 3.0})),
+            TrialOutcome::kDetectedUncorrected);
+}
+
+TEST(Classification, FiniteToleranceAndEqualNonFinites) {
+  const std::vector<double> golden = {1.0, -2.0};
+  EXPECT_FALSE(logits_diverge(golden, {1.0 + 1e-12, -2.0}));
+  EXPECT_TRUE(logits_diverge(golden, {1.01, -2.0}));
+  EXPECT_TRUE(logits_diverge(golden, {1.0}));  // size mismatch.
+  // Matching non-finites (golden itself poisoned) are not divergence.
+  EXPECT_FALSE(logits_diverge({kNan, kInf}, {kNan, kInf}));
+  EXPECT_TRUE(logits_diverge({kInf, 0.0}, {-kInf, 0.0}));
+}
+
+// --- Site registry -----------------------------------------------------
+
+TEST(Sites, NamesRoundTripAndApplicability) {
+  for (std::size_t s = 0; s < kSubsystemCount; ++s) {
+    const Subsystem subsystem = Subsystem(s);
+    const auto parsed = parse_subsystem(subsystem_name(subsystem));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, subsystem);
+  }
+  EXPECT_FALSE(parse_subsystem("bogus").has_value());
+  EXPECT_FALSE(subsystem_applicable(Subsystem::kPageTables,
+                                    serve::SchedulerMode::kLegacy));
+  EXPECT_TRUE(subsystem_applicable(Subsystem::kPageTables,
+                                   serve::SchedulerMode::kContinuous));
+  EXPECT_TRUE(subsystem_applicable(Subsystem::kWeights,
+                                   serve::SchedulerMode::kLegacy));
+}
+
+TEST(Sites, OpKindNamesRoundTrip) {
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const OpKind kind = OpKind(k);
+    const auto parsed = parse_op_kind(op_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_op_kind("not_an_op").has_value());
+}
+
+TEST(Sites, DrawsAreSeedDeterministicAndPopulateOneSite) {
+  const CampaignConfig cfg = small_config();
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  for (std::size_t s = 0; s < kSubsystemCount; ++s) {
+    const Subsystem subsystem = Subsystem(s);
+    const serve::SchedulerMode mode = serve::SchedulerMode::kContinuous;
+    Rng a(123), b(123);
+    const TrialPlan pa = draw_trial_plan(subsystem, mode, model,
+                                         cfg.sessions, cfg.max_new_tokens,
+                                         RecoveryPolicy{}, a);
+    const TrialPlan pb = draw_trial_plan(subsystem, mode, model,
+                                         cfg.sessions, cfg.max_new_tokens,
+                                         RecoveryPolicy{}, b);
+    EXPECT_EQ(pa.session, pb.session);
+    EXPECT_EQ(pa.step, pb.step);
+    EXPECT_EQ(pa.magnitude, pb.magnitude);
+    const int populated = int(pa.weight.has_value()) +
+                          int(pa.fault.has_value()) +
+                          int(pa.kv.has_value()) +
+                          int(pa.tamper.has_value()) +
+                          int(pa.checker_tolerance_scale != 1.0);
+    EXPECT_EQ(populated, 1) << subsystem_name(subsystem);
+  }
+}
+
+// --- The deterministic stepper -----------------------------------------
+
+TEST(Stepper, CleanRunsAreDeterministicAndEnginesAgree) {
+  const CampaignConfig cfg = small_config();
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  const std::vector<serve::GenerationWork> works = {make_work(cfg, 1),
+                                                    make_work(cfg, 2)};
+  const auto legacy1 = serve::run_stepped(
+      model, works, stepper_config(cfg, serve::SchedulerMode::kLegacy));
+  const auto legacy2 = serve::run_stepped(
+      model, works, stepper_config(cfg, serve::SchedulerMode::kLegacy));
+  const auto continuous = serve::run_stepped(
+      model, works, stepper_config(cfg, serve::SchedulerMode::kContinuous));
+  ASSERT_EQ(legacy1.size(), works.size());
+  ASSERT_EQ(continuous.size(), works.size());
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    EXPECT_FALSE(legacy1[i].failed);
+    EXPECT_FALSE(continuous[i].failed) << continuous[i].error;
+    EXPECT_TRUE(legacy1[i].checksum_clean);
+    EXPECT_TRUE(continuous[i].checksum_clean);
+    EXPECT_EQ(legacy1[i].tokens, legacy2[i].tokens);
+    EXPECT_EQ(legacy1[i].final_logits, legacy2[i].final_logits);
+    // Greedy decode over the same model: both engines produce the same
+    // token streams (the PR 5 parity property, now via the stepper).
+    EXPECT_EQ(legacy1[i].tokens, continuous[i].tokens);
+    EXPECT_EQ(legacy1[i].tokens.size(), cfg.max_new_tokens);
+  }
+}
+
+TEST(Stepper, SessionTokenTamperIsSilentDataCorruption) {
+  const CampaignConfig cfg = small_config();
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  const std::vector<serve::GenerationWork> clean = {make_work(cfg, 1)};
+  std::vector<serve::GenerationWork> tampered = clean;
+  serve::SessionTamper tamper;
+  tamper.step = 2;
+  tamper.target = serve::SessionTamper::Target::kGeneratedToken;
+  tamper.index = 1;
+  tamper.delta = 3;
+  tampered[0].tampers.push_back(tamper);
+
+  for (const serve::SchedulerMode mode :
+       {serve::SchedulerMode::kLegacy, serve::SchedulerMode::kContinuous}) {
+    const auto golden =
+        serve::run_stepped(model, clean, stepper_config(cfg, mode));
+    const auto faulty =
+        serve::run_stepped(model, tampered, stepper_config(cfg, mode));
+    ASSERT_FALSE(faulty[0].failed) << faulty[0].error;
+    // No alarm (the metadata is unprotected) but the stream diverges.
+    EXPECT_FALSE(session_alarmed(faulty[0]));
+    EXPECT_NE(faulty[0].tokens, golden[0].tokens);
+    EXPECT_EQ(classify_trial(false, false, true), TrialOutcome::kSdc);
+  }
+}
+
+TEST(Stepper, BudgetTamperShrinksAndTerminates) {
+  const CampaignConfig cfg = small_config();
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  std::vector<serve::GenerationWork> works = {make_work(cfg, 1)};
+  serve::SessionTamper tamper;
+  tamper.step = 1;
+  tamper.target = serve::SessionTamper::Target::kMaxNewTokens;
+  tamper.delta = 12345;
+  works[0].tampers.push_back(tamper);
+  for (const serve::SchedulerMode mode :
+       {serve::SchedulerMode::kLegacy, serve::SchedulerMode::kContinuous}) {
+    const auto out =
+        serve::run_stepped(model, works, stepper_config(cfg, mode));
+    ASSERT_FALSE(out[0].failed) << out[0].error;
+    EXPECT_FALSE(out[0].hang);
+    // Shrink-only: never more tokens than the original budget.
+    EXPECT_LE(out[0].tokens.size(), cfg.max_new_tokens);
+    EXPECT_GE(out[0].tokens.size(), 1u);
+  }
+}
+
+TEST(Stepper, KvChecksumStateUpsetFalseAlarmsAndRecovers) {
+  const CampaignConfig cfg = small_config();
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  const std::vector<serve::GenerationWork> clean = {make_work(cfg, 1)};
+  std::vector<serve::GenerationWork> faulty_works = clean;
+  serve::KvCorruption c;
+  c.step = 2;
+  c.layer = 0;
+  c.row = 1;
+  c.col = 2;
+  c.delta = 0.5;
+  c.checksum_state = true;
+  faulty_works[0].kv_corruptions.push_back(c);
+
+  for (const serve::SchedulerMode mode :
+       {serve::SchedulerMode::kLegacy, serve::SchedulerMode::kContinuous}) {
+    const auto golden =
+        serve::run_stepped(model, clean, stepper_config(cfg, mode));
+    const auto faulty =
+        serve::run_stepped(model, faulty_works, stepper_config(cfg, mode));
+    ASSERT_FALSE(faulty[0].failed) << faulty[0].error;
+    // The shifted running sum raises a (false) alarm; restoration rebuilds
+    // the state and the output matches golden: detected + corrected.
+    EXPECT_TRUE(session_alarmed(faulty[0]))
+        << serve::scheduler_mode_name(mode);
+    EXPECT_EQ(faulty[0].tokens, golden[0].tokens);
+    EXPECT_FALSE(
+        logits_diverge(golden[0].final_logits, faulty[0].final_logits));
+  }
+}
+
+TEST(Stepper, PageTableUpsetDetectedOnContinuous) {
+  const CampaignConfig cfg = small_config();
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  const std::vector<serve::GenerationWork> clean = {make_work(cfg, 1)};
+  std::vector<serve::GenerationWork> faulty_works = clean;
+  serve::KvCorruption c;
+  c.step = 2;
+  c.layer = 1;
+  c.row = 0;
+  c.col = 5;
+  c.page_table = true;
+  faulty_works[0].kv_corruptions.push_back(c);
+
+  const auto mode = serve::SchedulerMode::kContinuous;
+  const auto golden =
+      serve::run_stepped(model, clean, stepper_config(cfg, mode));
+  const auto faulty =
+      serve::run_stepped(model, faulty_works, stepper_config(cfg, mode));
+  ASSERT_FALSE(faulty[0].failed) << faulty[0].error;
+  EXPECT_TRUE(session_alarmed(faulty[0]));
+  EXPECT_EQ(faulty[0].tokens, golden[0].tokens);
+}
+
+// The detection asymmetry the campaign measures: the legacy path's
+// guarded_linear recomputes input checksums from the live (corrupted)
+// weights, so a post-construction projection upset is self-consistent and
+// silent; the continuous path's batched ops verify against input checksums
+// cached at construction, so the same upset alarms.
+TEST(Stepper, WeightCorruptionSplitsByEngine) {
+  const CampaignConfig cfg = small_config();
+  const std::vector<serve::GenerationWork> works = {make_work(cfg, 1)};
+  WeightSite site;
+  site.matrix = WeightSite::Matrix::kWq;
+  site.layer = 0;
+  site.row = 1;
+  site.col = 2;
+  site.delta = 0.75;
+
+  const TransformerModel clean_model(cfg.model, cfg.model_seed);
+  TransformerModel faulty_model(cfg.model, cfg.model_seed);
+  faulty_model.corrupt_weight(site);
+
+  const auto legacy_golden = serve::run_stepped(
+      clean_model, works, stepper_config(cfg, serve::SchedulerMode::kLegacy));
+  const auto legacy = serve::run_stepped(
+      faulty_model, works,
+      stepper_config(cfg, serve::SchedulerMode::kLegacy));
+  ASSERT_FALSE(legacy[0].failed) << legacy[0].error;
+  EXPECT_FALSE(session_alarmed(legacy[0]));  // silent on the legacy engine.
+  // ...and consequential — the output really is wrong: a textbook SDC.
+  EXPECT_TRUE(legacy[0].tokens != legacy_golden[0].tokens ||
+              logits_diverge(legacy_golden[0].final_logits,
+                             legacy[0].final_logits));
+
+  const auto continuous = serve::run_stepped(
+      faulty_model, works,
+      stepper_config(cfg, serve::SchedulerMode::kContinuous));
+  ASSERT_FALSE(continuous[0].failed) << continuous[0].error;
+  EXPECT_TRUE(session_alarmed(continuous[0]));  // stale cached checksums.
+}
+
+// --- Whole campaigns ---------------------------------------------------
+
+TEST(Campaign, IdenticalSeedsReproduceTrialByTrial) {
+  const CampaignConfig cfg = small_config();
+  const CampaignResult a = run_campaign(cfg);
+  const CampaignResult b = run_campaign(cfg);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.cells.size(), 11u);  // 2 schedulers x 6 - legacy page tables.
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].trial_outcomes, b.cells[i].trial_outcomes)
+        << serve::scheduler_mode_name(a.cells[i].scheduler) << "/"
+        << subsystem_name(a.cells[i].subsystem);
+    EXPECT_EQ(a.cells[i].outcomes, b.cells[i].outcomes);
+  }
+  CampaignConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  const CampaignResult c = run_campaign(other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    any_difference |= a.cells[i].trial_outcomes != c.cells[i].trial_outcomes;
+  }
+  EXPECT_TRUE(any_difference);  // the seed actually steers the draws.
+}
+
+TEST(Campaign, EveryTrialClassifiedAndJsonCarriesAllCells) {
+  const CampaignConfig cfg = small_config();
+  const CampaignResult result = run_campaign(cfg);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.trials, cfg.trials_per_cell);
+    std::size_t total = 0;
+    for (const std::size_t count : cell.outcomes) total += count;
+    EXPECT_EQ(total, cell.trials);
+    EXPECT_EQ(cell.trial_outcomes.size(), cell.trials);
+  }
+  const std::string json = campaign_report_json(result);
+  EXPECT_NE(json.find("\"bench\": \"fault_campaign\""), std::string::npos);
+  EXPECT_NE(json.find("\"trials_per_cell\""), std::string::npos);
+  for (std::size_t s = 0; s < kSubsystemCount; ++s) {
+    EXPECT_NE(json.find(subsystem_name(Subsystem(s))), std::string::npos);
+  }
+}
+
+// --- Load-driver draw extensions (one reproducible stream) -------------
+
+TEST(LoadDriverDraws, SessionTamperAndSiteFlagsAreDeterministic) {
+  Rng a(77), b(77);
+  const serve::SessionTamper ta = serve::draw_session_tamper(6, a);
+  const serve::SessionTamper tb = serve::draw_session_tamper(6, b);
+  EXPECT_EQ(ta.step, tb.step);
+  EXPECT_EQ(int(ta.target), int(tb.target));
+  EXPECT_EQ(ta.index, tb.index);
+  EXPECT_EQ(ta.delta, tb.delta);
+  EXPECT_GE(ta.delta, 1u);
+
+  TransformerConfig model;
+  model.num_layers = 2;
+  model.num_heads = 2;
+  model.head_dim = 8;
+  const serve::KvCorruption kv = serve::draw_kv_corruption(
+      model, 6, 0.25, a, /*page_table=*/true, /*checksum_state=*/true);
+  EXPECT_TRUE(kv.page_table);
+  EXPECT_TRUE(kv.checksum_state);
+  EXPECT_GE(kv.step, 1u);
+  const serve::KvCorruption plain = serve::draw_kv_corruption(model, 6,
+                                                              0.25, a);
+  EXPECT_FALSE(plain.page_table);
+  EXPECT_FALSE(plain.checksum_state);
+}
+
+}  // namespace
+}  // namespace flashabft::serve_campaign
