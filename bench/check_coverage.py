@@ -15,6 +15,17 @@ cell's detection quality regresses:
     whose baseline had none, or
   * a baseline cell is missing from the candidate.
 
+Protected-control-plane gates (PR 7), checked on the candidate alone:
+
+  * scheduler_state cells must exist on BOTH engines and clear
+    --min-protected-coverage with their coverage upper bound (the sealed
+    session metadata closed what used to be a 0%-coverage blind spot —
+    this gate keeps it closed), and
+  * latent_kv cells must exist on both engines, clear the same coverage
+    floor, and attribute at least --min-scrub-fraction of their detected
+    trials to the background scrubber (scrub_found) — detection must
+    happen before a decode read trips on the corruption, not at it.
+
 Comparing CI bounds against baseline point values (rather than point vs
 point) keeps the gate honest across trial counts: the CI smoke run uses
 far fewer trials per cell than the committed baseline, so its point
@@ -73,6 +84,13 @@ def main():
     parser.add_argument("--max-rise", type=float, default=0.02,
                         help="allowed SDC-rate rise above the baseline "
                              "point value (default 0.02)")
+    parser.add_argument("--min-protected-coverage", type=float, default=0.9,
+                        help="coverage upper-bound floor for the "
+                             "scheduler_state and latent_kv cells "
+                             "(default 0.9)")
+    parser.add_argument("--min-scrub-fraction", type=float, default=0.9,
+                        help="min fraction of detected latent_kv trials "
+                             "the scrubber must have found (default 0.9)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -124,6 +142,32 @@ def main():
 
     if not checked:
         failures.append("baseline has no result cells")
+
+    # Protected-control-plane gates: candidate-only structural floors.
+    for subsystem in ("scheduler_state", "latent_kv"):
+        for scheduler in ("legacy", "continuous"):
+            label = f"{scheduler}/{subsystem}"
+            cell = candidate_cells.get((scheduler, subsystem))
+            if cell is None:
+                failures.append(f"missing protected cell: {label}")
+                continue
+            cov_high = cell.get("coverage_ci_high", 0.0)
+            if cov_high < args.min_protected_coverage:
+                failures.append(
+                    f"{label}: coverage upper bound {cov_high:.4f} < "
+                    f"floor {args.min_protected_coverage}")
+            if subsystem != "latent_kv":
+                continue
+            outcomes = cell.get("outcomes", {})
+            detected = (outcomes.get("detected_corrected", 0) +
+                        outcomes.get("detected_uncorrected", 0))
+            scrub_found = cell.get("scrub_found", 0)
+            if detected > 0 and scrub_found < (
+                    args.min_scrub_fraction * detected):
+                failures.append(
+                    f"{label}: scrubber found {scrub_found}/{detected} "
+                    f"detected latent trials "
+                    f"(< {args.min_scrub_fraction:.0%})")
 
     if failures:
         print(f"coverage gate FAILED ({len(failures)} problem(s), "

@@ -37,6 +37,9 @@
 //   --prompt-len=N --max-new-tokens=N --max-sessions=N (default 8 — the
 //                          generation families run >= 8-way concurrent)
 //   --preset=NAME --fault-prob=P --persistent-frac=P --seed=N
+//   --dmr=BOOL             dual-modular glue (LayerNorm/GELU) on layer +
+//                          generation requests (default true; the baseline
+//                          records the protected-control-plane cost)
 //   --backend=scalar|simd|both   compute backend of the software guarded
 //                          path; "both" runs every scenario per backend
 //                          and is the BENCH_serve.json baseline (default)
@@ -100,6 +103,7 @@ struct EffectiveConfig {
   std::size_t heads = 0;
   std::size_t seq_cap = 0;
   bool inject_faults = false;
+  bool dmr_glue = false;
   double fault_prob = 0.0;
   double persistent_frac = 0.0;
 };
@@ -213,6 +217,8 @@ void write_json(const std::string& path,
       << "    \"seq_cap\": " << config.seq_cap << ",\n"
       << "    \"inject_faults\": " << (config.inject_faults ? "true" : "false")
       << ",\n"
+      << "    \"dmr_glue\": " << (config.dmr_glue ? "true" : "false")
+      << ",\n"
       << "    \"fault_prob\": " << config.fault_prob << ",\n"
       << "    \"persistent_frac\": " << config.persistent_frac << "\n"
       << "  },\n  \"kernels\": [\n";
@@ -260,6 +266,15 @@ void write_json(const std::string& path,
         << "      \"preemptions\": " << t.preemptions << ",\n"
         << "      \"session_resumes\": " << t.session_resumes << ",\n"
         << "      \"peak_page_utilization\": " << t.peak_page_utilization()
+        << ",\n"
+        << "      \"meta_verifies\": " << t.meta_verifies << ",\n"
+        << "      \"scrub_passes\": " << t.scrub_passes << ",\n"
+        << "      \"scrub_items\": " << t.scrub_items << ",\n"
+        << "      \"scrub_faults_found\": " << t.scrub_faults_found << ",\n"
+        << "      \"scrub_repairs\": " << t.scrub_repairs << ",\n"
+        << "      \"scrub_unrepairable\": " << t.scrub_unrepairable << ",\n"
+        << "      \"dmr_compares\": " << t.dmr_compares << ",\n"
+        << "      \"dmr_mismatches\": " << t.dmr_mismatches
         << ",\n      \"per_kind\": {";
     bool first = true;
     for (std::size_t k = 0; k < kOpKindCount; ++k) {
@@ -304,6 +319,7 @@ int main(int argc, char** argv) {
   const std::string backend_arg = args.get_string("backend", "both");
   const std::size_t kernel_reps = args.get_size("kernel-reps", 3);
   const std::string preset_name = args.get_string("preset", "bert");
+  const bool dmr_glue = args.get_bool("dmr", true);
   const double fault_prob = args.get_double("fault-prob", 0.35);
   const double persistent_frac = args.get_double("persistent-frac", 0.2);
   const std::uint64_t seed = std::uint64_t(args.get_size("seed", 7));
@@ -367,6 +383,7 @@ int main(int argc, char** argv) {
     config.model.max_seq_len = prompt_len + max_new_tokens + 8;
     config.max_sessions = max_sessions;
     config.compute = compute;
+    config.dmr_glue = dmr_glue;
 
     const bool layer_mode = request_mode == RequestMode::kDecoderLayer;
     const bool generate_mode = request_mode == RequestMode::kGeneration;
@@ -452,6 +469,25 @@ int main(int argc, char** argv) {
                format_number(double(report.fallback), 0)});
     t.add_row({"checksum-clean responses",
                format_number(double(report.clean_responses), 0)});
+    if (report.telemetry.meta_verifies > 0 ||
+        report.telemetry.scrub_passes > 0 ||
+        report.telemetry.dmr_compares > 0) {
+      t.add_row({"meta verifies",
+                 format_number(double(report.telemetry.meta_verifies), 0)});
+      t.add_row({"scrub passes / items",
+                 format_number(double(report.telemetry.scrub_passes), 0) +
+                     " / " +
+                     format_number(double(report.telemetry.scrub_items), 0)});
+      t.add_row(
+          {"scrub found / repaired",
+           format_number(double(report.telemetry.scrub_faults_found), 0) +
+               " / " +
+               format_number(double(report.telemetry.scrub_repairs), 0)});
+      t.add_row(
+          {"dmr compares / mismatches",
+           format_number(double(report.telemetry.dmr_compares), 0) + " / " +
+               format_number(double(report.telemetry.dmr_mismatches), 0)});
+    }
     for (std::size_t k = 0; k < kOpKindCount; ++k) {
       const OpKindStats& stats = report.telemetry.per_kind[k];
       if (stats.checks == 0) continue;
@@ -595,6 +631,7 @@ int main(int argc, char** argv) {
     effective.heads = heads;
     effective.seq_cap = seq_cap;
     effective.inject_faults = inject_faults;
+    effective.dmr_glue = dmr_glue;
     effective.fault_prob = fault_prob;
     effective.persistent_frac = persistent_frac;
     write_json(json_path, scenarios, kernels, effective);

@@ -31,6 +31,17 @@
 //           (page data + its page-table entry corrupted in the same tick),
 //           recovered from the page checkpoints with token-for-token
 //           parity against its fault-free twin.
+//   act 7 — the scrubber heals a latent fault: a session takes a KV upset
+//           at the start of a multi-tick idle window. No decode step is
+//           there to trip on it — the scrub pass between ticks walks the
+//           idle session's pages, finds the stale checksum and
+//           re-materializes the page from its checkpoint *before* the
+//           session resumes, so the resumed decode reads clean state and
+//           the tokens match the clean run exactly. Runs on the
+//           tick-stepped continuous engine so the idle window and the
+//           scrub pass interleave deterministically; session metadata
+//           rides sealed GuardedRecords and the LayerNorm/GELU glue runs
+//           dual-modular throughout.
 //
 // Build & run:  ./build/examples/serving_demo
 // Knobs: --threads=N --max-batch=N --batch-deadline-us=N
@@ -43,6 +54,7 @@
 #include "common/cli.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/server.hpp"
+#include "serve/stepper.hpp"
 #include "sim/multi_head.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "workload/model_presets.hpp"
@@ -342,6 +354,70 @@ int main(int argc, char** argv) {
     }
     all_clean = all_clean && s.preemptions > 0 && s.session_resumes > 0;
     engine.shutdown();
+  }
+
+  // --- act 7: the scrubber heals latent corruption on an idle session. ---
+  std::cout << "\nact 7 — background scrub of a latent KV fault during an "
+               "idle window:\n";
+  {
+    // Tick-stepped continuous engine: every scheduler tick runs one
+    // deterministic scrub pass, so the idle window and the scrubber
+    // interleave reproducibly instead of racing wall-clock threads.
+    serve::StepperConfig stepped;
+    stepped.mode = SchedulerMode::kContinuous;
+    stepped.page_size = 4;
+    stepped.executor_options.dmr_glue = true;  // dual-modular glue ops.
+
+    const std::vector<std::size_t> prompt =
+        server.model().encode("latent faults age quietly");
+    const auto session_work = [&](bool latent_fault) {
+      GenerationWork work;
+      work.prompt = prompt;
+      work.max_new_tokens = 7;
+      if (latent_fault && inject_faults) {
+        KvCorruption dormant;
+        dormant.step = 3;  // lands as the session goes idle before step 3.
+        dormant.layer = 0;
+        dormant.row = 1;
+        dormant.col = 5;
+        dormant.delta = 2.0;
+        dormant.latent = true;
+        work.kv_corruptions = {dormant};
+        work.latent_idle_ticks = 4;  // the scrubber's window to win.
+      }
+      return work;
+    };
+
+    std::vector<GenerationWork> works = {session_work(/*latent_fault=*/true),
+                                         session_work(/*latent_fault=*/false)};
+    const std::vector<serve::SteppedSession> sessions =
+        serve::run_stepped(server.model(), std::move(works), stepped);
+    std::vector<GenerationWork> golden_works = {
+        session_work(/*latent_fault=*/false)};
+    const std::vector<serve::SteppedSession> golden =
+        serve::run_stepped(server.model(), std::move(golden_works), stepped);
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const serve::SteppedSession& s = sessions[i];
+      std::cout << "  session " << i << (i == 0 ? " (latent fault)" : " (clean)")
+                << ": tokens=" << s.tokens.size()
+                << " meta-verifies=" << s.meta_verifies
+                << " dmr-compares=" << s.dmr_compares
+                << " scrub-found=" << s.scrub_faults_found
+                << " scrub-repaired=" << s.scrub_repairs
+                << " checksum=" << (s.checksum_clean ? "clean" : "DIRTY")
+                << '\n';
+      all_clean = all_clean && !s.failed && s.checksum_clean;
+    }
+    if (inject_faults) {
+      const bool healed = sessions[0].scrub_faults_found >= 1 &&
+                          sessions[0].scrub_repairs >= 1;
+      const bool parity = sessions[0].tokens == golden[0].tokens;
+      std::cout << "  scrubber healed the dormant upset inside the idle "
+                << "window: " << (healed ? "yes" : "NO (?!)")
+                << "; tokens match the clean run: "
+                << (parity ? "yes" : "NO (?!)") << '\n';
+      all_clean = all_clean && healed && parity;
+    }
   }
 
   const TelemetrySnapshot snapshot = server.telemetry().snapshot();

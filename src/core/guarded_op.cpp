@@ -26,6 +26,7 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kKvCache: return "kv_cache";
     case OpKind::kKvPage: return "kv_page";
     case OpKind::kReferenceFallback: return "reference_fallback";
+    case OpKind::kControlPlane: return "control_plane";
   }
   return "?";
 }
@@ -48,6 +49,8 @@ void LayerReport::add(GuardedOp op) {
 void LayerReport::append(LayerReport other) {
   ops.insert(ops.end(), std::make_move_iterator(other.ops.begin()),
              std::make_move_iterator(other.ops.end()));
+  dmr_compares += other.dmr_compares;
+  dmr_mismatches += other.dmr_mismatches;
 }
 
 bool LayerReport::any_alarm() const {

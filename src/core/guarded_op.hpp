@@ -50,8 +50,9 @@ enum class OpKind {
   kKvCache,                 ///< KV-cache read verified by running checksums.
   kKvPage,                  ///< paged KV pool: page contents + page table.
   kReferenceFallback,       ///< software Alg. 3 serving an escalated op.
+  kControlPlane,            ///< sealed scheduler/session metadata + DMR glue.
 };
-inline constexpr std::size_t kOpKindCount = 7;
+inline constexpr std::size_t kOpKindCount = 8;
 
 [[nodiscard]] const char* op_kind_name(OpKind kind);
 /// Inverse of op_kind_name: parses the canonical name (the one report/JSON
@@ -115,6 +116,10 @@ struct GuardedOp {
 /// Aggregated reports of one layer/request forward pass.
 struct LayerReport {
   std::vector<OpReport> ops;
+  /// Dual-modular glue executions compared (when Options::dmr_glue is on);
+  /// mismatches additionally emit a kControlPlane OpReport into `ops`.
+  std::size_t dmr_compares = 0;
+  std::size_t dmr_mismatches = 0;
 
   void add(GuardedOp op);
   void append(LayerReport other);
@@ -162,6 +167,12 @@ class GuardedExecutor {
     /// Initialized from the process-wide default (kScalar unless
     /// set_default_backend() changed it).
     ComputeBackend compute = default_backend();
+    /// Dual-modular execution for the cheap non-matmul glue (LayerNorm,
+    /// GELU) that no checksum covers: run twice, compare bitwise, majority-
+    /// vote with a third run on mismatch (reported as a recovered
+    /// kControlPlane op). Off by default — the glue is deterministic, so
+    /// this buys fault coverage at 2x glue cost, not correctness.
+    bool dmr_glue = false;
   };
 
   /// run_once(attempt) -> the checked result of that execution.

@@ -1,0 +1,58 @@
+#include "core/meta_guard.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace flashabft {
+
+namespace {
+
+/// Bitwise equality — the DMR comparator. Exact on purpose: both runs
+/// execute the same deterministic code on the same input, so ANY
+/// difference is a transient upset, including ones far below any checksum
+/// tolerance. NaN outputs compare unequal (NaN != NaN), so a poisoned glue
+/// op can never pass the compare.
+bool bitwise_equal(const MatrixD& a, const MatrixD& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const std::size_t n = a.rows() * a.cols();
+  const double* pa = a.flat().data();
+  const double* pb = b.flat().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pa[i] != pb[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MatrixD dmr_guard(const GuardedExecutor& executor, std::size_t index,
+                  double cost, const std::function<MatrixD()>& compute,
+                  LayerReport& report) {
+  FLASHABFT_ENSURE_MSG(compute, "dmr_guard needs an operator");
+  if (!executor.options().dmr_glue) return compute();
+
+  GuardedOp op = executor.run(
+      OpKind::kControlPlane, index, cost, [&](std::size_t) {
+        CheckedOp checked;
+        checked.output = compute();
+        const MatrixD shadow = compute();
+        ++report.dmr_compares;
+        const bool equal = bitwise_equal(checked.output, shadow);
+        if (!equal) ++report.dmr_mismatches;
+        checked.check = {1.0, equal ? 1.0 : 0.0};
+        checked.self_verdict =
+            equal ? CheckVerdict::kPass : CheckVerdict::kAlarm;
+        return checked;
+      });
+  MatrixD out = std::move(op.output);
+  // Clean compares stay out of the op stream (they would double its length
+  // for ops that never organically alarm); mismatches report through the
+  // ladder like any other control-plane alarm.
+  if (op.report.alarms > 0 || op.report.verdict == CheckVerdict::kAlarm) {
+    report.add(std::move(op));
+  }
+  return out;
+}
+
+}  // namespace flashabft

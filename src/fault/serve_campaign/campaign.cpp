@@ -103,9 +103,17 @@ bool trial_diverged(const std::vector<serve::SteppedSession>& golden,
 bool trial_alarmed(const std::vector<serve::SteppedSession>& trial) {
   for (const serve::SteppedSession& s : trial) {
     if (s.alarm_events > 0 || s.fallback_ops > 0 || !s.checksum_clean ||
+        s.scrub_faults_found > 0 ||
         s.path != serve::ServePath::kGuardedClean) {
       return true;
     }
+  }
+  return false;
+}
+
+bool trial_scrub_found(const std::vector<serve::SteppedSession>& trial) {
+  for (const serve::SteppedSession& s : trial) {
+    if (s.scrub_faults_found > 0) return true;
   }
   return false;
 }
@@ -171,6 +179,9 @@ CampaignResult run_campaign(
         if (plan.fault) target.faults.push_back(*plan.fault);
         if (plan.kv) target.kv_corruptions.push_back(*plan.kv);
         if (plan.tamper) target.tampers.push_back(*plan.tamper);
+        if (plan.latent_idle_ticks > 0) {
+          target.latent_idle_ticks = plan.latent_idle_ticks;
+        }
 
         serve::StepperConfig trial_cfg = stepper_cfg;
         if (plan.checker_tolerance_scale != 1.0) {
@@ -200,6 +211,7 @@ CampaignResult run_campaign(
 
         ++cell.trials;
         ++cell.outcomes[std::size_t(verdict)];
+        if (trial_scrub_found(outcome)) ++cell.scrub_found;
         ++cell.by_time[time_bucket(plan.step, cfg.max_new_tokens)]
                       [std::size_t(verdict)];
         if (plan.op_kind) {

@@ -92,6 +92,9 @@ struct CellResult {
   /// Per-OpKind split for sites attributable to a checkable op class.
   std::array<std::array<std::size_t, kTrialOutcomeCount>, kOpKindCount>
       by_op_kind{};
+  /// Trials where the background scrub found the fault before a decode
+  /// step read it (latent_kv's headline number; 0 for immediate upsets).
+  std::size_t scrub_found = 0;
   /// The trial-by-trial outcome stream — the reproducibility contract
   /// (identical seeds => identical streams; pinned by tests).
   std::vector<std::uint8_t> trial_outcomes;

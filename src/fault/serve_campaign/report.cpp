@@ -62,6 +62,7 @@ std::string campaign_report_json(const CampaignResult& result) {
         << serve::scheduler_mode_name(cell.scheduler)
         << "\",\n      \"subsystem\": \"" << subsystem_name(cell.subsystem)
         << "\",\n      \"trials\": " << cell.trials
+        << ",\n      \"scrub_found\": " << cell.scrub_found
         << ",\n      \"outcomes\": {";
     for (std::size_t o = 0; o < kTrialOutcomeCount; ++o) {
       out << (o == 0 ? "" : ", ") << '"'

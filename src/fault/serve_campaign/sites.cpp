@@ -15,6 +15,7 @@ const char* subsystem_name(Subsystem subsystem) {
     case Subsystem::kPageTables: return "page_tables";
     case Subsystem::kSchedulerState: return "scheduler_state";
     case Subsystem::kChecksumState: return "checksum_state";
+    case Subsystem::kLatentKv: return "latent_kv";
   }
   return "unknown";
 }
@@ -151,6 +152,19 @@ TrialPlan draw_trial_plan(Subsystem subsystem, serve::SchedulerMode mode,
           plan.step = 0;
           break;
       }
+      break;
+    }
+    case Subsystem::kLatentKv: {
+      // Same site space as kKvPages, but the upset lands at the *start* of
+      // an idle window and sits dormant for 2-4 ticks — the scrubber must
+      // find it before the resumed decode step reads it.
+      plan.magnitude = draw_magnitude(rng);
+      plan.kv = serve::draw_kv_corruption(cfg, max_new_tokens,
+                                          plan.magnitude, rng);
+      plan.kv->latent = true;
+      plan.latent_idle_ticks = 2 + std::size_t(rng.next_below(3));
+      plan.step = plan.kv->step;
+      plan.op_kind = kv_op_kind(mode);
       break;
     }
   }

@@ -32,8 +32,9 @@ enum class Subsystem {
   kPageTables,       ///< paged-pool mapping entries (continuous only).
   kSchedulerState,   ///< session metadata: tokens, prompt, budget.
   kChecksumState,    ///< the protection state itself: sums, tolerances.
+  kLatentKv,         ///< KV upset dormant through an idle window (scrub).
 };
-inline constexpr std::size_t kSubsystemCount = 6;
+inline constexpr std::size_t kSubsystemCount = 7;
 
 [[nodiscard]] const char* subsystem_name(Subsystem subsystem);
 [[nodiscard]] std::optional<Subsystem> parse_subsystem(std::string_view name);
@@ -62,6 +63,9 @@ struct TrialPlan {
   std::optional<serve::SessionTamper> tamper;
   /// != 1.0: both checker tolerances scaled (detector-state corruption).
   double checker_tolerance_scale = 1.0;
+  /// kLatentKv: idle ticks the dormant upset sits before the session
+  /// resumes — the scrubber's detection window.
+  std::size_t latent_idle_ticks = 0;
 };
 
 /// Draws one trial's fault for `subsystem` under `mode`, uniform over the

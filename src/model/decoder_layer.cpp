@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "core/meta_guard.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace flashabft {
@@ -41,11 +42,19 @@ MatrixD DecoderLayer::ffn_block(const MatrixD& h,
                                 const GuardedExecutor& executor,
                                 std::size_t ffn_base,
                                 LayerReport& report) const {
-  const MatrixD inner = gelu_forward(
-      guarded_linear(ffn1_, h, OpKind::kFfn, ffn_base, executor, report));
+  // FFN products predict against the construction-time checksums (the
+  // legacy weight blind spot fix); the checksum-free GELU and Add & Norm
+  // glue runs under selective DMR when Options::dmr_glue is on.
+  const MatrixD lin1 = guarded_linear(ffn1_, h, OpKind::kFfn, ffn_base,
+                                      executor, report, &ffn1_checksums_);
+  const MatrixD inner = dmr_guard(
+      executor, ffn_base, double(lin1.rows()) * double(lin1.cols()),
+      [&] { return gelu_forward(lin1); }, report);
   const MatrixD ffn = guarded_linear(ffn2_, inner, OpKind::kFfn, ffn_base + 1,
-                                     executor, report);
-  return norm3_.forward(element_add(h, ffn));
+                                     executor, report, &ffn2_checksums_);
+  return dmr_guard(
+      executor, ffn_base + 1, double(h.rows()) * double(h.cols()),
+      [&] { return norm3_.forward(element_add(h, ffn)); }, report);
 }
 
 DecoderLayerResult DecoderLayer::forward(
@@ -62,14 +71,20 @@ DecoderLayerResult DecoderLayer::forward(
   MhaResult self = self_attention_.forward(x, backend, executor,
                                            AttentionMask::kCausal,
                                            /*block=*/0);
-  const MatrixD h1 = norm1_.forward(element_add(x, self.output));
   result.report = std::move(self.report);
+  const MatrixD h1 = dmr_guard(
+      executor, /*index=*/0, double(x.rows()) * double(cfg_.model_dim),
+      [&] { return norm1_.forward(element_add(x, self.output)); },
+      result.report);
 
   // Encoder cross-attention + Add & Norm (block 1).
   MhaResult cross = cross_attention_->forward_cross(h1, memory, backend,
                                                     executor, /*block=*/1);
-  const MatrixD h2 = norm2_.forward(element_add(h1, cross.output));
   result.report.append(std::move(cross.report));
+  const MatrixD h2 = dmr_guard(
+      executor, /*index=*/1, double(h1.rows()) * double(cfg_.model_dim),
+      [&] { return norm2_.forward(element_add(h1, cross.output)); },
+      result.report);
 
   // Feed-forward block + Add & Norm.
   result.output = ffn_block(h2, executor, /*ffn_base=*/0, result.report);
@@ -86,8 +101,11 @@ DecoderLayerResult DecoderLayer::forward_causal(
   MhaResult self =
       self_attention_.forward(x, backend, executor, AttentionMask::kCausal,
                               /*block=*/layer_index, cache);
-  const MatrixD h1 = norm1_.forward(element_add(x, self.output));
   result.report = std::move(self.report);
+  const MatrixD h1 = dmr_guard(
+      executor, layer_index, double(x.rows()) * double(cfg_.model_dim),
+      [&] { return norm1_.forward(element_add(x, self.output)); },
+      result.report);
   result.output =
       ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
   return result;
@@ -108,8 +126,11 @@ DecoderLayerResult DecoderLayer::forward_causal_paged(
   MhaResult self =
       self_attention_.forward(x, backend, executor, AttentionMask::kCausal,
                               /*block=*/layer_index, sink);
-  const MatrixD h1 = norm1_.forward(element_add(x, self.output));
   result.report = std::move(self.report);
+  const MatrixD h1 = dmr_guard(
+      executor, layer_index, double(x.rows()) * double(cfg_.model_dim),
+      [&] { return norm1_.forward(element_add(x, self.output)); },
+      result.report);
   result.output =
       ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
   return result;
@@ -125,8 +146,11 @@ DecoderLayerResult DecoderLayer::forward_decode(
   MhaResult self = self_attention_.forward_decode(
       x_new, backend, executor, cache, /*kv_check_index=*/layer_index,
       /*block=*/layer_index);
-  const MatrixD h1 = norm1_.forward(element_add(x_new, self.output));
   result.report = std::move(self.report);
+  const MatrixD h1 = dmr_guard(
+      executor, layer_index, double(x_new.rows()) * double(cfg_.model_dim),
+      [&] { return norm1_.forward(element_add(x_new, self.output)); },
+      result.report);
   result.output =
       ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
   return result;
@@ -142,7 +166,13 @@ MatrixD DecoderLayer::forward_decode_paged_batch(
 
   const MatrixD attn = self_attention_.forward_decode_paged_batch(
       x_stacked, backend, executors, pool, kvs, layer_index, reports);
-  const MatrixD h1 = norm1_.forward(element_add(x_stacked, attn));
+  // The stacked glue runs one DMR pair for the whole batch; a mismatch
+  // attributes to the first session's stream (the re-run covers everyone).
+  const MatrixD h1 = dmr_guard(
+      *executors.front(), layer_index,
+      double(x_stacked.rows()) * double(cfg_.model_dim),
+      [&] { return norm1_.forward(element_add(x_stacked, attn)); },
+      *reports.front());
 
   // FFN as stacked products (per-session checksum groups), then the
   // row-wise Add & Norm — LayerNorm/GELU are per-row, so the stacked pass
@@ -160,9 +190,17 @@ MatrixD DecoderLayer::forward_decode_paged_batch(
     }
     return stacked;
   };
-  const MatrixD inner = gelu_forward(ffn_product(ffn1_, h1, 0));
+  const MatrixD lin1 = ffn_product(ffn1_, h1, 0);
+  const MatrixD inner = dmr_guard(
+      *executors.front(), layer_index * 2,
+      double(lin1.rows()) * double(lin1.cols()),
+      [&] { return gelu_forward(lin1); }, *reports.front());
   const MatrixD ffn = ffn_product(ffn2_, inner, 1);
-  return norm3_.forward(element_add(h1, ffn));
+  return dmr_guard(
+      *executors.front(), layer_index * 2 + 1,
+      double(h1.rows()) * double(cfg_.model_dim),
+      [&] { return norm3_.forward(element_add(h1, ffn)); },
+      *reports.front());
 }
 
 DecoderLayerResult DecoderLayer::forward_decode_paged(
@@ -175,8 +213,11 @@ DecoderLayerResult DecoderLayer::forward_decode_paged(
   MhaResult self = self_attention_.forward_decode_paged(
       x_new, backend, executor, pool, kv, layer_index,
       /*kv_check_index=*/layer_index, /*block=*/layer_index);
-  const MatrixD h1 = norm1_.forward(element_add(x_new, self.output));
   result.report = std::move(self.report);
+  const MatrixD h1 = dmr_guard(
+      executor, layer_index, double(x_new.rows()) * double(cfg_.model_dim),
+      [&] { return norm1_.forward(element_add(x_new, self.output)); },
+      result.report);
   result.output =
       ffn_block(h1, executor, /*ffn_base=*/layer_index * 2, result.report);
   return result;

@@ -74,11 +74,25 @@ MatrixD raw_linear_scalar(const MatrixD& x, const MatrixD& w,
 
 MatrixD guarded_linear(const Linear& layer, const MatrixD& in, OpKind kind,
                        std::size_t index, const GuardedExecutor& executor,
-                       LayerReport& report) {
+                       LayerReport& report,
+                       const Linear::InputChecksums* cached) {
   const ComputeBackend backend = executor.compute_backend();
   GuardedOp op = executor.run(
       kind, index, layer.forward_cost(in.rows()),
-      [&](std::size_t) { return layer.checked_forward(in, backend); },
+      [&](std::size_t attempt) {
+        CheckedOp checked = layer.checked_forward(in, backend);
+        if (cached != nullptr && attempt == 0) {
+          FLASHABFT_ENSURE(cached->row_w.size() == in.cols());
+          double predicted = double(in.rows()) * cached->bias_sum;
+          for (std::size_t k = 0; k < in.cols(); ++k) {
+            double col = 0.0;
+            for (std::size_t r = 0; r < in.rows(); ++r) col += in(r, k);
+            predicted += col * cached->row_w[k];
+          }
+          checked.check.predicted = predicted;
+        }
+        return checked;
+      },
       [&] { return layer.checked_forward(in, ComputeBackend::kScalar); });
   MatrixD out = std::move(op.output);
   report.add(std::move(op));

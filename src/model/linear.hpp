@@ -71,10 +71,18 @@ class Linear {
 /// to `report` and returning the accepted output. Guarded attempts run on
 /// the executor's compute backend; the fallback recomputation always runs
 /// kScalar (implementation diversity against a systematically wrong kernel).
-[[nodiscard]] MatrixD guarded_linear(const Linear& layer, const MatrixD& in,
-                                     OpKind kind, std::size_t index,
-                                     const GuardedExecutor& executor,
-                                     LayerReport& report);
+///
+/// Pass the owner's construction-time `cached` checksums and the first
+/// attempt predicts against rowsum(W)/Σb *as built* instead of the live
+/// weights — the fix for the fault campaign's legacy weight blind spot: a
+/// post-construction weight upset used to re-enter both sides of the
+/// compare and stay self-consistent (13.3% detection); against the stale
+/// cache it alarms. Retries fall back to live-weight prediction, exactly
+/// like `guarded_linear_batch`'s retry path.
+[[nodiscard]] MatrixD guarded_linear(
+    const Linear& layer, const MatrixD& in, OpKind kind, std::size_t index,
+    const GuardedExecutor& executor, LayerReport& report,
+    const Linear::InputChecksums* cached = nullptr);
 
 /// The continuous-batching form of `guarded_linear`: ONE stacked product
 /// y = [x_1; ...; x_G] W + b — the weight matrix (and its rowsum checksum)

@@ -76,6 +76,18 @@ std::size_t ModelReport::escalated_ops() const {
   return total;
 }
 
+std::size_t ModelReport::dmr_compares() const {
+  std::size_t total = final_ops.dmr_compares;
+  for (const LayerReport& layer : layers) total += layer.dmr_compares;
+  return total;
+}
+
+std::size_t ModelReport::dmr_mismatches() const {
+  std::size_t total = final_ops.dmr_mismatches;
+  for (const LayerReport& layer : layers) total += layer.dmr_mismatches;
+  return total;
+}
+
 bool ModelReport::all_accepted_clean() const {
   for (const LayerReport& layer : layers) {
     if (!layer.all_accepted_clean()) return false;

@@ -49,6 +49,10 @@ struct ModelReport {
   [[nodiscard]] std::size_t fallback_ops() const;
   [[nodiscard]] std::size_t recovered_ops() const;
   [[nodiscard]] std::size_t escalated_ops() const;
+  /// Dual-modular glue comparisons / bitwise divergences over the pass
+  /// (zero unless `GuardedExecutor::Options::dmr_glue` is on).
+  [[nodiscard]] std::size_t dmr_compares() const;
+  [[nodiscard]] std::size_t dmr_mismatches() const;
   /// Every accepted op's verdict passed — the cleanliness predicate.
   [[nodiscard]] bool all_accepted_clean() const;
 

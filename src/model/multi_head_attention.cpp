@@ -171,8 +171,11 @@ MhaResult MultiHeadAttention::forward_impl(const MatrixD& x_q,
   MhaResult result;
   const auto project = [&](const Linear& w, const MatrixD& in,
                            std::size_t slot) {
+    // Construction-time checksums: a post-construction weight upset is not
+    // self-consistent against them (the legacy weight blind spot fix).
     return guarded_linear(w, in, OpKind::kProjection, projection_base + slot,
-                          executor, result.report);
+                          executor, result.report,
+                          &projection_checksums_[slot]);
   };
 
   const MatrixD q_all = project(wq_, x_q, 0);
@@ -229,8 +232,11 @@ MhaResult MultiHeadAttention::forward_decode(const MatrixD& x_new,
   MhaResult result;
   const auto project = [&](const Linear& w, const MatrixD& in,
                            std::size_t slot) {
+    // Construction-time checksums: a post-construction weight upset is not
+    // self-consistent against them (the legacy weight blind spot fix).
     return guarded_linear(w, in, OpKind::kProjection, projection_base + slot,
-                          executor, result.report);
+                          executor, result.report,
+                          &projection_checksums_[slot]);
   };
 
   // The state this step is about to read was written by earlier steps:
@@ -371,8 +377,11 @@ MhaResult MultiHeadAttention::forward_decode_paged(
   MhaResult result;
   const auto project = [&](const Linear& w, const MatrixD& in,
                            std::size_t slot) {
+    // Construction-time checksums: a post-construction weight upset is not
+    // self-consistent against them (the legacy weight blind spot fix).
     return guarded_linear(w, in, OpKind::kProjection, projection_base + slot,
-                          executor, result.report);
+                          executor, result.report,
+                          &projection_checksums_[slot]);
   };
 
   // The pages (and the mapping about to be walked) were written by earlier

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "core/meta_guard.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace flashabft {
@@ -241,7 +242,10 @@ StepResult TransformerModel::prefill(const std::vector<std::size_t>& prompt,
     x = std::move(out.output);
     result.report.add_layer(std::move(out.report));
   }
-  const MatrixD h = final_norm_.forward(x);
+  const MatrixD h = dmr_guard(
+      executor, /*index=*/layers_.size(),
+      double(x.rows()) * double(cfg_.model_dim),
+      [&] { return final_norm_.forward(x); }, result.report.final_ops);
   result.logits = lm_head(h, executor, result.report.final_ops);
   result.next_token = argmax(result.logits);
   return result;
@@ -265,7 +269,10 @@ StepResult TransformerModel::decode_step(std::size_t token,
     x = std::move(out.output);
     result.report.add_layer(std::move(out.report));
   }
-  const MatrixD h = final_norm_.forward(x);
+  const MatrixD h = dmr_guard(
+      executor, /*index=*/layers_.size(),
+      double(x.rows()) * double(cfg_.model_dim),
+      [&] { return final_norm_.forward(x); }, result.report.final_ops);
   result.logits = lm_head(h, executor, result.report.final_ops);
   result.next_token = argmax(result.logits);
   return result;
@@ -289,7 +296,10 @@ StepResult TransformerModel::prefill_paged(
     x = std::move(out.output);
     result.report.add_layer(std::move(out.report));
   }
-  const MatrixD h = final_norm_.forward(x);
+  const MatrixD h = dmr_guard(
+      executor, /*index=*/layers_.size(),
+      double(x.rows()) * double(cfg_.model_dim),
+      [&] { return final_norm_.forward(x); }, result.report.final_ops);
   result.logits = lm_head(h, executor, result.report.final_ops);
   result.next_token = argmax(result.logits);
   return result;
@@ -312,7 +322,10 @@ StepResult TransformerModel::decode_step_paged(
     x = std::move(out.output);
     result.report.add_layer(std::move(out.report));
   }
-  const MatrixD h = final_norm_.forward(x);
+  const MatrixD h = dmr_guard(
+      executor, /*index=*/layers_.size(),
+      double(x.rows()) * double(cfg_.model_dim),
+      [&] { return final_norm_.forward(x); }, result.report.final_ops);
   result.logits = lm_head(h, executor, result.report.final_ops);
   result.next_token = argmax(result.logits);
   return result;
@@ -417,7 +430,13 @@ std::vector<StepResult> TransformerModel::decode_step_batch(
     }
   }
 
-  const MatrixD h = final_norm_.forward(x);
+  // One DMR pair over the stacked final norm, attributed to the first
+  // session's stream (same policy as the batched layer glue).
+  const MatrixD h = dmr_guard(
+      *executors.front(), /*index=*/layers_.size(),
+      double(x.rows()) * double(cfg_.model_dim),
+      [&] { return final_norm_.forward(x); },
+      results.front().report.final_ops);
   std::vector<LayerReport*> final_reports;
   final_reports.reserve(batch);
   for (std::size_t s = 0; s < batch; ++s) {

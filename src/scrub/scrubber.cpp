@@ -1,0 +1,81 @@
+#include "scrub/scrubber.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace flashabft::scrub {
+
+Scrubber::Scrubber(Provider provider, Options options)
+    : provider_(std::move(provider)), options_(options) {
+  FLASHABFT_ENSURE_MSG(provider_, "scrubber needs an item provider");
+}
+
+Scrubber::~Scrubber() { stop(); }
+
+std::size_t Scrubber::run_tick() {
+  if (options_.guard != nullptr) {
+    std::lock_guard lock(*options_.guard);
+    return pass_locked();
+  }
+  return pass_locked();
+}
+
+std::size_t Scrubber::pass_locked() {
+  const std::vector<ScrubItem> items = provider_();
+  if (items.empty()) return 0;
+  const std::size_t take = options_.budget == 0
+                               ? items.size()
+                               : std::min(options_.budget, items.size());
+  std::size_t found = 0, repaired = 0, dead = 0;
+  for (std::size_t i = 0; i < take; ++i) {
+    const ScrubItem& item = items[(cursor_ + i) % items.size()];
+    switch (item.run()) {
+      case ItemOutcome::kClean:
+        break;
+      case ItemOutcome::kRepaired:
+        ++found;
+        ++repaired;
+        break;
+      case ItemOutcome::kUnrepairable:
+        ++found;
+        ++dead;
+        break;
+    }
+  }
+  cursor_ = (cursor_ + take) % items.size();
+
+  std::lock_guard stats_lock(stats_mutex_);
+  ++stats_.passes;
+  stats_.items_scrubbed += take;
+  stats_.faults_found += found;
+  stats_.repairs += repaired;
+  stats_.unrepairable += dead;
+  return take;
+}
+
+void Scrubber::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Scrubber::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Scrubber::loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    run_tick();
+    std::this_thread::sleep_for(options_.interval);
+  }
+}
+
+ScrubStats Scrubber::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace flashabft::scrub

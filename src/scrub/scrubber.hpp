@@ -1,0 +1,110 @@
+// Background KV scrubber — find latent corruption before a read trips on it.
+//
+// The KV pool, the contiguous caches and the sealed metadata records are
+// all verified *on read*: a corrupted page sits undetected until the next
+// decode step touches it. For an idle or parked session that window is
+// unbounded — exactly the latent-fault exposure disk systems close with a
+// patrol scrub. This is that scrub for the serving stack: a pacing engine
+// that walks verify-and-heal items (a session's pages per layer, its page
+// table, its sealed metadata) during tick slack, either
+//
+//   - manually (`run_tick()` — one budgeted pass on the calling thread;
+//     the deterministic stepper and the manual-mode scheduler drive it
+//     this way, so campaign trials replay tick-for-tick), or
+//   - on a rate-limited background thread (`start()` — one pass per
+//     interval, serialized against the host through `Options::guard`).
+//
+// The scrubber is deliberately generic: the host supplies a provider that
+// snapshots the current walk list each pass, and every item is a closure
+// that verifies, heals and attributes its own outcome (the scheduler's
+// items run guarded_page_verify / guarded_meta_verify against the owning
+// session's accounting). The scrubber itself only paces, cursors and
+// counts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flashabft::scrub {
+
+/// What one verify-and-heal item observed.
+enum class ItemOutcome {
+  kClean,         ///< checksums verified on the first look.
+  kRepaired,      ///< latent fault found and healed from a mirror.
+  kUnrepairable,  ///< fault found, heal failed (double fault) — escalated.
+};
+
+/// One unit of scrub work. The closure owns verification, healing and
+/// attribution; it must be safe to run under the host's guard mutex.
+struct ScrubItem {
+  std::function<ItemOutcome()> run;
+};
+
+/// Monotonic scrub counters (telemetry's view).
+struct ScrubStats {
+  std::uint64_t passes = 0;          ///< run_tick calls that saw items.
+  std::uint64_t items_scrubbed = 0;  ///< verify-and-heal items executed.
+  std::uint64_t faults_found = 0;    ///< items that alarmed (latent faults).
+  std::uint64_t repairs = 0;         ///< faults healed from a mirror.
+  std::uint64_t unrepairable = 0;    ///< faults that survived the heal.
+};
+
+class Scrubber {
+ public:
+  /// Snapshots the current walk list. Called at the start of every pass
+  /// (under the guard mutex, when one is configured) so items never
+  /// outlive the state they capture.
+  using Provider = std::function<std::vector<ScrubItem>()>;
+
+  struct Options {
+    /// Items verified per pass; 0 = the whole walk list every pass.
+    std::size_t budget = 0;
+    /// Thread mode: pacing between passes.
+    std::chrono::microseconds interval{200};
+    /// Serializes passes against the host's own mutations (the continuous
+    /// scheduler hands its tick mutex here). May be null when the host
+    /// drives run_tick() single-threaded.
+    std::mutex* guard = nullptr;
+  };
+
+  Scrubber(Provider provider, Options options);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// One budgeted pass over the provider's current items, resuming from
+  /// the rotating cursor so successive passes cover the full walk even
+  /// under a small budget. Returns the number of items scrubbed.
+  std::size_t run_tick();
+
+  /// Spawns the rate-limited background thread (idempotent).
+  void start();
+  /// Stops and joins the background thread (idempotent; the destructor
+  /// calls it).
+  void stop();
+
+  [[nodiscard]] ScrubStats stats() const;
+
+ private:
+  void loop();
+  std::size_t pass_locked();
+
+  Provider provider_;
+  Options options_;
+
+  std::size_t cursor_ = 0;  ///< rotating walk position across passes.
+
+  mutable std::mutex stats_mutex_;
+  ScrubStats stats_;  ///< guarded by stats_mutex_.
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace flashabft::scrub

@@ -1,13 +1,14 @@
 #include "serve/fault_surface.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace flashabft::serve {
 
 void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
-                          KvCache& cache) {
+                          KvCache& cache, bool latent) {
   for (const KvCorruption& c : work.kv_corruptions) {
-    if (c.step != step_index) continue;
+    if (c.step != step_index || c.latent != latent) continue;
     KvCacheLayer& layer = cache.layer(c.layer % cache.num_layers());
     if (layer.len() == 0) continue;
     const std::size_t col = c.col % layer.width();
@@ -22,9 +23,9 @@ void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
 }
 
 void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
-                          KvPagePool& pool, PagedKv& kv) {
+                          KvPagePool& pool, PagedKv& kv, bool latent) {
   for (const KvCorruption& c : work.kv_corruptions) {
-    if (c.step != step_index) continue;
+    if (c.step != step_index || c.latent != latent) continue;
     const std::size_t layer = c.layer % kv.num_layers();
     if (kv.len(layer) == 0) continue;
     const std::size_t row = c.row % kv.len(layer);
@@ -48,33 +49,92 @@ void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
   }
 }
 
-void apply_session_tampers(GenerationWork& work, std::size_t step_index,
-                           std::vector<std::size_t>& generated,
-                           std::size_t vocab_size) {
+bool has_latent_corruption(const GenerationWork& work,
+                           std::size_t step_index) {
+  for (const KvCorruption& c : work.kv_corruptions) {
+    if (c.latent && c.step == step_index) return true;
+  }
+  return false;
+}
+
+void apply_session_tampers(const GenerationWork& work, SessionMeta& meta,
+                           std::size_t step_index, std::size_t vocab_size) {
   for (const SessionTamper& t : work.tampers) {
     if (t.step != step_index) continue;
     switch (t.target) {
       case SessionTamper::Target::kGeneratedToken:
-        if (!generated.empty() && vocab_size > 0) {
-          std::size_t& token = generated[t.index % generated.size()];
+        if (!meta.tokens.empty() && vocab_size > 0) {
+          std::size_t& token = meta.tokens[t.index % meta.tokens.size()];
           token = (token + t.delta) % vocab_size;
         }
         break;
       case SessionTamper::Target::kPromptToken:
-        if (!work.prompt.empty() && vocab_size > 0) {
-          std::size_t& token = work.prompt[t.index % work.prompt.size()];
+        if (!meta.prompt.empty() && vocab_size > 0) {
+          std::size_t& token = meta.prompt[t.index % meta.prompt.size()];
           token = (token + t.delta) % vocab_size;
         }
         break;
       case SessionTamper::Target::kMaxNewTokens:
         // Shrink-only (range [1, budget]) so the session still terminates
         // and the engines cannot be driven past max_seq_len.
-        if (work.max_new_tokens > 0) {
-          work.max_new_tokens = 1 + t.delta % work.max_new_tokens;
+        if (meta.max_new_tokens > 0) {
+          meta.max_new_tokens = 1 + t.delta % meta.max_new_tokens;
         }
         break;
     }
   }
+}
+
+IdleScrubOutcome scrub_idle_window(KvCache& cache,
+                                   GuardedRecord<SessionMeta>& meta,
+                                   std::size_t idle_ticks,
+                                   const GuardedExecutor& executor) {
+  IdleScrubOutcome out;
+  // Shared item epilogue: clean passes vanish, alarmed ones are counted
+  // and their reports kept (the caller folds them into the session's
+  // accounting, so a scrub-found fault is a *detected* fault).
+  const auto classify = [&out](LayerReport report) {
+    const OpReport& op = report.ops.front();
+    if (op.recovery == RecoveryStatus::kCleanFirstTry) {
+      return scrub::ItemOutcome::kClean;
+    }
+    ++out.faults_found;
+    scrub::ItemOutcome outcome = scrub::ItemOutcome::kUnrepairable;
+    if (op.recovery == RecoveryStatus::kRecovered) {
+      ++out.repairs;
+      outcome = scrub::ItemOutcome::kRepaired;
+    } else {
+      out.clean = false;
+    }
+    out.reports.insert(out.reports.end(),
+                       std::make_move_iterator(report.ops.begin()),
+                       std::make_move_iterator(report.ops.end()));
+    return outcome;
+  };
+  scrub::Scrubber scrubber(
+      [&] {
+        std::vector<scrub::ScrubItem> items;
+        for (std::size_t layer = 0; layer < cache.num_layers(); ++layer) {
+          items.push_back({[&, layer] {
+            LayerReport report;
+            (void)guarded_cache_verify(cache.layer(layer), layer, executor,
+                                       report);
+            return classify(std::move(report));
+          }});
+        }
+        items.push_back({[&] {
+          LayerReport report;
+          (void)guarded_meta_verify(meta, /*index=*/0, executor, report);
+          return classify(std::move(report));
+        }});
+        return items;
+      },
+      scrub::Scrubber::Options{});
+  const std::size_t passes = std::max<std::size_t>(1, idle_ticks);
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    out.items_scrubbed += scrubber.run_tick();
+  }
+  return out;
 }
 
 GuardedExecutor make_generation_step_executor(

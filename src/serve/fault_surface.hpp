@@ -18,6 +18,8 @@
 #include "core/guarded_op.hpp"
 #include "core/kv_cache.hpp"
 #include "core/kv_pool.hpp"
+#include "core/meta_guard.hpp"
+#include "scrub/scrubber.hpp"
 #include "serve/request.hpp"
 
 namespace flashabft::serve {
@@ -25,29 +27,55 @@ namespace flashabft::serve {
 /// Applies the work's KvCorruptions scheduled for `step_index` to a legacy
 /// contiguous cache. The legacy path has no page table, so `page_table`
 /// corruptions degrade to the nearest real site: a data upset (or, with
-/// `checksum_state`, a running-sum upset).
+/// `checksum_state`, a running-sum upset). Only corruptions whose `latent`
+/// flag matches `latent` are applied: immediate upsets land just before the
+/// step's read, latent ones at the start of the session's idle window.
 void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
-                          KvCache& cache);
+                          KvCache& cache, bool latent = false);
 
 /// The paged-pool variant: data, page-table, per-page-checksum and
 /// table-checksum upsets on the session's live pages/tables.
 void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
-                          KvPagePool& pool, PagedKv& kv);
+                          KvPagePool& pool, PagedKv& kv, bool latent = false);
+
+/// True iff the work schedules a latent corruption exactly at `step_index`
+/// (the step whose read the idle window precedes).
+[[nodiscard]] bool has_latent_corruption(const GenerationWork& work,
+                                         std::size_t step_index);
 
 /// Applies the work's SessionTampers scheduled for `step_index` to the
-/// session's unprotected metadata: `generated` is the engine's
-/// produced-token list (the feedback path of the next decode step), and
-/// prompt / generation budget live in `work` itself. Token shifts wrap at
-/// `vocab_size`; budget tampers shrink (never extend) the budget so a
-/// tampered session still terminates.
-void apply_session_tampers(GenerationWork& work, std::size_t step_index,
-                           std::vector<std::size_t>& generated,
-                           std::size_t vocab_size);
+/// session's sealed metadata fields. `meta` must be the record's `raw()`
+/// reference — the write deliberately leaves the seal stale, exactly like
+/// the memory upset it models, for the next `guarded_meta_verify` to catch.
+/// Token shifts wrap at `vocab_size`; budget tampers shrink (never extend)
+/// the budget so a tampered-but-undetected session still terminates.
+void apply_session_tampers(const GenerationWork& work, SessionMeta& meta,
+                           std::size_t step_index, std::size_t vocab_size);
 
 /// The per-step executor both engines use: `options`, with the tamper hook
 /// armed iff the work schedules op faults for `step_index`.
 [[nodiscard]] GuardedExecutor make_generation_step_executor(
     const GenerationWork& work, std::size_t step_index,
     const GuardedExecutor::Options& options);
+
+/// Outcome of a legacy idle-window scrub (see `scrub_idle_window`).
+struct IdleScrubOutcome {
+  std::size_t items_scrubbed = 0;
+  std::size_t faults_found = 0;  ///< items that alarmed (latent faults).
+  std::size_t repairs = 0;       ///< healed from checkpoints/mirrors.
+  /// OpReports of the alarmed items (clean passes stay unreported).
+  std::vector<OpReport> reports;
+  bool clean = true;  ///< false iff an item escalated unrepaired.
+};
+
+/// The legacy engine's latent-fault window: the contiguous-cache path has
+/// no tick loop for a background scrub thread to ride, so a session's idle
+/// window collapses into `idle_ticks` inline scrub passes (minimum one)
+/// over its cache layers and sealed metadata record — the same
+/// verify-and-heal items the continuous scheduler's scrubber walks, healing
+/// from the checkpoint mirrors before the next read.
+[[nodiscard]] IdleScrubOutcome scrub_idle_window(
+    KvCache& cache, GuardedRecord<SessionMeta>& meta, std::size_t idle_ticks,
+    const GuardedExecutor& executor);
 
 }  // namespace flashabft::serve

@@ -122,6 +122,11 @@ struct KvCorruption {
   /// The next verify raises a false alarm and restoration rebuilds the
   /// sums. On the legacy path `page_table` is ignored (no table exists).
   bool checksum_state = false;
+  /// Latent-fault trial: the corruption lands while the session then sits
+  /// *idle* for `GenerationWork::latent_idle_ticks` ticks before its next
+  /// decode read. The exposure window belongs to the background scrubber,
+  /// which should find and heal the fault before the read ever sees it.
+  bool latent = false;
 };
 
 /// A scheduler/session-metadata upset: unprotected bookkeeping of one
@@ -149,6 +154,9 @@ struct GenerationWork {
   std::vector<GenerationStepFault> faults;   ///< emulated op faults.
   std::vector<KvCorruption> kv_corruptions;  ///< cache upsets between steps.
   std::vector<SessionTamper> tampers;        ///< session-metadata upsets.
+  /// Idle window (in ticks/steps) a `KvCorruption::latent` upset sits
+  /// unread before the session resumes — the scrubber's race to win.
+  std::size_t latent_idle_ticks = 0;
 };
 
 /// Internal continuation payload: one decode step of an active session,
@@ -224,6 +232,12 @@ struct ServeResponse {
   // Continuous scheduler only:
   std::size_t preemptions = 0;  ///< times the session lost its pages.
   std::size_t resumes = 0;      ///< lossless re-prefills after preemption.
+  // Scrub / control-plane accounting (both engines):
+  std::size_t meta_verifies = 0;       ///< sealed-metadata checks executed.
+  std::size_t scrub_faults_found = 0;  ///< latent faults the scrubber hit.
+  std::size_t scrub_repairs = 0;       ///< of those, healed from mirrors.
+  std::size_t dmr_compares = 0;        ///< dual-run glue comparisons.
+  std::size_t dmr_mismatches = 0;      ///< of those, bitwise divergences.
 };
 
 }  // namespace flashabft::serve

@@ -45,7 +45,8 @@ ContinuousScheduler::ContinuousScheduler(
       sessions_(sessions),
       telemetry_(telemetry),
       pool_(model.make_pool_config(cfg.page_size, cfg.num_pages,
-                                   sessions.max_active())) {
+                                   sessions.max_active())),
+      control_executor_(executor_options) {
   FLASHABFT_ENSURE_MSG(cfg_.max_batch_tokens > 0,
                        "scheduler needs a positive decode-batch cap");
   // 0 is resolved by the server (worker count capped at hardware
@@ -57,8 +58,20 @@ ContinuousScheduler::ContinuousScheduler(
     // Deterministic stepping: the owner drives ticks via run_tick() and a
     // single-threaded sweep keeps every tick's work order reproducible.
     cfg_.sweep_threads = 1;
-  } else {
+  }
+  if (cfg_.scrub) {
+    scrub::Scrubber::Options scrub_options;
+    scrub_options.budget = cfg_.scrub_budget;
+    scrub_options.interval = cfg_.scrub_interval;
+    // Manual mode drives passes inline from tick() on one thread; only
+    // thread mode needs the pass-vs-tick serialization.
+    scrub_options.guard = cfg_.manual ? nullptr : &scrub_mutex_;
+    scrubber_ = std::make_unique<scrub::Scrubber>(
+        [this] { return scrub_items(); }, scrub_options);
+  }
+  if (!cfg_.manual) {
     thread_ = std::thread([this] { loop(); });
+    if (scrubber_ != nullptr) scrubber_->start();
   }
 }
 
@@ -93,9 +106,13 @@ void ContinuousScheduler::shutdown() {
     // unbackable sessions, so this loop terminates.
     while (run_tick()) {
     }
-    return;
+  } else if (thread_.joinable()) {
+    thread_.join();
   }
-  if (thread_.joinable()) thread_.join();
+  if (scrubber_ != nullptr) {
+    scrubber_->stop();
+    publish_scrub();
+  }
 }
 
 bool ContinuousScheduler::run_tick() {
@@ -170,6 +187,9 @@ void ContinuousScheduler::loop() {
       if (stop_ && drained) return;
       incoming.swap(ready_);
     }
+    // The scrub thread holds the same mutex across each pass, so session
+    // state is only ever touched by one of tick/scrub at a time.
+    std::lock_guard scrub_lock(scrub_mutex_);
     tick(std::move(incoming));
   }
 }
@@ -178,8 +198,8 @@ std::size_t ContinuousScheduler::content_tokens(
     const GenerationSession& session) const {
   // The cache holds the prompt plus every generated token except the last,
   // still-undecoded one (mirrors the legacy step protocol).
-  return session.work.prompt.size() +
-         (session.tokens.empty() ? 0 : session.tokens.size() - 1);
+  return session.prompt().size() +
+         (session.tokens().empty() ? 0 : session.tokens().size() - 1);
 }
 
 void ContinuousScheduler::insert_waiting(GenerationSession* session) {
@@ -213,6 +233,13 @@ void ContinuousScheduler::tick(std::vector<GenerationSession*> incoming) {
     insert_waiting(parked);
   }
   publish_page_usage();
+  // Tick slack: manual mode runs one deterministic scrub pass inline (the
+  // thread mode's scrub thread paces itself); either way the counters are
+  // published while they are fresh.
+  if (scrubber_ != nullptr) {
+    if (cfg_.manual) scrubber_->run_tick();
+    publish_scrub();
+  }
 }
 
 void ContinuousScheduler::admit_waiting() {
@@ -251,19 +278,23 @@ void ContinuousScheduler::start_or_resume(GenerationSession& session) {
 
   // Step-0 session tampers (prompt upsets, budget tampers) land on the
   // original prefill only, mirroring the step-0 tamper rule below: a
-  // resume replays already-tampered state.
+  // resume replays already-tampered state. The tamper writes through the
+  // record's raw backdoor; the boundary verify right after catches the
+  // stale seal and repairs from the mirror, so a tampered session alarms
+  // instead of silently steering the prefill.
   if (first_activation) {
-    apply_session_tampers(session.work, /*step_index=*/0, session.tokens,
+    apply_session_tampers(session.work, session.meta.raw(), /*step_index=*/0,
                           model_.config().vocab_size);
+    verify_meta(session);
   }
 
   // First activation prefills the prompt; a resume re-prefills prompt +
   // generated tokens (minus the undecoded last) — greedy decode is
   // deterministic, so the rebuilt pages continue token-for-token.
-  std::vector<std::size_t> content = session.work.prompt;
-  if (!session.tokens.empty()) {
-    content.insert(content.end(), session.tokens.begin(),
-                   session.tokens.end() - 1);
+  std::vector<std::size_t> content = session.prompt();
+  if (!session.tokens().empty()) {
+    content.insert(content.end(), session.tokens().begin(),
+                   session.tokens().end() - 1);
   }
   // Step-0 faults fire on the original prefill only: a resume is a fresh
   // recomputation of already-produced state, so re-arming the tamper would
@@ -343,6 +374,8 @@ void ContinuousScheduler::absorb_report(GenerationSession& session,
   session.alarm_events += report.alarm_events();
   session.fallback_ops += report.fallback_ops();
   session.recovered_ops += report.recovered_ops();
+  session.dmr_compares += report.dmr_compares();
+  session.dmr_mismatches += report.dmr_mismatches();
   if (report.escalated_ops() > 0) telemetry_.on_escalation();
   session.checksum_clean =
       session.checksum_clean && report.all_accepted_clean();
@@ -353,13 +386,35 @@ void ContinuousScheduler::absorb_report(GenerationSession& session,
   session.service_us += service_us;
 }
 
+void ContinuousScheduler::absorb_control(GenerationSession& session,
+                                         LayerReport report) {
+  ModelReport wrapper;
+  wrapper.final_ops = std::move(report);
+  absorb_report(session, std::move(wrapper), /*service_us=*/0.0);
+}
+
+bool ContinuousScheduler::verify_meta(GenerationSession& session) {
+  ++session.meta_verifies;
+  LayerReport report;
+  const bool clean = guarded_meta_verify(session.meta, /*index=*/0,
+                                         control_executor_, report);
+  const OpReport& op = report.ops.front();
+  // Clean first-try verifies stay out of the session's op stream (one per
+  // stepping session per tick would dwarf the real compute ops); alarmed
+  // or escalated ones report through the ladder like any guarded op.
+  if (op.alarms > 0 || op.verdict == CheckVerdict::kAlarm) {
+    absorb_control(session, std::move(report));
+  }
+  return clean;
+}
+
 bool ContinuousScheduler::absorb_step(GenerationSession& session,
                                       StepResult step, std::size_t batch_size,
                                       double service_us) {
-  const bool is_prefill = session.tokens.empty();
-  session.tokens.push_back(step.next_token);
+  const bool is_prefill = session.tokens().empty();
+  session.push_token(step.next_token);
   session.final_logits = std::move(step.logits);
-  if (!is_prefill) ++session.steps_done;
+  if (!is_prefill) session.count_step();
   absorb_report(session, std::move(step.report), service_us);
   session.batch_size = batch_size;
   return session.done();
@@ -368,13 +423,37 @@ bool ContinuousScheduler::absorb_step(GenerationSession& session,
 void ContinuousScheduler::decode_tick() {
   if (running_.empty()) return;
 
+  // Latent-fault windows: a session whose next step carries a latent
+  // corruption takes the upset NOW, then sits out `latent_idle_ticks`
+  // ticks before decoding again — the exposure window in which the
+  // scrubber (not the read path) must find and heal the fault.
+  std::vector<GenerationSession*> eligible;
+  eligible.reserve(running_.size());
+  for (GenerationSession* session : running_) {
+    const std::size_t step_index = session->steps_done() + 1;
+    if (session->idle_ticks_left == 0 &&
+        session->latent_step_done != step_index &&
+        has_latent_corruption(session->work, step_index)) {
+      apply_kv_corruptions(session->work, step_index, pool_, *session->paged,
+                           /*latent=*/true);
+      session->latent_step_done = step_index;
+      session->idle_ticks_left = session->work.latent_idle_ticks;
+    }
+    if (session->idle_ticks_left > 0) {
+      --session->idle_ticks_left;
+      continue;  // idle this tick; the scrubber owns the window.
+    }
+    eligible.push_back(session);
+  }
+  if (eligible.empty()) return;
+
   // Round-robin selection keeps every session advancing when the run set
   // exceeds the decode-batch cap.
   std::vector<GenerationSession*> batch;
-  const std::size_t take = std::min(cfg_.max_batch_tokens, running_.size());
-  rotate_ %= running_.size();
+  const std::size_t take = std::min(cfg_.max_batch_tokens, eligible.size());
+  rotate_ %= eligible.size();
   for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(running_[(rotate_ + i) % running_.size()]);
+    batch.push_back(eligible[(rotate_ + i) % eligible.size()]);
   }
   rotate_ += take;
 
@@ -409,13 +488,18 @@ void ContinuousScheduler::decode_tick() {
 
   // Session tampers land only on sessions actually stepping this tick (a
   // skipped session re-applies the same step next tick, which would
-  // double-inject). A budget tamper can end a session on the spot.
+  // double-inject). The tick-boundary verify right after catches the stale
+  // seal and repairs the record from its mirror, so a tamper alarms and
+  // the session continues on clean metadata; only a double-fault that also
+  // hit the mirror survives (and still carries the alarm). A session whose
+  // (repaired or tampered) budget is already met finalizes on the spot.
   std::vector<GenerationSession*> stepping;
   stepping.reserve(advancing.size());
   for (GenerationSession* session : advancing) {
-    const std::size_t step_index = session->steps_done + 1;
-    apply_session_tampers(session->work, step_index, session->tokens,
+    const std::size_t step_index = session->steps_done() + 1;
+    apply_session_tampers(session->work, session->meta.raw(), step_index,
                           model_.config().vocab_size);
+    verify_meta(*session);
     if (session->done()) {
       running_.erase(std::find(running_.begin(), running_.end(), session));
       finalize(session);
@@ -435,11 +519,11 @@ void ContinuousScheduler::decode_tick() {
   executors.reserve(advancing.size());
   kvs.reserve(advancing.size());
   for (GenerationSession* session : advancing) {
-    const std::size_t step_index = session->steps_done + 1;
+    const std::size_t step_index = session->steps_done() + 1;
     // Storage upsets scheduled between steps land now, before the sweep
     // reads the pages (the kKvPage check must catch and repair them).
     apply_corruptions(*session, step_index);
-    tokens.push_back(session->tokens.back());
+    tokens.push_back(session->tokens().back());
     executors.push_back(make_step_executor(*session, step_index));
     kvs.push_back(session->paged.get());
   }
@@ -522,9 +606,9 @@ void ContinuousScheduler::finalize(GenerationSession* session) {
   response.id = session->id;
   response.worker_id = session->worker_id;
   response.batch_size = session->batch_size;
-  response.tokens = session->tokens;
+  response.tokens = session->tokens();
   response.final_logits = std::move(session->final_logits);
-  response.decode_steps = session->steps_done;
+  response.decode_steps = session->steps_done();
   response.ttft_us = session->ttft_us;
   response.queue_us = session->queue_us;
   response.service_us = session->service_us;
@@ -538,6 +622,11 @@ void ContinuousScheduler::finalize(GenerationSession* session) {
   response.checksum_clean = session->checksum_clean;
   response.preemptions = session->preemptions;
   response.resumes = session->resumes;
+  response.meta_verifies = session->meta_verifies;
+  response.scrub_faults_found = session->scrub_faults_found;
+  response.scrub_repairs = session->scrub_repairs;
+  response.dmr_compares = session->dmr_compares;
+  response.dmr_mismatches = session->dmr_mismatches;
   response.path = session->fallback_ops > 0 ? ServePath::kFallbackReference
                   : session->recovered_ops > 0
                       ? ServePath::kGuardedRecovered
@@ -561,6 +650,61 @@ void ContinuousScheduler::fail(GenerationSession* session,
 void ContinuousScheduler::publish_page_usage() {
   telemetry_.set_page_usage(pool_.pages_in_use(), pool_.num_pages(),
                             pool_.peak_pages_in_use());
+}
+
+std::vector<scrub::ScrubItem> ContinuousScheduler::scrub_items() {
+  std::vector<scrub::ScrubItem> items;
+  items.reserve(running_.size() * (1 + cfg_.page_size));
+  const auto outcome_of = [](const OpReport& op) {
+    if (op.recovery == RecoveryStatus::kCleanFirstTry) {
+      return scrub::ItemOutcome::kClean;
+    }
+    return op.recovery == RecoveryStatus::kRecovered
+               ? scrub::ItemOutcome::kRepaired
+               : scrub::ItemOutcome::kUnrepairable;
+  };
+  for (GenerationSession* session : running_) {
+    // The sealed metadata record.
+    items.push_back({[this, session, outcome_of] {
+      LayerReport report;
+      (void)guarded_meta_verify(session->meta, /*index=*/0, control_executor_,
+                                report);
+      const scrub::ItemOutcome outcome = outcome_of(report.ops.front());
+      if (outcome != scrub::ItemOutcome::kClean) {
+        ++session->scrub_faults_found;
+        if (outcome == scrub::ItemOutcome::kRepaired) {
+          ++session->scrub_repairs;
+        }
+        absorb_control(*session, std::move(report));
+      }
+      return outcome;
+    }});
+    // Every layer's pages and page table.
+    for (std::size_t layer = 0; layer < session->paged->num_layers();
+         ++layer) {
+      items.push_back({[this, session, layer, outcome_of] {
+        LayerReport report;
+        (void)guarded_page_verify(pool_, *session->paged, layer,
+                                  /*index=*/layer, control_executor_, report);
+        const scrub::ItemOutcome outcome = outcome_of(report.ops.front());
+        if (outcome != scrub::ItemOutcome::kClean) {
+          ++session->scrub_faults_found;
+          if (outcome == scrub::ItemOutcome::kRepaired) {
+            ++session->scrub_repairs;
+          }
+          absorb_control(*session, std::move(report));
+        }
+        return outcome;
+      }});
+    }
+  }
+  return items;
+}
+
+void ContinuousScheduler::publish_scrub() {
+  const scrub::ScrubStats stats = scrubber_->stats();
+  telemetry_.set_scrub(stats.passes, stats.items_scrubbed, stats.faults_found,
+                       stats.repairs, stats.unrepairable);
 }
 
 }  // namespace flashabft::serve

@@ -33,6 +33,7 @@
 // mutex-guarded ready queue (enqueue side) and the SessionTable's own lock.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -45,6 +46,7 @@
 
 #include "core/kv_pool.hpp"
 #include "model/transformer_model.hpp"
+#include "scrub/scrubber.hpp"
 #include "serve/session.hpp"
 #include "serve/telemetry.hpp"
 
@@ -93,6 +95,17 @@ struct SchedulerConfig {
   /// (sweep_threads forced to 1). The fault campaign runs the real
   /// scheduler this way so identical seeds replay identical tick orders.
   bool manual = false;
+  /// Background scrubber over the running sessions' pages, page tables and
+  /// sealed metadata: latent storage upsets are found and healed from the
+  /// checkpoint mirrors *before* the next decode read trips on them. Manual
+  /// mode runs one budgeted pass inline at the end of every tick (so
+  /// campaign trials replay deterministically); thread mode runs a
+  /// rate-limited scrub thread serialized with ticks.
+  bool scrub = true;
+  /// Items verified per scrub pass; 0 = the full walk every pass.
+  std::size_t scrub_budget = 0;
+  /// Thread mode: pacing between scrub passes.
+  std::chrono::microseconds scrub_interval{200};
 };
 
 /// The continuous-batching engine. Owned by the server when
@@ -171,6 +184,18 @@ class ContinuousScheduler {
   /// decode steps and resume re-prefills, which produce no new token).
   void absorb_report(GenerationSession& session, ModelReport report,
                      double service_us);
+  /// Folds one control-plane/scrub LayerReport into the session.
+  void absorb_control(GenerationSession& session, LayerReport report);
+  /// Guarded verify of the session's sealed metadata (repairs from the
+  /// mirror on alarm). Clean verifies are counted but stay out of the op
+  /// stream; alarmed ones report through the session like any guarded op.
+  bool verify_meta(GenerationSession& session);
+  /// The scrubber's walk list: one metadata item plus one kKvPage item per
+  /// layer for every running session. Items verify-and-heal and attribute
+  /// findings to the owning session; they are fetched and executed within
+  /// one pass under the scrub serialization, so the pointers stay live.
+  [[nodiscard]] std::vector<scrub::ScrubItem> scrub_items();
+  void publish_scrub();
   /// Folds one step's results into the session; true if it is done.
   bool absorb_step(GenerationSession& session, StepResult step,
                    std::size_t batch_size, double service_us);
@@ -186,6 +211,14 @@ class ContinuousScheduler {
   SessionTable& sessions_;
   ServeTelemetry& telemetry_;
   KvPagePool pool_;
+  /// Runs every control-plane verify and scrub item (meta seals report
+  /// through self_verdict, so a tolerance-corrupted checker cannot blind
+  /// them).
+  GuardedExecutor control_executor_;
+  /// Serializes scrub passes against ticks in thread mode: the loop holds
+  /// it across tick(), the scrub thread across each pass.
+  std::mutex scrub_mutex_;
+  std::unique_ptr<scrub::Scrubber> scrubber_;
 
   std::mutex mutex_;
   std::condition_variable wake_;

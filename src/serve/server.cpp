@@ -226,6 +226,7 @@ std::unique_ptr<GenerationSession> InferenceServer::make_session(
   session->id = pending.request.id;
   session->category = std::move(pending.request.category);
   session->work = std::move(std::get<GenerationWork>(pending.request.work));
+  session->seal_meta();
   session->promise = std::move(pending.promise);
   session->enqueue_time = pending.request.enqueue_time;
   return session;
@@ -321,6 +322,7 @@ GuardedExecutor::Options InferenceServer::executor_options() const {
   options.screen_extremes = config_.screen_extremes;
   options.screen = config_.screen;
   options.compute = config_.compute;
+  options.dmr_glue = config_.dmr_glue;
   return options;
 }
 
@@ -565,17 +567,20 @@ bool InferenceServer::execute_session_step(Worker& worker,
                                            GenerationSession& session,
                                            std::size_t batch_size) {
   const Clock::time_point start = Clock::now();
-  const bool is_prefill = session.tokens.empty();
+  const bool is_prefill = session.tokens().empty();
   // Step numbering of the fault surfaces: 0 = prefill, s >= 1 = the s-th
   // decode step.
-  const std::size_t step_index = is_prefill ? 0 : session.steps_done + 1;
+  const std::size_t step_index = is_prefill ? 0 : session.steps_done() + 1;
 
   GuardedExecutor executor = make_generation_step_executor(
       session.work, step_index, executor_options());
   // Session-metadata tampers land before the step reads any of it (the
   // prompt for a prefill, the fed-back token and budget for a decode step).
-  apply_session_tampers(session.work, step_index, session.tokens,
+  // They write through the record's raw() backdoor, so the boundary verify
+  // right after catches the stale seal and repairs from the mirror.
+  apply_session_tampers(session.work, session.meta.raw(), step_index,
                         config_.model.vocab_size);
+  (void)verify_session_meta(session);
 
   const TransformerModel& m = model();
   if (is_prefill) {
@@ -584,21 +589,35 @@ bool InferenceServer::execute_session_step(Worker& worker,
       session.queue_us = to_us(start - session.enqueue_time);
     }
   } else {
+    // A latent upset lands at the start of the session's idle window; the
+    // inline scrub passes (the legacy engine's stand-in for the continuous
+    // scheduler's background scrubber) must heal it before this step reads
+    // the cache.
+    if (has_latent_corruption(session.work, step_index)) {
+      apply_kv_corruptions(session.work, step_index, *session.cache,
+                           /*latent=*/true);
+      absorb_idle_scrub(session,
+                        scrub_idle_window(*session.cache, session.meta,
+                                          session.work.latent_idle_ticks,
+                                          make_executor()));
+    }
     // Storage upsets scheduled between steps land now, before this step
     // reads the cache (its kKvCache check must catch and repair them).
     apply_kv_corruptions(session.work, step_index, *session.cache);
   }
 
   StepResult step =
-      is_prefill ? m.prefill(session.work.prompt, AttentionBackend::kFlashAbft,
+      is_prefill ? m.prefill(session.prompt(), AttentionBackend::kFlashAbft,
                              executor, *session.cache)
-                 : m.decode_step(session.tokens.back(),
+                 : m.decode_step(session.tokens().back(),
                                  AttentionBackend::kFlashAbft, executor,
                                  *session.cache);
 
-  session.tokens.push_back(step.next_token);
+  session.push_token(step.next_token);
   session.final_logits = std::move(step.logits);
-  if (!is_prefill) ++session.steps_done;
+  if (!is_prefill) session.count_step();
+  session.dmr_compares += step.report.dmr_compares();
+  session.dmr_mismatches += step.report.dmr_mismatches();
   session.op_executions += step.report.executions();
   session.alarm_events += step.report.alarm_events();
   session.fallback_ops += step.report.fallback_ops();
@@ -623,14 +642,56 @@ bool InferenceServer::execute_session_step(Worker& worker,
   return session.done();
 }
 
+bool InferenceServer::verify_session_meta(GenerationSession& session) {
+  ++session.meta_verifies;
+  LayerReport report;
+  const bool clean =
+      guarded_meta_verify(session.meta, /*index=*/0, make_executor(), report);
+  const OpReport& op = report.ops.front();
+  // A clean first-try verify happens every step of every session; folding
+  // each into the op stream would drown the fault reports, so only alarmed
+  // verifies are absorbed (clean ones are visible via meta_verifies).
+  if (op.alarms == 0 && op.verdict == CheckVerdict::kPass) return clean;
+  session.op_executions += report.executions();
+  session.alarm_events += report.alarm_events();
+  if (op.recovery == RecoveryStatus::kRecovered) ++session.recovered_ops;
+  if (op.recovery == RecoveryStatus::kEscalated) telemetry_.on_escalation();
+  session.checksum_clean =
+      session.checksum_clean && report.all_accepted_clean();
+  session.all_reports.insert(session.all_reports.end(),
+                             std::make_move_iterator(report.ops.begin()),
+                             std::make_move_iterator(report.ops.end()));
+  return clean;
+}
+
+void InferenceServer::absorb_idle_scrub(GenerationSession& session,
+                                        IdleScrubOutcome outcome) {
+  session.scrub_faults_found += outcome.faults_found;
+  session.scrub_repairs += outcome.repairs;
+  for (const OpReport& op : outcome.reports) {
+    session.op_executions += op.executions;
+    session.alarm_events += op.alarms;
+    if (op.recovery == RecoveryStatus::kRecovered) ++session.recovered_ops;
+    if (op.recovery == RecoveryStatus::kEscalated &&
+        op.kind != OpKind::kReferenceFallback) {
+      telemetry_.on_escalation();
+    }
+  }
+  session.checksum_clean = session.checksum_clean && outcome.clean;
+  session.all_reports.insert(
+      session.all_reports.end(),
+      std::make_move_iterator(outcome.reports.begin()),
+      std::make_move_iterator(outcome.reports.end()));
+}
+
 GenerationSession* InferenceServer::finalize_session(
     GenerationSession& session) {
   ServeResponse response;
   response.id = session.id;
   response.worker_id = session.worker_id;
   response.batch_size = session.batch_size;
-  response.tokens = session.tokens;
-  response.decode_steps = session.steps_done;
+  response.tokens = session.tokens();
+  response.decode_steps = session.steps_done();
   response.final_logits = std::move(session.final_logits);
   response.ttft_us = session.ttft_us;
   response.queue_us = session.queue_us;
@@ -643,6 +704,11 @@ GenerationSession* InferenceServer::finalize_session(
   response.alarm_events = session.alarm_events;
   response.fallback_ops = session.fallback_ops;
   response.checksum_clean = session.checksum_clean;
+  response.meta_verifies = session.meta_verifies;
+  response.scrub_faults_found = session.scrub_faults_found;
+  response.scrub_repairs = session.scrub_repairs;
+  response.dmr_compares = session.dmr_compares;
+  response.dmr_mismatches = session.dmr_mismatches;
   response.path = session.fallback_ops > 0 ? ServePath::kFallbackReference
                   : session.recovered_ops > 0
                       ? ServePath::kGuardedRecovered

@@ -46,6 +46,7 @@
 #include "model/transformer_model.hpp"
 #include "serve/batch_former.hpp"
 #include "serve/circuit_breaker.hpp"
+#include "serve/fault_surface.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
@@ -77,6 +78,10 @@ struct ServerConfig {
   /// default to preserve the paper's comparator semantics.
   bool screen_extremes = false;
   ExtremeValueConfig screen{};
+  /// Selective dual-modular execution of the checksum-free glue ops
+  /// (LayerNorm/GELU) on layer and generation requests — see
+  /// GuardedExecutor::Options::dmr_glue. Off by default (2x glue cost).
+  bool dmr_glue = false;
   CircuitBreakerConfig breaker{};
   /// Shape of the decoder layer serving LayerWork requests; its weights
   /// are seeded once per server (constructed lazily on first layer
@@ -224,6 +229,15 @@ class InferenceServer {
   /// records telemetry; returns the next parked session (now active).
   [[nodiscard]] GenerationSession* finalize_session(
       GenerationSession& session);
+  /// Boundary check of the session's sealed metadata record (tampers are
+  /// applied to `raw()`, so a tamper is a stale seal this verify catches
+  /// and repairs from the mirror). Clean verifies are counted but stay out
+  /// of the op stream. Returns false iff the record escalated unrepaired.
+  bool verify_session_meta(GenerationSession& session);
+  /// Folds a legacy idle-window scrub outcome (fault counters + alarmed
+  /// OpReports) into the session's accounting.
+  void absorb_idle_scrub(GenerationSession& session,
+                         IdleScrubOutcome outcome);
 
   ServerConfig config_;
   BoundedMpmcQueue<Pending> queue_;

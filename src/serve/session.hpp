@@ -37,6 +37,7 @@
 
 #include "core/kv_cache.hpp"
 #include "core/kv_pool.hpp"
+#include "core/meta_guard.hpp"
 #include "serve/request.hpp"
 
 namespace flashabft::serve {
@@ -57,9 +58,58 @@ struct GenerationSession {
   std::uint64_t sched_order = 0;  ///< scheduler age stamp (admission order).
   std::size_t preemptions = 0;  ///< times this session's pages were taken.
   std::size_t resumes = 0;      ///< lossless re-prefills after preemption.
-  std::vector<std::size_t> tokens;  ///< generated so far.
-  std::size_t steps_done = 0;       ///< decode steps executed.
+  /// The sealed control-plane record: prompt, budget, generated tokens and
+  /// step counter, verified at step/tick boundaries via
+  /// `guarded_meta_verify`. Legitimate writes go through the accessors
+  /// below; fault injection goes through `meta.raw()`.
+  GuardedRecord<SessionMeta> meta;
   std::vector<double> final_logits; ///< last step's next-token logits.
+
+  /// Seals prompt/budget from `work` into the record. Call once, after
+  /// `work` is populated and before the first step.
+  void seal_meta() {
+    meta.mutate([this](SessionMeta& m) {
+      m.prompt = work.prompt;
+      m.max_new_tokens = work.max_new_tokens;
+      m.tokens.clear();
+      m.steps_done = 0;
+    });
+  }
+  [[nodiscard]] const std::vector<std::size_t>& prompt() const {
+    return meta.value().prompt;
+  }
+  [[nodiscard]] std::size_t max_new_tokens() const {
+    return meta.value().max_new_tokens;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& tokens() const {
+    return meta.value().tokens;
+  }
+  [[nodiscard]] std::size_t steps_done() const {
+    return meta.value().steps_done;
+  }
+  void push_token(std::size_t token) {
+    meta.mutate([token](SessionMeta& m) { m.tokens.push_back(token); });
+  }
+  void count_step() {
+    meta.mutate([](SessionMeta& m) { ++m.steps_done; });
+  }
+
+  // Latent-fault idle window (continuous scheduler): ticks this session
+  // still sits out of the decode batch while its latent corruption waits
+  // for the scrubber.
+  std::size_t idle_ticks_left = 0;
+  /// Steps whose latent window already ran (guards re-trigger while the
+  /// step counter has not advanced).
+  std::size_t latent_step_done = 0;
+
+  // Scrub attribution: latent faults the scrubber found/healed on this
+  // session's pages, tables and metadata.
+  std::size_t scrub_faults_found = 0;
+  std::size_t scrub_repairs = 0;
+  std::size_t meta_verifies = 0;  ///< sealed-metadata checks executed.
+  // Dual-modular glue accounting, accumulated across steps.
+  std::size_t dmr_compares = 0;
+  std::size_t dmr_mismatches = 0;
 
   Clock::time_point enqueue_time{};
   double queue_us = 0.0;    ///< admission -> first execution.
@@ -78,7 +128,7 @@ struct GenerationSession {
   std::size_t batch_size = 0;  ///< batch the last step rode in.
 
   [[nodiscard]] bool done() const {
-    return tokens.size() >= work.max_new_tokens;
+    return meta.value().tokens.size() >= meta.value().max_new_tokens;
   }
 };
 

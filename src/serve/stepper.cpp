@@ -21,13 +21,37 @@ ServePath classify_path(std::size_t fallback_ops, std::size_t recovered_ops) {
   return ServePath::kGuardedClean;
 }
 
+/// Boundary verify of the stepped session's sealed metadata — the same
+/// policy as the server's verify_session_meta: every check is counted,
+/// only alarmed ones fold into the fault accounting.
+void verify_stepped_meta(GuardedRecord<SessionMeta>& meta,
+                         const GuardedExecutor& executor, SteppedSession& out,
+                         std::size_t& recovered_ops) {
+  ++out.meta_verifies;
+  LayerReport report;
+  (void)guarded_meta_verify(meta, /*index=*/0, executor, report);
+  const OpReport& op = report.ops.front();
+  if (op.alarms == 0 && op.verdict == CheckVerdict::kPass) return;
+  out.op_executions += report.executions();
+  out.alarm_events += report.alarm_events();
+  if (op.recovery == RecoveryStatus::kRecovered) ++recovered_ops;
+  out.checksum_clean = out.checksum_clean && report.all_accepted_clean();
+}
+
 /// Mirrors the legacy server's execute_session_step loop without the
 /// worker pool: same step numbering, same fault surface, same accounting.
 SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
                           const StepperConfig& cfg) {
   SteppedSession out;
   KvCache cache = model.make_cache();
-  std::size_t steps_done = 0;
+  GuardedRecord<SessionMeta> meta;
+  meta.mutate([&work](SessionMeta& m) {
+    m.prompt = work.prompt;
+    m.max_new_tokens = work.max_new_tokens;
+  });
+  // Untampered executor for the control-plane verifies and scrub passes —
+  // the step executor's fault hook models op upsets, not checker upsets.
+  const GuardedExecutor control_executor(cfg.executor_options);
   std::size_t recovered_ops = 0;
   // Budget tampers only ever shrink max_new_tokens, so the loop is
   // intrinsically bounded; the watchdog is the defense against engine
@@ -36,33 +60,59 @@ SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
       cfg.max_ticks > 0 ? cfg.max_ticks : work.max_new_tokens + 8;
   std::size_t steps = 0;
   try {
-    while (out.tokens.size() < work.max_new_tokens) {
+    while (meta.value().tokens.size() < meta.value().max_new_tokens) {
       if (++steps > max_steps) {
         out.failed = true;
         out.hang = true;
         out.error = "step budget exceeded";
         break;
       }
-      const bool is_prefill = out.tokens.empty();
-      const std::size_t step_index = is_prefill ? 0 : steps_done + 1;
+      const bool is_prefill = meta.value().tokens.empty();
+      const std::size_t step_index =
+          is_prefill ? 0 : meta.value().steps_done + 1;
       GuardedExecutor executor = make_generation_step_executor(
           work, step_index, cfg.executor_options);
-      apply_session_tampers(work, step_index, out.tokens,
+      // Tampers write through raw(); the boundary verify catches the stale
+      // seal and repairs the record from its mirror before the step reads.
+      apply_session_tampers(work, meta.raw(), step_index,
                             model.config().vocab_size);
-      if (!is_prefill) apply_kv_corruptions(work, step_index, cache);
+      verify_stepped_meta(meta, control_executor, out, recovered_ops);
+      if (!is_prefill) {
+        // Latent upsets land at the start of the idle window and the inline
+        // scrub passes must heal them before this step's read (the legacy
+        // stand-in for the continuous scheduler's background scrubber).
+        if (has_latent_corruption(work, step_index)) {
+          apply_kv_corruptions(work, step_index, cache, /*latent=*/true);
+          IdleScrubOutcome scrub = scrub_idle_window(
+              cache, meta, work.latent_idle_ticks, control_executor);
+          out.scrub_faults_found += scrub.faults_found;
+          out.scrub_repairs += scrub.repairs;
+          for (const OpReport& op : scrub.reports) {
+            out.op_executions += op.executions;
+            out.alarm_events += op.alarms;
+            if (op.recovery == RecoveryStatus::kRecovered) ++recovered_ops;
+          }
+          out.checksum_clean = out.checksum_clean && scrub.clean;
+        }
+        apply_kv_corruptions(work, step_index, cache);
+      }
       StepResult step =
-          is_prefill ? model.prefill(work.prompt,
+          is_prefill ? model.prefill(meta.value().prompt,
                                      AttentionBackend::kFlashAbft, executor,
                                      cache)
-                     : model.decode_step(out.tokens.back(),
+                     : model.decode_step(meta.value().tokens.back(),
                                          AttentionBackend::kFlashAbft,
                                          executor, cache);
-      out.tokens.push_back(step.next_token);
+      meta.mutate([&step, is_prefill](SessionMeta& m) {
+        m.tokens.push_back(step.next_token);
+        if (!is_prefill) ++m.steps_done;
+      });
       out.final_logits = std::move(step.logits);
-      if (!is_prefill) ++steps_done;
       out.op_executions += step.report.executions();
       out.alarm_events += step.report.alarm_events();
       out.fallback_ops += step.report.fallback_ops();
+      out.dmr_compares += step.report.dmr_compares();
+      out.dmr_mismatches += step.report.dmr_mismatches();
       recovered_ops += step.report.recovered_ops();
       out.checksum_clean =
           out.checksum_clean && step.report.all_accepted_clean();
@@ -74,6 +124,7 @@ SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
     out.failed = true;
     out.error = "unknown exception";
   }
+  out.tokens = meta.value().tokens;
   out.path = classify_path(out.fallback_ops, recovered_ops);
   return out;
 }
@@ -105,6 +156,7 @@ std::vector<SteppedSession> run_continuous(const TransformerModel& model,
     auto session = std::make_unique<GenerationSession>();
     session->id = i;
     session->work = std::move(works[i]);
+    session->seal_meta();
     futures.push_back(session->promise.get_future());
     SessionAdmission admission;
     if (!scheduler.admit(session, admission)) {
@@ -141,6 +193,11 @@ std::vector<SteppedSession> run_continuous(const TransformerModel& model,
       result.op_executions = response.op_executions;
       result.alarm_events = response.alarm_events;
       result.fallback_ops = response.fallback_ops;
+      result.meta_verifies = response.meta_verifies;
+      result.scrub_faults_found = response.scrub_faults_found;
+      result.scrub_repairs = response.scrub_repairs;
+      result.dmr_compares = response.dmr_compares;
+      result.dmr_mismatches = response.dmr_mismatches;
       result.checksum_clean = response.checksum_clean;
     } catch (const std::exception& e) {
       result.failed = true;

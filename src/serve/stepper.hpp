@@ -32,6 +32,11 @@ struct SteppedSession {
   std::size_t op_executions = 0;
   std::size_t alarm_events = 0;
   std::size_t fallback_ops = 0;
+  std::size_t meta_verifies = 0;       ///< sealed-record boundary checks.
+  std::size_t scrub_faults_found = 0;  ///< latent faults the scrub caught.
+  std::size_t scrub_repairs = 0;       ///< of those, healed before the read.
+  std::size_t dmr_compares = 0;
+  std::size_t dmr_mismatches = 0;
   bool checksum_clean = true;
   bool failed = false;  ///< a step threw / the engine failed the session.
   bool hang = false;    ///< the step/tick watchdog fired (implies failed).

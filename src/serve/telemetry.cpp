@@ -45,6 +45,11 @@ void ServeTelemetry::on_response(const ServeResponse& response) {
   op_executions_.fetch_add(response.op_executions,
                            std::memory_order_relaxed);
   fallback_ops_.fetch_add(response.fallback_ops, std::memory_order_relaxed);
+  meta_verifies_.fetch_add(response.meta_verifies,
+                           std::memory_order_relaxed);
+  dmr_compares_.fetch_add(response.dmr_compares, std::memory_order_relaxed);
+  dmr_mismatches_.fetch_add(response.dmr_mismatches,
+                            std::memory_order_relaxed);
   (response.checksum_clean ? checksum_clean_ : checksum_dirty_)
       .fetch_add(1, std::memory_order_relaxed);
 
@@ -110,6 +115,16 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
   s.pages_in_use = pages_in_use_.load(std::memory_order_relaxed);
   s.pages_total = pages_total_.load(std::memory_order_relaxed);
   s.peak_pages_in_use = peak_pages_in_use_.load(std::memory_order_relaxed);
+  s.meta_verifies = meta_verifies_.load(std::memory_order_relaxed);
+  s.scrub_passes = scrub_passes_.load(std::memory_order_relaxed);
+  s.scrub_items = scrub_items_.load(std::memory_order_relaxed);
+  s.scrub_faults_found =
+      scrub_faults_found_.load(std::memory_order_relaxed);
+  s.scrub_repairs = scrub_repairs_.load(std::memory_order_relaxed);
+  s.scrub_unrepairable =
+      scrub_unrepairable_.load(std::memory_order_relaxed);
+  s.dmr_compares = dmr_compares_.load(std::memory_order_relaxed);
+  s.dmr_mismatches = dmr_mismatches_.load(std::memory_order_relaxed);
   for (std::size_t k = 0; k < kOpKindCount; ++k) {
     s.per_kind[k].checks = kind_checks_[k].load(std::memory_order_relaxed);
     s.per_kind[k].alarms = kind_alarms_[k].load(std::memory_order_relaxed);
@@ -194,6 +209,20 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
     row("session resumes", double(session_resumes), 0);
     row("pages in use", double(pages_in_use), 0);
     row("peak page utilization", peak_page_utilization(), 2);
+  }
+  if (meta_verifies > 0) {
+    row("meta verifies", double(meta_verifies), 0);
+  }
+  if (scrub_passes > 0) {
+    row("scrub passes", double(scrub_passes), 0);
+    row("scrub items", double(scrub_items), 0);
+    row("scrub faults found", double(scrub_faults_found), 0);
+    row("scrub repairs", double(scrub_repairs), 0);
+    row("scrub unrepairable", double(scrub_unrepairable), 0);
+  }
+  if (dmr_compares > 0) {
+    row("dmr compares", double(dmr_compares), 0);
+    row("dmr mismatches", double(dmr_mismatches), 0);
   }
   for (std::size_t k = 0; k < kOpKindCount; ++k) {
     const OpKindStats& stats = per_kind[k];

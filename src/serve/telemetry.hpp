@@ -102,6 +102,16 @@ struct TelemetrySnapshot {
   std::uint64_t pages_total = 0;         ///< pool size (0 = no pool).
   std::uint64_t peak_pages_in_use = 0;
 
+  // Control plane + background scrub (zero when the guard/scrubber is off).
+  std::uint64_t meta_verifies = 0;       ///< sealed-metadata boundary checks.
+  std::uint64_t scrub_passes = 0;        ///< scrub passes executed.
+  std::uint64_t scrub_items = 0;         ///< verify-and-heal items scrubbed.
+  std::uint64_t scrub_faults_found = 0;  ///< latent faults the scrub hit.
+  std::uint64_t scrub_repairs = 0;       ///< healed from checkpoint mirrors.
+  std::uint64_t scrub_unrepairable = 0;  ///< double faults that escalated.
+  std::uint64_t dmr_compares = 0;        ///< dual-run glue comparisons.
+  std::uint64_t dmr_mismatches = 0;      ///< bitwise divergences caught.
+
   /// Mean decode-batch occupancy (sessions advanced per tick).
   [[nodiscard]] double batch_occupancy() const {
     return scheduler_ticks > 0
@@ -181,6 +191,17 @@ class ServeTelemetry {
   void set_compute(ComputeBackend compute) {
     compute_.store(compute, std::memory_order_relaxed);
   }
+  /// Publishes the scrubber's monotonic counters (gauge-style, like
+  /// set_page_usage: the scrubber owns the totals, telemetry mirrors them).
+  void set_scrub(std::uint64_t passes, std::uint64_t items,
+                 std::uint64_t faults_found, std::uint64_t repairs,
+                 std::uint64_t unrepairable) {
+    scrub_passes_.store(passes, std::memory_order_relaxed);
+    scrub_items_.store(items, std::memory_order_relaxed);
+    scrub_faults_found_.store(faults_found, std::memory_order_relaxed);
+    scrub_repairs_.store(repairs, std::memory_order_relaxed);
+    scrub_unrepairable_.store(unrepairable, std::memory_order_relaxed);
+  }
 
   /// Records one completed response: outcome path, fault accounting and the
   /// three latency samples.
@@ -221,6 +242,14 @@ class ServeTelemetry {
   std::atomic<std::uint64_t> pages_in_use_{0};
   std::atomic<std::uint64_t> pages_total_{0};
   std::atomic<std::uint64_t> peak_pages_in_use_{0};
+  std::atomic<std::uint64_t> meta_verifies_{0};
+  std::atomic<std::uint64_t> scrub_passes_{0};
+  std::atomic<std::uint64_t> scrub_items_{0};
+  std::atomic<std::uint64_t> scrub_faults_found_{0};
+  std::atomic<std::uint64_t> scrub_repairs_{0};
+  std::atomic<std::uint64_t> scrub_unrepairable_{0};
+  std::atomic<std::uint64_t> dmr_compares_{0};
+  std::atomic<std::uint64_t> dmr_mismatches_{0};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_checks_{};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_alarms_{};
   std::array<std::atomic<std::uint64_t>, kOpKindCount> kind_recovered_{};

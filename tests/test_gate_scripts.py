@@ -3,8 +3,9 @@
 
 Exercises bench/check_coverage.py (the SDC-coverage gate) end to end over
 synthetic BENCH_faults.json files — the pass path, every regression class
-(coverage drop, SDC rise, new crash/hang, missing cell) must exit 1, and a
-config mismatch must refuse the comparison with exit 2 — plus the existing
+(coverage drop, SDC rise, new crash/hang, missing cell, protected-cell
+floor slip, scrub-attribution slip) must exit 1, and a config mismatch
+must refuse the comparison with exit 2 — plus the existing
 bench/check_regression.py config-mismatch path. A gate that silently
 passes regressed candidates is worse than no gate, so the gate is tested
 like any other code.
@@ -24,8 +25,26 @@ import unittest
 BENCH_DIR = None  # resolved in __main__ below.
 
 
+def protected_cell(scheduler, subsystem):
+    """A healthy scheduler_state/latent_kv cell: near-total detection,
+    latent detections fully attributed to the scrubber."""
+    return {
+        "scheduler": scheduler, "subsystem": subsystem,
+        "trials": 1000,
+        "outcomes": {"detected_corrected": 960,
+                     "detected_uncorrected": 0, "masked": 40,
+                     "sdc": 0, "crash_hang": 0},
+        "detection_coverage": 1.0, "coverage_ci_low": 0.995,
+        "coverage_ci_high": 1.0, "sdc_rate": 0.0,
+        "sdc_ci_low": 0.0, "sdc_ci_high": 0.005,
+        "scrub_found": 960 if subsystem == "latent_kv" else 0,
+        "time_curve": [], "per_op_kind": [],
+    }
+
+
 def coverage_baseline():
-    """A minimal but schema-complete fault-campaign report."""
+    """A minimal but schema-complete fault-campaign report (includes the
+    four protected cells the candidate-only gates require)."""
     return {
         "bench": "fault_campaign",
         "config": {
@@ -59,6 +78,10 @@ def coverage_baseline():
                 "sdc_ci_low": 0.005, "sdc_ci_high": 0.018,
                 "time_curve": [], "per_op_kind": [],
             },
+            protected_cell("legacy", "scheduler_state"),
+            protected_cell("continuous", "scheduler_state"),
+            protected_cell("legacy", "latent_kv"),
+            protected_cell("continuous", "latent_kv"),
         ],
     }
 
@@ -191,6 +214,56 @@ class GateScriptTest(unittest.TestCase):
         lax = self.run_gate("check_coverage.py", base, path,
                             "--max-drop", "0.2", "--max-rise", "0.2")
         self.assertEqual(lax.returncode, 0, lax.stdout)
+
+    # --- check_coverage.py: protected-control-plane floors -----------
+
+    def protected_index(self, report, scheduler, subsystem):
+        for i, cell in enumerate(report["results"]):
+            if (cell["scheduler"], cell["subsystem"]) == (scheduler,
+                                                          subsystem):
+                return i
+        self.fail(f"fixture lacks {scheduler}/{subsystem}")
+
+    def test_missing_protected_cell_fails(self):
+        base = self.write("base.json", coverage_baseline())
+        cand = coverage_baseline()
+        del cand["results"][self.protected_index(cand, "continuous",
+                                                 "latent_kv")]
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("missing protected cell: continuous/latent_kv",
+                      result.stdout)
+
+    def test_protected_coverage_floor_slip_fails(self):
+        # Even with a baseline that matches (so no relative regression),
+        # scheduler_state sliding under the absolute floor must fail —
+        # that cell was a 0%-coverage blind spot once already.
+        cand = coverage_baseline()
+        cell = cand["results"][self.protected_index(cand, "legacy",
+                                                    "scheduler_state")]
+        cell["detection_coverage"] = 0.5
+        cell["coverage_ci_low"] = 0.47
+        cell["coverage_ci_high"] = 0.53
+        base = self.write("base.json", cand)
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("legacy/scheduler_state", result.stdout)
+        self.assertIn("floor", result.stdout)
+
+    def test_latent_detections_without_scrub_attribution_fail(self):
+        # Detection at the resumed read is the wrong mechanism: the
+        # scrubber must find latent faults inside the idle window.
+        cand = coverage_baseline()
+        cell = cand["results"][self.protected_index(cand, "legacy",
+                                                    "latent_kv")]
+        cell["scrub_found"] = 100  # 960 detected, scrubber saw 100.
+        base = self.write("base.json", cand)
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("scrubber found 100/960", result.stdout)
 
     # --- check_regression.py -----------------------------------------
 
