@@ -24,7 +24,11 @@ Protected-control-plane gates (PR 7), checked on the candidate alone:
   * latent_kv cells must exist on both engines, clear the same coverage
     floor, and attribute at least --min-scrub-fraction of their detected
     trials to the background scrubber (scrub_found) — detection must
-    happen before a decode read trips on the corruption, not at it.
+    happen before a decode read trips on the corruption, not at it, and
+  * shared_prefix cells (PR 8: one corrupted shared page, many readers)
+    must exist on both engines and clear the same coverage floor — the
+    single-checksum multi-reader pages must stay as well-detected as
+    private ones.
 
 Comparing CI bounds against baseline point values (rather than point vs
 point) keeps the gate honest across trial counts: the CI smoke run uses
@@ -144,7 +148,7 @@ def main():
         failures.append("baseline has no result cells")
 
     # Protected-control-plane gates: candidate-only structural floors.
-    for subsystem in ("scheduler_state", "latent_kv"):
+    for subsystem in ("scheduler_state", "latent_kv", "shared_prefix"):
         for scheduler in ("legacy", "continuous"):
             label = f"{scheduler}/{subsystem}"
             cell = candidate_cells.get((scheduler, subsystem))

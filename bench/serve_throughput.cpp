@@ -17,11 +17,20 @@
 //   --max-batch=N          batch former admission cap     (default 8)
 //   --batch-deadline-us=N  batch forming deadline         (default 200)
 //   --inject-faults=BOOL   run the fault campaigns too    (default true)
-//   --mode=attention|layer|generate|continuous|both|all   payloads
+//   --mode=attention|layer|generate|continuous|prefix|both|all   payloads
 //                          (default all; both = attention+layer, the
 //                          pre-generation set; continuous = generation
 //                          sessions through the continuous-batching
-//                          scheduler + paged KV pool)
+//                          scheduler + paged KV pool; prefix = the "many
+//                          users, few templates" workload, run cold
+//                          [prefix cache off, the PR 5 private-prefill
+//                          baseline] and cached [prefix cache on])
+//   --templates=N          distinct prompt templates of the prefix
+//                          workload (default 4)
+//   --prefix-len=N         shared template-stem tokens (default 128 — a
+//                          whole number of KV pages at the default
+//                          --page-size=16, so the full stem is shareable;
+//                          each prompt adds a 4-token private suffix)
 //   --scheduler=legacy|continuous   engine of the *generate* scenario
 //                          family (default legacy; the continuous family
 //                          always runs the continuous scheduler, so the
@@ -99,6 +108,8 @@ struct EffectiveConfig {
   std::size_t prompt_len = 0;
   std::size_t max_new_tokens = 0;
   std::size_t max_sessions = 0;
+  std::size_t templates = 0;
+  std::size_t prefix_len = 0;
   std::size_t concurrency = 0;
   std::size_t heads = 0;
   std::size_t seq_cap = 0;
@@ -212,6 +223,8 @@ void write_json(const std::string& path,
       << "    \"prompt_len\": " << config.prompt_len << ",\n"
       << "    \"max_new_tokens\": " << config.max_new_tokens << ",\n"
       << "    \"max_sessions\": " << config.max_sessions << ",\n"
+      << "    \"templates\": " << config.templates << ",\n"
+      << "    \"prefix_len\": " << config.prefix_len << ",\n"
       << "    \"concurrency\": " << config.concurrency << ",\n"
       << "    \"heads\": " << config.heads << ",\n"
       << "    \"seq_cap\": " << config.seq_cap << ",\n"
@@ -262,6 +275,24 @@ void write_json(const std::string& path,
         << "      \"ttft_p50_us\": " << t.ttft_p50_us << ",\n"
         << "      \"ttft_p99_us\": " << t.ttft_p99_us << ",\n"
         << "      \"sessions_parked\": " << t.sessions_parked << ",\n"
+        << "      \"prefix_hits\": " << t.prefix_hits << ",\n"
+        << "      \"prefix_misses\": " << t.prefix_misses << ",\n"
+        << "      \"prefix_hit_rate\": "
+        << (t.prefix_hits + t.prefix_misses > 0
+                ? double(t.prefix_hits) /
+                      double(t.prefix_hits + t.prefix_misses)
+                : 0.0)
+        << ",\n"
+        << "      \"prefix_hit_tokens\": " << t.prefix_hit_tokens << ",\n"
+        << "      \"prefix_cow_forks\": " << t.prefix_cow_forks << ",\n"
+        << "      \"prefix_evictions\": " << t.prefix_evictions << ",\n"
+        << "      \"shared_heals\": " << t.shared_heals << ",\n"
+        << "      \"prefix_cached_responses\": "
+        << s.report.prefix_cached_responses << ",\n"
+        << "      \"cached_ttft_p50_us\": " << s.report.cached_ttft_p50_us
+        << ",\n"
+        << "      \"uncached_ttft_p50_us\": "
+        << s.report.uncached_ttft_p50_us << ",\n"
         << "      \"batch_occupancy\": " << t.batch_occupancy() << ",\n"
         << "      \"preemptions\": " << t.preemptions << ",\n"
         << "      \"session_resumes\": " << t.session_resumes << ",\n"
@@ -309,6 +340,8 @@ int main(int argc, char** argv) {
   const std::size_t prompt_len = args.get_size("prompt-len", 12);
   const std::size_t max_new_tokens = args.get_size("max-new-tokens", 16);
   const std::size_t max_sessions = args.get_size("max-sessions", 8);
+  const std::size_t templates = args.get_size("templates", 4);
+  const std::size_t prefix_len = args.get_size("prefix-len", 128);
   const std::size_t concurrency = args.get_size("concurrency", 8);
   const std::size_t heads = args.get_size("heads", 4);
   const std::size_t seq_cap = args.get_size("seq-cap", 48);
@@ -331,6 +364,10 @@ int main(int argc, char** argv) {
   const bool run_layer = mode == "layer" || mode == "both" || mode == "all";
   const bool run_generate = mode == "generate" || mode == "all";
   const bool run_continuous = mode == "continuous" || mode == "all";
+  const bool run_prefix = mode == "prefix" || mode == "all";
+  // Prefix-workload prompts: the shared stem plus a 4-token private
+  // suffix (so CoW always has a divergence point to fork at).
+  const std::size_t prefix_prompt_len = prefix_len + 4;
   const std::optional<SchedulerMode> generate_scheduler =
       parse_scheduler_mode(scheduler_arg);
   if (!generate_scheduler) {
@@ -357,7 +394,9 @@ int main(int argc, char** argv) {
   const auto scenario = [&](const char* title, RequestMode request_mode,
                             double probability, ComputeBackend compute,
                             SchedulerMode scheduler_mode =
-                                SchedulerMode::kLegacy) {
+                                SchedulerMode::kLegacy,
+                            bool prefix_workload = false,
+                            bool prefix_cache_on = true) {
     ServerConfig config =
         make_calibrated_server_config(preset, /*lanes=*/16, seq_cap, seed);
     config.num_workers = threads;
@@ -380,10 +419,15 @@ int main(int argc, char** argv) {
     config.model.num_heads = 2;
     config.model.head_dim = 32;
     config.model.ffn_dim = 128;
-    config.model.max_seq_len = prompt_len + max_new_tokens + 8;
+    const std::size_t effective_prompt_len =
+        prefix_workload ? prefix_prompt_len : prompt_len;
+    config.model.max_seq_len = effective_prompt_len + max_new_tokens + 8;
     config.max_sessions = max_sessions;
     config.compute = compute;
     config.dmr_glue = dmr_glue;
+    // The cold half of the prefix pair IS the PR 5 private-prefill
+    // baseline: same template traffic, cache disabled.
+    config.scheduler.prefix_cache = !prefix_workload || prefix_cache_on;
 
     const bool layer_mode = request_mode == RequestMode::kDecoderLayer;
     const bool generate_mode = request_mode == RequestMode::kGeneration;
@@ -400,8 +444,12 @@ int main(int argc, char** argv) {
     load.heads_per_request = heads;
     load.seq_len_cap = layer_mode ? layer_seq : seq_cap;
     load.memory_len = 12;
-    load.prompt_len = prompt_len;
+    load.prompt_len = effective_prompt_len;
     load.max_new_tokens = max_new_tokens;
+    if (prefix_workload) {
+      load.templates = templates;
+      load.prefix_len = prefix_len;
+    }
     load.seed = seed;
     load.inject.fault_probability = probability;
     load.inject.persistent_fraction = persistent_frac;
@@ -433,6 +481,27 @@ int main(int argc, char** argv) {
                  format_number(report.telemetry.ttft_p99_us, 1)});
       t.add_row({"sessions parked",
                  format_number(double(report.telemetry.sessions_parked), 0)});
+    }
+    if (prefix_workload) {
+      const TelemetrySnapshot& tel = report.telemetry;
+      const std::size_t lookups = tel.prefix_hits + tel.prefix_misses;
+      t.add_row({"prefix hits / misses",
+                 format_number(double(tel.prefix_hits), 0) + " / " +
+                     format_number(double(tel.prefix_misses), 0)});
+      t.add_row({"prefix hit rate",
+                 format_number(lookups > 0 ? double(tel.prefix_hits) /
+                                                 double(lookups)
+                                           : 0.0,
+                               2)});
+      t.add_row({"prefill tokens skipped",
+                 format_number(double(tel.prefix_hit_tokens), 0)});
+      t.add_row({"cow forks / evictions",
+                 format_number(double(tel.prefix_cow_forks), 0) + " / " +
+                     format_number(double(tel.prefix_evictions), 0)});
+      t.add_row({"cached ttft p50 (us)",
+                 format_number(report.cached_ttft_p50_us, 1)});
+      t.add_row({"uncached ttft p50 (us)",
+                 format_number(report.uncached_ttft_p50_us, 1)});
     }
     if (continuous) {
       t.add_row({"scheduler ticks",
@@ -520,7 +589,8 @@ int main(int argc, char** argv) {
     const bool ok = complete && clean && accounted;
     all_clean = all_clean && ok;
     scenarios.push_back({title,
-                         continuous      ? "continuous"
+                         prefix_workload ? "prefix"
+                         : continuous    ? "continuous"
                          : generate_mode ? "generate"
                          : layer_mode    ? "layer"
                                          : "attention",
@@ -563,6 +633,19 @@ int main(int argc, char** argv) {
                  SchedulerMode::kContinuous);
       }
     }
+    if (run_prefix) {
+      // Same template traffic twice: cache off (the PR 5 private-prefill
+      // baseline) then on — the pair the ≥5x cached-TTFT acceptance
+      // criterion is measured over.
+      scenario("prefix template generation (cold, cache off)",
+               RequestMode::kGeneration, 0.0, compute,
+               SchedulerMode::kContinuous, /*prefix_workload=*/true,
+               /*prefix_cache_on=*/false);
+      scenario("prefix template generation (cached)",
+               RequestMode::kGeneration, 0.0, compute,
+               SchedulerMode::kContinuous, /*prefix_workload=*/true,
+               /*prefix_cache_on=*/true);
+    }
   }
 
   // The head-to-head the acceptance criteria pin: aggregate tokens/sec of
@@ -592,6 +675,40 @@ int main(int argc, char** argv) {
                 << " = "
                 << format_number(continuous->report.tokens_per_second /
                                      legacy->report.tokens_per_second,
+                                 2)
+                << "x\n\n";
+    }
+  }
+
+  // The prefix-caching head-to-head: cached-prefix TTFT and aggregate
+  // tokens/sec vs the cold (cache-off) run of the same template traffic.
+  for (const ComputeBackend compute : backends) {
+    const ScenarioMetrics* cold = nullptr;
+    const ScenarioMetrics* cached = nullptr;
+    for (const ScenarioMetrics& s : scenarios) {
+      if (s.backend != compute || s.mode != "prefix") continue;
+      if (s.name.find("cold") != std::string::npos) cold = &s;
+      if (s.name.find("cached") != std::string::npos) cached = &s;
+    }
+    if (cold != nullptr && cached != nullptr &&
+        cold->report.telemetry.ttft_p50_us > 0.0 &&
+        cached->report.cached_ttft_p50_us > 0.0 &&
+        cold->report.tokens_per_second > 0.0) {
+      std::cout << "prefix cached vs cold ttft p50 ("
+                << backend_name(compute) << "): "
+                << format_number(cached->report.cached_ttft_p50_us, 1)
+                << " vs "
+                << format_number(cold->report.telemetry.ttft_p50_us, 1)
+                << " us = "
+                << format_number(cold->report.telemetry.ttft_p50_us /
+                                     cached->report.cached_ttft_p50_us,
+                                 2)
+                << "x faster; tokens/sec "
+                << format_number(cached->report.tokens_per_second, 1)
+                << " vs "
+                << format_number(cold->report.tokens_per_second, 1) << " = "
+                << format_number(cached->report.tokens_per_second /
+                                     cold->report.tokens_per_second,
                                  2)
                 << "x\n\n";
     }
@@ -627,6 +744,8 @@ int main(int argc, char** argv) {
     effective.prompt_len = prompt_len;
     effective.max_new_tokens = max_new_tokens;
     effective.max_sessions = max_sessions;
+    effective.templates = templates;
+    effective.prefix_len = prefix_len;
     effective.concurrency = concurrency;
     effective.heads = heads;
     effective.seq_cap = seq_cap;

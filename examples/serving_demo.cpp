@@ -42,6 +42,15 @@
 //           scrub pass interleave deterministically; session metadata
 //           rides sealed GuardedRecords and the LayerNorm/GELU glue runs
 //           dual-modular throughout.
+//   act 8 — shared-prefix caching under fire: two sessions carry the same
+//           template stem, so the second maps the first's prefill pages
+//           (one physical copy, one checksum, two readers) and skips its
+//           own prefill. One bit upset lands in the shared page — BOTH
+//           readers alarm (the first heals the page and advances its
+//           epoch; the co-reader's verify sees the epoch it acknowledged
+//           is stale) yet the page is re-materialized exactly once, and
+//           both sessions finish with token-for-token parity against the
+//           clean run.
 //
 // Build & run:  ./build/examples/serving_demo
 // Knobs: --threads=N --max-batch=N --batch-deadline-us=N
@@ -417,6 +426,76 @@ int main(int argc, char** argv) {
                 << "; tokens match the clean run: "
                 << (parity ? "yes" : "NO (?!)") << '\n';
       all_clean = all_clean && healed && parity;
+    }
+  }
+
+  // --- act 8: one corrupted shared-prefix page, every reader alarms. ---
+  std::cout << "\nact 8 — shared-prefix caching: one upset in a shared page, "
+               "every reader alarms, one heal:\n";
+  {
+    serve::StepperConfig stepped;
+    stepped.mode = SchedulerMode::kContinuous;
+    stepped.page_size = 4;
+    stepped.executor_options.dmr_glue = true;
+
+    // Two user turns on one template: the prompts share their first 8
+    // tokens (two full KV pages), diverging only at the end — the second
+    // session maps the first's prefill pages instead of recomputing them.
+    const auto session_work = [&](std::size_t last_token) {
+      GenerationWork work;
+      work.prompt = {5, 40, 2, 19, 33, 8, 14, 27, last_token};
+      work.max_new_tokens = 6;
+      return work;
+    };
+    std::vector<GenerationWork> clean = {session_work(3), session_work(9)};
+    std::vector<GenerationWork> faulty = clean;
+    if (inject_faults) {
+      KvCorruption upset;
+      upset.step = 2;
+      upset.layer = 0;
+      upset.row = 1;
+      upset.col = 3;
+      upset.delta = 0.75;
+      upset.shared_prefix = true;  // pinned into the shared template rows.
+      faulty[0].kv_corruptions = {upset};
+    }
+    TelemetrySnapshot clean_telemetry, faulty_telemetry;
+    const std::vector<serve::SteppedSession> golden = serve::run_stepped(
+        server.model(), std::move(clean), stepped, &clean_telemetry);
+    const std::vector<serve::SteppedSession> sessions = serve::run_stepped(
+        server.model(), std::move(faulty), stepped, &faulty_telemetry);
+
+    std::cout << "  prefix cache: hits=" << clean_telemetry.prefix_hits
+              << " hit-tokens=" << clean_telemetry.prefix_hit_tokens
+              << " cow-forks=" << clean_telemetry.prefix_cow_forks
+              << " shared-pages=" << clean_telemetry.shared_pages << '\n';
+    std::size_t alarmed = 0;
+    bool parity = true;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const serve::SteppedSession& s = sessions[i];
+      const bool reader_alarmed =
+          s.alarm_events > 0 || s.path != ServePath::kGuardedClean;
+      if (reader_alarmed) ++alarmed;
+      parity = parity && s.tokens == golden[i].tokens;
+      std::cout << "  session " << i
+                << (i == 0 ? " (upset injected)" : " (co-reader)")
+                << ": path=" << serve_path_name(s.path)
+                << " alarms=" << s.alarm_events
+                << " tokens=" << s.tokens.size()
+                << " checksum=" << (s.checksum_clean ? "clean" : "DIRTY")
+                << '\n';
+      all_clean = all_clean && !s.failed && s.checksum_clean;
+    }
+    if (inject_faults) {
+      const bool heal_once = faulty_telemetry.shared_heals == 1;
+      std::cout << "  every reader of the shared page alarmed: "
+                << (alarmed == sessions.size() ? "yes" : "NO (?!)")
+                << "; page healed exactly once: "
+                << (heal_once ? "yes" : "NO (?!)")
+                << "; tokens match the clean run: "
+                << (parity ? "yes" : "NO (?!)") << '\n';
+      all_clean = all_clean && alarmed == sessions.size() && heal_once &&
+                  parity;
     }
   }
 

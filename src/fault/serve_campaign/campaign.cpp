@@ -56,14 +56,25 @@ namespace {
 
 std::vector<serve::GenerationWork> make_works(const CampaignConfig& cfg) {
   const Rng base(cfg.seed);
+  // "Many users, one template": every prompt shares its first
+  // prompt_len - 1 tokens (one template stream) and diverges on the last.
+  // Under the continuous engine the template pages are therefore mapped by
+  // every session of the trial, which is what gives the shared_prefix
+  // subsystem a multi-reader page to corrupt; the other subsystems see the
+  // same serving shape production traffic has.
+  Rng template_rng = base.derive(999);
+  std::vector<std::size_t> stem;
+  stem.reserve(cfg.prompt_len > 0 ? cfg.prompt_len - 1 : 0);
+  for (std::size_t t = 0; t + 1 < cfg.prompt_len; ++t) {
+    stem.push_back(
+        std::size_t(template_rng.next_below(cfg.model.vocab_size)));
+  }
   std::vector<serve::GenerationWork> works(cfg.sessions);
   for (std::size_t i = 0; i < cfg.sessions; ++i) {
     Rng rng = base.derive(1000 + i);
-    works[i].prompt.reserve(cfg.prompt_len);
-    for (std::size_t t = 0; t < cfg.prompt_len; ++t) {
-      works[i].prompt.push_back(
-          std::size_t(rng.next_below(cfg.model.vocab_size)));
-    }
+    works[i].prompt = stem;
+    works[i].prompt.push_back(
+        std::size_t(rng.next_below(cfg.model.vocab_size)));
     works[i].max_new_tokens = cfg.max_new_tokens;
   }
   return works;

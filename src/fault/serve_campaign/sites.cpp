@@ -16,6 +16,7 @@ const char* subsystem_name(Subsystem subsystem) {
     case Subsystem::kSchedulerState: return "scheduler_state";
     case Subsystem::kChecksumState: return "checksum_state";
     case Subsystem::kLatentKv: return "latent_kv";
+    case Subsystem::kSharedPrefix: return "shared_prefix";
   }
   return "unknown";
 }
@@ -163,6 +164,21 @@ TrialPlan draw_trial_plan(Subsystem subsystem, serve::SchedulerMode mode,
                                           plan.magnitude, rng);
       plan.kv->latent = true;
       plan.latent_idle_ticks = 2 + std::size_t(rng.next_below(3));
+      plan.step = plan.kv->step;
+      plan.op_kind = kv_op_kind(mode);
+      break;
+    }
+    case Subsystem::kSharedPrefix: {
+      // Same element space as kKvPages, but pinned (modulo the shared
+      // length) into the template rows every session of the trial maps —
+      // ONE corrupted shared page with S readers: each must alarm, and the
+      // page must heal exactly once. The legacy engine has no shared
+      // pages, so the flag degrades to a plain KV upset there — the
+      // diverse-engine baseline the cell is compared against.
+      plan.magnitude = draw_magnitude(rng);
+      plan.kv = serve::draw_kv_corruption(cfg, max_new_tokens,
+                                          plan.magnitude, rng);
+      plan.kv->shared_prefix = true;
       plan.step = plan.kv->step;
       plan.op_kind = kv_op_kind(mode);
       break;

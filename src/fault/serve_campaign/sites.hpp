@@ -33,8 +33,9 @@ enum class Subsystem {
   kSchedulerState,   ///< session metadata: tokens, prompt, budget.
   kChecksumState,    ///< the protection state itself: sums, tolerances.
   kLatentKv,         ///< KV upset dormant through an idle window (scrub).
+  kSharedPrefix,     ///< shared-prefix page read by many sessions (CoW pool).
 };
-inline constexpr std::size_t kSubsystemCount = 7;
+inline constexpr std::size_t kSubsystemCount = 8;
 
 [[nodiscard]] const char* subsystem_name(Subsystem subsystem);
 [[nodiscard]] std::optional<Subsystem> parse_subsystem(std::string_view name);

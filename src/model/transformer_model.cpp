@@ -305,6 +305,37 @@ StepResult TransformerModel::prefill_paged(
   return result;
 }
 
+StepResult TransformerModel::prefill_paged_cached(
+    const std::vector<std::size_t>& tokens, std::size_t cached,
+    AttentionBackend backend, const GuardedExecutor& executor,
+    KvPagePool& pool, PagedKv& kv) const {
+  FLASHABFT_ENSURE_MSG(cached >= 1 && cached < tokens.size(),
+                       "cached prefix of " << cached << " rows needs 1 <= "
+                                           << cached << " < "
+                                           << tokens.size());
+  FLASHABFT_ENSURE_MSG(tokens.size() <= cfg_.max_seq_len,
+                       "prompt of " << tokens.size() << " tokens exceeds "
+                                    << cfg_.max_seq_len);
+  FLASHABFT_ENSURE_MSG(kv.len() == cached,
+                       "cached prefill expects " << cached
+                                                 << " mapped rows, cache has "
+                                                 << kv.len());
+  // Incremental == full-causal was pinned bit-identical in PR 3, so the
+  // suffix steps reproduce exactly the state a private prefill would have
+  // built — including the trimmed-away last prompt row of a whole-prompt
+  // hit, whose re-append forks the shared tail via copy-on-write.
+  StepResult result =
+      decode_step_paged(tokens[cached], backend, executor, pool, kv);
+  for (std::size_t i = cached + 1; i < tokens.size(); ++i) {
+    StepResult step =
+        decode_step_paged(tokens[i], backend, executor, pool, kv);
+    result.report.merge(std::move(step.report));
+    result.logits = std::move(step.logits);
+    result.next_token = step.next_token;
+  }
+  return result;
+}
+
 StepResult TransformerModel::decode_step_paged(
     std::size_t token, AttentionBackend backend,
     const GuardedExecutor& executor, KvPagePool& pool, PagedKv& kv) const {

@@ -126,6 +126,19 @@ class TransformerModel {
                                          const GuardedExecutor& executor,
                                          KvPagePool& pool, PagedKv& kv) const;
 
+  /// Cached prefill: the first `cached` rows of `tokens` were mapped from
+  /// the shared-prefix index (`KvPagePool::acquire_prefix`), so only the
+  /// suffix runs — one incremental decode step per remaining token, which
+  /// PR 3 pinned bit-identical to the full causal pass. The returned
+  /// logits/next_token are the last position's; the reports of every
+  /// suffix step merge into one. Appends into a shared tail page fork a
+  /// private copy inside the pool (copy-on-write), so `cached` may equal
+  /// tokens.size() - 1 — the whole-prompt-hit trim.
+  [[nodiscard]] StepResult prefill_paged_cached(
+      const std::vector<std::size_t>& tokens, std::size_t cached,
+      AttentionBackend backend, const GuardedExecutor& executor,
+      KvPagePool& pool, PagedKv& kv) const;
+
   /// One autoregressive step over the paged cache: embeds `token` at
   /// position kv.len(), verifies page contents + mapping and extends every
   /// layer's pages, returns next-token logits.

@@ -69,6 +69,7 @@ void Scrubber::stop() {
 void Scrubber::loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     run_tick();
+    if (options_.on_pass) options_.on_pass();
     std::this_thread::sleep_for(options_.interval);
   }
 }

@@ -70,6 +70,10 @@ class Scrubber {
     /// scheduler hands its tick mutex here). May be null when the host
     /// drives run_tick() single-threaded.
     std::mutex* guard = nullptr;
+    /// Thread mode: invoked after every paced pass, outside the guard, so
+    /// the host can republish counters even while it is otherwise idle
+    /// (an idle scheduler runs no ticks, but passes keep accumulating).
+    std::function<void()> on_pass;
   };
 
   Scrubber(Provider provider, Options options);

@@ -28,7 +28,14 @@ void apply_kv_corruptions(const GenerationWork& work, std::size_t step_index,
     if (c.step != step_index || c.latent != latent) continue;
     const std::size_t layer = c.layer % kv.num_layers();
     if (kv.len(layer) == 0) continue;
-    const std::size_t row = c.row % kv.len(layer);
+    // Shared-prefix trials pin the upset inside the rows backed by shared
+    // pages, so the single corruption is read by every co-reader of the
+    // prefix. Falls back to the whole cache when nothing is shared (e.g.
+    // the tail was already forked private).
+    const std::size_t row_space =
+        c.shared_prefix && kv.shared_len(layer) > 0 ? kv.shared_len(layer)
+                                                    : kv.len(layer);
+    const std::size_t row = c.row % row_space;
     const std::size_t col = c.col % pool.config().width;
     if (c.checksum_state) {
       if (c.page_table) {

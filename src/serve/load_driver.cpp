@@ -203,7 +203,17 @@ ServeRequest make_generation_request(const LoadDriverConfig& config,
   GenerationWork work;
   Rng rng = base.derive(serial + 1);
   work.prompt.reserve(config.prompt_len);
-  for (std::size_t t = 0; t < config.prompt_len; ++t) {
+  if (config.templates > 0) {
+    // Template workload: the stem stream depends only on the template
+    // index, so every session of template t carries byte-identical first
+    // prefix_len tokens — the shared prefix the KV cache can serve.
+    Rng stem_rng = base.derive(0x7E3F1A + serial % config.templates);
+    for (std::size_t t = 0; t < config.prefix_len; ++t) {
+      work.prompt.push_back(
+          std::size_t(stem_rng.next_below(model.vocab_size)));
+    }
+  }
+  while (work.prompt.size() < config.prompt_len) {
     work.prompt.push_back(std::size_t(rng.next_below(model.vocab_size)));
   }
   work.max_new_tokens = config.max_new_tokens;
@@ -229,6 +239,12 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
                            << " != server accelerator head_dim "
                            << server.config().accel.head_dim);
   }
+  if (generation_mode && config.templates > 0) {
+    FLASHABFT_ENSURE_MSG(
+        config.prefix_len > 0 && config.prefix_len < config.prompt_len,
+        "template workload needs 0 < prefix_len (" << config.prefix_len
+            << ") < prompt_len (" << config.prompt_len << ")");
+  }
   if (generation_mode) {
     FLASHABFT_ENSURE_MSG(config.prompt_len > 0, "empty generation prompt");
     FLASHABFT_ENSURE_MSG(
@@ -246,10 +262,20 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
   Rng inject_rng = base.derive(0xFA117);
 
   LoadReport report;
-  const auto absorb = [&report](const ServeResponse& response) {
+  std::vector<double> cached_ttfts, uncached_ttfts;
+  const auto absorb = [&](const ServeResponse& response) {
     ++report.completed;
     if (response.checksum_clean) ++report.clean_responses;
     report.tokens_generated += response.tokens.size();
+    if (generation_mode) {
+      if (response.prefix_cached_tokens > 0) {
+        ++report.prefix_cached_responses;
+        report.prefix_cached_tokens += response.prefix_cached_tokens;
+        cached_ttfts.push_back(response.ttft_us);
+      } else {
+        uncached_ttfts.push_back(response.ttft_us);
+      }
+    }
     switch (response.path) {
       case ServePath::kGuardedClean: ++report.guarded_clean; break;
       case ServePath::kGuardedRecovered: ++report.recovered; break;
@@ -351,6 +377,13 @@ LoadReport run_load(InferenceServer& server, const LoadDriverConfig& config) {
       report.wall_seconds > 0.0
           ? double(report.tokens_generated) / report.wall_seconds
           : 0.0;
+  const auto median = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  report.cached_ttft_p50_us = median(cached_ttfts);
+  report.uncached_ttft_p50_us = median(uncached_ttfts);
   report.telemetry = server.telemetry().snapshot();
   return report;
 }

@@ -80,6 +80,16 @@ struct LoadDriverConfig {
   /// server model's vocab) and greedy tokens to produce.
   std::size_t prompt_len = 12;
   std::size_t max_new_tokens = 6;
+  /// Generation mode, "many users, few templates": when > 0, each prompt
+  /// draws its first `prefix_len` tokens from one of `templates` shared
+  /// template stems (assigned round-robin) and only the remaining
+  /// prompt_len - prefix_len tokens independently — the workload the
+  /// shared-prefix KV cache exists for. 0 keeps fully independent random
+  /// prompts (the PR 5 shape).
+  std::size_t templates = 0;
+  /// Shared-stem length when `templates` > 0; must be < prompt_len so
+  /// every session still has a private suffix to decode from.
+  std::size_t prefix_len = 0;
   FaultInjectionConfig inject{};
   std::uint64_t seed = 7;
 };
@@ -95,6 +105,15 @@ struct LoadReport {
   std::size_t recovered = 0;
   std::size_t fallback = 0;
   std::size_t tokens_generated = 0;     ///< generation mode only.
+  /// Shared-prefix cache outcomes (generation mode on the continuous
+  /// scheduler; zero elsewhere): sessions whose prefill was partly served
+  /// from the cache, the prefill tokens they skipped, and the TTFT split
+  /// between cache-hit and cache-miss sessions — the cached/cold TTFT
+  /// ratio is the benchmark's headline number.
+  std::size_t prefix_cached_responses = 0;
+  std::size_t prefix_cached_tokens = 0;
+  double cached_ttft_p50_us = 0.0;      ///< over cache-hit sessions only.
+  double uncached_ttft_p50_us = 0.0;    ///< over cache-miss sessions only.
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;
   double tokens_per_second = 0.0;       ///< generation mode only.

@@ -127,6 +127,13 @@ struct KvCorruption {
   /// decode read. The exposure window belongs to the background scrubber,
   /// which should find and heal the fault before the read ever sees it.
   bool latent = false;
+  /// Continuous scheduler with prefix caching only: land the upset inside
+  /// the session's *shared-prefix* rows (`row` taken modulo the shared
+  /// length), so the single corrupted page is read by every co-reader —
+  /// each must alarm, and the page must heal exactly once. Falls back to
+  /// the whole cache when the session maps no shared rows; ignored (a
+  /// plain data upset) on the legacy contiguous-cache path.
+  bool shared_prefix = false;
 };
 
 /// A scheduler/session-metadata upset: unprotected bookkeeping of one
@@ -232,6 +239,9 @@ struct ServeResponse {
   // Continuous scheduler only:
   std::size_t preemptions = 0;  ///< times the session lost its pages.
   std::size_t resumes = 0;      ///< lossless re-prefills after preemption.
+  /// Prompt rows mapped from the shared-prefix index instead of being
+  /// recomputed by the prefill (0 = cold miss or prefix caching off).
+  std::size_t prefix_cached_tokens = 0;
   // Scrub / control-plane accounting (both engines):
   std::size_t meta_verifies = 0;       ///< sealed-metadata checks executed.
   std::size_t scrub_faults_found = 0;  ///< latent faults the scrubber hit.

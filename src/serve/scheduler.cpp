@@ -6,6 +6,7 @@
 #include <span>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/ensure.hpp"
@@ -17,6 +18,15 @@ namespace {
 
 double to_us(Clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
+}
+
+KvPoolConfig scheduler_pool_config(const SchedulerConfig& cfg,
+                                   const TransformerModel& model,
+                                   std::size_t sessions) {
+  KvPoolConfig pool_cfg =
+      model.make_pool_config(cfg.page_size, cfg.num_pages, sessions);
+  pool_cfg.prefix_cache = cfg.prefix_cache;
+  return pool_cfg;
 }
 
 }  // namespace
@@ -44,8 +54,7 @@ ContinuousScheduler::ContinuousScheduler(
       executor_options_(executor_options),
       sessions_(sessions),
       telemetry_(telemetry),
-      pool_(model.make_pool_config(cfg.page_size, cfg.num_pages,
-                                   sessions.max_active())),
+      pool_(scheduler_pool_config(cfg, model, sessions.max_active())),
       control_executor_(executor_options) {
   FLASHABFT_ENSURE_MSG(cfg_.max_batch_tokens > 0,
                        "scheduler needs a positive decode-batch cap");
@@ -66,6 +75,11 @@ ContinuousScheduler::ContinuousScheduler(
     // Manual mode drives passes inline from tick() on one thread; only
     // thread mode needs the pass-vs-tick serialization.
     scrub_options.guard = cfg_.manual ? nullptr : &scrub_mutex_;
+    // The scheduler publishes scrub counters at tick boundaries, but the
+    // paced thread keeps scrubbing (idle shared-prefix pages included)
+    // after the last session drains and ticks stop — republish per pass
+    // so telemetry tracks those idle-window passes too.
+    scrub_options.on_pass = [this] { publish_scrub(); };
     scrubber_ = std::make_unique<scrub::Scrubber>(
         [this] { return scrub_items(); }, scrub_options);
   }
@@ -249,7 +263,10 @@ void ContinuousScheduler::admit_waiting() {
     // fresh admission from preempting something on its very first step.
     const std::size_t needed =
         pool_.session_pages_for(content_tokens(*session) + 1);
-    if (pool_.free_pages() < needed &&
+    // available_pages counts registered-but-unmapped shared pages too: the
+    // allocator reclaims them by LRU eviction, so they must not trigger
+    // preemption of live sessions.
+    if (pool_.available_pages() < needed &&
         !preempt_for(needed, session->sched_order)) {
       break;  // no eligible (younger) victims — wait for completions.
     }
@@ -303,8 +320,27 @@ void ContinuousScheduler::start_or_resume(GenerationSession& session) {
   GuardedExecutor executor = first_activation
                                  ? make_step_executor(session, /*step=*/0)
                                  : GuardedExecutor(executor_options_);
-  StepResult step = model_.prefill_paged(
-      content, AttentionBackend::kFlashAbft, executor, pool_, *session.paged);
+  // Shared-prefix lookup: map the longest registered prefix of the content
+  // into the (empty) tables and prefill only the suffix. A resume
+  // re-resolves — its preemption dropped the refs but the registry entry
+  // (and pages) linger as evictable cache, so the resume's re-prefill
+  // collapses to the divergent tail.
+  const std::size_t cached =
+      cfg_.prefix_cache ? pool_.acquire_prefix(*session.paged, content) : 0;
+  if (first_activation) session.prefix_cached_tokens = cached;
+  StepResult step =
+      cached > 0
+          ? model_.prefill_paged_cached(content, cached,
+                                        AttentionBackend::kFlashAbft, executor,
+                                        pool_, *session.paged)
+          : model_.prefill_paged(content, AttentionBackend::kFlashAbft,
+                                 executor, pool_, *session.paged);
+  // Register the prompt's prefill pages for later sessions. Only the
+  // original prefill publishes: a resume's content embeds generated tokens
+  // no other session's *prompt* can hit.
+  if (first_activation && cfg_.prefix_cache) {
+    pool_.publish_prefix(*session.paged, session.prompt());
+  }
 
   const double service_us = to_us(Clock::now() - start);
   if (first_activation) {
@@ -327,7 +363,7 @@ void ContinuousScheduler::start_or_resume(GenerationSession& session) {
 
 bool ContinuousScheduler::preempt_for(std::size_t needed,
                                       std::uint64_t requester_order) {
-  while (pool_.free_pages() < needed) {
+  while (pool_.available_pages() < needed) {
     GenerationSession* victim = nullptr;
     for (GenerationSession* candidate : running_) {
       // Victims are strictly younger than the requester: the oldest
@@ -476,7 +512,7 @@ void ContinuousScheduler::decode_tick() {
     }
     const std::size_t needed = pool_.append_pages_needed(*session->paged);
     if (needed > 0) {
-      if (pool_.free_pages() < needed &&
+      if (pool_.available_pages() < needed &&
           !preempt_for(needed, session->sched_order)) {
         continue;  // skip this tick; pages free as older sessions finish.
       }
@@ -531,25 +567,67 @@ void ContinuousScheduler::decode_tick() {
     executor_ptrs.push_back(&executor);
   }
 
-  // Parallel sweep: the batch is partitioned into contiguous slices, one
-  // per sweep thread. Pages were pre-reserved above, so slice sessions
-  // only touch their own pages and executors — no shared mutable state.
-  // Threads are spawned per tick (simple and join-bounded); a slice must
-  // carry at least two sessions so tiny batches never pay a spawn for
-  // less work than it costs.
+  // Parallel sweep: the batch is partitioned across sweep threads. Pages
+  // were pre-reserved above, so a session's step only touches its own
+  // pages and executor — with one exception: sessions mapping the same
+  // shared-prefix chain all verify (and on alarm, heal) the SAME pages.
+  // Co-readers are therefore fused into one unit (keyed by the pool's
+  // share_group — the chain-head page id) and a unit never splits across
+  // slices, so a reader's restore cannot write memory another thread's
+  // verify is scanning. Units go to the least-loaded slice; threads are
+  // spawned per tick (simple and join-bounded) and a slice must average
+  // two sessions so tiny batches never pay a spawn for less work than it
+  // costs. Results map back by batch index, so outputs are independent of
+  // the partition.
   const std::size_t slices = std::max<std::size_t>(
       1, std::min(cfg_.sweep_threads, advancing.size() / 2));
+  std::vector<std::vector<std::size_t>> units;
+  units.reserve(advancing.size());
+  {
+    std::unordered_map<std::size_t, std::size_t> group_unit;
+    for (std::size_t i = 0; i < advancing.size(); ++i) {
+      const std::size_t group = pool_.share_group(*advancing[i]->paged);
+      if (group == KvPagePool::kNoShareGroup) {
+        units.push_back({i});
+        continue;
+      }
+      const auto [it, inserted] = group_unit.emplace(group, units.size());
+      if (inserted) units.emplace_back();
+      units[it->second].push_back(i);
+    }
+  }
+  std::vector<std::vector<std::size_t>> slice_members(slices);
+  for (const std::vector<std::size_t>& unit : units) {
+    std::size_t best = 0;
+    for (std::size_t slice = 1; slice < slices; ++slice) {
+      if (slice_members[slice].size() < slice_members[best].size()) {
+        best = slice;
+      }
+    }
+    slice_members[best].insert(slice_members[best].end(), unit.begin(),
+                               unit.end());
+  }
+
   std::vector<std::vector<StepResult>> slice_steps(slices);
   std::vector<std::exception_ptr> slice_errors(slices);
   const auto run_slice = [&](std::size_t slice) {
-    const std::size_t begin = slice * advancing.size() / slices;
-    const std::size_t end = (slice + 1) * advancing.size() / slices;
+    const std::vector<std::size_t>& members = slice_members[slice];
+    if (members.empty()) return;
+    std::vector<std::size_t> slice_tokens;
+    std::vector<const GuardedExecutor*> slice_executors;
+    std::vector<PagedKv*> slice_kvs;
+    slice_tokens.reserve(members.size());
+    slice_executors.reserve(members.size());
+    slice_kvs.reserve(members.size());
+    for (std::size_t member : members) {
+      slice_tokens.push_back(tokens[member]);
+      slice_executors.push_back(executor_ptrs[member]);
+      slice_kvs.push_back(kvs[member]);
+    }
     try {
       slice_steps[slice] = model_.decode_step_batch(
-          std::span(tokens).subspan(begin, end - begin),
-          std::span(executor_ptrs).subspan(begin, end - begin),
-          AttentionBackend::kFlashAbft, pool_,
-          std::span(kvs).subspan(begin, end - begin));
+          slice_tokens, slice_executors, AttentionBackend::kFlashAbft, pool_,
+          slice_kvs);
     } catch (...) {
       slice_errors[slice] = std::current_exception();
     }
@@ -562,30 +640,24 @@ void ContinuousScheduler::decode_tick() {
   run_slice(0);
   for (std::thread& sweeper : sweepers) sweeper.join();
 
-  std::vector<StepResult> steps;
-  steps.reserve(advancing.size());
-  bool failed = false;
-  for (std::size_t slice = 0; slice < slices; ++slice) {
-    if (slice_errors[slice] != nullptr) {
-      failed = true;
-      break;
-    }
-    steps.insert(steps.end(),
-                 std::make_move_iterator(slice_steps[slice].begin()),
-                 std::make_move_iterator(slice_steps[slice].end()));
+  std::exception_ptr error;
+  for (const std::exception_ptr& e : slice_errors) {
+    if (e != nullptr) error = e;
   }
-  if (failed) {
+  if (error != nullptr) {
     // A throwing sweep cannot attribute per-session progress; fail the
     // whole batch rather than the scheduler thread.
-    std::exception_ptr error;
-    for (const std::exception_ptr& e : slice_errors) {
-      if (e != nullptr) error = e;
-    }
     for (GenerationSession* session : advancing) {
       running_.erase(std::find(running_.begin(), running_.end(), session));
       fail(session, error);
     }
     return;
+  }
+  std::vector<StepResult> steps(advancing.size());
+  for (std::size_t slice = 0; slice < slices; ++slice) {
+    for (std::size_t j = 0; j < slice_members[slice].size(); ++j) {
+      steps[slice_members[slice][j]] = std::move(slice_steps[slice][j]);
+    }
   }
 
   const double share_us =
@@ -622,6 +694,7 @@ void ContinuousScheduler::finalize(GenerationSession* session) {
   response.checksum_clean = session->checksum_clean;
   response.preemptions = session->preemptions;
   response.resumes = session->resumes;
+  response.prefix_cached_tokens = session->prefix_cached_tokens;
   response.meta_verifies = session->meta_verifies;
   response.scrub_faults_found = session->scrub_faults_found;
   response.scrub_repairs = session->scrub_repairs;
@@ -648,8 +721,15 @@ void ContinuousScheduler::fail(GenerationSession* session,
 }
 
 void ContinuousScheduler::publish_page_usage() {
-  telemetry_.set_page_usage(pool_.pages_in_use(), pool_.num_pages(),
-                            pool_.peak_pages_in_use());
+  // Registered-but-unmapped shared pages are cache, not live occupancy:
+  // the allocator reclaims them on demand, so they are reported as free.
+  telemetry_.set_page_usage(pool_.pages_in_use() - pool_.evictable_pages(),
+                            pool_.num_pages(), pool_.peak_pages_in_use());
+  const PrefixCacheStats prefix = pool_.prefix_stats();
+  telemetry_.set_prefix(prefix.hits, prefix.misses, prefix.hit_tokens,
+                        prefix.cow_forks, prefix.evictions,
+                        prefix.shared_heals, pool_.shared_pages(),
+                        pool_.evictable_pages());
 }
 
 std::vector<scrub::ScrubItem> ContinuousScheduler::scrub_items() {
@@ -697,6 +777,16 @@ std::vector<scrub::ScrubItem> ContinuousScheduler::scrub_items() {
         return outcome;
       }});
     }
+  }
+  // Idle shared-prefix pages: registered pages no running session maps.
+  // Nothing verifies them on the decode path, so the scrubber is the only
+  // thing standing between a latent upset and the next session that maps
+  // the prefix — exactly the exposure window the latent drill measures.
+  for (std::size_t id : pool_.idle_shared_pages()) {
+    items.push_back({[this, id] {
+      return pool_.scrub_shared_page(id) ? scrub::ItemOutcome::kRepaired
+                                         : scrub::ItemOutcome::kClean;
+    }});
   }
   return items;
 }

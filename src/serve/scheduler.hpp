@@ -83,6 +83,12 @@ struct SchedulerConfig {
   /// sessions (no page pressure). Size it smaller to exercise preemption.
   std::size_t num_pages = 0;
   PreemptionPolicy preemption = PreemptionPolicy::kNewestFirst;
+  /// Shared-prefix KV caching: prefill pages are registered in the pool's
+  /// refcounted read-only index and later sessions with a matching prompt
+  /// prefix map them instead of recomputing (copy-on-write on first
+  /// divergence, LRU eviction under page pressure). TTFT of a prefix hit
+  /// collapses to the page walk plus one decode step.
+  bool prefix_cache = true;
   /// Decode-sweep parallelism: the tick's batch is partitioned across this
   /// many threads (sessions are independent once pages are pre-reserved;
   /// slices under two sessions never spawn). 0 = resolved by the server to

@@ -58,6 +58,9 @@ struct GenerationSession {
   std::uint64_t sched_order = 0;  ///< scheduler age stamp (admission order).
   std::size_t preemptions = 0;  ///< times this session's pages were taken.
   std::size_t resumes = 0;      ///< lossless re-prefills after preemption.
+  /// Prompt rows the first activation mapped from the shared-prefix index
+  /// instead of prefilling (0 = cold miss or prefix caching off).
+  std::size_t prefix_cached_tokens = 0;
   /// The sealed control-plane record: prompt, budget, generated tokens and
   /// step counter, verified at step/tick boundaries via
   /// `guarded_meta_verify`. Legitimate writes go through the accessors

@@ -131,7 +131,8 @@ SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
 
 std::vector<SteppedSession> run_continuous(const TransformerModel& model,
                                            std::vector<GenerationWork> works,
-                                           const StepperConfig& cfg) {
+                                           const StepperConfig& cfg,
+                                           TelemetrySnapshot* telemetry_out) {
   std::vector<SteppedSession> out(works.size());
 
   const std::size_t max_active =
@@ -144,6 +145,7 @@ std::vector<SteppedSession> run_continuous(const TransformerModel& model,
   scfg.max_batch_tokens = cfg.max_batch_tokens;
   scfg.page_size = cfg.page_size;
   scfg.num_pages = cfg.num_pages;
+  scfg.prefix_cache = cfg.prefix_cache;
   scfg.sweep_threads = 1;
   ContinuousScheduler scheduler(scfg, model, cfg.executor_options, table,
                                 telemetry);
@@ -182,6 +184,7 @@ std::vector<SteppedSession> run_continuous(const TransformerModel& model,
     }
   }
   scheduler.shutdown();
+  if (telemetry_out != nullptr) *telemetry_out = telemetry.snapshot();
 
   for (std::size_t i = 0; i < futures.size(); ++i) {
     SteppedSession& result = out[i];
@@ -216,9 +219,10 @@ std::vector<SteppedSession> run_continuous(const TransformerModel& model,
 
 std::vector<SteppedSession> run_stepped(const TransformerModel& model,
                                         std::vector<GenerationWork> works,
-                                        const StepperConfig& cfg) {
+                                        const StepperConfig& cfg,
+                                        TelemetrySnapshot* telemetry_out) {
   if (cfg.mode == SchedulerMode::kContinuous) {
-    return run_continuous(model, std::move(works), cfg);
+    return run_continuous(model, std::move(works), cfg, telemetry_out);
   }
   std::vector<SteppedSession> out;
   out.reserve(works.size());

@@ -20,6 +20,7 @@
 #include "model/transformer_model.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/telemetry.hpp"
 
 namespace flashabft::serve {
 
@@ -51,6 +52,9 @@ struct StepperConfig {
   std::size_t page_size = 8;
   std::size_t num_pages = 0;   ///< 0 = derived (no page pressure).
   std::size_t max_active = 0;  ///< 0 = every session active at once.
+  /// Shared-prefix KV caching (the production default; the campaign's
+  /// shared_prefix subsystem needs the multi-reader pages it creates).
+  bool prefix_cache = true;
   /// Watchdog: hard cap on scheduler ticks (continuous) or per-session
   /// steps (legacy). 0 derives a generous bound from the session budgets;
   /// exceeding it fails the remaining sessions with `hang` set instead of
@@ -61,8 +65,11 @@ struct StepperConfig {
 /// Drives every work item to completion on the calling thread, one
 /// deterministic step (legacy) or scheduler tick (continuous) at a time.
 /// Sessions are admitted in submission order; results are index-aligned.
+/// `telemetry_out` (optional, continuous mode only) receives the final
+/// telemetry snapshot — the pool-level shared-prefix/heal counters the
+/// per-session results cannot carry.
 [[nodiscard]] std::vector<SteppedSession> run_stepped(
     const TransformerModel& model, std::vector<GenerationWork> works,
-    const StepperConfig& cfg);
+    const StepperConfig& cfg, TelemetrySnapshot* telemetry_out = nullptr);
 
 }  // namespace flashabft::serve

@@ -115,6 +115,14 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
   s.pages_in_use = pages_in_use_.load(std::memory_order_relaxed);
   s.pages_total = pages_total_.load(std::memory_order_relaxed);
   s.peak_pages_in_use = peak_pages_in_use_.load(std::memory_order_relaxed);
+  s.prefix_hits = prefix_hits_.load(std::memory_order_relaxed);
+  s.prefix_misses = prefix_misses_.load(std::memory_order_relaxed);
+  s.prefix_hit_tokens = prefix_hit_tokens_.load(std::memory_order_relaxed);
+  s.prefix_cow_forks = prefix_cow_forks_.load(std::memory_order_relaxed);
+  s.prefix_evictions = prefix_evictions_.load(std::memory_order_relaxed);
+  s.shared_heals = shared_heals_.load(std::memory_order_relaxed);
+  s.shared_pages = shared_pages_.load(std::memory_order_relaxed);
+  s.evictable_pages = evictable_pages_.load(std::memory_order_relaxed);
   s.meta_verifies = meta_verifies_.load(std::memory_order_relaxed);
   s.scrub_passes = scrub_passes_.load(std::memory_order_relaxed);
   s.scrub_items = scrub_items_.load(std::memory_order_relaxed);
@@ -209,6 +217,16 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
     row("session resumes", double(session_resumes), 0);
     row("pages in use", double(pages_in_use), 0);
     row("peak page utilization", peak_page_utilization(), 2);
+  }
+  if (prefix_hits + prefix_misses > 0) {
+    row("prefix hits", double(prefix_hits), 0);
+    row("prefix misses", double(prefix_misses), 0);
+    row("prefix hit tokens", double(prefix_hit_tokens), 0);
+    row("prefix cow forks", double(prefix_cow_forks), 0);
+    row("prefix evictions", double(prefix_evictions), 0);
+    row("shared heals", double(shared_heals), 0);
+    row("shared pages", double(shared_pages), 0);
+    row("evictable pages", double(evictable_pages), 0);
   }
   if (meta_verifies > 0) {
     row("meta verifies", double(meta_verifies), 0);

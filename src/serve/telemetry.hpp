@@ -102,6 +102,16 @@ struct TelemetrySnapshot {
   std::uint64_t pages_total = 0;         ///< pool size (0 = no pool).
   std::uint64_t peak_pages_in_use = 0;
 
+  // Shared-prefix cache (zero on the legacy path or with caching off).
+  std::uint64_t prefix_hits = 0;        ///< prefills served from the index.
+  std::uint64_t prefix_misses = 0;      ///< lookups that found nothing.
+  std::uint64_t prefix_hit_tokens = 0;  ///< prompt rows skipped by hits.
+  std::uint64_t prefix_cow_forks = 0;   ///< private copies off shared pages.
+  std::uint64_t prefix_evictions = 0;   ///< LRU-evicted registry entries.
+  std::uint64_t shared_heals = 0;       ///< shared pages healed (once each).
+  std::uint64_t shared_pages = 0;       ///< gauge: allocated shared pages.
+  std::uint64_t evictable_pages = 0;    ///< gauge: registry-only shared pages.
+
   // Control plane + background scrub (zero when the guard/scrubber is off).
   std::uint64_t meta_verifies = 0;       ///< sealed-metadata boundary checks.
   std::uint64_t scrub_passes = 0;        ///< scrub passes executed.
@@ -203,6 +213,22 @@ class ServeTelemetry {
     scrub_unrepairable_.store(unrepairable, std::memory_order_relaxed);
   }
 
+  /// Publishes the pool's shared-prefix counters and gauges (scheduler
+  /// thread only, gauge-style like set_page_usage).
+  void set_prefix(std::uint64_t hits, std::uint64_t misses,
+                  std::uint64_t hit_tokens, std::uint64_t cow_forks,
+                  std::uint64_t evictions, std::uint64_t heals,
+                  std::uint64_t shared, std::uint64_t evictable) {
+    prefix_hits_.store(hits, std::memory_order_relaxed);
+    prefix_misses_.store(misses, std::memory_order_relaxed);
+    prefix_hit_tokens_.store(hit_tokens, std::memory_order_relaxed);
+    prefix_cow_forks_.store(cow_forks, std::memory_order_relaxed);
+    prefix_evictions_.store(evictions, std::memory_order_relaxed);
+    shared_heals_.store(heals, std::memory_order_relaxed);
+    shared_pages_.store(shared, std::memory_order_relaxed);
+    evictable_pages_.store(evictable, std::memory_order_relaxed);
+  }
+
   /// Records one completed response: outcome path, fault accounting and the
   /// three latency samples.
   void on_response(const ServeResponse& response);
@@ -242,6 +268,14 @@ class ServeTelemetry {
   std::atomic<std::uint64_t> pages_in_use_{0};
   std::atomic<std::uint64_t> pages_total_{0};
   std::atomic<std::uint64_t> peak_pages_in_use_{0};
+  std::atomic<std::uint64_t> prefix_hits_{0};
+  std::atomic<std::uint64_t> prefix_misses_{0};
+  std::atomic<std::uint64_t> prefix_hit_tokens_{0};
+  std::atomic<std::uint64_t> prefix_cow_forks_{0};
+  std::atomic<std::uint64_t> prefix_evictions_{0};
+  std::atomic<std::uint64_t> shared_heals_{0};
+  std::atomic<std::uint64_t> shared_pages_{0};
+  std::atomic<std::uint64_t> evictable_pages_{0};
   std::atomic<std::uint64_t> meta_verifies_{0};
   std::atomic<std::uint64_t> scrub_passes_{0};
   std::atomic<std::uint64_t> scrub_items_{0};

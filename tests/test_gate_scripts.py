@@ -44,7 +44,7 @@ def protected_cell(scheduler, subsystem):
 
 def coverage_baseline():
     """A minimal but schema-complete fault-campaign report (includes the
-    four protected cells the candidate-only gates require)."""
+    six protected cells the candidate-only gates require)."""
     return {
         "bench": "fault_campaign",
         "config": {
@@ -82,6 +82,8 @@ def coverage_baseline():
             protected_cell("continuous", "scheduler_state"),
             protected_cell("legacy", "latent_kv"),
             protected_cell("continuous", "latent_kv"),
+            protected_cell("legacy", "shared_prefix"),
+            protected_cell("continuous", "shared_prefix"),
         ],
     }
 
@@ -250,6 +252,22 @@ class GateScriptTest(unittest.TestCase):
                                self.write("cand.json", cand))
         self.assertEqual(result.returncode, 1, result.stdout)
         self.assertIn("legacy/scheduler_state", result.stdout)
+        self.assertIn("floor", result.stdout)
+
+    def test_shared_prefix_coverage_floor_slip_fails(self):
+        # The shared template pages carry ONE checksum for MANY readers;
+        # losing detection there silently corrupts every hit session.
+        cand = coverage_baseline()
+        cell = cand["results"][self.protected_index(cand, "continuous",
+                                                    "shared_prefix")]
+        cell["detection_coverage"] = 0.6
+        cell["coverage_ci_low"] = 0.57
+        cell["coverage_ci_high"] = 0.63
+        base = self.write("base.json", cand)
+        result = self.run_gate("check_coverage.py", base,
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("continuous/shared_prefix", result.stdout)
         self.assertIn("floor", result.stdout)
 
     def test_latent_detections_without_scrub_attribution_fail(self):

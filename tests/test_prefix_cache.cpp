@@ -1,0 +1,310 @@
+// Unit tests of the shared-prefix KV cache layered on the paged pool:
+// publish/acquire with rolling-hash keying and trim-mapping, copy-on-write
+// forking of shared tail pages, un-share-in-place for sole unregistered
+// readers, LRU eviction composing with refcounts, the single-checksum
+// multi-reader verification contract (alarm in every reader, heal exactly
+// once), idle shared-page scrubbing, and share-group identification for
+// the scheduler's sweep binning.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/kv_pool.hpp"
+
+namespace flashabft {
+namespace {
+
+KvPoolConfig prefix_pool_config(std::size_t num_pages = 8,
+                                std::size_t num_layers = 1) {
+  KvPoolConfig cfg;
+  cfg.num_pages = num_pages;
+  cfg.page_size = 4;
+  cfg.width = 6;
+  cfg.num_layers = num_layers;
+  cfg.prefix_cache = true;
+  return cfg;
+}
+
+double k_value(std::size_t row, std::size_t col) {
+  return 1.0 + double(row) * 0.25 + double(col) * 0.125;
+}
+double v_value(std::size_t row, std::size_t col) {
+  return -0.5 + double(row) * 0.5 - double(col) * 0.0625;
+}
+
+/// Appends `rows` deterministic K/V rows to every layer.
+void fill_session(KvPagePool& pool, PagedKv& kv, std::size_t rows) {
+  const std::size_t width = pool.config().width;
+  std::vector<double> k_row(width), v_row(width);
+  for (std::size_t layer = 0; layer < kv.num_layers(); ++layer) {
+    for (std::size_t r = kv.len(layer); rows > kv.len(layer);) {
+      for (std::size_t c = 0; c < width; ++c) {
+        k_row[c] = k_value(r, c);
+        v_row[c] = v_value(r, c);
+      }
+      pool.append(kv, layer, k_row, v_row);
+      ++r;
+    }
+  }
+}
+
+GuardedExecutor tight_executor() {
+  return GuardedExecutor(CheckerConfig{1e-9, 0.0}, RecoveryPolicy{});
+}
+
+const std::vector<std::size_t> kPrompt{5, 40, 2, 19, 33, 8};
+
+TEST(PrefixCache, DisabledByDefaultPublishAndAcquireAreNoOps) {
+  KvPoolConfig cfg = prefix_pool_config();
+  cfg.prefix_cache = false;
+  KvPagePool pool(cfg);
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);
+  pool.publish_prefix(a, kPrompt);
+  EXPECT_EQ(pool.shared_pages(), 0u);
+
+  PagedKv b = pool.make_session(2);
+  EXPECT_EQ(pool.acquire_prefix(b, kPrompt), 0u);
+  EXPECT_EQ(pool.prefix_stats().hits, 0u);
+  EXPECT_EQ(pool.prefix_stats().misses, 0u);
+}
+
+TEST(PrefixCache, PublishThenAcquireMapsTrimmedPrefix) {
+  KvPagePool pool(prefix_pool_config(8, /*num_layers=*/2));
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);  // 2 pages per layer (4 + 2 rows).
+  pool.publish_prefix(a, kPrompt);
+  // Boundary entry (4 tokens) + whole-prompt entry (6 tokens) promote both
+  // pages of both layers.
+  EXPECT_EQ(pool.shared_pages(), 4u);
+  EXPECT_EQ(a.shared_len(0), 6u);
+
+  PagedKv b = pool.make_session(2);
+  // The whole-prompt hit is trimmed to 5 rows: b must prefill one token to
+  // produce its first logits.
+  EXPECT_EQ(pool.acquire_prefix(b, kPrompt), 5u);
+  EXPECT_EQ(b.len(0), 5u);
+  EXPECT_EQ(b.len(1), 5u);
+  EXPECT_EQ(b.shared_len(0), 5u);
+  EXPECT_EQ(pool.prefix_stats().hits, 1u);
+  EXPECT_EQ(pool.prefix_stats().hit_tokens, 5u);
+  // No new pages: b reads a's pages through its own checksummed table.
+  EXPECT_EQ(pool.pages_in_use(), 4u);
+  for (std::size_t layer = 0; layer < 2; ++layer) {
+    for (std::size_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(pool.k_at(b, layer, r, 2), pool.k_at(a, layer, r, 2));
+      EXPECT_EQ(pool.v_at(b, layer, r, 3), pool.v_at(a, layer, r, 3));
+    }
+    const CheckedOp op = pool.verify(b, layer);
+    EXPECT_EQ(op.check.residual(), 0.0);
+    ASSERT_EQ(op.extra_checks.size(), 2u);
+    EXPECT_EQ(op.extra_checks[1].residual(), 0.0);
+  }
+
+  // A prompt diverging inside the first page misses entirely; one
+  // diverging after the boundary hits the 4-token entry at full length.
+  PagedKv c = pool.make_session(3);
+  const std::vector<std::size_t> divergent_early{5, 40, 7, 19, 33, 8};
+  EXPECT_EQ(pool.acquire_prefix(c, divergent_early), 0u);
+  EXPECT_EQ(pool.prefix_stats().misses, 1u);
+  const std::vector<std::size_t> divergent_late{5, 40, 2, 19, 99, 98};
+  EXPECT_EQ(pool.acquire_prefix(c, divergent_late), 4u);
+  EXPECT_EQ(c.shared_len(0), 4u);
+}
+
+TEST(PrefixCache, CopyOnWriteForksOnlyTheSessionsRows) {
+  KvPagePool pool(prefix_pool_config(6));
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);
+  pool.publish_prefix(a, kPrompt);
+
+  PagedKv b = pool.make_session(2);
+  ASSERT_EQ(pool.acquire_prefix(b, kPrompt), 5u);
+  // b's tail page is shared and registered: the next append needs one
+  // fresh page for the fork.
+  EXPECT_EQ(pool.append_pages_needed(b), 1u);
+
+  // Re-append the trimmed-away row (bit-identical in the real flow).
+  std::vector<double> k_row(pool.config().width), v_row(pool.config().width);
+  for (std::size_t c = 0; c < pool.config().width; ++c) {
+    k_row[c] = k_value(5, c);
+    v_row[c] = v_value(5, c);
+  }
+  pool.append(b, 0, k_row, v_row);
+  EXPECT_EQ(pool.prefix_stats().cow_forks, 1u);
+  EXPECT_EQ(b.len(0), 6u);
+  EXPECT_EQ(b.shared_len(0), 4u);  // the forked tail is private now.
+  // Only b's one trim-mapped row was copied before the append; the full
+  // page contents agree with a's row for row.
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(pool.k_at(b, 0, r, 1), pool.k_at(a, 0, r, 1));
+  }
+  EXPECT_EQ(pool.verify(a, 0).check.residual(), 0.0);
+  EXPECT_EQ(pool.verify(b, 0).check.residual(), 0.0);
+
+  // Divergence stays private: b's next row never shows up in a's view.
+  for (std::size_t c = 0; c < pool.config().width; ++c) {
+    k_row[c] = 123.0 + double(c);
+    v_row[c] = -123.0 - double(c);
+  }
+  pool.append(b, 0, k_row, v_row);
+  EXPECT_EQ(pool.prefix_stats().cow_forks, 1u);  // tail already private.
+  EXPECT_EQ(a.len(0), 6u);
+  EXPECT_EQ(pool.k_at(b, 0, 6, 0), 123.0);
+  EXPECT_EQ(pool.verify(a, 0).check.residual(), 0.0);
+}
+
+TEST(PrefixCache, SoleUnregisteredReaderTakesTailOverInPlace) {
+  // 4 pages: a's prompt occupies p0/p1, a third session exhausts the rest,
+  // draining the registry through LRU eviction. b — by then the tail's
+  // sole reader — appends with no copy and no allocation.
+  KvPagePool pool(prefix_pool_config(4));
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);
+  pool.publish_prefix(a, kPrompt);
+  PagedKv b = pool.make_session(2);
+  ASSERT_EQ(pool.acquire_prefix(b, kPrompt), 5u);
+  pool.free_session(a);
+
+  PagedKv c = pool.make_session(3);
+  fill_session(pool, c, 8);  // takes the two free pages.
+  EXPECT_EQ(pool.available_pages(), 0u);  // b still maps the shared pair.
+  std::vector<double> row(pool.config().width, 1.0);
+  // c's growth appends evict both registry entries looking for a page,
+  // find none (b maps everything) and throw — the pool really is full.
+  EXPECT_THROW(pool.append(c, 0, row, row), EnsureError);
+  EXPECT_EQ(pool.prefix_stats().evictions, 2u);
+
+  // b's tail page is now shared but unregistered with b the only reader:
+  // the append takes it over in place.
+  pool.append(b, 0, row, row);
+  EXPECT_EQ(pool.prefix_stats().cow_forks, 0u);
+  EXPECT_EQ(b.len(0), 6u);
+  EXPECT_EQ(b.shared_len(0), 4u);
+  EXPECT_EQ(pool.verify(b, 0).check.residual(), 0.0);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(pool.k_at(b, 0, r, 2), k_value(r, 2));
+  }
+  EXPECT_EQ(pool.k_at(b, 0, 5, 2), 1.0);
+}
+
+TEST(PrefixCache, FreeSessionLeavesRegisteredPagesEvictable) {
+  KvPagePool pool(prefix_pool_config(8));
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);
+  pool.publish_prefix(a, kPrompt);
+  EXPECT_EQ(pool.evictable_pages(), 0u);  // a still maps them.
+
+  pool.free_session(a);
+  // Still allocated — the cache outlives its publisher — but reclaimable.
+  EXPECT_EQ(pool.shared_pages(), 2u);
+  EXPECT_EQ(pool.evictable_pages(), 2u);
+  EXPECT_EQ(pool.pages_in_use(), 2u);
+  EXPECT_EQ(pool.available_pages(), 8u);
+
+  // The lossless-resume path: a fresh acquire re-resolves the prefix.
+  PagedKv b = pool.make_session(2);
+  EXPECT_EQ(pool.acquire_prefix(b, kPrompt), 5u);
+  EXPECT_EQ(pool.evictable_pages(), 0u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(pool.k_at(b, 0, r, 0), k_value(r, 0));
+  }
+}
+
+TEST(PrefixCache, SharedCorruptionAlarmsEveryReaderAndHealsOnce) {
+  KvPagePool pool(prefix_pool_config(8));
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);
+  pool.publish_prefix(a, kPrompt);
+  PagedKv b = pool.make_session(2);
+  PagedKv c = pool.make_session(3);
+  ASSERT_EQ(pool.acquire_prefix(b, kPrompt), 5u);
+  ASSERT_EQ(pool.acquire_prefix(c, kPrompt), 5u);
+
+  // One bit-flip in the shared page, injected through one reader's view.
+  const double before = pool.k_at(b, 0, 2, 1);
+  pool.corrupt_k(b, 0, /*row=*/2, /*col=*/1, /*delta=*/0.75);
+  EXPECT_EQ(pool.k_at(a, 0, 2, 1), before + 0.75);  // all views see it.
+
+  const GuardedExecutor executor = tight_executor();
+  // Reader 1 (the publisher) alarms on content and heals the page.
+  LayerReport report_a;
+  EXPECT_TRUE(guarded_page_verify(pool, a, 0, 0, executor, report_a));
+  EXPECT_EQ(report_a.ops[0].recovery, RecoveryStatus::kRecovered);
+  EXPECT_GE(report_a.ops[0].alarms, 1u);
+  EXPECT_EQ(pool.k_at(a, 0, 2, 1), before);
+  EXPECT_EQ(pool.prefix_stats().shared_heals, 1u);
+
+  // Readers 2 and 3 find clean content but a stale acknowledged epoch:
+  // they still alarm — and recover without healing again.
+  for (PagedKv* reader : {&b, &c}) {
+    const CheckedOp op = pool.verify(*reader, 0);
+    EXPECT_EQ(op.check.residual(), 0.0);
+    ASSERT_EQ(op.extra_checks.size(), 3u);
+    EXPECT_GE(op.extra_checks[2].residual(), 1.0);
+    LayerReport report;
+    EXPECT_TRUE(guarded_page_verify(pool, *reader, 0, 0, executor, report));
+    EXPECT_EQ(report.ops[0].recovery, RecoveryStatus::kRecovered);
+    EXPECT_GE(report.ops[0].alarms, 1u);
+  }
+  EXPECT_EQ(pool.prefix_stats().shared_heals, 1u);  // healed exactly once.
+
+  // Everyone has acknowledged: the next verifies are clean.
+  for (PagedKv* reader : {&a, &b, &c}) {
+    const CheckedOp op = pool.verify(*reader, 0);
+    EXPECT_EQ(op.check.residual(), 0.0);
+    EXPECT_EQ(op.extra_checks.size(), 2u);
+  }
+}
+
+TEST(PrefixCache, IdleSharedPagesAreScrubbable) {
+  KvPagePool pool(prefix_pool_config(8));
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);
+  pool.publish_prefix(a, kPrompt);
+
+  // Plant a latent fault, then idle the pages (no reader maps them).
+  const double before = pool.k_at(a, 0, 1, 3);
+  pool.corrupt_k(a, 0, /*row=*/1, /*col=*/3, /*delta=*/2.5);
+  pool.free_session(a);
+  const std::vector<std::size_t> idle = pool.idle_shared_pages();
+  ASSERT_EQ(idle.size(), 2u);
+
+  std::size_t found = 0;
+  for (const std::size_t id : idle) found += pool.scrub_shared_page(id);
+  EXPECT_EQ(found, 1u);  // exactly the corrupted page.
+  EXPECT_EQ(pool.prefix_stats().shared_heals, 1u);
+  for (const std::size_t id : idle) {
+    EXPECT_FALSE(pool.scrub_shared_page(id));  // clean on re-scan.
+  }
+
+  // A later hit maps the repaired pages and verifies clean — the acquire
+  // acknowledges the post-heal epoch.
+  PagedKv b = pool.make_session(2);
+  ASSERT_EQ(pool.acquire_prefix(b, kPrompt), 5u);
+  EXPECT_EQ(pool.k_at(b, 0, 1, 3), before);
+  const CheckedOp op = pool.verify(b, 0);
+  EXPECT_EQ(op.check.residual(), 0.0);
+  EXPECT_EQ(op.extra_checks.size(), 2u);
+}
+
+TEST(PrefixCache, ShareGroupIdentifiesCoReaders) {
+  KvPagePool pool(prefix_pool_config(8));
+  PagedKv a = pool.make_session(1);
+  fill_session(pool, a, 6);
+  pool.publish_prefix(a, kPrompt);
+  // A publisher with no co-reader needs no serialization.
+  EXPECT_EQ(pool.share_group(a), KvPagePool::kNoShareGroup);
+
+  PagedKv b = pool.make_session(2);
+  ASSERT_EQ(pool.acquire_prefix(b, kPrompt), 5u);
+  EXPECT_NE(pool.share_group(a), KvPagePool::kNoShareGroup);
+  EXPECT_EQ(pool.share_group(a), pool.share_group(b));
+
+  PagedKv c = pool.make_session(3);
+  fill_session(pool, c, 4);  // private session.
+  EXPECT_EQ(pool.share_group(c), KvPagePool::kNoShareGroup);
+}
+
+}  // namespace
+}  // namespace flashabft

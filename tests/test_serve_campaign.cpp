@@ -322,6 +322,61 @@ TEST(Stepper, WeightCorruptionDetectedOnBothEngines) {
   EXPECT_TRUE(session_alarmed(continuous[0]));
 }
 
+// The PR 8 tentpole drill: S sessions share a template prefix, so the
+// template's KV page is ONE physical page with ONE checksum and S readers.
+// A single bit upset in it must alarm in EVERY reader (the heal-epoch
+// mechanism: the first reader's restore heals the page and advances its
+// epoch; every co-reader's next verify sees the epoch it acknowledged is
+// stale) while the page is re-materialized exactly once.
+TEST(Stepper, SharedPrefixCorruptionAlarmsEveryReaderAndHealsOnce) {
+  CampaignConfig cfg = small_config();
+  cfg.sessions = 3;
+  cfg.prompt_len = 5;  // page_size 4: rows 0..3 shared, last token private.
+  const TransformerModel model(cfg.model, cfg.model_seed);
+  // Shared stem, distinct last token per session ("many users, one
+  // template") — sessions 1 and 2 map the stem page session 0 published.
+  Rng rng(cfg.seed);
+  std::vector<std::size_t> stem;
+  for (std::size_t t = 0; t + 1 < cfg.prompt_len; ++t) {
+    stem.push_back(std::size_t(rng.next_below(cfg.model.vocab_size)));
+  }
+  std::vector<serve::GenerationWork> clean(cfg.sessions);
+  for (std::size_t i = 0; i < cfg.sessions; ++i) {
+    clean[i].prompt = stem;
+    clean[i].prompt.push_back((7 * i + 1) % cfg.model.vocab_size);
+    clean[i].max_new_tokens = cfg.max_new_tokens;
+  }
+  std::vector<serve::GenerationWork> faulty = clean;
+  serve::KvCorruption c;
+  c.step = 2;
+  c.layer = 0;
+  c.row = 1;
+  c.col = 3;
+  c.delta = 0.5;
+  c.shared_prefix = true;  // row pinned into the shared template rows.
+  faulty[1].kv_corruptions.push_back(c);
+
+  const serve::StepperConfig scfg =
+      stepper_config(cfg, serve::SchedulerMode::kContinuous);
+  serve::TelemetrySnapshot golden_telemetry, faulty_telemetry;
+  const auto golden = serve::run_stepped(model, clean, scfg,
+                                         &golden_telemetry);
+  const auto out = serve::run_stepped(model, faulty, scfg,
+                                      &faulty_telemetry);
+  EXPECT_EQ(golden_telemetry.prefix_hits, 2u);  // sessions 1, 2 map the stem.
+  EXPECT_EQ(golden_telemetry.shared_heals, 0u);
+  std::size_t alarmed = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_FALSE(out[i].failed) << out[i].error;
+    if (session_alarmed(out[i])) ++alarmed;
+    // Detected AND corrected in every reader: the heal restored the page
+    // from its checkpoint, so all token streams match golden.
+    EXPECT_EQ(out[i].tokens, golden[i].tokens) << "session " << i;
+  }
+  EXPECT_EQ(alarmed, cfg.sessions);           // every reader alarmed...
+  EXPECT_EQ(faulty_telemetry.shared_heals, 1u);  // ...one page heal total.
+}
+
 // --- Whole campaigns ---------------------------------------------------
 
 TEST(Campaign, IdenticalSeedsReproduceTrialByTrial) {
@@ -329,7 +384,7 @@ TEST(Campaign, IdenticalSeedsReproduceTrialByTrial) {
   const CampaignResult a = run_campaign(cfg);
   const CampaignResult b = run_campaign(cfg);
   ASSERT_EQ(a.cells.size(), b.cells.size());
-  ASSERT_EQ(a.cells.size(), 13u);  // 2 schedulers x 7 - legacy page tables.
+  ASSERT_EQ(a.cells.size(), 15u);  // 2 schedulers x 8 - legacy page tables.
   for (std::size_t i = 0; i < a.cells.size(); ++i) {
     EXPECT_EQ(a.cells[i].trial_outcomes, b.cells[i].trial_outcomes)
         << serve::scheduler_mode_name(a.cells[i].scheduler) << "/"
