@@ -2,8 +2,8 @@
 """SDC-coverage gate over fault_campaign --json output.
 
 Compares a freshly measured BENCH_faults.json candidate against the
-committed baseline and fails (exit 1) when any (scheduler, subsystem)
-cell's detection quality regresses:
+committed baseline and fails (exit 1) when any (scheduler, subsystem,
+dtype) cell's detection quality regresses:
 
   * detection coverage regression: the candidate's coverage upper
     confidence bound falls below the baseline coverage minus --max-drop
@@ -56,7 +56,15 @@ import sys
 
 
 def cell_key(cell):
-    return (cell["scheduler"], cell["subsystem"])
+    # Pre-dtype-sweep reports carry no "dtype" field; those cells were all
+    # measured at f32 storage.
+    return (cell["scheduler"], cell["subsystem"], cell.get("dtype", "f32"))
+
+
+def swept_dtypes(report):
+    """The storage dtypes a report covers: the '+'-joined config sweep
+    string (PR 9), or f32 for pre-sweep reports."""
+    return report.get("config", {}).get("dtype", "f32").split("+")
 
 
 def check_config_match(baseline, candidate):
@@ -116,7 +124,7 @@ def main():
 
     for base in baseline.get("results", []):
         key = cell_key(base)
-        label = f"{key[0]}/{key[1]}"
+        label = f"{key[0]}/{key[1]}@{key[2]}"
         cand = candidate_cells.get(key)
         if cand is None:
             failures.append(f"missing cell: {label}")
@@ -147,31 +155,34 @@ def main():
     if not checked:
         failures.append("baseline has no result cells")
 
-    # Protected-control-plane gates: candidate-only structural floors.
-    for subsystem in ("scheduler_state", "latent_kv", "shared_prefix"):
-        for scheduler in ("legacy", "continuous"):
-            label = f"{scheduler}/{subsystem}"
-            cell = candidate_cells.get((scheduler, subsystem))
-            if cell is None:
-                failures.append(f"missing protected cell: {label}")
-                continue
-            cov_high = cell.get("coverage_ci_high", 0.0)
-            if cov_high < args.min_protected_coverage:
-                failures.append(
-                    f"{label}: coverage upper bound {cov_high:.4f} < "
-                    f"floor {args.min_protected_coverage}")
-            if subsystem != "latent_kv":
-                continue
-            outcomes = cell.get("outcomes", {})
-            detected = (outcomes.get("detected_corrected", 0) +
-                        outcomes.get("detected_uncorrected", 0))
-            scrub_found = cell.get("scrub_found", 0)
-            if detected > 0 and scrub_found < (
-                    args.min_scrub_fraction * detected):
-                failures.append(
-                    f"{label}: scrubber found {scrub_found}/{detected} "
-                    f"detected latent trials "
-                    f"(< {args.min_scrub_fraction:.0%})")
+    # Protected-control-plane gates: candidate-only structural floors,
+    # enforced at EVERY swept storage dtype — low-precision serving must
+    # keep the control plane as well-detected as f32 did.
+    for dtype in swept_dtypes(candidate):
+        for subsystem in ("scheduler_state", "latent_kv", "shared_prefix"):
+            for scheduler in ("legacy", "continuous"):
+                label = f"{scheduler}/{subsystem}@{dtype}"
+                cell = candidate_cells.get((scheduler, subsystem, dtype))
+                if cell is None:
+                    failures.append(f"missing protected cell: {label}")
+                    continue
+                cov_high = cell.get("coverage_ci_high", 0.0)
+                if cov_high < args.min_protected_coverage:
+                    failures.append(
+                        f"{label}: coverage upper bound {cov_high:.4f} < "
+                        f"floor {args.min_protected_coverage}")
+                if subsystem != "latent_kv":
+                    continue
+                outcomes = cell.get("outcomes", {})
+                detected = (outcomes.get("detected_corrected", 0) +
+                            outcomes.get("detected_uncorrected", 0))
+                scrub_found = cell.get("scrub_found", 0)
+                if detected > 0 and scrub_found < (
+                        args.min_scrub_fraction * detected):
+                    failures.append(
+                        f"{label}: scrubber found {scrub_found}/{detected} "
+                        f"detected latent trials "
+                        f"(< {args.min_scrub_fraction:.0%})")
 
     if failures:
         print(f"coverage gate FAILED ({len(failures)} problem(s), "

@@ -10,11 +10,11 @@
 //
 //   detected_corrected / detected_uncorrected / masked / sdc / crash_hang
 //
-// Output: per-(scheduler, subsystem) detection coverage and SDC rates with
-// Wilson 95% intervals, injection-time curves and per-OpKind splits —
-// written as JSON for the check_coverage.py CI gate.
+// Output: per-(scheduler, subsystem, dtype) detection coverage and SDC
+// rates with Wilson 95% intervals, injection-time curves and per-OpKind
+// splits — written as JSON for the check_coverage.py CI gate.
 //
-// Flags:
+// Flags (shared serving knobs via serve/options.hpp):
 //   --trials=N        trials per (scheduler, subsystem) cell (default
 //                     1000, so even the continuous-only page-table
 //                     subsystem clears 1000 seeded trials)
@@ -23,14 +23,18 @@
 //   --sessions=N      concurrent sessions per trial (default 3)
 //   --prompt-len=N    prompt tokens per session (default 5)
 //   --max-new-tokens=N  greedy tokens per session (default 6)
+//   --dtype=SPEC      storage dtypes to sweep, '+'-joined (default
+//                     "f32+bf16"; e.g. --dtype=f32, --dtype=f32+bf16+f16)
 //   --json=PATH       write the JSON report (the CI gate's candidate)
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "fault/serve_campaign/report.hpp"
+#include "serve/options.hpp"
 
 using namespace flashabft;
 using namespace flashabft::serve_campaign;
@@ -38,27 +42,40 @@ using namespace flashabft::serve_campaign;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
 
+  serve::CommonServeOptions defaults;
+  defaults.seed = 2026;
+  const auto common = serve::parse_common_serve_options(args, defaults);
+  if (!common) return 2;
+
   CampaignConfig cfg;
   cfg.trials_per_cell = args.get_size("trials", 1000);
-  cfg.seed = std::uint64_t(args.get_size("seed", 2026));
+  cfg.seed = common->seed;
   cfg.sessions = args.get_size("sessions", 3);
   cfg.prompt_len = args.get_size("prompt-len", 5);
   cfg.max_new_tokens = args.get_size("max-new-tokens", 6);
   const std::string json_path = args.get_string("json", "");
+  const std::vector<DType> dtypes =
+      args.has("dtype") ? common->dtype_sweep
+                        : std::vector<DType>{DType::kF32, DType::kBf16};
 
   std::cout << "serving fault campaign: " << cfg.trials_per_cell
             << " trials/cell over " << cfg.sessions << " sessions, seed "
-            << cfg.seed << "\n\n";
+            << cfg.seed << "\n";
 
-  const CampaignResult result = run_campaign(cfg, [](const CellResult& cell) {
-    std::cout << "  " << serve::scheduler_mode_name(cell.scheduler) << " / "
-              << subsystem_name(cell.subsystem) << ": " << cell.trials
-              << " trials, coverage "
-              << 100.0 * cell.detection_coverage().rate << "%, sdc "
-              << 100.0 * cell.sdc_rate().rate << "%\n";
-  });
-
-  std::cout << '\n' << campaign_report_text(result);
+  std::vector<CampaignResult> results;
+  results.reserve(dtypes.size());
+  for (const DType dtype : dtypes) {
+    cfg.dtype = dtype;
+    std::cout << "\n=== dtype " << dtype_name(dtype) << " ===\n";
+    results.push_back(run_campaign(cfg, [](const CellResult& cell) {
+      std::cout << "  " << serve::scheduler_mode_name(cell.scheduler) << " / "
+                << subsystem_name(cell.subsystem) << ": " << cell.trials
+                << " trials, coverage "
+                << 100.0 * cell.detection_coverage().rate << "%, sdc "
+                << 100.0 * cell.sdc_rate().rate << "%\n";
+    }));
+    std::cout << '\n' << campaign_report_text(results.back());
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -66,7 +83,8 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << json_path << '\n';
       return 1;
     }
-    out << campaign_report_json(result);
+    out << campaign_report_json(
+        std::span<const CampaignResult>(results.data(), results.size()));
     std::cout << "\nwrote " << json_path << '\n';
   }
   return 0;

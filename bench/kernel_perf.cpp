@@ -119,13 +119,13 @@ void BM_BackendFlashAbft(benchmark::State& state) {
   const AttentionInputs w = workload_for(n, d);
   const AttentionConfig cfg = cfg_for(n, d);
   FlashAbftOptions options;
-  options.backend = backend_of(state);
+  options.context.backend = backend_of(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(flash_abft_attention(w.q, w.k, w.v, cfg,
                                                   options));
   }
   state.SetItemsProcessed(state.iterations() * n * n * d);
-  state.SetLabel(backend_name(options.backend));
+  state.SetLabel(backend_name(options.context.backend));
 }
 
 void BM_BackendTwoStepAbft(benchmark::State& state) {
@@ -136,7 +136,7 @@ void BM_BackendTwoStepAbft(benchmark::State& state) {
   const ComputeBackend backend = backend_of(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        two_step_abft_attention(w.q, w.k, w.v, cfg, backend));
+        two_step_abft_attention(w.q, w.k, w.v, cfg, KernelContext{backend}));
   }
   state.SetItemsProcessed(state.iterations() * n * n * d);
   state.SetLabel(backend_name(backend));

@@ -17,14 +17,26 @@
 //   --max-batch=N          batch former admission cap     (default 8)
 //   --batch-deadline-us=N  batch forming deadline         (default 200)
 //   --inject-faults=BOOL   run the fault campaigns too    (default true)
-//   --mode=attention|layer|generate|continuous|prefix|both|all   payloads
-//                          (default all; both = attention+layer, the
-//                          pre-generation set; continuous = generation
+//   --mode=attention|layer|generate|continuous|prefix|dtype|both|all
+//                          payloads (default all; both = attention+layer,
+//                          the pre-generation set; continuous = generation
 //                          sessions through the continuous-batching
 //                          scheduler + paged KV pool; prefix = the "many
 //                          users, few templates" workload, run cold
 //                          [prefix cache off, the PR 5 private-prefill
-//                          baseline] and cached [prefix cache on])
+//                          baseline] and cached [prefix cache on]; dtype =
+//                          continuous generation again at the low-precision
+//                          storage dtype, fault-free [the zero-false-alarm
+//                          gate] and injected)
+//   --dtype=f32|bf16|f16   low-precision storage dtype of the dtype
+//                          scenario family (default f32, which makes the
+//                          family run at bf16; an explicit bf16/f16 picks
+//                          that dtype — the base families always run f32,
+//                          so the JSON stays baseline-comparable)
+//   --kv-budget-bytes=N    KV byte budget of the analytic capacity
+//                          headline AND the paged pool (0 = default
+//                          budget sized to 8 f32 sessions; the pool keeps
+//                          its page count)
 //   --templates=N          distinct prompt templates of the prefix
 //                          workload (default 4)
 //   --prefix-len=N         shared template-stem tokens (default 128 — a
@@ -69,7 +81,9 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/flash_abft.hpp"
+#include "core/kv_pool.hpp"
 #include "serve/load_driver.hpp"
+#include "serve/options.hpp"
 #include "serve/server.hpp"
 #include "tensor/backend.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -85,6 +99,7 @@ struct ScenarioMetrics {
   std::string mode;
   ComputeBackend backend = ComputeBackend::kScalar;
   SchedulerMode scheduler = SchedulerMode::kLegacy;
+  DType dtype = DType::kF32;
   bool ok = false;
   LoadReport report;
 };
@@ -117,6 +132,30 @@ struct EffectiveConfig {
   bool dmr_glue = false;
   double fault_prob = 0.0;
   double persistent_frac = 0.0;
+  std::string dtype;
+  std::size_t kv_budget_bytes = 0;
+};
+
+/// The analytic KV-capacity headline: how many concurrent sessions a fixed
+/// KV byte budget funds at each storage dtype (pure page-geometry math over
+/// KvPoolConfig::pages_for_budget — no serving run required, and exact,
+/// because pages are admitted whole).
+struct KvBudgetRow {
+  DType dtype = DType::kF32;
+  std::size_t page_bytes = 0;
+  std::size_t pages = 0;
+  std::size_t sessions = 0;
+};
+
+struct KvBudgetHeadline {
+  std::size_t budget_bytes = 0;
+  std::size_t page_size = 0;
+  std::size_t width = 0;
+  std::size_t num_layers = 0;
+  std::size_t tokens_per_session = 0;
+  std::size_t pages_per_session = 0;
+  std::vector<KvBudgetRow> rows;
+  double bf16_vs_f32_sessions = 0.0;
 };
 
 /// One kernel's scalar-vs-SIMD wall time at the acceptance shape
@@ -175,9 +214,9 @@ std::vector<KernelTiming> measure_kernels(std::size_t reps) {
 
   KernelTiming flash{"flash_abft_512x64", 0.0, 0.0};
   FlashAbftOptions scalar_opts;
-  scalar_opts.backend = ComputeBackend::kScalar;
+  scalar_opts.context.backend = ComputeBackend::kScalar;
   FlashAbftOptions simd_opts;
-  simd_opts.backend = ComputeBackend::kSimd;
+  simd_opts.context.backend = ComputeBackend::kSimd;
   flash.scalar_ms = timed([&] {
     sink += flash_abft_attention(q, k, v, cfg, scalar_opts).actual_checksum;
   });
@@ -199,7 +238,8 @@ std::string json_escape_name(const std::string& name) {
 void write_json(const std::string& path,
                 const std::vector<ScenarioMetrics>& scenarios,
                 const std::vector<KernelTiming>& kernels,
-                const EffectiveConfig& config) {
+                const EffectiveConfig& config,
+                const KvBudgetHeadline& kv_budget) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << '\n';
@@ -233,8 +273,27 @@ void write_json(const std::string& path,
       << "    \"dmr_glue\": " << (config.dmr_glue ? "true" : "false")
       << ",\n"
       << "    \"fault_prob\": " << config.fault_prob << ",\n"
-      << "    \"persistent_frac\": " << config.persistent_frac << "\n"
-      << "  },\n  \"kernels\": [\n";
+      << "    \"persistent_frac\": " << config.persistent_frac << ",\n"
+      << "    \"dtype\": \"" << config.dtype << "\",\n"
+      << "    \"kv_budget_bytes\": " << config.kv_budget_bytes << "\n"
+      << "  },\n  \"kv_budget\": {\n"
+      << "    \"budget_bytes\": " << kv_budget.budget_bytes << ",\n"
+      << "    \"page_size\": " << kv_budget.page_size << ",\n"
+      << "    \"width\": " << kv_budget.width << ",\n"
+      << "    \"num_layers\": " << kv_budget.num_layers << ",\n"
+      << "    \"tokens_per_session\": " << kv_budget.tokens_per_session
+      << ",\n"
+      << "    \"pages_per_session\": " << kv_budget.pages_per_session
+      << ",\n    \"capacity\": [\n";
+  for (std::size_t i = 0; i < kv_budget.rows.size(); ++i) {
+    const KvBudgetRow& row = kv_budget.rows[i];
+    out << "      {\"dtype\": \"" << dtype_name(row.dtype)
+        << "\", \"page_bytes\": " << row.page_bytes << ", \"pages\": "
+        << row.pages << ", \"sessions\": " << row.sessions << '}'
+        << (i + 1 < kv_budget.rows.size() ? "," : "") << '\n';
+  }
+  out << "    ],\n    \"bf16_vs_f32_sessions\": "
+      << kv_budget.bf16_vs_f32_sessions << "\n  },\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const KernelTiming& kt = kernels[i];
     out << "    {\"name\": \"" << kt.name << "\", \"scalar_ms\": "
@@ -252,6 +311,7 @@ void write_json(const std::string& path,
         << "      \"backend\": \"" << backend_name(s.backend) << "\",\n"
         << "      \"scheduler\": \"" << scheduler_mode_name(s.scheduler)
         << "\",\n"
+        << "      \"dtype\": \"" << dtype_name(s.dtype) << "\",\n"
         << "      \"ok\": " << (s.ok ? "true" : "false") << ",\n"
         << "      \"requests\": " << s.report.completed << ",\n"
         << "      \"throughput_rps\": " << s.report.throughput_rps << ",\n"
@@ -328,10 +388,11 @@ void write_json(const std::string& path,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const std::size_t threads = args.get_size("threads", 2);
-  const std::size_t max_batch = args.get_size("max-batch", 8);
-  const std::size_t batch_deadline_us =
-      args.get_size("batch-deadline-us", 200);
+  // Shared serving knobs (threads, batching, paged-KV geometry, scheduler,
+  // dtype, seed, preset) come from the common helper; only the
+  // bench-private flags are parsed here.
+  const auto common = parse_common_serve_options(args);
+  if (!common) return 2;
   const bool inject_faults = args.get_bool("inject-faults", true);
   const std::size_t requests = args.get_size("requests", 60);
   const std::size_t layer_requests = args.get_size("layer-requests", 24);
@@ -339,42 +400,38 @@ int main(int argc, char** argv) {
   const std::size_t gen_requests = args.get_size("gen-requests", 16);
   const std::size_t prompt_len = args.get_size("prompt-len", 12);
   const std::size_t max_new_tokens = args.get_size("max-new-tokens", 16);
-  const std::size_t max_sessions = args.get_size("max-sessions", 8);
   const std::size_t templates = args.get_size("templates", 4);
   const std::size_t prefix_len = args.get_size("prefix-len", 128);
   const std::size_t concurrency = args.get_size("concurrency", 8);
   const std::size_t heads = args.get_size("heads", 4);
   const std::size_t seq_cap = args.get_size("seq-cap", 48);
-  const std::size_t page_size = args.get_size("page-size", 16);
-  const std::size_t max_batch_tokens = args.get_size("max-batch-tokens", 16);
   const std::string mode = args.get_string("mode", "all");
-  const std::string scheduler_arg = args.get_string("scheduler", "legacy");
   const std::string backend_arg = args.get_string("backend", "both");
   const std::size_t kernel_reps = args.get_size("kernel-reps", 3);
-  const std::string preset_name = args.get_string("preset", "bert");
   const bool dmr_glue = args.get_bool("dmr", true);
   const double fault_prob = args.get_double("fault-prob", 0.35);
   const double persistent_frac = args.get_double("persistent-frac", 0.2);
-  const std::uint64_t seed = std::uint64_t(args.get_size("seed", 7));
   const std::string json_path = args.get_string("json", "");
+  const std::size_t max_sessions = common->max_sessions;
+  const std::uint64_t seed = common->seed;
 
-  const ModelPreset& preset = preset_by_name(preset_name);
+  const ModelPreset& preset = preset_by_name(common->preset);
   const bool run_attention =
       mode == "attention" || mode == "both" || mode == "all";
   const bool run_layer = mode == "layer" || mode == "both" || mode == "all";
   const bool run_generate = mode == "generate" || mode == "all";
   const bool run_continuous = mode == "continuous" || mode == "all";
   const bool run_prefix = mode == "prefix" || mode == "all";
+  const bool run_dtype = mode == "dtype" || mode == "all";
+  // The dtype scenario family reruns continuous generation at low
+  // precision; --dtype picks which (the default f32 means "the family runs
+  // bf16" so the base families stay baseline-comparable f32).
+  const DType low_dtype =
+      common->dtype != DType::kF32 ? common->dtype : DType::kBf16;
   // Prefix-workload prompts: the shared stem plus a 4-token private
   // suffix (so CoW always has a divergence point to fork at).
   const std::size_t prefix_prompt_len = prefix_len + 4;
-  const std::optional<SchedulerMode> generate_scheduler =
-      parse_scheduler_mode(scheduler_arg);
-  if (!generate_scheduler) {
-    std::cerr << "unknown --scheduler=" << scheduler_arg
-              << " (want legacy|continuous)\n";
-    return 2;
-  }
+  const SchedulerMode generate_scheduler = common->scheduler;
 
   std::vector<ComputeBackend> backends;
   if (backend_arg == "both") {
@@ -391,21 +448,21 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioMetrics> scenarios;
   bool all_clean = true;
-  const auto scenario = [&](const char* title, RequestMode request_mode,
-                            double probability, ComputeBackend compute,
+  const auto scenario = [&](const std::string& title,
+                            RequestMode request_mode, double probability,
+                            ComputeBackend compute,
                             SchedulerMode scheduler_mode =
                                 SchedulerMode::kLegacy,
                             bool prefix_workload = false,
-                            bool prefix_cache_on = true) {
+                            bool prefix_cache_on = true,
+                            DType dtype = DType::kF32) {
     ServerConfig config =
         make_calibrated_server_config(preset, /*lanes=*/16, seq_cap, seed);
-    config.num_workers = threads;
-    config.batching.max_batch = max_batch;
-    config.batching.batch_deadline =
-        std::chrono::microseconds(batch_deadline_us);
+    apply_common_options(*common, config);
     config.scheduler.mode = scheduler_mode;
-    config.scheduler.page_size = page_size;
-    config.scheduler.max_batch_tokens = max_batch_tokens;
+    // The scenario's dtype, not --dtype: base families always measure f32
+    // (baseline-comparable), the dtype family passes low_dtype explicitly.
+    config.dtype = dtype;
     // A modest decoder layer keeps the software path's matmuls serving-rate
     // sized (the cycle-level accelerator stays the attention-mode engine).
     config.layer.model_dim = 128;
@@ -422,7 +479,6 @@ int main(int argc, char** argv) {
     const std::size_t effective_prompt_len =
         prefix_workload ? prefix_prompt_len : prompt_len;
     config.model.max_seq_len = effective_prompt_len + max_new_tokens + 8;
-    config.max_sessions = max_sessions;
     config.compute = compute;
     config.dmr_glue = dmr_glue;
     // The cold half of the prefix pair IS the PR 5 private-prefill
@@ -440,7 +496,7 @@ int main(int argc, char** argv) {
                           : layer_mode ? layer_requests
                                        : requests;
     load.concurrency = concurrency;
-    load.preset_name = preset_name;
+    load.preset_name = common->preset;
     load.heads_per_request = heads;
     load.seq_len_cap = layer_mode ? layer_seq : seq_cap;
     load.memory_len = 12;
@@ -458,9 +514,10 @@ int main(int argc, char** argv) {
     server.shutdown();
 
     Table t({"metric", "value"});
-    t.set_title(std::string(title) + " · " + backend_name(compute));
+    t.set_title(title + " · " + backend_name(compute));
     t.add_row({"compute backend", backend_name(compute)});
-    t.add_row({"workers", format_number(double(threads), 0)});
+    t.add_row({"storage dtype", dtype_name(dtype)});
+    t.add_row({"workers", format_number(double(common->threads), 0)});
     t.add_row({"requests", format_number(double(report.completed), 0)});
     t.add_row({"throughput (req/s)",
                format_number(report.throughput_rps, 1)});
@@ -589,12 +646,13 @@ int main(int argc, char** argv) {
     const bool ok = complete && clean && accounted;
     all_clean = all_clean && ok;
     scenarios.push_back({title,
-                         prefix_workload ? "prefix"
-                         : continuous    ? "continuous"
-                         : generate_mode ? "generate"
-                         : layer_mode    ? "layer"
-                                         : "attention",
-                         compute, scheduler_mode, ok, report});
+                         dtype != DType::kF32 ? "dtype"
+                         : prefix_workload    ? "prefix"
+                         : continuous         ? "continuous"
+                         : generate_mode      ? "generate"
+                         : layer_mode         ? "layer"
+                                              : "attention",
+                         compute, scheduler_mode, dtype, ok, report});
   };
 
   for (const ComputeBackend compute : backends) {
@@ -616,11 +674,11 @@ int main(int argc, char** argv) {
     }
     if (run_generate) {
       scenario("fault-free generation serving", RequestMode::kGeneration,
-               0.0, compute, *generate_scheduler);
+               0.0, compute, generate_scheduler);
       if (inject_faults) {
         scenario("generation serving under injected faults",
                  RequestMode::kGeneration, fault_prob, compute,
-                 *generate_scheduler);
+                 generate_scheduler);
       }
     }
     if (run_continuous) {
@@ -645,6 +703,23 @@ int main(int argc, char** argv) {
                RequestMode::kGeneration, 0.0, compute,
                SchedulerMode::kContinuous, /*prefix_workload=*/true,
                /*prefix_cache_on=*/true);
+    }
+    if (run_dtype) {
+      // Low-precision continuous generation. The fault-free half IS the
+      // zero-false-alarm gate: any calibrated-tolerance alarm on clean
+      // low-precision arithmetic shows up as recovered/fallback > injected
+      // and fails the reconciliation (exit 1).
+      const std::string dn = dtype_name(low_dtype);
+      scenario("fault-free " + dn + " continuous generation",
+               RequestMode::kGeneration, 0.0, compute,
+               SchedulerMode::kContinuous, /*prefix_workload=*/false,
+               /*prefix_cache_on=*/true, low_dtype);
+      if (inject_faults) {
+        scenario(dn + " continuous generation under injected faults",
+                 RequestMode::kGeneration, fault_prob, compute,
+                 SchedulerMode::kContinuous, /*prefix_workload=*/false,
+                 /*prefix_cache_on=*/true, low_dtype);
+      }
     }
   }
 
@@ -714,6 +789,60 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The capacity headline of the dtype work: concurrent generation
+  // sessions a FIXED KV byte budget funds at each storage dtype. Pure page
+  // geometry over the generation-model shape (width = num_heads·head_dim,
+  // per-layer page tables), exact because pages are admitted whole —
+  // halving bytes-per-token doubles the page count, and with it the
+  // session capacity.
+  KvBudgetHeadline kv_budget;
+  {
+    KvPoolConfig pool;
+    pool.page_size = common->page_size;
+    pool.width = 2 * 32;  // the generation model: num_heads * head_dim
+    pool.num_layers = 2;
+    kv_budget.page_size = pool.page_size;
+    kv_budget.width = pool.width;
+    kv_budget.num_layers = pool.num_layers;
+    kv_budget.tokens_per_session = prompt_len + max_new_tokens;
+    const std::size_t pages_per_layer =
+        (kv_budget.tokens_per_session + pool.page_size - 1) / pool.page_size;
+    kv_budget.pages_per_session = pages_per_layer * pool.num_layers;
+    pool.dtype = DType::kF32;
+    // Default budget: exactly enough f32 pages for the run's session cap,
+    // so the f32 row reproduces today's capacity and the bf16/f16 rows
+    // show what the same bytes buy at half the storage width.
+    kv_budget.budget_bytes =
+        common->kv_budget_bytes > 0
+            ? common->kv_budget_bytes
+            : max_sessions * kv_budget.pages_per_session * pool.page_bytes();
+    double f32_sessions = 0.0;
+    double bf16_sessions = 0.0;
+    Table bt({"dtype", "page bytes", "pages", "sessions"});
+    bt.set_title("KV capacity at " +
+                 format_number(double(kv_budget.budget_bytes), 0) +
+                 "-byte budget");
+    for (const DType d : {DType::kF32, DType::kBf16, DType::kF16}) {
+      pool.dtype = d;
+      KvBudgetRow row;
+      row.dtype = d;
+      row.page_bytes = pool.page_bytes();
+      row.pages = pool.pages_for_budget(kv_budget.budget_bytes);
+      row.sessions = row.pages / kv_budget.pages_per_session;
+      if (d == DType::kF32) f32_sessions = double(row.sessions);
+      if (d == DType::kBf16) bf16_sessions = double(row.sessions);
+      kv_budget.rows.push_back(row);
+      bt.add_row({dtype_name(d), format_number(double(row.page_bytes), 0),
+                  format_number(double(row.pages), 0),
+                  format_number(double(row.sessions), 0)});
+    }
+    kv_budget.bf16_vs_f32_sessions =
+        f32_sessions > 0.0 ? bf16_sessions / f32_sessions : 0.0;
+    std::cout << bt.render() << "bf16 vs f32 sessions per page budget: "
+              << format_number(kv_budget.bf16_vs_f32_sessions, 2)
+              << "x\n\n";
+  }
+
   const std::vector<KernelTiming> kernels = measure_kernels(kernel_reps);
   if (!kernels.empty()) {
     Table kt({"kernel", "scalar (ms)", "simd (ms)", "speedup"});
@@ -730,13 +859,13 @@ int main(int argc, char** argv) {
     EffectiveConfig effective;
     effective.seed = seed;
     effective.backend = backend_arg;
-    effective.scheduler = scheduler_arg;
-    effective.preset = preset_name;
-    effective.threads = threads;
-    effective.max_batch = max_batch;
-    effective.batch_deadline_us = batch_deadline_us;
-    effective.page_size = page_size;
-    effective.max_batch_tokens = max_batch_tokens;
+    effective.scheduler = scheduler_mode_name(common->scheduler);
+    effective.preset = common->preset;
+    effective.threads = common->threads;
+    effective.max_batch = common->max_batch;
+    effective.batch_deadline_us = common->batch_deadline_us;
+    effective.page_size = common->page_size;
+    effective.max_batch_tokens = common->max_batch_tokens;
     effective.requests = requests;
     effective.layer_requests = layer_requests;
     effective.layer_seq = layer_seq;
@@ -753,7 +882,9 @@ int main(int argc, char** argv) {
     effective.dmr_glue = dmr_glue;
     effective.fault_prob = fault_prob;
     effective.persistent_frac = persistent_frac;
-    write_json(json_path, scenarios, kernels, effective);
+    effective.dtype = dtype_name(low_dtype);
+    effective.kv_budget_bytes = common->kv_budget_bytes;
+    write_json(json_path, scenarios, kernels, effective, kv_budget);
   }
   return all_clean ? 0 : 1;
 }

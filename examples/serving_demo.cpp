@@ -54,6 +54,8 @@
 //
 // Build & run:  ./build/examples/serving_demo
 // Knobs: --threads=N --max-batch=N --batch-deadline-us=N
+//        --dtype=f32|bf16|f16 (storage dtype for weights + KV; low
+//        precision serves with calibrated checksum tolerances)
 //        --inject-faults=BOOL (acts 2-5 faults on/off, default true)
 #include <future>
 #include <iostream>
@@ -61,7 +63,9 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "fault/calibrate.hpp"
 #include "serve/load_driver.hpp"
+#include "serve/options.hpp"
 #include "serve/server.hpp"
 #include "serve/stepper.hpp"
 #include "sim/multi_head.hpp"
@@ -74,10 +78,12 @@ int main(int argc, char** argv) {
   using namespace flashabft::serve;
 
   const CliArgs args(argc, argv);
-  const std::size_t threads = args.get_size("threads", 2);
-  const std::size_t max_batch = args.get_size("max-batch", 4);
-  const std::size_t batch_deadline_us =
-      args.get_size("batch-deadline-us", 200);
+  CommonServeOptions defaults;
+  defaults.max_batch = 4;
+  const auto common = parse_common_serve_options(args, defaults);
+  if (!common) return 2;
+  const std::size_t threads = common->threads;
+  const std::size_t max_batch = common->max_batch;
   const bool inject_faults = args.get_bool("inject-faults", true);
   const std::uint64_t seed = 21;
   const std::size_t heads = 2;
@@ -89,7 +95,10 @@ int main(int argc, char** argv) {
   config.num_workers = threads;
   config.batching.max_batch = max_batch;
   config.batching.batch_deadline =
-      std::chrono::microseconds(batch_deadline_us);
+      std::chrono::microseconds(common->batch_deadline_us);
+  // Storage dtype for weights and KV (every act's golden runs use the same
+  // dtype, so token-parity checks hold at low precision too).
+  config.dtype = common->dtype;
   config.breaker.trip_threshold = 2;
   config.breaker.probe_interval = 3;
   config.layer.model_dim = 128;
@@ -376,6 +385,11 @@ int main(int argc, char** argv) {
     stepped.mode = SchedulerMode::kContinuous;
     stepped.page_size = 4;
     stepped.executor_options.dmr_glue = true;  // dual-modular glue ops.
+    stepped.executor_options.dtype = common->dtype;
+    if (common->dtype != DType::kF32) {
+      stepped.executor_options.tolerances =
+          derive_tolerances(common->dtype, tolerance_shape_for(config.model));
+    }
 
     const std::vector<std::size_t> prompt =
         server.model().encode("latent faults age quietly");
@@ -437,6 +451,11 @@ int main(int argc, char** argv) {
     stepped.mode = SchedulerMode::kContinuous;
     stepped.page_size = 4;
     stepped.executor_options.dmr_glue = true;
+    stepped.executor_options.dtype = common->dtype;
+    if (common->dtype != DType::kF32) {
+      stepped.executor_options.tolerances =
+          derive_tolerances(common->dtype, tolerance_shape_for(config.model));
+    }
 
     // Two user turns on one template: the prompts share their first 8
     // tokens (two full KV pages), diverging only at the end — the second

@@ -40,7 +40,7 @@ CheckedAttention blocked_flash_abft_attention(const MatrixD& q,
   std::vector<double> ell_c(n_q, 0.0);
   MatrixD o(n_q, d);
 
-  const bool vectorized = options.backend == ComputeBackend::kSimd;
+  const bool vectorized = options.context.backend == ComputeBackend::kSimd;
   const double* k_data = k.flat().data();
   const double* v_data = v.flat().data();
   const double exp_zero = eval_exp(0.0, options.exp_mode);
@@ -102,6 +102,12 @@ CheckedAttention blocked_flash_abft_attention(const MatrixD& q,
         result.output(qi, x) = o(qi, x) / ell[qi];
         row_actual += result.output(qi, x);
       }
+    }
+    if (options.context.dtype != DType::kF32) {
+      // Same storage write-back contract as the unblocked kernel: the
+      // served row is the rounded one and actual sums what was stored.
+      dtype_round_span(result.output.row(qi), options.context.dtype);
+      row_actual = simd::sum(result.output.row(qi).data(), d);
     }
     const double divisor = options.replicate_ell ? ell_c[qi] : ell[qi];
     result.per_query_predicted[qi] = c[qi] / divisor;

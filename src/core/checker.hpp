@@ -19,7 +19,14 @@ namespace flashabft {
 
 /// Comparator tolerances. Detection fires when
 ///   |pred - actual| > abs_tolerance + rel_tolerance * max(|pred|, |actual|).
-/// The paper's configuration is purely absolute (rel_tolerance = 0).
+/// The defaults reproduce the paper's experimental f32 configuration
+/// (abs 1e-6, rel 0), but the serving stack no longer treats thresholds as
+/// purely absolute hand-set constants: under low-precision storage the
+/// calibrated regime (`derive_tolerances()` in fault/calibrate.hpp) sets a
+/// per-OpKind abs term from the rounding-error-bound model *and* a small
+/// relative term proportional to the dtype's unit roundoff, because the
+/// fault-free residual of a quantized kernel scales with the checksum
+/// magnitude. See core/kernel_context.hpp (`Tolerances`) and DESIGN.md §12.
 struct CheckerConfig {
   double abs_tolerance = 1e-6;
   double rel_tolerance = 0.0;

@@ -71,8 +71,15 @@ CheckedAttention flash_abft_attention_simd(const MatrixD& q, const MatrixD& k,
       m = m_new;
     }
 
-    const double row_actual =
+    double row_actual =
         simd::scale_to(result.output.row(qi).data(), o.data(), 1.0 / ell, d);
+    if (options.context.dtype != DType::kF32) {
+      // Storage write-back: the served row is the rounded one, and the
+      // actual lane re-reduces over what was stored (kF32 keeps the fused
+      // scale_to reduction bit-identical to the pre-dtype kernel).
+      dtype_round_span(result.output.row(qi), options.context.dtype);
+      row_actual = simd::sum(result.output.row(qi).data(), d);
+    }
     const double divisor = options.replicate_ell ? ell_c : ell;
     result.per_query_predicted[qi] = c / divisor;
     result.per_query_actual[qi] = row_actual;
@@ -103,7 +110,7 @@ CheckedAttention flash_abft_attention(const MatrixD& q, const MatrixD& k,
   result.stats.row_max.assign(n_q, 0.0);
   result.stats.row_sum_exp.assign(n_q, 0.0);
 
-  if (options.backend == ComputeBackend::kSimd) {
+  if (options.context.backend == ComputeBackend::kSimd) {
     return flash_abft_attention_simd(q, k, v, cfg, options,
                                      std::move(result));
   }
@@ -143,11 +150,17 @@ CheckedAttention flash_abft_attention(const MatrixD& q, const MatrixD& k,
       m = m_new;
     }
 
-    // Lines 9-10: delayed divisions.
+    // Lines 9-10: delayed divisions, then storage write-back rounding; the
+    // actual lane sums the rounded (stored) row.
     double row_actual = 0.0;
     for (std::size_t x = 0; x < d; ++x) {
       result.output(qi, x) = o[x] / ell;
       row_actual += result.output(qi, x);
+    }
+    if (options.context.dtype != DType::kF32) {
+      dtype_round_span(result.output.row(qi), options.context.dtype);
+      row_actual = 0.0;
+      for (std::size_t x = 0; x < d; ++x) row_actual += result.output(qi, x);
     }
     const double divisor = options.replicate_ell ? ell_c : ell;
     result.per_query_predicted[qi] = c / divisor;

@@ -18,6 +18,7 @@
 #include "attention/attention_config.hpp"
 #include "attention/flash_attention2.hpp"
 #include "core/checker.hpp"
+#include "core/kernel_context.hpp"
 #include "numerics/exp_unit.hpp"
 #include "tensor/backend.hpp"
 #include "tensor/matrix.hpp"
@@ -32,13 +33,19 @@ struct FlashAbftOptions {
   /// l_N. Closes the shared-divisor blind spot analyzed in DESIGN.md §4(b);
   /// ablated in bench/checker_design.
   bool replicate_ell = false;
-  /// Compute backend of the kernel. kSimd runs the vectorized inner loops
-  /// (QK dot, output/checksum accumulator update, finalize) on raw rows;
-  /// the checksum lane stays fused either way, and exp_mode is honored on
-  /// both backends (the exp unit is a per-score scalar on each).
-  /// Initialized from the process-wide default (kScalar unless
-  /// set_default_backend() changed it).
-  ComputeBackend backend = default_backend();
+  /// Execution context: compute backend, storage dtype, and per-OpKind
+  /// tolerances (the latter unused by the raw kernel — callers that judge
+  /// pick the kAttentionFlashAbft entry). context.backend == kSimd runs the
+  /// vectorized inner loops (QK dot, output/checksum accumulator update,
+  /// finalize) on raw rows; the checksum lane stays fused either way, and
+  /// exp_mode is honored on both backends (the exp unit is a per-score
+  /// scalar on each). context.dtype is the storage format of the attention
+  /// output: each finalized row is rounded through it and the actual
+  /// checksums (per-query and global) are reduced over the rounded values,
+  /// while the predicted lane stays in the wide accumulator format.
+  /// Replaces the former `ComputeBackend backend` member — see the
+  /// DESIGN.md §12 migration table.
+  KernelContext context;
 };
 
 /// Everything Alg. 3 produces in one pass.

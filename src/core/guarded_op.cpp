@@ -17,28 +17,6 @@ const char* recovery_status_name(RecoveryStatus status) {
   return "?";
 }
 
-const char* op_kind_name(OpKind kind) {
-  switch (kind) {
-    case OpKind::kAttentionFlashAbft: return "attention_flash_abft";
-    case OpKind::kAttentionTwoStepAbft: return "attention_two_step_abft";
-    case OpKind::kProjection: return "projection";
-    case OpKind::kFfn: return "ffn";
-    case OpKind::kKvCache: return "kv_cache";
-    case OpKind::kKvPage: return "kv_page";
-    case OpKind::kReferenceFallback: return "reference_fallback";
-    case OpKind::kControlPlane: return "control_plane";
-  }
-  return "?";
-}
-
-std::optional<OpKind> parse_op_kind(std::string_view name) {
-  for (std::size_t k = 0; k < kOpKindCount; ++k) {
-    const OpKind kind = OpKind(k);
-    if (name == op_kind_name(kind)) return kind;
-  }
-  return std::nullopt;
-}
-
 double ChecksumPair::residual() const { return std::fabs(predicted - actual); }
 
 void LayerReport::add(GuardedOp op) {
@@ -102,7 +80,11 @@ bool LayerReport::all_accepted_clean() const {
 }
 
 GuardedExecutor::GuardedExecutor(Options options)
-    : options_(options), checker_(options.checker) {}
+    : options_(options),
+      checker_(options.checker),
+      tolerances_(options.tolerances
+                      ? *options.tolerances
+                      : Tolerances::uniform(options.checker)) {}
 
 GuardedExecutor::GuardedExecutor(CheckerConfig checker,
                                  RecoveryPolicy recovery)
@@ -112,25 +94,39 @@ void GuardedExecutor::corrupt_checker_tolerances(double scale) {
   options_.checker.abs_tolerance *= scale;
   options_.checker.rel_tolerance *= scale;
   checker_ = Checker(options_.checker);
+  // Calibrated per-kind thresholds live in the same (emulated) threshold
+  // registers — a corrupted calibration scales them identically, else the
+  // checksum-state fault site would only degrade the uniform regime.
+  tolerances_.scale(scale);
+  if (options_.tolerances) options_.tolerances->scale(scale);
 }
 
-CheckVerdict GuardedExecutor::judge(const CheckedOp& op) const {
+CheckVerdict GuardedExecutor::judge_with(const Checker& checker,
+                                         const CheckedOp& op) const {
   if (options_.screen_extremes &&
       extreme_value_screen(op.output, options_.screen).any()) {
     return CheckVerdict::kAlarm;
   }
   if (op.self_verdict) return *op.self_verdict;
-  if (checker_.compare(op.check.predicted, op.check.actual) ==
+  if (checker.compare(op.check.predicted, op.check.actual) ==
       CheckVerdict::kAlarm) {
     return CheckVerdict::kAlarm;
   }
   for (const ChecksumPair& pair : op.extra_checks) {
-    if (checker_.compare(pair.predicted, pair.actual) ==
+    if (checker.compare(pair.predicted, pair.actual) ==
         CheckVerdict::kAlarm) {
       return CheckVerdict::kAlarm;
     }
   }
   return CheckVerdict::kPass;
+}
+
+CheckVerdict GuardedExecutor::judge(const CheckedOp& op) const {
+  return judge_with(checker_, op);
+}
+
+CheckVerdict GuardedExecutor::judge(OpKind kind, const CheckedOp& op) const {
+  return judge_with(Checker(tolerances_.of(kind)), op);
 }
 
 OpReport GuardedExecutor::describe(OpKind kind, std::size_t index,
@@ -148,7 +144,7 @@ OpReport GuardedExecutor::describe(OpKind kind, std::size_t index,
   report.predicted = worst->predicted;
   report.actual = worst->actual;
   report.residual = worst->residual();
-  report.verdict = judge(op);
+  report.verdict = judge(kind, op);
   return report;
 }
 
@@ -163,7 +159,7 @@ GuardedOp GuardedExecutor::run(OpKind kind, std::size_t index, double cost,
        ++attempt) {
     last = run_once(attempt);
     if (tamper_) tamper_(kind, index, attempt, last);
-    const CheckVerdict verdict = judge(last);
+    const CheckVerdict verdict = judge(kind, last);
     if (observer_) observer_(kind, index, attempt, verdict);
     if (verdict == CheckVerdict::kPass) {
       result.report = describe(kind, index, cost, last);
@@ -226,7 +222,7 @@ WorklistResult GuardedExecutor::run_worklist(OpKind kind, std::size_t count,
       if (tamper_) tamper_(kind, index, attempt, op);
       ++executions[index];
       ++out.executions;
-      const CheckVerdict verdict = judge(op);
+      const CheckVerdict verdict = judge(kind, op);
       if (observer_) observer_(kind, index, attempt, verdict);
       if (verdict == CheckVerdict::kAlarm) {
         ++alarms[index];

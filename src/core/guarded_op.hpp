@@ -22,6 +22,7 @@
 
 #include "core/checker.hpp"
 #include "core/extreme_value_screen.hpp"
+#include "core/kernel_context.hpp"
 #include "tensor/backend.hpp"
 #include "tensor/matrix.hpp"
 
@@ -40,24 +41,6 @@ enum class RecoveryStatus {
 };
 
 [[nodiscard]] const char* recovery_status_name(RecoveryStatus status);
-
-/// The checkable operator classes of the protected inference path.
-enum class OpKind {
-  kAttentionFlashAbft = 0,  ///< fused Alg. 3 checksum (software or accel).
-  kAttentionTwoStepAbft,    ///< classic two-product ABFT attention baseline.
-  kProjection,              ///< Q/K/V/output projection under matmul-ABFT.
-  kFfn,                     ///< feed-forward product under matmul-ABFT.
-  kKvCache,                 ///< KV-cache read verified by running checksums.
-  kKvPage,                  ///< paged KV pool: page contents + page table.
-  kReferenceFallback,       ///< software Alg. 3 serving an escalated op.
-  kControlPlane,            ///< sealed scheduler/session metadata + DMR glue.
-};
-inline constexpr std::size_t kOpKindCount = 8;
-
-[[nodiscard]] const char* op_kind_name(OpKind kind);
-/// Inverse of op_kind_name: parses the canonical name (the one report/JSON
-/// emitters produce); nullopt for anything else.
-[[nodiscard]] std::optional<OpKind> parse_op_kind(std::string_view name);
 
 /// One predicted/actual checksum pair.
 struct ChecksumPair {
@@ -173,6 +156,15 @@ class GuardedExecutor {
     /// kControlPlane op). Off by default — the glue is deterministic, so
     /// this buys fault coverage at 2x glue cost, not correctness.
     bool dmr_glue = false;
+    /// Storage dtype of weights, kernel outputs and cached K/V rows. kF32
+    /// is the identity regime (bit-identical to the pre-dtype code path);
+    /// bf16/f16 round on register write-back and need `tolerances` derived
+    /// for that dtype or fault-free runs false-alarm.
+    DType dtype = DType::kF32;
+    /// Per-OpKind calibrated thresholds (derive_tolerances() in
+    /// fault/calibrate.hpp). Unset = every kind judged by `checker`, the
+    /// pre-calibration behaviour.
+    std::optional<Tolerances> tolerances;
   };
 
   /// run_once(attempt) -> the checked result of that execution.
@@ -203,21 +195,41 @@ class GuardedExecutor {
   [[nodiscard]] ComputeBackend compute_backend() const {
     return options_.compute;
   }
+  /// The per-OpKind thresholds in effect: Options::tolerances when set,
+  /// else Options::checker uniformly.
+  [[nodiscard]] const Tolerances& tolerances() const { return tolerances_; }
+  /// The context guarded kernels execute under — backend + storage dtype +
+  /// calibrated tolerances, the bundle every dtype-aware kernel entry point
+  /// takes instead of a bare backend parameter.
+  [[nodiscard]] KernelContext kernel_context() const {
+    return KernelContext{options_.compute, options_.dtype, tolerances_};
+  }
+  /// kernel_context() pinned to the scalar backend — what fallback
+  /// executions run under (implementation-diverse engine, same storage
+  /// regime).
+  [[nodiscard]] KernelContext fallback_context() const {
+    return kernel_context().with_backend(ComputeBackend::kScalar);
+  }
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
   void set_tamper(Tamper tamper) { tamper_ = std::move(tamper); }
 
   /// Fault hook on the executor's own *detector state*: rebuilds the
-  /// comparator with both tolerances scaled by `scale`, modeling corrupted
-  /// calibration/threshold registers. scale 0 makes the detector
-  /// hyperactive (every rounding residual alarms); a large scale blinds it.
-  /// The fault-campaign's checksum-state subsystem draws this site.
+  /// comparator with every tolerance scaled by `scale` — the base checker
+  /// AND each per-kind calibrated threshold, so calibrated regimes corrupt
+  /// the same way hand-set ones do. Models corrupted calibration/threshold
+  /// registers: scale 0 makes the detector hyperactive (every rounding
+  /// residual alarms); a large scale blinds it. The fault-campaign's
+  /// checksum-state subsystem draws this site.
   void corrupt_checker_tolerances(double scale);
 
   /// Verdict of one execution: the extreme-value screen (when enabled),
   /// then the operator's own verdict if it carries one, else the checksum
-  /// comparison over every pair.
+  /// comparison over every pair. The kind-less overload judges with the
+  /// base checker; the kind-aware one (what run/describe use) applies that
+  /// kind's calibrated tolerance.
   [[nodiscard]] CheckVerdict judge(const CheckedOp& op) const;
+  [[nodiscard]] CheckVerdict judge(OpKind kind, const CheckedOp& op) const;
 
   /// Builds the report of a single (accepted) execution: verdict, the
   /// worst-residual checksum pair, cost.
@@ -253,8 +265,13 @@ class GuardedExecutor {
   void serve_fallback(std::size_t index, double cost_per_op,
                       const FallbackOne& fallback, WorklistResult& out) const;
 
+  /// The comparison behind both judge overloads.
+  [[nodiscard]] CheckVerdict judge_with(const Checker& checker,
+                                        const CheckedOp& op) const;
+
   Options options_;
   Checker checker_;
+  Tolerances tolerances_;
   Observer observer_;
   Tamper tamper_;
 };

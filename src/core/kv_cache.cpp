@@ -7,8 +7,10 @@
 
 namespace flashabft {
 
-KvCacheLayer::KvCacheLayer(std::size_t capacity, std::size_t width)
-    : k_(capacity, width),
+KvCacheLayer::KvCacheLayer(std::size_t capacity, std::size_t width,
+                           DType dtype)
+    : dtype_(dtype),
+      k_(capacity, width),
       v_(capacity, width),
       k_mirror_(capacity, width),
       v_mirror_(capacity, width),
@@ -27,12 +29,17 @@ void KvCacheLayer::append(std::span<const double> k_row,
                        "KV row width " << k_row.size() << "/" << v_row.size()
                                        << " != cache width " << width());
   for (std::size_t c = 0; c < width(); ++c) {
-    k_(len_, c) = k_row[c];
-    v_(len_, c) = v_row[c];
-    k_mirror_(len_, c) = k_row[c];
-    v_mirror_(len_, c) = v_row[c];
-    k_sum_[c] += k_row[c];
-    v_sum_[c] += v_row[c];
+    // Storage rounding: the cached (and checkpointed, and checksummed)
+    // value is the dtype-representable one. A no-op for kF32 and for rows
+    // that already came out of a dtype-rounded kernel.
+    const double k_val = dtype_round(k_row[c], dtype_);
+    const double v_val = dtype_round(v_row[c], dtype_);
+    k_(len_, c) = k_val;
+    v_(len_, c) = v_val;
+    k_mirror_(len_, c) = k_val;
+    v_mirror_(len_, c) = v_val;
+    k_sum_[c] += k_val;
+    v_sum_[c] += v_val;
   }
   ++len_;
 }
@@ -154,11 +161,11 @@ bool guarded_cache_verify(KvCacheLayer& cache, std::size_t index,
 }
 
 KvCache::KvCache(std::size_t num_layers, std::size_t capacity,
-                 std::size_t width) {
+                 std::size_t width, DType dtype) {
   FLASHABFT_ENSURE_MSG(num_layers > 0, "KvCache needs at least one layer");
   layers_.reserve(num_layers);
   for (std::size_t l = 0; l < num_layers; ++l) {
-    layers_.emplace_back(capacity, width);
+    layers_.emplace_back(capacity, width, dtype);
   }
 }
 

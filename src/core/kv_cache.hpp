@@ -34,11 +34,18 @@ namespace flashabft {
 class KvCacheLayer {
  public:
   /// `capacity` token rows of `width` = num_heads * head_dim columns.
-  KvCacheLayer(std::size_t capacity, std::size_t width);
+  /// `dtype` is the storage format of the cached rows: appends round
+  /// through it (idempotent when the rows are already rounded kernel
+  /// outputs), and the running checksums accumulate the rounded — i.e.
+  /// stored — values, so a clean verify stays bit-exact at every dtype
+  /// (the kKvCache tolerance keeps its floor; see DESIGN.md §12).
+  KvCacheLayer(std::size_t capacity, std::size_t width,
+               DType dtype = DType::kF32);
 
   [[nodiscard]] std::size_t len() const { return len_; }
   [[nodiscard]] std::size_t capacity() const { return k_.rows(); }
   [[nodiscard]] std::size_t width() const { return k_.cols(); }
+  [[nodiscard]] DType dtype() const { return dtype_; }
 
   /// Appends one token's K and V rows (length = width()), updating the
   /// running column checksums and the checkpoint mirror in O(width).
@@ -81,6 +88,7 @@ class KvCacheLayer {
   void rebuild_checksums();
 
   std::size_t len_ = 0;
+  DType dtype_ = DType::kF32;    ///< storage format of the cached rows.
   MatrixD k_, v_;                ///< live cache, capacity x width.
   MatrixD k_mirror_, v_mirror_;  ///< checkpoint (verified appends only).
   std::vector<double> k_sum_, v_sum_;  ///< running column checksums.
@@ -99,7 +107,8 @@ bool guarded_cache_verify(KvCacheLayer& cache, std::size_t index,
 /// The full model's cache: one checksummed layer cache per decoder layer.
 class KvCache {
  public:
-  KvCache(std::size_t num_layers, std::size_t capacity, std::size_t width);
+  KvCache(std::size_t num_layers, std::size_t capacity, std::size_t width,
+          DType dtype = DType::kF32);
 
   [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
   [[nodiscard]] KvCacheLayer& layer(std::size_t i);

@@ -171,12 +171,17 @@ void KvPagePool::append(PagedKv& kv, std::size_t layer,
   Page& page = pages_[table.entries[table.len / cfg_.page_size]];
   const std::size_t r = table.len % cfg_.page_size;
   for (std::size_t c = 0; c < cfg_.width; ++c) {
-    page.k(r, c) = k_row[c];
-    page.v(r, c) = v_row[c];
-    page.k_mirror(r, c) = k_row[c];
-    page.v_mirror(r, c) = v_row[c];
-    page.k_sum[c] += k_row[c];
-    page.v_sum[c] += v_row[c];
+    // Storage rounding: the paged (and mirrored, and checksummed) value is
+    // the dtype-representable one — a no-op for kF32 and for rows already
+    // rounded by the projection kernels.
+    const double k_val = dtype_round(k_row[c], cfg_.dtype);
+    const double v_val = dtype_round(v_row[c], cfg_.dtype);
+    page.k(r, c) = k_val;
+    page.v(r, c) = v_val;
+    page.k_mirror(r, c) = k_val;
+    page.v_mirror(r, c) = v_val;
+    page.k_sum[c] += k_val;
+    page.v_sum[c] += v_val;
   }
   ++page.used;
   ++table.len;
@@ -217,6 +222,9 @@ std::uint64_t KvPagePool::hash_seed() const {
   h = hash_extend(h, cfg_.page_size);
   h = hash_extend(h, cfg_.width);
   h = hash_extend(h, cfg_.num_layers);
+  // Pages filled at one storage dtype must never satisfy a prefix lookup
+  // from a pool running another.
+  h = hash_extend(h, std::size_t(cfg_.dtype));
   return h;
 }
 
@@ -789,7 +797,8 @@ namespace {
 CheckedOp paged_head_scalar(std::span<const double> q_row,
                             const std::vector<KvPagePool::Chunk>& chunks,
                             std::size_t width, std::size_t head,
-                            std::size_t head_dim, double scale) {
+                            std::size_t head_dim, double scale,
+                            DType dtype) {
   const std::size_t offset = head * head_dim;
   double m = -std::numeric_limits<double>::infinity();
   double ell = 0.0;
@@ -823,6 +832,13 @@ CheckedOp paged_head_scalar(std::span<const double> q_row,
     op.output(0, x) = o[x] / ell;
     row_actual += op.output(0, x);
   }
+  if (dtype != DType::kF32) {
+    // Storage write-back: the served row is the rounded one and the actual
+    // lane sums what was stored (kF32 keeps the fused reduction identical).
+    dtype_round_span(op.output.row(0), dtype);
+    row_actual = 0.0;
+    for (std::size_t x = 0; x < head_dim; ++x) row_actual += op.output(0, x);
+  }
   op.check = {c / ell, row_actual};
   return op;
 }
@@ -832,7 +848,7 @@ CheckedOp paged_head_scalar(std::span<const double> q_row,
 CheckedOp paged_head_simd(std::span<const double> q_row,
                           const std::vector<KvPagePool::Chunk>& chunks,
                           std::size_t width, std::size_t head,
-                          std::size_t head_dim, double scale) {
+                          std::size_t head_dim, double scale, DType dtype) {
   const std::size_t offset = head * head_dim;
   const double exp_zero = eval_exp(0.0, ExpMode::kExact);
   double m = -std::numeric_limits<double>::infinity();
@@ -866,8 +882,12 @@ CheckedOp paged_head_simd(std::span<const double> q_row,
   }
   CheckedOp op;
   op.output = MatrixD(1, head_dim);
-  const double row_actual =
+  double row_actual =
       simd::scale_to(op.output.row(0).data(), o.data(), 1.0 / ell, head_dim);
+  if (dtype != DType::kF32) {
+    dtype_round_span(op.output.row(0), dtype);
+    row_actual = simd::sum(op.output.row(0).data(), head_dim);
+  }
   op.check = {c / ell, row_actual};
   return op;
 }
@@ -878,15 +898,17 @@ CheckedOp paged_flash_abft_head(std::span<const double> q_row,
                                 const std::vector<KvPagePool::Chunk>& chunks,
                                 std::size_t width, std::size_t head,
                                 std::size_t head_dim, double scale,
-                                ComputeBackend backend) {
+                                const KernelContext& context) {
   FLASHABFT_ENSURE_MSG(q_row.size() == head_dim,
                        "query of " << q_row.size() << " lanes for head_dim "
                                    << head_dim);
   FLASHABFT_ENSURE((head + 1) * head_dim <= width);
   FLASHABFT_ENSURE_MSG(!chunks.empty(), "paged attention over an empty cache");
-  return backend == ComputeBackend::kSimd
-             ? paged_head_simd(q_row, chunks, width, head, head_dim, scale)
-             : paged_head_scalar(q_row, chunks, width, head, head_dim, scale);
+  return context.backend == ComputeBackend::kSimd
+             ? paged_head_simd(q_row, chunks, width, head, head_dim, scale,
+                               context.dtype)
+             : paged_head_scalar(q_row, chunks, width, head, head_dim, scale,
+                                 context.dtype);
 }
 
 }  // namespace flashabft

@@ -61,6 +61,28 @@ struct KvPoolConfig {
   std::size_t width = 64;       ///< columns = num_heads * head_dim.
   std::size_t num_layers = 2;   ///< page tables per session.
   bool prefix_cache = false;    ///< enable the shared-prefix page index.
+  /// Storage format of the cached K/V rows. Appends round through it
+  /// (idempotent for rows already rounded by the projection kernels), the
+  /// running page checksums accumulate the rounded — stored — values, and
+  /// the page *byte* footprint is accounted at dtype width: bf16/f16 pages
+  /// cost half the bytes of f32, so a fixed byte budget holds 2x the pages
+  /// (the serving headline DESIGN.md §12 quantifies).
+  DType dtype = DType::kF32;
+
+  /// Bytes of one page's live K+V storage at the configured dtype
+  /// (mirrors/checksums are emulation bookkeeping, not accounted).
+  [[nodiscard]] std::size_t page_bytes() const {
+    return 2 * page_size * width * dtype_storage_bytes(dtype);
+  }
+  /// Live K+V bytes per cached token at the configured dtype.
+  [[nodiscard]] std::size_t bytes_per_token() const {
+    return 2 * width * dtype_storage_bytes(dtype);
+  }
+  /// Largest page count a byte budget funds at the configured dtype
+  /// (0 budget -> 0 pages; callers treat that as "use num_pages").
+  [[nodiscard]] std::size_t pages_for_budget(std::size_t budget_bytes) const {
+    return budget_bytes / page_bytes();
+  }
 };
 
 /// Counters of the shared-prefix cache (monotonic over the pool's life).
@@ -371,12 +393,17 @@ bool guarded_page_verify(KvPagePool& pool, PagedKv& kv, std::size_t layer,
 /// walks the page chunks directly with `width`-strided raw-pointer rows —
 /// no gather — evaluating the same recurrence (and producing the same
 /// fused checksum pair) as `flash_abft_attention` over the equivalent
-/// contiguous K/V. `q_row` is the head's query (head_dim wide); kSimd uses
-/// the vectorized primitives and the exp(0) bypass exactly like the
-/// contiguous SIMD kernel, so outputs are bit-identical per backend.
+/// contiguous K/V. `q_row` is the head's query (head_dim wide);
+/// context.backend == kSimd uses the vectorized primitives and the exp(0)
+/// bypass exactly like the contiguous SIMD kernel, so outputs are
+/// bit-identical per backend. context.dtype rounds the finalized output row
+/// at write-back with the actual checksum reduced over the rounded values —
+/// the same storage contract as flash_abft_attention. Replaces the former
+/// trailing `ComputeBackend backend` parameter — see the DESIGN.md §12
+/// migration table.
 [[nodiscard]] CheckedOp paged_flash_abft_head(
     std::span<const double> q_row, const std::vector<KvPagePool::Chunk>& chunks,
     std::size_t width, std::size_t head, std::size_t head_dim, double scale,
-    ComputeBackend backend);
+    const KernelContext& context = {});
 
 }  // namespace flashabft

@@ -37,7 +37,7 @@ TwoStepAbftAttention two_step_abft_attention(const MatrixD& q,
                                              const MatrixD& k,
                                              const MatrixD& v,
                                              const AttentionConfig& cfg,
-                                             ComputeBackend backend) {
+                                             const KernelContext& context) {
   FLASHABFT_ENSURE(q.cols() == k.cols() && q.cols() == v.cols());
   FLASHABFT_ENSURE(k.rows() == v.rows());
 
@@ -45,8 +45,11 @@ TwoStepAbftAttention two_step_abft_attention(const MatrixD& q,
   // both sides of the checksum identity, so we check the unscaled product
   // and scale afterwards (hardware applies scale inside the PE anyway).
   // rowsum(K^T) is colsum(K), so the predicted side needs no materialized
-  // transpose on either backend.
-  MatrixD scores = backend_matmul_transposed(q, k, backend);
+  // transpose on either backend. The materialized score matrix is stored in
+  // context.dtype, so it is rounded at write-back and the actual checksum is
+  // taken over what was stored (kF32: identity).
+  MatrixD scores = backend_matmul_transposed(q, k, context.backend);
+  dtype_round_span(scores.flat(), context.dtype);
   TwoStepAbftAttention result;
   {
     const std::vector<double> col_q = column_sums(q);
@@ -67,11 +70,11 @@ TwoStepAbftAttention two_step_abft_attention(const MatrixD& q,
   }
 
   // Stage 2: softmax — *unprotected* in this baseline (the paper's point).
-  const MatrixD s = backend_row_softmax(scores, backend);
+  const MatrixD s = backend_row_softmax(scores, context.backend);
 
   // Stage 3: O = S V, checked as a product (fused into the product tiles
-  // on the SIMD backend).
-  FusedMatmul sv = backend_matmul_fused(s, v, backend);
+  // on the SIMD backend; rounded through context.dtype at write-back).
+  FusedMatmul sv = backend_matmul_fused(s, v, context.backend, context.dtype);
   result.output = std::move(sv.c);
   result.sv_check = {sv.predicted, sv.actual};
   return result;

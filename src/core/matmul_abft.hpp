@@ -18,6 +18,7 @@
 
 #include "attention/attention_config.hpp"
 #include "core/checker.hpp"
+#include "core/kernel_context.hpp"
 #include "tensor/backend.hpp"
 #include "tensor/matrix.hpp"
 
@@ -47,12 +48,17 @@ struct TwoStepAbftAttention {
 
 /// Computes attention in three explicit stages (QK^T, softmax, SV) with the
 /// two traditional ABFT checks. The score matrix is materialized — this is
-/// the unfused baseline architecture. On kSimd the stages run on the
-/// vectorized kernels and the SV check comes out of the fused product
-/// (backend_matmul_fused); the QK check's colsum(Q)/colsum(K) are input-side
-/// sums, so the baseline's structural cost (the materialized S) is unchanged.
+/// the unfused baseline architecture. On context.backend == kSimd the stages
+/// run on the vectorized kernels and the SV check comes out of the fused
+/// product (backend_matmul_fused); the QK check's colsum(Q)/colsum(K) are
+/// input-side sums, so the baseline's structural cost (the materialized S)
+/// is unchanged. context.dtype is the storage format of the two materialized
+/// products: S' is rounded at write-back before its actual checksum is taken,
+/// and the SV product inherits the fused kernels' rounding contract.
+/// Replaces the former trailing `ComputeBackend backend` parameter — see the
+/// DESIGN.md §12 migration table.
 [[nodiscard]] TwoStepAbftAttention two_step_abft_attention(
     const MatrixD& q, const MatrixD& k, const MatrixD& v,
-    const AttentionConfig& cfg, ComputeBackend backend = default_backend());
+    const AttentionConfig& cfg, const KernelContext& context = {});
 
 }  // namespace flashabft

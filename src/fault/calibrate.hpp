@@ -3,14 +3,25 @@
 //
 // The comparator threshold must sit above the fault-free residual — the
 // |predicted - actual| gap produced by rounding alone — or correct runs
-// raise alarms. Calibration runs the accelerator fault-free over a set of
-// representative workloads, records the worst per-query and global
-// residuals, and places each threshold one margin decade above.
+// raise alarms. Two calibration regimes live here:
+//
+//  * Empirical (`calibrate_checker`): run the accelerator fault-free over
+//    representative workloads, record the worst residuals, place each
+//    threshold one margin decade above — the paper's original procedure.
+//  * Analytic (`derive_tolerances`): under low-precision storage the
+//    fault-free residual is dominated by output quantization (the actual
+//    checksum sums *stored* values, the predicted checksum stays in the
+//    wide accumulator format), so each OpKind's threshold is *derived* from
+//    the dtype's unit roundoff, the op's reduction depth and its output
+//    count — no hand tuning per dtype. The model is validated against
+//    bit-exact low-precision emulation in tests/test_dtype.cpp.
 #pragma once
 
 #include <span>
 
 #include "attention/inputs.hpp"
+#include "core/kernel_context.hpp"
+#include "model/transformer_model.hpp"
 #include "sim/accelerator.hpp"
 
 namespace flashabft {
@@ -33,5 +44,65 @@ struct CheckerCalibration {
 [[nodiscard]] AccelConfig with_calibrated_thresholds(
     AccelConfig cfg, std::span<const AttentionInputs> workloads,
     double margin = 10.0);
+
+/// Shape parameters of the rounding-error-bound model: the reduction depths
+/// and checksum output counts of every protected op in a serving stack. The
+/// defaults match the demo TransformerConfig; `tolerance_shape_for` fills
+/// them from a real model config.
+struct ToleranceModelShape {
+  std::size_t model_dim = 64;
+  std::size_t num_heads = 2;
+  std::size_t head_dim = 32;
+  std::size_t ffn_dim = 128;
+  std::size_t vocab_size = 256;
+  std::size_t max_seq_len = 64;
+  /// RMS magnitude of stored activations. The storage term of the bound is
+  /// an RMS (random-walk) model, so it wants the typical per-element scale,
+  /// not a max bound — post-LayerNorm streams sit at RMS ~1 by construction
+  /// and the `rel_tolerance` term absorbs ops whose outputs run hotter.
+  double activation_scale = 1.0;
+};
+
+/// The model's shape parameters for a concrete transformer config.
+[[nodiscard]] ToleranceModelShape tolerance_shape_for(
+    const TransformerConfig& cfg);
+
+/// The rounding-error-bound model: a high-probability bound on the
+/// fault-free residual |predicted - actual| of one checked op whose
+/// `output_count` stored elements are rounded to `dtype` while both
+/// checksums accumulate in binary64.
+///
+///   bound = u * magnitude * sqrt(output_count)          (storage term)
+///         + eps64 * magnitude * reduction_depth * output_count  (wide term)
+///
+/// The storage term uses the RMS (random-walk) form: round-to-nearest-even
+/// errors are signed and effectively independent across elements, so their
+/// sum concentrates at u*|y|*sqrt(n); the deterministic worst case u*|y|*n
+/// is exponentially unlikely and would destroy detection sensitivity. The
+/// caller supplies the safety margin (see `derive_tolerances`); the
+/// bit-exact emulation tests validate margin * bound against measured
+/// residuals.
+[[nodiscard]] double rounding_residual_bound(std::size_t reduction_depth,
+                                             std::size_t output_count,
+                                             double magnitude, DType dtype);
+
+/// Derives the per-OpKind comparator tolerances for `dtype` from the
+/// rounding-error-bound model — the analytic replacement for hand-tuned
+/// thresholds. kF32 storage is bit-identical to the wide pipeline, so every
+/// kind keeps the paper's {abs 1e-6, rel 0}; KV-cache/page verification
+/// accumulates *stored* (already-rounded) rows on both sides and therefore
+/// also keeps the exact-regime floor at every dtype. Compute kinds get
+/// abs = margin * bound(kind) and rel = margin * u / 4: the relative term
+/// tracks checksum magnitude for ops whose outputs run hotter than the
+/// modeled RMS scale, but a checksum that grows coherently (|sum y| ~ n *
+/// y_rms) overstates the sqrt(n)-concentrating rounding noise, so the
+/// coefficient stays a fraction of u. Every constant is validated against
+/// measured fault-free residuals: the effective threshold sits ~5-15x above
+/// the worst observation at both the campaign and demo shapes — tight
+/// enough that injected faults above the dtype's noise band still trip the
+/// comparator. The result is marked `calibrated` and carries `dtype` so
+/// executors can audit the pairing.
+[[nodiscard]] Tolerances derive_tolerances(
+    DType dtype, const ToleranceModelShape& shape = {}, double margin = 5.0);
 
 }  // namespace flashabft

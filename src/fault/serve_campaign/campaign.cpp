@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "fault/calibrate.hpp"
 
 namespace flashabft::serve_campaign {
 
@@ -101,10 +102,12 @@ std::size_t time_bucket(std::size_t step, std::size_t max_new_tokens) {
 }
 
 bool trial_diverged(const std::vector<serve::SteppedSession>& golden,
-                    const std::vector<serve::SteppedSession>& trial) {
+                    const std::vector<serve::SteppedSession>& trial,
+                    double logits_tol) {
   for (std::size_t i = 0; i < golden.size(); ++i) {
     if (trial[i].tokens != golden[i].tokens) return true;
-    if (logits_diverge(golden[i].final_logits, trial[i].final_logits)) {
+    if (logits_diverge(golden[i].final_logits, trial[i].final_logits,
+                       logits_tol)) {
       return true;
     }
   }
@@ -139,8 +142,18 @@ bool trial_crashed(const std::vector<serve::SteppedSession>& trial) {
 }  // namespace
 
 CampaignResult run_campaign(
-    const CampaignConfig& cfg,
+    const CampaignConfig& input,
     const std::function<void(const CellResult&)>& progress) {
+  // Normalize the dtype regime once: the model stores (and quantizes
+  // weights) at cfg.dtype, and the executors judge with thresholds derived
+  // for it unless the caller supplied explicit tolerances.
+  CampaignConfig cfg = input;
+  cfg.model.dtype = cfg.dtype;
+  cfg.executor_options.dtype = cfg.dtype;
+  if (cfg.dtype != DType::kF32 && !cfg.executor_options.tolerances) {
+    cfg.executor_options.tolerances =
+        derive_tolerances(cfg.dtype, tolerance_shape_for(cfg.model));
+  }
   FLASHABFT_ENSURE_MSG(cfg.trials_per_cell > 0, "no trials to run");
   FLASHABFT_ENSURE_MSG(
       cfg.prompt_len + cfg.max_new_tokens <= cfg.model.max_seq_len,
@@ -150,6 +163,14 @@ CampaignResult run_campaign(
   const TransformerModel model(cfg.model, cfg.model_seed);
   const std::vector<serve::GenerationWork> works = make_works(cfg);
   const Rng base(cfg.seed);
+  // Divergence is judged against the storage format's own noise band: a
+  // low-precision model's outputs are only specified to within its unit
+  // roundoff, so a logit shift smaller than ~u is indistinguishable from
+  // the quantization error every fault-free run already carries — calling
+  // it "corruption" would count the dtype's rounding as SDC. Tokens still
+  // compare exactly; f32 keeps the bit-exact-regime 1e-7.
+  const double divergence_tol =
+      std::max(1e-7, 4.0 * dtype_unit_roundoff(cfg.dtype));
 
   CampaignResult result;
   result.config = cfg;
@@ -200,6 +221,13 @@ CampaignResult run_campaign(
               plan.checker_tolerance_scale;
           trial_cfg.executor_options.checker.rel_tolerance *=
               plan.checker_tolerance_scale;
+          // Calibrated regimes judge from the per-kind table, so the
+          // corrupted-calibration site must widen it too or the trial
+          // would silently keep healthy thresholds.
+          if (trial_cfg.executor_options.tolerances) {
+            trial_cfg.executor_options.tolerances->scale(
+                plan.checker_tolerance_scale);
+          }
         }
 
         std::vector<serve::SteppedSession> outcome;
@@ -216,7 +244,8 @@ CampaignResult run_campaign(
 
         const bool crashed = trial_crashed(outcome);
         const bool alarmed = trial_alarmed(outcome);
-        const bool diverged = !crashed && trial_diverged(golden, outcome);
+        const bool diverged =
+            !crashed && trial_diverged(golden, outcome, divergence_tol);
         const TrialOutcome verdict =
             classify_trial(crashed, alarmed, diverged);
 

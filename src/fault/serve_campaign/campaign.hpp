@@ -76,6 +76,12 @@ struct CampaignConfig {
   /// Continuous-engine shape: small pages so sessions span several.
   std::size_t page_size = 4;
   std::size_t num_pages = 0;  ///< 0 = derived (no page pressure).
+  /// Storage dtype of the campaign stack. run_campaign copies it into the
+  /// model config and, when != kF32 and no explicit tolerances were set,
+  /// derives the per-OpKind thresholds from the rounding-error-bound model
+  /// — so a `--dtype=bf16` cell runs the identical trial protocol at
+  /// low-precision storage with calibrated comparators.
+  DType dtype = DType::kF32;
   GuardedExecutor::Options executor_options{};
 };
 

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/ensure.hpp"
+
 namespace flashabft::serve_campaign {
 
 namespace {
@@ -34,7 +36,19 @@ std::size_t bucket_total(
 }  // namespace
 
 std::string campaign_report_json(const CampaignResult& result) {
-  const CampaignConfig& cfg = result.config;
+  return campaign_report_json(std::span<const CampaignResult>(&result, 1));
+}
+
+std::string campaign_report_json(std::span<const CampaignResult> results) {
+  FLASHABFT_ENSURE_MSG(!results.empty(), "no campaign results to report");
+  const CampaignConfig& cfg = results.front().config;
+  std::string dtype_sweep;
+  std::size_t total_cells = 0;
+  for (const CampaignResult& result : results) {
+    if (!dtype_sweep.empty()) dtype_sweep += '+';
+    dtype_sweep += dtype_name(result.config.dtype);
+    total_cells += result.cells.size();
+  }
   std::ostringstream out;
   out << std::setprecision(10);
   out << "{\n  \"bench\": \"fault_campaign\",\n  \"config\": {\n"
@@ -51,55 +65,61 @@ std::string campaign_report_json(const CampaignResult& result) {
       << "    \"max_new_tokens\": " << cfg.max_new_tokens << ",\n"
       << "    \"seed\": " << cfg.seed << ",\n"
       << "    \"page_size\": " << cfg.page_size << ",\n"
-      << "    \"num_pages\": " << cfg.num_pages << "\n"
+      << "    \"num_pages\": " << cfg.num_pages << ",\n"
+      << "    \"dtype\": \"" << dtype_sweep << "\"\n"
       << "  },\n  \"trials_per_cell\": " << cfg.trials_per_cell
       << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    const CellResult& cell = result.cells[i];
-    const Proportion coverage = cell.detection_coverage();
-    const Proportion sdc = cell.sdc_rate();
-    out << "    {\n      \"scheduler\": \""
-        << serve::scheduler_mode_name(cell.scheduler)
-        << "\",\n      \"subsystem\": \"" << subsystem_name(cell.subsystem)
-        << "\",\n      \"trials\": " << cell.trials
-        << ",\n      \"scrub_found\": " << cell.scrub_found
-        << ",\n      \"outcomes\": {";
-    for (std::size_t o = 0; o < kTrialOutcomeCount; ++o) {
-      out << (o == 0 ? "" : ", ") << '"'
-          << trial_outcome_name(TrialOutcome(o))
-          << "\": " << cell.outcomes[o];
+  std::size_t emitted = 0;
+  for (const CampaignResult& result : results) {
+    const char* cell_dtype = dtype_name(result.config.dtype);
+    for (const CellResult& cell : result.cells) {
+      const Proportion coverage = cell.detection_coverage();
+      const Proportion sdc = cell.sdc_rate();
+      out << "    {\n      \"scheduler\": \""
+          << serve::scheduler_mode_name(cell.scheduler)
+          << "\",\n      \"subsystem\": \"" << subsystem_name(cell.subsystem)
+          << "\",\n      \"dtype\": \"" << cell_dtype
+          << "\",\n      \"trials\": " << cell.trials
+          << ",\n      \"scrub_found\": " << cell.scrub_found
+          << ",\n      \"outcomes\": {";
+      for (std::size_t o = 0; o < kTrialOutcomeCount; ++o) {
+        out << (o == 0 ? "" : ", ") << '"'
+            << trial_outcome_name(TrialOutcome(o))
+            << "\": " << cell.outcomes[o];
+      }
+      out << "},\n      \"detection_coverage\": " << coverage.rate
+          << ",\n      \"coverage_ci_low\": " << coverage.ci_low
+          << ",\n      \"coverage_ci_high\": " << coverage.ci_high
+          << ",\n      \"sdc_rate\": " << sdc.rate
+          << ",\n      \"sdc_ci_low\": " << sdc.ci_low
+          << ",\n      \"sdc_ci_high\": " << sdc.ci_high
+          << ",\n      \"time_curve\": [";
+      bool first = true;
+      for (std::size_t b = 0; b < CellResult::kTimeBuckets; ++b) {
+        const std::size_t total = bucket_total(cell.by_time[b]);
+        if (total == 0) continue;
+        out << (first ? "" : ", ") << "{\"bucket\": \""
+            << time_bucket_name(b) << "\", \"trials\": " << total
+            << ", \"detected\": " << bucket_detected(cell.by_time[b])
+            << ", \"sdc\": "
+            << cell.by_time[b][std::size_t(TrialOutcome::kSdc)] << '}';
+        first = false;
+      }
+      out << "],\n      \"per_op_kind\": [";
+      first = true;
+      for (std::size_t k = 0; k < kOpKindCount; ++k) {
+        const std::size_t total = bucket_total(cell.by_op_kind[k]);
+        if (total == 0) continue;
+        out << (first ? "" : ", ") << "{\"kind\": \""
+            << op_kind_name(OpKind(k)) << "\", \"trials\": " << total
+            << ", \"detected\": " << bucket_detected(cell.by_op_kind[k])
+            << ", \"sdc\": "
+            << cell.by_op_kind[k][std::size_t(TrialOutcome::kSdc)] << '}';
+        first = false;
+      }
+      ++emitted;
+      out << "]\n    }" << (emitted < total_cells ? "," : "") << '\n';
     }
-    out << "},\n      \"detection_coverage\": " << coverage.rate
-        << ",\n      \"coverage_ci_low\": " << coverage.ci_low
-        << ",\n      \"coverage_ci_high\": " << coverage.ci_high
-        << ",\n      \"sdc_rate\": " << sdc.rate
-        << ",\n      \"sdc_ci_low\": " << sdc.ci_low
-        << ",\n      \"sdc_ci_high\": " << sdc.ci_high
-        << ",\n      \"time_curve\": [";
-    bool first = true;
-    for (std::size_t b = 0; b < CellResult::kTimeBuckets; ++b) {
-      const std::size_t total = bucket_total(cell.by_time[b]);
-      if (total == 0) continue;
-      out << (first ? "" : ", ") << "{\"bucket\": \""
-          << time_bucket_name(b) << "\", \"trials\": " << total
-          << ", \"detected\": " << bucket_detected(cell.by_time[b])
-          << ", \"sdc\": "
-          << cell.by_time[b][std::size_t(TrialOutcome::kSdc)] << '}';
-      first = false;
-    }
-    out << "],\n      \"per_op_kind\": [";
-    first = true;
-    for (std::size_t k = 0; k < kOpKindCount; ++k) {
-      const std::size_t total = bucket_total(cell.by_op_kind[k]);
-      if (total == 0) continue;
-      out << (first ? "" : ", ") << "{\"kind\": \""
-          << op_kind_name(OpKind(k)) << "\", \"trials\": " << total
-          << ", \"detected\": " << bucket_detected(cell.by_op_kind[k])
-          << ", \"sdc\": "
-          << cell.by_op_kind[k][std::size_t(TrialOutcome::kSdc)] << '}';
-      first = false;
-    }
-    out << "]\n    }" << (i + 1 < result.cells.size() ? "," : "") << '\n';
   }
   out << "  ]\n}\n";
   return out.str();

@@ -10,18 +10,21 @@ namespace flashabft {
 
 DecoderLayer::DecoderLayer(const DecoderLayerConfig& cfg, Rng& rng)
     : cfg_(cfg),
-      self_attention_(cfg.model_dim, cfg.num_heads, cfg.head_dim, rng),
+      self_attention_(cfg.model_dim, cfg.num_heads, cfg.head_dim, rng,
+                      cfg.dtype),
       norm1_(cfg.model_dim),
       cross_attention_(cfg.cross_attention
                            ? std::optional<MultiHeadAttention>(
                                  std::in_place, cfg.model_dim, cfg.num_heads,
-                                 cfg.head_dim, rng)
+                                 cfg.head_dim, rng, cfg.dtype)
                            : std::nullopt),
       norm2_(cfg.model_dim),
       ffn1_(Linear::random_init(cfg.model_dim, cfg.ffn_dim, rng)),
       ffn2_(Linear::random_init(cfg.ffn_dim, cfg.model_dim, rng)),
-      ffn1_checksums_(ffn1_.input_checksums()),
-      ffn2_checksums_(ffn2_.input_checksums()),
+      // Quantize BEFORE caching the input-side checksums: rowsum(W)/Σb
+      // must describe the FFN weights as stored.
+      ffn1_checksums_((ffn1_.quantize(cfg.dtype), ffn1_.input_checksums())),
+      ffn2_checksums_((ffn2_.quantize(cfg.dtype), ffn2_.input_checksums())),
       norm3_(cfg.model_dim) {}
 
 void DecoderLayer::corrupt_projection_weight(std::size_t slot, std::size_t row,
@@ -36,6 +39,16 @@ void DecoderLayer::corrupt_ffn_weight(std::size_t which, std::size_t row,
   FLASHABFT_ENSURE(row < weight.rows() && col < weight.cols());
   weight(row, col) += delta;
   // ffn*_checksums_ deliberately stay stale (see header).
+}
+
+double DecoderLayer::weight_staleness() const {
+  double worst = self_attention_.weight_staleness();
+  if (cross_attention_) {
+    worst = std::max(worst, cross_attention_->weight_staleness());
+  }
+  worst = std::max(worst, ffn1_.checksum_staleness(ffn1_checksums_));
+  worst = std::max(worst, ffn2_.checksum_staleness(ffn2_checksums_));
+  return worst;
 }
 
 MatrixD DecoderLayer::ffn_block(const MatrixD& h,

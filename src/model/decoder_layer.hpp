@@ -40,6 +40,10 @@ struct DecoderLayerConfig {
   /// When false the layer is decoder-only (GPT-style): no cross-attention
   /// weights are drawn and only the causal/decode forwards are usable.
   bool cross_attention = true;
+  /// Storage format of the layer's weights: every projection and FFN weight
+  /// is quantized at construction, before its input-side checksums are
+  /// cached (rowsum(W) must describe the weights as stored).
+  DType dtype = DType::kF32;
 };
 
 /// Result of a protected decoder forward pass.
@@ -119,6 +123,11 @@ class DecoderLayer {
                                  std::size_t col, double delta);
   void corrupt_ffn_weight(std::size_t which, std::size_t row, std::size_t col,
                           double delta);
+
+  /// Worst storage-integrity staleness over this layer's cached weight
+  /// checksums: self-attention (and cross-attention when present)
+  /// projections plus both FFN products. 0.0 iff nothing drifted.
+  [[nodiscard]] double weight_staleness() const;
 
  private:
   /// FFN + Add & Norm shared by every forward; `ffn_base` offsets the two

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "numerics/dtype.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/random.hpp"
 
@@ -51,6 +52,12 @@ class Embedding {
 
   /// The embedding table (vocab_size x dim) — shared with a tied LM head.
   [[nodiscard]] const MatrixD& table() const { return table_; }
+
+  /// Rounds the table through `dtype` in place — the one-time storage
+  /// quantization of the shared front-end/LM-head weights. Owners caching
+  /// table-derived checksums (the tied head's colsum) must recompute them
+  /// AFTER this runs.
+  void quantize(DType dtype) { dtype_round_span(table_.flat(), dtype); }
 
   /// Fault injection: shifts one table element in place. Owners caching
   /// table-derived checksums (the tied LM head's colsum) deliberately go

@@ -30,15 +30,21 @@ MatrixD Linear::forward(const MatrixD& x) const {
 }
 
 CheckedOp Linear::checked_forward(const MatrixD& x,
-                                  ComputeBackend backend) const {
+                                  const KernelContext& context) const {
   FLASHABFT_ENSURE_MSG(x.cols() == weight_.rows(),
                        "Linear: input width " << x.cols() << " != "
                                               << weight_.rows());
-  FusedMatmul fused = backend_linear_fused(x, weight_, bias_, backend);
+  FusedMatmul fused = backend_linear_fused(x, weight_, bias_, context.backend,
+                                           context.dtype);
   CheckedOp op;
   op.check = {fused.predicted, fused.actual};
   op.output = std::move(fused.c);
   return op;
+}
+
+void Linear::quantize(DType dtype) {
+  dtype_round_span(weight_.flat(), dtype);
+  dtype_round_span(bias_, dtype);
 }
 
 namespace {
@@ -76,11 +82,11 @@ MatrixD guarded_linear(const Linear& layer, const MatrixD& in, OpKind kind,
                        std::size_t index, const GuardedExecutor& executor,
                        LayerReport& report,
                        const Linear::InputChecksums* cached) {
-  const ComputeBackend backend = executor.compute_backend();
+  const KernelContext context = executor.kernel_context();
   GuardedOp op = executor.run(
       kind, index, layer.forward_cost(in.rows()),
       [&](std::size_t attempt) {
-        CheckedOp checked = layer.checked_forward(in, backend);
+        CheckedOp checked = layer.checked_forward(in, context);
         if (cached != nullptr && attempt == 0) {
           FLASHABFT_ENSURE(cached->row_w.size() == in.cols());
           double predicted = double(in.rows()) * cached->bias_sum;
@@ -93,7 +99,7 @@ MatrixD guarded_linear(const Linear& layer, const MatrixD& in, OpKind kind,
         }
         return checked;
       },
-      [&] { return layer.checked_forward(in, ComputeBackend::kScalar); });
+      [&] { return layer.checked_forward(in, executor.fallback_context()); });
   MatrixD out = std::move(op.output);
   report.add(std::move(op));
   return out;
@@ -110,6 +116,16 @@ Linear::InputChecksums Linear::input_checksums() const {
   }
   for (const double b : bias_) sums.bias_sum += b;
   return sums;
+}
+
+double Linear::checksum_staleness(const InputChecksums& cached) const {
+  const InputChecksums live = input_checksums();
+  double worst = std::abs(live.bias_sum - cached.bias_sum);
+  const std::size_t n = std::min(live.row_w.size(), cached.row_w.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(live.row_w[i] - cached.row_w[i]));
+  }
+  return worst;
 }
 
 std::vector<MatrixD> guarded_linear_batch(
@@ -130,7 +146,8 @@ std::vector<MatrixD> guarded_linear_batch(
   const std::vector<double>& bias = layer.bias();
   const std::size_t inner = w.rows();
   const std::size_t out_cols = w.cols();
-  const ComputeBackend compute = executors.front()->compute_backend();
+  const KernelContext context = executors.front()->kernel_context();
+  const ComputeBackend compute = context.backend;
 
   // The shared clean-path work: one product over every group's rows, one
   // input-side rowsum(W) / Σb for every group's prediction. The tiled SIMD
@@ -150,6 +167,10 @@ std::vector<MatrixD> guarded_linear_batch(
     return product;
   }()
                     : raw_linear_scalar(x_stacked, w, bias);
+  // Storage write-back: the stacked product is stored in context.dtype, so
+  // every group's actual checksum (accumulated at the row copy below) sums
+  // the rounded values — matching checked_forward's per-session residuals.
+  dtype_round_span(y.flat(), context.dtype);
   const Linear::InputChecksums local =
       cached != nullptr ? Linear::InputChecksums{} : layer.input_checksums();
   const std::vector<double>& row_w =
@@ -195,11 +216,11 @@ std::vector<MatrixD> guarded_linear_batch(
         kind, index, layer.forward_cost(rows),
         [&](std::size_t attempt) {
           if (attempt == 0) return std::move(first);
-          return layer.checked_forward(group_input(), compute);
+          return layer.checked_forward(group_input(), context);
         },
         [&] {
           return layer.checked_forward(group_input(),
-                                       ComputeBackend::kScalar);
+                                       executors[g]->fallback_context());
         });
     outputs.push_back(std::move(op.output));
     reports[g]->add(std::move(op));

@@ -29,12 +29,22 @@ class Linear {
   /// The same forward under the classic ABFT product check (Huang & Abraham
   /// 1984): predicted = dot(colsum(x), rowsum(W)) + n * sum(b), compared
   /// against the element sum of the produced output — so both the product
-  /// and the bias add are covered. On kSimd the pair comes out of the fused
-  /// product tiles (backend_linear_fused) instead of a second pass.
-  /// Executed through a GuardedExecutor this is the `kProjection` / `kFfn`
-  /// GuardedOp.
-  [[nodiscard]] CheckedOp checked_forward(
-      const MatrixD& x, ComputeBackend backend = default_backend()) const;
+  /// and the bias add are covered. On context.backend == kSimd the pair
+  /// comes out of the fused product tiles (backend_linear_fused) instead of
+  /// a second pass; context.dtype is the storage format of the output (the
+  /// fused kernels' write-back rounding contract). Executed through a
+  /// GuardedExecutor this is the `kProjection` / `kFfn` GuardedOp.
+  /// Replaces the former `ComputeBackend backend` parameter — see the
+  /// DESIGN.md §12 migration table.
+  [[nodiscard]] CheckedOp checked_forward(const MatrixD& x,
+                                          const KernelContext& context = {}) const;
+
+  /// Rounds the weights and bias through `dtype` in place — the one-time
+  /// storage quantization of a frozen layer. Must run BEFORE
+  /// input_checksums() is cached: the input-side rowsum(W)/Σb must describe
+  /// the weights as stored, else every later compare carries a permanent
+  /// quantization offset and false-alarms.
+  void quantize(DType dtype);
 
   /// MACs of one forward (the OpReport cost metric).
   [[nodiscard]] double forward_cost(std::size_t rows) const {
@@ -60,6 +70,16 @@ class Linear {
     double bias_sum = 0.0;
   };
   [[nodiscard]] InputChecksums input_checksums() const;
+
+  /// Storage-integrity staleness of `cached` against the live weights: the
+  /// max absolute drift of any recomputed rowsum(W) entry or Σb from the
+  /// cached copy. Both sides sum the same stored values in the same order,
+  /// so a clean layer reads exactly 0.0 at EVERY storage dtype — unlike the
+  /// arithmetic checksum compare, whose low-precision threshold must sit
+  /// above quantization noise, this check never widens. A resident weight
+  /// upset surfaces as its exact delta (the weight scrub's detection
+  /// signal).
+  [[nodiscard]] double checksum_staleness(const InputChecksums& cached) const;
 
  private:
   MatrixD weight_;            // in x out

@@ -12,7 +12,8 @@ namespace flashabft {
 
 MultiHeadAttention::MultiHeadAttention(std::size_t model_dim,
                                        std::size_t num_heads,
-                                       std::size_t head_dim, Rng& rng)
+                                       std::size_t head_dim, Rng& rng,
+                                       DType dtype)
     : model_dim_(model_dim),
       num_heads_(num_heads),
       head_dim_(head_dim),
@@ -23,6 +24,12 @@ MultiHeadAttention::MultiHeadAttention(std::size_t model_dim,
   FLASHABFT_ENSURE_MSG(model_dim == num_heads * head_dim,
                        "model_dim " << model_dim << " != " << num_heads
                                     << " x " << head_dim);
+  // Quantize BEFORE caching the input-side checksums: rowsum(W)/Σb must
+  // describe the weights as stored (see header).
+  wq_.quantize(dtype);
+  wk_.quantize(dtype);
+  wv_.quantize(dtype);
+  wo_.quantize(dtype);
   projection_checksums_ = {wq_.input_checksums(), wk_.input_checksums(),
                            wv_.input_checksums(), wo_.input_checksums()};
 }
@@ -39,6 +46,16 @@ void MultiHeadAttention::corrupt_projection_weight(std::size_t slot,
   // projection_checksums_ deliberately stays stale (see header).
 }
 
+double MultiHeadAttention::weight_staleness() const {
+  const Linear* projections[4] = {&wq_, &wk_, &wv_, &wo_};
+  double worst = 0.0;
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    worst = std::max(worst, projections[slot]->checksum_staleness(
+                                projection_checksums_[slot]));
+  }
+  return worst;
+}
+
 namespace {
 
 /// Extracts head h's slice (columns [h*d, (h+1)*d)) of a projected matrix.
@@ -52,9 +69,9 @@ MatrixD head_slice(const MatrixD& m, std::size_t head, std::size_t d) {
 
 CheckedOp checked_flash_abft(const MatrixD& q, const MatrixD& k,
                              const MatrixD& v, const AttentionConfig& cfg,
-                             ComputeBackend backend) {
+                             const KernelContext& context) {
   FlashAbftOptions options;
-  options.backend = backend;
+  options.context = context;
   CheckedAttention run = flash_abft_attention(q, k, v, cfg, options);
   CheckedOp op;
   op.output = std::move(run.output);
@@ -109,12 +126,13 @@ MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
                                      std::size_t index,
                                      LayerReport& report) const {
   const double cost = attention_cost(q, k);
-  const ComputeBackend compute = executor.compute_backend();
+  const KernelContext context = executor.kernel_context();
   // Escalated heads fall back to a fresh run of the software Alg. 3
   // kernel — the reference engine, verified by its own fused checksum and
-  // pinned to the scalar backend (implementation diversity).
+  // pinned to the scalar backend (implementation diversity; same storage
+  // dtype, so the recomputed output lands in the same regime).
   const auto reference_fallback = [&] {
-    return checked_flash_abft(q, k, v, cfg, ComputeBackend::kScalar);
+    return checked_flash_abft(q, k, v, cfg, executor.fallback_context());
   };
 
   switch (backend) {
@@ -126,7 +144,7 @@ MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
       GuardedOp op = executor.run(
           OpKind::kAttentionFlashAbft, index, cost,
           [&](std::size_t) {
-            return checked_flash_abft(q, k, v, cfg, compute);
+            return checked_flash_abft(q, k, v, cfg, context);
           },
           reference_fallback);
       MatrixD out = std::move(op.output);
@@ -138,7 +156,7 @@ MatrixD MultiHeadAttention::run_head(const MatrixD& q, const MatrixD& k,
           OpKind::kAttentionTwoStepAbft, index, cost,
           [&](std::size_t) {
             TwoStepAbftAttention run =
-                two_step_abft_attention(q, k, v, cfg, compute);
+                two_step_abft_attention(q, k, v, cfg, context);
             CheckedOp checked;
             checked.output = std::move(run.output);
             checked.check = {run.qk_check.predicted, run.qk_check.actual};
@@ -321,7 +339,7 @@ MatrixD MultiHeadAttention::forward_decode_paged_batch(
   for (std::size_t s = 0; s < batch; ++s) {
     const std::vector<KvPagePool::Chunk> pages = pool.chunks(*kvs[s], layer);
     const double cost = 2.0 * double(kvs[s]->len(layer)) * double(head_dim_);
-    const ComputeBackend compute = executors[s]->compute_backend();
+    const KernelContext context = executors[s]->kernel_context();
     for (std::size_t h = 0; h < num_heads_; ++h) {
       const MatrixD q = head_slice(q_all[s], h, head_dim_);
       const auto gather_fallback = [&] {
@@ -333,13 +351,13 @@ MatrixD MultiHeadAttention::forward_decode_paged_batch(
         return checked_flash_abft(
             q, pool.gather_k_head(*kvs[s], layer, h, head_dim_),
             pool.gather_v_head(*kvs[s], layer, h, head_dim_), cfg,
-            ComputeBackend::kScalar);
+            executors[s]->fallback_context());
       };
       GuardedOp op = executors[s]->run(
           OpKind::kAttentionFlashAbft, head_base + h, cost,
           [&](std::size_t) {
             return paged_flash_abft_head(q.row(0), pages, width, h,
-                                         head_dim_, scale, compute);
+                                         head_dim_, scale, context);
           },
           gather_fallback);
       for (std::size_t d = 0; d < head_dim_; ++d) {
@@ -401,7 +419,7 @@ MhaResult MultiHeadAttention::forward_decode_paged(
   const double scale = 1.0 / std::sqrt(double(head_dim_));
   const double cost =
       2.0 * double(kv.len(layer)) * double(head_dim_);
-  const ComputeBackend compute = executor.compute_backend();
+  const KernelContext context = executor.kernel_context();
 
   MatrixD concat(1, num_heads_ * head_dim_);
   for (std::size_t h = 0; h < num_heads_; ++h) {
@@ -417,13 +435,13 @@ MhaResult MultiHeadAttention::forward_decode_paged(
       cfg.mask = AttentionMask::kNone;
       return checked_flash_abft(q, pool.gather_k_head(kv, layer, h, head_dim_),
                                 pool.gather_v_head(kv, layer, h, head_dim_),
-                                cfg, ComputeBackend::kScalar);
+                                cfg, executor.fallback_context());
     };
     GuardedOp op = executor.run(
         OpKind::kAttentionFlashAbft, head_base + h, cost,
         [&](std::size_t) {
           return paged_flash_abft_head(q.row(0), pages, width, h, head_dim_,
-                                       scale, compute);
+                                       scale, context);
         },
         gather_fallback);
     for (std::size_t d = 0; d < head_dim_; ++d) {

@@ -47,9 +47,14 @@ struct MhaResult {
 /// The multi-head attention block.
 class MultiHeadAttention {
  public:
-  /// model_dim must equal num_heads * head_dim.
+  /// model_dim must equal num_heads * head_dim. `dtype` is the storage
+  /// format of the four projection weights: they are quantized at
+  /// construction, BEFORE the input-side checksums are cached — rowsum(W)
+  /// must describe the weights as stored or every compare would carry a
+  /// permanent quantization offset and false-alarm.
   MultiHeadAttention(std::size_t model_dim, std::size_t num_heads,
-                     std::size_t head_dim, Rng& rng);
+                     std::size_t head_dim, Rng& rng,
+                     DType dtype = DType::kF32);
 
   /// Self-attention forward over embeddings x (n x model_dim). Projections
   /// always run under matmul-ABFT; heads are checked when `backend` carries
@@ -142,6 +147,11 @@ class MultiHeadAttention {
   /// consistent — the asymmetry the fault campaign measures.
   void corrupt_projection_weight(std::size_t slot, std::size_t row,
                                  std::size_t col, double delta);
+
+  /// Worst storage-integrity staleness over the four cached projection
+  /// checksums (see Linear::checksum_staleness) — 0.0 iff no projection
+  /// weight drifted since construction, at every storage dtype.
+  [[nodiscard]] double weight_staleness() const;
 
  private:
   [[nodiscard]] MhaResult forward_impl(const MatrixD& x_q,

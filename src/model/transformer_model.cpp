@@ -18,6 +18,7 @@ DecoderLayerConfig layer_config(const TransformerConfig& cfg) {
   layer.head_dim = cfg.head_dim;
   layer.ffn_dim = cfg.ffn_dim;
   layer.cross_attention = false;  // GPT-style decoder-only stack.
+  layer.dtype = cfg.dtype;
   return layer;
 }
 
@@ -39,6 +40,9 @@ TransformerModel::TransformerModel(const TransformerConfig& cfg,
   for (std::size_t l = 0; l < cfg.num_layers; ++l) {
     layers_.emplace_back(layer, rng);
   }
+  // Quantize the shared table BEFORE caching the tied head's colsum(E):
+  // the input-side checksum must describe the table as stored.
+  embedding_.quantize(cfg.dtype);
   lm_colsum_ = column_sums(embedding_.table());
 }
 
@@ -136,6 +140,46 @@ void TransformerModel::corrupt_weight(const WeightSite& site) {
   }
 }
 
+double TransformerModel::weight_staleness() const {
+  // Tied head: recompute colsum(E) over the stored table — bit-identical
+  // to the construction-time pass when nothing drifted.
+  const std::vector<double> live = column_sums(embedding_.table());
+  double worst = 0.0;
+  const std::size_t n = std::min(live.size(), lm_colsum_.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    worst = std::max(worst, std::abs(live[j] - lm_colsum_[j]));
+  }
+  for (const DecoderLayer& layer : layers_) {
+    worst = std::max(worst, layer.weight_staleness());
+  }
+  return worst;
+}
+
+bool guarded_weight_verify(const TransformerModel& model, std::size_t index,
+                           const GuardedExecutor& executor,
+                           LayerReport& report) {
+  GuardedOp op = executor.run(
+      OpKind::kControlPlane, index, model.weight_verify_cost(),
+      [&](std::size_t) {
+        CheckedOp checked;
+        checked.output = MatrixD(1, 1);
+        const double staleness = model.weight_staleness();
+        // Exact compare against the cached checksums; the pair carries the
+        // staleness so the OpReport's residual is the observed drift. Any
+        // nonzero drift alarms: verify re-runs the construction-time sums
+        // over the same stored values in the same order, so a clean stack
+        // reads exactly 0.0 — an ECC-style integrity check, not a rounding
+        // comparator, and the reason it needs no dtype-widened threshold.
+        checked.check = {staleness, 0.0};
+        checked.self_verdict = staleness > 0.0 ? CheckVerdict::kAlarm
+                                               : CheckVerdict::kPass;
+        return checked;
+      });
+  const bool clean = op.report.verdict == CheckVerdict::kPass;
+  report.add(std::move(op));
+  return clean;
+}
+
 std::vector<std::size_t> TransformerModel::encode(
     std::string_view text) const {
   return embedding_.token_ids(tokenize(text));
@@ -143,7 +187,7 @@ std::vector<std::size_t> TransformerModel::encode(
 
 KvCache TransformerModel::make_cache() const {
   return KvCache(cfg_.num_layers, cfg_.max_seq_len,
-                 cfg_.num_heads * cfg_.head_dim);
+                 cfg_.num_heads * cfg_.head_dim, cfg_.dtype);
 }
 
 KvPoolConfig TransformerModel::make_pool_config(std::size_t page_size,
@@ -153,6 +197,7 @@ KvPoolConfig TransformerModel::make_pool_config(std::size_t page_size,
   pool.page_size = page_size;
   pool.width = cfg_.num_heads * cfg_.head_dim;
   pool.num_layers = cfg_.num_layers;
+  pool.dtype = cfg_.dtype;
   const std::size_t per_session =
       cfg_.num_layers * ((cfg_.max_seq_len + page_size - 1) / page_size);
   pool.num_pages =
@@ -202,10 +247,13 @@ std::vector<double> TransformerModel::lm_head(
   // predicted = dot(h_last, colsum(E)) — O(dim·vocab) compute, O(dim)
   // checksum prediction.
   const std::size_t last = h.rows() - 1;
-  const auto run = [&](ComputeBackend compute) {
+  const auto run = [&](const KernelContext& context) {
     CheckedOp op;
     op.output = MatrixD(1, cfg_.vocab_size);
-    lm_head_row(h.row(last), compute, op.output.row(0).data());
+    lm_head_row(h.row(last), context.backend, op.output.row(0).data());
+    // Storage write-back: logits are stored in context.dtype and the
+    // actual checksum sums the stored values (predicted stays wide).
+    dtype_round_span(op.output.row(0), context.dtype);
     for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
       op.check.predicted += h(last, j) * lm_colsum_[j];
     }
@@ -215,8 +263,8 @@ std::vector<double> TransformerModel::lm_head(
   GuardedOp op = executor.run(
       OpKind::kProjection, lm_head_index(),
       double(cfg_.model_dim) * double(cfg_.vocab_size),
-      [&](std::size_t) { return run(executor.compute_backend()); },
-      [&] { return run(ComputeBackend::kScalar); });
+      [&](std::size_t) { return run(executor.kernel_context()); },
+      [&] { return run(executor.fallback_context()); });
   std::vector<double> logits(op.output.row(0).begin(),
                              op.output.row(0).end());
   report.add(std::move(op));
@@ -367,22 +415,25 @@ std::vector<std::vector<double>> TransformerModel::lm_head_batch(
     std::span<const GuardedExecutor* const> executors,
     std::span<LayerReport* const> reports) const {
   const std::size_t batch = h_stacked.rows();
-  const ComputeBackend compute = executors.front()->compute_backend();
+  const KernelContext context = executors.front()->kernel_context();
 
   // One stacked logits product; the tied table (and colsum(E)) stream once
-  // per batch. Row readout shared with the per-session lm_head.
+  // per batch. Row readout shared with the per-session lm_head, followed by
+  // the same storage write-back rounding.
   MatrixD y(batch, cfg_.vocab_size);
   for (std::size_t s = 0; s < batch; ++s) {
-    lm_head_row(h_stacked.row(s), compute, y.row(s).data());
+    lm_head_row(h_stacked.row(s), context.backend, y.row(s).data());
+    dtype_round_span(y.row(s), context.dtype);
   }
   const std::vector<double>& col_e = lm_colsum_;
 
   // Per-session recomputation engine for retries/fallback: the same
   // single-row run the non-batched lm_head uses.
-  const auto run_one = [&](std::size_t s, ComputeBackend engine) {
+  const auto run_one = [&](std::size_t s, const KernelContext& engine) {
     CheckedOp op;
     op.output = MatrixD(1, cfg_.vocab_size);
-    lm_head_row(h_stacked.row(s), engine, op.output.row(0).data());
+    lm_head_row(h_stacked.row(s), engine.backend, op.output.row(0).data());
+    dtype_round_span(op.output.row(0), engine.dtype);
     const double* h_row = h_stacked.row(s).data();
     for (std::size_t j = 0; j < cfg_.model_dim; ++j) {
       op.check.predicted += h_row[j] * col_e[j];
@@ -409,9 +460,9 @@ std::vector<std::vector<double>> TransformerModel::lm_head_batch(
         double(cfg_.model_dim) * double(cfg_.vocab_size),
         [&](std::size_t attempt) {
           if (attempt == 0) return std::move(first);
-          return run_one(s, compute);
+          return run_one(s, context);
         },
-        [&] { return run_one(s, ComputeBackend::kScalar); });
+        [&] { return run_one(s, executors[s]->fallback_context()); });
     logits[s].assign(op.output.row(0).begin(), op.output.row(0).end());
     reports[s]->add(std::move(op));
   }

@@ -41,6 +41,13 @@ struct TransformerConfig {
   std::size_t ffn_dim = 128;
   /// KV-cache capacity: prompt length + generated tokens must fit.
   std::size_t max_seq_len = 64;
+  /// Storage dtype of the whole stack: weights (embedding table,
+  /// projections, FFN products) are quantized at construction before any
+  /// weight-derived checksum is cached, kernel outputs are rounded at
+  /// write-back, and the KV caches this model shapes (make_cache /
+  /// make_pool_config) store rounded rows at dtype byte width. kF32 is
+  /// bit-identical to the pre-dtype model.
+  DType dtype = DType::kF32;
 };
 
 /// One forward's logits (last position) and its protected-op report.
@@ -195,6 +202,18 @@ class TransformerModel {
 
   [[nodiscard]] static std::size_t argmax(const std::vector<double>& logits);
 
+  /// Worst storage-integrity staleness over EVERY cached weight checksum of
+  /// the stack: the tied head's colsum(E) plus each layer's projection and
+  /// FFN rowsums. Clean weights read exactly 0.0 at every storage dtype —
+  /// both sides re-sum the same stored values in the same order — so the
+  /// weight scrub built on this never needs a precision-widened threshold;
+  /// a resident upset surfaces as its exact delta.
+  [[nodiscard]] double weight_staleness() const;
+  /// Elements a full staleness walk re-sums (the scrub op's cost metric).
+  [[nodiscard]] double weight_verify_cost() const {
+    return double(weight_element_count());
+  }
+
  private:
   /// Final LayerNorm + tied LM head over the last row of `h`; the logits
   /// product is guarded by the matmul-ABFT identity
@@ -225,5 +244,20 @@ class TransformerModel {
   /// changes after construction, so it is computed once, not per step.
   std::vector<double> lm_colsum_;
 };
+
+/// Guarded weight-integrity scrub, in the same shape as guarded_meta_verify
+/// / guarded_page_verify: one kControlPlane op whose residual is the
+/// stack's worst checksum staleness. There is no redundant weight copy to
+/// repair from, so a resident upset exhausts the retries and is accepted
+/// dirty (verdict kAlarm) — detected-uncorrected, the campaign's weights
+/// subsystem signal. The compare is exact (clean staleness is 0.0 at every
+/// dtype), so the threshold stays at the control-plane floor and detection
+/// does NOT degrade under low-precision storage — the arithmetic-checksum
+/// path's quantization-widened thresholds are exactly what this scrub
+/// compensates for. Returns true iff the weights verified fresh.
+[[nodiscard]] bool guarded_weight_verify(const TransformerModel& model,
+                                         std::size_t index,
+                                         const GuardedExecutor& executor,
+                                         LayerReport& report);
 
 }  // namespace flashabft

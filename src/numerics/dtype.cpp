@@ -1,0 +1,25 @@
+#include "numerics/dtype.hpp"
+
+namespace flashabft {
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kBf16: return "bf16";
+    case DType::kF16: return "f16";
+  }
+  return "unknown";
+}
+
+std::optional<DType> parse_dtype(std::string_view name) {
+  if (name == "f32" || name == "fp32" || name == "float32") {
+    return DType::kF32;
+  }
+  if (name == "bf16" || name == "bfloat16") return DType::kBf16;
+  if (name == "f16" || name == "fp16" || name == "float16") {
+    return DType::kF16;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flashabft

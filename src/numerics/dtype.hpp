@@ -1,0 +1,80 @@
+// Runtime-selectable storage dtype for weights and KV state.
+//
+// The serving stack computes in the wide accumulator format (binary64
+// throughout `MatrixD`) and *stores* tensors — weights at model
+// construction, kernel outputs at register write-back, K/V rows on cache
+// append — in the selected storage format. `DType::kF32` is the
+// full-precision baseline: storage is the accumulator format itself, the
+// rounding hook is the identity, and every result stays bit-identical to
+// the pre-dtype code path (the golden-parity tests pin this). `kBf16` and
+// `kF16` model the mixed-precision hardware regime of the paper's
+// accelerator (§IV-A: low-precision operands, wide accumulation, rounding
+// on result-register write-back) through the bit-exact software formats in
+// `numerics/bfloat16.hpp` / `numerics/float16.hpp`.
+//
+// Narrowing goes double -> float (RNE) -> 16-bit format (RNE), exactly the
+// path a real datapath takes when an fp32 accumulator register is written
+// back to 16-bit storage.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "numerics/bfloat16.hpp"
+#include "numerics/float16.hpp"
+
+namespace flashabft {
+
+/// Storage format of weights, kernel outputs and cached K/V rows.
+enum class DType {
+  kF32 = 0,  ///< full-precision baseline: no narrowing, bit-identical.
+  kBf16,     ///< 1/8/7 brain float (the paper accelerator's format).
+  kF16,      ///< 1/5/10 IEEE half (the DESIGN.md §5 ablation format).
+};
+inline constexpr std::size_t kDTypeCount = 3;
+
+/// "f32" / "bf16" / "f16" — the `--dtype=` CLI values.
+[[nodiscard]] const char* dtype_name(DType dtype);
+[[nodiscard]] std::optional<DType> parse_dtype(std::string_view name);
+
+/// Modeled storage bytes per element — what the KV pool's byte budget
+/// accounting charges per stored value (the emulation keeps binary64
+/// backing storage; capacity planning follows the modeled format).
+[[nodiscard]] constexpr std::size_t dtype_storage_bytes(DType dtype) {
+  return dtype == DType::kF32 ? 4 : 2;
+}
+
+/// Unit roundoff u of the storage format: |round(x) - x| <= u * |x| for
+/// normal x. Zero for kF32 — that regime never narrows, so storage
+/// quantization contributes no residual (only binary64 reduction noise,
+/// which the calibration floor covers).
+[[nodiscard]] constexpr double dtype_unit_roundoff(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return 0.0;
+    case DType::kBf16: return 1.0 / 256.0;    // 2^-(7+1)
+    case DType::kF16: return 1.0 / 2048.0;    // 2^-(10+1)
+  }
+  return 0.0;
+}
+
+/// Rounds one wide-accumulator value through the storage format and widens
+/// back — the register write-back hook every dtype-aware kernel applies to
+/// values it materializes. Identity for kF32.
+[[nodiscard]] inline double dtype_round(double value, DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return value;
+    case DType::kBf16: return double(bf16::round(float(value)));
+    case DType::kF16: return double(fp16::round(float(value)));
+  }
+  return value;
+}
+
+/// In-place write-back rounding of a stored row/tile. No-op for kF32.
+inline void dtype_round_span(std::span<double> values, DType dtype) {
+  if (dtype == DType::kF32) return;
+  for (double& v : values) v = dtype_round(v, dtype);
+}
+
+}  // namespace flashabft

@@ -25,6 +25,9 @@ KvPoolConfig scheduler_pool_config(const SchedulerConfig& cfg,
                                    std::size_t sessions) {
   KvPoolConfig pool_cfg =
       model.make_pool_config(cfg.page_size, cfg.num_pages, sessions);
+  if (cfg.kv_budget_bytes > 0) {
+    pool_cfg.num_pages = pool_cfg.pages_for_budget(cfg.kv_budget_bytes);
+  }
   pool_cfg.prefix_cache = cfg.prefix_cache;
   return pool_cfg;
 }
@@ -743,6 +746,24 @@ std::vector<scrub::ScrubItem> ContinuousScheduler::scrub_items() {
                ? scrub::ItemOutcome::kRepaired
                : scrub::ItemOutcome::kUnrepairable;
   };
+  // The shared model weights: one staleness walk per pass. Storage
+  // corruption of a parameter is visible to every running session, so a
+  // stale checksum marks them all — and because the compare is bit-exact
+  // at every dtype, weight detection does not degrade under low-precision
+  // storage the way the quantization-widened arithmetic thresholds do.
+  items.push_back({[this] {
+    LayerReport report;
+    const bool fresh =
+        guarded_weight_verify(model_, /*index=*/0, control_executor_, report);
+    if (fresh) return scrub::ItemOutcome::kClean;
+    for (GenerationSession* session : running_) {
+      ++session->scrub_faults_found;
+      LayerReport copy;
+      for (const OpReport& op : report.ops) copy.ops.push_back(op);
+      absorb_control(*session, std::move(copy));
+    }
+    return scrub::ItemOutcome::kUnrepairable;
+  }});
   for (GenerationSession* session : running_) {
     // The sealed metadata record.
     items.push_back({[this, session, outcome_of] {

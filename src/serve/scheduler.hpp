@@ -82,6 +82,12 @@ struct SchedulerConfig {
   /// Pool size; 0 derives the minimum that fits `max_sessions` full-length
   /// sessions (no page pressure). Size it smaller to exercise preemption.
   std::size_t num_pages = 0;
+  /// Fixed KV byte budget; when > 0 it overrides `num_pages`: the pool is
+  /// sized to KvPoolConfig::pages_for_budget(kv_budget_bytes) at the
+  /// model's storage dtype. This is the knob the dtype benchmark holds
+  /// constant while sweeping --dtype — half-width storage doubles the
+  /// pages (and so the resident sessions) the same byte budget backs.
+  std::size_t kv_budget_bytes = 0;
   PreemptionPolicy preemption = PreemptionPolicy::kNewestFirst;
   /// Shared-prefix KV caching: prefill pages are registered in the pool's
   /// refcounted read-only index and later sessions with a matching prompt

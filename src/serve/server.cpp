@@ -5,6 +5,7 @@
 #include "attention/attention_config.hpp"
 #include "common/ensure.hpp"
 #include "core/flash_abft.hpp"
+#include "fault/calibrate.hpp"
 #include "serve/fault_surface.hpp"
 #include "sim/multi_head.hpp"
 
@@ -48,6 +49,11 @@ InferenceServer::InferenceServer(ServerConfig config)
                        "server needs at least one worker");
   FLASHABFT_ENSURE_MSG(config_.batching.max_batch > 0,
                        "max_batch must be positive");
+  // One dtype knob governs the whole software stack: the lazily-built
+  // layer/model quantize their weights at construction and the executors
+  // (executor_options below) judge with matching derived tolerances.
+  config_.layer.dtype = config_.dtype;
+  config_.model.dtype = config_.dtype;
   telemetry_.set_compute(config_.compute);
   workers_.reserve(config_.num_workers);
   for (std::size_t w = 0; w < config_.num_workers; ++w) {
@@ -323,6 +329,14 @@ GuardedExecutor::Options InferenceServer::executor_options() const {
   options.screen = config_.screen;
   options.compute = config_.compute;
   options.dmr_glue = config_.dmr_glue;
+  options.dtype = config_.dtype;
+  // Low-precision storage needs thresholds derived for it (the single
+  // hand-set checker would false-alarm on quantization residuals); kF32
+  // keeps the legacy single-checker judging bit-identical.
+  if (config_.dtype != DType::kF32) {
+    options.tolerances = derive_tolerances(
+        config_.dtype, tolerance_shape_for(config_.model));
+  }
   return options;
 }
 

@@ -103,6 +103,13 @@ struct ServerConfig {
   /// GenerationWork to the paged-pool scheduler thread (AttentionWork and
   /// LayerWork always flow through the worker pool).
   SchedulerConfig scheduler{};
+  /// Storage dtype of the software serving stack: the constructor copies it
+  /// into `layer.dtype` / `model.dtype` (weights quantized before their
+  /// checksums are cached, KV rows stored at dtype width) and the guarded
+  /// executors judge with per-OpKind tolerances derived for it from the
+  /// rounding-error-bound model (fault/calibrate.hpp). kF32 keeps the
+  /// serving stack bit-identical to the pre-dtype behaviour.
+  DType dtype = DType::kF32;
 };
 
 class InferenceServer {

@@ -77,6 +77,21 @@ SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
       apply_session_tampers(work, meta.raw(), step_index,
                             model.config().vocab_size);
       verify_stepped_meta(meta, control_executor, out, recovered_ops);
+      if (is_prefill) {
+        // Weight-integrity scrub before the first read: a parameter upset
+        // resident at admission is storage corruption, and the bit-exact
+        // staleness check catches it at every dtype — the low-precision
+        // regime's arithmetic thresholds never widen this path.
+        LayerReport weights;
+        const bool fresh =
+            guarded_weight_verify(model, /*index=*/0, control_executor,
+                                  weights);
+        out.op_executions += weights.executions();
+        out.alarm_events += weights.alarm_events();
+        if (!fresh) ++out.scrub_faults_found;
+        out.checksum_clean =
+            out.checksum_clean && weights.all_accepted_clean();
+      }
       if (!is_prefill) {
         // Latent upsets land at the start of the idle window and the inline
         // scrub passes must heal them before this step's read (the legacy

@@ -19,7 +19,8 @@ std::atomic<ComputeBackend> g_default_backend{ComputeBackend::kScalar};
 /// its colsum contribution is taken; each finished C row block is reduced
 /// (and biased) while still cache-hot — no second pass over C.
 FusedMatmul simd_matmul_impl(const MatrixD& a, const MatrixD& b,
-                             std::span<const double> bias, bool fuse_checks) {
+                             std::span<const double> bias, bool fuse_checks,
+                             DType dtype = DType::kF32) {
   const std::size_t m = a.rows();
   const std::size_t depth = a.cols();
   const std::size_t n = b.cols();
@@ -45,7 +46,8 @@ FusedMatmul simd_matmul_impl(const MatrixD& a, const MatrixD& b,
         }
       }
     }
-    // Finalize this row block while its C rows are hot: bias + actual Σ.
+    // Finalize this row block while its C rows are hot: bias, storage
+    // write-back rounding, then the actual Σ over what was stored.
     for (std::size_t i = i0; i < i_end; ++i) {
       double* c_row = result.c.row(i).data();
       if (!bias.empty()) {
@@ -53,6 +55,7 @@ FusedMatmul simd_matmul_impl(const MatrixD& a, const MatrixD& b,
         FLASHABFT_PRAGMA(omp simd)
         for (std::size_t j = 0; j < n; ++j) c_row[j] += b_ptr[j];
       }
+      dtype_round_span({c_row, n}, dtype);
       if (fuse_checks) actual += simd::sum(c_row, n);
     }
   }
@@ -110,7 +113,8 @@ MatrixD simd_row_softmax(const MatrixD& scores) {
 /// the classic second-pass checksums (documenting exactly what fusion
 /// removes).
 FusedMatmul scalar_fused(const MatrixD& a, const MatrixD& b,
-                         std::span<const double> bias) {
+                         std::span<const double> bias,
+                         DType dtype = DType::kF32) {
   FusedMatmul result;
   result.c = matmul(a, b);
   const std::vector<double> col_a = column_sums(a);
@@ -128,6 +132,9 @@ FusedMatmul scalar_fused(const MatrixD& a, const MatrixD& b,
       }
     }
   }
+  // Same write-back contract as the tiled path: the stored product is the
+  // rounded one, and actual sums what was stored.
+  dtype_round_span(result.c.flat(), dtype);
   result.actual = element_sum(result.c);
   return result;
 }
@@ -181,20 +188,24 @@ MatrixD backend_row_softmax(const MatrixD& scores, ComputeBackend backend) {
 }
 
 FusedMatmul backend_matmul_fused(const MatrixD& a, const MatrixD& b,
-                                 ComputeBackend backend) {
+                                 ComputeBackend backend, DType dtype) {
   FLASHABFT_ENSURE(a.cols() == b.rows());
-  if (backend == ComputeBackend::kScalar) return scalar_fused(a, b, {});
-  return simd_matmul_impl(a, b, {}, /*fuse_checks=*/true);
+  if (backend == ComputeBackend::kScalar) {
+    return scalar_fused(a, b, {}, dtype);
+  }
+  return simd_matmul_impl(a, b, {}, /*fuse_checks=*/true, dtype);
 }
 
 FusedMatmul backend_linear_fused(const MatrixD& x, const MatrixD& w,
                                  std::span<const double> bias,
-                                 ComputeBackend backend) {
+                                 ComputeBackend backend, DType dtype) {
   FLASHABFT_ENSURE(x.cols() == w.rows());
   FLASHABFT_ENSURE_MSG(bias.empty() || bias.size() == w.cols(),
                        "bias size " << bias.size() << " != " << w.cols());
-  if (backend == ComputeBackend::kScalar) return scalar_fused(x, w, bias);
-  return simd_matmul_impl(x, w, bias, /*fuse_checks=*/true);
+  if (backend == ComputeBackend::kScalar) {
+    return scalar_fused(x, w, bias, dtype);
+  }
+  return simd_matmul_impl(x, w, bias, /*fuse_checks=*/true, dtype);
 }
 
 }  // namespace flashabft

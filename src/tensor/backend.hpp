@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "numerics/dtype.hpp"
 #include "tensor/matrix.hpp"
 
 // Portable vectorization pragma: a real `omp simd` under -fopenmp-simd
@@ -147,16 +148,28 @@ struct FusedMatmul {
                                           ComputeBackend backend);
 
 /// C = A * B with the ABFT checksum pair fused into the product tiles.
+///
+/// `dtype` is the storage format of the materialized product: each output
+/// row is rounded through it at write-back (while the row block is still
+/// cache-hot on the SIMD path) and `actual` is reduced over the *rounded*
+/// values — so the pair's fault-free residual is exactly the output
+/// quantization error the calibration model bounds, and a bit flip in the
+/// stored product still breaks the Σ C identity. `predicted` stays in the
+/// wide accumulator format (input-side checksums never materialize).
+/// kF32 (the default) is the identity: bit-identical to the pre-dtype path.
 [[nodiscard]] FusedMatmul backend_matmul_fused(const MatrixD& a,
                                                const MatrixD& b,
-                                               ComputeBackend backend);
+                                               ComputeBackend backend,
+                                               DType dtype = DType::kF32);
 
 /// y = x W + bias with the fused checksum pair; `bias` may be empty, else
 /// bias.size() == W.cols(). predicted includes the rows·Σbias term, actual
-/// is taken over the biased output — the Linear::checked_forward identity.
+/// is taken over the biased (and dtype-rounded — see backend_matmul_fused)
+/// output — the Linear::checked_forward identity.
 [[nodiscard]] FusedMatmul backend_linear_fused(const MatrixD& x,
                                                const MatrixD& w,
                                                std::span<const double> bias,
-                                               ComputeBackend backend);
+                                               ComputeBackend backend,
+                                               DType dtype = DType::kF32);
 
 }  // namespace flashabft

@@ -146,7 +146,7 @@ TEST(Backend, LinearFusedCoversBias) {
     expect_matrix_near(fused.c, golden, 37);
     expect_close(fused.predicted, fused.actual, 1e-10);
 
-    const CheckedOp op = layer.checked_forward(x, backend);
+    const CheckedOp op = layer.checked_forward(x, KernelContext{backend});
     expect_matrix_near(op.output, golden, 37);
     expect_close(op.check.predicted, op.check.actual, 1e-10);
   }
@@ -176,7 +176,7 @@ TEST(Backend, FlashAbftParityIncludingMasksAndRectangles) {
     cfg.mask = c.mask;
 
     FlashAbftOptions simd_options;
-    simd_options.backend = ComputeBackend::kSimd;
+    simd_options.context.backend = ComputeBackend::kSimd;
     const CheckedAttention scalar = flash_abft_attention(q, k, v, cfg);
     const CheckedAttention simd =
         flash_abft_attention(q, k, v, cfg, simd_options);
@@ -202,7 +202,7 @@ TEST(Backend, BlockedFlashParityAcrossBlockSizes) {
   const CheckedAttention golden = flash_abft_attention(q, k, v, cfg);
   for (const std::size_t block : {1u, 5u, 64u, 1000u}) {
     FlashAbftOptions options;
-    options.backend = ComputeBackend::kSimd;
+    options.context.backend = ComputeBackend::kSimd;
     const CheckedAttention tiled = blocked_flash_abft_attention(
         q, k, v, cfg, BlockConfig{block}, options);
     expect_matrix_near(golden.output, tiled.output, 29 * 16);
@@ -222,7 +222,8 @@ TEST(Backend, TwoStepAbftParity) {
 
   const TwoStepAbftAttention scalar = two_step_abft_attention(q, k, v, cfg);
   const TwoStepAbftAttention simd =
-      two_step_abft_attention(q, k, v, cfg, ComputeBackend::kSimd);
+      two_step_abft_attention(q, k, v, cfg,
+                              KernelContext{ComputeBackend::kSimd});
   expect_matrix_near(scalar.output, simd.output, 17 * 13);
   expect_close(scalar.qk_check.predicted, simd.qk_check.predicted, 1e-10);
   expect_close(scalar.sv_check.predicted, simd.sv_check.predicted, 1e-10);

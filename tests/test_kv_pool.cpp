@@ -250,11 +250,12 @@ TEST(KvPool, PagedAttentionMatchesContiguousKernelBitwise) {
     for (const ComputeBackend backend :
          {ComputeBackend::kScalar, ComputeBackend::kSimd}) {
       FlashAbftOptions options;
-      options.backend = backend;
+      options.context.backend = backend;
       const CheckedAttention golden =
           flash_abft_attention(q, k, v, attn, options);
       const CheckedOp paged = paged_flash_abft_head(
-          q.row(0), chunks, cfg.width, head, 8, scale, backend);
+          q.row(0), chunks, cfg.width, head, 8, scale,
+          KernelContext{backend});
       for (std::size_t x = 0; x < 8; ++x) {
         EXPECT_EQ(paged.output(0, x), golden.output(0, x))
             << "head " << head << " backend " << backend_name(backend);
