@@ -10,7 +10,21 @@ committed baseline and fails (exit 1) when:
   * a kernel's SIMD-over-scalar speedup falls below --min-kernel-speedup
     (0 disables the check), or
   * a baseline scenario is missing from the candidate, or a scenario that
-    was ok in the baseline is no longer ok (reconciliation failed).
+    was ok in the baseline is no longer ok (reconciliation failed), or
+  * a per-OpKind ABFT overhead (verify+recovery as % of compute, from the
+    scenario's "abft_overhead" block) rises more than --max-overhead-rise
+    percentage points above the baseline (overhead is a within-run ratio,
+    so it needs no machine normalization; kinds with < 0.5 ms of compute
+    on either side are skipped as timing noise), or
+  * the candidate's "obs"-mode tracing pairs (the same continuous
+    generation workload run tracing-off then tracing-on, once per
+    backend) show tracing costing more than --max-trace-cost of
+    throughput on EVERY pair — the minimum cost across the pairs is the
+    noise-robust estimate, since a real cost hits all backends while
+    single-run throughput noise is uncorrelated. This is a
+    candidate-only, within-machine check: the pair exists to keep the
+    always-available --trace flag affordable, and it only runs when the
+    candidate was produced with --mode=obs or --mode=all.
 
 Scenarios are matched by (name, mode, backend).
 
@@ -67,6 +81,69 @@ def machine_slowdown(baseline, candidate):
     return min(5.0, max(0.2, median))
 
 
+def check_abft_overhead(base, cand, label, max_rise, failures):
+    """Per-kind overhead_pct comparison for one scenario pair. Returns the
+    number of metrics checked."""
+    checked = 0
+    base_overhead = base.get("abft_overhead", {})
+    cand_overhead = cand.get("abft_overhead", {})
+    for kind, base_kind in base_overhead.items():
+        cand_kind = cand_overhead.get(kind)
+        if cand_kind is None:
+            continue  # the kind may simply not run in a smoke config.
+        if (base_kind.get("compute_ms", 0.0) < 0.5
+                or cand_kind.get("compute_ms", 0.0) < 0.5):
+            continue  # too little compute for the ratio to be meaningful.
+        checked += 1
+        base_pct = base_kind.get("overhead_pct", 0.0)
+        cand_pct = cand_kind.get("overhead_pct", 0.0)
+        if cand_pct > base_pct + max_rise:
+            failures.append(
+                f"{label}: {kind} ABFT overhead {cand_pct:.1f}% > "
+                f"baseline {base_pct:.1f}% + {max_rise:.1f} points")
+    return checked
+
+
+def check_tracing_cost(candidate, max_cost, failures):
+    """Tracing-off vs tracing-on throughput within the candidate's "obs"
+    scenario pairs (one pair per backend). Returns the number of metrics
+    checked (0 when the candidate was not run with --mode=obs/all).
+
+    A real tracing cost is backend-independent — the collector appends the
+    same events either way — while single-run throughput noise is
+    uncorrelated across the pairs, so the gate fails only when EVERY
+    backend's pair shows tracing costing more than `max_cost`: the
+    minimum observed cost is the robust estimate of the true cost."""
+    pairs = {}  # backend -> {"off": scenario, "on": scenario}
+    for s in candidate.get("scenarios", []):
+        if s.get("mode") != "obs":
+            continue
+        side = ("off" if "tracing off" in s.get("name", "")
+                else "on" if "tracing on" in s.get("name", "") else None)
+        if side:
+            pairs.setdefault(s.get("backend", ""), {})[side] = s
+    checked = 0
+    for metric in ("throughput_rps", "tokens_per_sec"):
+        costs = []
+        for pair in pairs.values():
+            if "off" not in pair or "on" not in pair:
+                continue
+            off_value = pair["off"].get(metric, 0.0)
+            if off_value <= 0.0:
+                continue
+            costs.append(1.0 - pair["on"].get(metric, 0.0) / off_value)
+        if not costs:
+            continue
+        checked += 1
+        best = min(costs)
+        if best > max_cost:
+            failures.append(
+                f"tracing cost: {metric} down {100.0 * best:.1f}% with "
+                f"tracing on across every backend pair "
+                f"(budget {100.0 * max_cost:.1f}%)")
+    return checked
+
+
 def check_config_match(baseline, candidate):
     """Returns a list of config keys whose effective values differ; warns
     (but allows) when either side predates the config section."""
@@ -98,6 +175,12 @@ def main():
     parser.add_argument("--no-normalize", action="store_true",
                         help="compare raw throughput without machine-speed "
                              "normalization")
+    parser.add_argument("--max-overhead-rise", type=float, default=5.0,
+                        help="max per-OpKind ABFT-overhead rise in "
+                             "percentage points (default 5.0; 0 disables)")
+    parser.add_argument("--max-trace-cost", type=float, default=0.05,
+                        help="max fractional throughput cost of tracing in "
+                             "the candidate's obs pair (default 0.05)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -146,6 +229,11 @@ def main():
                 failures.append(
                     f"{label}: {metric} {cand_value:.1f} < "
                     f"{floor:.2f} x baseline {base_value:.1f}")
+        if args.max_overhead_rise > 0.0:
+            checked += check_abft_overhead(base, cand, label,
+                                           args.max_overhead_rise, failures)
+
+    checked += check_tracing_cost(candidate, args.max_trace_cost, failures)
 
     if args.min_kernel_speedup > 0.0:
         kernels = candidate.get("kernels", [])

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Schema gate over the observability artifacts (trace + flight dumps).
+
+Two modes, one per artifact:
+
+Trace mode (positional path): validates a Chrome/Perfetto trace_event
+JSON produced by --trace=<file> (serve_throughput, serving_demo):
+
+  * top level is {"traceEvents": [...]} with a non-empty event list,
+  * every record carries name/ph/pid/tid, and every non-metadata record
+    a numeric ts; ph is limited to B/E/i/M,
+  * every tid that emits events has an 'M' thread_name record,
+  * per tid, timestamps are monotonic non-decreasing (each thread's
+    buffer is emission-ordered; an out-of-order ts means the exporter
+    interleaved buffers or the clock went backwards),
+  * per tid, B/E records pair up under stack discipline (every E closes
+    the innermost open B of the same name; nothing left open at EOF),
+  * --require-names, when given, asserts each named span/instant occurs
+    at least once (CI uses this to pin the scheduler phases: a trace of
+    a continuous-batching run without "tick" or "decode-batch" means
+    the instrumentation regressed even if the JSON is well-formed).
+
+Flight mode (--flight PATH): validates a flight-recorder dump appended
+by fault_campaign --flight-dump on crash_hang trials (or written by
+serve_throughput / serving_demo on demand):
+
+  * at least one dump block is present (header line '# flight recorder:
+    R of T events retained (capacity N)'),
+  * every event line parses as 'seq t+<ns>ns <kind> <component>
+    <detail> [v=<value>]' with a known event kind,
+  * --expect-crash-hang additionally requires at least one campaign
+    header '=== crash_hang scheduler=<mode> subsystem=<name> ... ==='
+    naming the injected subsystem, and at least one 'hang' event —
+    the post-mortem must say what was being injected when the stack
+    wedged, or the recorder is decoration.
+
+Exit codes: 0 pass, 1 validation failure, 2 bad invocation / unreadable
+file (same convention as check_regression.py / check_coverage.py).
+
+Usage:
+  python3 bench/check_trace.py trace.json \
+      [--require-names tick,decode-batch,prefill]
+  python3 bench/check_trace.py --flight flight.txt [--expect-crash-hang]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+VALID_PHASES = {"B", "E", "i", "M"}
+
+FLIGHT_KINDS = {
+    "alarm", "recovery", "escalation", "fallback", "breaker_trip",
+    "heal_epoch", "preemption", "resume", "scrub_repair", "hang", "note",
+}
+
+FLIGHT_HEADER_RE = re.compile(
+    r"^# flight recorder: (\d+) of (\d+) events retained \(capacity (\d+)\)$")
+FLIGHT_EVENT_RE = re.compile(
+    r"^(\d+) t\+(\d+)ns (\S+) (\S+) (\S+)( v=(\d+))?$")
+CAMPAIGN_HEADER_RE = re.compile(
+    r"^=== crash_hang scheduler=(\S+) subsystem=(\S+) trial=(\d+) "
+    r"step=(\d+) ===$")
+
+
+def check_trace(path, require_names):
+    """Returns a list of failure strings (empty = pass)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"cannot parse {path}: {err}"]
+
+    failures = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: no traceEvents list"]
+
+    named_tids = set()   # tids with an 'M' thread_name record.
+    emitting_tids = set()
+    last_ts = {}         # tid -> last seen ts.
+    stacks = {}          # tid -> open-span name stack.
+    seen_names = set()
+
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            failures.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                failures.append(f"{where}: missing {field!r}")
+        ph = event.get("ph")
+        if ph not in VALID_PHASES:
+            failures.append(f"{where}: bad phase {ph!r}")
+            continue
+        tid = event.get("tid")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_tids.add(tid)
+            continue
+
+        emitting_tids.add(tid)
+        seen_names.add(event.get("name"))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            failures.append(f"{where}: bad ts {ts!r}")
+            continue
+        if ts < last_ts.get(tid, 0.0):
+            failures.append(
+                f"{where}: ts {ts} < previous {last_ts[tid]} on tid {tid}")
+        last_ts[tid] = ts
+
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(event.get("name"))
+        elif ph == "E":
+            if not stack:
+                failures.append(
+                    f"{where}: 'E' {event.get('name')!r} with no open span "
+                    f"on tid {tid}")
+            elif stack[-1] != event.get("name"):
+                failures.append(
+                    f"{where}: 'E' {event.get('name')!r} closes open span "
+                    f"{stack[-1]!r} on tid {tid}")
+                stack.pop()
+            else:
+                stack.pop()
+
+    for tid, stack in sorted(stacks.items()):
+        if stack:
+            failures.append(
+                f"tid {tid}: {len(stack)} span(s) left open at end of "
+                f"trace: {stack}")
+    for tid in sorted(emitting_tids - named_tids):
+        failures.append(f"tid {tid}: emits events but has no thread_name "
+                        "metadata record")
+    for name in require_names:
+        if name not in seen_names:
+            failures.append(f"required span/instant {name!r} never occurs")
+
+    if not failures:
+        print(f"{path}: {len(events)} records over "
+              f"{len(emitting_tids)} thread(s), "
+              f"{len(seen_names)} distinct names — trace ok")
+    return failures
+
+
+def check_flight(path, expect_crash_hang):
+    """Returns a list of failure strings (empty = pass)."""
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as err:
+        return [f"cannot read {path}: {err}"]
+
+    failures = []
+    dumps = 0
+    event_lines = 0
+    campaign_headers = 0
+    subsystems = set()
+    kinds = set()
+
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        where = f"line {i + 1}"
+        header = FLIGHT_HEADER_RE.match(line)
+        if header:
+            dumps += 1
+            retained, total, capacity = map(int, header.groups())
+            if retained > total or retained > capacity:
+                failures.append(
+                    f"{where}: inconsistent header (retained {retained}, "
+                    f"total {total}, capacity {capacity})")
+            continue
+        campaign = CAMPAIGN_HEADER_RE.match(line)
+        if campaign:
+            campaign_headers += 1
+            subsystems.add(campaign.group(2))
+            continue
+        event = FLIGHT_EVENT_RE.match(line)
+        if event:
+            event_lines += 1
+            kind = event.group(3)
+            kinds.add(kind)
+            if kind not in FLIGHT_KINDS:
+                failures.append(f"{where}: unknown event kind {kind!r}")
+            continue
+        failures.append(f"{where}: unparseable: {line!r}")
+
+    if dumps == 0:
+        failures.append(f"{path}: no flight-recorder dump header found")
+    if expect_crash_hang:
+        if campaign_headers == 0:
+            failures.append("no '=== crash_hang ... ===' campaign header — "
+                            "the dump does not name an injected subsystem")
+        if "hang" not in kinds:
+            failures.append("no 'hang' event recorded — a crash_hang dump "
+                            "must show the expired tick/step budget")
+
+    if not failures:
+        detail = (f", subsystems {sorted(subsystems)}"
+                  if subsystems else "")
+        print(f"{path}: {dumps} dump(s), {event_lines} event line(s), "
+              f"kinds {sorted(kinds)}{detail} — flight dump ok")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?",
+                        help="Chrome trace_event JSON to validate")
+    parser.add_argument("--require-names", default="",
+                        help="comma-separated span/instant names that must "
+                             "occur in the trace")
+    parser.add_argument("--flight",
+                        help="flight-recorder dump file to validate")
+    parser.add_argument("--expect-crash-hang", action="store_true",
+                        help="require a crash_hang campaign header naming "
+                             "the injected subsystem, plus a hang event")
+    args = parser.parse_args()
+
+    if args.trace is None and args.flight is None:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    failures = []
+    if args.trace is not None:
+        names = [n for n in args.require_names.split(",") if n]
+        failures += check_trace(args.trace, names)
+    if args.flight is not None:
+        failures += check_flight(args.flight, args.expect_crash_hang)
+
+    if failures:
+        print(f"trace check FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,12 @@
 //   --dtype=SPEC      storage dtypes to sweep, '+'-joined (default
 //                     "f32+bf16"; e.g. --dtype=f32, --dtype=f32+bf16+f16)
 //   --json=PATH       write the JSON report (the CI gate's candidate)
+//   --max-ticks=N     trial watchdog override (0 = derived bound, the
+//                     committed-baseline behavior; 1 wedges every trial
+//                     into crash_hang — CI's flight-dump forcing knob)
+//   --flight-dump=PATH  append every crash_hang trial's flight-recorder
+//                     dump here, headed by the scheduler, the injected
+//                     subsystem and the trial index
 
 #include <fstream>
 #include <iostream>
@@ -53,6 +59,8 @@ int main(int argc, char** argv) {
   cfg.sessions = args.get_size("sessions", 3);
   cfg.prompt_len = args.get_size("prompt-len", 5);
   cfg.max_new_tokens = args.get_size("max-new-tokens", 6);
+  cfg.max_ticks = args.get_size("max-ticks", 0);
+  cfg.flight_dump_path = common->flight_dump_path;
   const std::string json_path = args.get_string("json", "");
   const std::vector<DType> dtypes =
       args.has("dtype") ? common->dtype_sweep

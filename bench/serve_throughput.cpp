@@ -70,6 +70,20 @@
 //                          trajectory later PRs compare against; the
 //                          perf-smoke CI gate diffs it via
 //                          bench/check_regression.py)
+//   --trace=PATH           attach a trace collector to every scenario's
+//                          server and write the merged Chrome/Perfetto
+//                          trace_event JSON here after the run (validated
+//                          by bench/check_trace.py; load in ui.perfetto.dev)
+//   --flight-dump=PATH     attach a flight recorder to every scenario's
+//                          server and dump its last protection events here
+//                          after the run
+//   --prom=PATH            write the final scenario's telemetry snapshot as
+//                          a Prometheus text exposition
+//
+// Independent of --trace, the "obs" scenario family runs the fault-free
+// continuous-generation workload twice — tracing off, then tracing on with
+// a dedicated collector — so every JSON carries a measured tracing cost;
+// check_regression.py gates the pair at <5% throughput loss.
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -82,6 +96,9 @@
 #include "common/table.hpp"
 #include "core/flash_abft.hpp"
 #include "core/kv_pool.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/op_profile.hpp"
+#include "obs/trace.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/options.hpp"
 #include "serve/server.hpp"
@@ -378,6 +395,24 @@ void write_json(const std::string& path,
           << ", \"recovered\": " << stats.recovered
           << ", \"escalated\": " << stats.escalated << '}';
     }
+    out << "},\n      \"abft_overhead\": {";
+    first = true;
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      const OpKind kind = OpKind(k);
+      const obs::OpTimingSnapshot& timing = t.timing;
+      if (timing.of(kind, obs::GuardPhase::kCompute).count == 0 &&
+          timing.guard_ns(kind) == 0) {
+        continue;
+      }
+      if (!first) out << ", ";
+      first = false;
+      out << '"' << op_kind_name(kind) << "\": {\"compute_ms\": "
+          << double(timing.compute_ns(kind)) / 1e6 << ", \"verify_ms\": "
+          << double(timing.of(kind, obs::GuardPhase::kVerify).total) / 1e6
+          << ", \"recovery_ms\": "
+          << double(timing.of(kind, obs::GuardPhase::kRecovery).total) / 1e6
+          << ", \"overhead_pct\": " << timing.overhead_pct(kind) << '}';
+    }
     out << "}\n    }" << (i + 1 < scenarios.size() ? "," : "") << '\n';
   }
   out << "  ]\n}\n";
@@ -412,8 +447,21 @@ int main(int argc, char** argv) {
   const double fault_prob = args.get_double("fault-prob", 0.35);
   const double persistent_frac = args.get_double("persistent-frac", 0.2);
   const std::string json_path = args.get_string("json", "");
+  const std::string prom_path = args.get_string("prom", "");
   const std::size_t max_sessions = common->max_sessions;
   const std::uint64_t seed = common->seed;
+
+  // Run-wide observability taps: one collector/recorder shared by every
+  // scenario's server, exported once at the end (all servers have shut
+  // down by then, satisfying the collector's quiescent-export contract).
+  std::optional<obs::TraceCollector> trace_collector;
+  if (!common->trace_path.empty()) trace_collector.emplace();
+  std::optional<obs::FlightRecorder> flight_recorder;
+  if (!common->flight_dump_path.empty()) flight_recorder.emplace(256);
+  // The tracing-cost pair's dedicated collector — always armed for the
+  // "obs" family so every JSON carries a measured tracing cost even when
+  // --trace is off.
+  obs::TraceCollector obs_pair_collector;
 
   const ModelPreset& preset = preset_by_name(common->preset);
   const bool run_attention =
@@ -423,6 +471,7 @@ int main(int argc, char** argv) {
   const bool run_continuous = mode == "continuous" || mode == "all";
   const bool run_prefix = mode == "prefix" || mode == "all";
   const bool run_dtype = mode == "dtype" || mode == "all";
+  const bool run_obs = mode == "obs" || mode == "all";
   // The dtype scenario family reruns continuous generation at low
   // precision; --dtype picks which (the default f32 means "the family runs
   // bf16" so the base families stay baseline-comparable f32).
@@ -455,7 +504,9 @@ int main(int argc, char** argv) {
                                 SchedulerMode::kLegacy,
                             bool prefix_workload = false,
                             bool prefix_cache_on = true,
-                            DType dtype = DType::kF32) {
+                            DType dtype = DType::kF32,
+                            bool obs_pair = false,
+                            obs::TraceCollector* trace_override = nullptr) {
     ServerConfig config =
         make_calibrated_server_config(preset, /*lanes=*/16, seq_cap, seed);
     apply_common_options(*common, config);
@@ -481,6 +532,14 @@ int main(int argc, char** argv) {
     config.model.max_seq_len = effective_prompt_len + max_new_tokens + 8;
     config.compute = compute;
     config.dmr_glue = dmr_glue;
+    if (obs_pair) {
+      // The tracing-cost pair manages its own taps: the off half runs bare
+      // even under --trace, so the comparison stays traced-vs-untraced.
+      config.trace = trace_override;
+    } else {
+      config.trace = trace_collector ? &*trace_collector : nullptr;
+      config.flight = flight_recorder ? &*flight_recorder : nullptr;
+    }
     // The cold half of the prefix pair IS the PR 5 private-prefill
     // baseline: same template traffic, cache disabled.
     config.scheduler.prefix_cache = !prefix_workload || prefix_cache_on;
@@ -623,6 +682,24 @@ int main(int argc, char** argv) {
                      format_number(double(stats.recovered), 0) +
                      " recovered"});
     }
+    const obs::OpTimingSnapshot& timing = report.telemetry.timing;
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      const OpKind kind = OpKind(k);
+      if (timing.of(kind, obs::GuardPhase::kCompute).count == 0 &&
+          timing.guard_ns(kind) == 0) {
+        continue;
+      }
+      t.add_row(
+          {std::string("abft[") + op_kind_name(kind) + "]",
+           format_number(double(timing.compute_ns(kind)) / 1e6, 2) +
+               " ms compute, " +
+               format_number(
+                   double(timing.of(kind, obs::GuardPhase::kVerify).total) /
+                       1e6,
+                   2) +
+               " ms verify, " +
+               format_number(timing.overhead_pct(kind), 1) + "% overhead"});
+    }
     std::cout << t.render() << '\n';
 
     // Reconciliation: completion, checksum cleanliness, and fault-plan
@@ -646,7 +723,8 @@ int main(int argc, char** argv) {
     const bool ok = complete && clean && accounted;
     all_clean = all_clean && ok;
     scenarios.push_back({title,
-                         dtype != DType::kF32 ? "dtype"
+                         obs_pair             ? "obs"
+                         : dtype != DType::kF32 ? "dtype"
                          : prefix_workload    ? "prefix"
                          : continuous         ? "continuous"
                          : generate_mode      ? "generate"
@@ -720,6 +798,20 @@ int main(int argc, char** argv) {
                  SchedulerMode::kContinuous, /*prefix_workload=*/false,
                  /*prefix_cache_on=*/true, low_dtype);
       }
+    }
+    if (run_obs) {
+      // The tracing-cost head-to-head: identical fault-free continuous
+      // traffic with the collector off, then on. check_regression.py gates
+      // the pair at <5% throughput loss, so tracing stays cheap enough to
+      // leave on in production.
+      scenario("continuous generation (tracing off)", RequestMode::kGeneration,
+               0.0, compute, SchedulerMode::kContinuous,
+               /*prefix_workload=*/false, /*prefix_cache_on=*/true,
+               DType::kF32, /*obs_pair=*/true, /*trace_override=*/nullptr);
+      scenario("continuous generation (tracing on)", RequestMode::kGeneration,
+               0.0, compute, SchedulerMode::kContinuous,
+               /*prefix_workload=*/false, /*prefix_cache_on=*/true,
+               DType::kF32, /*obs_pair=*/true, &obs_pair_collector);
     }
   }
 
@@ -885,6 +977,37 @@ int main(int argc, char** argv) {
     effective.dtype = dtype_name(low_dtype);
     effective.kv_budget_bytes = common->kv_budget_bytes;
     write_json(json_path, scenarios, kernels, effective, kv_budget);
+  }
+
+  if (trace_collector) {
+    std::ofstream out(common->trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << common->trace_path << '\n';
+    } else {
+      trace_collector->write_chrome_trace(out);
+      std::cout << "wrote " << common->trace_path << " ("
+                << trace_collector->event_count() << " events, "
+                << trace_collector->dropped() << " dropped)\n";
+    }
+  }
+  if (flight_recorder) {
+    std::ofstream out(common->flight_dump_path);
+    if (!out) {
+      std::cerr << "cannot write " << common->flight_dump_path << '\n';
+    } else {
+      flight_recorder->dump(out);
+      std::cout << "wrote " << common->flight_dump_path << '\n';
+    }
+  }
+  if (!prom_path.empty() && !scenarios.empty()) {
+    const ScenarioMetrics& last = scenarios.back();
+    std::ofstream out(prom_path);
+    if (!out) {
+      std::cerr << "cannot write " << prom_path << '\n';
+    } else {
+      out << last.report.telemetry.prometheus_text(last.report.wall_seconds);
+      std::cout << "wrote " << prom_path << '\n';
+    }
   }
   return all_clean ? 0 : 1;
 }

@@ -51,12 +51,20 @@
 //           is stale) yet the page is re-materialized exactly once, and
 //           both sessions finish with token-for-token parity against the
 //           clean run.
+//   act 9 — the flight recorder replays a fault's aftermath: a session
+//           takes a KV upset with a flight recorder and trace collector
+//           attached; after the run the recorder's bounded ring replays
+//           the alarm -> recovery sequence in order — the same post-mortem
+//           a crashed campaign trial dumps automatically, produced here on
+//           demand (--flight-dump=PATH also writes it to a file,
+//           --trace=PATH the matching Perfetto trace).
 //
 // Build & run:  ./build/examples/serving_demo
 // Knobs: --threads=N --max-batch=N --batch-deadline-us=N
 //        --dtype=f32|bf16|f16 (storage dtype for weights + KV; low
 //        precision serves with calibrated checksum tolerances)
 //        --inject-faults=BOOL (acts 2-5 faults on/off, default true)
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <utility>
@@ -64,6 +72,8 @@
 
 #include "common/cli.hpp"
 #include "fault/calibrate.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/options.hpp"
 #include "serve/server.hpp"
@@ -515,6 +525,68 @@ int main(int argc, char** argv) {
                 << (parity ? "yes" : "NO (?!)") << '\n';
       all_clean = all_clean && alarmed == sessions.size() && heal_once &&
                   parity;
+    }
+  }
+
+  // --- act 9: the flight recorder replays a fault's aftermath. ---
+  std::cout << "\nact 9 — flight-recorder replay of an injected fault's "
+               "protection events:\n";
+  {
+    obs::FlightRecorder recorder(/*capacity=*/32);
+    obs::TraceCollector collector;
+    serve::StepperConfig stepped;
+    stepped.mode = SchedulerMode::kContinuous;
+    stepped.page_size = 4;
+    stepped.executor_options.dtype = common->dtype;
+    if (common->dtype != DType::kF32) {
+      stepped.executor_options.tolerances =
+          derive_tolerances(common->dtype, tolerance_shape_for(config.model));
+    }
+    stepped.flight = &recorder;
+    stepped.trace = &collector;
+
+    GenerationWork work;
+    work.prompt = server.model().encode("record the aftermath");
+    work.max_new_tokens = 5;
+    if (inject_faults) {
+      KvCorruption upset;
+      upset.step = 2;
+      upset.layer = 0;
+      upset.row = 1;
+      upset.col = 2;
+      upset.delta = 1.25;
+      work.kv_corruptions = {upset};
+    }
+    const std::vector<serve::SteppedSession> sessions =
+        serve::run_stepped(server.model(), {std::move(work)}, stepped);
+    all_clean = all_clean && !sessions[0].failed && sessions[0].checksum_clean;
+
+    // The replay: the same bounded ring a wedged campaign trial dumps on
+    // crash_hang, here read back after a recovered fault.
+    recorder.dump(std::cout);
+    std::cout << "  trace captured " << collector.event_count()
+              << " span/instant events across " << collector.thread_count()
+              << " thread(s)\n";
+    if (inject_faults) {
+      bool saw_alarm = false, saw_recovery = false;
+      for (const obs::FlightEvent& event : recorder.events()) {
+        saw_alarm = saw_alarm || event.kind == obs::FlightEventKind::kAlarm;
+        saw_recovery =
+            saw_recovery || event.kind == obs::FlightEventKind::kRecovery;
+      }
+      std::cout << "  replay holds the alarm -> recovery sequence: "
+                << (saw_alarm && saw_recovery ? "yes" : "NO (?!)") << '\n';
+      all_clean = all_clean && saw_alarm && saw_recovery;
+    }
+    if (!common->flight_dump_path.empty()) {
+      std::ofstream out(common->flight_dump_path);
+      recorder.dump(out);
+      std::cout << "  wrote " << common->flight_dump_path << '\n';
+    }
+    if (!common->trace_path.empty()) {
+      std::ofstream out(common->trace_path);
+      collector.write_chrome_trace(out);
+      std::cout << "  wrote " << common->trace_path << '\n';
     }
   }
 

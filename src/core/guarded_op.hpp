@@ -23,6 +23,7 @@
 #include "core/checker.hpp"
 #include "core/extreme_value_screen.hpp"
 #include "core/kernel_context.hpp"
+#include "obs/hooks.hpp"
 #include "tensor/backend.hpp"
 #include "tensor/matrix.hpp"
 
@@ -165,6 +166,12 @@ class GuardedExecutor {
     /// fault/calibrate.hpp). Unset = every kind judged by `checker`, the
     /// pre-calibration behaviour.
     std::optional<Tolerances> tolerances;
+    /// Observability hooks (all null by default = fully off). When a
+    /// profiler or trace collector is attached, every guarded invocation is
+    /// timed and split into compute / checksum-verify / recovery phases;
+    /// a flight recorder receives the rare protection events (alarm,
+    /// recovery, escalation, fallback). See obs/hooks.hpp for the contract.
+    obs::ObsHooks obs{};
   };
 
   /// run_once(attempt) -> the checked result of that execution.
@@ -262,8 +269,12 @@ class GuardedExecutor {
 
  private:
   /// Runs + checks one fallback execution and appends it to `out`.
+  /// `escalated_kind` is set when the fallback serves an escalated op (its
+  /// duration profiles as that kind's recovery time) and empty on the
+  /// breaker-bypass path (profiled as kReferenceFallback compute).
   void serve_fallback(std::size_t index, double cost_per_op,
-                      const FallbackOne& fallback, WorklistResult& out) const;
+                      const FallbackOne& fallback, WorklistResult& out,
+                      std::optional<OpKind> escalated_kind = {}) const;
 
   /// The comparison behind both judge overloads.
   [[nodiscard]] CheckVerdict judge_with(const Checker& checker,

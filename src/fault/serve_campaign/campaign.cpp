@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <utility>
 
 #include "common/ensure.hpp"
 #include "fault/calibrate.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace flashabft::serve_campaign {
 
@@ -216,6 +218,14 @@ CampaignResult run_campaign(
         }
 
         serve::StepperConfig trial_cfg = stepper_cfg;
+        // The watchdog override applies to trials only: the golden run
+        // above always gets the derived bound, so a forced-low cap turns
+        // every trial into crash_hang without invalidating the baseline.
+        trial_cfg.max_ticks = cfg.max_ticks;
+        // Flight recording is per-trial and only armed when a dump path is
+        // configured — the default campaign's trials carry no recorder.
+        obs::FlightRecorder recorder(/*capacity=*/128);
+        if (!cfg.flight_dump_path.empty()) trial_cfg.flight = &recorder;
         if (plan.checker_tolerance_scale != 1.0) {
           trial_cfg.executor_options.checker.abs_tolerance *=
               plan.checker_tolerance_scale;
@@ -248,6 +258,19 @@ CampaignResult run_campaign(
             !crashed && trial_diverged(golden, outcome, divergence_tol);
         const TrialOutcome verdict =
             classify_trial(crashed, alarmed, diverged);
+
+        // Post-mortem for the crash/hang class: the trial's protection
+        // events (ending with the watchdog's kHang when the wedge was a
+        // budget blowout), headed by exactly what was injected where.
+        if (verdict == TrialOutcome::kCrashHang &&
+            !cfg.flight_dump_path.empty()) {
+          std::ofstream dump(cfg.flight_dump_path, std::ios::app);
+          dump << "=== crash_hang scheduler="
+               << serve::scheduler_mode_name(mode)
+               << " subsystem=" << subsystem_name(subsystem)
+               << " trial=" << trial << " step=" << plan.step << " ===\n";
+          recorder.dump(dump);
+        }
 
         ++cell.trials;
         ++cell.outcomes[std::size_t(verdict)];

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "fault/serve_campaign/sites.hpp"
@@ -83,6 +84,18 @@ struct CampaignConfig {
   /// low-precision storage with calibrated comparators.
   DType dtype = DType::kF32;
   GuardedExecutor::Options executor_options{};
+  /// Stepper watchdog override: hard cap on scheduler ticks / per-session
+  /// steps per trial. 0 keeps the stepper's derived bound — the default
+  /// every committed baseline was produced under. Setting it low (e.g. 1)
+  /// forces the crash_hang class, which is how CI exercises the flight-dump
+  /// path on demand.
+  std::size_t max_ticks = 0;
+  /// When non-empty, every crash_hang trial appends its flight-recorder
+  /// dump here, headed by a line naming the scheduler, the injected
+  /// subsystem and the trial index — the post-mortem for a wedged trial.
+  /// Trials only carry a recorder when this is set, so the default
+  /// campaign's behavior (and its committed outcome streams) are untouched.
+  std::string flight_dump_path{};
 };
 
 /// One (scheduler, subsystem) cell's tallies.

@@ -1,0 +1,98 @@
+#include "obs/flight_recorder.hpp"
+
+#include <chrono>
+#include <ostream>
+
+namespace flashabft::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kAlarm: return "alarm";
+    case FlightEventKind::kRecovery: return "recovery";
+    case FlightEventKind::kEscalation: return "escalation";
+    case FlightEventKind::kFallback: return "fallback";
+    case FlightEventKind::kBreakerTrip: return "breaker_trip";
+    case FlightEventKind::kHealEpoch: return "heal_epoch";
+    case FlightEventKind::kPreemption: return "preemption";
+    case FlightEventKind::kResume: return "resume";
+    case FlightEventKind::kScrubRepair: return "scrub_repair";
+    case FlightEventKind::kHang: return "hang";
+    case FlightEventKind::kNote: return "note";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(steady_ns()) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(FlightEventKind kind, const char* component,
+                            const char* detail, std::uint64_t value) {
+  FlightEvent event;
+  event.ts_ns = steady_ns() - epoch_ns_;
+  event.kind = kind;
+  event.component = component;
+  event.detail = detail;
+  event.value = value;
+  std::lock_guard lock(mutex_);
+  event.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[event.seq % capacity_] = event;
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  if (next_seq_ <= capacity_) {
+    out = ring_;  // not yet wrapped: ring order is already oldest-first.
+    return out;
+  }
+  const std::uint64_t oldest = next_seq_ - capacity_;
+  for (std::uint64_t seq = oldest; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  return next_seq_;
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  const std::vector<FlightEvent> retained = events();
+  std::uint64_t total;
+  {
+    std::lock_guard lock(mutex_);
+    total = next_seq_;
+  }
+  out << "# flight recorder: " << retained.size() << " of " << total
+      << " events retained (capacity " << capacity_ << ")\n";
+  for (const FlightEvent& e : retained) {
+    out << e.seq << " t+" << e.ts_ns << "ns " << flight_event_kind_name(e.kind)
+        << " " << e.component << " " << e.detail << " v=" << e.value << "\n";
+  }
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace flashabft::obs

@@ -1,0 +1,80 @@
+// Bounded flight recorder: the last N protection events, for post-mortems.
+//
+// The trace collector answers "where did the time go"; the flight recorder
+// answers "what happened just before this trial hung". It is a fixed-size
+// ring of the most recent protection events (alarms, recoveries,
+// escalations, breaker trips, heal epochs, preemptions, hangs), each stamped
+// with a monotonic sequence number and a steady-clock timestamp. Protection
+// events are rare by construction — a healthy run records almost nothing —
+// so a mutex per record is fine here; the hot compute path never touches
+// this class (emit sites hold a possibly-null pointer, same off-state
+// contract as the trace collector).
+//
+// `component` and `detail` are static-duration strings (literals,
+// `op_kind_name()`, `subsystem_name()`): recording copies two pointers and
+// three integers, and a dump after a crash needs no live objects besides
+// the recorder itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace flashabft::obs {
+
+enum class FlightEventKind {
+  kAlarm,        ///< a guarded check fired.
+  kRecovery,     ///< a retry (or heal) produced a clean result.
+  kEscalation,   ///< retries exhausted — persistent-fault suspect.
+  kFallback,     ///< the verified reference engine served an op.
+  kBreakerTrip,  ///< a worker's circuit breaker opened.
+  kHealEpoch,    ///< a shared page was re-materialized; epoch advanced.
+  kPreemption,   ///< the scheduler evicted a session under page pressure.
+  kResume,       ///< a preempted/parked session re-entered the batch.
+  kScrubRepair,  ///< the background scrubber repaired a latent fault.
+  kHang,         ///< a tick/step budget expired — crash_hang territory.
+  kNote,         ///< free-form context marker (trial start, act label...).
+};
+
+[[nodiscard]] const char* flight_event_kind_name(FlightEventKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;    ///< monotonic per recorder; never resets gaps.
+  std::int64_t ts_ns = 0;   ///< steady-clock ns since recorder construction.
+  FlightEventKind kind = FlightEventKind::kNote;
+  const char* component = "";  ///< static string: "executor", "scheduler"...
+  const char* detail = "";     ///< static string: op kind, subsystem, reason.
+  std::uint64_t value = 0;     ///< session id / op index / epoch / ticks.
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 64);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(FlightEventKind kind, const char* component, const char* detail,
+              std::uint64_t value = 0);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events currently retained (<= capacity), oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  /// Every event ever recorded, including the overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  /// Human-readable dump, oldest first: one `seq ts kind component detail
+  /// value` line per retained event, plus a header noting drops.
+  void dump(std::ostream& out) const;
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  const std::int64_t epoch_ns_;
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_;  ///< ring_[seq % capacity] once full.
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace flashabft::obs

@@ -1,0 +1,81 @@
+// Log-bucketed latency histogram: the mergeable primitive behind the
+// per-OpKind timing profiles (obs/op_profile.hpp).
+//
+// Buckets are powers of two of the recorded unit (nanoseconds throughout
+// this repo): bucket i counts values in [2^i, 2^(i+1)), bucket 0 also takes
+// zero. Forty buckets cover ~18 minutes in ns — far past any guarded op —
+// and the fixed shape is what makes two histograms (from different threads,
+// scenarios, or processes) mergeable by plain bucket-wise addition. The
+// exact sum and count ride alongside so means are exact; percentiles are
+// bucket-resolution approximations (reported as the bucket's upper edge,
+// i.e. a conservative bound).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace flashabft::obs {
+
+struct LogHistogram {
+  static constexpr std::size_t kBuckets = 40;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;  ///< exact sum of recorded values.
+
+  /// Bucket index of `value`: floor(log2(value)), clamped into range.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) {
+    if (value == 0) return 0;
+    const std::size_t b = std::size_t(std::bit_width(value)) - 1;
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Lower edge of bucket i (0 for bucket 0).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t i) {
+    return i == 0 ? 0 : (std::uint64_t{1} << i);
+  }
+
+  /// Upper edge (exclusive) of bucket i.
+  [[nodiscard]] static std::uint64_t bucket_ceiling(std::size_t i) {
+    return std::uint64_t{1} << (i + 1);
+  }
+
+  void add(std::uint64_t value) {
+    ++buckets[bucket_of(value)];
+    ++count;
+    total += value;
+  }
+
+  /// Bucket-wise sum — the merge is exact for count/total and lossless for
+  /// the distribution at bucket resolution, in any merge order.
+  void merge(const LogHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    total += other.total;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : double(total) / double(count);
+  }
+
+  /// Upper edge of the bucket holding the p-th percentile (p in [0, 1]).
+  [[nodiscard]] std::uint64_t percentile(double p) const {
+    if (count == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    // Rank of the percentile sample, 1-based; ceil without float drift.
+    std::uint64_t rank = std::uint64_t(p * double(count));
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return bucket_ceiling(i);
+    }
+    return bucket_ceiling(kBuckets - 1);
+  }
+};
+
+}  // namespace flashabft::obs

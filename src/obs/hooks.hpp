@@ -1,0 +1,37 @@
+// The non-owning observability bundle emit sites carry.
+//
+// Every instrumented layer (GuardedExecutor, server, scheduler, stepper,
+// scrubber, campaign) holds one of these by value. All three pointers are
+// null by default — the fully-off state — and each emit site branches on its
+// own pointer, so any subset can be enabled: profiling without tracing (the
+// server's default), tracing without a flight recorder, and so on. Ownership
+// stays with whoever wants the data (the bench binary, the demo, a test);
+// the serving stack only borrows.
+//
+// This header is deliberately declaration-only so the hot headers that embed
+// ObsHooks (core/guarded_op.hpp) don't pull the collector implementations
+// into every translation unit.
+#pragma once
+
+namespace flashabft::obs {
+
+class TraceCollector;
+class FlightRecorder;
+class OpTimingProfiler;
+
+struct ObsHooks {
+  TraceCollector* trace = nullptr;
+  FlightRecorder* flight = nullptr;
+  OpTimingProfiler* profiler = nullptr;
+
+  [[nodiscard]] bool any() const {
+    return trace != nullptr || flight != nullptr || profiler != nullptr;
+  }
+  /// True when any hook that needs wall-clock timestamps is attached (the
+  /// executor skips its clock reads entirely otherwise).
+  [[nodiscard]] bool timing() const {
+    return trace != nullptr || profiler != nullptr;
+  }
+};
+
+}  // namespace flashabft::obs

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+namespace flashabft::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t next_collector_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread cache of (collector id -> that thread's buffer). Keyed by the
+// process-unique id, not the collector address: a dead collector's entry can
+// never alias a new collector allocated at the same address. Entries of dead
+// collectors are harmless dead weight (a thread touches few collectors).
+thread_local std::vector<std::pair<std::uint64_t, void*>> t_buffer_cache;
+
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t events_per_thread)
+    : id_(next_collector_id()),
+      epoch_ns_(steady_ns()),
+      events_per_thread_(events_per_thread == 0 ? 1 : events_per_thread) {}
+
+std::int64_t TraceCollector::now_ns() const { return steady_ns() - epoch_ns_; }
+
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  for (const auto& [id, ptr] : t_buffer_cache) {
+    if (id == id_) return *static_cast<ThreadBuffer*>(ptr);
+  }
+  // First emit from this thread: register a preallocated buffer. The only
+  // lock tracing ever takes, once per (thread, collector).
+  std::lock_guard lock(register_mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = buffers_.back().get();
+  buffer->events.reserve(events_per_thread_);
+  t_buffer_cache.emplace_back(id_, buffer);
+  return *buffer;
+}
+
+void TraceCollector::append(const char* name, const char* category,
+                            TracePhase phase, std::uint64_t arg,
+                            bool has_arg) {
+  ThreadBuffer& buffer = local_buffer();
+  if (buffer.events.size() >= events_per_thread_) {
+    ++buffer.dropped;  // never reallocate or block mid-run.
+    return;
+  }
+  buffer.events.push_back({name, category, phase, now_ns(), arg, has_arg});
+}
+
+void TraceCollector::begin(const char* name, const char* category) {
+  append(name, category, TracePhase::kBegin, 0, false);
+}
+
+void TraceCollector::end(const char* name, const char* category) {
+  append(name, category, TracePhase::kEnd, 0, false);
+}
+
+void TraceCollector::instant(const char* name, const char* category) {
+  append(name, category, TracePhase::kInstant, 0, false);
+}
+
+void TraceCollector::instant_arg(const char* name, std::uint64_t arg,
+                                 const char* category) {
+  append(name, category, TracePhase::kInstant, arg, true);
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard lock(register_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+std::size_t TraceCollector::dropped() const {
+  std::lock_guard lock(register_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped;
+  return total;
+}
+
+std::size_t TraceCollector::thread_count() const {
+  std::lock_guard lock(register_mutex_);
+  return buffers_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard lock(register_mutex_);
+  std::vector<TraceEvent> all;
+  for (const auto& buffer : buffers_) {
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return all;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard lock(register_mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (std::size_t tid = 0; tid < buffers_.size(); ++tid) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"serve-" << tid << "\"}}";
+    for (const TraceEvent& e : buffers_[tid]->events) {
+      comma();
+      // ts is microseconds; emit the nanosecond remainder as a fixed
+      // 3-digit fraction so timestamps stay exact and monotonic per tid.
+      const std::int64_t us = e.ts_ns / 1000;
+      const std::int64_t frac = e.ts_ns % 1000;
+      out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+          << "\",\"ph\":\"" << char(e.phase) << "\",\"pid\":1,\"tid\":" << tid
+          << ",\"ts\":" << us << "." << char('0' + frac / 100)
+          << char('0' + (frac / 10) % 10) << char('0' + frac % 10);
+      if (e.phase == TracePhase::kInstant) out << ",\"s\":\"t\"";
+      if (e.has_arg) out << ",\"args\":{\"v\":" << e.arg << "}";
+      out << "}";
+    }
+  }
+  out << "]}\n";
+}
+
+void TraceCollector::clear() {
+  std::lock_guard lock(register_mutex_);
+  for (const auto& buffer : buffers_) {
+    buffer->events.clear();  // capacity (the preallocation) is kept.
+    buffer->dropped = 0;
+  }
+}
+
+}  // namespace flashabft::obs

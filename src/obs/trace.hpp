@@ -1,0 +1,121 @@
+// Low-overhead structured tracing with Chrome/Perfetto trace_event export.
+//
+// Design constraints (DESIGN.md §13):
+//  * The OFF state is a branch: every emit site holds a `TraceCollector*`
+//    that is null when tracing is disabled, so an untraced run pays one
+//    pointer test per site and allocates nothing.
+//  * The ON state is append-only and lock-free on the hot path: each thread
+//    owns a preallocated event buffer (registered once, under a mutex, on
+//    that thread's first emit) and appends with no atomics or locks. A full
+//    buffer drops events and counts the drops — tracing never blocks or
+//    reallocates mid-run.
+//  * Export requires quiescence: `write_chrome_trace()` / `clear()` read
+//    every thread's buffer and must only run once no instrumented thread is
+//    still emitting (after server shutdown / scheduler join). This is the
+//    same contract as the telemetry snapshot readers.
+//
+// Event names and categories are `const char*` by design: emit sites pass
+// string literals or other static-duration strings (`op_kind_name()`,
+// `subsystem_name()`), so recording an event copies a pointer, not a string.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace flashabft::obs {
+
+/// trace_event phases the collector emits. (Export also writes 'M' metadata
+/// records for thread names; those are synthesized, not recorded.)
+enum class TracePhase : char {
+  kBegin = 'B',
+  kEnd = 'E',
+  kInstant = 'i',
+};
+
+struct TraceEvent {
+  const char* name = nullptr;      ///< static-duration string.
+  const char* category = nullptr;  ///< static-duration string.
+  TracePhase phase = TracePhase::kInstant;
+  std::int64_t ts_ns = 0;  ///< steady-clock ns since the collector's epoch.
+  std::uint64_t arg = 0;   ///< numeric payload (session id, count, ...).
+  bool has_arg = false;
+};
+
+class TraceCollector {
+ public:
+  /// `events_per_thread` is the preallocated per-thread capacity; once a
+  /// thread fills its buffer, further events from it are dropped (counted).
+  explicit TraceCollector(std::size_t events_per_thread = std::size_t{1}
+                                                          << 16);
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Nanoseconds since the collector's construction (steady clock).
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  // --- Hot path (thread-safe, lock-free after a thread's first emit). ---
+  void begin(const char* name, const char* category = "serve");
+  void end(const char* name, const char* category = "serve");
+  void instant(const char* name, const char* category = "serve");
+  void instant_arg(const char* name, std::uint64_t arg,
+                   const char* category = "serve");
+
+  // --- Quiescent-only readers (no concurrent emitters). ---
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t dropped() const;
+  [[nodiscard]] std::size_t thread_count() const;
+  /// Events of every registered thread, buffer order (per-thread order is
+  /// emission order; buffers are concatenated in registration order).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Chrome trace_event JSON ({"traceEvents": [...]}): one 'M' thread_name
+  /// record per registered thread, then that thread's events with pid 1 and
+  /// tid = registration index. Loadable by Perfetto / chrome://tracing.
+  void write_chrome_trace(std::ostream& out) const;
+  /// Keeps thread registrations (and their buffers' capacity), discards
+  /// recorded events and drop counts.
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+
+  void append(const char* name, const char* category, TracePhase phase,
+              std::uint64_t arg, bool has_arg);
+  ThreadBuffer& local_buffer();
+
+  const std::uint64_t id_;  ///< process-unique; keys the thread-local cache.
+  const std::int64_t epoch_ns_;
+  const std::size_t events_per_thread_;
+  mutable std::mutex register_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: begin on construction, end on destruction; a null collector
+/// makes both no-ops (the off-state branch).
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, const char* name,
+            const char* category = "serve")
+      : collector_(collector), name_(name), category_(category) {
+    if (collector_ != nullptr) collector_->begin(name_, category_);
+  }
+  ~TraceSpan() {
+    if (collector_ != nullptr) collector_->end(name_, category_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  const char* name_;
+  const char* category_;
+};
+
+}  // namespace flashabft::obs

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace flashabft::scrub {
 
@@ -25,22 +27,32 @@ std::size_t Scrubber::run_tick() {
 std::size_t Scrubber::pass_locked() {
   const std::vector<ScrubItem> items = provider_();
   if (items.empty()) return 0;
+  obs::TraceSpan pass_span(options_.obs.trace, "scrub-pass", "scrub");
   const std::size_t take = options_.budget == 0
                                ? items.size()
                                : std::min(options_.budget, items.size());
   std::size_t found = 0, repaired = 0, dead = 0;
   for (std::size_t i = 0; i < take; ++i) {
-    const ScrubItem& item = items[(cursor_ + i) % items.size()];
+    const std::size_t slot = (cursor_ + i) % items.size();
+    const ScrubItem& item = items[slot];
     switch (item.run()) {
       case ItemOutcome::kClean:
         break;
       case ItemOutcome::kRepaired:
         ++found;
         ++repaired;
+        if (options_.obs.flight != nullptr) {
+          options_.obs.flight->record(obs::FlightEventKind::kScrubRepair,
+                                      "scrubber", "item", slot);
+        }
         break;
       case ItemOutcome::kUnrepairable:
         ++found;
         ++dead;
+        if (options_.obs.flight != nullptr) {
+          options_.obs.flight->record(obs::FlightEventKind::kEscalation,
+                                      "scrubber", "unrepairable", slot);
+        }
         break;
     }
   }
@@ -63,7 +75,14 @@ void Scrubber::start() {
 
 void Scrubber::stop() {
   stop_.store(true, std::memory_order_relaxed);
-  if (thread_.joinable()) thread_.join();
+  const bool was_running = thread_.joinable();
+  if (was_running) thread_.join();
+  // Final republish after the join: a stop racing the loop between its
+  // run_tick() and its on_pass() would otherwise leave the host's mirrored
+  // counters (and any post-run telemetry snapshot) one pass stale. Only
+  // fired when a thread was actually joined — this call owns the "paced
+  // mode is over" transition exactly once.
+  if (was_running && options_.on_pass) options_.on_pass();
 }
 
 void Scrubber::loop() {

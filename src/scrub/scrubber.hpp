@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/hooks.hpp"
+
 namespace flashabft::scrub {
 
 /// What one verify-and-heal item observed.
@@ -73,7 +75,13 @@ class Scrubber {
     /// Thread mode: invoked after every paced pass, outside the guard, so
     /// the host can republish counters even while it is otherwise idle
     /// (an idle scheduler runs no ticks, but passes keep accumulating).
+    /// `stop()` invokes it one final time after joining the thread, so a
+    /// post-stop snapshot always reflects the last pass (not one tick
+    /// stale).
     std::function<void()> on_pass;
+    /// Observability taps: each pass runs under a trace span; repairs and
+    /// unrepairable finds go to the flight recorder. All-null = off.
+    obs::ObsHooks obs{};
   };
 
   Scrubber(Provider provider, Options options);

@@ -20,6 +20,9 @@ std::optional<CommonServeOptions> parse_common_serve_options(
       args.get_size("kv-budget-bytes", defaults.kv_budget_bytes);
   out.seed = std::uint64_t(args.get_size("seed", defaults.seed));
   out.preset = args.get_string("preset", defaults.preset);
+  out.trace_path = args.get_string("trace", defaults.trace_path);
+  out.flight_dump_path =
+      args.get_string("flight-dump", defaults.flight_dump_path);
 
   const std::string scheduler_arg =
       args.get_string("scheduler", scheduler_mode_name(defaults.scheduler));

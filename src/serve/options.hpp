@@ -38,6 +38,12 @@ struct CommonServeOptions {
   std::vector<DType> dtype_sweep = {DType::kF32};
   std::uint64_t seed = 7;               ///< --seed
   std::string preset = "bert";          ///< --preset
+  /// --trace: Chrome/Perfetto trace_event JSON written here after the run
+  /// (empty = tracing off; the collector is only constructed when set).
+  std::string trace_path{};             ///< --trace
+  /// --flight-dump: the flight recorder's last-events ring dumped here on
+  /// demand after the run (empty = no recorder).
+  std::string flight_dump_path{};       ///< --flight-dump
 };
 
 /// Parses the shared flag set on top of `defaults`. Invalid enum values

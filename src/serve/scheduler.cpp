@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "serve/fault_surface.hpp"
 
 namespace flashabft::serve {
@@ -83,6 +85,8 @@ ContinuousScheduler::ContinuousScheduler(
     // after the last session drains and ticks stop — republish per pass
     // so telemetry tracks those idle-window passes too.
     scrub_options.on_pass = [this] { publish_scrub(); };
+    scrub_options.obs.trace = cfg_.trace;
+    scrub_options.obs.flight = cfg_.flight;
     scrubber_ = std::make_unique<scrub::Scrubber>(
         [this] { return scrub_items(); }, scrub_options);
   }
@@ -228,6 +232,7 @@ void ContinuousScheduler::insert_waiting(GenerationSession* session) {
 }
 
 void ContinuousScheduler::tick(std::vector<GenerationSession*> incoming) {
+  obs::TraceSpan tick_span(cfg_.trace, "tick", "sched");
   // Parked admissions first: the table promotes oldest-first, and stamping
   // orders here keeps FIFO age consistent with admission order.
   while (GenerationSession* parked = sessions_.try_activate_parked()) {
@@ -238,6 +243,9 @@ void ContinuousScheduler::tick(std::vector<GenerationSession*> incoming) {
   for (GenerationSession* session : incoming) {
     telemetry_.on_session_start();
     session->sched_order = next_order_++;
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->instant_arg("admit", session->sched_order, "sched");
+    }
     insert_waiting(session);
   }
   admit_waiting();
@@ -285,6 +293,8 @@ void ContinuousScheduler::admit_waiting() {
 void ContinuousScheduler::start_or_resume(GenerationSession& session) {
   const Clock::time_point start = Clock::now();
   const bool first_activation = session.paged == nullptr;
+  obs::TraceSpan prefill_span(
+      cfg_.trace, first_activation ? "prefill" : "resume-prefill", "sched");
   if (first_activation) {
     session.paged = std::make_unique<PagedKv>(
         pool_.make_session(session.key));
@@ -294,6 +304,10 @@ void ContinuousScheduler::start_or_resume(GenerationSession& session) {
   } else {
     ++session.resumes;
     telemetry_.on_session_resume();
+    if (cfg_.flight != nullptr) {
+      cfg_.flight->record(obs::FlightEventKind::kResume, "scheduler",
+                          "session", session.sched_order);
+    }
   }
 
   // Step-0 session tampers (prompt upsets, budget tampers) land on the
@@ -391,6 +405,13 @@ void ContinuousScheduler::preempt(GenerationSession* victim) {
   pool_.free_session(*victim->paged);
   ++victim->preemptions;
   telemetry_.on_preemption();
+  if (cfg_.flight != nullptr) {
+    cfg_.flight->record(obs::FlightEventKind::kPreemption, "scheduler",
+                        "session", victim->sched_order);
+  }
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->instant_arg("preempt", victim->sched_order, "sched");
+  }
   running_.erase(std::find(running_.begin(), running_.end(), victim));
   insert_waiting(victim);
 }
@@ -461,6 +482,7 @@ bool ContinuousScheduler::absorb_step(GenerationSession& session,
 
 void ContinuousScheduler::decode_tick() {
   if (running_.empty()) return;
+  obs::TraceSpan sweep_span(cfg_.trace, "decode-batch", "sched");
 
   // Latent-fault windows: a session whose next step carries a latent
   // corruption takes the upset NOW, then sits out `latent_idle_ticks`
@@ -666,6 +688,9 @@ void ContinuousScheduler::decode_tick() {
   const double share_us =
       to_us(Clock::now() - start) / double(advancing.size());
   telemetry_.on_scheduler_tick(advancing.size());
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->instant_arg("decode-batch-size", advancing.size(), "sched");
+  }
   for (std::size_t i = 0; i < advancing.size(); ++i) {
     GenerationSession* session = advancing[i];
     if (absorb_step(*session, std::move(steps[i]), advancing.size(),
@@ -733,6 +758,19 @@ void ContinuousScheduler::publish_page_usage() {
                         prefix.cow_forks, prefix.evictions,
                         prefix.shared_heals, pool_.shared_pages(),
                         pool_.evictable_pages());
+  // CoW forks and shared-page heals happen inside the pool; surface them as
+  // counter deltas at this publish boundary (one event per occurrence).
+  for (; seen_cow_forks_ < prefix.cow_forks; ++seen_cow_forks_) {
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->instant_arg("cow-fork", seen_cow_forks_ + 1, "sched");
+    }
+  }
+  for (; seen_shared_heals_ < prefix.shared_heals; ++seen_shared_heals_) {
+    if (cfg_.flight != nullptr) {
+      cfg_.flight->record(obs::FlightEventKind::kHealEpoch, "kv_pool",
+                          "shared_page", seen_shared_heals_ + 1);
+    }
+  }
 }
 
 std::vector<scrub::ScrubItem> ContinuousScheduler::scrub_items() {

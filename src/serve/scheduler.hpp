@@ -46,6 +46,7 @@
 
 #include "core/kv_pool.hpp"
 #include "model/transformer_model.hpp"
+#include "obs/hooks.hpp"
 #include "scrub/scrubber.hpp"
 #include "serve/session.hpp"
 #include "serve/telemetry.hpp"
@@ -118,6 +119,11 @@ struct SchedulerConfig {
   std::size_t scrub_budget = 0;
   /// Thread mode: pacing between scrub passes.
   std::chrono::microseconds scrub_interval{200};
+  /// Non-owning observability taps (the server copies its own here): tick /
+  /// admission / prefill / decode-batch spans go to `trace`; preemptions,
+  /// resumes, CoW forks and shared-page heal epochs to `flight`. Null = off.
+  obs::TraceCollector* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// The continuous-batching engine. Owned by the server when
@@ -243,6 +249,11 @@ class ContinuousScheduler {
   std::uint64_t next_order_ = 1;
   std::size_t rotate_ = 0;  ///< round-robin cursor over running_.
   std::size_t stall_ticks_ = 0;  ///< manual mode: no-progress tick streak.
+  /// Last published prefix-cache gauges, for delta-triggered flight/trace
+  /// events (CoW forks and shared-page heals are pool-internal, so the
+  /// scheduler observes them as counter movement at publish points).
+  std::uint64_t seen_cow_forks_ = 0;
+  std::uint64_t seen_shared_heals_ = 0;
 
   std::thread thread_;
 };

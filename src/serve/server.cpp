@@ -6,6 +6,8 @@
 #include "common/ensure.hpp"
 #include "core/flash_abft.hpp"
 #include "fault/calibrate.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "serve/fault_surface.hpp"
 #include "sim/multi_head.hpp"
 
@@ -114,6 +116,10 @@ ContinuousScheduler& InferenceServer::scheduler() {
       const std::size_t cores = std::thread::hardware_concurrency();
       if (cores > 0) cfg.sweep_threads = std::min(cfg.sweep_threads, cores);
     }
+    // The server's observability taps ride into the scheduler's own emit
+    // sites (tick spans, preemption/resume flight events).
+    cfg.trace = config_.trace;
+    cfg.flight = config_.flight;
     scheduler_ = std::make_unique<ContinuousScheduler>(
         cfg, model(), executor_options(), sessions_, telemetry_);
   });
@@ -337,6 +343,12 @@ GuardedExecutor::Options InferenceServer::executor_options() const {
     options.tolerances = derive_tolerances(
         config_.dtype, tolerance_shape_for(config_.model));
   }
+  // Every executor this server builds feeds the telemetry's always-on
+  // guard-phase profiler; trace/flight taps ride along when the caller
+  // attached them to the config.
+  options.obs.trace = config_.trace;
+  options.obs.flight = config_.flight;
+  options.obs.profiler = telemetry_.op_profiler();
   return options;
 }
 
@@ -464,7 +476,13 @@ void InferenceServer::execute_attention(Worker& worker,
       std::lock_guard lock(worker.breaker_mutex);
       tripped = worker.breaker.record_escalation();
     }
-    if (tripped) telemetry_.on_breaker_trip();
+    if (tripped) {
+      telemetry_.on_breaker_trip();
+      if (config_.flight != nullptr) {
+        config_.flight->record(obs::FlightEventKind::kBreakerTrip, "server",
+                               "worker", worker.id);
+      }
+    }
     response.path = ServePath::kFallbackReference;
   } else {
     {
@@ -582,6 +600,8 @@ bool InferenceServer::execute_session_step(Worker& worker,
                                            std::size_t batch_size) {
   const Clock::time_point start = Clock::now();
   const bool is_prefill = session.tokens().empty();
+  obs::TraceSpan step_span(config_.trace,
+                           is_prefill ? "prefill" : "decode-step");
   // Step numbering of the fault surfaces: 0 = prefill, s >= 1 = the s-th
   // decode step.
   const std::size_t step_index = is_prefill ? 0 : session.steps_done() + 1;

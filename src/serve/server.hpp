@@ -110,6 +110,13 @@ struct ServerConfig {
   /// rounding-error-bound model (fault/calibrate.hpp). kF32 keeps the
   /// serving stack bit-identical to the pre-dtype behaviour.
   DType dtype = DType::kF32;
+  /// Non-owning observability taps (obs/hooks.hpp): a trace collector and a
+  /// flight recorder the caller owns, attached to every executor this
+  /// server builds and to the continuous scheduler's own emit sites. Both
+  /// null (off) by default; the per-OpKind timing profiler is NOT here — it
+  /// lives in the server's telemetry and is always on.
+  obs::TraceCollector* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class InferenceServer {

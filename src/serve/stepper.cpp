@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/ensure.hpp"
+#include "obs/flight_recorder.hpp"
 #include "serve/fault_surface.hpp"
 #include "serve/session.hpp"
 #include "serve/telemetry.hpp"
@@ -49,9 +50,12 @@ SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
     m.prompt = work.prompt;
     m.max_new_tokens = work.max_new_tokens;
   });
+  GuardedExecutor::Options exec_options = cfg.executor_options;
+  exec_options.obs.trace = cfg.trace;
+  exec_options.obs.flight = cfg.flight;
   // Untampered executor for the control-plane verifies and scrub passes —
   // the step executor's fault hook models op upsets, not checker upsets.
-  const GuardedExecutor control_executor(cfg.executor_options);
+  const GuardedExecutor control_executor(exec_options);
   std::size_t recovered_ops = 0;
   // Budget tampers only ever shrink max_new_tokens, so the loop is
   // intrinsically bounded; the watchdog is the defense against engine
@@ -65,13 +69,17 @@ SteppedSession run_legacy(const TransformerModel& model, GenerationWork work,
         out.failed = true;
         out.hang = true;
         out.error = "step budget exceeded";
+        if (cfg.flight != nullptr) {
+          cfg.flight->record(obs::FlightEventKind::kHang, "stepper",
+                             "step_budget", steps - 1);
+        }
         break;
       }
       const bool is_prefill = meta.value().tokens.empty();
       const std::size_t step_index =
           is_prefill ? 0 : meta.value().steps_done + 1;
       GuardedExecutor executor = make_generation_step_executor(
-          work, step_index, cfg.executor_options);
+          work, step_index, exec_options);
       // Tampers write through raw(); the boundary verify catches the stale
       // seal and repairs the record from its mirror before the step reads.
       apply_session_tampers(work, meta.raw(), step_index,
@@ -162,7 +170,13 @@ std::vector<SteppedSession> run_continuous(const TransformerModel& model,
   scfg.num_pages = cfg.num_pages;
   scfg.prefix_cache = cfg.prefix_cache;
   scfg.sweep_threads = 1;
-  ContinuousScheduler scheduler(scfg, model, cfg.executor_options, table,
+  scfg.trace = cfg.trace;
+  scfg.flight = cfg.flight;
+  GuardedExecutor::Options exec_options = cfg.executor_options;
+  exec_options.obs.trace = cfg.trace;
+  exec_options.obs.flight = cfg.flight;
+  exec_options.obs.profiler = telemetry.op_profiler();
+  ContinuousScheduler scheduler(scfg, model, exec_options, table,
                                 telemetry);
 
   std::vector<std::future<ServeResponse>> futures;
@@ -194,6 +208,10 @@ std::vector<SteppedSession> run_continuous(const TransformerModel& model,
   std::size_t ticks = 0;
   while (scheduler.run_tick()) {
     if (++ticks > max_ticks) {
+      if (cfg.flight != nullptr) {
+        cfg.flight->record(obs::FlightEventKind::kHang, "stepper",
+                           "tick_budget", ticks - 1);
+      }
       scheduler.abort_all("tick budget exceeded");
       break;
     }

@@ -18,6 +18,7 @@
 
 #include "core/guarded_op.hpp"
 #include "model/transformer_model.hpp"
+#include "obs/hooks.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/telemetry.hpp"
@@ -60,6 +61,13 @@ struct StepperConfig {
   /// exceeding it fails the remaining sessions with `hang` set instead of
   /// spinning forever — the campaign's crash/hang outcome class.
   std::size_t max_ticks = 0;
+  /// Non-owning observability taps, threaded into the executors and (in
+  /// continuous mode) the scheduler's own emit sites. The watchdog firing
+  /// records a kHang flight event, so a crash/hang trial's dump ends with
+  /// the wedge itself. The stepper's internal telemetry profiler is always
+  /// on — `telemetry_out->timing` carries the per-OpKind phase histograms.
+  obs::TraceCollector* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Drives every work item to completion on the calling thread, one

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/table.hpp"
 
@@ -141,6 +142,7 @@ TelemetrySnapshot ServeTelemetry::snapshot() const {
     s.per_kind[k].escalated =
         kind_escalated_[k].load(std::memory_order_relaxed);
   }
+  s.timing = op_profiler_.snapshot();
 
   std::vector<double> queue_us, service_us, total_us, ttft_us;
   {
@@ -252,6 +254,29 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
         format_number(double(stats.escalated), 0) + " escalated";
     t.add_row({std::string("op[") + op_kind_name(OpKind(k)) + "]", value});
   }
+  // ABFT overhead: where guarded execution's time went, per kind. The
+  // percentage is verify+recovery over compute — the cost the protection
+  // regime adds on top of the op it protects.
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const OpKind kind = OpKind(k);
+    if (timing.of(kind, obs::GuardPhase::kCompute).count == 0 &&
+        timing.guard_ns(kind) == 0) {
+      continue;
+    }
+    const std::string value =
+        format_number(double(timing.compute_ns(kind)) * 1e-6, 2) +
+        " ms compute, " +
+        format_number(
+            double(timing.of(kind, obs::GuardPhase::kVerify).total) * 1e-6,
+            2) +
+        " ms verify, " +
+        format_number(
+            double(timing.of(kind, obs::GuardPhase::kRecovery).total) * 1e-6,
+            2) +
+        " ms recovery (" + format_number(timing.overhead_pct(kind), 2) +
+        "% overhead)";
+    t.add_row({std::string("abft[") + op_kind_name(kind) + "]", value});
+  }
   row("queue p50 (us)", queue_p50_us);
   row("queue p99 (us)", queue_p99_us);
   row("service p50 (us)", service_p50_us);
@@ -261,6 +286,121 @@ std::string TelemetrySnapshot::render(double wall_seconds) const {
   row("total p99 (us)", total_p99_us);
   row("total max (us)", total_max_us);
   return t.render();
+}
+
+std::string TelemetrySnapshot::prometheus_text(double wall_seconds) const {
+  std::ostringstream out;
+  const auto counter = [&out](const char* name, std::uint64_t value,
+                              const char* help) {
+    out << "# HELP flashabft_" << name << " " << help << "\n"
+        << "# TYPE flashabft_" << name << " counter\n"
+        << "flashabft_" << name << " " << value << "\n";
+  };
+  const auto gauge = [&out](const char* name, double value,
+                            const char* help) {
+    out << "# HELP flashabft_" << name << " " << help << "\n"
+        << "# TYPE flashabft_" << name << " gauge\n"
+        << "flashabft_" << name << " " << value << "\n";
+  };
+
+  counter("requests_submitted_total", submitted, "admission attempts");
+  counter("requests_rejected_total", rejected, "requests shed at admission");
+  counter("requests_completed_total", completed, "responses delivered");
+  counter("alarm_events_total", alarm_events, "checksum alarms observed");
+  counter("op_executions_total", op_executions,
+          "guarded op runs including retries");
+  counter("fallback_ops_total", fallback_ops,
+          "ops served by the reference kernel");
+  counter("escalations_total", escalations, "retry budgets exhausted");
+  counter("breaker_trips_total", breaker_trips, "circuit breakers opened");
+  counter("checksum_dirty_total", checksum_dirty,
+          "responses with an accepted alarmed op");
+  counter("sessions_completed_total", sessions_completed,
+          "generation sessions finished");
+  counter("tokens_generated_total", tokens_generated, "tokens emitted");
+  counter("scheduler_ticks_total", scheduler_ticks, "decode sweeps");
+  counter("preemptions_total", preemptions,
+          "sessions evicted under page pressure");
+  counter("session_resumes_total", session_resumes,
+          "preempted/parked sessions resumed");
+  counter("scrub_passes_total", scrub_passes, "background scrub passes");
+  counter("scrub_repairs_total", scrub_repairs,
+          "latent faults healed by the scrubber");
+  gauge("pages_in_use", double(pages_in_use), "KV pool pages allocated now");
+  gauge("pages_total", double(pages_total), "KV pool size");
+  if (wall_seconds > 0.0) {
+    gauge("throughput_rps", throughput_rps(wall_seconds),
+          "completed requests per second");
+  }
+
+  out << "# HELP flashabft_op_checks_total guarded ops reported, by kind\n"
+      << "# TYPE flashabft_op_checks_total counter\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    if (per_kind[k].checks == 0) continue;
+    out << "flashabft_op_checks_total{kind=\"" << op_kind_name(OpKind(k))
+        << "\"} " << per_kind[k].checks << "\n";
+  }
+  out << "# HELP flashabft_op_alarms_total checksum alarms, by kind\n"
+      << "# TYPE flashabft_op_alarms_total counter\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    if (per_kind[k].checks == 0) continue;
+    out << "flashabft_op_alarms_total{kind=\"" << op_kind_name(OpKind(k))
+        << "\"} " << per_kind[k].alarms << "\n";
+  }
+
+  // Guard-phase timing: the ABFT overhead attribution as cumulative
+  // histograms (bucket edges in seconds — the log-bucketed ns histograms
+  // scaled by 1e-9), one series per active (kind, phase) cell.
+  out << "# HELP flashabft_guard_phase_seconds_total guarded execution time "
+         "split into compute/verify/recovery, by op kind\n"
+      << "# TYPE flashabft_guard_phase_seconds_total counter\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    for (std::size_t p = 0; p < obs::kGuardPhaseCount; ++p) {
+      const obs::LogHistogram& h = timing.cells[k][p];
+      if (h.count == 0) continue;
+      out << "flashabft_guard_phase_seconds_total{kind=\""
+          << op_kind_name(OpKind(k)) << "\",phase=\""
+          << obs::guard_phase_name(obs::GuardPhase(p)) << "\"} "
+          << double(h.total) * 1e-9 << "\n";
+    }
+  }
+  out << "# HELP flashabft_guard_phase_duration_seconds per-sample guard "
+         "phase durations\n"
+      << "# TYPE flashabft_guard_phase_duration_seconds histogram\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    for (std::size_t p = 0; p < obs::kGuardPhaseCount; ++p) {
+      const obs::LogHistogram& h = timing.cells[k][p];
+      if (h.count == 0) continue;
+      const std::string labels = std::string("kind=\"") +
+                                 op_kind_name(OpKind(k)) + "\",phase=\"" +
+                                 obs::guard_phase_name(obs::GuardPhase(p)) +
+                                 "\"";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < obs::LogHistogram::kBuckets; ++b) {
+        if (h.buckets[b] == 0) continue;  // elide empty leading/inner edges.
+        cumulative += h.buckets[b];
+        out << "flashabft_guard_phase_duration_seconds_bucket{" << labels
+            << ",le=\"" << double(obs::LogHistogram::bucket_ceiling(b)) * 1e-9
+            << "\"} " << cumulative << "\n";
+      }
+      out << "flashabft_guard_phase_duration_seconds_bucket{" << labels
+          << ",le=\"+Inf\"} " << h.count << "\n"
+          << "flashabft_guard_phase_duration_seconds_sum{" << labels << "} "
+          << double(h.total) * 1e-9 << "\n"
+          << "flashabft_guard_phase_duration_seconds_count{" << labels << "} "
+          << h.count << "\n";
+    }
+  }
+  out << "# HELP flashabft_abft_overhead_pct verify+recovery time as a "
+         "percentage of compute time, by op kind\n"
+      << "# TYPE flashabft_abft_overhead_pct gauge\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const OpKind kind = OpKind(k);
+    if (timing.of(kind, obs::GuardPhase::kCompute).count == 0) continue;
+    out << "flashabft_abft_overhead_pct{kind=\"" << op_kind_name(kind)
+        << "\"} " << timing.overhead_pct(kind) << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace flashabft::serve

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/guarded_op.hpp"
+#include "obs/op_profile.hpp"
 #include "serve/request.hpp"
 #include "tensor/random.hpp"
 
@@ -138,6 +139,11 @@ struct TelemetrySnapshot {
   /// vs reference fallback), indexed by std::size_t(OpKind).
   std::array<OpKindStats, kOpKindCount> per_kind{};
 
+  /// Per-OpKind guarded-execution timing (compute / verify / recovery, in
+  /// ns) from the server's always-on OpTimingProfiler — the "ABFT overhead"
+  /// attribution. Empty when no guarded op ran with the profiler attached.
+  obs::OpTimingSnapshot timing;
+
   // Latency percentiles, microseconds.
   double queue_p50_us = 0, queue_p99_us = 0;
   double service_p50_us = 0, service_p99_us = 0;
@@ -155,6 +161,12 @@ struct TelemetrySnapshot {
 
   /// Two-column human-readable table (bench/demo output).
   [[nodiscard]] std::string render(double wall_seconds) const;
+
+  /// Prometheus text exposition (the scrape format): every counter/gauge as
+  /// a `flashabft_*` metric, per-kind series labeled {kind="..."}, and the
+  /// guard-phase timing as totals plus cumulative `_bucket{le="..."}`
+  /// histograms. One self-contained string — no client library involved.
+  [[nodiscard]] std::string prometheus_text(double wall_seconds) const;
 };
 
 /// Thread-safe telemetry sink shared by all workers of one server.
@@ -239,7 +251,16 @@ class ServeTelemetry {
 
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
+  /// The always-on guard-phase timing profiler executors record into
+  /// (lock-free; attach via GuardedExecutor::Options::obs.profiler).
+  /// Const-qualified because recording — like every counter bump here — is
+  /// a logically-const operation on a thread-safe sink.
+  [[nodiscard]] obs::OpTimingProfiler* op_profiler() const {
+    return &op_profiler_;
+  }
+
  private:
+  mutable obs::OpTimingProfiler op_profiler_;
   std::atomic<ComputeBackend> compute_{ComputeBackend::kScalar};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_{0};

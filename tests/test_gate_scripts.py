@@ -5,9 +5,12 @@ Exercises bench/check_coverage.py (the SDC-coverage gate) end to end over
 synthetic BENCH_faults.json files — the pass path, every regression class
 (coverage drop, SDC rise, new crash/hang, missing cell, protected-cell
 floor slip, scrub-attribution slip) must exit 1, and a config mismatch
-must refuse the comparison with exit 2 — plus the existing
-bench/check_regression.py config-mismatch path. A gate that silently
-passes regressed candidates is worse than no gate, so the gate is tested
+must refuse the comparison with exit 2 — plus bench/check_regression.py
+(config mismatch, the ABFT-overhead rise gate, the tracing-cost pair
+gate) and bench/check_trace.py (trace schema: B/E stack discipline,
+monotonic timestamps, required names; flight dumps: event grammar and
+the forced-crash_hang subsystem header). A gate that silently passes
+regressed candidates is worse than no gate, so the gates are tested
 like any other code.
 
 Usage (CTest passes the bench directory):
@@ -297,6 +300,180 @@ class GateScriptTest(unittest.TestCase):
         cand = self.write("cand.json", regression_report(seed=2026))
         result = self.run_gate("check_regression.py", base, cand)
         self.assertEqual(result.returncode, 0, result.stdout)
+
+    # --- check_regression.py: ABFT overhead + tracing cost -----------
+
+    @staticmethod
+    def overhead_scenario(overhead_pct):
+        return {
+            "name": "continuous generation", "mode": "continuous",
+            "backend": "simd", "ok": True, "throughput_rps": 100.0,
+            "tokens_per_sec": 400.0,
+            "abft_overhead": {
+                "attention_flash_abft": {
+                    "compute_ms": 50.0, "verify_ms": 1.0,
+                    "recovery_ms": 0.0, "overhead_pct": overhead_pct,
+                },
+            },
+        }
+
+    def test_abft_overhead_rise_fails(self):
+        base = regression_report(seed=2026)
+        base["scenarios"] = [self.overhead_scenario(2.0)]
+        cand = regression_report(seed=2026)
+        cand["scenarios"] = [self.overhead_scenario(12.0)]  # +10 points.
+        result = self.run_gate("check_regression.py",
+                               self.write("base.json", base),
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("ABFT overhead", result.stdout)
+
+    def test_abft_overhead_within_allowance_passes(self):
+        base = regression_report(seed=2026)
+        base["scenarios"] = [self.overhead_scenario(2.0)]
+        cand = regression_report(seed=2026)
+        cand["scenarios"] = [self.overhead_scenario(4.0)]  # +2 < 5 points.
+        result = self.run_gate("check_regression.py",
+                               self.write("base.json", base),
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    @staticmethod
+    def tracing_pair(on_tokens_per_sec):
+        def scenario(name, tokens_per_sec):
+            return {"name": name, "mode": "obs", "backend": "simd",
+                    "ok": True, "throughput_rps": 0.0,
+                    "tokens_per_sec": tokens_per_sec}
+        return [scenario("continuous generation (tracing off)", 400.0),
+                scenario("continuous generation (tracing on)",
+                         on_tokens_per_sec)]
+
+    def test_tracing_cost_above_budget_fails(self):
+        cand = regression_report(seed=2026)
+        cand["scenarios"] = self.tracing_pair(300.0)  # 25% tracing cost.
+        result = self.run_gate("check_regression.py",
+                               self.write("base.json",
+                                          regression_report(seed=2026)),
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("tracing cost", result.stdout)
+
+    def test_tracing_cost_within_budget_passes(self):
+        cand = regression_report(seed=2026)
+        cand["scenarios"] = self.tracing_pair(390.0)  # 2.5% < 5%.
+        result = self.run_gate("check_regression.py",
+                               self.write("base.json",
+                                          regression_report(seed=2026)),
+                               self.write("cand.json", cand))
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+
+class TraceGateTest(unittest.TestCase):
+    """bench/check_trace.py over synthetic traces and flight dumps."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write_trace(self, events):
+        path = os.path.join(self.tmp.name, "trace.json")
+        with open(path, "w") as f:
+            json.dump({"traceEvents": events}, f)
+        return path
+
+    def write_text(self, name, text):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            f.write(text)
+        return path
+
+    def run_trace_gate(self, *argv):
+        return subprocess.run(
+            [sys.executable, os.path.join(BENCH_DIR, "check_trace.py"),
+             *argv], capture_output=True, text=True)
+
+    @staticmethod
+    def well_formed_events():
+        return [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "serve-0"}},
+            {"name": "tick", "cat": "sched", "ph": "B", "pid": 1, "tid": 0,
+             "ts": 1.0},
+            {"name": "prefill", "cat": "sched", "ph": "B", "pid": 1,
+             "tid": 0, "ts": 2.0},
+            {"name": "admit", "cat": "sched", "ph": "i", "pid": 1, "tid": 0,
+             "ts": 2.5, "s": "t"},
+            {"name": "prefill", "cat": "sched", "ph": "E", "pid": 1,
+             "tid": 0, "ts": 3.0},
+            {"name": "tick", "cat": "sched", "ph": "E", "pid": 1, "tid": 0,
+             "ts": 4.0},
+        ]
+
+    def test_well_formed_trace_passes(self):
+        path = self.write_trace(self.well_formed_events())
+        result = self.run_trace_gate(path, "--require-names", "tick,admit")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("trace ok", result.stdout)
+
+    def test_unbalanced_span_fails(self):
+        events = self.well_formed_events()[:-1]  # drop the closing tick 'E'.
+        result = self.run_trace_gate(self.write_trace(events))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("left open", result.stdout)
+
+    def test_mismatched_end_name_fails(self):
+        events = self.well_formed_events()
+        events[4]["name"] = "decode-batch"  # 'E' closing the wrong span.
+        result = self.run_trace_gate(self.write_trace(events))
+        self.assertEqual(result.returncode, 1, result.stdout)
+
+    def test_non_monotonic_timestamps_fail(self):
+        events = self.well_formed_events()
+        events[4]["ts"] = 0.5  # earlier than its 'B' on the same tid.
+        result = self.run_trace_gate(self.write_trace(events))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("previous", result.stdout)
+
+    def test_missing_thread_name_metadata_fails(self):
+        events = self.well_formed_events()[1:]  # drop the 'M' record.
+        result = self.run_trace_gate(self.write_trace(events))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("thread_name", result.stdout)
+
+    def test_missing_required_name_fails(self):
+        path = self.write_trace(self.well_formed_events())
+        result = self.run_trace_gate(path, "--require-names", "decode-batch")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("decode-batch", result.stdout)
+
+    GOOD_DUMP = (
+        "=== crash_hang scheduler=continuous subsystem=kv_pages trial=3 "
+        "step=1 ===\n"
+        "# flight recorder: 2 of 2 events retained (capacity 128)\n"
+        "0 t+1200ns alarm executor kv_page v=7\n"
+        "1 t+3400ns hang stepper tick_budget v=0\n")
+
+    def test_crash_hang_dump_passes(self):
+        path = self.write_text("flight.txt", self.GOOD_DUMP)
+        result = self.run_trace_gate("--flight", path, "--expect-crash-hang")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("flight dump ok", result.stdout)
+
+    def test_dump_without_crash_header_fails_expectation(self):
+        text = "\n".join(self.GOOD_DUMP.splitlines()[1:]) + "\n"
+        path = self.write_text("flight.txt", text)
+        self.assertEqual(
+            self.run_trace_gate("--flight", path).returncode, 0)
+        result = self.run_trace_gate("--flight", path, "--expect-crash-hang")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("subsystem", result.stdout)
+
+    def test_unparseable_event_line_fails(self):
+        path = self.write_text("flight.txt",
+                               self.GOOD_DUMP + "not an event line\n")
+        result = self.run_trace_gate("--flight", path)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("unparseable", result.stdout)
 
 
 if __name__ == "__main__":
